@@ -1,0 +1,117 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! quality (not just speed) comparisons run as Criterion benches so
+//! regressions in either direction are visible in one report.
+//!
+//! * weight exponent (0 / 0.5 / 1) — Theorem 1's sqrt optimum;
+//! * defensive mixing on an adversarially mis-scored dataset;
+//! * two-stage vs one-stage precision estimation;
+//! * CI method cost at selector scale.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use supg_core::metrics::evaluate;
+use supg_core::selectors::{
+    ImportancePrecision, ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision,
+};
+use supg_core::{ApproxQuery, CachedOracle, ScoredDataset, SupgExecutor};
+use supg_datasets::BetaDataset;
+use supg_stats::ci::CiMethod;
+
+fn dataset(n: usize) -> (ScoredDataset, Vec<bool>) {
+    let (scores, labels) = BetaDataset::new(0.01, 2.0, n).generate(13).into_parts();
+    (ScoredDataset::new(scores).unwrap(), labels)
+}
+
+fn run(
+    data: &ScoredDataset,
+    labels: &[bool],
+    selector: &dyn ThresholdSelector,
+    query: &ApproxQuery,
+    seed: u64,
+) -> f64 {
+    let owned = labels.to_vec();
+    let mut oracle = CachedOracle::new(owned.len(), query.budget(), move |i| owned[i]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outcome = SupgExecutor::new(data, query)
+        .run(selector, &mut oracle, &mut rng)
+        .expect("ablation query failed");
+    evaluate(outcome.result.indices(), labels).precision
+}
+
+fn bench_weight_exponent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_exponent");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    let (data, labels) = dataset(100_000);
+    let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
+    for &p in &[0.0, 0.5, 1.0] {
+        let sel = ImportanceRecall::new(SelectorConfig::default().with_exponent(p));
+        g.bench_with_input(BenchmarkId::from_parameter(p), &sel, |b, sel| {
+            b.iter(|| run(&data, &labels, sel, &query, 31))
+        });
+    }
+    g.finish();
+}
+
+fn bench_defensive_mixing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mixing");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    let (data, labels) = dataset(100_000);
+    let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
+    for &mix in &[0.0, 0.1, 0.5] {
+        let sel = ImportanceRecall::new(SelectorConfig::default().with_mix(mix));
+        g.bench_with_input(BenchmarkId::from_parameter(mix), &sel, |b, sel| {
+            b.iter(|| run(&data, &labels, sel, &query, 32))
+        });
+    }
+    g.finish();
+}
+
+fn bench_one_vs_two_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_stages");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    let (data, labels) = dataset(100_000);
+    let query = ApproxQuery::precision_target(0.9, 0.05, 1_000);
+    let one = ImportancePrecision::default();
+    let two = TwoStagePrecision::default();
+    g.bench_function("one_stage", |b| b.iter(|| run(&data, &labels, &one, &query, 33)));
+    g.bench_function("two_stage", |b| b.iter(|| run(&data, &labels, &two, &query, 33)));
+    g.finish();
+}
+
+fn bench_ci_method_in_selector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ci_method");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    let (data, labels) = dataset(100_000);
+    let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
+    for (name, ci) in [
+        ("paper_normal", CiMethod::PaperNormal),
+        ("hoeffding", CiMethod::Hoeffding),
+        ("bootstrap_200", CiMethod::Bootstrap { resamples: 200 }),
+    ] {
+        let sel = ImportanceRecall::new(SelectorConfig::default().with_ci(ci));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sel, |b, sel| {
+            b.iter(|| run(&data, &labels, sel, &query, 34))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_weight_exponent,
+    bench_defensive_mixing,
+    bench_one_vs_two_stage,
+    bench_ci_method_in_selector
+);
+criterion_main!(benches);

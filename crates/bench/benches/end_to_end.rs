@@ -1,0 +1,59 @@
+//! End-to-end query latency through the SQL engine — the measured
+//! "Sampling" column of Table 5, per dataset preset.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use supg_datasets::{Preset, PresetKind};
+use supg_query::Engine;
+
+fn engine_for(kind: PresetKind, n: usize) -> (Engine, usize) {
+    let preset = Preset::new(kind);
+    let (scores, truth) = preset.generate_sized(5, n).into_parts();
+    let budget = preset.oracle_budget().min(n / 10);
+    let mut engine = Engine::with_seed(21);
+    engine.create_table("t", scores.len());
+    engine.register_proxy("t", "proxy", scores).unwrap();
+    engine.register_oracle("t", "ORACLE_F", move |i| truth[i]).unwrap();
+    (engine, budget)
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_query");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    // Scaled-down presets keep the bench quick while preserving shape;
+    // selector latency scales linearly in n (see selectors bench).
+    for kind in [
+        PresetKind::ImageNet,
+        PresetKind::NightStreet,
+        PresetKind::OntoNotes,
+        PresetKind::Tacred,
+    ] {
+        let (mut engine, budget) = engine_for(kind, 50_000);
+        let rt = format!(
+            "SELECT * FROM t WHERE ORACLE_F(x) ORACLE LIMIT {budget} USING proxy \
+             RECALL TARGET 90% WITH PROBABILITY 95%"
+        );
+        g.bench_with_input(
+            BenchmarkId::new("rt", format!("{kind:?}")),
+            &rt,
+            |b, sql| b.iter(|| engine.execute(sql).expect("query failed")),
+        );
+        let (mut engine, budget) = engine_for(kind, 50_000);
+        let pt = format!(
+            "SELECT * FROM t WHERE ORACLE_F(x) ORACLE LIMIT {budget} USING proxy \
+             PRECISION TARGET 90% WITH PROBABILITY 95%"
+        );
+        g.bench_with_input(
+            BenchmarkId::new("pt", format!("{kind:?}")),
+            &pt,
+            |b, sql| b.iter(|| engine.execute(sql).expect("query failed")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

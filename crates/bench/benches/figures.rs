@@ -1,0 +1,31 @@
+//! One quick-mode Criterion bench per paper table/figure: times the full
+//! regeneration of each artifact at reduced scale. `supg-repro <id>` runs
+//! the same code at paper scale; this bench keeps all fifteen harnesses
+//! compiling, running and profiled.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use supg_experiments::{list_experiments, run_experiment, ExpContext};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_quick");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    let mut ctx = ExpContext::quick();
+    // Benchmark-grade sizing: small but non-degenerate.
+    ctx.trials = 5;
+    ctx.sweep_trials = 2;
+    ctx.scale = 0.01;
+    ctx.out_dir = std::env::temp_dir().join("supg_bench_results");
+    for (id, _title) in list_experiments() {
+        g.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, id| {
+            b.iter(|| run_experiment(id, &ctx).expect("known experiment id"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

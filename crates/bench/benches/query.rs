@@ -1,0 +1,37 @@
+//! Front-end benchmarks: lexing, parsing and statement validation.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use supg_query::lexer::tokenize;
+use supg_query::parse;
+
+const RT_QUERY: &str = "SELECT * FROM hummingbird_video \
+    WHERE HUMMINGBIRD_PRESENT(frame) = true \
+    ORACLE LIMIT 10000 \
+    USING DNN_CLASSIFIER(frame) = 'hummingbird' \
+    RECALL TARGET 95% \
+    WITH PROBABILITY 95%";
+
+const JT_QUERY: &str = "SELECT * FROM corpus WHERE RELEVANT(doc) USING model(doc) \
+    RECALL TARGET 90% PRECISION TARGET 95% WITH PROBABILITY 95%";
+
+fn bench_front_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("front_end");
+    g.bench_function("tokenize_rt", |b| b.iter(|| tokenize(black_box(RT_QUERY))));
+    g.bench_function("parse_rt", |b| b.iter(|| parse(black_box(RT_QUERY))));
+    g.bench_function("parse_jt", |b| b.iter(|| parse(black_box(JT_QUERY))));
+    g.bench_function("display_round_trip", |b| {
+        let stmt = parse(RT_QUERY).unwrap();
+        b.iter(|| parse(&black_box(&stmt).to_string()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = bench_front_end
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Sampler benchmarks: alias vs CDF-inversion construction and draw costs
+//! at SUPG scales (n up to 10⁶ candidates, s = 10⁴ draws per query).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use supg_sampling::{
+    reservoir_sample, sample_with_replacement, sample_without_replacement, AliasTable,
+    CdfSampler, ImportanceWeights,
+};
+
+fn sqrt_weights(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(3);
+    let beta = supg_stats::dist::Beta::new(0.01, 2.0);
+    (0..n).map(|_| beta.sample(&mut rng).sqrt()).collect()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampler_build");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let weights = sqrt_weights(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("alias", n), &weights, |b, w| {
+            b.iter(|| AliasTable::new(black_box(w)))
+        });
+        g.bench_with_input(BenchmarkId::new("cdf", n), &weights, |b, w| {
+            b.iter(|| CdfSampler::new(black_box(w)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_draws(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampler_draw_10k");
+    let n = 1_000_000;
+    let weights = sqrt_weights(n);
+    let alias = AliasTable::new(&weights);
+    let cdf = CdfSampler::new(&weights);
+    let mut rng = StdRng::seed_from_u64(4);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("alias", |b| b.iter(|| alias.sample_many(&mut rng, 10_000)));
+    g.bench_function("cdf", |b| b.iter(|| cdf.sample_many(&mut rng, 10_000)));
+    g.bench_function("uniform_with_replacement", |b| {
+        b.iter(|| sample_with_replacement(&mut rng, n, 10_000))
+    });
+    g.bench_function("uniform_without_replacement", |b| {
+        b.iter(|| sample_without_replacement(&mut rng, n, 10_000))
+    });
+    g.bench_function("reservoir", |b| {
+        b.iter(|| reservoir_sample(&mut rng, 0..n, 10_000))
+    });
+    g.finish();
+}
+
+fn bench_weight_building(c: &mut Criterion) {
+    let mut g = c.benchmark_group("importance_weights");
+    let mut rng = StdRng::seed_from_u64(5);
+    let beta = supg_stats::dist::Beta::new(0.01, 2.0);
+    let scores: Vec<f64> = (0..1_000_000).map(|_| beta.sample(&mut rng)).collect();
+    g.throughput(Throughput::Elements(scores.len() as u64));
+    g.bench_function("sqrt_mix_1m", |b| {
+        b.iter(|| ImportanceWeights::from_scores(black_box(&scores), 0.5, 0.1))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = bench_construction, bench_draws, bench_weight_building
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Threshold-selector latency across dataset sizes and budgets — the
+//! query-processing cost that Table 5 prices (it must be negligible
+//! against proxy/oracle execution).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use supg_core::selectors::{
+    ImportancePrecision, ImportanceRecall, ThresholdSelector, TwoStagePrecision,
+    UniformNoCiRecall, UniformPrecision, UniformRecall,
+};
+use supg_core::{ApproxQuery, CachedOracle, ScoredDataset};
+use supg_datasets::BetaDataset;
+
+struct Bench {
+    data: ScoredDataset,
+    labels: Vec<bool>,
+}
+
+fn setup(n: usize) -> Bench {
+    let (scores, labels) = BetaDataset::new(0.01, 2.0, n).generate(7).into_parts();
+    Bench { data: ScoredDataset::new(scores).unwrap(), labels }
+}
+
+fn run_selector(bench: &Bench, selector: &dyn ThresholdSelector, query: &ApproxQuery) {
+    let labels = bench.labels.clone();
+    let mut oracle = CachedOracle::new(labels.len(), query.budget(), move |i| labels[i]);
+    let mut rng = StdRng::seed_from_u64(11);
+    selector
+        .estimate(&bench.data, query, &mut oracle, &mut rng)
+        .expect("selector failed");
+}
+
+fn bench_selectors_by_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selector_by_n");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let bench = setup(n);
+        let budget = 1_000;
+        let rt = ApproxQuery::recall_target(0.9, 0.05, budget);
+        let pt = ApproxQuery::precision_target(0.9, 0.05, budget);
+        let selectors_rt: Vec<(&str, Box<dyn ThresholdSelector>)> = vec![
+            ("U-NoCI-R", Box::new(UniformNoCiRecall)),
+            ("U-CI-R", Box::new(UniformRecall::default())),
+            ("IS-CI-R", Box::new(ImportanceRecall::default())),
+        ];
+        for (name, selector) in &selectors_rt {
+            g.bench_with_input(BenchmarkId::new(*name, n), &bench, |b, bench| {
+                b.iter(|| run_selector(bench, selector.as_ref(), &rt))
+            });
+        }
+        let selectors_pt: Vec<(&str, Box<dyn ThresholdSelector>)> = vec![
+            ("U-CI-P", Box::new(UniformPrecision::default())),
+            ("IS-CI-P-1stage", Box::new(ImportancePrecision::default())),
+            ("IS-CI-P", Box::new(TwoStagePrecision::default())),
+        ];
+        for (name, selector) in &selectors_pt {
+            g.bench_with_input(BenchmarkId::new(*name, n), &bench, |b, bench| {
+                b.iter(|| run_selector(bench, selector.as_ref(), &pt))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_selectors_by_budget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selector_by_budget");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    let bench = setup(500_000);
+    for &budget in &[1_000usize, 10_000] {
+        let rt = ApproxQuery::recall_target(0.9, 0.05, budget);
+        let sel = ImportanceRecall::default();
+        g.bench_with_input(BenchmarkId::new("IS-CI-R", budget), &bench, |b, bench| {
+            b.iter(|| run_selector(bench, &sel, &rt))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selectors_by_size, bench_selectors_by_budget);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks for the statistical kernels every selector leans on.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use supg_stats::ci::{ratio_bounds, CiMethod};
+use supg_stats::dist::{Beta, Gamma, Normal};
+use supg_stats::special::{inc_beta, inv_inc_beta, inv_norm_cdf, ln_gamma, norm_cdf};
+
+fn bench_special_functions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("special");
+    g.bench_function("ln_gamma", |b| b.iter(|| ln_gamma(black_box(7.3))));
+    g.bench_function("norm_cdf", |b| b.iter(|| norm_cdf(black_box(1.7))));
+    g.bench_function("inv_norm_cdf", |b| b.iter(|| inv_norm_cdf(black_box(0.975))));
+    g.bench_function("inc_beta", |b| b.iter(|| inc_beta(black_box(3.0), 5.0, 0.4)));
+    g.bench_function("inv_inc_beta", |b| {
+        b.iter(|| inv_inc_beta(black_box(5.0), 46.0, 0.05))
+    });
+    g.finish();
+}
+
+fn bench_sampling_distributions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributions");
+    let mut rng = StdRng::seed_from_u64(1);
+    let normal = Normal::new(0.0, 1.0);
+    g.bench_function("normal_sample", |b| b.iter(|| normal.sample(&mut rng)));
+    let gamma = Gamma::new(2.5, 1.0);
+    g.bench_function("gamma_sample", |b| b.iter(|| gamma.sample(&mut rng)));
+    // The SUPG synthetic configuration (tiny shape → log-space path).
+    let beta = Beta::new(0.01, 2.0);
+    g.bench_function("beta_supg_sample", |b| b.iter(|| beta.sample(&mut rng)));
+    g.finish();
+}
+
+fn bench_ci_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ci_methods");
+    let mut rng = StdRng::seed_from_u64(2);
+    let sample: Vec<f64> = (0..10_000).map(|i| f64::from(u8::from(i % 97 == 0))).collect();
+    for (name, method) in [
+        ("paper_normal", CiMethod::PaperNormal),
+        ("hoeffding", CiMethod::Hoeffding),
+        ("clopper_pearson", CiMethod::ClopperPearson),
+        ("bootstrap_200", CiMethod::Bootstrap { resamples: 200 }),
+    ] {
+        g.bench_with_input(BenchmarkId::new("lower", name), &method, |b, m| {
+            b.iter(|| m.lower(black_box(&sample), 0.05, &mut rng))
+        });
+    }
+    let ys: Vec<f64> = sample.clone();
+    let xs: Vec<f64> = vec![1.0; ys.len()];
+    g.bench_function("ratio_bounds_10k", |b| {
+        b.iter(|| ratio_bounds(black_box(&ys), &xs, 0.05, CiMethod::PaperNormal, &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = bench_special_functions, bench_sampling_distributions, bench_ci_methods
+}
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Benchmark-only crate: see the `benches/` directory. The library target
+//! exists to anchor the Criterion bench targets in the workspace.

@@ -1,0 +1,133 @@
+//! Query cost model (paper §6.5, Table 5).
+//!
+//! SUPG's costs decompose into (a) query processing (sampling + threshold
+//! estimation, CPU), (b) one proxy inference per record (GPU), and (c) one
+//! oracle invocation per sampled record (human labeling or an expensive
+//! DNN). The paper prices human labels at Scale API's $0.08/example and
+//! compute at an AWS `p3.2xlarge` ($3.06/hour) and shows query processing
+//! is negligible while exhaustive oracle labeling is orders of magnitude
+//! more expensive than the SUPG total.
+
+/// Pricing assumptions for a deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Dollars per oracle invocation (e.g. $0.08 per human label).
+    pub oracle_cost_per_call: f64,
+    /// Dollars per compute hour (paper: $3.06 for a p3.2xlarge).
+    pub compute_cost_per_hour: f64,
+    /// Proxy throughput in records per hour on that instance.
+    pub proxy_records_per_hour: f64,
+}
+
+impl CostModel {
+    /// The paper's Table 5 assumptions for human-labeled datasets
+    /// (ImageNet, OntoNotes, TACRED): $0.08/label, $3.06/hour, and a
+    /// ResNet-50-class proxy at ~1M records/hour.
+    pub fn paper_human_oracle() -> Self {
+        Self {
+            oracle_cost_per_call: 0.08,
+            compute_cost_per_hour: 3.06,
+            proxy_records_per_hour: 1.0e6,
+        }
+    }
+
+    /// Table 5 assumptions for night-street, where the oracle is itself a
+    /// DNN (Mask R-CNN at roughly 3 fps on the same instance ⇒
+    /// ≈ $2.5 / 10,000 invocations).
+    pub fn paper_dnn_oracle() -> Self {
+        Self {
+            oracle_cost_per_call: 2.5 / 10_000.0,
+            compute_cost_per_hour: 3.06,
+            proxy_records_per_hour: 1.5e6,
+        }
+    }
+
+    /// Computes the cost breakdown of one SUPG query.
+    ///
+    /// * `n_records` — dataset size (each record gets one proxy inference).
+    /// * `oracle_calls` — distinct oracle invocations the query consumed.
+    /// * `sampling_seconds` — measured wall-clock time of query processing.
+    pub fn breakdown(
+        &self,
+        n_records: usize,
+        oracle_calls: usize,
+        sampling_seconds: f64,
+    ) -> CostBreakdown {
+        let sampling = sampling_seconds / 3600.0 * self.compute_cost_per_hour;
+        let proxy = n_records as f64 / self.proxy_records_per_hour * self.compute_cost_per_hour;
+        let oracle = oracle_calls as f64 * self.oracle_cost_per_call;
+        let exhaustive_oracle = n_records as f64 * self.oracle_cost_per_call;
+        CostBreakdown {
+            sampling,
+            proxy,
+            oracle,
+            total: sampling + proxy + oracle,
+            exhaustive_oracle,
+        }
+    }
+}
+
+/// Dollar costs of one query, one column per Table 5 entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// SUPG query processing (sampling + estimation) cost.
+    pub sampling: f64,
+    /// Proxy inference over the full dataset.
+    pub proxy: f64,
+    /// Oracle invocations within the budget.
+    pub oracle: f64,
+    /// SUPG total.
+    pub total: f64,
+    /// Cost of labeling the entire dataset with the oracle instead.
+    pub exhaustive_oracle: f64,
+}
+
+impl CostBreakdown {
+    /// How many times cheaper SUPG is than exhaustive oracle labeling.
+    pub fn savings_factor(&self) -> f64 {
+        if self.total <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.exhaustive_oracle / self.total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imagenet_row_matches_paper_scale() {
+        // ImageNet row of Table 5: 1,000 human labels → $80 oracle cost;
+        // exhaustive labeling of 50k records → $4,000.
+        let model = CostModel::paper_human_oracle();
+        let b = model.breakdown(50_000, 1_000, 0.1);
+        assert!((b.oracle - 80.0).abs() < 1e-9);
+        assert!((b.exhaustive_oracle - 4_000.0).abs() < 1e-9);
+        assert!(b.sampling < 0.001, "sampling {}", b.sampling);
+        assert!(b.proxy < 1.0, "proxy {}", b.proxy);
+        assert!(b.total < 81.0);
+        assert!(b.savings_factor() > 45.0);
+    }
+
+    #[test]
+    fn night_street_dnn_oracle_scale() {
+        // night row of Table 5: 10,000 Mask R-CNN calls ≈ $2.5; exhaustive
+        // ≈ $243 at ~973k frames.
+        let model = CostModel::paper_dnn_oracle();
+        let b = model.breakdown(973_000, 10_000, 0.2);
+        assert!((b.oracle - 2.5).abs() < 0.01);
+        assert!((b.exhaustive_oracle - 243.25).abs() < 1.0);
+        assert!(b.savings_factor() > 50.0);
+    }
+
+    #[test]
+    fn sampling_cost_is_proportional_to_time() {
+        let model = CostModel::paper_human_oracle();
+        let fast = model.breakdown(1_000_000, 100, 1.0);
+        let slow = model.breakdown(1_000_000, 100, 3600.0);
+        assert!((slow.sampling - 3.06).abs() < 1e-9);
+        assert!(slow.sampling > 1000.0 * fast.sampling);
+    }
+}

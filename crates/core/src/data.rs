@@ -1,0 +1,171 @@
+//! Proxy-scored dataset view shared by selectors, executor and metrics.
+
+use crate::error::SupgError;
+
+/// A dataset's proxy scores together with a descending-score index.
+///
+/// SUPG evaluates the proxy on every record up front (proxy calls are
+/// assumed cheap); the algorithms then work only with scores and record
+/// indices. The sorted order is built once and reused for:
+///
+/// * `|D(τ)|` and membership queries (`count_at_least`, `select`),
+/// * the top-`k` cutoff of the two-stage precision estimator
+///   (`kth_highest_score`),
+/// * fast precision/recall evaluation in [`crate::metrics`].
+#[derive(Debug, Clone)]
+pub struct ScoredDataset {
+    scores: Vec<f64>,
+    /// Record indices sorted by descending score (ties in arbitrary order).
+    order: Vec<u32>,
+    /// Scores in descending order (`sorted[i] = scores[order[i]]`), kept
+    /// separately so binary searches stay cache-friendly.
+    sorted: Vec<f64>,
+}
+
+impl ScoredDataset {
+    /// Validates scores and builds the sorted index.
+    ///
+    /// # Errors
+    /// [`SupgError::EmptyDataset`] for zero records;
+    /// [`SupgError::InvalidScore`] if any score is non-finite or outside
+    /// `[0, 1]`.
+    pub fn new(scores: Vec<f64>) -> Result<Self, SupgError> {
+        if scores.is_empty() {
+            return Err(SupgError::EmptyDataset);
+        }
+        if scores.len() > u32::MAX as usize {
+            return Err(SupgError::InvalidQuery(
+                "datasets above u32::MAX records are unsupported".to_owned(),
+            ));
+        }
+        for (index, &value) in scores.iter().enumerate() {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(SupgError::InvalidScore { index, value });
+            }
+        }
+        let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .expect("scores validated finite")
+        });
+        let sorted = order.iter().map(|&i| scores[i as usize]).collect();
+        Ok(Self { scores, order, sorted })
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Always false (construction forbids empty datasets).
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Proxy scores in record order.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Proxy score of record `i`.
+    pub fn score(&self, i: usize) -> f64 {
+        self.scores[i]
+    }
+
+    /// Record indices in descending score order.
+    pub fn order_desc(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Number of records with `A(x) ≥ tau`, i.e. `|D(τ)|`.
+    pub fn count_at_least(&self, tau: f64) -> usize {
+        // `sorted` is descending: find the first position below tau.
+        self.sorted.partition_point(|&s| s >= tau)
+    }
+
+    /// Record indices with `A(x) ≥ tau`, in descending score order.
+    pub fn select(&self, tau: f64) -> &[u32] {
+        &self.order[..self.count_at_least(tau)]
+    }
+
+    /// The `k`-th highest score (1-indexed). `k` is clamped to `[1, n]`.
+    pub fn kth_highest_score(&self, k: usize) -> f64 {
+        let k = k.clamp(1, self.sorted.len());
+        self.sorted[k - 1]
+    }
+
+    /// The top-`k` record indices by score (k clamped to `[1, n]`),
+    /// including any records tied with the `k`-th score — so the returned
+    /// slice is exactly `D(τ)` for `τ` = the `k`-th highest score.
+    pub fn top_k(&self, k: usize) -> &[u32] {
+        self.select(self.kth_highest_score(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> ScoredDataset {
+        ScoredDataset::new(vec![0.1, 0.9, 0.5, 0.9, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(ScoredDataset::new(vec![]).unwrap_err(), SupgError::EmptyDataset);
+        assert!(matches!(
+            ScoredDataset::new(vec![0.5, f64::NAN]),
+            Err(SupgError::InvalidScore { index: 1, .. })
+        ));
+        assert!(matches!(
+            ScoredDataset::new(vec![-0.1]),
+            Err(SupgError::InvalidScore { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn order_is_descending() {
+        let d = dataset();
+        let sorted: Vec<f64> = d.order_desc().iter().map(|&i| d.score(i as usize)).collect();
+        assert!(sorted.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn count_at_least_handles_ties_and_bounds() {
+        let d = dataset();
+        assert_eq!(d.count_at_least(0.9), 2); // both 0.9 records
+        assert_eq!(d.count_at_least(0.91), 0);
+        assert_eq!(d.count_at_least(0.5), 3);
+        assert_eq!(d.count_at_least(0.0), 5);
+        assert_eq!(d.count_at_least(f64::INFINITY), 0);
+    }
+
+    #[test]
+    fn select_returns_matching_indices() {
+        let d = dataset();
+        let mut sel: Vec<u32> = d.select(0.5).to_vec();
+        sel.sort_unstable();
+        assert_eq!(sel, vec![1, 2, 3]);
+        assert!(d.select(f64::INFINITY).is_empty());
+    }
+
+    #[test]
+    fn kth_highest_score_clamps() {
+        let d = dataset();
+        assert_eq!(d.kth_highest_score(1), 0.9);
+        assert_eq!(d.kth_highest_score(2), 0.9);
+        assert_eq!(d.kth_highest_score(3), 0.5);
+        assert_eq!(d.kth_highest_score(0), 0.9); // clamped to 1
+        assert_eq!(d.kth_highest_score(99), 0.0); // clamped to n
+    }
+
+    #[test]
+    fn top_k_includes_ties() {
+        let d = dataset();
+        // k = 1 hits the tied 0.9 score, so both tied records come back.
+        assert_eq!(d.top_k(1).len(), 2);
+        assert_eq!(d.top_k(3).len(), 3);
+        assert_eq!(d.top_k(5).len(), 5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type shared across the SUPG core.
+
+use std::fmt;
+
+/// Errors raised by dataset construction, query validation and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupgError {
+    /// A dataset with zero records was supplied.
+    EmptyDataset,
+    /// A proxy score was non-finite or outside `[0, 1]`.
+    InvalidScore {
+        /// Record index of the offending score.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A query parameter failed validation.
+    InvalidQuery(String),
+    /// The oracle budget would be exceeded by another (uncached) call.
+    BudgetExhausted {
+        /// The configured budget.
+        budget: usize,
+    },
+    /// An oracle lookup referenced a record outside the dataset.
+    IndexOutOfRange {
+        /// The requested record index.
+        index: usize,
+        /// The dataset size.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SupgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupgError::EmptyDataset => write!(f, "dataset has no records"),
+            SupgError::InvalidScore { index, value } => {
+                write!(f, "proxy score at record {index} is {value}, outside [0, 1]")
+            }
+            SupgError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            SupgError::BudgetExhausted { budget } => {
+                write!(f, "oracle budget of {budget} calls exhausted")
+            }
+            SupgError::IndexOutOfRange { index, len } => {
+                write!(f, "record index {index} out of range for dataset of {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SupgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SupgError::InvalidScore { index: 3, value: 1.5 };
+        assert!(e.to_string().contains("record 3"));
+        assert!(e.to_string().contains("1.5"));
+        assert!(SupgError::BudgetExhausted { budget: 10 }
+            .to_string()
+            .contains("10"));
+    }
+}

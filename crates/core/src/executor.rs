@@ -1,0 +1,183 @@
+//! Algorithm 1: the SUPG query executor.
+//!
+//! ```text
+//! function SUPGQuery(D, A, O):
+//!     S  ← SampleOracle(D)
+//!     τ  ← EstimateTau(S)
+//!     R1 ← {x ∈ S : O(x) = 1}
+//!     R2 ← {x ∈ D : A(x) ≥ τ}
+//!     return R1 ∪ R2
+//! ```
+
+use rand::RngCore;
+
+use crate::data::ScoredDataset;
+use crate::error::SupgError;
+use crate::oracle::Oracle;
+use crate::query::ApproxQuery;
+use crate::selectors::ThresholdSelector;
+
+/// The record set returned by a query: sorted, deduplicated indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionResult {
+    indices: Vec<u32>,
+}
+
+impl SelectionResult {
+    /// Builds a result set from (possibly unsorted, duplicated) indices.
+    pub fn from_indices(mut indices: Vec<u32>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        Self { indices }
+    }
+
+    /// Number of returned records.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when no records were returned.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Sorted record indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, index: u32) -> bool {
+        self.indices.binary_search(&index).is_ok()
+    }
+
+    /// Iterates the returned record indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.indices.iter().copied()
+    }
+}
+
+/// Everything a query execution produced, for auditing and evaluation.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The returned record set `R = R1 ∪ R2`.
+    pub result: SelectionResult,
+    /// The estimated proxy threshold (`∞` = labeled positives only).
+    pub tau: f64,
+    /// Distinct oracle invocations consumed.
+    pub oracle_calls: usize,
+    /// Total sample draws (with multiplicity; ≥ `oracle_calls`).
+    pub sample_draws: usize,
+    /// Positive labels among the sampled records.
+    pub sample_positives: usize,
+    /// Name of the selector that estimated `τ`.
+    pub selector: &'static str,
+}
+
+/// Executes SUPG queries over one dataset (Algorithm 1).
+#[derive(Debug, Clone, Copy)]
+pub struct SupgExecutor<'a> {
+    data: &'a ScoredDataset,
+    query: &'a ApproxQuery,
+}
+
+impl<'a> SupgExecutor<'a> {
+    /// Binds an executor to a dataset and a query specification.
+    pub fn new(data: &'a ScoredDataset, query: &'a ApproxQuery) -> Self {
+        Self { data, query }
+    }
+
+    /// Runs the query with the given threshold selector.
+    ///
+    /// # Errors
+    /// Propagates selector/oracle failures. On success the oracle has been
+    /// charged at most `query.budget()` distinct calls.
+    pub fn run(
+        &self,
+        selector: &dyn ThresholdSelector,
+        oracle: &mut dyn Oracle,
+        rng: &mut dyn RngCore,
+    ) -> Result<QueryOutcome, SupgError> {
+        let calls_before = oracle.calls_used();
+        let estimate = selector.estimate(self.data, self.query, oracle, rng)?;
+
+        // R2: all records at or above the threshold.
+        let mut indices: Vec<u32> = self.data.select(estimate.tau).to_vec();
+        // R1: sampled records the oracle labeled positive.
+        indices.extend(
+            estimate
+                .sample
+                .positive_indices()
+                .iter()
+                .map(|&i| i as u32),
+        );
+        let result = SelectionResult::from_indices(indices);
+
+        Ok(QueryOutcome {
+            result,
+            tau: estimate.tau,
+            oracle_calls: oracle.calls_used() - calls_before,
+            sample_draws: estimate.sample.len(),
+            sample_positives: estimate.sample.positive_count(),
+            selector: selector.name(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CachedOracle;
+    use crate::selectors::{SelectorConfig, UniformNoCiRecall, UniformRecall};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable(n: usize) -> (ScoredDataset, Vec<bool>) {
+        let scores: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let labels: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
+        (ScoredDataset::new(scores).unwrap(), labels)
+    }
+
+    #[test]
+    fn selection_result_dedupes_and_sorts() {
+        let r = SelectionResult::from_indices(vec![5, 1, 5, 3]);
+        assert_eq!(r.indices(), &[1, 3, 5]);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(3));
+        assert!(!r.contains(4));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn outcome_unions_labeled_positives_with_threshold_set() {
+        let (data, labels) = separable(10_000);
+        let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
+        let mut oracle = CachedOracle::from_labels(labels.clone(), 1_000);
+        let mut rng = StdRng::seed_from_u64(55);
+        let outcome = SupgExecutor::new(&data, &query)
+            .run(&UniformRecall::new(SelectorConfig::default()), &mut oracle, &mut rng)
+            .unwrap();
+        // Every sampled positive is in the result even if below τ.
+        for &i in outcome.result.indices() {
+            let in_threshold = data.score(i as usize) >= outcome.tau;
+            let is_known_positive = labels[i as usize];
+            assert!(in_threshold || is_known_positive);
+        }
+        assert!(outcome.oracle_calls <= 1_000);
+        assert_eq!(outcome.sample_draws, 1_000);
+        assert_eq!(outcome.selector, "U-CI-R");
+    }
+
+    #[test]
+    fn naive_selector_runs_through_executor() {
+        let (data, labels) = separable(5_000);
+        let query = ApproxQuery::recall_target(0.9, 0.05, 500);
+        let mut oracle = CachedOracle::from_labels(labels, 500);
+        let mut rng = StdRng::seed_from_u64(56);
+        let outcome = SupgExecutor::new(&data, &query)
+            .run(&UniformNoCiRecall, &mut oracle, &mut rng)
+            .unwrap();
+        assert!(!outcome.result.is_empty());
+        assert_eq!(outcome.selector, "U-NoCI-R");
+    }
+}

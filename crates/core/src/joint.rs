@@ -1,0 +1,204 @@
+//! Joint-target (JT) queries: appendix A of the paper.
+//!
+//! A JT query demands both `Recall(R) ≥ γ_r` and `Precision(R) ≥ γ_p` with
+//! probability `1 − δ`. No oracle budget can be promised a priori, so the
+//! pipeline is:
+//!
+//! 1. allocate a stage budget `B`,
+//! 2. run an RT selector (IS-CI-R for SUPG, U-CI-R for the uniform
+//!    baseline) with budget `B` to hit the recall target,
+//! 3. exhaustively oracle-label the returned set and drop the false
+//!    positives — precision becomes 1 ≥ γ_p while recall is untouched
+//!    (only negatives are removed).
+//!
+//! The figure-of-merit (paper Figure 15) is the *total* number of oracle
+//! calls: `B` plus the labels needed to filter the stage-2 result.
+
+use rand::RngCore;
+
+use crate::data::ScoredDataset;
+use crate::oracle::Oracle as _;
+use crate::error::SupgError;
+use crate::executor::{SelectionResult, SupgExecutor};
+use crate::oracle::CachedOracle;
+use crate::query::{ApproxQuery, JointQuery};
+use crate::selectors::ThresholdSelector;
+
+/// Outcome of a JT query.
+#[derive(Debug, Clone)]
+pub struct JointOutcome {
+    /// The final record set (all oracle-verified positives).
+    pub result: SelectionResult,
+    /// Oracle calls consumed by the RT stage.
+    pub stage_calls: usize,
+    /// Additional oracle calls consumed by the exhaustive filter.
+    pub filter_calls: usize,
+    /// The RT stage's threshold.
+    pub tau: f64,
+    /// Size of the candidate set before filtering.
+    pub candidates: usize,
+}
+
+impl JointOutcome {
+    /// Total oracle calls (the paper's Figure-15 metric).
+    pub fn total_calls(&self) -> usize {
+        self.stage_calls + self.filter_calls
+    }
+}
+
+/// Executes a JT query with the given RT selector and stage budget.
+///
+/// The oracle's budget is managed internally: it is limited to
+/// `stage_budget` for the RT stage and then lifted for the exhaustive
+/// filter (JT queries are unbudgeted by definition).
+///
+/// # Errors
+/// Propagates selector and oracle failures.
+pub fn execute_joint(
+    data: &ScoredDataset,
+    query: &JointQuery,
+    stage_budget: usize,
+    rt_selector: &dyn ThresholdSelector,
+    oracle: &mut CachedOracle,
+    rng: &mut dyn RngCore,
+) -> Result<JointOutcome, SupgError> {
+    // Stage 1–2: hit the recall target under the stage budget.
+    let rt_query = ApproxQuery::new(
+        crate::query::TargetKind::Recall,
+        query.recall_gamma(),
+        query.delta(),
+        stage_budget,
+    )?;
+    oracle.set_budget(stage_budget);
+    let outcome = SupgExecutor::new(data, &rt_query).run(rt_selector, oracle, rng)?;
+    let stage_calls = oracle.calls_used();
+
+    // Stage 3: exhaustively verify candidates; keep oracle positives only.
+    // Already-labeled records are cache hits and cost nothing extra.
+    oracle.set_budget(usize::MAX);
+    let mut kept = Vec::new();
+    for idx in outcome.result.iter() {
+        if crate::oracle::Oracle::label(oracle, idx as usize)? {
+            kept.push(idx);
+        }
+    }
+    let filter_calls = oracle.calls_used() - stage_calls;
+
+    Ok(JointOutcome {
+        result: SelectionResult::from_indices(kept),
+        stage_calls,
+        filter_calls,
+        tau: outcome.tau,
+        candidates: outcome.result.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate;
+    use crate::selectors::{ImportanceRecall, SelectorConfig, UniformRecall};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use supg_stats::dist::{Bernoulli, Beta};
+
+    fn rare(n: usize, seed: u64) -> (ScoredDataset, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Beta::new(0.05, 2.0);
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = dist.sample(&mut rng);
+            scores.push(a);
+            labels.push(Bernoulli::new(a).sample(&mut rng));
+        }
+        (ScoredDataset::new(scores).unwrap(), labels)
+    }
+
+    #[test]
+    fn joint_query_achieves_both_targets() {
+        let (data, labels) = rare(30_000, 61);
+        let query = JointQuery::new(0.9, 0.9, 0.05).unwrap();
+        let mut failures = 0;
+        for t in 0..10 {
+            let mut oracle = CachedOracle::from_labels(labels.clone(), 0);
+            let mut rng = StdRng::seed_from_u64(6100 + t);
+            let out = execute_joint(
+                &data,
+                &query,
+                1_000,
+                &ImportanceRecall::new(SelectorConfig::default()),
+                &mut oracle,
+                &mut rng,
+            )
+            .unwrap();
+            let pr = evaluate(out.result.indices(), &labels);
+            // Precision is exactly 1 after exhaustive filtering.
+            assert_eq!(pr.precision, 1.0);
+            if pr.recall < 0.9 {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 1, "{failures}/10 recall failures");
+    }
+
+    #[test]
+    fn filter_only_pays_for_unlabeled_candidates() {
+        let (data, labels) = rare(10_000, 62);
+        let query = JointQuery::new(0.8, 0.9, 0.05).unwrap();
+        let mut oracle = CachedOracle::from_labels(labels, 0);
+        let mut rng = StdRng::seed_from_u64(63);
+        let out = execute_joint(
+            &data,
+            &query,
+            500,
+            &ImportanceRecall::new(SelectorConfig::default()),
+            &mut oracle,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.stage_calls <= 500);
+        assert!(out.filter_calls <= out.candidates);
+        assert_eq!(out.total_calls(), out.stage_calls + out.filter_calls);
+    }
+
+    #[test]
+    fn importance_uses_fewer_total_calls_than_uniform() {
+        // SUPG's advantage in Figure 15: the IS recall stage returns a
+        // smaller candidate set, so the exhaustive filter is cheaper.
+        let (data, labels) = rare(30_000, 64);
+        let query = JointQuery::new(0.75, 0.9, 0.05).unwrap();
+        let mut is_total = 0usize;
+        let mut u_total = 0usize;
+        for t in 0..5 {
+            let mut o1 = CachedOracle::from_labels(labels.clone(), 0);
+            let mut o2 = CachedOracle::from_labels(labels.clone(), 0);
+            let mut r1 = StdRng::seed_from_u64(6400 + t);
+            let mut r2 = StdRng::seed_from_u64(6400 + t);
+            is_total += execute_joint(
+                &data,
+                &query,
+                1_000,
+                &ImportanceRecall::new(SelectorConfig::default()),
+                &mut o1,
+                &mut r1,
+            )
+            .unwrap()
+            .total_calls();
+            u_total += execute_joint(
+                &data,
+                &query,
+                1_000,
+                &UniformRecall::new(SelectorConfig::default()),
+                &mut o2,
+                &mut r2,
+            )
+            .unwrap()
+            .total_calls();
+        }
+        assert!(
+            is_total < u_total,
+            "importance total {is_total} vs uniform {u_total}"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # SUPG core — approximate selection with statistical guarantees
+//!
+//! This crate implements the contribution of *Kang, Gan, Bailis, Hashimoto,
+//! Zaharia: "Approximate Selection with Guarantees using Proxies"* (PVLDB
+//! 13(11), 2020): selection queries that return the records matching an
+//! expensive oracle predicate, using a cheap proxy model plus a bounded
+//! number of oracle calls, while meeting a minimum precision or recall
+//! target with probability at least `1 − δ`.
+//!
+//! ## Pieces
+//!
+//! * [`query`] — query semantics: recall-target (RT), precision-target (PT)
+//!   and joint-target (JT) specifications.
+//! * [`data`] — [`ScoredDataset`]: proxy scores plus the sorted index the
+//!   algorithms and metrics share.
+//! * [`oracle`] — the budgeted, label-caching oracle abstraction
+//!   ([`CachedOracle`]).
+//! * [`selectors`] — the six threshold-estimation algorithms of the paper
+//!   (naive baselines, uniform + confidence intervals, importance sampling
+//!   one- and two-stage), all behind the [`selectors::ThresholdSelector`]
+//!   trait.
+//! * [`executor`] — Algorithm 1: run a selector, then return the union of
+//!   labeled positives and all records above the estimated threshold.
+//! * [`metrics`] — precision/recall evaluation against ground truth, failure
+//!   rates over repeated trials.
+//! * [`joint`] — the appendix JT pipeline (RT subroutine + exhaustive
+//!   filter).
+//! * [`cost`] — the query cost model of the paper's Table 5.
+//!
+//! ## Guarantee contract
+//!
+//! For an RT query with target `γ` and failure probability `δ`, the set `R`
+//! returned by [`executor::SupgExecutor`] with a guaranteed selector
+//! (`U-CI-R`, `IS-CI-R`) satisfies `Pr[Recall(R) ≥ γ] ≥ 1 − δ`; PT queries
+//! symmetrically for precision. The naive selectors (`U-NoCI-*`) reproduce
+//! prior systems (NoScope, probabilistic predicates) and carry **no**
+//! guarantee — they exist as baselines and fail exactly the way the paper's
+//! Figures 5 and 6 show.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod data;
+pub mod error;
+pub mod executor;
+pub mod joint;
+pub mod metrics;
+pub mod oracle;
+pub mod query;
+pub mod sample;
+pub mod selectors;
+
+pub use data::ScoredDataset;
+pub use error::SupgError;
+pub use executor::{QueryOutcome, SupgExecutor};
+pub use metrics::PrecisionRecall;
+pub use oracle::{CachedOracle, Oracle};
+pub use query::{ApproxQuery, TargetKind};
+pub use sample::OracleSample;

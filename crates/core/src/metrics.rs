@@ -1,0 +1,135 @@
+//! Result-quality evaluation: precision and recall against ground truth.
+
+/// Precision/recall of a returned record set (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// `|R ∩ O⁺| / |R|`. The empty set is vacuously precise (1.0), matching
+    /// the paper's observation that ∅ is always a valid PT result.
+    pub precision: f64,
+    /// `|R ∩ O⁺| / |O⁺|`. When the dataset has no positives, recall is
+    /// vacuously 1.0.
+    pub recall: f64,
+    /// `|R|` — the returned set size.
+    pub returned: usize,
+    /// `|R ∩ O⁺|` — true positives returned.
+    pub true_positives: usize,
+    /// `|O⁺|` — positives in the dataset.
+    pub dataset_positives: usize,
+}
+
+/// Evaluates a sorted-or-not index set against the ground-truth labels.
+///
+/// # Panics
+/// Panics if an index is out of range for `labels`.
+pub fn evaluate(result_indices: &[u32], labels: &[bool]) -> PrecisionRecall {
+    let dataset_positives = labels.iter().filter(|&&l| l).count();
+    let true_positives = result_indices
+        .iter()
+        .filter(|&&i| labels[i as usize])
+        .count();
+    let returned = result_indices.len();
+    let precision = if returned == 0 {
+        1.0
+    } else {
+        true_positives as f64 / returned as f64
+    };
+    let recall = if dataset_positives == 0 {
+        1.0
+    } else {
+        true_positives as f64 / dataset_positives as f64
+    };
+    PrecisionRecall {
+        precision,
+        recall,
+        returned,
+        true_positives,
+        dataset_positives,
+    }
+}
+
+/// Precision and recall of the pure threshold set `D(τ) = {x : A(x) ≥ τ}`
+/// without the `R1` union — used by drift experiments that apply a fixed
+/// pre-set threshold to new data (paper §6.2).
+pub fn evaluate_threshold(scores: &[f64], labels: &[bool], tau: f64) -> PrecisionRecall {
+    assert_eq!(scores.len(), labels.len(), "evaluate_threshold: length mismatch");
+    let dataset_positives = labels.iter().filter(|&&l| l).count();
+    let mut returned = 0usize;
+    let mut true_positives = 0usize;
+    for (&s, &l) in scores.iter().zip(labels) {
+        if s >= tau {
+            returned += 1;
+            if l {
+                true_positives += 1;
+            }
+        }
+    }
+    let precision = if returned == 0 {
+        1.0
+    } else {
+        true_positives as f64 / returned as f64
+    };
+    let recall = if dataset_positives == 0 {
+        1.0
+    } else {
+        true_positives as f64 / dataset_positives as f64
+    };
+    PrecisionRecall {
+        precision,
+        recall,
+        returned,
+        true_positives,
+        dataset_positives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_counts() {
+        let labels = vec![true, false, true, false, true];
+        let pr = evaluate(&[0, 1, 2], &labels);
+        assert_eq!(pr.true_positives, 2);
+        assert_eq!(pr.returned, 3);
+        assert_eq!(pr.dataset_positives, 3);
+        assert!((pr.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pr.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result_is_vacuously_precise() {
+        let labels = vec![true, false];
+        let pr = evaluate(&[], &labels);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.0);
+    }
+
+    #[test]
+    fn no_positives_gives_vacuous_recall() {
+        let labels = vec![false, false];
+        let pr = evaluate(&[0], &labels);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.precision, 0.0);
+    }
+
+    #[test]
+    fn threshold_evaluation_matches_set_evaluation() {
+        let scores = vec![0.9, 0.2, 0.7, 0.4];
+        let labels = vec![true, false, false, true];
+        let pr = evaluate_threshold(&scores, &labels, 0.5);
+        // D(0.5) = {0, 2}: one true positive of two returned, of two total.
+        assert_eq!(pr.returned, 2);
+        assert!((pr.precision - 0.5).abs() < 1e-12);
+        assert!((pr.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_threshold_selects_nothing() {
+        let scores = vec![0.9, 0.2];
+        let labels = vec![true, false];
+        let pr = evaluate_threshold(&scores, &labels, f64::INFINITY);
+        assert_eq!(pr.returned, 0);
+        assert_eq!(pr.precision, 1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Budgeted, label-caching oracle abstraction.
+//!
+//! The paper's oracle is any expensive predicate — a human labeler or a
+//! heavyweight DNN — supplied by the user as a callback. Two properties
+//! matter for correctness of the reproduction:
+//!
+//! * **Budget enforcement.** A query specifies `ORACLE LIMIT s`; no
+//!   algorithm may exceed it. [`CachedOracle`] refuses the `s+1`-th distinct
+//!   call with [`SupgError::BudgetExhausted`], so budget violations are
+//!   bugs that fail loudly rather than silently inflating quality.
+//! * **Label caching.** The i.i.d. analysis samples *with replacement*, so
+//!   the same record can be drawn twice; real systems cache the label. Only
+//!   cache misses count against the budget, hence distinct oracle
+//!   invocations never exceed `s` while resampled records stay free.
+
+use std::collections::HashMap;
+
+use crate::error::SupgError;
+
+/// An expensive ground-truth predicate with usage accounting.
+pub trait Oracle {
+    /// Labels the record at `index`, consuming budget on a cache miss.
+    ///
+    /// # Errors
+    /// [`SupgError::BudgetExhausted`] when an uncached call would exceed the
+    /// budget; [`SupgError::IndexOutOfRange`] for an invalid record index.
+    fn label(&mut self, index: usize) -> Result<bool, SupgError>;
+
+    /// Number of distinct (budget-consuming) oracle invocations so far.
+    fn calls_used(&self) -> usize;
+
+    /// The configured budget.
+    fn budget(&self) -> usize;
+
+    /// Remaining budget.
+    fn remaining(&self) -> usize {
+        self.budget().saturating_sub(self.calls_used())
+    }
+}
+
+/// A budgeted oracle wrapping a user-provided labeling function, with a
+/// label cache so repeated draws of the same record are free.
+pub struct CachedOracle {
+    source: Box<dyn FnMut(usize) -> bool + Send>,
+    len: usize,
+    cache: HashMap<u32, bool>,
+    used: usize,
+    budget: usize,
+}
+
+impl std::fmt::Debug for CachedOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedOracle")
+            .field("len", &self.len)
+            .field("used", &self.used)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CachedOracle {
+    /// Wraps a labeling callback over a dataset of `len` records.
+    pub fn new(len: usize, budget: usize, source: impl FnMut(usize) -> bool + Send + 'static) -> Self {
+        Self {
+            source: Box::new(source),
+            len,
+            cache: HashMap::new(),
+            used: 0,
+            budget,
+        }
+    }
+
+    /// Oracle backed by a pre-materialized ground-truth label column (the
+    /// common case for the simulated datasets).
+    pub fn from_labels(labels: Vec<bool>, budget: usize) -> Self {
+        let len = labels.len();
+        Self::new(len, budget, move |i| labels[i])
+    }
+
+    /// Replaces the budget (e.g. the JT pipeline lifts the limit for its
+    /// exhaustive filtering stage). Already-consumed calls are kept.
+    pub fn set_budget(&mut self, budget: usize) {
+        self.budget = budget;
+    }
+
+    /// Returns the cached label for `index` without consuming budget, if
+    /// that record has been labeled before.
+    pub fn cached(&self, index: usize) -> Option<bool> {
+        self.cache.get(&(index as u32)).copied()
+    }
+
+    /// Record indices labeled so far that turned out positive.
+    pub fn known_positives(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .cache
+            .iter()
+            .filter(|&(_, &l)| l)
+            .map(|(&i, _)| i as usize)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl Oracle for CachedOracle {
+    fn label(&mut self, index: usize) -> Result<bool, SupgError> {
+        if index >= self.len {
+            return Err(SupgError::IndexOutOfRange { index, len: self.len });
+        }
+        if let Some(&cached) = self.cache.get(&(index as u32)) {
+            return Ok(cached);
+        }
+        if self.used >= self.budget {
+            return Err(SupgError::BudgetExhausted { budget: self.budget });
+        }
+        let label = (self.source)(index);
+        self.cache.insert(index as u32, label);
+        self.used += 1;
+        Ok(label)
+    }
+
+    fn calls_used(&self) -> usize {
+        self.used
+    }
+
+    fn budget(&self) -> usize {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_counts() {
+        let mut o = CachedOracle::from_labels(vec![true, false, true], 10);
+        assert!(o.label(0).unwrap());
+        assert!(!o.label(1).unwrap());
+        assert_eq!(o.calls_used(), 2);
+        assert_eq!(o.remaining(), 8);
+    }
+
+    #[test]
+    fn cache_hits_are_free() {
+        let mut o = CachedOracle::from_labels(vec![true, false], 1);
+        assert!(o.label(0).unwrap());
+        for _ in 0..5 {
+            assert!(o.label(0).unwrap());
+        }
+        assert_eq!(o.calls_used(), 1);
+        assert_eq!(o.cached(0), Some(true));
+        assert_eq!(o.cached(1), None);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut o = CachedOracle::from_labels(vec![false; 5], 2);
+        o.label(0).unwrap();
+        o.label(1).unwrap();
+        assert_eq!(
+            o.label(2).unwrap_err(),
+            SupgError::BudgetExhausted { budget: 2 }
+        );
+        // Cached records remain accessible after exhaustion.
+        assert!(!o.label(1).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let mut o = CachedOracle::from_labels(vec![true], 5);
+        assert_eq!(
+            o.label(7).unwrap_err(),
+            SupgError::IndexOutOfRange { index: 7, len: 1 }
+        );
+        // A failed lookup must not consume budget.
+        assert_eq!(o.calls_used(), 0);
+    }
+
+    #[test]
+    fn known_positives_are_sorted() {
+        let mut o = CachedOracle::from_labels(vec![true, false, true, true], 10);
+        o.label(3).unwrap();
+        o.label(1).unwrap();
+        o.label(0).unwrap();
+        assert_eq!(o.known_positives(), vec![0, 3]);
+    }
+
+    #[test]
+    fn set_budget_extends_capacity() {
+        let mut o = CachedOracle::from_labels(vec![false; 4], 1);
+        o.label(0).unwrap();
+        assert!(o.label(1).is_err());
+        o.set_budget(3);
+        assert!(o.label(1).is_ok());
+        assert_eq!(o.remaining(), 1);
+    }
+
+    #[test]
+    fn closure_oracle_works() {
+        let mut o = CachedOracle::new(100, 10, |i| i % 3 == 0);
+        assert!(o.label(9).unwrap());
+        assert!(!o.label(10).unwrap());
+    }
+}

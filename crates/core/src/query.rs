@@ -1,0 +1,209 @@
+//! Query semantics for approximate selection (paper §3).
+
+use crate::error::SupgError;
+
+/// Which accuracy metric the query guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetKind {
+    /// Recall-target (RT) query: `Pr[Recall(R) ≥ γ] ≥ 1 − δ`. Result quality
+    /// is the achieved precision (smaller result sets are better).
+    Recall,
+    /// Precision-target (PT) query: `Pr[Precision(R) ≥ γ] ≥ 1 − δ`. Result
+    /// quality is the achieved recall (larger valid result sets are better).
+    Precision,
+}
+
+impl TargetKind {
+    /// Lower-case keyword as used in the SQL syntax (`RECALL`/`PRECISION`).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            TargetKind::Recall => "RECALL",
+            TargetKind::Precision => "PRECISION",
+        }
+    }
+}
+
+/// A validated approximate-selection query specification.
+///
+/// Mirrors the paper's Figure 3 syntax: a target metric and level `γ`, a
+/// failure probability `δ` (the paper's `WITH PROBABILITY p` is `1 − δ`),
+/// and a hard oracle budget `s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxQuery {
+    target: TargetKind,
+    gamma: f64,
+    delta: f64,
+    budget: usize,
+}
+
+impl ApproxQuery {
+    /// Creates a validated query.
+    ///
+    /// # Errors
+    /// Returns [`SupgError::InvalidQuery`] unless `γ ∈ (0, 1]`,
+    /// `δ ∈ (0, 1)` and `budget ≥ 2` (the estimators need at least a
+    /// two-element sample to form a variance).
+    pub fn new(target: TargetKind, gamma: f64, delta: f64, budget: usize) -> Result<Self, SupgError> {
+        if !(gamma > 0.0 && gamma <= 1.0) {
+            return Err(SupgError::InvalidQuery(format!(
+                "target gamma={gamma} must be in (0, 1]"
+            )));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SupgError::InvalidQuery(format!(
+                "failure probability delta={delta} must be in (0, 1)"
+            )));
+        }
+        if budget < 2 {
+            return Err(SupgError::InvalidQuery(format!(
+                "oracle budget {budget} must be at least 2"
+            )));
+        }
+        Ok(Self { target, gamma, delta, budget })
+    }
+
+    /// Convenience constructor for an RT query.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; use [`ApproxQuery::new`] for fallible
+    /// construction.
+    pub fn recall_target(gamma: f64, delta: f64, budget: usize) -> Self {
+        Self::new(TargetKind::Recall, gamma, delta, budget).expect("valid RT query")
+    }
+
+    /// Convenience constructor for a PT query.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; use [`ApproxQuery::new`] for fallible
+    /// construction.
+    pub fn precision_target(gamma: f64, delta: f64, budget: usize) -> Self {
+        Self::new(TargetKind::Precision, gamma, delta, budget).expect("valid PT query")
+    }
+
+    /// The guaranteed metric.
+    pub fn target(&self) -> TargetKind {
+        self.target
+    }
+
+    /// Target level `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Failure probability `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Success probability `1 − δ` (the paper's `WITH PROBABILITY`).
+    pub fn success_probability(&self) -> f64 {
+        1.0 - self.delta
+    }
+
+    /// Oracle call budget `s`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The same query with a different budget (used by the JT pipeline).
+    pub fn with_budget(&self, budget: usize) -> Result<Self, SupgError> {
+        Self::new(self.target, self.gamma, self.delta, budget)
+    }
+}
+
+/// A joint-target (JT) query: both precision and recall targets, no oracle
+/// budget (appendix A of the paper — the budget cannot be bounded a priori).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointQuery {
+    recall_gamma: f64,
+    precision_gamma: f64,
+    delta: f64,
+}
+
+impl JointQuery {
+    /// Creates a validated JT query.
+    ///
+    /// # Errors
+    /// Returns [`SupgError::InvalidQuery`] on out-of-range parameters.
+    pub fn new(recall_gamma: f64, precision_gamma: f64, delta: f64) -> Result<Self, SupgError> {
+        if !(recall_gamma > 0.0 && recall_gamma <= 1.0) {
+            return Err(SupgError::InvalidQuery(format!(
+                "recall target {recall_gamma} must be in (0, 1]"
+            )));
+        }
+        if !(precision_gamma > 0.0 && precision_gamma <= 1.0) {
+            return Err(SupgError::InvalidQuery(format!(
+                "precision target {precision_gamma} must be in (0, 1]"
+            )));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SupgError::InvalidQuery(format!(
+                "failure probability delta={delta} must be in (0, 1)"
+            )));
+        }
+        Ok(Self { recall_gamma, precision_gamma, delta })
+    }
+
+    /// Recall target `γ_r`.
+    pub fn recall_gamma(&self) -> f64 {
+        self.recall_gamma
+    }
+
+    /// Precision target `γ_p`.
+    pub fn precision_gamma(&self) -> f64 {
+        self.precision_gamma
+    }
+
+    /// Failure probability `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_queries_construct() {
+        let q = ApproxQuery::recall_target(0.9, 0.05, 1000);
+        assert_eq!(q.target(), TargetKind::Recall);
+        assert_eq!(q.gamma(), 0.9);
+        assert_eq!(q.delta(), 0.05);
+        assert_eq!(q.budget(), 1000);
+        assert!((q.success_probability() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(ApproxQuery::new(TargetKind::Recall, 0.0, 0.05, 10).is_err());
+        assert!(ApproxQuery::new(TargetKind::Recall, 1.1, 0.05, 10).is_err());
+        assert!(ApproxQuery::new(TargetKind::Recall, 0.9, 0.0, 10).is_err());
+        assert!(ApproxQuery::new(TargetKind::Recall, 0.9, 1.0, 10).is_err());
+        assert!(ApproxQuery::new(TargetKind::Recall, 0.9, 0.05, 1).is_err());
+        assert!(ApproxQuery::new(TargetKind::Precision, 1.0, 0.5, 2).is_ok());
+    }
+
+    #[test]
+    fn with_budget_preserves_other_fields() {
+        let q = ApproxQuery::precision_target(0.8, 0.1, 500);
+        let q2 = q.with_budget(2000).unwrap();
+        assert_eq!(q2.budget(), 2000);
+        assert_eq!(q2.gamma(), 0.8);
+        assert_eq!(q2.target(), TargetKind::Precision);
+    }
+
+    #[test]
+    fn joint_query_validation() {
+        assert!(JointQuery::new(0.9, 0.9, 0.05).is_ok());
+        assert!(JointQuery::new(0.0, 0.9, 0.05).is_err());
+        assert!(JointQuery::new(0.9, 1.5, 0.05).is_err());
+        assert!(JointQuery::new(0.9, 0.9, 0.0).is_err());
+    }
+
+    #[test]
+    fn target_keywords() {
+        assert_eq!(TargetKind::Recall.keyword(), "RECALL");
+        assert_eq!(TargetKind::Precision.keyword(), "PRECISION");
+    }
+}

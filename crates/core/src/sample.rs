@@ -1,0 +1,352 @@
+//! The oracle-labeled sample shared by all threshold selectors.
+
+use rand::RngCore;
+
+use crate::data::ScoredDataset;
+use crate::error::SupgError;
+use crate::oracle::Oracle;
+
+/// A sample of records drawn for oracle labeling, with proxy scores, labels
+/// and importance-reweighting factors `m(x) = u(x)/w(x)` (all 1 under
+/// uniform sampling).
+///
+/// The paper's reweighted empirical recall (Equation 11) over this sample is
+///
+/// ```text
+/// Recall_Sw(τ) = Σ 1[A(x) ≥ τ]·O(x)·m(x) / Σ O(x)·m(x)
+/// ```
+///
+/// and the selectors' core subroutine `max{τ : Recall_Sw(τ) ≥ γ}` is
+/// implemented here once, over the positives sorted by descending score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleSample {
+    indices: Vec<usize>,
+    scores: Vec<f64>,
+    labels: Vec<bool>,
+    reweights: Vec<f64>,
+    /// Positions of positive samples, sorted by descending score.
+    positives_desc: Vec<usize>,
+    total_positive_weight: f64,
+}
+
+impl OracleSample {
+    /// Labels `indices` through `oracle` and assembles the sample.
+    ///
+    /// `reweight` maps a *position in `indices`* to the importance factor of
+    /// the drawn record (uniform sampling passes `|_| 1.0`).
+    ///
+    /// # Errors
+    /// Propagates oracle errors (budget exhaustion, bad indices).
+    pub fn label(
+        data: &ScoredDataset,
+        indices: Vec<usize>,
+        oracle: &mut dyn Oracle,
+        mut reweight: impl FnMut(usize) -> f64,
+    ) -> Result<Self, SupgError> {
+        let mut scores = Vec::with_capacity(indices.len());
+        let mut labels = Vec::with_capacity(indices.len());
+        let mut reweights = Vec::with_capacity(indices.len());
+        for (pos, &idx) in indices.iter().enumerate() {
+            scores.push(data.score(idx));
+            labels.push(oracle.label(idx)?);
+            reweights.push(reweight(pos));
+        }
+        Ok(Self::from_parts(indices, scores, labels, reweights))
+    }
+
+    /// Assembles a sample from pre-labeled parts (used by tests and by the
+    /// two-stage estimator, which reuses stage-1 labels).
+    ///
+    /// # Panics
+    /// Panics when column lengths disagree.
+    pub fn from_parts(
+        indices: Vec<usize>,
+        scores: Vec<f64>,
+        labels: Vec<bool>,
+        reweights: Vec<f64>,
+    ) -> Self {
+        assert!(
+            indices.len() == scores.len()
+                && indices.len() == labels.len()
+                && indices.len() == reweights.len(),
+            "OracleSample: column length mismatch"
+        );
+        let mut positives_desc: Vec<usize> =
+            (0..indices.len()).filter(|&i| labels[i]).collect();
+        positives_desc.sort_unstable_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).expect("finite scores")
+        });
+        let total_positive_weight = positives_desc.iter().map(|&i| reweights[i]).sum();
+        Self {
+            indices,
+            scores,
+            labels,
+            reweights,
+            positives_desc,
+            total_positive_weight,
+        }
+    }
+
+    /// Number of sampled records (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when no records were sampled.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Dataset indices of the sampled records (with multiplicity).
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Proxy scores of the sampled records.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Oracle labels of the sampled records.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Importance factors `m(x)` of the sampled records.
+    pub fn reweights(&self) -> &[f64] {
+        &self.reweights
+    }
+
+    /// Number of positive samples.
+    pub fn positive_count(&self) -> usize {
+        self.positives_desc.len()
+    }
+
+    /// Dataset indices of the positively labeled samples (deduplicated,
+    /// ascending) — the `R1` component of Algorithm 1.
+    pub fn positive_indices(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .positives_desc
+            .iter()
+            .map(|&pos| self.indices[pos])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Reweighted empirical recall at threshold `tau` (Equation 11).
+    /// Returns 1.0 when the sample has no positives (vacuous).
+    pub fn recall_at(&self, tau: f64) -> f64 {
+        if self.total_positive_weight <= 0.0 {
+            return 1.0;
+        }
+        let above: f64 = self
+            .positives_desc
+            .iter()
+            .take_while(|&&pos| self.scores[pos] >= tau)
+            .map(|&pos| self.reweights[pos])
+            .sum();
+        above / self.total_positive_weight
+    }
+
+    /// The paper's `max{τ : Recall_Sw(τ) ≥ γ}`.
+    ///
+    /// Walks the positives in descending score order and returns the score
+    /// at which the cumulative (reweighted) recall first reaches `γ`.
+    /// Returns `None` when the sample contains no positives — the caller
+    /// decides the conservative fallback (RT selectors return `τ = 0`,
+    /// i.e. the whole dataset).
+    pub fn max_tau_for_recall(&self, gamma: f64) -> Option<f64> {
+        if self.positives_desc.is_empty() || self.total_positive_weight <= 0.0 {
+            return None;
+        }
+        // γ above 1 (a conservative γ′ clamped by the caller) or exactly 1
+        // requires every positive: τ = lowest positive score.
+        let target = gamma.min(1.0) * self.total_positive_weight;
+        let mut acc = 0.0;
+        for &pos in &self.positives_desc {
+            acc += self.reweights[pos];
+            // Tiny epsilon so γ = 1.0 is not defeated by rounding.
+            if acc + 1e-12 >= target {
+                return Some(self.scores[pos]);
+            }
+        }
+        Some(self.scores[*self.positives_desc.last().expect("non-empty")])
+    }
+
+    /// Paired `(O·m, m)` observations for the samples with score ≥ `tau` —
+    /// the inputs to the ratio-estimator precision bound.
+    pub fn precision_pairs(&self, tau: f64) -> (Vec<f64>, Vec<f64>) {
+        let mut ys = Vec::new();
+        let mut xs = Vec::new();
+        for i in 0..self.len() {
+            if self.scores[i] >= tau {
+                ys.push(if self.labels[i] { self.reweights[i] } else { 0.0 });
+                xs.push(self.reweights[i]);
+            }
+        }
+        (ys, xs)
+    }
+
+    /// The split indicator samples of Algorithms 2 and 4:
+    /// `z1 = 1[A ≥ τ]·O·m` and `z2 = 1[A < τ]·O·m`, each of full sample
+    /// length.
+    pub fn recall_split(&self, tau: f64) -> (Vec<f64>, Vec<f64>) {
+        let mut z1 = Vec::with_capacity(self.len());
+        let mut z2 = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            let o_m = if self.labels[i] { self.reweights[i] } else { 0.0 };
+            if self.scores[i] >= tau {
+                z1.push(o_m);
+                z2.push(0.0);
+            } else {
+                z1.push(0.0);
+                z2.push(o_m);
+            }
+        }
+        (z1, z2)
+    }
+
+    /// Candidate thresholds for the precision estimators: the sampled
+    /// scores sorted ascending, taken at positions `step, 2·step, …`
+    /// (1-indexed), as in Algorithms 3 and 5. Deduplicated and capped at
+    /// the sample size.
+    pub fn candidate_thresholds(&self, step: usize) -> Vec<f64> {
+        assert!(step > 0, "candidate_thresholds: step must be > 0");
+        let mut sorted = self.scores.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        let mut out = Vec::new();
+        let mut i = step;
+        while i <= sorted.len() {
+            out.push(sorted[i - 1]);
+            i += step;
+        }
+        out.dedup();
+        out
+    }
+}
+
+/// Draws `k` records (with replacement) from an alias sampler and labels
+/// them, attaching the sampler's reweighting factors. Convenience used by
+/// all importance selectors.
+pub fn draw_weighted(
+    data: &ScoredDataset,
+    weights: &supg_sampling::ImportanceWeights,
+    k: usize,
+    oracle: &mut dyn Oracle,
+    rng: &mut dyn RngCore,
+) -> Result<OracleSample, SupgError> {
+    let sampler = weights.build_sampler();
+    let indices: Vec<usize> = (0..k).map(|_| sampler.sample(rng)).collect();
+    let factors: Vec<f64> = indices.iter().map(|&i| weights.reweight_factor(i)).collect();
+    OracleSample::label(data, indices, oracle, |pos| factors[pos])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CachedOracle;
+
+    fn sample() -> OracleSample {
+        // scores:    .9  .8  .7  .6  .5
+        // labels:     +   -   +   +   -
+        OracleSample::from_parts(
+            vec![0, 1, 2, 3, 4],
+            vec![0.9, 0.8, 0.7, 0.6, 0.5],
+            vec![true, false, true, true, false],
+            vec![1.0; 5],
+        )
+    }
+
+    #[test]
+    fn recall_curve_unweighted() {
+        let s = sample();
+        assert!((s.recall_at(0.95) - 0.0).abs() < 1e-12);
+        assert!((s.recall_at(0.9) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall_at(0.7) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall_at(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_tau_for_recall_unweighted() {
+        let s = sample();
+        assert_eq!(s.max_tau_for_recall(0.3), Some(0.9));
+        assert_eq!(s.max_tau_for_recall(0.5), Some(0.7));
+        assert_eq!(s.max_tau_for_recall(0.99), Some(0.6));
+        assert_eq!(s.max_tau_for_recall(1.0), Some(0.6));
+        // γ′ above 1 clamps to "keep every positive".
+        assert_eq!(s.max_tau_for_recall(1.3), Some(0.6));
+    }
+
+    #[test]
+    fn max_tau_respects_weights() {
+        // Positive at 0.9 carries 3× the weight of the one at 0.6.
+        let s = OracleSample::from_parts(
+            vec![0, 1],
+            vec![0.9, 0.6],
+            vec![true, true],
+            vec![3.0, 1.0],
+        );
+        assert_eq!(s.max_tau_for_recall(0.74), Some(0.9));
+        assert_eq!(s.max_tau_for_recall(0.76), Some(0.6));
+    }
+
+    #[test]
+    fn no_positives_cases() {
+        let s = OracleSample::from_parts(vec![0], vec![0.5], vec![false], vec![1.0]);
+        assert_eq!(s.max_tau_for_recall(0.9), None);
+        assert_eq!(s.recall_at(0.4), 1.0);
+        assert!(s.positive_indices().is_empty());
+    }
+
+    #[test]
+    fn positive_indices_dedupe() {
+        let s = OracleSample::from_parts(
+            vec![7, 7, 3],
+            vec![0.9, 0.9, 0.8],
+            vec![true, true, true],
+            vec![1.0; 3],
+        );
+        assert_eq!(s.positive_indices(), vec![3, 7]);
+    }
+
+    #[test]
+    fn precision_pairs_filter_by_tau() {
+        let s = sample();
+        let (ys, xs) = s.precision_pairs(0.7);
+        assert_eq!(xs.len(), 3);
+        assert_eq!(ys.iter().sum::<f64>(), 2.0);
+        let (ys, xs) = s.precision_pairs(2.0);
+        assert!(ys.is_empty() && xs.is_empty());
+    }
+
+    #[test]
+    fn recall_split_partitions_positive_mass() {
+        let s = sample();
+        let (z1, z2) = s.recall_split(0.7);
+        assert_eq!(z1.len(), 5);
+        let above: f64 = z1.iter().sum();
+        let below: f64 = z2.iter().sum();
+        assert_eq!(above, 2.0);
+        assert_eq!(below, 1.0);
+    }
+
+    #[test]
+    fn candidate_thresholds_every_step() {
+        let s = sample();
+        assert_eq!(s.candidate_thresholds(2), vec![0.6, 0.8]);
+        assert_eq!(s.candidate_thresholds(1).len(), 5);
+        assert_eq!(s.candidate_thresholds(10), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn labeling_through_oracle_consumes_budget_once_per_distinct() {
+        let data = ScoredDataset::new(vec![0.2, 0.4, 0.6]).unwrap();
+        let mut oracle = CachedOracle::from_labels(vec![false, true, false], 2);
+        let s = OracleSample::label(&data, vec![1, 1, 2], &mut oracle, |_| 1.0).unwrap();
+        assert_eq!(oracle.calls_used(), 2);
+        assert_eq!(s.positive_count(), 2); // record 1 sampled twice
+        assert_eq!(s.positive_indices(), vec![1]);
+    }
+}

@@ -1,0 +1,197 @@
+//! The `(proxy score, oracle label)` container all generators produce.
+
+use rand::Rng;
+
+/// A dataset of records, each carrying a proxy confidence score in `[0, 1]`
+/// and a ground-truth oracle label.
+///
+/// This is the only view of a dataset the SUPG algorithms see: the paper's
+/// oracle and proxy models are user-provided UDFs, and everything downstream
+/// operates on their outputs. Scores and labels are stored as parallel
+/// columns (struct-of-arrays) since the selectors scan scores far more often
+/// than they touch labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledData {
+    scores: Vec<f64>,
+    labels: Vec<bool>,
+}
+
+impl LabeledData {
+    /// Wraps parallel score/label columns.
+    ///
+    /// # Panics
+    /// Panics if the columns differ in length, are empty, or any score is
+    /// outside `[0, 1]` or non-finite.
+    pub fn new(scores: Vec<f64>, labels: Vec<bool>) -> Self {
+        assert_eq!(scores.len(), labels.len(), "LabeledData: column length mismatch");
+        assert!(!scores.is_empty(), "LabeledData: empty dataset");
+        for &s in &scores {
+            assert!(
+                s.is_finite() && (0.0..=1.0).contains(&s),
+                "LabeledData: score {s} outside [0, 1]"
+            );
+        }
+        Self { scores, labels }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Always false (construction forbids empty datasets).
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Proxy scores, indexed by record id.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Oracle labels, indexed by record id.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Number of positive records.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// True-positive rate (fraction of positive records).
+    pub fn true_positive_rate(&self) -> f64 {
+        self.positives() as f64 / self.len() as f64
+    }
+
+    /// Decomposes into the underlying columns.
+    pub fn into_parts(self) -> (Vec<f64>, Vec<bool>) {
+        (self.scores, self.labels)
+    }
+
+    /// Applies a transform to every score, clamping the result to `[0, 1]`.
+    /// Labels are untouched. Used by the drift/noise transforms.
+    pub fn map_scores(&self, mut f: impl FnMut(f64, bool) -> f64) -> LabeledData {
+        let scores = self
+            .scores
+            .iter()
+            .zip(&self.labels)
+            .map(|(&s, &l)| f(s, l).clamp(0.0, 1.0))
+            .collect();
+        LabeledData::new(scores, self.labels.clone())
+    }
+
+    /// Resamples the dataset to a target true-positive rate of
+    /// `target_tpr`, keeping the total size, by drawing positives and
+    /// negatives (with replacement) in the desired proportion.
+    ///
+    /// The paper applies exactly this to night-street: "We resample the
+    /// positive instances of cars to set the true positive rate to 4%".
+    ///
+    /// # Panics
+    /// Panics if the dataset lacks either class or `target_tpr ∉ (0, 1)`.
+    pub fn resample_to_tpr<R: Rng + ?Sized>(&self, target_tpr: f64, rng: &mut R) -> LabeledData {
+        assert!(
+            target_tpr > 0.0 && target_tpr < 1.0,
+            "resample_to_tpr: target {target_tpr} outside (0, 1)"
+        );
+        let pos_idx: Vec<usize> = (0..self.len()).filter(|&i| self.labels[i]).collect();
+        let neg_idx: Vec<usize> = (0..self.len()).filter(|&i| !self.labels[i]).collect();
+        assert!(
+            !pos_idx.is_empty() && !neg_idx.is_empty(),
+            "resample_to_tpr: need both classes"
+        );
+        let n = self.len();
+        let n_pos = ((n as f64) * target_tpr).round() as usize;
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let src = if i < n_pos {
+                pos_idx[rng.gen_range(0..pos_idx.len())]
+            } else {
+                neg_idx[rng.gen_range(0..neg_idx.len())]
+            };
+            scores.push(self.scores[src]);
+            labels.push(self.labels[src]);
+        }
+        // Shuffle so record order carries no class signal.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            scores.swap(i, j);
+            labels.swap(i, j);
+        }
+        LabeledData::new(scores, labels)
+    }
+
+    /// Mean proxy score among positives minus mean among negatives — a crude
+    /// separation diagnostic used in dataset summaries.
+    pub fn score_separation(&self) -> f64 {
+        let mut pos_sum = 0.0;
+        let mut pos_n = 0usize;
+        let mut neg_sum = 0.0;
+        let mut neg_n = 0usize;
+        for (&s, &l) in self.scores.iter().zip(&self.labels) {
+            if l {
+                pos_sum += s;
+                pos_n += 1;
+            } else {
+                neg_sum += s;
+                neg_n += 1;
+            }
+        }
+        let pos_mean = if pos_n == 0 { 0.0 } else { pos_sum / pos_n as f64 };
+        let neg_mean = if neg_n == 0 { 0.0 } else { neg_sum / neg_n as f64 };
+        pos_mean - neg_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> LabeledData {
+        LabeledData::new(vec![0.9, 0.1, 0.8, 0.2], vec![true, false, true, false])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.positives(), 2);
+        assert!((d.true_positive_rate() - 0.5).abs() < 1e-12);
+        assert!((d.score_separation() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_scores_clamps() {
+        let d = toy();
+        let shifted = d.map_scores(|s, _| s + 0.5);
+        assert_eq!(shifted.scores(), &[1.0, 0.6, 1.0, 0.7]);
+        assert_eq!(shifted.labels(), d.labels());
+    }
+
+    #[test]
+    fn resample_hits_target_tpr() {
+        let scores: Vec<f64> = (0..1000).map(|i| if i < 500 { 0.9 } else { 0.1 }).collect();
+        let labels: Vec<bool> = (0..1000).map(|i| i < 500).collect();
+        let d = LabeledData::new(scores, labels);
+        let mut rng = StdRng::seed_from_u64(81);
+        let r = d.resample_to_tpr(0.04, &mut rng);
+        assert_eq!(r.len(), 1000);
+        assert_eq!(r.positives(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_columns() {
+        LabeledData::new(vec![0.5], vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_out_of_range_scores() {
+        LabeledData::new(vec![1.5], vec![true]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload substrate for the SUPG reproduction.
+//!
+//! The paper evaluates on six datasets (Table 2): two synthetics defined by
+//! `A(x) ~ Beta(α, β)`, `O(x) ~ Bernoulli(A(x))`, and four real datasets
+//! (ImageNet, night-street video, OntoNotes, TACRED) whose proxies are deep
+//! models we cannot run here. What the SUPG algorithms consume from any
+//! dataset is only the per-record pair *(proxy score, oracle label)*, so the
+//! real datasets are simulated by generative models of that joint
+//! distribution matched to the paper's reported sizes, true-positive rates
+//! and proxy quality — see `DESIGN.md` §4 for the substitution table.
+//!
+//! * [`labeled`] — the [`LabeledData`] container every generator produces.
+//! * [`beta`] — the paper's Beta synthetic generator (exact construction).
+//! * [`mixture`] — two-component class-conditional score model used to
+//!   simulate the real datasets (labels first, scores per class).
+//! * [`drift`] — the distribution-shift transforms of Table 3 (ImageNet-C
+//!   fog, night-street day 2, Beta parameter shift).
+//! * [`noise`] — Gaussian proxy-noise injection (Figure 9).
+//! * [`presets`] — the named datasets with their oracle budgets.
+//! * [`io`] — CSV import/export so external score/label dumps can be run
+//!   through the same pipeline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod beta;
+pub mod drift;
+pub mod io;
+pub mod labeled;
+pub mod mixture;
+pub mod noise;
+pub mod presets;
+
+pub use beta::BetaDataset;
+pub use labeled::LabeledData;
+pub use mixture::MixtureDataset;
+pub use presets::{Preset, PresetKind};

@@ -1,0 +1,92 @@
+//! Property-based tests for the workload substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use supg_datasets::drift::{day_shift, fog};
+use supg_datasets::io::{from_csv_string, to_csv_string};
+use supg_datasets::noise::add_gaussian_noise;
+use supg_datasets::{BetaDataset, LabeledData, MixtureDataset};
+use supg_stats::dist::Beta;
+
+fn labeled_data() -> impl Strategy<Value = LabeledData> {
+    prop::collection::vec((0.0f64..=1.0, any::<bool>()), 1..200).prop_map(|pairs| {
+        let (scores, labels): (Vec<f64>, Vec<bool>) = pairs.into_iter().unzip();
+        LabeledData::new(scores, labels)
+    })
+}
+
+proptest! {
+    #[test]
+    fn csv_round_trips_any_dataset(data in labeled_data()) {
+        let csv = to_csv_string(&data);
+        let back = from_csv_string(&csv).expect("round trip");
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn transforms_preserve_labels_and_score_range(
+        data in labeled_data(),
+        severity in 0.0f64..=1.0,
+        gamma in 0.2f64..3.0,
+        sd in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for transformed in [
+            fog(&data, severity, &mut rng),
+            day_shift(&data, gamma, &mut rng),
+            add_gaussian_noise(&data, sd, &mut rng),
+        ] {
+            prop_assert_eq!(transformed.labels(), data.labels());
+            prop_assert!(transformed
+                .scores()
+                .iter()
+                .all(|&s| (0.0..=1.0).contains(&s)));
+            prop_assert_eq!(transformed.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn beta_generator_is_seed_deterministic(
+        n in 10usize..500,
+        seed in 0u64..1000,
+    ) {
+        let gen = BetaDataset::new(0.5, 2.0, n);
+        prop_assert_eq!(gen.generate(seed), gen.generate(seed));
+    }
+
+    #[test]
+    fn mixture_generator_produces_valid_data(
+        n in 10usize..500,
+        tpr in 0.01f64..0.99,
+        seed in 0u64..200,
+    ) {
+        let gen = MixtureDataset::new(n, tpr, Beta::new(4.0, 2.0), Beta::new(0.5, 4.0));
+        let data = gen.generate(seed);
+        prop_assert_eq!(data.len(), n);
+        prop_assert!(data.scores().iter().all(|&s| (0.0..=1.0).contains(&s)));
+        // Posterior is a probability everywhere.
+        for &a in &[0.0, 0.3, 0.7, 1.0] {
+            let p = gen.posterior(a);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn resample_to_tpr_hits_the_requested_rate(
+        tpr in 0.05f64..0.95,
+        seed in 0u64..200,
+    ) {
+        // Base data with both classes guaranteed.
+        let scores: Vec<f64> = (0..400).map(|i| i as f64 / 400.0).collect();
+        let labels: Vec<bool> = (0..400).map(|i| i % 3 == 0).collect();
+        let data = LabeledData::new(scores, labels);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let resampled = data.resample_to_tpr(tpr, &mut rng);
+        prop_assert_eq!(resampled.len(), data.len());
+        let achieved = resampled.true_positive_rate();
+        prop_assert!((achieved - tpr).abs() < 0.01, "achieved {achieved} target {tpr}");
+    }
+}

@@ -1,0 +1,113 @@
+//! `supg-repro` — regenerates the SUPG paper's tables and figures.
+//!
+//! ```text
+//! supg-repro list                 # show available experiment ids
+//! supg-repro fig5                 # run one experiment at paper scale
+//! supg-repro all --quick          # smoke-run everything at reduced scale
+//! supg-repro fig7 --trials 10 --scale 0.1 --seed 7 --out results/
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use supg_experiments::{list_experiments, run_experiment, ExpContext};
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: supg-repro <experiment-id | all | list> [options]\n\n\
+         options:\n\
+           --quick          reduced trials and dataset sizes (smoke run)\n\
+           --trials N       trials for distributional experiments (default 100)\n\
+           --sweep-trials N trials per sweep point (default 20)\n\
+           --scale X        dataset size multiplier (default 1.0)\n\
+           --seed N         master seed (default fixed)\n\
+           --out DIR        CSV output directory (default results/)\n\n\
+         experiments:\n",
+    );
+    for (id, title) in list_experiments() {
+        s.push_str(&format!("  {id:<8} {title}\n"));
+    }
+    s
+}
+
+fn parse_args(args: &[String]) -> Result<(String, ExpContext), String> {
+    let mut target: Option<String> = None;
+    let mut ctx = ExpContext::full();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match args[i].as_str() {
+            "--quick" => {
+                let out_dir = ctx.out_dir.clone();
+                let seed = ctx.seed;
+                ctx = ExpContext::quick();
+                ctx.out_dir = out_dir;
+                ctx.seed = seed;
+            }
+            "--trials" => {
+                ctx.trials = take_value(&mut i)?.parse().map_err(|e| format!("--trials: {e}"))?
+            }
+            "--sweep-trials" => {
+                ctx.sweep_trials =
+                    take_value(&mut i)?.parse().map_err(|e| format!("--sweep-trials: {e}"))?
+            }
+            "--scale" => {
+                ctx.scale = take_value(&mut i)?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            "--seed" => {
+                ctx.seed = take_value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => ctx.out_dir = PathBuf::from(take_value(&mut i)?),
+            other if !other.starts_with('-') && target.is_none() => {
+                target = Some(other.to_owned())
+            }
+            other => return Err(format!("unrecognized argument {other:?}")),
+        }
+        i += 1;
+    }
+    let target = target.ok_or_else(|| "missing experiment id".to_owned())?;
+    Ok((target, ctx))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (target, ctx) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if target == "list" {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<String> = if target == "all" {
+        list_experiments().iter().map(|(id, _)| (*id).to_owned()).collect()
+    } else {
+        vec![target]
+    };
+
+    for id in &ids {
+        let start = Instant::now();
+        match run_experiment(id, &ctx) {
+            Some(report) => {
+                println!("=== {id} ({:.1?}) ===\n{report}\n", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,166 @@
+//! Table 4: accuracy under distribution shift (paper §6.2).
+//!
+//! Protocol: the naive baseline gets *unlimited* oracle labels on the clean
+//! training dataset and fits the exact empirical threshold there (this is
+//! strictly more favorable than what NoScope/probabilistic predicates do);
+//! that fixed threshold is then applied to the shifted test dataset. SUPG
+//! runs normally on the shifted data with the usual limited budget. The
+//! paper's result: the pre-set threshold deterministically misses the
+//! target, while SUPG, which never trusts stale thresholds, keeps its
+//! guarantee.
+
+use supg_core::metrics::evaluate_threshold;
+use supg_core::selectors::{ImportanceRecall, TwoStagePrecision};
+use supg_core::ApproxQuery;
+use supg_datasets::Preset;
+
+use super::ExpContext;
+use crate::report::{mean, pct, precisions, recalls, TextTable};
+use crate::trials::run_trials;
+use crate::workload::Workload;
+
+const GAMMA: f64 = 0.95;
+const DELTA: f64 = 0.05;
+
+/// Exact `max{τ : Recall_D(τ) ≥ γ}` with full knowledge of the labels.
+fn exact_recall_threshold(w: &Workload, gamma: f64) -> f64 {
+    let total_pos = w.positives();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let needed = (gamma * total_pos as f64).ceil() as usize;
+    let mut seen = 0usize;
+    for &i in w.data.order_desc() {
+        if w.labels[i as usize] {
+            seen += 1;
+            if seen >= needed {
+                return w.data.score(i as usize);
+            }
+        }
+    }
+    0.0
+}
+
+/// Exact `min{τ : Precision_D(τ) ≥ γ}` with full knowledge of the labels.
+/// Evaluated at distinct-score boundaries (ties included on the ≥ side).
+fn exact_precision_threshold(w: &Workload, gamma: f64) -> f64 {
+    let order = w.data.order_desc();
+    let mut pos_prefix = 0usize;
+    let mut best: Option<f64> = None;
+    for (k, &i) in order.iter().enumerate() {
+        if w.labels[i as usize] {
+            pos_prefix += 1;
+        }
+        let score = w.data.score(i as usize);
+        let is_boundary = k + 1 == order.len() || w.data.score(order[k + 1] as usize) < score;
+        if is_boundary && pos_prefix as f64 / (k + 1) as f64 >= gamma {
+            best = Some(score); // keep going: smaller τ (larger k) preferred
+        }
+    }
+    best.unwrap_or(f64::INFINITY)
+}
+
+/// Table 4: naive fixed-threshold vs SUPG on shifted data, targets of 95%.
+pub fn table4(ctx: &ExpContext) -> String {
+    let mut table = TextTable::new(vec![
+        "dataset",
+        "query type",
+        "target",
+        "naive accuracy",
+        "SUPG accuracy (mean)",
+        "SUPG failure rate",
+    ]);
+    for (train_preset, test_preset) in Preset::drift_pairs() {
+        let train = Workload::from_preset(train_preset, ctx.seed, ctx.scale);
+        let test = Workload::from_preset(test_preset, ctx.seed.wrapping_add(1), ctx.scale);
+
+        // Precision-target row.
+        let naive_tau_p = exact_precision_threshold(&train, GAMMA);
+        let naive_p = evaluate_threshold(test.data.scores(), &test.labels, naive_tau_p).precision;
+        let query_p = ApproxQuery::precision_target(GAMMA, DELTA, test.budget);
+        let supg_p = run_trials(
+            &test,
+            &query_p,
+            &TwoStagePrecision::new(ctx.selector_config()),
+            ctx.trials,
+            ctx.seed ^ 0x44,
+        );
+        let ps = precisions(&supg_p);
+        table.row(vec![
+            test.name.clone(),
+            "Precision".to_owned(),
+            pct(GAMMA),
+            pct(naive_p),
+            pct(mean(&ps)),
+            pct(crate::report::failure_rate(&ps, GAMMA)),
+        ]);
+
+        // Recall-target row.
+        let naive_tau_r = exact_recall_threshold(&train, GAMMA);
+        let naive_r = evaluate_threshold(test.data.scores(), &test.labels, naive_tau_r).recall;
+        let query_r = ApproxQuery::recall_target(GAMMA, DELTA, test.budget);
+        let supg_r = run_trials(
+            &test,
+            &query_r,
+            &ImportanceRecall::new(ctx.selector_config()),
+            ctx.trials,
+            ctx.seed ^ 0x45,
+        );
+        let rs = recalls(&supg_r);
+        table.row(vec![
+            test.name.clone(),
+            "Recall".to_owned(),
+            pct(GAMMA),
+            pct(naive_r),
+            pct(mean(&rs)),
+            pct(crate::report::failure_rate(&rs, GAMMA)),
+        ]);
+    }
+    let _ = table.write_csv(&ctx.out_dir, "table4");
+    let mut out = String::from(
+        "Table 4: accuracy under distribution shift (fixed train-fit threshold vs SUPG)\n\n",
+    );
+    out.push_str(&table.render());
+    out.push_str("\nExpected shape (paper): the naive pre-set threshold misses the 95%\ntarget on every shifted dataset (as low as 54%); SUPG re-estimates on\nthe shifted data and keeps the guarantee.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supg_datasets::PresetKind;
+
+    #[test]
+    fn exact_thresholds_hit_their_targets_in_sample() {
+        let w = Workload::from_preset(Preset::new(PresetKind::NightStreet), 5, 0.02);
+        let tau_r = exact_recall_threshold(&w, 0.9);
+        let pr = evaluate_threshold(w.data.scores(), &w.labels, tau_r);
+        assert!(pr.recall >= 0.9, "recall {}", pr.recall);
+
+        let tau_p = exact_precision_threshold(&w, 0.9);
+        let pr = evaluate_threshold(w.data.scores(), &w.labels, tau_p);
+        assert!(pr.precision >= 0.9, "precision {}", pr.precision);
+    }
+
+    #[test]
+    fn exact_precision_threshold_is_minimal_among_boundaries() {
+        let w = Workload::from_preset(Preset::new(PresetKind::NightStreet), 6, 0.02);
+        let tau = exact_precision_threshold(&w, 0.9);
+        // Any visibly smaller threshold must violate the target.
+        let smaller = tau * 0.9;
+        let pr = evaluate_threshold(w.data.scores(), &w.labels, smaller);
+        assert!(pr.precision < 0.9, "threshold not minimal");
+    }
+
+    #[test]
+    fn degenerate_workloads() {
+        use supg_datasets::LabeledData;
+        let all_neg = Workload::from_labeled(
+            "neg",
+            LabeledData::new(vec![0.1, 0.9], vec![false, false]),
+            2,
+        );
+        assert_eq!(exact_recall_threshold(&all_neg, 0.9), 0.0);
+        assert_eq!(exact_precision_threshold(&all_neg, 0.9), f64::INFINITY);
+    }
+}

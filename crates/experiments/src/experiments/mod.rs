@@ -1,0 +1,139 @@
+//! One module per paper artifact, plus the experiment registry.
+
+mod drift;
+mod figs156;
+mod joint;
+mod sensitivity;
+mod sweeps;
+mod tables;
+
+use std::path::PathBuf;
+
+use supg_core::selectors::SelectorConfig;
+
+use crate::workload::Workload;
+use supg_datasets::Preset;
+
+/// Execution context shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    /// Trials for the headline distributional experiments (paper: 100).
+    pub trials: usize,
+    /// Trials per point of parameter sweeps.
+    pub sweep_trials: usize,
+    /// Dataset size multiplier relative to the paper (1.0 = full scale).
+    pub scale: f64,
+    /// Master seed; every trial's seed derives from it.
+    pub seed: u64,
+    /// Directory for CSV outputs.
+    pub out_dir: PathBuf,
+}
+
+impl ExpContext {
+    /// Paper-scale settings: 100 trials, full dataset sizes.
+    pub fn full() -> Self {
+        Self {
+            trials: 100,
+            sweep_trials: 20,
+            scale: 1.0,
+            seed: 0x5079_2020,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Reduced settings for smoke runs and benchmarks.
+    pub fn quick() -> Self {
+        Self {
+            trials: 20,
+            sweep_trials: 5,
+            scale: 0.05,
+            ..Self::full()
+        }
+    }
+
+    /// The six main-evaluation workloads at this context's scale.
+    pub fn main_workloads(&self) -> Vec<Workload> {
+        Preset::all_main()
+            .into_iter()
+            .map(|p| Workload::from_preset(p, self.seed, self.scale))
+            .collect()
+    }
+
+    /// Default selector configuration (paper settings).
+    pub fn selector_config(&self) -> SelectorConfig {
+        SelectorConfig::default()
+    }
+}
+
+/// `(id, title)` of every reproducible artifact, in paper order.
+pub fn list_experiments() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("fig1", "Figure 1: precision box plot, naive vs SUPG (ImageNet)"),
+        ("table2", "Table 2: dataset summary"),
+        ("table3", "Table 3: distributionally shifted dataset summary"),
+        ("fig5", "Figure 5: precision of 100 trials, U-NoCI vs SUPG (PT 90%)"),
+        ("fig6", "Figure 6: recall of 100 trials, U-NoCI vs SUPG (RT 90%)"),
+        ("table4", "Table 4: accuracy under distribution shift"),
+        ("fig7", "Figure 7: precision target sweep vs achieved recall"),
+        ("fig8", "Figure 8: recall target sweep vs achieved precision"),
+        ("fig9", "Figure 9: proxy noise sensitivity"),
+        ("fig10", "Figure 10: class imbalance sensitivity"),
+        ("fig11", "Figure 11: parameter sensitivity (m, defensive mixing)"),
+        ("fig12", "Figure 12: importance weight exponent sweep"),
+        ("fig13", "Figure 13: confidence interval method comparison"),
+        ("table5", "Table 5: query cost breakdown"),
+        ("fig15", "Figure 15: joint-target queries, oracle usage"),
+    ]
+}
+
+/// Runs one experiment by id; returns its rendered report, or `None` for an
+/// unknown id.
+pub fn run_experiment(id: &str, ctx: &ExpContext) -> Option<String> {
+    let report = match id {
+        "fig1" => figs156::fig1(ctx),
+        "table2" => tables::table2(ctx),
+        "table3" => tables::table3(ctx),
+        "fig5" => figs156::fig5(ctx),
+        "fig6" => figs156::fig6(ctx),
+        "table4" => drift::table4(ctx),
+        "fig7" => sweeps::fig7(ctx),
+        "fig8" => sweeps::fig8(ctx),
+        "fig9" => sensitivity::fig9(ctx),
+        "fig10" => sensitivity::fig10(ctx),
+        "fig11" => sensitivity::fig11(ctx),
+        "fig12" => sensitivity::fig12(ctx),
+        "fig13" => sensitivity::fig13(ctx),
+        "table5" => tables::table5(ctx),
+        "fig15" => joint::fig15(ctx),
+        _ => return None,
+    };
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let ids: Vec<&str> = list_experiments().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 15);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn unknown_id_returns_none() {
+        assert!(run_experiment("nope", &ExpContext::quick()).is_none());
+    }
+
+    #[test]
+    fn quick_context_is_smaller() {
+        let q = ExpContext::quick();
+        let f = ExpContext::full();
+        assert!(q.trials < f.trials);
+        assert!(q.scale < f.scale);
+    }
+}

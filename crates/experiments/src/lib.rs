@@ -1,0 +1,26 @@
+//! Reproduction harness for every table and figure in the SUPG paper's
+//! evaluation (§6 and appendix A).
+//!
+//! Each experiment is a function in [`experiments`] keyed by the paper
+//! artifact id (`fig5`, `table4`, …); the `supg-repro` binary runs one or
+//! all of them and writes both a human-readable report and a CSV per
+//! experiment. `EXPERIMENTS.md` at the repository root records
+//! paper-reported vs. measured values.
+//!
+//! * [`workload`] — dataset presets wrapped with shared ownership so trials
+//!   can run on threads.
+//! * [`trials`] — the seeded, parallel trial runner.
+//! * [`report`] — text tables, box-plot summaries, CSV output.
+//! * [`experiments`] — one module per paper artifact.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+pub mod trials;
+pub mod workload;
+
+pub use experiments::{list_experiments, run_experiment, ExpContext};
+pub use trials::{run_trials, TrialOutcome};
+pub use workload::Workload;

@@ -1,0 +1,187 @@
+//! Text-table and CSV reporting for experiment outputs.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use supg_stats::describe::FiveNumber;
+
+use crate::trials::TrialOutcome;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "TextTable: arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with padded, left-aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            // Trim the padding of the last column.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV (comma-separated, no quoting — cells are numeric or
+    /// simple names by construction).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `dir/<name>.csv`, creating `dir`.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{name}.csv")), self.to_csv())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `93.4%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a box-plot summary of percentages:
+/// `min/q1/med/q3/max` (the statistics behind the paper's box plots).
+pub fn boxplot(values: &[f64]) -> String {
+    let f = FiveNumber::from_data(values);
+    format!(
+        "{} / {} / {} / {} / {}",
+        pct(f.min),
+        pct(f.q1),
+        pct(f.median),
+        pct(f.q3),
+        pct(f.max)
+    )
+}
+
+/// Fraction of `values` below `target` — the empirical failure rate.
+pub fn failure_rate(values: &[f64], target: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v < target).count() as f64 / values.len() as f64
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    supg_stats::describe::mean(values)
+}
+
+/// Extracts the precision series from trial outcomes.
+pub fn precisions(outcomes: &[TrialOutcome]) -> Vec<f64> {
+    outcomes.iter().map(|o| o.quality.precision).collect()
+}
+
+/// Extracts the recall series from trial outcomes.
+pub fn recalls(outcomes: &[TrialOutcome]) -> Vec<f64> {
+    outcomes.iter().map(|o| o.quality.recall).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["dataset", "value"]);
+        t.row(vec!["ImageNet", "1"]);
+        t.row(vec!["x", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "dataset   value");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "ImageNet  1");
+        assert_eq!(lines[3], "x         22");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn failure_rate_counts_misses() {
+        assert_eq!(failure_rate(&[0.8, 0.95, 0.85], 0.9), 2.0 / 3.0);
+        assert_eq!(failure_rate(&[], 0.9), 0.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.934), "93.4%");
+        let b = boxplot(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert!(b.contains("30.0%"));
+    }
+}

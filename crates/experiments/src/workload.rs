@@ -1,0 +1,110 @@
+//! Shared-ownership dataset wrapper for multi-threaded trials.
+
+use std::sync::Arc;
+
+use supg_core::{CachedOracle, ScoredDataset};
+use supg_datasets::{LabeledData, Preset};
+
+/// One evaluation workload: a scored dataset, its ground-truth labels, and
+/// the paper's oracle budget for it. Cheap to clone (everything is `Arc`ed),
+/// so trial threads can share it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name (the paper's dataset name).
+    pub name: String,
+    /// Proxy scores with the sorted index.
+    pub data: Arc<ScoredDataset>,
+    /// Ground-truth oracle labels (hidden from the algorithms; only the
+    /// budgeted oracle and the evaluation metrics touch them).
+    pub labels: Arc<Vec<bool>>,
+    /// The paper's oracle budget for queries on this dataset.
+    pub budget: usize,
+}
+
+impl Workload {
+    /// Builds a workload from generated data.
+    ///
+    /// # Panics
+    /// Panics if the scores fail [`ScoredDataset`] validation (generators
+    /// guarantee them valid).
+    pub fn from_labeled(name: impl Into<String>, data: LabeledData, budget: usize) -> Self {
+        let (scores, labels) = data.into_parts();
+        Self {
+            name: name.into(),
+            data: Arc::new(ScoredDataset::new(scores).expect("generator produced valid scores")),
+            labels: Arc::new(labels),
+            budget,
+        }
+    }
+
+    /// Generates a preset at `scale` × its paper size (min 1,000 records).
+    pub fn from_preset(preset: Preset, seed: u64, scale: f64) -> Self {
+        let n = ((preset.default_size() as f64 * scale) as usize).max(1_000);
+        let data = preset.generate_sized(seed, n);
+        // Budgets scale with the dataset so quick runs stay meaningful, but
+        // never exceed the paper budget and never drop below 100.
+        let budget = ((preset.oracle_budget() as f64 * scale.min(1.0)) as usize)
+            .clamp(100, preset.oracle_budget());
+        Self::from_labeled(preset.name(), data, budget)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty (never: generators produce ≥ 1,000 records).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Ground-truth positive count.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Ground-truth true-positive rate.
+    pub fn true_positive_rate(&self) -> f64 {
+        self.positives() as f64 / self.len() as f64
+    }
+
+    /// A fresh budgeted oracle over the ground-truth labels.
+    pub fn oracle(&self, budget: usize) -> CachedOracle {
+        let labels = Arc::clone(&self.labels);
+        CachedOracle::new(labels.len(), budget, move |i| labels[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supg_core::Oracle as _;
+    use supg_datasets::PresetKind;
+
+    #[test]
+    fn from_preset_scales_size_and_budget() {
+        let w = Workload::from_preset(Preset::new(PresetKind::Beta01x2), 3, 0.01);
+        assert_eq!(w.len(), 10_000);
+        assert_eq!(w.budget, 100); // 1% of 10k = 100, the floor
+        let w = Workload::from_preset(Preset::new(PresetKind::ImageNet), 3, 1.0);
+        assert_eq!(w.len(), 50_000);
+        assert_eq!(w.budget, 1_000);
+    }
+
+    #[test]
+    fn oracle_reads_ground_truth() {
+        let w = Workload::from_preset(Preset::new(PresetKind::NightStreet), 4, 0.01);
+        let mut o = w.oracle(50);
+        let idx = w.labels.iter().position(|&l| l).unwrap();
+        assert!(o.label(idx).unwrap());
+        assert_eq!(o.calls_used(), 1);
+    }
+
+    #[test]
+    fn workload_is_cheap_to_clone() {
+        let w = Workload::from_preset(Preset::new(PresetKind::OntoNotes), 5, 0.01);
+        let w2 = w.clone();
+        assert!(Arc::ptr_eq(&w.data, &w2.data));
+        assert!(Arc::ptr_eq(&w.labels, &w2.labels));
+    }
+}

@@ -1,0 +1,178 @@
+//! Abstract syntax of SUPG selection queries (Figures 3 and 14).
+
+use std::fmt;
+
+/// A UDF application like `HUMMINGBIRD_PRESENT(frame)`, optionally compared
+/// to a literal (`= true`, `= 'hummingbird'`). A bare identifier (no
+/// argument list) is also accepted — e.g. `USING proxy_scores`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfExpr {
+    /// UDF (or column) name.
+    pub name: String,
+    /// Argument column, when written in call form.
+    pub arg: Option<String>,
+    /// Right-hand side of an optional equality comparison.
+    pub equals: Option<Literal>,
+}
+
+impl fmt::Display for UdfExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(arg) = &self.arg {
+            write!(f, "({arg})")?;
+        }
+        if let Some(eq) = &self.equals {
+            write!(f, " = {eq}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Literal values accepted on the right-hand side of predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `true` / `false`.
+    Bool(bool),
+    /// Numeric literal.
+    Number(f64),
+    /// Quoted string.
+    Str(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Bool(b) => write!(f, "{b}"),
+            Literal::Number(n) => write!(f, "{n}"),
+            Literal::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// One `RECALL TARGET x` / `PRECISION TARGET x` clause. Targets written
+/// with a percent sign (`95%`) are normalized to fractions (0.95).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetClause {
+    /// Which metric is targeted.
+    pub metric: TargetMetric,
+    /// Target level as a fraction in (0, 1].
+    pub level: f64,
+}
+
+/// The metric of a target clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetMetric {
+    /// `RECALL TARGET …`
+    Recall,
+    /// `PRECISION TARGET …`
+    Precision,
+}
+
+impl fmt::Display for TargetClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kw = match self.metric {
+            TargetMetric::Recall => "RECALL",
+            TargetMetric::Precision => "PRECISION",
+        };
+        write!(f, "{kw} TARGET {}", self.level)
+    }
+}
+
+/// A parsed SUPG selection statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupgStatement {
+    /// Source table name.
+    pub table: String,
+    /// The oracle predicate of the `WHERE` clause.
+    pub predicate: UdfExpr,
+    /// `ORACLE LIMIT` budget; absent for JT queries (Figure 14).
+    pub oracle_limit: Option<usize>,
+    /// The proxy expression of the `USING` clause.
+    pub proxy: UdfExpr,
+    /// One target (RT/PT) or two (JT), in source order.
+    pub targets: Vec<TargetClause>,
+    /// `WITH PROBABILITY` success probability (fraction in (0, 1)).
+    pub probability: f64,
+}
+
+impl SupgStatement {
+    /// Failure probability `δ = 1 − p`.
+    pub fn delta(&self) -> f64 {
+        1.0 - self.probability
+    }
+
+    /// The recall target, if present.
+    pub fn recall_target(&self) -> Option<f64> {
+        self.targets
+            .iter()
+            .find(|t| t.metric == TargetMetric::Recall)
+            .map(|t| t.level)
+    }
+
+    /// The precision target, if present.
+    pub fn precision_target(&self) -> Option<f64> {
+        self.targets
+            .iter()
+            .find(|t| t.metric == TargetMetric::Precision)
+            .map(|t| t.level)
+    }
+
+    /// True when both targets are present (a JT query).
+    pub fn is_joint(&self) -> bool {
+        self.recall_target().is_some() && self.precision_target().is_some()
+    }
+}
+
+impl fmt::Display for SupgStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT * FROM {} WHERE {}", self.table, self.predicate)?;
+        if let Some(limit) = self.oracle_limit {
+            write!(f, " ORACLE LIMIT {limit}")?;
+        }
+        write!(f, " USING {}", self.proxy)?;
+        for t in &self.targets {
+            write!(f, " {t}")?;
+        }
+        write!(f, " WITH PROBABILITY {}", self.probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stmt() -> SupgStatement {
+        SupgStatement {
+            table: "video".into(),
+            predicate: UdfExpr {
+                name: "BIRD".into(),
+                arg: Some("frame".into()),
+                equals: Some(Literal::Bool(true)),
+            },
+            oracle_limit: Some(1000),
+            proxy: UdfExpr { name: "score".into(), arg: None, equals: None },
+            targets: vec![TargetClause { metric: TargetMetric::Recall, level: 0.9 }],
+            probability: 0.95,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = stmt();
+        assert!((s.delta() - 0.05).abs() < 1e-12);
+        assert_eq!(s.recall_target(), Some(0.9));
+        assert_eq!(s.precision_target(), None);
+        assert!(!s.is_joint());
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let s = stmt();
+        let text = s.to_string();
+        assert_eq!(
+            text,
+            "SELECT * FROM video WHERE BIRD(frame) = true ORACLE LIMIT 1000 \
+             USING score RECALL TARGET 0.9 WITH PROBABILITY 0.95"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Tables and user-defined functions.
+//!
+//! The paper's operational model (§4.1): users register a table of records,
+//! one or more *proxy* UDFs (cheap — evaluated over every record up front,
+//! so registration takes the full score column), and one or more *oracle*
+//! UDFs (expensive callbacks — invoked record-by-record under a budget).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use supg_core::ScoredDataset;
+
+use crate::error::QueryError;
+
+/// A shared, thread-safe oracle callback.
+pub type OracleUdf = Arc<Mutex<dyn FnMut(usize) -> bool + Send>>;
+
+/// One registered table: a record count plus its proxy score columns and
+/// oracle callbacks.
+pub struct Table {
+    name: String,
+    len: usize,
+    proxies: HashMap<String, Arc<ScoredDataset>>,
+    oracles: HashMap<String, OracleUdf>,
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("len", &self.len)
+            .field("proxies", &self.proxies.keys().collect::<Vec<_>>())
+            .field("oracles", &self.oracles.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Table {
+    /// Creates an empty table of `len` records.
+    pub fn new(name: impl Into<String>, len: usize) -> Self {
+        Self {
+            name: name.into(),
+            len,
+            proxies: HashMap::new(),
+            oracles: HashMap::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Registers a proxy UDF by materializing its scores over all records
+    /// (proxies are cheap by assumption; SUPG evaluates them up front).
+    ///
+    /// # Errors
+    /// [`QueryError::Semantic`] when the score column length mismatches the
+    /// table or scores are invalid.
+    pub fn register_proxy(&mut self, name: impl Into<String>, scores: Vec<f64>) -> Result<(), QueryError> {
+        if scores.len() != self.len {
+            return Err(QueryError::Semantic(format!(
+                "proxy column has {} scores but table {:?} has {} records",
+                scores.len(),
+                self.name,
+                self.len
+            )));
+        }
+        let dataset = ScoredDataset::new(scores).map_err(QueryError::Execution)?;
+        self.proxies.insert(name.into(), Arc::new(dataset));
+        Ok(())
+    }
+
+    /// Registers an oracle UDF callback.
+    pub fn register_oracle(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(usize) -> bool + Send + 'static,
+    ) {
+        self.oracles.insert(name.into(), Arc::new(Mutex::new(f)));
+    }
+
+    /// Looks up a proxy's pre-scored dataset.
+    pub fn proxy(&self, name: &str) -> Result<Arc<ScoredDataset>, QueryError> {
+        self.proxies
+            .get(name)
+            .cloned()
+            .ok_or_else(|| QueryError::UnknownUdf {
+                table: self.name.clone(),
+                udf: name.to_owned(),
+            })
+    }
+
+    /// Looks up an oracle callback.
+    pub fn oracle(&self, name: &str) -> Result<OracleUdf, QueryError> {
+        self.oracles
+            .get(name)
+            .cloned()
+            .ok_or_else(|| QueryError::UnknownUdf {
+                table: self.name.clone(),
+                udf: name.to_owned(),
+            })
+    }
+
+    /// Registered proxy names (sorted, for diagnostics).
+    pub fn proxy_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.proxies.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Registered oracle names (sorted, for diagnostics).
+    pub fn oracle_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.oracles.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// The collection of registered tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a table.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_owned(), table);
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, QueryError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_owned()))
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, QueryError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_owned()))
+    }
+
+    /// Registered table names (sorted).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut t = Table::new("video", 4);
+        t.register_proxy("score", vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        t.register_oracle("truth", |i| i == 3);
+        assert_eq!(t.proxy("score").unwrap().len(), 4);
+        assert!(t.proxy("missing").is_err());
+        let oracle = t.oracle("truth").unwrap();
+        assert!((oracle.lock().unwrap())(3));
+        assert_eq!(t.proxy_names(), vec!["score"]);
+        assert_eq!(t.oracle_names(), vec!["truth"]);
+    }
+
+    #[test]
+    fn proxy_length_mismatch_is_rejected() {
+        let mut t = Table::new("video", 4);
+        let err = t.register_proxy("score", vec![0.1]).unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)));
+    }
+
+    #[test]
+    fn catalog_lookup_errors() {
+        let mut c = Catalog::new();
+        c.add_table(Table::new("a", 2));
+        assert!(c.table("a").is_ok());
+        assert_eq!(
+            c.table("b").unwrap_err(),
+            QueryError::UnknownTable("b".into())
+        );
+        assert_eq!(c.table_names(), vec!["a"]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Planning and execution of parsed SUPG statements.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use supg_core::joint::execute_joint;
+use supg_core::query::JointQuery;
+use supg_core::selectors::{
+    ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision, UniformPrecision,
+    UniformRecall,
+};
+use supg_core::{ApproxQuery, CachedOracle, SupgExecutor, TargetKind};
+
+use crate::ast::{Literal, SupgStatement};
+use crate::catalog::{Catalog, Table};
+use crate::error::QueryError;
+use crate::parser::parse;
+
+/// Engine-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Tuning knobs forwarded to the guaranteed selectors.
+    pub selector: SelectorConfig,
+    /// Use the SUPG importance-sampling selectors (default). Disable to get
+    /// the uniform `U-CI` estimators, e.g. for baseline comparisons.
+    pub use_importance: bool,
+    /// Stage budget the JT pipeline allocates to its recall stage.
+    pub jt_stage_budget: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            selector: SelectorConfig::default(),
+            use_importance: true,
+            jt_stage_budget: 1_000,
+        }
+    }
+}
+
+/// Execution summary returned to the user alongside the record set.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// The parsed statement that ran.
+    pub statement: SupgStatement,
+    /// Returned record indices (sorted ascending).
+    pub indices: Vec<u32>,
+    /// The proxy threshold the algorithm settled on (`∞` = sample-only).
+    pub tau: f64,
+    /// Distinct oracle invocations consumed.
+    pub oracle_calls: usize,
+    /// Name of the threshold-estimation algorithm used.
+    pub selector: &'static str,
+    /// Wall-clock execution time (excluding parse).
+    pub elapsed: Duration,
+}
+
+/// The SUPG query engine: a catalog of tables/UDFs plus a seeded RNG.
+///
+/// ```
+/// use supg_query::Engine;
+///
+/// let mut engine = Engine::with_seed(42);
+/// engine.create_table("frames", 10_000);
+/// // a proxy score per record, here synthetic:
+/// let scores: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64 / 100.0).collect();
+/// let truth: Vec<bool> = scores.iter().map(|&s| s > 0.9).collect();
+/// engine.register_proxy("frames", "bird_score", scores).unwrap();
+/// engine.register_oracle("frames", "HAS_BIRD", move |i| truth[i]);
+///
+/// let report = engine
+///     .execute(
+///         "SELECT * FROM frames WHERE HAS_BIRD(frame) = true \
+///          ORACLE LIMIT 500 USING bird_score RECALL TARGET 90% \
+///          WITH PROBABILITY 95%",
+///     )
+///     .unwrap();
+/// assert!(!report.indices.is_empty());
+/// ```
+pub struct Engine {
+    catalog: Catalog,
+    config: EngineConfig,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("tables", &self.catalog.table_names())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::with_seed(0x5379_9AD1)
+    }
+}
+
+impl Engine {
+    /// Engine with a fixed RNG seed (deterministic executions).
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            catalog: Catalog::new(),
+            config: EngineConfig::default(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(seed: u64, config: EngineConfig) -> Self {
+        Self {
+            catalog: Catalog::new(),
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates (or replaces) a table of `len` records.
+    pub fn create_table(&mut self, name: &str, len: usize) {
+        self.catalog.add_table(Table::new(name, len));
+    }
+
+    /// Registers a proxy UDF's precomputed scores on a table.
+    ///
+    /// # Errors
+    /// Unknown table, length mismatch, or invalid scores.
+    pub fn register_proxy(&mut self, table: &str, udf: &str, scores: Vec<f64>) -> Result<(), QueryError> {
+        self.catalog.table_mut(table)?.register_proxy(udf, scores)
+    }
+
+    /// Registers an oracle UDF callback on a table.
+    ///
+    /// # Errors
+    /// Unknown table.
+    pub fn register_oracle(
+        &mut self,
+        table: &str,
+        udf: &str,
+        f: impl FnMut(usize) -> bool + Send + 'static,
+    ) -> Result<(), QueryError> {
+        self.catalog.table_mut(table)?.register_oracle(udf, f);
+        Ok(())
+    }
+
+    /// Access to the underlying catalog (diagnostics, REPLs).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Parses and executes one SUPG statement.
+    ///
+    /// # Errors
+    /// Parse/semantic errors, unknown tables/UDFs, or execution failures.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryReport, QueryError> {
+        let statement = parse(sql)?;
+        self.execute_statement(statement)
+    }
+
+    /// Executes an already-parsed statement.
+    ///
+    /// # Errors
+    /// Unknown tables/UDFs or execution failures.
+    pub fn execute_statement(&mut self, statement: SupgStatement) -> Result<QueryReport, QueryError> {
+        let table = self.catalog.table(&statement.table)?;
+        let dataset = table.proxy(&statement.proxy.name)?;
+        let oracle_udf = table.oracle(&statement.predicate.name)?;
+
+        // `WHERE F(x) = false` selects the records the oracle rejects.
+        let invert = match &statement.predicate.equals {
+            None | Some(Literal::Bool(true)) => false,
+            Some(Literal::Bool(false)) => true,
+            Some(other) => {
+                return Err(QueryError::Semantic(format!(
+                    "oracle predicates compare only to true/false, got {other}"
+                )))
+            }
+        };
+        let len = dataset.len();
+        let callback = {
+            let udf = oracle_udf.clone();
+            move |i: usize| {
+                let raw = (udf.lock().expect("oracle UDF poisoned"))(i);
+                raw != invert
+            }
+        };
+
+        let start = Instant::now();
+        let report = if statement.is_joint() {
+            let jq = JointQuery::new(
+                statement.recall_target().expect("joint has recall"),
+                statement.precision_target().expect("joint has precision"),
+                statement.delta(),
+            )
+            .map_err(QueryError::Execution)?;
+            let mut oracle = CachedOracle::new(len, 0, callback);
+            let selector: Box<dyn ThresholdSelector> = if self.config.use_importance {
+                Box::new(ImportanceRecall::new(self.config.selector))
+            } else {
+                Box::new(UniformRecall::new(self.config.selector))
+            };
+            let outcome = execute_joint(
+                &dataset,
+                &jq,
+                self.config.jt_stage_budget,
+                selector.as_ref(),
+                &mut oracle,
+                &mut self.rng,
+            )?;
+            QueryReport {
+                indices: outcome.result.indices().to_vec(),
+                tau: outcome.tau,
+                oracle_calls: outcome.total_calls(),
+                selector: selector.name(),
+                elapsed: start.elapsed(),
+                statement,
+            }
+        } else {
+            let budget = statement
+                .oracle_limit
+                .expect("validated: single-target has budget");
+            let (kind, gamma) = if let Some(g) = statement.recall_target() {
+                (TargetKind::Recall, g)
+            } else {
+                (
+                    TargetKind::Precision,
+                    statement.precision_target().expect("validated: has target"),
+                )
+            };
+            let query = ApproxQuery::new(kind, gamma, statement.delta(), budget)
+                .map_err(QueryError::Execution)?;
+            let selector: Box<dyn ThresholdSelector> = match (kind, self.config.use_importance) {
+                (TargetKind::Recall, true) => Box::new(ImportanceRecall::new(self.config.selector)),
+                (TargetKind::Recall, false) => Box::new(UniformRecall::new(self.config.selector)),
+                (TargetKind::Precision, true) => {
+                    Box::new(TwoStagePrecision::new(self.config.selector))
+                }
+                (TargetKind::Precision, false) => {
+                    Box::new(UniformPrecision::new(self.config.selector))
+                }
+            };
+            let mut oracle = CachedOracle::new(len, budget, callback);
+            let outcome = SupgExecutor::new(&dataset, &query).run(
+                selector.as_ref(),
+                &mut oracle,
+                &mut self.rng,
+            )?;
+            QueryReport {
+                indices: outcome.result.indices().to_vec(),
+                tau: outcome.tau,
+                oracle_calls: outcome.oracle_calls,
+                selector: outcome.selector,
+                elapsed: start.elapsed(),
+                statement,
+            }
+        };
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A calibrated engine over separable data: positives are the records
+    /// with score > 0.8.
+    fn engine(n: usize) -> Engine {
+        let mut e = Engine::with_seed(7);
+        e.create_table("frames", n);
+        let scores: Vec<f64> = (0..n).map(|i| (i % 1000) as f64 / 1000.0).collect();
+        let truth: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
+        e.register_proxy("frames", "score", scores).unwrap();
+        e.register_oracle("frames", "MATCH", move |i| truth[i]).unwrap();
+        e
+    }
+
+    #[test]
+    fn rt_query_end_to_end() {
+        let mut e = engine(20_000);
+        let report = e
+            .execute(
+                "SELECT * FROM frames WHERE MATCH(f) = true ORACLE LIMIT 1000 \
+                 USING score RECALL TARGET 90% WITH PROBABILITY 95%",
+            )
+            .unwrap();
+        assert_eq!(report.selector, "IS-CI-R");
+        assert!(report.oracle_calls <= 1000);
+        // ~20% of records are positive; a 90%-recall result should return
+        // a large fraction of them.
+        assert!(report.indices.len() >= 3_000, "returned {}", report.indices.len());
+    }
+
+    #[test]
+    fn pt_query_uses_two_stage() {
+        let mut e = engine(20_000);
+        let report = e
+            .execute(
+                "SELECT * FROM frames WHERE MATCH(f) ORACLE LIMIT 1000 \
+                 USING score PRECISION TARGET 90% WITH PROBABILITY 95%",
+            )
+            .unwrap();
+        assert_eq!(report.selector, "IS-CI-P");
+        assert!(report.oracle_calls <= 1000);
+    }
+
+    #[test]
+    fn joint_query_runs_unbudgeted() {
+        let mut e = engine(10_000);
+        let report = e
+            .execute(
+                "SELECT * FROM frames WHERE MATCH(f) USING score \
+                 RECALL TARGET 80% PRECISION TARGET 90% WITH PROBABILITY 95%",
+            )
+            .unwrap();
+        // The exhaustive filter keeps only oracle positives: scores > 0.8.
+        assert!(!report.indices.is_empty());
+        assert!(report.oracle_calls >= 1_000);
+    }
+
+    #[test]
+    fn inverted_predicate_selects_negatives() {
+        let mut e = Engine::with_seed(9);
+        e.create_table("t", 1_000);
+        // Proxy for "not a match": high when the oracle says false.
+        let scores: Vec<f64> = (0..1_000).map(|i| if i < 900 { 0.95 } else { 0.05 }).collect();
+        e.register_proxy("t", "not_match_score", scores).unwrap();
+        e.register_oracle("t", "MATCH", |i| i >= 900).unwrap();
+        let report = e
+            .execute(
+                "SELECT * FROM t WHERE MATCH(x) = false ORACLE LIMIT 200 \
+                 USING not_match_score RECALL TARGET 80% WITH PROBABILITY 95%",
+            )
+            .unwrap();
+        // The negatives (oracle false) are records 0..900.
+        let negatives_returned = report.indices.iter().filter(|&&i| i < 900).count();
+        assert!(negatives_returned >= 720, "{negatives_returned}");
+    }
+
+    #[test]
+    fn unknown_entities_error_cleanly() {
+        let mut e = engine(1_000);
+        let err = e
+            .execute(
+                "SELECT * FROM nope WHERE MATCH(f) ORACLE LIMIT 10 USING score \
+                 RECALL TARGET 90% WITH PROBABILITY 95%",
+            )
+            .unwrap_err();
+        assert_eq!(err, QueryError::UnknownTable("nope".into()));
+        let err = e
+            .execute(
+                "SELECT * FROM frames WHERE MATCH(f) ORACLE LIMIT 10 USING nope \
+                 RECALL TARGET 90% WITH PROBABILITY 95%",
+            )
+            .unwrap_err();
+        assert!(matches!(err, QueryError::UnknownUdf { .. }));
+    }
+
+    #[test]
+    fn string_comparison_on_oracle_is_rejected() {
+        let mut e = engine(1_000);
+        let err = e
+            .execute(
+                "SELECT * FROM frames WHERE MATCH(f) = 'bird' ORACLE LIMIT 10 \
+                 USING score RECALL TARGET 90% WITH PROBABILITY 95%",
+            )
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)));
+    }
+
+    #[test]
+    fn uniform_engine_config_switches_selectors() {
+        let mut e = Engine::with_config(
+            11,
+            EngineConfig { use_importance: false, ..EngineConfig::default() },
+        );
+        e.create_table("t", 5_000);
+        let scores: Vec<f64> = (0..5_000).map(|i| (i % 100) as f64 / 100.0).collect();
+        let truth: Vec<bool> = scores.iter().map(|&s| s > 0.9).collect();
+        e.register_proxy("t", "p", scores).unwrap();
+        e.register_oracle("t", "O", move |i| truth[i]).unwrap();
+        let report = e
+            .execute(
+                "SELECT * FROM t WHERE O(x) ORACLE LIMIT 500 USING p \
+                 RECALL TARGET 90% WITH PROBABILITY 95%",
+            )
+            .unwrap();
+        assert_eq!(report.selector, "U-CI-R");
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the query layer.
+
+use std::fmt;
+
+use supg_core::SupgError;
+
+/// Errors from parsing, planning or executing a SUPG SQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error at a byte offset in the query text.
+    Lex {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Syntactic error.
+    Parse {
+        /// Byte offset where parsing failed.
+        offset: usize,
+        /// Description of the expected/found tokens.
+        message: String,
+    },
+    /// The query is well-formed but semantically invalid (e.g. a JT query
+    /// with an `ORACLE LIMIT`).
+    Semantic(String),
+    /// A referenced table is not in the catalog.
+    UnknownTable(String),
+    /// A referenced UDF is not registered for the table.
+    UnknownUdf {
+        /// The table the UDF was looked up on.
+        table: String,
+        /// The missing UDF name.
+        udf: String,
+    },
+    /// Failure from the underlying SUPG algorithms.
+    Execution(SupgError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            QueryError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            QueryError::Semantic(m) => write!(f, "invalid query: {m}"),
+            QueryError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            QueryError::UnknownUdf { table, udf } => {
+                write!(f, "no UDF {udf:?} registered on table {table:?}")
+            }
+            QueryError::Execution(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Execution(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SupgError> for QueryError {
+    fn from(e: SupgError) -> Self {
+        QueryError::Execution(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QueryError::UnknownUdf { table: "t".into(), udf: "f".into() };
+        assert!(e.to_string().contains("\"f\""));
+        let e = QueryError::Parse { offset: 12, message: "expected FROM".into() };
+        assert!(e.to_string().contains("byte 12"));
+    }
+}

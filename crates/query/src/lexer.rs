@@ -1,0 +1,214 @@
+//! Hand-written lexer for the SUPG query syntax.
+
+use crate::error::QueryError;
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively at parse time
+/// from `Ident`, keeping the lexer trivial.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Numeric literal (integer or decimal).
+    Number(f64),
+    /// Single- or double-quoted string literal (quotes stripped).
+    Str(String),
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `%`
+    Percent,
+    /// `,`
+    Comma,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier {s:?}"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Eof => "end of query".into(),
+        }
+    }
+}
+
+/// Tokenizes a query string.
+///
+/// # Errors
+/// [`QueryError::Lex`] on unterminated strings, malformed numbers, or
+/// unexpected characters.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, offset: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                let start = i;
+                i += 1;
+                let content_start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(QueryError::Lex {
+                        offset: start,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(src[content_start..i].to_owned()),
+                    offset: start,
+                });
+                i += 1;
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut saw_dot = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !saw_dot => {
+                            saw_dot = true;
+                            i += 1;
+                        }
+                        b'_' => i += 1, // digit separator: 10_000
+                        _ => break,
+                    }
+                }
+                let text: String = src[start..i].chars().filter(|&c| c != '_').collect();
+                let value: f64 = text.parse().map_err(|_| QueryError::Lex {
+                    offset: start,
+                    message: format!("malformed number {text:?}"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(value), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_owned()),
+                    offset: start,
+                });
+            }
+            ';' => i += 1, // trailing semicolons are permitted and ignored
+            other => {
+                return Err(QueryError::Lex {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_the_paper_query() {
+        let toks = kinds("SELECT * FROM v WHERE f(x) = true ORACLE LIMIT 10_000");
+        assert_eq!(toks[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(toks[1], TokenKind::Star);
+        assert!(toks.contains(&TokenKind::Number(10_000.0)));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn strings_and_percentages() {
+        let toks = kinds("USING DNN(frame) = 'hummingbird' RECALL TARGET 95%");
+        assert!(toks.contains(&TokenKind::Str("hummingbird".into())));
+        assert!(toks.contains(&TokenKind::Number(95.0)));
+        assert!(toks.contains(&TokenKind::Percent));
+    }
+
+    #[test]
+    fn comments_and_semicolons_are_skipped() {
+        let toks = kinds("SELECT -- a comment\n * ;");
+        assert_eq!(
+            toks,
+            vec![TokenKind::Ident("SELECT".into()), TokenKind::Star, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn decimal_numbers() {
+        assert_eq!(kinds("0.95")[0], TokenKind::Number(0.95));
+        assert_eq!(kinds(".5")[0], TokenKind::Number(0.5));
+    }
+
+    #[test]
+    fn reports_offsets() {
+        let err = tokenize("SELECT 'oops").unwrap_err();
+        assert_eq!(err, QueryError::Lex { offset: 7, message: "unterminated string literal".into() });
+        let err = tokenize("SELECT ?").unwrap_err();
+        assert!(matches!(err, QueryError::Lex { offset: 7, .. }));
+    }
+}

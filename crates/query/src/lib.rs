@@ -1,0 +1,37 @@
+//! SQL-ish query layer for SUPG: the paper's Figure-3/Figure-14 syntax on
+//! top of the `supg-core` algorithms.
+//!
+//! ```sql
+//! SELECT * FROM hummingbird_video
+//! WHERE HUMMINGBIRD_PRESENT(frame) = true
+//! ORACLE LIMIT 10000
+//! USING DNN_CLASSIFIER(frame)
+//! RECALL TARGET 95%
+//! WITH PROBABILITY 95%
+//! ```
+//!
+//! The oracle (`HUMMINGBIRD_PRESENT`) and proxy (`DNN_CLASSIFIER`) are
+//! user-defined functions registered on the [`engine::Engine`]; the proxy is
+//! evaluated over the full table up front (it is assumed cheap) while oracle
+//! invocations are budgeted by `ORACLE LIMIT`. Queries carrying both a
+//! `RECALL TARGET` and a `PRECISION TARGET` (Figure 14) run the appendix JT
+//! pipeline and may not specify a budget.
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — the query front-end.
+//! * [`catalog`] — tables and UDF registration.
+//! * [`engine`] — planning and execution, returning a [`engine::QueryReport`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod catalog;
+pub mod engine;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{SupgStatement, TargetClause};
+pub use engine::{Engine, EngineConfig, QueryReport};
+pub use error::QueryError;
+pub use parser::parse;

@@ -1,0 +1,351 @@
+//! Recursive-descent parser for the SUPG query syntax.
+
+use crate::ast::{Literal, SupgStatement, TargetClause, TargetMetric, UdfExpr};
+use crate::error::QueryError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses one SUPG selection statement.
+///
+/// # Errors
+/// [`QueryError::Lex`] / [`QueryError::Parse`] with byte offsets, or
+/// [`QueryError::Semantic`] for structurally valid but meaningless queries
+/// (no target, out-of-range probability, JT query with a budget, …).
+pub fn parse(src: &str) -> Result<SupgStatement, QueryError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    validate(&stmt)?;
+    Ok(stmt)
+}
+
+fn validate(stmt: &SupgStatement) -> Result<(), QueryError> {
+    if stmt.targets.is_empty() {
+        return Err(QueryError::Semantic(
+            "query needs a RECALL TARGET or PRECISION TARGET clause".into(),
+        ));
+    }
+    if stmt.targets.len() > 2 {
+        return Err(QueryError::Semantic("at most two target clauses allowed".into()));
+    }
+    if stmt.targets.len() == 2 {
+        if !stmt.is_joint() {
+            return Err(QueryError::Semantic(
+                "two targets must be one RECALL and one PRECISION".into(),
+            ));
+        }
+        if stmt.oracle_limit.is_some() {
+            return Err(QueryError::Semantic(
+                "joint-target queries cannot specify ORACLE LIMIT \
+                 (the required budget is unbounded; see paper appendix A)"
+                    .into(),
+            ));
+        }
+    } else if stmt.oracle_limit.is_none() {
+        return Err(QueryError::Semantic(
+            "single-target queries require an ORACLE LIMIT budget".into(),
+        ));
+    }
+    for t in &stmt.targets {
+        if !(t.level > 0.0 && t.level <= 1.0) {
+            return Err(QueryError::Semantic(format!(
+                "target {} outside (0, 1]",
+                t.level
+            )));
+        }
+    }
+    if !(stmt.probability > 0.0 && stmt.probability < 1.0) {
+        return Err(QueryError::Semantic(format!(
+            "probability {} outside (0, 1)",
+            stmt.probability
+        )));
+    }
+    Ok(())
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            offset: self.peek().offset,
+            message: message.into(),
+        }
+    }
+
+    /// True (and consumes) when the next token is the given keyword
+    /// (case-insensitive).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if s.eq_ignore_ascii_case(kw) {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}, found {}", self.peek().kind.describe())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, QueryError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), QueryError> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "unexpected trailing {}",
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    /// A number, optionally suffixed with `%` (normalized to a fraction).
+    fn fraction(&mut self) -> Result<f64, QueryError> {
+        match self.peek().kind {
+            TokenKind::Number(n) => {
+                self.advance();
+                if self.peek().kind == TokenKind::Percent {
+                    self.advance();
+                    Ok(n / 100.0)
+                } else {
+                    Ok(n)
+                }
+            }
+            ref other => Err(self.error(format!("expected number, found {}", other.describe()))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<SupgStatement, QueryError> {
+        self.expect_keyword("SELECT")?;
+        if self.peek().kind != TokenKind::Star {
+            return Err(self.error("SUPG queries select `*` (sets of records)"));
+        }
+        self.advance();
+        self.expect_keyword("FROM")?;
+        let table = self.expect_ident()?;
+        self.expect_keyword("WHERE")?;
+        let predicate = self.udf_expr()?;
+
+        let mut oracle_limit = None;
+        if self.eat_keyword("ORACLE") {
+            self.expect_keyword("LIMIT")?;
+            match self.peek().kind {
+                TokenKind::Number(n) if n >= 0.0 && n.fract() == 0.0 => {
+                    self.advance();
+                    oracle_limit = Some(n as usize);
+                }
+                ref other => {
+                    return Err(self.error(format!(
+                        "expected integer budget, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+
+        self.expect_keyword("USING")?;
+        let proxy = self.udf_expr()?;
+
+        let mut targets = Vec::new();
+        loop {
+            let metric = if self.eat_keyword("RECALL") {
+                TargetMetric::Recall
+            } else if self.eat_keyword("PRECISION") {
+                TargetMetric::Precision
+            } else {
+                break;
+            };
+            self.expect_keyword("TARGET")?;
+            let level = self.fraction()?;
+            targets.push(TargetClause { metric, level });
+        }
+
+        self.expect_keyword("WITH")?;
+        self.expect_keyword("PROBABILITY")?;
+        let probability = self.fraction()?;
+
+        Ok(SupgStatement {
+            table,
+            predicate,
+            oracle_limit,
+            proxy,
+            targets,
+            probability,
+        })
+    }
+
+    fn udf_expr(&mut self) -> Result<UdfExpr, QueryError> {
+        let name = self.expect_ident()?;
+        let mut arg = None;
+        if self.peek().kind == TokenKind::LParen {
+            self.advance();
+            arg = Some(self.expect_ident()?);
+            if self.peek().kind != TokenKind::RParen {
+                return Err(self.error("expected `)` after UDF argument"));
+            }
+            self.advance();
+        }
+        let mut equals = None;
+        if self.peek().kind == TokenKind::Eq {
+            self.advance();
+            equals = Some(self.literal()?);
+        }
+        Ok(UdfExpr { name, arg, equals })
+    }
+
+    fn literal(&mut self) -> Result<Literal, QueryError> {
+        let lit = match &self.peek().kind {
+            TokenKind::Number(n) => Literal::Number(*n),
+            TokenKind::Str(s) => Literal::Str(s.clone()),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("true") => Literal::Bool(true),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("false") => Literal::Bool(false),
+            other => {
+                return Err(self.error(format!("expected literal, found {}", other.describe())))
+            }
+        };
+        self.advance();
+        Ok(lit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_QUERY: &str = "SELECT * FROM hummingbird_video \
+        WHERE HUMMINGBIRD_PRESENT(frame) = true \
+        ORACLE LIMIT 10000 \
+        USING DNN_CLASSIFIER(frame) = 'hummingbird' \
+        RECALL TARGET 95% \
+        WITH PROBABILITY 95%";
+
+    #[test]
+    fn parses_the_paper_rt_query() {
+        let stmt = parse(PAPER_QUERY).unwrap();
+        assert_eq!(stmt.table, "hummingbird_video");
+        assert_eq!(stmt.predicate.name, "HUMMINGBIRD_PRESENT");
+        assert_eq!(stmt.predicate.arg.as_deref(), Some("frame"));
+        assert_eq!(stmt.oracle_limit, Some(10_000));
+        assert_eq!(stmt.proxy.name, "DNN_CLASSIFIER");
+        assert_eq!(stmt.recall_target(), Some(0.95));
+        assert!((stmt.probability - 0.95).abs() < 1e-12);
+        assert!((stmt.delta() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_fractional_targets_and_bare_proxies() {
+        let stmt = parse(
+            "SELECT * FROM t WHERE oracle_f(x) ORACLE LIMIT 500 \
+             USING proxy_scores PRECISION TARGET 0.9 WITH PROBABILITY 0.95",
+        )
+        .unwrap();
+        assert_eq!(stmt.precision_target(), Some(0.9));
+        assert_eq!(stmt.proxy.arg, None);
+        assert_eq!(stmt.predicate.equals, None);
+    }
+
+    #[test]
+    fn parses_joint_queries_without_budget() {
+        let stmt = parse(
+            "SELECT * FROM t WHERE f(x) USING p(x) \
+             RECALL TARGET 90% PRECISION TARGET 80% WITH PROBABILITY 95%",
+        )
+        .unwrap();
+        assert!(stmt.is_joint());
+        assert_eq!(stmt.oracle_limit, None);
+        assert_eq!(stmt.recall_target(), Some(0.9));
+        assert_eq!(stmt.precision_target(), Some(0.8));
+    }
+
+    #[test]
+    fn rejects_joint_queries_with_budget() {
+        let err = parse(
+            "SELECT * FROM t WHERE f(x) ORACLE LIMIT 10 USING p \
+             RECALL TARGET 90% PRECISION TARGET 80% WITH PROBABILITY 95%",
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_single_target_without_budget() {
+        let err = parse("SELECT * FROM t WHERE f(x) USING p RECALL TARGET 90% WITH PROBABILITY 95%")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)));
+    }
+
+    #[test]
+    fn rejects_missing_target() {
+        let err =
+            parse("SELECT * FROM t WHERE f(x) ORACLE LIMIT 10 USING p WITH PROBABILITY 95%")
+                .unwrap_err();
+        assert!(matches!(err, QueryError::Semantic(_)));
+    }
+
+    #[test]
+    fn rejects_bad_probability_and_targets() {
+        let q = |p: &str| {
+            format!("SELECT * FROM t WHERE f(x) ORACLE LIMIT 10 USING p RECALL TARGET 90% WITH PROBABILITY {p}")
+        };
+        assert!(matches!(parse(&q("150%")), Err(QueryError::Semantic(_))));
+        let bad_target = "SELECT * FROM t WHERE f(x) ORACLE LIMIT 10 USING p \
+                          RECALL TARGET 0 WITH PROBABILITY 95%";
+        assert!(matches!(parse(bad_target), Err(QueryError::Semantic(_))));
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse("SELECT * FROM").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }), "{err:?}");
+        let err = parse("SELECT x FROM t").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { offset: 7, .. }));
+    }
+
+    #[test]
+    fn display_output_reparses_identically() {
+        let stmt = parse(PAPER_QUERY).unwrap();
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert_eq!(stmt, reparsed);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let stmt = parse(
+            "select * from T where F(x) oracle limit 10 using P \
+             recall target 90% with probability 95%",
+        )
+        .unwrap();
+        assert_eq!(stmt.table, "T");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the query front-end: generated statements
+//! pretty-print and re-parse to the same AST, and the lexer never panics.
+
+use proptest::prelude::*;
+
+use supg_query::ast::{Literal, SupgStatement, TargetClause, TargetMetric, UdfExpr};
+use supg_query::lexer::tokenize;
+use supg_query::parse;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,10}".prop_filter("avoid keywords", |s| {
+        !matches!(
+            s.to_ascii_uppercase().as_str(),
+            "SELECT" | "FROM" | "WHERE" | "ORACLE" | "LIMIT" | "USING" | "RECALL"
+                | "PRECISION" | "TARGET" | "WITH" | "PROBABILITY" | "TRUE" | "FALSE"
+        )
+    })
+}
+
+fn udf_expr(allow_equals: bool) -> impl Strategy<Value = UdfExpr> {
+    (
+        ident(),
+        prop::option::of(ident()),
+        if allow_equals {
+            prop::option::of(prop_oneof![
+                Just(Literal::Bool(true)),
+                Just(Literal::Bool(false)),
+            ])
+            .boxed()
+        } else {
+            Just(None).boxed()
+        },
+    )
+        .prop_map(|(name, arg, equals)| UdfExpr { name, arg, equals })
+}
+
+/// A two-decimal fraction in (0, 1] — survives the f64 → text → f64 trip.
+fn fraction() -> impl Strategy<Value = f64> {
+    (1u32..=100).prop_map(|n| n as f64 / 100.0)
+}
+
+fn statement() -> impl Strategy<Value = SupgStatement> {
+    (
+        ident(),
+        udf_expr(true),
+        udf_expr(false),
+        prop_oneof![Just(TargetMetric::Recall), Just(TargetMetric::Precision)],
+        fraction(),
+        (1u32..=99).prop_map(|n| n as f64 / 100.0),
+        1usize..100_000,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(table, predicate, proxy, metric, level, prob, budget, joint)| {
+                let targets = if joint {
+                    vec![
+                        TargetClause { metric: TargetMetric::Recall, level },
+                        TargetClause { metric: TargetMetric::Precision, level },
+                    ]
+                } else {
+                    vec![TargetClause { metric, level }]
+                };
+                SupgStatement {
+                    table,
+                    predicate,
+                    oracle_limit: if joint { None } else { Some(budget) },
+                    proxy,
+                    targets,
+                    probability: prob,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn display_round_trips(stmt in statement()) {
+        let text = stmt.to_string();
+        let reparsed = parse(&text);
+        prop_assert!(reparsed.is_ok(), "failed to reparse {text:?}: {:?}", reparsed.err());
+        prop_assert_eq!(reparsed.unwrap(), stmt);
+    }
+
+    #[test]
+    fn lexer_never_panics(input in "\\PC{0,200}") {
+        let _ = tokenize(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_tokenizable_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_owned()), Just("*".to_owned()), Just("FROM".to_owned()),
+                Just("WHERE".to_owned()), Just("ORACLE".to_owned()), Just("LIMIT".to_owned()),
+                Just("USING".to_owned()), Just("RECALL".to_owned()), Just("TARGET".to_owned()),
+                Just("WITH".to_owned()), Just("PROBABILITY".to_owned()), Just("95%".to_owned()),
+                Just("(".to_owned()), Just(")".to_owned()), Just("=".to_owned()),
+                Just("t".to_owned()), Just("0.5".to_owned()),
+            ],
+            0..25,
+        )
+    ) {
+        let _ = parse(&words.join(" "));
+    }
+}

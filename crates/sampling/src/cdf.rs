@@ -1,0 +1,115 @@
+//! CDF-inversion weighted sampling: the O(log n)-per-draw alternative to
+//! the alias method, kept as a baseline for the sampler ablation benchmark.
+
+use rand::Rng;
+
+/// Weighted sampler that inverts the cumulative weight function with binary
+/// search. Construction is O(n); each draw is O(log n).
+#[derive(Debug, Clone)]
+pub struct CdfSampler {
+    /// Cumulative weights, strictly increasing, last element = total weight.
+    cumulative: Vec<f64>,
+}
+
+impl CdfSampler {
+    /// Builds the sampler from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "CdfSampler: empty weights");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "CdfSampler: bad weight {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "CdfSampler: weights sum to zero");
+        Self { cumulative }
+    }
+
+    /// Number of indices.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (construction forbids empty samplers).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = rng.gen::<f64>() * total;
+        // First index whose cumulative weight exceeds u. Zero-weight
+        // indices have cumulative equal to their predecessor and are
+        // skipped by the strict comparison.
+        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+    }
+
+    /// Draws `k` independent indices (with replacement).
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<usize> {
+        (0..k).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn marginals_match_weights() {
+        let weights = [5.0, 1.0, 4.0];
+        let sampler = CdfSampler::new(&weights);
+        let mut rng = StdRng::seed_from_u64(51);
+        let n = 300_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = weights[i] / 10.0;
+            let emp = c as f64 / n as f64;
+            assert!((emp - expected).abs() < 0.005, "index {i}: emp={emp}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_indices_are_never_drawn() {
+        let sampler = CdfSampler::new(&[0.0, 3.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..5_000 {
+            assert_eq!(sampler.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn agrees_with_alias_table_distribution() {
+        let weights: Vec<f64> = (1..=64).map(|i| (i as f64).sqrt()).collect();
+        let cdf = CdfSampler::new(&weights);
+        let alias = crate::alias::AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(53);
+        let n = 200_000;
+        let mut c1 = vec![0f64; 64];
+        let mut c2 = vec![0f64; 64];
+        for _ in 0..n {
+            c1[cdf.sample(&mut rng)] += 1.0;
+            c2[alias.sample(&mut rng)] += 1.0;
+        }
+        for i in 0..64 {
+            assert!((c1[i] - c2[i]).abs() / (n as f64) < 0.01, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn rejects_all_zero_weights() {
+        CdfSampler::new(&[0.0]);
+    }
+}

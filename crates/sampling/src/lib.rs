@@ -1,0 +1,35 @@
+//! Sampling substrate for the SUPG reproduction.
+//!
+//! SUPG's threshold estimators need three sampling primitives:
+//!
+//! * **Uniform sampling** over record indices, with and without replacement
+//!   ([`uniform`]) — the baselines (`U-NoCI`, `U-CI`) and the defensive
+//!   component of the importance samplers.
+//! * **Weighted sampling with replacement** proportional to importance
+//!   weights ([`alias`], [`cdf`]) — the `IS-CI` estimators. The Vose alias
+//!   table gives O(1) draws after O(n) setup; a CDF-inversion sampler is
+//!   provided as the simpler O(log n) alternative (benchmarked against each
+//!   other in `supg-bench`).
+//! * **Importance-weight construction** ([`weights`]) — the paper's
+//!   `sqrt(A(x))` weights (Theorem 1), arbitrary exponents for the Figure-12
+//!   sweep, and the 90/10 defensive uniform mixing of Algorithms 4–5,
+//!   together with the reweighting factors `m(x) = u(x)/w(x)` used by every
+//!   reweighted estimate.
+//!
+//! [`reservoir`] adds single-pass reservoir sampling (Algorithm L) for
+//! streaming ingestion scenarios.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alias;
+pub mod cdf;
+pub mod reservoir;
+pub mod uniform;
+pub mod weights;
+
+pub use alias::AliasTable;
+pub use cdf::CdfSampler;
+pub use reservoir::reservoir_sample;
+pub use uniform::{sample_with_replacement, sample_without_replacement};
+pub use weights::ImportanceWeights;

@@ -1,0 +1,102 @@
+//! Single-pass reservoir sampling (Li's "Algorithm L").
+//!
+//! SUPG operates over batch datasets, but ingestion pipelines (e.g. the
+//! hummingbird video stream of the paper's §2.1) often need a uniform sample
+//! of an unbounded stream — this is the standard tool for that.
+
+use rand::Rng;
+
+/// Draws a uniform sample of `k` items from a single pass over `iter`,
+/// without knowing its length in advance.
+///
+/// Runs in O(n) time but only O(k + k·log(n/k)) random draws thanks to the
+/// skip-ahead geometric jumps of Algorithm L. Returns fewer than `k` items
+/// when the stream is shorter than `k`.
+pub fn reservoir_sample<I, R>(rng: &mut R, iter: I, k: usize) -> Vec<I::Item>
+where
+    I: IntoIterator,
+    R: Rng + ?Sized,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut iter = iter.into_iter();
+    let mut reservoir: Vec<I::Item> = Vec::with_capacity(k);
+    for _ in 0..k {
+        match iter.next() {
+            Some(item) => reservoir.push(item),
+            None => return reservoir,
+        }
+    }
+    // w is the running maximum of k Uniform(0,1) order statistics.
+    let mut w: f64 = (positive_uniform(rng).ln() / k as f64).exp();
+    loop {
+        // Skip a geometric number of items.
+        let skip = (positive_uniform(rng).ln() / (1.0 - w).ln()).floor() as usize;
+        match iter.nth(skip) {
+            Some(item) => {
+                reservoir[rng.gen_range(0..k)] = item;
+                w *= (positive_uniform(rng).ln() / k as f64).exp();
+            }
+            None => return reservoir,
+        }
+    }
+}
+
+fn positive_uniform<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = rng.gen::<f64>();
+        if u > 0.0 && u < 1.0 {
+            return u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn short_streams_are_returned_whole() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let sample = reservoir_sample(&mut rng, 0..3, 10);
+        assert_eq!(sample, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let sample: Vec<i32> = reservoir_sample(&mut rng, 0..100, 0);
+        assert!(sample.is_empty());
+    }
+
+    #[test]
+    fn sample_size_is_exact() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let sample = reservoir_sample(&mut rng, 0..10_000, 64);
+        assert_eq!(sample.len(), 64);
+        assert!(sample.iter().all(|&x| x < 10_000));
+    }
+
+    #[test]
+    fn marginal_inclusion_is_uniform() {
+        // Every stream element should land in the reservoir with
+        // probability k/n.
+        let mut rng = StdRng::seed_from_u64(74);
+        let n = 100;
+        let k = 10;
+        let trials = 30_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            for x in reservoir_sample(&mut rng, 0..n, k) {
+                counts[x] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            assert!((emp - 0.1).abs() < 0.02, "element {i}: {emp}");
+        }
+    }
+}

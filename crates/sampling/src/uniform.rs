@@ -1,0 +1,117 @@
+//! Uniform index sampling, with and without replacement.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+/// Draws `k` indices uniformly from `0..n` *with* replacement.
+///
+/// This is the i.i.d. sample the paper's uniform estimators (`U-NoCI`,
+/// `U-CI`) analyze.
+///
+/// # Panics
+/// Panics when `n == 0` and `k > 0`.
+pub fn sample_with_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(n > 0 || k == 0, "sample_with_replacement: empty population");
+    (0..k).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Draws `k` distinct indices uniformly from `0..n` (without replacement).
+///
+/// Uses Floyd's algorithm: O(k) time and memory regardless of `n`, so
+/// sampling 10⁴ of 10⁹ indices never materializes the population. The order
+/// of the returned indices is randomized.
+///
+/// # Panics
+/// Panics when `k > n`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "sample_without_replacement: k={k} > n={n}");
+    let mut chosen = HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    // Floyd: for j in n−k..n, pick t ∈ [0, j]; insert t unless taken, else j.
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.insert(t) { t } else { j };
+        if pick != t {
+            chosen.insert(pick);
+        }
+        out.push(pick);
+    }
+    // Floyd's order is biased (later slots skew high); shuffle for callers
+    // that consume a prefix.
+    for i in (1..out.len()).rev() {
+        out.swap(i, rng.gen_range(0..=i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn with_replacement_covers_range_uniformly() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let draws = sample_with_replacement(&mut rng, 10, 100_000);
+        let mut counts = [0usize; 10];
+        for d in draws {
+            counts[d] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((c as f64 / 100_000.0 - 0.1).abs() < 0.01, "index {i}");
+        }
+    }
+
+    #[test]
+    fn without_replacement_returns_distinct() {
+        let mut rng = StdRng::seed_from_u64(62);
+        for _ in 0..50 {
+            let s = sample_without_replacement(&mut rng, 100, 30);
+            assert_eq!(s.len(), 30);
+            let set: HashSet<usize> = s.iter().copied().collect();
+            assert_eq!(set.len(), 30, "duplicates in {s:?}");
+            assert!(s.iter().all(|&i| i < 100));
+        }
+    }
+
+    #[test]
+    fn without_replacement_full_population() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let mut s = sample_without_replacement(&mut rng, 8, 8);
+        s.sort_unstable();
+        assert_eq!(s, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn without_replacement_marginals_are_uniform() {
+        // Each index should appear in a k-of-n sample with probability k/n.
+        let mut rng = StdRng::seed_from_u64(64);
+        let trials = 20_000;
+        let mut counts = [0usize; 20];
+        for _ in 0..trials {
+            for i in sample_without_replacement(&mut rng, 20, 5) {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            assert!((emp - 0.25).abs() < 0.02, "index {i}: {emp}");
+        }
+    }
+
+    #[test]
+    fn zero_k_is_fine() {
+        let mut rng = StdRng::seed_from_u64(65);
+        assert!(sample_with_replacement(&mut rng, 0, 0).is_empty());
+        assert!(sample_without_replacement(&mut rng, 5, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k=6 > n=5")]
+    fn without_replacement_rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(66);
+        sample_without_replacement(&mut rng, 5, 6);
+    }
+}

@@ -1,0 +1,209 @@
+//! Importance-weight construction for the SUPG estimators.
+//!
+//! Theorem 1 of the paper: for a calibrated proxy `a(x)`, sampling with
+//! probability `w(x) ∝ sqrt(a(x)) · u(x)` minimizes the variance of the
+//! reweighted count estimator. Algorithms 4 and 5 additionally mix 10%
+//! uniform mass into the weights ("defensive mixing", after Owen & Zhou) so
+//! an adversarially bad proxy can only cost a constant factor relative to
+//! uniform sampling.
+//!
+//! [`ImportanceWeights`] captures the full recipe — an exponent `p` applied
+//! to the proxy scores (`p = 0.5` is the paper's optimum, `p = 0` recovers
+//! uniform, `p = 1` is the naive proportional scheme of Figure 8) plus the
+//! uniform mixing ratio — and exposes the sampling probabilities `w(x)` and
+//! reweighting factors `m(x) = u(x)/w(x)` every reweighted estimate needs.
+
+use crate::alias::AliasTable;
+
+/// Normalized sampling distribution over record indices together with the
+/// importance-reweighting factors.
+#[derive(Debug, Clone)]
+pub struct ImportanceWeights {
+    probs: Vec<f64>,
+}
+
+impl ImportanceWeights {
+    /// Builds weights `w(x) ∝ (1−mix) · A(x)^p / Σ A^p + mix / n` from proxy
+    /// scores.
+    ///
+    /// * `exponent` — the power `p` applied to each score. The paper proves
+    ///   `p = 1/2` optimal for calibrated proxies (Theorem 1) and sweeps
+    ///   `p ∈ [0, 1]` in Figure 12.
+    /// * `uniform_mix` — defensive mixing ratio in `[0, 1]`; Algorithms 4–5
+    ///   use `0.1`. With `uniform_mix = 1` (or when all scores are zero) the
+    ///   distribution is exactly uniform.
+    ///
+    /// # Panics
+    /// Panics if `scores` is empty, any score is negative/non-finite,
+    /// `exponent` is negative, or `uniform_mix` is outside `[0, 1]`.
+    pub fn from_scores(scores: &[f64], exponent: f64, uniform_mix: f64) -> Self {
+        assert!(!scores.is_empty(), "ImportanceWeights: empty scores");
+        assert!(exponent >= 0.0, "ImportanceWeights: exponent={exponent} < 0");
+        assert!(
+            (0.0..=1.0).contains(&uniform_mix),
+            "ImportanceWeights: uniform_mix={uniform_mix} outside [0, 1]"
+        );
+        let n = scores.len();
+        let mut powered: Vec<f64> = scores
+            .iter()
+            .map(|&a| {
+                assert!(a.is_finite() && a >= 0.0, "ImportanceWeights: bad score {a}");
+                a.powf(exponent)
+            })
+            .collect();
+        let total: f64 = powered.iter().sum();
+        let uniform = 1.0 / n as f64;
+        if total <= 0.0 {
+            // All scores zero: the proxy carries no information; fall back
+            // to the uniform distribution regardless of the mixing ratio.
+            return Self { probs: vec![uniform; n] };
+        }
+        for p in powered.iter_mut() {
+            *p = (1.0 - uniform_mix) * (*p / total) + uniform_mix * uniform;
+        }
+        Self { probs: powered }
+    }
+
+    /// The exact uniform distribution over `n` indices.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "ImportanceWeights: n must be > 0");
+        Self { probs: vec![1.0 / n as f64; n] }
+    }
+
+    /// Number of indices.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Always false (construction forbids empty distributions).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Sampling probability `w(x)` of index `i` (sums to 1 over all `i`).
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// All sampling probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Reweighting factor `m(x) = u(x) / w(x) = 1 / (n · w(x))` for index
+    /// `i`, as used by the paper's reweighted recall/precision estimates
+    /// (Equations 11–12).
+    pub fn reweight_factor(&self, i: usize) -> f64 {
+        1.0 / (self.probs.len() as f64 * self.probs[i])
+    }
+
+    /// Builds the O(1)-draw alias sampler for this distribution.
+    pub fn build_sampler(&self) -> AliasTable {
+        AliasTable::new(&self.probs)
+    }
+
+    /// Restriction of this distribution to a subset of indices, renormalized
+    /// — used by the two-stage precision estimator, whose second stage
+    /// samples only from the top-scored records. Returns the restricted
+    /// distribution alongside the subset it indexes into.
+    ///
+    /// # Panics
+    /// Panics if `subset` is empty or contains an out-of-range index.
+    pub fn restrict(&self, subset: &[usize]) -> ImportanceWeights {
+        assert!(!subset.is_empty(), "ImportanceWeights::restrict: empty subset");
+        let raw: Vec<f64> = subset.iter().map(|&i| self.probs[i]).collect();
+        let total: f64 = raw.iter().sum();
+        assert!(total > 0.0, "ImportanceWeights::restrict: zero mass subset");
+        Self {
+            probs: raw.into_iter().map(|p| p / total).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let scores = [0.9, 0.01, 0.5, 0.0, 0.3];
+        for &(p, mix) in &[(0.5, 0.1), (1.0, 0.0), (0.0, 0.0), (0.25, 0.5)] {
+            let w = ImportanceWeights::from_scores(&scores, p, mix);
+            let total: f64 = w.probs().iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "p={p} mix={mix}: total={total}");
+        }
+    }
+
+    #[test]
+    fn sqrt_weights_without_mixing() {
+        let scores = [0.25, 1.0];
+        let w = ImportanceWeights::from_scores(&scores, 0.5, 0.0);
+        // sqrt weights: 0.5 and 1.0 → probabilities 1/3 and 2/3.
+        assert!((w.prob(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((w.prob(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defensive_mixing_floors_probabilities() {
+        // With 10% uniform mixing over n records, every probability is at
+        // least 0.1/n — so reweighting factors are at most 10.
+        let mut scores = vec![0.0; 99];
+        scores.push(1.0);
+        let w = ImportanceWeights::from_scores(&scores, 0.5, 0.1);
+        for i in 0..100 {
+            assert!(w.prob(i) >= 0.1 / 100.0 - 1e-15, "index {i}");
+            assert!(w.reweight_factor(i) <= 10.0 + 1e-12, "index {i}");
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let scores = [0.2, 0.9, 0.4];
+        let w = ImportanceWeights::from_scores(&scores, 0.0, 0.0);
+        for i in 0..3 {
+            assert!((w.prob(i) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_zero_scores_fall_back_to_uniform() {
+        let w = ImportanceWeights::from_scores(&[0.0, 0.0, 0.0, 0.0], 0.5, 0.1);
+        for i in 0..4 {
+            assert!((w.prob(i) - 0.25).abs() < 1e-12);
+            assert!((w.reweight_factor(i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reweight_factor_is_inverse_likelihood_ratio() {
+        let scores = [0.1, 0.9];
+        let w = ImportanceWeights::from_scores(&scores, 1.0, 0.0);
+        // Expected value of m(x) under w equals 1 (it is a likelihood ratio).
+        let mean_m: f64 = (0..2).map(|i| w.prob(i) * w.reweight_factor(i)).sum();
+        assert!((mean_m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_renormalizes() {
+        let scores = [0.1, 0.2, 0.3, 0.4];
+        let w = ImportanceWeights::from_scores(&scores, 1.0, 0.0);
+        let r = w.restrict(&[2, 3]);
+        assert_eq!(r.len(), 2);
+        assert!((r.prob(0) - 0.3 / 0.7).abs() < 1e-12);
+        assert!((r.prob(1) - 0.4 / 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let w = ImportanceWeights::uniform(5);
+        assert_eq!(w.len(), 5);
+        assert!((w.prob(3) - 0.2).abs() < 1e-15);
+        assert!((w.reweight_factor(3) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_bad_mix() {
+        ImportanceWeights::from_scores(&[0.5], 0.5, 1.5);
+    }
+}

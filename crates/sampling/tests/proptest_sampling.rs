@@ -1,0 +1,142 @@
+//! Property-based tests for the sampling substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use supg_sampling::{
+    sample_without_replacement, AliasTable, CdfSampler, ImportanceWeights,
+};
+
+proptest! {
+    #[test]
+    fn alias_table_preserves_normalized_weights(
+        weights in prop::collection::vec(0.0f64..100.0, 1..50)
+            .prop_filter("needs positive mass", |w| w.iter().sum::<f64>() > 0.0),
+    ) {
+        let table = AliasTable::new(&weights);
+        let total: f64 = weights.iter().sum();
+        let prob_sum: f64 = (0..weights.len()).map(|i| table.prob(i)).sum();
+        prop_assert!((prob_sum - 1.0).abs() < 1e-9);
+        for (i, &w) in weights.iter().enumerate() {
+            prop_assert!((table.prob(i) - w / total).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn alias_never_draws_zero_weight(
+        positives in prop::collection::vec(0.1f64..10.0, 1..10),
+        zeros in 0usize..10,
+        seed in 0u64..500,
+    ) {
+        let mut weights = vec![0.0; zeros];
+        weights.extend(&positives);
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = table.sample(&mut rng);
+            prop_assert!(i >= zeros, "drew zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn cdf_sampler_matches_alias_support(
+        weights in prop::collection::vec(0.0f64..10.0, 1..30)
+            .prop_filter("needs positive mass", |w| w.iter().sum::<f64>() > 0.0),
+        seed in 0u64..200,
+    ) {
+        let cdf = CdfSampler::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let i = cdf.sample(&mut rng);
+            prop_assert!(weights[i] > 0.0, "cdf drew zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn without_replacement_is_a_subset_permutation(
+        n in 1usize..200,
+        seed in 0u64..500,
+    ) {
+        let k = n / 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = sample_without_replacement(&mut rng, n, k);
+        prop_assert_eq!(s.len(), k);
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), k, "duplicates found");
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn importance_weights_are_a_distribution(
+        scores in prop::collection::vec(0.0f64..=1.0, 1..100),
+        exponent in 0.0f64..2.0,
+        mix in 0.0f64..=1.0,
+    ) {
+        let w = ImportanceWeights::from_scores(&scores, exponent, mix);
+        let total: f64 = w.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(w.probs().iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn reweighting_has_unit_expectation(
+        scores in prop::collection::vec(0.001f64..=1.0, 2..100),
+        mix in 0.05f64..=0.5,
+    ) {
+        // E_w[m(x)] = Σ w(x) · u(x)/w(x) = 1: the reweighted estimator of
+        // the constant function 1 is exactly unbiased.
+        let w = ImportanceWeights::from_scores(&scores, 0.5, mix);
+        let e: f64 = (0..scores.len()).map(|i| w.prob(i) * w.reweight_factor(i)).sum();
+        prop_assert!((e - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defensive_mixing_caps_reweight_factors(
+        scores in prop::collection::vec(0.0f64..=1.0, 1..200),
+    ) {
+        // With 10% uniform mass, w(x) ≥ 0.1/n, so m(x) = 1/(n·w(x)) ≤ 10.
+        let w = ImportanceWeights::from_scores(&scores, 0.5, 0.1);
+        for i in 0..scores.len() {
+            prop_assert!(w.reweight_factor(i) <= 10.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn restriction_renormalizes(
+        scores in prop::collection::vec(0.01f64..=1.0, 4..50),
+    ) {
+        let w = ImportanceWeights::from_scores(&scores, 1.0, 0.0);
+        let subset: Vec<usize> = (0..scores.len()).step_by(2).collect();
+        let r = w.restrict(&subset);
+        let total: f64 = r.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Relative proportions within the subset are preserved.
+        if subset.len() >= 2 {
+            let ratio_full = w.prob(subset[0]) / w.prob(subset[1]);
+            let ratio_restricted = r.prob(0) / r.prob(1);
+            prop_assert!((ratio_full - ratio_restricted).abs() < 1e-9);
+        }
+    }
+}
+
+/// Empirical-marginal check with a fixed, moderately large draw count —
+/// outside proptest since it is statistical rather than logical.
+#[test]
+fn alias_empirical_marginals_track_weights() {
+    let weights: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+    let table = AliasTable::new(&weights);
+    let mut rng = StdRng::seed_from_u64(99);
+    let n = 400_000;
+    let mut counts = vec![0f64; 16];
+    for _ in 0..n {
+        counts[table.sample(&mut rng)] += 1.0;
+    }
+    let total: f64 = weights.iter().sum();
+    for i in 0..16 {
+        let expected = weights[i] / total;
+        let emp = counts[i] / n as f64;
+        assert!((emp - expected).abs() < 0.004, "index {i}: {emp} vs {expected}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Numerical verification of the paper's Theorem 1 and the §10.2 variance
+//! identities for importance-weight choices.
+//!
+//! For a calibrated proxy `a(x)` and the count estimator
+//! `f(x) = O(x)`, the variance of the reweighted estimator decomposes as
+//! `V = V₁ − E_u[a]²` with
+//!
+//! ```text
+//! V₁^(uniform) = E_u[a]
+//! V₁^(prop)    = Pr(a > 0) · E_u[a]
+//! V₁^(sqrt)    = E_u[√a]²
+//! ```
+//!
+//! and the paper proves `V₁^(sqrt) ≤ V₁^(prop) ≤ V₁^(uniform)` with gap
+//! `V₁^(uniform) − V₁^(sqrt) = Var_u[√a]`. These tests check the
+//! closed-form identities against brute-force sums and against Monte-Carlo
+//! estimator variance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use supg_sampling::ImportanceWeights;
+use supg_stats::dist::Beta;
+
+/// Closed-form `V₁ = Σ_x a(x) u(x)² / w(x)` for a weight choice.
+fn v1(scores: &[f64], weights: &ImportanceWeights) -> f64 {
+    let n = scores.len() as f64;
+    scores
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a > 0.0)
+        .map(|(i, &a)| a * (1.0 / n).powi(2) / weights.prob(i))
+        .sum()
+}
+
+fn scores(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Beta::new(0.05, 2.0);
+    (0..n).map(|_| dist.sample(&mut rng)).collect()
+}
+
+#[test]
+fn variance_ordering_sqrt_beats_prop_beats_uniform() {
+    let scores = scores(20_000, 1);
+    let uniform = ImportanceWeights::uniform(scores.len());
+    let prop = ImportanceWeights::from_scores(&scores, 1.0, 0.0);
+    let sqrt = ImportanceWeights::from_scores(&scores, 0.5, 0.0);
+    let (vu, vp, vs) = (v1(&scores, &uniform), v1(&scores, &prop), v1(&scores, &sqrt));
+    // Beta draws are almost surely positive, so Pr(a > 0) = 1 and
+    // V₁^(prop) = V₁^(uniform) up to floating-point accumulation.
+    let tol = 1e-10 * vu;
+    assert!(vs <= vp + tol, "sqrt {vs} vs prop {vp}");
+    assert!(vp <= vu + tol, "prop {vp} vs uniform {vu}");
+    assert!(vs < 0.9 * vu, "sqrt should win strictly here: {vs} vs {vu}");
+}
+
+#[test]
+fn closed_forms_match_the_paper() {
+    let scores = scores(20_000, 2);
+    let n = scores.len() as f64;
+    let mean_a: f64 = scores.iter().sum::<f64>() / n;
+    let mean_sqrt_a: f64 = scores.iter().map(|a| a.sqrt()).sum::<f64>() / n;
+    let frac_positive = scores.iter().filter(|&&a| a > 0.0).count() as f64 / n;
+
+    let uniform = ImportanceWeights::uniform(scores.len());
+    let prop = ImportanceWeights::from_scores(&scores, 1.0, 0.0);
+    let sqrt = ImportanceWeights::from_scores(&scores, 0.5, 0.0);
+
+    // §10.2: V₁^(u) = E[a].
+    assert!((v1(&scores, &uniform) - mean_a).abs() < 1e-10 * mean_a);
+    // V₁^(p) = Pr(a>0)·E[a].
+    assert!((v1(&scores, &prop) - frac_positive * mean_a).abs() < 1e-10 * mean_a);
+    // V₁^(s) = E[√a]².
+    let expected_sqrt = mean_sqrt_a * mean_sqrt_a;
+    assert!((v1(&scores, &sqrt) - expected_sqrt).abs() < 1e-10 * expected_sqrt);
+
+    // Gap identity: V₁^(u) − V₁^(s) = Var_u[√a].
+    let var_sqrt_a: f64 =
+        scores.iter().map(|a| (a.sqrt() - mean_sqrt_a).powi(2)).sum::<f64>() / n;
+    let gap = v1(&scores, &uniform) - v1(&scores, &sqrt);
+    assert!(
+        (gap - var_sqrt_a).abs() < 1e-10 * var_sqrt_a,
+        "gap {gap} vs Var[sqrt a] {var_sqrt_a}"
+    );
+}
+
+#[test]
+fn sqrt_weights_minimize_over_exponent_family() {
+    // Theorem 1 says w ∝ √a·u is the *global* minimizer; within the
+    // exponent family a^p the minimum must therefore sit at p = 0.5.
+    let scores = scores(20_000, 3);
+    let v_at = |p: f64| v1(&scores, &ImportanceWeights::from_scores(&scores, p, 0.0));
+    let v_half = v_at(0.5);
+    for &p in &[0.0, 0.2, 0.35, 0.65, 0.8, 1.0] {
+        assert!(v_half <= v_at(p) + 1e-15, "p={p}: {} < {v_half}", v_at(p));
+    }
+}
+
+#[test]
+fn monte_carlo_estimator_variance_matches_closed_form() {
+    // Estimate the positive rate by importance sampling with each weighting
+    // and compare the empirical estimator variance across repetitions with
+    // the exact conditional (fixed-label) variance
+    // `Var = Σ_x O(x)·u(x)²/w(x) − rate²` per draw.
+    let scores = scores(5_000, 4);
+    let n = scores.len();
+    let mut rng = StdRng::seed_from_u64(5);
+    let labels: Vec<bool> = scores.iter().map(|&a| rng.gen::<f64>() < a).collect();
+    let label_rate = labels.iter().filter(|&&l| l).count() as f64 / n as f64;
+
+    for (exponent, label) in [(0.5, "sqrt"), (1.0, "prop")] {
+        let weights = ImportanceWeights::from_scores(&scores, exponent, 0.0);
+        let sampler = weights.build_sampler();
+        let s = 200; // draws per estimate
+        let reps = 3_000;
+        let mut estimates = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let mut acc = 0.0;
+            for _ in 0..s {
+                let i = sampler.sample(&mut rng);
+                if labels[i] {
+                    acc += weights.reweight_factor(i);
+                }
+            }
+            estimates.push(acc / s as f64);
+        }
+        let emp_mean: f64 = estimates.iter().sum::<f64>() / reps as f64;
+        assert!(
+            (emp_mean - label_rate).abs() < 0.01,
+            "{label}: estimator mean {emp_mean} vs label rate {label_rate}"
+        );
+        let emp_var: f64 = estimates
+            .iter()
+            .map(|e| (e - emp_mean).powi(2))
+            .sum::<f64>()
+            / (reps - 1) as f64;
+        // Exact per-draw variance conditioned on the realized labels.
+        let per_draw: f64 = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l)
+            .map(|(i, _)| (1.0 / n as f64).powi(2) / weights.prob(i))
+            .sum::<f64>()
+            - label_rate * label_rate;
+        let closed = per_draw / s as f64;
+        assert!(
+            emp_var < 1.2 * closed && emp_var > 0.8 * closed,
+            "{label}: empirical var {emp_var} vs closed form {closed}"
+        );
+    }
+}

@@ -1,0 +1,457 @@
+//! One-sided confidence bounds on sample means.
+//!
+//! The SUPG guarantees (paper §5.2) are built from one-sided bounds: given an
+//! i.i.d. sample with empirical mean `μ̂`, the algorithms need an `UB`/`LB`
+//! such that the *population* mean exceeds/falls below it with probability at
+//! most `δ`. The paper's default is the Lemma-1 normal approximation
+//!
+//! ```text
+//! UB(μ, σ, s, δ) = μ + σ/√s · sqrt(2 ln(1/δ))
+//! LB(μ, σ, s, δ) = μ − σ/√s · sqrt(2 ln(1/δ))
+//! ```
+//!
+//! and its §6.4 sensitivity study (Figure 13) swaps in Hoeffding's
+//! inequality, the Clopper–Pearson exact binomial interval, and the
+//! percentile bootstrap. All of these are implemented behind one enum,
+//! [`CiMethod`], so every selector is generic over the bound method.
+//!
+//! [`ratio_bounds`] implements the delta-method reduction that turns a bound
+//! on a *mean* into a bound on a *ratio of means* — the form precision
+//! estimates take under importance sampling (see `DESIGN.md` §3).
+
+use rand::Rng;
+
+use crate::describe::{quantile_sorted, RunningStats};
+use crate::special::{inv_inc_beta, inv_norm_cdf};
+
+/// Width of the paper's Lemma-1 bound: `σ/√s · sqrt(2 ln(1/δ))`.
+///
+/// Exposed directly because Algorithms 2 and 4 use it with plug-in `σ̂`.
+pub fn lemma1_half_width(sd: f64, s: usize, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "lemma1_half_width: delta={delta}");
+    if s == 0 {
+        return f64::INFINITY;
+    }
+    sd / (s as f64).sqrt() * (2.0 * (1.0 / delta).ln()).sqrt()
+}
+
+/// A one-sided confidence-bound method for the mean of an i.i.d. sample.
+///
+/// `upper(sample, δ)` returns `u` with `Pr[E[X] > u] ≲ δ` (and symmetrically
+/// for `lower`). Methods that need randomness (the bootstrap) draw it from
+/// the RNG passed by the caller, keeping experiments deterministic under
+/// seeded trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CiMethod {
+    /// The paper's Lemma 1: `μ̂ ± σ̂/√s · sqrt(2 ln(1/δ))`.
+    ///
+    /// Slightly conservative relative to the exact normal quantile
+    /// (`sqrt(2 ln(1/δ)) ≥ z₁₋δ`), which is what makes the empirical failure
+    /// rates in the paper sit below `δ`.
+    PaperNormal,
+    /// Central-limit bound with the exact normal quantile
+    /// `μ̂ ± z₁₋δ · σ̂/√s`. Tighter than [`CiMethod::PaperNormal`].
+    ZNormal,
+    /// Hoeffding's inequality using the observed sample range as the
+    /// support width: `μ̂ ± (max−min) · sqrt(ln(1/δ) / 2s)`.
+    ///
+    /// Distribution-free but, as the paper observes (§6.4), vacuously wide
+    /// for rare-positive indicator data.
+    Hoeffding,
+    /// Clopper–Pearson "exact" binomial interval. Only valid for samples of
+    /// 0/1 values (uniform sampling); falls back to [`CiMethod::PaperNormal`]
+    /// when the sample is not binary, mirroring the paper's remark that
+    /// Clopper–Pearson only applies to uniform sampling.
+    ClopperPearson,
+    /// Wilson score interval (one-sided). Binary samples only, with the same
+    /// fallback as Clopper–Pearson.
+    Wilson,
+    /// One-sided percentile bootstrap of the sample mean.
+    Bootstrap {
+        /// Number of bootstrap resamples (the paper-style default is 1000).
+        resamples: usize,
+    },
+}
+
+impl Default for CiMethod {
+    fn default() -> Self {
+        CiMethod::PaperNormal
+    }
+}
+
+impl CiMethod {
+    /// One-sided upper confidence bound on the population mean.
+    pub fn upper<R: Rng + ?Sized>(&self, sample: &[f64], delta: f64, rng: &mut R) -> f64 {
+        self.bound(sample, delta, rng, Side::Upper)
+    }
+
+    /// One-sided lower confidence bound on the population mean.
+    pub fn lower<R: Rng + ?Sized>(&self, sample: &[f64], delta: f64, rng: &mut R) -> f64 {
+        self.bound(sample, delta, rng, Side::Lower)
+    }
+
+    fn bound<R: Rng + ?Sized>(&self, sample: &[f64], delta: f64, rng: &mut R, side: Side) -> f64 {
+        assert!(delta > 0.0 && delta < 1.0, "CiMethod: delta={delta} outside (0,1)");
+        if sample.is_empty() {
+            return match side {
+                Side::Upper => f64::INFINITY,
+                Side::Lower => f64::NEG_INFINITY,
+            };
+        }
+        let stats = RunningStats::from_slice(sample);
+        let n = sample.len();
+        match self {
+            CiMethod::PaperNormal => {
+                let w = lemma1_half_width(stats.sample_sd(), n, delta);
+                side.apply(stats.mean(), w)
+            }
+            CiMethod::ZNormal => {
+                let z = inv_norm_cdf(1.0 - delta);
+                let w = z * stats.sample_sd() / (n as f64).sqrt();
+                side.apply(stats.mean(), w)
+            }
+            CiMethod::Hoeffding => {
+                let range = stats.max() - stats.min();
+                let w = range * ((1.0 / delta).ln() / (2.0 * n as f64)).sqrt();
+                side.apply(stats.mean(), w)
+            }
+            CiMethod::ClopperPearson => match binary_successes(sample) {
+                Some(k) => clopper_pearson(k, n as u64, delta, side),
+                None => CiMethod::PaperNormal.bound(sample, delta, rng, side),
+            },
+            CiMethod::Wilson => match binary_successes(sample) {
+                Some(k) => wilson(k, n as u64, delta, side),
+                None => CiMethod::PaperNormal.bound(sample, delta, rng, side),
+            },
+            CiMethod::Bootstrap { resamples } => {
+                bootstrap_mean_bound(sample, delta, *resamples, rng, side)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Upper,
+    Lower,
+}
+
+impl Side {
+    fn apply(self, mean: f64, half_width: f64) -> f64 {
+        match self {
+            Side::Upper => mean + half_width,
+            Side::Lower => mean - half_width,
+        }
+    }
+}
+
+/// Returns `Some(successes)` when every sample value is 0 or 1.
+fn binary_successes(sample: &[f64]) -> Option<u64> {
+    let mut k = 0u64;
+    for &x in sample {
+        if x == 1.0 {
+            k += 1;
+        } else if x != 0.0 {
+            return None;
+        }
+    }
+    Some(k)
+}
+
+/// One-sided Clopper–Pearson bound for `k` successes in `n` trials.
+///
+/// `Lower`: the `p` with `Pr[Bin(n,p) ≥ k] = δ`, i.e. `BetaInv(δ; k, n−k+1)`.
+/// `Upper`: `BetaInv(1−δ; k+1, n−k)`.
+fn clopper_pearson(k: u64, n: u64, delta: f64, side: Side) -> f64 {
+    match side {
+        Side::Lower => {
+            if k == 0 {
+                0.0
+            } else {
+                inv_inc_beta(k as f64, (n - k) as f64 + 1.0, delta)
+            }
+        }
+        Side::Upper => {
+            if k == n {
+                1.0
+            } else {
+                inv_inc_beta(k as f64 + 1.0, (n - k) as f64, 1.0 - delta)
+            }
+        }
+    }
+}
+
+/// One-sided Wilson score bound for `k` successes in `n` trials.
+fn wilson(k: u64, n: u64, delta: f64, side: Side) -> f64 {
+    let z = inv_norm_cdf(1.0 - delta);
+    let n = n as f64;
+    let p = k as f64 / n;
+    let z2 = z * z;
+    let center = (p + z2 / (2.0 * n)) / (1.0 + z2 / n);
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / (1.0 + z2 / n);
+    match side {
+        Side::Upper => (center + half).min(1.0),
+        Side::Lower => (center - half).max(0.0),
+    }
+}
+
+/// One-sided percentile bootstrap bound on the mean.
+fn bootstrap_mean_bound<R: Rng + ?Sized>(
+    sample: &[f64],
+    delta: f64,
+    resamples: usize,
+    rng: &mut R,
+    side: Side,
+) -> f64 {
+    assert!(resamples > 0, "Bootstrap: resamples must be > 0");
+    let n = sample.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += sample[rng.gen_range(0..n)];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN means"));
+    match side {
+        Side::Upper => quantile_sorted(&means, 1.0 - delta),
+        Side::Lower => quantile_sorted(&means, delta),
+    }
+}
+
+/// Paired observations for a ratio-of-means estimate `R = E[Y] / E[X]`.
+///
+/// Under importance sampling, precision at threshold `τ` is estimated as
+/// `Σ O(x)·m(x) / Σ m(x)` over the sampled records with `A(x) ≥ τ` — a ratio
+/// of means of the paired variables `(yᵢ, xᵢ) = (O·m, m)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioBounds {
+    /// Plug-in point estimate `ȳ / x̄` (0 when `x̄ = 0`).
+    pub estimate: f64,
+    /// One-sided lower confidence bound.
+    pub lower: f64,
+    /// One-sided upper confidence bound.
+    pub upper: f64,
+}
+
+/// Delta-method confidence bounds for a ratio of means.
+///
+/// Builds the linearized pseudo-observations
+/// `rᵢ = R̂ + (yᵢ − R̂·xᵢ) / x̄`, whose mean is exactly `R̂` and whose
+/// standard deviation is the delta-method standard error times `√n`, then
+/// delegates to `method` for the mean bound. When the sample is unweighted
+/// (`xᵢ ≡ 1`), `rᵢ = yᵢ` exactly, so this reduces to the paper's plain
+/// Algorithm-3 bound (and keeps Clopper–Pearson applicable for uniform
+/// sampling of indicator data).
+///
+/// Each of `lower`/`upper` separately holds with probability ≥ 1 − δ
+/// (asymptotically); callers budget δ per side as the paper does.
+pub fn ratio_bounds<R: Rng + ?Sized>(
+    ys: &[f64],
+    xs: &[f64],
+    delta: f64,
+    method: CiMethod,
+    rng: &mut R,
+) -> RatioBounds {
+    assert_eq!(ys.len(), xs.len(), "ratio_bounds: length mismatch");
+    if ys.is_empty() {
+        return RatioBounds {
+            estimate: 0.0,
+            lower: f64::NEG_INFINITY,
+            upper: f64::INFINITY,
+        };
+    }
+    let n = ys.len() as f64;
+    let x_bar = xs.iter().sum::<f64>() / n;
+    if x_bar <= 0.0 {
+        return RatioBounds {
+            estimate: 0.0,
+            lower: f64::NEG_INFINITY,
+            upper: f64::INFINITY,
+        };
+    }
+    let y_bar = ys.iter().sum::<f64>() / n;
+    let r_hat = y_bar / x_bar;
+    let pseudo: Vec<f64> = ys
+        .iter()
+        .zip(xs)
+        .map(|(&y, &x)| r_hat + (y - r_hat * x) / x_bar)
+        .collect();
+    RatioBounds {
+        estimate: r_hat,
+        lower: method.lower(&pseudo, delta, rng),
+        upper: method.upper(&pseudo, delta, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn indicator_sample(k: usize, n: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        for x in v.iter_mut().take(k) {
+            *x = 1.0;
+        }
+        v
+    }
+
+    #[test]
+    fn paper_normal_matches_formula() {
+        let sample = indicator_sample(30, 100);
+        let mut r = rng();
+        let ub = CiMethod::PaperNormal.upper(&sample, 0.05, &mut r);
+        let stats = RunningStats::from_slice(&sample);
+        let expected = stats.mean() + lemma1_half_width(stats.sample_sd(), 100, 0.05);
+        assert!((ub - expected).abs() < 1e-12);
+        let lb = CiMethod::PaperNormal.lower(&sample, 0.05, &mut r);
+        assert!((lb - (2.0 * stats.mean() - expected)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_normal_is_wider_than_z_normal() {
+        let sample = indicator_sample(30, 100);
+        let mut r = rng();
+        let paper = CiMethod::PaperNormal.upper(&sample, 0.05, &mut r);
+        let z = CiMethod::ZNormal.upper(&sample, 0.05, &mut r);
+        assert!(paper > z, "paper bound must be more conservative");
+    }
+
+    #[test]
+    fn hoeffding_is_wider_than_normal_for_rare_positives() {
+        // Rare positives: sd is small, so the variance-aware bound wins.
+        let sample = indicator_sample(3, 1000);
+        let mut r = rng();
+        let normal = CiMethod::PaperNormal.upper(&sample, 0.05, &mut r);
+        let hoeff = CiMethod::Hoeffding.upper(&sample, 0.05, &mut r);
+        assert!(hoeff > normal, "hoeffding {hoeff} vs normal {normal}");
+    }
+
+    #[test]
+    fn clopper_pearson_brackets_true_p() {
+        // For k=5, n=50: classical one-sided 95% bounds.
+        let sample = indicator_sample(5, 50);
+        let mut r = rng();
+        let lb = CiMethod::ClopperPearson.lower(&sample, 0.05, &mut r);
+        let ub = CiMethod::ClopperPearson.upper(&sample, 0.05, &mut r);
+        assert!(lb < 0.1 && 0.1 < ub, "lb={lb} ub={ub}");
+        // Defining identities of the exact interval:
+        //   Pr[Bin(n, lb) ≥ k] = δ   and   Pr[Bin(n, ub) ≤ k] = δ.
+        let at_lb = 1.0 - crate::dist::Binomial::new(50, lb).cdf(4);
+        let at_ub = crate::dist::Binomial::new(50, ub).cdf(5);
+        assert!((at_lb - 0.05).abs() < 1e-6, "lb identity: {at_lb}");
+        assert!((at_ub - 0.05).abs() < 1e-6, "ub identity: {at_ub}");
+    }
+
+    #[test]
+    fn clopper_pearson_edge_counts() {
+        let zeros = vec![0.0; 20];
+        let ones = vec![1.0; 20];
+        let mut r = rng();
+        assert_eq!(CiMethod::ClopperPearson.lower(&zeros, 0.05, &mut r), 0.0);
+        assert_eq!(CiMethod::ClopperPearson.upper(&ones, 0.05, &mut r), 1.0);
+        // "Rule of three"-style upper bound for zero successes.
+        let ub0 = CiMethod::ClopperPearson.upper(&zeros, 0.05, &mut r);
+        assert!((ub0 - (1.0 - 0.05_f64.powf(1.0 / 20.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clopper_pearson_falls_back_for_non_binary() {
+        let sample = vec![0.5, 1.5, 0.7, 0.2];
+        let mut r = rng();
+        let cp = CiMethod::ClopperPearson.upper(&sample, 0.05, &mut r);
+        let normal = CiMethod::PaperNormal.upper(&sample, 0.05, &mut r);
+        assert_eq!(cp, normal);
+    }
+
+    #[test]
+    fn wilson_brackets_true_p() {
+        let sample = indicator_sample(5, 50);
+        let mut r = rng();
+        let lb = CiMethod::Wilson.lower(&sample, 0.05, &mut r);
+        let ub = CiMethod::Wilson.upper(&sample, 0.05, &mut r);
+        assert!(lb < 0.1 && 0.1 < ub);
+        assert!(lb > 0.0 && ub < 1.0);
+    }
+
+    #[test]
+    fn bootstrap_bounds_bracket_mean() {
+        let sample: Vec<f64> = (0..200).map(|i| (i % 7) as f64).collect();
+        let mut r = rng();
+        let m = CiMethod::Bootstrap { resamples: 500 };
+        let lb = m.lower(&sample, 0.05, &mut r);
+        let ub = m.upper(&sample, 0.05, &mut r);
+        let mean = RunningStats::from_slice(&sample).mean();
+        assert!(lb < mean && mean < ub, "lb={lb} mean={mean} ub={ub}");
+        assert!(ub - lb < 1.0, "bootstrap interval unexpectedly wide");
+    }
+
+    #[test]
+    fn empty_sample_gives_vacuous_bounds() {
+        let mut r = rng();
+        assert_eq!(CiMethod::PaperNormal.upper(&[], 0.05, &mut r), f64::INFINITY);
+        assert_eq!(CiMethod::PaperNormal.lower(&[], 0.05, &mut r), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn normal_coverage_is_at_least_nominal() {
+        // Empirical check of Lemma 1: over repeated samples from a Bernoulli
+        // population, the upper bound should cover the true mean at least
+        // (1 − δ) of the time.
+        let mut r = rng();
+        let p = 0.2;
+        let delta = 0.1;
+        let trials = 2000;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let sample: Vec<f64> = (0..200)
+                .map(|_| if r.gen::<f64>() < p { 1.0 } else { 0.0 })
+                .collect();
+            if CiMethod::PaperNormal.upper(&sample, delta, &mut r) >= p {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        assert!(rate >= 1.0 - delta, "coverage {rate}");
+    }
+
+    #[test]
+    fn ratio_bounds_reduce_to_mean_bounds_when_unweighted() {
+        let ys = indicator_sample(12, 60);
+        let xs = vec![1.0; 60];
+        let mut r = rng();
+        let rb = ratio_bounds(&ys, &xs, 0.05, CiMethod::PaperNormal, &mut r);
+        let direct_lo = CiMethod::PaperNormal.lower(&ys, 0.05, &mut r);
+        let direct_hi = CiMethod::PaperNormal.upper(&ys, 0.05, &mut r);
+        assert!((rb.estimate - 0.2).abs() < 1e-12);
+        assert!((rb.lower - direct_lo).abs() < 1e-10);
+        assert!((rb.upper - direct_hi).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ratio_bounds_weighted_estimate_is_ratio_of_sums() {
+        let ys = vec![1.0, 0.0, 2.0, 0.0];
+        let xs = vec![2.0, 1.0, 2.0, 1.0];
+        let mut r = rng();
+        let rb = ratio_bounds(&ys, &xs, 0.05, CiMethod::PaperNormal, &mut r);
+        assert!((rb.estimate - 3.0 / 6.0).abs() < 1e-12);
+        assert!(rb.lower <= rb.estimate && rb.estimate <= rb.upper);
+    }
+
+    #[test]
+    fn ratio_bounds_degenerate_inputs() {
+        let mut r = rng();
+        let rb = ratio_bounds(&[], &[], 0.05, CiMethod::PaperNormal, &mut r);
+        assert_eq!(rb.estimate, 0.0);
+        assert_eq!(rb.lower, f64::NEG_INFINITY);
+        let rb = ratio_bounds(&[0.0], &[0.0], 0.05, CiMethod::PaperNormal, &mut r);
+        assert_eq!(rb.estimate, 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Descriptive statistics: streaming moments, weighted means, quantiles and
+//! box-plot summaries.
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+///
+/// Used wherever the SUPG estimators need `μ̂` and `σ̂` of a derived sample
+/// (e.g. the reweighted indicator variables of Algorithms 2 and 4) without
+/// materializing intermediate vectors twice.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulates one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Accumulates a slice of observations.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Builds an accumulator from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        s.extend(xs);
+        s
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n−1 denominator; 0 when n < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (n denominator; 0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_sd(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance of a slice (0 when fewer than 2 elements).
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    RunningStats::from_slice(xs).sample_variance()
+}
+
+/// Unbiased sample standard deviation of a slice.
+pub fn sample_sd(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Weighted mean `Σ wᵢxᵢ / Σ wᵢ` (0 when total weight is 0).
+pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ws.len(), "weighted_mean: length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&x, &w) in xs.iter().zip(ws) {
+        num += w * x;
+        den += w;
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Linear-interpolation quantile (type 7, the numpy/R default) of an
+/// ascending-sorted slice. `q` is clamped to `[0, 1]`.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile_sorted: empty slice");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Five-number summary plus Tukey whiskers, the statistics behind the
+/// paper's box plots (Figures 1, 5 and 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Minimum observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Lower Tukey whisker: smallest observation ≥ `q1 − 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Upper Tukey whisker: largest observation ≤ `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+}
+
+impl FiveNumber {
+    /// Computes the summary from unordered data.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn from_data(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "FiveNumber: empty data");
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN data"));
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.5);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(sorted[0]);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(sorted[sorted.len() - 1]);
+        Self {
+            min: sorted[0],
+            q1,
+            median,
+            q3,
+            max: sorted[sorted.len() - 1],
+            whisker_lo,
+            whisker_hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_matches_direct_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = RunningStats::from_slice(&xs);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_empty_and_single() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        let mut s = RunningStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_is_stable_under_large_offsets() {
+        // A classic catastrophic-cancellation case for the naive formula.
+        let offset = 1e9;
+        let xs: Vec<f64> = (0..1000).map(|i| offset + (i % 10) as f64).collect();
+        let s = RunningStats::from_slice(&xs);
+        assert!((s.population_variance() - 8.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_mean_basic_and_degenerate() {
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[1.0, 1.0]), 2.0);
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[3.0, 1.0]), 1.5);
+        assert_eq!(weighted_mean(&[], &[]), 0.0);
+        assert_eq!(weighted_mean(&[5.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&xs, 1.0), 4.0);
+        assert!((quantile_sorted(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile_sorted(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let f = FiveNumber::from_data(&xs);
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.max, 100.0);
+        assert!((f.median - 50.5).abs() < 1e-12);
+        assert!((f.q1 - 25.75).abs() < 1e-12);
+        assert!((f.q3 - 75.25).abs() < 1e-12);
+        assert_eq!(f.whisker_lo, 1.0);
+        assert_eq!(f.whisker_hi, 100.0);
+    }
+
+    #[test]
+    fn five_number_whiskers_exclude_outliers() {
+        let mut xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        xs.push(1000.0); // far outlier
+        let f = FiveNumber::from_data(&xs);
+        assert_eq!(f.max, 1000.0);
+        assert!(f.whisker_hi <= 20.0, "whisker {}", f.whisker_hi);
+    }
+}

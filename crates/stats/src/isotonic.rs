@@ -1,0 +1,180 @@
+//! Isotonic regression (pool-adjacent-violators) and proxy calibration.
+//!
+//! SUPG's threshold strategy is optimal when proxy scores grow monotonically
+//! with the true match probability (paper §4.2), and its sqrt importance
+//! weights are derived for *calibrated* proxies (Theorem 1). Real proxies
+//! are merely correlated; the standard remedy is to fit a monotone map from
+//! raw score to empirical match probability on a labeled sample — exactly
+//! the isotonic-regression calibration implemented here. This is the
+//! "multiple proxies / better calibration" direction the paper's §8 flags
+//! as future work, included as an optional utility: the guarantees never
+//! depend on it, but calibrated weights improve sample efficiency.
+
+/// A monotone non-decreasing step function fit by pool-adjacent-violators
+/// (PAV), mapping proxy scores to calibrated match probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsotonicFit {
+    /// Right edge (maximum x) of each pooled block, ascending.
+    block_max_x: Vec<f64>,
+    /// Fitted value of each block (non-decreasing).
+    block_value: Vec<f64>,
+}
+
+impl IsotonicFit {
+    /// Fits weighted isotonic regression to `(x, y, weight)` observations.
+    ///
+    /// Observations are sorted by `x` internally; `y` values are pooled
+    /// wherever monotonicity would be violated (classic PAV, O(n log n) for
+    /// the sort plus O(n) pooling).
+    ///
+    /// # Panics
+    /// Panics on empty input, non-finite values, or non-positive weights.
+    pub fn fit(points: &[(f64, f64, f64)]) -> Self {
+        assert!(!points.is_empty(), "IsotonicFit: empty input");
+        let mut sorted: Vec<(f64, f64, f64)> = points.to_vec();
+        for &(x, y, w) in &sorted {
+            assert!(
+                x.is_finite() && y.is_finite() && w.is_finite() && w > 0.0,
+                "IsotonicFit: bad observation ({x}, {y}, {w})"
+            );
+        }
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+
+        // Blocks as (max_x, weighted mean, total weight); merge backwards
+        // whenever the last block's value drops below its predecessor's.
+        let mut blocks: Vec<(f64, f64, f64)> = Vec::with_capacity(sorted.len());
+        for (x, y, w) in sorted {
+            blocks.push((x, y, w));
+            while blocks.len() >= 2 {
+                let (x2, v2, w2) = blocks[blocks.len() - 1];
+                let (_, v1, w1) = blocks[blocks.len() - 2];
+                if v2 >= v1 {
+                    break;
+                }
+                let merged_w = w1 + w2;
+                let merged_v = (v1 * w1 + v2 * w2) / merged_w;
+                blocks.pop();
+                let last = blocks.last_mut().expect("len >= 1");
+                *last = (x2, merged_v, merged_w);
+            }
+        }
+        Self {
+            block_max_x: blocks.iter().map(|b| b.0).collect(),
+            block_value: blocks.iter().map(|b| b.1).collect(),
+        }
+    }
+
+    /// Fits a calibrator from a labeled sample of `(score, label)` pairs
+    /// with unit weights.
+    pub fn fit_labels(scores: &[f64], labels: &[bool]) -> Self {
+        assert_eq!(scores.len(), labels.len(), "IsotonicFit: length mismatch");
+        let points: Vec<(f64, f64, f64)> = scores
+            .iter()
+            .zip(labels)
+            .map(|(&s, &l)| (s, f64::from(u8::from(l)), 1.0))
+            .collect();
+        Self::fit(&points)
+    }
+
+    /// Number of pooled blocks.
+    pub fn blocks(&self) -> usize {
+        self.block_value.len()
+    }
+
+    /// Evaluates the fitted step function at `x` (values below the first
+    /// block take its value; above the last, the last's).
+    pub fn predict(&self, x: f64) -> f64 {
+        let idx = self.block_max_x.partition_point(|&bx| bx < x);
+        let idx = idx.min(self.block_value.len() - 1);
+        self.block_value[idx]
+    }
+
+    /// Applies the calibrator to a full score column, clamping to `[0, 1]`
+    /// (fits on 0/1 labels already produce values in range; clamping guards
+    /// regression-style uses).
+    pub fn calibrate(&self, scores: &[f64]) -> Vec<f64> {
+        scores.iter().map(|&s| self.predict(s).clamp(0.0, 1.0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn already_monotone_data_is_interpolated_exactly() {
+        let pts = [(0.0, 0.1, 1.0), (1.0, 0.4, 1.0), (2.0, 0.9, 1.0)];
+        let fit = IsotonicFit::fit(&pts);
+        assert_eq!(fit.blocks(), 3);
+        assert_eq!(fit.predict(0.0), 0.1);
+        assert_eq!(fit.predict(1.5), 0.9); // step function: next block value
+        assert_eq!(fit.predict(5.0), 0.9);
+        assert_eq!(fit.predict(-1.0), 0.1);
+    }
+
+    #[test]
+    fn violators_are_pooled_to_weighted_means() {
+        // y dips at x=1: (0.8 at x=1, 0.2 at x=2) pool to 0.5.
+        let pts = [(0.0, 0.0, 1.0), (1.0, 0.8, 1.0), (2.0, 0.2, 1.0), (3.0, 0.9, 1.0)];
+        let fit = IsotonicFit::fit(&pts);
+        assert_eq!(fit.blocks(), 3);
+        assert!((fit.predict(1.5) - 0.5).abs() < 1e-12);
+        assert!((fit.predict(2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_shift_pooled_means() {
+        let pts = [(0.0, 1.0, 3.0), (1.0, 0.0, 1.0)];
+        let fit = IsotonicFit::fit(&pts);
+        assert_eq!(fit.blocks(), 1);
+        assert!((fit.predict(0.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_is_always_monotone() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<(f64, f64, f64)> = (0..500)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>(), 0.5 + rng.gen::<f64>()))
+            .collect();
+        let fit = IsotonicFit::fit(&pts);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let v = fit.predict(i as f64 / 100.0);
+            assert!(v >= last - 1e-12, "non-monotone at {i}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn calibrating_a_miscalibrated_proxy_recovers_probabilities() {
+        // True probability p(x) = x², proxy reports x (overconfident for
+        // small scores). Calibration on labels should recover ≈ x².
+        let mut rng = StdRng::seed_from_u64(8);
+        let scores: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let labels: Vec<bool> = scores.iter().map(|&s| rng.gen::<f64>() < s * s).collect();
+        let fit = IsotonicFit::fit_labels(&scores, &labels);
+        for &x in &[0.2, 0.5, 0.8] {
+            let p = fit.predict(x);
+            assert!(
+                (p - x * x).abs() < 0.05,
+                "calibrated({x}) = {p}, expected ~{}",
+                x * x
+            );
+        }
+    }
+
+    #[test]
+    fn calibrate_clamps_to_unit_interval() {
+        let fit = IsotonicFit::fit(&[(0.0, -0.5, 1.0), (1.0, 1.5, 1.0)]);
+        let out = fit.calibrate(&[0.0, 1.0]);
+        assert_eq!(out, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn rejects_empty() {
+        IsotonicFit::fit(&[]);
+    }
+}

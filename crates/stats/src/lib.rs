@@ -1,0 +1,37 @@
+//! Statistical substrate for the SUPG reproduction.
+//!
+//! The SUPG algorithms (Kang et al., VLDB 2020) are built on a small set of
+//! statistical primitives: special functions, parametric distributions with
+//! exact sampling, descriptive statistics, and one-sided confidence bounds on
+//! sample means (the paper's Lemma 1 plus the alternatives compared in its
+//! Figure 13). This crate implements all of them from scratch on top of the
+//! [`rand`] RNG primitives, so the reproduction carries no external
+//! statistics dependency.
+//!
+//! Module map:
+//!
+//! * [`special`] — log-gamma, error function, regularized incomplete
+//!   gamma/beta functions and their inverses, normal CDF and quantile.
+//! * [`dist`] — Normal, Gamma, Beta, Bernoulli and Binomial distributions
+//!   (densities, CDFs, quantiles, and exact samplers).
+//! * [`describe`] — streaming and batch descriptive statistics, weighted
+//!   means, quantiles and box-plot summaries.
+//! * [`ci`] — one-sided confidence bounds on means: the paper's normal
+//!   approximation (Lemma 1), a z-quantile variant, Hoeffding's inequality,
+//!   Clopper–Pearson, Wilson, and the percentile bootstrap; plus the
+//!   delta-method ratio-estimator reduction used for precision estimates
+//!   under importance sampling.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ci;
+pub mod describe;
+pub mod dist;
+pub mod isotonic;
+pub mod special;
+
+pub use ci::{ratio_bounds, CiMethod, RatioBounds};
+pub use isotonic::IsotonicFit;
+pub use describe::{mean, quantile_sorted, sample_sd, sample_variance, FiveNumber, RunningStats};
+pub use dist::{Bernoulli, Beta, Binomial, Gamma, Normal};

@@ -1,0 +1,520 @@
+//! Special functions used throughout the SUPG reproduction.
+//!
+//! All routines are classical double-precision algorithms implemented from
+//! their published descriptions:
+//!
+//! * [`ln_gamma`] — Lanczos approximation (g = 7, 9 terms).
+//! * [`inc_gamma_lower`] / [`inc_gamma_upper`] — series expansion and
+//!   modified-Lentz continued fraction (Numerical Recipes `gser`/`gcf`).
+//! * [`erf`] / [`erfc`] — via the regularized incomplete gamma function,
+//!   `erf(x) = P(1/2, x^2)`, which is accurate to near machine precision.
+//! * [`inc_beta`] — continued-fraction regularized incomplete beta.
+//! * [`inv_inc_beta`] — bisection + Newton polish inverse.
+//! * [`norm_cdf`] / [`inv_norm_cdf`] — normal CDF from `erfc` and Acklam's
+//!   rational approximation with one Halley refinement step.
+
+/// Machine-epsilon-scale convergence tolerance for the iterative expansions.
+const EPS: f64 = 1e-15;
+/// Smallest representable magnitude guard used by the Lentz algorithm.
+const FPMIN: f64 = 1e-300;
+/// Iteration cap for the continued fractions (generous; convergence is fast
+/// for every argument range we evaluate).
+const MAX_ITER: usize = 500;
+
+/// Natural log of the absolute value of the gamma function, `ln |Γ(x)|`.
+///
+/// Uses the Lanczos approximation with g = 7 and nine coefficients, with the
+/// reflection formula for `x < 0.5`. Accurate to ~1e-13 relative error over
+/// the ranges exercised here (positive shape parameters).
+///
+/// # Panics
+/// Panics if `x` is zero or a negative integer (gamma poles).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(
+        x > 0.0 || x.fract() != 0.0,
+        "ln_gamma: pole at non-positive integer {x}"
+    );
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_59,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x) Γ(1−x) = π / sin(πx).
+        let sin_pi_x = (std::f64::consts::PI * x).sin();
+        return (std::f64::consts::PI / sin_pi_x.abs()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// `P(a, 0) = 0` and `P(a, ∞) = 1`. Requires `a > 0`, `x >= 0`.
+pub fn inc_gamma_lower(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "inc_gamma_lower: invalid (a={a}, x={x})");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cont_frac(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+///
+/// Evaluated directly by continued fraction in the tail for accuracy.
+pub fn inc_gamma_upper(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "inc_gamma_upper: invalid (a={a}, x={x})");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cont_frac(a, x)
+    }
+}
+
+/// Series expansion for `P(a, x)`; converges fast for `x < a + 1`.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut ap = a;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Modified-Lentz continued fraction for `Q(a, x)`; converges for `x >= a + 1`.
+fn gamma_cont_frac(a: f64, x: f64) -> f64 {
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Error function `erf(x) = 2/√π ∫₀ˣ e^{−t²} dt`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = inc_gamma_lower(0.5, x * x);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`, accurate in the tail.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        inc_gamma_upper(0.5, x * x)
+    } else {
+        1.0 + inc_gamma_lower(0.5, x * x)
+    }
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal density `φ(x)`.
+pub fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Inverse standard normal CDF (the probit function), `Φ⁻¹(p)`.
+///
+/// Acklam's rational approximation followed by one Halley refinement step
+/// against [`norm_cdf`], giving ~1e-14 absolute accuracy for
+/// `p ∈ (1e-300, 1 − 1e-16)`.
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "inv_norm_cdf: p={p} outside (0, 1)");
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step: e = Φ(x) − p, u = e / φ(x); x ← x − u / (1 + x u / 2).
+    let e = norm_cdf(x) - p;
+    let u = e / norm_pdf(x);
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Continued-fraction evaluation with the symmetry
+/// `I_x(a, b) = 1 − I_{1−x}(b, a)` to stay in the rapidly converging regime.
+/// Requires `a > 0`, `b > 0`, `x ∈ [0, 1]`.
+pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "inc_beta: non-positive shape (a={a}, b={b})");
+    assert!((0.0..=1.0).contains(&x), "inc_beta: x={x} outside [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cont_frac(a, b, x) / a
+    } else {
+        1.0 - front * beta_cont_frac(b, a, 1.0 - x) / b
+    }
+}
+
+/// Modified-Lentz continued fraction for the incomplete beta function.
+fn beta_cont_frac(a: f64, b: f64, x: f64) -> f64 {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Inverse of the regularized incomplete beta function: the `x` with
+/// `I_x(a, b) = p`.
+///
+/// Bisection in *log space* on whichever boundary the quantile is close to
+/// (for extreme shapes like the paper's `Beta(0.01, 2)`, quantiles sit around
+/// `1e-200`), followed by Newton polish using the beta density. Quantiles
+/// below the smallest positive `f64` round to 0 (and symmetrically to 1).
+pub fn inv_inc_beta(a: f64, b: f64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "inv_inc_beta: p={p} outside [0, 1]");
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    if p > inc_beta(a, b, 0.5) {
+        // Quantile is in (0.5, 1): solve the mirrored problem near 0, which
+        // keeps the log-space bisection accurate.
+        1.0 - inv_inc_beta_left(b, a, 1.0 - p)
+    } else {
+        inv_inc_beta_left(a, b, p)
+    }
+}
+
+/// Solves `I_x(a, b) = p` for a quantile known to lie in `(0, 0.5]`,
+/// bisecting on `t = ln x`.
+fn inv_inc_beta_left(a: f64, b: f64, p: f64) -> f64 {
+    // ln of the smallest positive normal f64 (≈ 2.2e-308).
+    const T_MIN: f64 = -708.0;
+    if inc_beta(a, b, T_MIN.exp()) >= p {
+        // The true quantile underflows f64; round toward the boundary.
+        return 0.0;
+    }
+    let mut t_lo = T_MIN;
+    let mut t_hi = 0.5_f64.ln();
+    for _ in 0..200 {
+        let t_mid = 0.5 * (t_lo + t_hi);
+        if inc_beta(a, b, t_mid.exp()) < p {
+            t_lo = t_mid;
+        } else {
+            t_hi = t_mid;
+        }
+        if t_hi - t_lo < 1e-15 {
+            break;
+        }
+    }
+    let mut x = (0.5 * (t_lo + t_hi)).exp();
+    // Newton polish: f(x) = I_x(a,b) − p, f'(x) = beta pdf.
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    for _ in 0..3 {
+        if x <= 0.0 || x >= 1.0 {
+            break;
+        }
+        let f = inc_beta(a, b, x) - p;
+        let ln_pdf = (a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln() - ln_beta;
+        if !ln_pdf.is_finite() {
+            break;
+        }
+        let next = x - f / ln_pdf.exp();
+        if next > t_lo.exp() && next < t_hi.exp() {
+            x = next;
+        } else {
+            break;
+        }
+    }
+    x
+}
+
+/// Natural log of the binomial coefficient `ln C(n, k)`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose: k={k} > n={n}");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol * expected.abs().max(1.0),
+            "actual {actual} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_reference_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert_close(ln_gamma(1.0), 0.0, 1e-12);
+        assert_close(ln_gamma(2.0), 0.0, 1e-12);
+        assert_close(ln_gamma(5.0), 24.0_f64.ln(), 1e-12);
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        // Γ(10.5) from a high-precision table: 1133278.3889487855673345.
+        assert_close(ln_gamma(10.5), 1_133_278.388_948_785_5_f64.ln(), 1e-12);
+        // Small argument: Γ(0.01) ≈ 99.432585119150603714.
+        assert_close(ln_gamma(0.01), 99.432_585_119_150_6_f64.ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_satisfies_recurrence() {
+        for &x in &[0.03, 0.7, 1.9, 6.4, 33.0] {
+            assert_close(ln_gamma(x + 1.0), ln_gamma(x) + x.ln(), 1e-11);
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_endpoints_and_complement() {
+        assert_eq!(inc_gamma_lower(2.5, 0.0), 0.0);
+        assert_eq!(inc_gamma_upper(2.5, 0.0), 1.0);
+        for &(a, x) in &[(0.5, 0.3), (1.0, 1.0), (3.0, 10.0), (10.0, 3.0)] {
+            let p = inc_gamma_lower(a, x);
+            let q = inc_gamma_upper(a, x);
+            assert_close(p + q, 1.0, 1e-12);
+        }
+        // P(1, x) = 1 − e^{−x}.
+        assert_close(inc_gamma_lower(1.0, 2.0), 1.0 - (-2.0_f64).exp(), 1e-12);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Abramowitz & Stegun table values.
+        assert_close(erf(0.5), 0.520_499_877_813_046_5, 1e-12);
+        assert_close(erf(1.0), 0.842_700_792_949_714_9, 1e-12);
+        assert_close(erf(2.0), 0.995_322_265_018_952_7, 1e-12);
+        assert_close(erf(-1.0), -0.842_700_792_949_714_9, 1e-12);
+        assert_close(erfc(3.0), 2.209_049_699_858_544e-5, 1e-10);
+    }
+
+    #[test]
+    fn norm_cdf_reference_values() {
+        assert_close(norm_cdf(0.0), 0.5, 1e-14);
+        assert_close(norm_cdf(1.96), 0.975_002_104_851_780_5, 1e-12);
+        assert_close(norm_cdf(-1.644_853_626_951_472_7), 0.05, 1e-10);
+        // Deep tail should stay positive and accurate.
+        assert_close(norm_cdf(-6.0), 9.865_876_450_376_946e-10, 1e-8);
+    }
+
+    #[test]
+    fn inv_norm_cdf_round_trips() {
+        for &p in &[1e-9, 1e-4, 0.025, 0.2, 0.5, 0.8, 0.975, 1.0 - 1e-6] {
+            let x = inv_norm_cdf(p);
+            assert_close(norm_cdf(x), p, 1e-10);
+        }
+        assert_close(inv_norm_cdf(0.975), 1.959_963_984_540_054, 1e-10);
+        assert_close(inv_norm_cdf(0.5), 0.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn inv_norm_cdf_rejects_zero() {
+        inv_norm_cdf(0.0);
+    }
+
+    #[test]
+    fn inc_beta_reference_values() {
+        // I_x(1, 1) = x.
+        assert_close(inc_beta(1.0, 1.0, 0.3), 0.3, 1e-13);
+        // I_x(2, 2) = x² (3 − 2x).
+        assert_close(inc_beta(2.0, 2.0, 0.4), 0.4 * 0.4 * (3.0 - 0.8), 1e-12);
+        // I_x(a, 1) = x^a.
+        assert_close(inc_beta(0.01, 1.0, 0.5), 0.5_f64.powf(0.01), 1e-12);
+        // Symmetry.
+        let v = inc_beta(3.2, 1.7, 0.6);
+        assert_close(1.0 - inc_beta(1.7, 3.2, 0.4), v, 1e-12);
+    }
+
+    #[test]
+    fn inc_beta_is_monotone_in_x() {
+        let mut last = 0.0;
+        for i in 1..100 {
+            let x = i as f64 / 100.0;
+            let v = inc_beta(0.01, 2.0, x);
+            assert!(v >= last, "non-monotone at x={x}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn inv_inc_beta_round_trips() {
+        for &(a, b) in &[(1.0, 1.0), (2.0, 5.0), (0.5, 0.5), (30.0, 2.0)] {
+            for &p in &[1e-6, 0.05, 0.37, 0.5, 0.95, 1.0 - 1e-6] {
+                let x = inv_inc_beta(a, b, p);
+                assert_close(inc_beta(a, b, x), p, 1e-8);
+            }
+        }
+        assert_eq!(inv_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(inv_inc_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn inv_inc_beta_handles_extreme_shapes() {
+        // Beta(0.01, 2) quantiles are around 1e-200 for small p: the CDF
+        // near 0 behaves like x^0.01, so p = 0.01 maps to x ≈ 0.01^100.
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.999] {
+            let x = inv_inc_beta(0.01, 2.0, p);
+            assert!(x > 0.0 && x < 1.0);
+            assert_close(inc_beta(0.01, 2.0, x), p, 1e-8);
+        }
+        // Mirrored extreme: the Beta(2, 0.01) 0.99-quantile is within 1e-200
+        // of 1, which is indistinguishable from 1.0 in f64 — it must round
+        // rather than return a wrong interior value.
+        assert_eq!(inv_inc_beta(2.0, 0.01, 0.99), 1.0);
+        // A representable right-tail quantile still round-trips.
+        let x = inv_inc_beta(5.0, 2.0, 0.99);
+        assert_close(inc_beta(5.0, 2.0, x), 0.99, 1e-8);
+        // A quantile below the smallest positive f64 rounds to 0.
+        assert_eq!(inv_inc_beta(0.01, 2.0, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn ln_choose_matches_direct_computation() {
+        assert_close(ln_choose(10, 3), 120.0_f64.ln(), 1e-12);
+        assert_close(ln_choose(52, 5), 2_598_960.0_f64.ln(), 1e-12);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+}

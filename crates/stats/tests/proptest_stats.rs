@@ -1,0 +1,162 @@
+//! Property-based tests for the statistical substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use supg_stats::ci::{ratio_bounds, CiMethod};
+use supg_stats::describe::{quantile_sorted, RunningStats};
+use supg_stats::dist::{Beta, Binomial, Normal};
+use supg_stats::special::{inc_beta, inv_inc_beta, inv_norm_cdf, ln_gamma, norm_cdf};
+
+proptest! {
+    #[test]
+    fn ln_gamma_recurrence_holds(x in 0.05f64..50.0) {
+        // Γ(x+1) = x·Γ(x)  ⇔  lnΓ(x+1) = lnΓ(x) + ln x.
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn norm_cdf_is_monotone_and_symmetric(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-15);
+        prop_assert!((norm_cdf(a) + norm_cdf(-a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probit_round_trips(p in 1e-8f64..=0.999_999) {
+        let x = inv_norm_cdf(p);
+        prop_assert!((norm_cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inc_beta_bounds_and_symmetry(a in 0.05f64..20.0, b in 0.05f64..20.0, x in 0.0f64..=1.0) {
+        let v = inc_beta(a, b, x);
+        prop_assert!((0.0..=1.0).contains(&v));
+        let sym = 1.0 - inc_beta(b, a, 1.0 - x);
+        prop_assert!((v - sym).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inv_inc_beta_round_trips(a in 0.2f64..20.0, b in 0.2f64..20.0, p in 0.001f64..0.999) {
+        let x = inv_inc_beta(a, b, p);
+        prop_assert!((inc_beta(a, b, x) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn running_stats_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let stats = RunningStats::from_slice(&xs);
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((stats.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((stats.population_variance() - var).abs() < 1e-4 * var.max(1.0));
+        prop_assert!(stats.min() <= stats.mean() + 1e-9 && stats.mean() <= stats.max() + 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        mut xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let lo = quantile_sorted(&xs, lo_q);
+        let hi = quantile_sorted(&xs, hi_q);
+        prop_assert!(lo <= hi + 1e-12);
+        prop_assert!(xs[0] <= lo + 1e-12 && hi <= xs[xs.len() - 1] + 1e-12);
+    }
+
+    #[test]
+    fn bounds_bracket_the_sample_mean(
+        values in prop::collection::vec(0.0f64..=1.0, 2..300),
+        delta in 0.01f64..0.3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        for method in [CiMethod::PaperNormal, CiMethod::ZNormal, CiMethod::Hoeffding,
+                       CiMethod::ClopperPearson, CiMethod::Wilson,
+                       CiMethod::Bootstrap { resamples: 100 }] {
+            let lo = method.lower(&values, delta, &mut rng);
+            let hi = method.upper(&values, delta, &mut rng);
+            prop_assert!(lo <= mean + 1e-9, "{method:?}: lower {lo} > mean {mean}");
+            prop_assert!(hi >= mean - 1e-9, "{method:?}: upper {hi} < mean {mean}");
+        }
+    }
+
+    #[test]
+    fn tighter_delta_means_wider_bound(
+        values in prop::collection::vec(0.0f64..=1.0, 10..200),
+    ) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tight = CiMethod::PaperNormal.upper(&values, 0.01, &mut rng);
+        let loose = CiMethod::PaperNormal.upper(&values, 0.2, &mut rng);
+        prop_assert!(tight >= loose - 1e-12);
+    }
+
+    #[test]
+    fn ratio_bounds_scale_invariant(
+        pairs in prop::collection::vec((0.0f64..=1.0, 0.1f64..5.0), 5..100),
+        scale in 0.1f64..10.0,
+    ) {
+        // Multiplying both the numerator and denominator observations by a
+        // constant must leave the ratio estimate and bounds unchanged.
+        let ys: Vec<f64> = pairs.iter().map(|(o, m)| o.round() * m).collect();
+        let xs: Vec<f64> = pairs.iter().map(|(_, m)| *m).collect();
+        let ys2: Vec<f64> = ys.iter().map(|y| y * scale).collect();
+        let xs2: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = ratio_bounds(&ys, &xs, 0.05, CiMethod::PaperNormal, &mut rng);
+        let b = ratio_bounds(&ys2, &xs2, 0.05, CiMethod::PaperNormal, &mut rng);
+        prop_assert!((a.estimate - b.estimate).abs() < 1e-9);
+        prop_assert!((a.lower - b.lower).abs() < 1e-9);
+        prop_assert!((a.upper - b.upper).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_cdf_quantile_consistency(
+        alpha in 0.2f64..10.0,
+        beta in 0.2f64..10.0,
+        p in 0.01f64..0.99,
+    ) {
+        let dist = Beta::new(alpha, beta);
+        let x = dist.quantile(p);
+        prop_assert!((dist.cdf(x) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn beta_samples_stay_in_unit_interval(
+        alpha in 0.01f64..5.0,
+        beta in 0.01f64..5.0,
+        seed in 0u64..1000,
+    ) {
+        let dist = Beta::new(alpha, beta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = dist.sample(&mut rng);
+            prop_assert!((0.0..=1.0).contains(&x), "sample {x}");
+        }
+    }
+
+    #[test]
+    fn normal_quantile_symmetry(mu in -5.0f64..5.0, sigma in 0.1f64..5.0, p in 0.01f64..0.5) {
+        let n = Normal::new(mu, sigma);
+        let lo = n.quantile(p);
+        let hi = n.quantile(1.0 - p);
+        prop_assert!(((lo - mu) + (hi - mu)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn binomial_cdf_is_monotone(n in 1u64..60, p in 0.0f64..=1.0) {
+        let b = Binomial::new(n, p);
+        let mut last = 0.0;
+        for k in 0..=n {
+            let c = b.cdf(k);
+            prop_assert!(c >= last - 1e-12);
+            last = c;
+        }
+        prop_assert!((b.cdf(n) - 1.0).abs() < 1e-12);
+    }
+}

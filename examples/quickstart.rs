@@ -1,0 +1,73 @@
+//! Quickstart: run one recall-target and one precision-target SUPG query
+//! on the paper's Beta(0.01, 2) synthetic dataset, through the core API.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use supg::core::metrics::evaluate;
+use supg::core::selectors::{ImportanceRecall, SelectorConfig, TwoStagePrecision};
+use supg::core::{ApproxQuery, CachedOracle, Oracle, ScoredDataset, SupgExecutor};
+use supg::datasets::BetaDataset;
+
+fn main() {
+    // --- 1. A dataset with proxy scores and (hidden) ground truth. -------
+    // The paper's synthetic: A(x) ~ Beta(0.01, 2), O(x) ~ Bernoulli(A(x)):
+    // ~0.5% of records match, and the proxy is perfectly calibrated.
+    let generated = BetaDataset::new(0.01, 2.0, 200_000).generate(42);
+    let (scores, labels) = generated.into_parts();
+    let positives = labels.iter().filter(|&&l| l).count();
+    println!("dataset: {} records, {positives} true matches", scores.len());
+
+    let dataset = ScoredDataset::new(scores).expect("valid scores");
+
+    // --- 2. A recall-target query. ---------------------------------------
+    // "Find ≥ 90% of all matches, with probability ≥ 95%, using at most
+    // 2,000 oracle calls."
+    let query = ApproxQuery::recall_target(0.90, 0.05, 2_000);
+    let selector = ImportanceRecall::new(SelectorConfig::default());
+    // The oracle is any expensive predicate — here it just reads the
+    // ground-truth labels, in production it would ask a human or a big DNN.
+    let truth = labels.clone();
+    let mut oracle = CachedOracle::new(dataset.len(), query.budget(), move |i| truth[i]);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let outcome = SupgExecutor::new(&dataset, &query)
+        .run(&selector, &mut oracle, &mut rng)
+        .expect("query failed");
+    let quality = evaluate(outcome.result.indices(), &labels);
+    println!(
+        "\nRT query ({}): returned {} records with {} oracle calls",
+        outcome.selector,
+        outcome.result.len(),
+        oracle.calls_used(),
+    );
+    println!(
+        "  achieved recall  {:.1}%  (target 90%, guaranteed w.p. 95%)",
+        100.0 * quality.recall
+    );
+    println!("  achieved precision {:.1}%  (the RT quality metric)", 100.0 * quality.precision);
+
+    // --- 3. A precision-target query on the same data. -------------------
+    let query = ApproxQuery::precision_target(0.90, 0.05, 2_000);
+    let selector = TwoStagePrecision::new(SelectorConfig::default());
+    let truth = labels.clone();
+    let mut oracle = CachedOracle::new(dataset.len(), query.budget(), move |i| truth[i]);
+    let outcome = SupgExecutor::new(&dataset, &query)
+        .run(&selector, &mut oracle, &mut rng)
+        .expect("query failed");
+    let quality = evaluate(outcome.result.indices(), &labels);
+    println!(
+        "\nPT query ({}): returned {} records with {} oracle calls",
+        outcome.selector,
+        outcome.result.len(),
+        oracle.calls_used(),
+    );
+    println!(
+        "  achieved precision {:.1}%  (target 90%, guaranteed w.p. 95%)",
+        100.0 * quality.precision
+    );
+    println!("  achieved recall  {:.1}%  (the PT quality metric)", 100.0 * quality.recall);
+}

@@ -1,0 +1,70 @@
+//! A tiny SUPG SQL shell over a synthetic demo table.
+//!
+//! Pass queries as command-line arguments, or run with none to execute a
+//! scripted demo session. The demo table `events` has 100k records with a
+//! calibrated proxy `score` and an oracle UDF `IS_EVENT`.
+//!
+//! ```sh
+//! cargo run --release --example sql_shell
+//! cargo run --release --example sql_shell -- \
+//!   "SELECT * FROM events WHERE IS_EVENT(x) ORACLE LIMIT 2000 \
+//!    USING score RECALL TARGET 80% WITH PROBABILITY 95%"
+//! ```
+
+use supg::datasets::BetaDataset;
+use supg::query::Engine;
+
+fn main() {
+    let generated = BetaDataset::new(0.02, 2.0, 100_000).generate(5);
+    let (scores, truth) = generated.into_parts();
+    let positives = truth.iter().filter(|&&l| l).count();
+
+    let mut engine = Engine::with_seed(77);
+    engine.create_table("events", scores.len());
+    engine.register_proxy("events", "score", scores).expect("proxy");
+    let labels = truth.clone();
+    engine
+        .register_oracle("events", "IS_EVENT", move |i| labels[i])
+        .expect("oracle");
+    println!(
+        "table `events`: {} records, {positives} true events; proxy `score`, oracle `IS_EVENT`\n",
+        truth.len()
+    );
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries: Vec<String> = if args.is_empty() {
+        vec![
+            "SELECT * FROM events WHERE IS_EVENT(x) ORACLE LIMIT 2000 \
+             USING score RECALL TARGET 90% WITH PROBABILITY 95%"
+                .to_owned(),
+            "SELECT * FROM events WHERE IS_EVENT(x) ORACLE LIMIT 2000 \
+             USING score PRECISION TARGET 90% WITH PROBABILITY 95%"
+                .to_owned(),
+            // A deliberate error to show diagnostics.
+            "SELECT * FROM events WHERE IS_EVENT(x) USING score \
+             RECALL TARGET 90% WITH PROBABILITY 95%"
+                .to_owned(),
+        ]
+    } else {
+        args
+    };
+
+    for sql in queries {
+        println!("supg> {sql}");
+        match engine.execute(&sql) {
+            Ok(report) => {
+                let hits = report.indices.iter().filter(|&&i| truth[i as usize]).count();
+                println!(
+                    "  {} records ({} true events) | tau {:.4e} | {} oracle calls | {} | {:?}\n",
+                    report.indices.len(),
+                    hits,
+                    report.tau,
+                    report.oracle_calls,
+                    report.selector,
+                    report.elapsed
+                );
+            }
+            Err(e) => println!("  error: {e}\n"),
+        }
+    }
+}

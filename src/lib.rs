@@ -1,0 +1,44 @@
+//! # SUPG — approximate selection with guarantees using proxies
+//!
+//! Umbrella crate for the reproduction of *Kang, Gan, Bailis, Hashimoto,
+//! Zaharia: "Approximate Selection with Guarantees using Proxies"* (PVLDB
+//! 13(11), 2020). It re-exports the public API of every workspace crate so a
+//! downstream user can depend on `supg` alone:
+//!
+//! * [`stats`] — statistical substrate (distributions, confidence bounds).
+//! * [`sampling`] — uniform / weighted / importance sampling.
+//! * [`datasets`] — the paper's synthetic workloads and simulated real
+//!   datasets, drift transforms and CSV I/O.
+//! * [`core`] — the SUPG algorithms: budgeted oracles, threshold selectors
+//!   with precision/recall guarantees, the query executor, cost model.
+//! * [`query`] — a SQL-ish front-end implementing the paper's query syntax.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use supg::core::{ApproxQuery, CachedOracle, ScoredDataset, SupgExecutor};
+//! use supg::core::selectors::{ImportanceRecall, SelectorConfig};
+//! use supg::datasets::BetaDataset;
+//!
+//! // The paper's Beta(0.01, 2) synthetic: scores ~ Beta, labels ~ Bernoulli(score).
+//! let data = BetaDataset::new(0.01, 2.0, 20_000).generate(42);
+//! let dataset = ScoredDataset::new(data.scores().to_vec()).unwrap();
+//! let mut oracle = CachedOracle::from_labels(data.labels().to_vec(), 1_000);
+//!
+//! // Recall-target query: recall ≥ 0.9 with probability ≥ 0.95, 1000 oracle calls.
+//! let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
+//! let selector = ImportanceRecall::new(SelectorConfig::default());
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let outcome = SupgExecutor::new(&dataset, &query)
+//!     .run(&selector, &mut oracle, &mut rng)
+//!     .unwrap();
+//! assert!(outcome.result.len() > 0);
+//! ```
+
+pub use supg_core as core;
+pub use supg_datasets as datasets;
+pub use supg_query as query;
+pub use supg_sampling as sampling;
+pub use supg_stats as stats;

@@ -1,0 +1,112 @@
+//! Cross-crate integration: CSV → catalog → SQL → results.
+//!
+//! Exercises the full user-facing path a downstream deployment would take:
+//! dump proxy scores to CSV, load them back, register everything on the
+//! engine, and run the paper's query forms.
+
+use supg::core::metrics::evaluate;
+use supg::datasets::io::{from_csv_string, to_csv_string};
+use supg::datasets::{Preset, PresetKind};
+use supg::query::{Engine, QueryError};
+
+fn loaded_engine(seed: u64) -> (Engine, Vec<bool>) {
+    // Generate, round-trip through CSV (as a real deployment would), load.
+    let generated = Preset::new(PresetKind::NightStreet).generate_sized(seed, 50_000);
+    let csv = to_csv_string(&generated);
+    let restored = from_csv_string(&csv).expect("CSV round trip");
+    assert_eq!(&restored, &generated);
+
+    let (scores, labels) = restored.into_parts();
+    let mut engine = Engine::with_seed(seed);
+    engine.create_table("night_street", scores.len());
+    engine.register_proxy("night_street", "resnet_score", scores).unwrap();
+    let truth = labels.clone();
+    engine
+        .register_oracle("night_street", "HAS_CAR", move |i| truth[i])
+        .unwrap();
+    (engine, labels)
+}
+
+#[test]
+fn recall_target_query_via_sql() {
+    let (mut engine, labels) = loaded_engine(11);
+    let report = engine
+        .execute(
+            "SELECT * FROM night_street WHERE HAS_CAR(frame) = true \
+             ORACLE LIMIT 2000 USING resnet_score \
+             RECALL TARGET 90% WITH PROBABILITY 95%",
+        )
+        .unwrap();
+    let pr = evaluate(&report.indices, &labels);
+    assert!(pr.recall >= 0.85, "recall {}", pr.recall); // single seeded run
+    assert!(report.oracle_calls <= 2_000);
+    assert_eq!(report.selector, "IS-CI-R");
+    assert!(report.statement.is_joint() == false);
+}
+
+#[test]
+fn precision_target_query_via_sql() {
+    let (mut engine, labels) = loaded_engine(12);
+    let report = engine
+        .execute(
+            "SELECT * FROM night_street WHERE HAS_CAR(frame) \
+             ORACLE LIMIT 2000 USING resnet_score \
+             PRECISION TARGET 90% WITH PROBABILITY 95%",
+        )
+        .unwrap();
+    let pr = evaluate(&report.indices, &labels);
+    assert!(pr.precision >= 0.9, "precision {}", pr.precision);
+    assert!(!report.indices.is_empty());
+}
+
+#[test]
+fn joint_target_query_via_sql() {
+    let (mut engine, labels) = loaded_engine(13);
+    let report = engine
+        .execute(
+            "SELECT * FROM night_street WHERE HAS_CAR(frame) USING resnet_score \
+             RECALL TARGET 85% PRECISION TARGET 95% WITH PROBABILITY 95%",
+        )
+        .unwrap();
+    let pr = evaluate(&report.indices, &labels);
+    // The exhaustive filter yields perfect precision.
+    assert_eq!(pr.precision, 1.0);
+    assert!(pr.recall >= 0.8, "recall {}", pr.recall);
+    // JT consumed its stage budget plus the filter.
+    assert!(report.oracle_calls >= 1_000);
+}
+
+#[test]
+fn repeated_queries_share_the_engine() {
+    let (mut engine, _) = loaded_engine(14);
+    for gamma in ["80%", "90%"] {
+        let sql = format!(
+            "SELECT * FROM night_street WHERE HAS_CAR(frame) \
+             ORACLE LIMIT 1000 USING resnet_score RECALL TARGET {gamma} \
+             WITH PROBABILITY 95%"
+        );
+        let report = engine.execute(&sql).unwrap();
+        assert!(!report.indices.is_empty());
+    }
+}
+
+#[test]
+fn error_paths_are_clean() {
+    let (mut engine, _) = loaded_engine(15);
+    // Unknown proxy.
+    let err = engine
+        .execute(
+            "SELECT * FROM night_street WHERE HAS_CAR(f) ORACLE LIMIT 10 \
+             USING mystery RECALL TARGET 90% WITH PROBABILITY 95%",
+        )
+        .unwrap_err();
+    assert!(matches!(err, QueryError::UnknownUdf { .. }));
+    // Budget below the minimum the estimators need.
+    let err = engine
+        .execute(
+            "SELECT * FROM night_street WHERE HAS_CAR(f) ORACLE LIMIT 1 \
+             USING resnet_score RECALL TARGET 90% WITH PROBABILITY 95%",
+        )
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Execution(_)), "{err:?}");
+}
