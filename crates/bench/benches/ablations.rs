@@ -7,16 +7,12 @@
 //! * two-stage vs one-stage precision estimation;
 //! * CI method cost at selector scale.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::time::Duration;
 
 use supg_core::metrics::evaluate;
-use supg_core::selectors::{
-    ImportancePrecision, ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision,
-};
-use supg_core::{ApproxQuery, CachedOracle, ScoredDataset, SupgExecutor};
+use supg_core::selectors::SelectorConfig;
+use supg_core::{ApproxQuery, CachedOracle, ScoredDataset, SelectorKind, SupgSession};
 use supg_datasets::BetaDataset;
 use supg_stats::ci::CiMethod;
 
@@ -28,15 +24,19 @@ fn dataset(n: usize) -> (ScoredDataset, Vec<bool>) {
 fn run(
     data: &ScoredDataset,
     labels: &[bool],
-    selector: &dyn ThresholdSelector,
+    kind: SelectorKind,
+    cfg: SelectorConfig,
     query: &ApproxQuery,
     seed: u64,
 ) -> f64 {
     let owned = labels.to_vec();
     let mut oracle = CachedOracle::new(owned.len(), query.budget(), move |i| owned[i]);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let outcome = SupgExecutor::new(data, query)
-        .run(selector, &mut oracle, &mut rng)
+    let outcome = SupgSession::over(data)
+        .query(query)
+        .selector(kind)
+        .selector_config(cfg)
+        .seed(seed)
+        .run(&mut oracle)
         .expect("ablation query failed");
     evaluate(outcome.result.indices(), labels).precision
 }
@@ -49,9 +49,18 @@ fn bench_weight_exponent(c: &mut Criterion) {
     let (data, labels) = dataset(100_000);
     let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
     for &p in &[0.0, 0.5, 1.0] {
-        let sel = ImportanceRecall::new(SelectorConfig::default().with_exponent(p));
-        g.bench_with_input(BenchmarkId::from_parameter(p), &sel, |b, sel| {
-            b.iter(|| run(&data, &labels, sel, &query, 31))
+        let cfg = SelectorConfig::default().with_exponent(p);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &cfg, |b, cfg| {
+            b.iter(|| {
+                run(
+                    &data,
+                    &labels,
+                    SelectorKind::ImportanceSampling,
+                    *cfg,
+                    &query,
+                    31,
+                )
+            })
         });
     }
     g.finish();
@@ -65,9 +74,18 @@ fn bench_defensive_mixing(c: &mut Criterion) {
     let (data, labels) = dataset(100_000);
     let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
     for &mix in &[0.0, 0.1, 0.5] {
-        let sel = ImportanceRecall::new(SelectorConfig::default().with_mix(mix));
-        g.bench_with_input(BenchmarkId::from_parameter(mix), &sel, |b, sel| {
-            b.iter(|| run(&data, &labels, sel, &query, 32))
+        let cfg = SelectorConfig::default().with_mix(mix);
+        g.bench_with_input(BenchmarkId::from_parameter(mix), &cfg, |b, cfg| {
+            b.iter(|| {
+                run(
+                    &data,
+                    &labels,
+                    SelectorKind::ImportanceSampling,
+                    *cfg,
+                    &query,
+                    32,
+                )
+            })
         });
     }
     g.finish();
@@ -80,10 +98,22 @@ fn bench_one_vs_two_stage(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(500));
     let (data, labels) = dataset(100_000);
     let query = ApproxQuery::precision_target(0.9, 0.05, 1_000);
-    let one = ImportancePrecision::default();
-    let two = TwoStagePrecision::default();
-    g.bench_function("one_stage", |b| b.iter(|| run(&data, &labels, &one, &query, 33)));
-    g.bench_function("two_stage", |b| b.iter(|| run(&data, &labels, &two, &query, 33)));
+    let cfg = SelectorConfig::default();
+    g.bench_function("one_stage", |b| {
+        b.iter(|| {
+            run(
+                &data,
+                &labels,
+                SelectorKind::ImportanceSampling,
+                cfg,
+                &query,
+                33,
+            )
+        })
+    });
+    g.bench_function("two_stage", |b| {
+        b.iter(|| run(&data, &labels, SelectorKind::TwoStage, cfg, &query, 33))
+    });
     g.finish();
 }
 
@@ -99,9 +129,18 @@ fn bench_ci_method_in_selector(c: &mut Criterion) {
         ("hoeffding", CiMethod::Hoeffding),
         ("bootstrap_200", CiMethod::Bootstrap { resamples: 200 }),
     ] {
-        let sel = ImportanceRecall::new(SelectorConfig::default().with_ci(ci));
-        g.bench_with_input(BenchmarkId::from_parameter(name), &sel, |b, sel| {
-            b.iter(|| run(&data, &labels, sel, &query, 34))
+        let cfg = SelectorConfig::default().with_ci(ci);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                run(
+                    &data,
+                    &labels,
+                    SelectorKind::ImportanceSampling,
+                    *cfg,
+                    &query,
+                    34,
+                )
+            })
         });
     }
     g.finish();

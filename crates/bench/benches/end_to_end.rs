@@ -1,8 +1,8 @@
 //! End-to-end query latency through the SQL engine — the measured
 //! "Sampling" column of Table 5, per dataset preset.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 use supg_datasets::{Preset, PresetKind};
 use supg_query::Engine;
@@ -14,7 +14,9 @@ fn engine_for(kind: PresetKind, n: usize) -> (Engine, usize) {
     let mut engine = Engine::with_seed(21);
     engine.create_table("t", scores.len());
     engine.register_proxy("t", "proxy", scores).unwrap();
-    engine.register_oracle("t", "ORACLE_F", move |i| truth[i]).unwrap();
+    engine
+        .register_oracle("t", "ORACLE_F", move |i| truth[i])
+        .unwrap();
     (engine, budget)
 }
 

@@ -3,8 +3,8 @@
 //! the same code at paper scale; this bench keeps all fifteen harnesses
 //! compiling, running and profiled.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 use supg_experiments::{list_experiments, run_experiment, ExpContext};
 

@@ -1,8 +1,8 @@
 //! Front-end benchmarks: lexing, parsing and statement validation.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 use supg_query::lexer::tokenize;
 use supg_query::parse;

@@ -1,15 +1,15 @@
 //! Sampler benchmarks: alias vs CDF-inversion construction and draw costs
 //! at SUPG scales (n up to 10⁶ candidates, s = 10⁴ draws per query).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Duration;
 
 use supg_sampling::{
-    reservoir_sample, sample_with_replacement, sample_without_replacement, AliasTable,
-    CdfSampler, ImportanceWeights,
+    reservoir_sample, sample_with_replacement, sample_without_replacement, AliasTable, CdfSampler,
+    ImportanceWeights,
 };
 
 fn sqrt_weights(n: usize) -> Vec<f64> {

@@ -2,16 +2,13 @@
 //! query-processing cost that Table 5 prices (it must be negligible
 //! against proxy/oracle execution).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
-use supg_core::selectors::{
-    ImportancePrecision, ImportanceRecall, ThresholdSelector, TwoStagePrecision,
-    UniformNoCiRecall, UniformPrecision, UniformRecall,
-};
-use supg_core::{ApproxQuery, CachedOracle, ScoredDataset};
+use supg_core::selectors::{SelectorConfig, ThresholdSelector};
+use supg_core::{ApproxQuery, CachedOracle, ScoredDataset, SelectorKind, TargetKind};
 use supg_datasets::BetaDataset;
 
 struct Bench {
@@ -21,7 +18,10 @@ struct Bench {
 
 fn setup(n: usize) -> Bench {
     let (scores, labels) = BetaDataset::new(0.01, 2.0, n).generate(7).into_parts();
-    Bench { data: ScoredDataset::new(scores).unwrap(), labels }
+    Bench {
+        data: ScoredDataset::new(scores).unwrap(),
+        labels,
+    }
 }
 
 fn run_selector(bench: &Bench, selector: &dyn ThresholdSelector, query: &ApproxQuery) {
@@ -43,25 +43,17 @@ fn bench_selectors_by_size(c: &mut Criterion) {
         let budget = 1_000;
         let rt = ApproxQuery::recall_target(0.9, 0.05, budget);
         let pt = ApproxQuery::precision_target(0.9, 0.05, budget);
-        let selectors_rt: Vec<(&str, Box<dyn ThresholdSelector>)> = vec![
-            ("U-NoCI-R", Box::new(UniformNoCiRecall)),
-            ("U-CI-R", Box::new(UniformRecall::default())),
-            ("IS-CI-R", Box::new(ImportanceRecall::default())),
-        ];
-        for (name, selector) in &selectors_rt {
-            g.bench_with_input(BenchmarkId::new(*name, n), &bench, |b, bench| {
-                b.iter(|| run_selector(bench, selector.as_ref(), &rt))
-            });
-        }
-        let selectors_pt: Vec<(&str, Box<dyn ThresholdSelector>)> = vec![
-            ("U-CI-P", Box::new(UniformPrecision::default())),
-            ("IS-CI-P-1stage", Box::new(ImportancePrecision::default())),
-            ("IS-CI-P", Box::new(TwoStagePrecision::default())),
-        ];
-        for (name, selector) in &selectors_pt {
-            g.bench_with_input(BenchmarkId::new(*name, n), &bench, |b, bench| {
-                b.iter(|| run_selector(bench, selector.as_ref(), &pt))
-            });
+        // Every registry algorithm, labeled by its paper identifier.
+        for kind in SelectorKind::ALL {
+            for (target, query) in [(TargetKind::Recall, &rt), (TargetKind::Precision, &pt)] {
+                let Ok(selector) = kind.build(target, SelectorConfig::default()) else {
+                    continue;
+                };
+                let name = kind.paper_name(target).expect("buildable implies named");
+                g.bench_with_input(BenchmarkId::new(name, n), &bench, |b, bench| {
+                    b.iter(|| run_selector(bench, selector.as_ref(), query))
+                });
+            }
         }
     }
     g.finish();
@@ -75,9 +67,11 @@ fn bench_selectors_by_budget(c: &mut Criterion) {
     let bench = setup(500_000);
     for &budget in &[1_000usize, 10_000] {
         let rt = ApproxQuery::recall_target(0.9, 0.05, budget);
-        let sel = ImportanceRecall::default();
+        let sel = SelectorKind::ImportanceSampling
+            .build(TargetKind::Recall, SelectorConfig::default())
+            .expect("registry entry");
         g.bench_with_input(BenchmarkId::new("IS-CI-R", budget), &bench, |b, bench| {
-            b.iter(|| run_selector(bench, &sel, &rt))
+            b.iter(|| run_selector(bench, sel.as_ref(), &rt))
         });
     }
     g.finish();

@@ -1,10 +1,10 @@
 //! Microbenchmarks for the statistical kernels every selector leans on.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Duration;
 
 use supg_stats::ci::{ratio_bounds, CiMethod};
 use supg_stats::dist::{Beta, Gamma, Normal};
@@ -14,8 +14,12 @@ fn bench_special_functions(c: &mut Criterion) {
     let mut g = c.benchmark_group("special");
     g.bench_function("ln_gamma", |b| b.iter(|| ln_gamma(black_box(7.3))));
     g.bench_function("norm_cdf", |b| b.iter(|| norm_cdf(black_box(1.7))));
-    g.bench_function("inv_norm_cdf", |b| b.iter(|| inv_norm_cdf(black_box(0.975))));
-    g.bench_function("inc_beta", |b| b.iter(|| inc_beta(black_box(3.0), 5.0, 0.4)));
+    g.bench_function("inv_norm_cdf", |b| {
+        b.iter(|| inv_norm_cdf(black_box(0.975)))
+    });
+    g.bench_function("inc_beta", |b| {
+        b.iter(|| inc_beta(black_box(3.0), 5.0, 0.4))
+    });
     g.bench_function("inv_inc_beta", |b| {
         b.iter(|| inv_inc_beta(black_box(5.0), 46.0, 0.05))
     });
@@ -38,7 +42,9 @@ fn bench_sampling_distributions(c: &mut Criterion) {
 fn bench_ci_methods(c: &mut Criterion) {
     let mut g = c.benchmark_group("ci_methods");
     let mut rng = StdRng::seed_from_u64(2);
-    let sample: Vec<f64> = (0..10_000).map(|i| f64::from(u8::from(i % 97 == 0))).collect();
+    let sample: Vec<f64> = (0..10_000)
+        .map(|i| f64::from(u8::from(i % 97 == 0)))
+        .collect();
     for (name, method) in [
         ("paper_normal", CiMethod::PaperNormal),
         ("hoeffding", CiMethod::Hoeffding),

@@ -50,7 +50,11 @@ impl ScoredDataset {
                 .expect("scores validated finite")
         });
         let sorted = order.iter().map(|&i| scores[i as usize]).collect();
-        Ok(Self { scores, order, sorted })
+        Ok(Self {
+            scores,
+            order,
+            sorted,
+        })
     }
 
     /// Number of records.
@@ -113,7 +117,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert_eq!(ScoredDataset::new(vec![]).unwrap_err(), SupgError::EmptyDataset);
+        assert_eq!(
+            ScoredDataset::new(vec![]).unwrap_err(),
+            SupgError::EmptyDataset
+        );
         assert!(matches!(
             ScoredDataset::new(vec![0.5, f64::NAN]),
             Err(SupgError::InvalidScore { index: 1, .. })
@@ -127,7 +134,11 @@ mod tests {
     #[test]
     fn order_is_descending() {
         let d = dataset();
-        let sorted: Vec<f64> = d.order_desc().iter().map(|&i| d.score(i as usize)).collect();
+        let sorted: Vec<f64> = d
+            .order_desc()
+            .iter()
+            .map(|&i| d.score(i as usize))
+            .collect();
         assert!(sorted.windows(2).all(|w| w[0] >= w[1]));
     }
 

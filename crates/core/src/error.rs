@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::query::TargetKind;
+
 /// Errors raised by dataset construction, query validation and execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SupgError {
@@ -28,6 +30,19 @@ pub enum SupgError {
         /// The dataset size.
         len: usize,
     },
+    /// A session was run without a recall or precision target.
+    MissingTarget,
+    /// A single-target session was run without an oracle budget.
+    MissingBudget,
+    /// Both targets were set on a session without enabling joint mode.
+    ConflictingTargets,
+    /// The selector registry has no algorithm for this kind/target pair.
+    UnsupportedSelector {
+        /// The requested selector kind.
+        selector: &'static str,
+        /// The requested target kind.
+        target: TargetKind,
+    },
 }
 
 impl fmt::Display for SupgError {
@@ -35,7 +50,10 @@ impl fmt::Display for SupgError {
         match self {
             SupgError::EmptyDataset => write!(f, "dataset has no records"),
             SupgError::InvalidScore { index, value } => {
-                write!(f, "proxy score at record {index} is {value}, outside [0, 1]")
+                write!(
+                    f,
+                    "proxy score at record {index} is {value}, outside [0, 1]"
+                )
             }
             SupgError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             SupgError::BudgetExhausted { budget } => {
@@ -44,6 +62,27 @@ impl fmt::Display for SupgError {
             SupgError::IndexOutOfRange { index, len } => {
                 write!(f, "record index {index} out of range for dataset of {len}")
             }
+            SupgError::MissingTarget => write!(
+                f,
+                "session is missing a target: single-target queries need recall(..) \
+                 OR precision(..); joint mode needs both"
+            ),
+            SupgError::MissingBudget => {
+                write!(
+                    f,
+                    "single-target queries need an oracle budget (budget(..))"
+                )
+            }
+            SupgError::ConflictingTargets => write!(
+                f,
+                "both recall and precision targets are set; enable joint mode \
+                 with joint(stage_budget) for a JT query"
+            ),
+            SupgError::UnsupportedSelector { selector, target } => write!(
+                f,
+                "selector {selector} has no {} algorithm in the registry",
+                target.keyword()
+            ),
         }
     }
 }
@@ -56,7 +95,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SupgError::InvalidScore { index: 3, value: 1.5 };
+        let e = SupgError::InvalidScore {
+            index: 3,
+            value: 1.5,
+        };
         assert!(e.to_string().contains("record 3"));
         assert!(e.to_string().contains("1.5"));
         assert!(SupgError::BudgetExhausted { budget: 10 }

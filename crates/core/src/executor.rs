@@ -1,4 +1,5 @@
-//! Algorithm 1: the SUPG query executor.
+//! Algorithm 1: the SUPG selection result, and the deprecated per-query
+//! executor superseded by [`crate::session::SupgSession`].
 //!
 //! ```text
 //! function SUPGQuery(D, A, O):
@@ -8,6 +9,9 @@
 //!     R2 ← {x ∈ D : A(x) ≥ τ}
 //!     return R1 ∪ R2
 //! ```
+//!
+//! The pipeline itself lives in [`crate::session`]; this module keeps the
+//! result-set type and a thin [`SupgExecutor`] compatibility shim.
 
 use rand::RngCore;
 
@@ -17,15 +21,21 @@ use crate::oracle::Oracle;
 use crate::query::ApproxQuery;
 use crate::selectors::ThresholdSelector;
 
+pub use crate::session::QueryOutcome;
+
 /// The record set returned by a query: sorted, deduplicated indices.
+///
+/// Indices are `usize` record positions — result sets never truncate, even
+/// though [`ScoredDataset`] itself caps datasets at `u32::MAX` records for
+/// its compact sorted index.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SelectionResult {
-    indices: Vec<u32>,
+    indices: Vec<usize>,
 }
 
 impl SelectionResult {
     /// Builds a result set from (possibly unsorted, duplicated) indices.
-    pub fn from_indices(mut indices: Vec<u32>) -> Self {
+    pub fn from_indices(mut indices: Vec<usize>) -> Self {
         indices.sort_unstable();
         indices.dedup();
         Self { indices }
@@ -42,52 +52,41 @@ impl SelectionResult {
     }
 
     /// Sorted record indices.
-    pub fn indices(&self) -> &[u32] {
+    pub fn indices(&self) -> &[usize] {
         &self.indices
     }
 
     /// Membership test (binary search).
-    pub fn contains(&self, index: u32) -> bool {
+    pub fn contains(&self, index: usize) -> bool {
         self.indices.binary_search(&index).is_ok()
     }
 
     /// Iterates the returned record indices in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.indices.iter().copied()
     }
 }
 
-/// Everything a query execution produced, for auditing and evaluation.
-#[derive(Debug, Clone)]
-pub struct QueryOutcome {
-    /// The returned record set `R = R1 ∪ R2`.
-    pub result: SelectionResult,
-    /// The estimated proxy threshold (`∞` = labeled positives only).
-    pub tau: f64,
-    /// Distinct oracle invocations consumed.
-    pub oracle_calls: usize,
-    /// Total sample draws (with multiplicity; ≥ `oracle_calls`).
-    pub sample_draws: usize,
-    /// Positive labels among the sampled records.
-    pub sample_positives: usize,
-    /// Name of the selector that estimated `τ`.
-    pub selector: &'static str,
-}
-
 /// Executes SUPG queries over one dataset (Algorithm 1).
+#[deprecated(
+    since = "0.2.0",
+    note = "use supg_core::SupgSession::over(..).recall(..)/.precision(..).budget(..).run(..)"
+)]
 #[derive(Debug, Clone, Copy)]
 pub struct SupgExecutor<'a> {
     data: &'a ScoredDataset,
     query: &'a ApproxQuery,
 }
 
+#[allow(deprecated)]
 impl<'a> SupgExecutor<'a> {
     /// Binds an executor to a dataset and a query specification.
     pub fn new(data: &'a ScoredDataset, query: &'a ApproxQuery) -> Self {
         Self { data, query }
     }
 
-    /// Runs the query with the given threshold selector.
+    /// Runs the query with the given threshold selector (a compatibility
+    /// shim over the session pipeline's Algorithm 1).
     ///
     /// # Errors
     /// Propagates selector/oracle failures. On success the oracle has been
@@ -98,29 +97,7 @@ impl<'a> SupgExecutor<'a> {
         oracle: &mut dyn Oracle,
         rng: &mut dyn RngCore,
     ) -> Result<QueryOutcome, SupgError> {
-        let calls_before = oracle.calls_used();
-        let estimate = selector.estimate(self.data, self.query, oracle, rng)?;
-
-        // R2: all records at or above the threshold.
-        let mut indices: Vec<u32> = self.data.select(estimate.tau).to_vec();
-        // R1: sampled records the oracle labeled positive.
-        indices.extend(
-            estimate
-                .sample
-                .positive_indices()
-                .iter()
-                .map(|&i| i as u32),
-        );
-        let result = SelectionResult::from_indices(indices);
-
-        Ok(QueryOutcome {
-            result,
-            tau: estimate.tau,
-            oracle_calls: oracle.calls_used() - calls_before,
-            sample_draws: estimate.sample.len(),
-            sample_positives: estimate.sample.positive_count(),
-            selector: selector.name(),
-        })
+        crate::session::exec_single(self.data, self.query, selector, oracle, rng)
     }
 }
 
@@ -149,18 +126,32 @@ mod tests {
     }
 
     #[test]
-    fn outcome_unions_labeled_positives_with_threshold_set() {
+    fn selection_result_holds_indices_beyond_u32() {
+        // Regression: indices used to be silently cast to u32.
+        let big = u32::MAX as usize + 7;
+        let r = SelectionResult::from_indices(vec![big, 1]);
+        assert!(r.contains(big));
+        assert_eq!(r.indices(), &[1, big]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_executor_still_unions_positives_with_threshold_set() {
         let (data, labels) = separable(10_000);
         let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
         let mut oracle = CachedOracle::from_labels(labels.clone(), 1_000);
         let mut rng = StdRng::seed_from_u64(55);
         let outcome = SupgExecutor::new(&data, &query)
-            .run(&UniformRecall::new(SelectorConfig::default()), &mut oracle, &mut rng)
+            .run(
+                &UniformRecall::new(SelectorConfig::default()),
+                &mut oracle,
+                &mut rng,
+            )
             .unwrap();
         // Every sampled positive is in the result even if below τ.
-        for &i in outcome.result.indices() {
-            let in_threshold = data.score(i as usize) >= outcome.tau;
-            let is_known_positive = labels[i as usize];
+        for i in outcome.result.iter() {
+            let in_threshold = data.score(i) >= outcome.tau;
+            let is_known_positive = labels[i];
             assert!(in_threshold || is_known_positive);
         }
         assert!(outcome.oracle_calls <= 1_000);
@@ -169,7 +160,8 @@ mod tests {
     }
 
     #[test]
-    fn naive_selector_runs_through_executor() {
+    #[allow(deprecated)]
+    fn deprecated_executor_runs_naive_selectors() {
         let (data, labels) = separable(5_000);
         let query = ApproxQuery::recall_target(0.9, 0.05, 500);
         let mut oracle = CachedOracle::from_labels(labels, 500);

@@ -13,18 +13,23 @@
 //!
 //! The figure-of-merit (paper Figure 15) is the *total* number of oracle
 //! calls: `B` plus the labels needed to filter the stage-2 result.
+//!
+//! The pipeline lives in [`crate::session`] — run JT queries as
+//! `SupgSession::over(&data).recall(γ_r).precision(γ_p).joint(B).run(..)`.
+//! This module keeps the [`JointOutcome`] type and a deprecated
+//! [`execute_joint`] compatibility shim.
 
 use rand::RngCore;
 
-use crate::data::ScoredDataset;
-use crate::oracle::Oracle as _;
 use crate::error::SupgError;
-use crate::executor::{SelectionResult, SupgExecutor};
+use crate::executor::SelectionResult;
 use crate::oracle::CachedOracle;
-use crate::query::{ApproxQuery, JointQuery};
+use crate::query::JointQuery;
 use crate::selectors::ThresholdSelector;
+use crate::ScoredDataset;
 
-/// Outcome of a JT query.
+/// Outcome of a JT query (legacy shape; the session returns the unified
+/// [`crate::QueryOutcome`] instead).
 #[derive(Debug, Clone)]
 pub struct JointOutcome {
     /// The final record set (all oracle-verified positives).
@@ -54,6 +59,10 @@ impl JointOutcome {
 ///
 /// # Errors
 /// Propagates selector and oracle failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "use supg_core::SupgSession::over(..).recall(..).precision(..).joint(stage_budget).run(..)"
+)]
 pub fn execute_joint(
     data: &ScoredDataset,
     query: &JointQuery,
@@ -62,38 +71,18 @@ pub fn execute_joint(
     oracle: &mut CachedOracle,
     rng: &mut dyn RngCore,
 ) -> Result<JointOutcome, SupgError> {
-    // Stage 1–2: hit the recall target under the stage budget.
-    let rt_query = ApproxQuery::new(
-        crate::query::TargetKind::Recall,
-        query.recall_gamma(),
-        query.delta(),
-        stage_budget,
-    )?;
-    oracle.set_budget(stage_budget);
-    let outcome = SupgExecutor::new(data, &rt_query).run(rt_selector, oracle, rng)?;
-    let stage_calls = oracle.calls_used();
-
-    // Stage 3: exhaustively verify candidates; keep oracle positives only.
-    // Already-labeled records are cache hits and cost nothing extra.
-    oracle.set_budget(usize::MAX);
-    let mut kept = Vec::new();
-    for idx in outcome.result.iter() {
-        if crate::oracle::Oracle::label(oracle, idx as usize)? {
-            kept.push(idx);
-        }
-    }
-    let filter_calls = oracle.calls_used() - stage_calls;
-
+    let outcome = crate::session::exec_joint(data, query, stage_budget, rt_selector, oracle, rng)?;
     Ok(JointOutcome {
-        result: SelectionResult::from_indices(kept),
-        stage_calls,
-        filter_calls,
+        result: outcome.result,
+        stage_calls: outcome.stage_calls,
+        filter_calls: outcome.filter_calls,
         tau: outcome.tau,
-        candidates: outcome.result.len(),
+        candidates: outcome.candidates,
     })
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::metrics::evaluate;

@@ -7,35 +7,72 @@
 //! number of oracle calls, while meeting a minimum precision or recall
 //! target with probability at least `1 − δ`.
 //!
+//! ## Quickstart
+//!
+//! Every query kind — recall-target (RT), precision-target (PT) and
+//! joint-target (JT) — runs through one fluent entry point,
+//! [`SupgSession`]:
+//!
+//! ```
+//! use supg_core::{CachedOracle, ScoredDataset, SelectorKind, SupgSession};
+//!
+//! // Proxy scores for every record (cheap), ground truth behind an oracle
+//! // (expensive, budgeted).
+//! let scores: Vec<f64> = (0..20_000).map(|i| (i % 100) as f64 / 100.0).collect();
+//! let truth: Vec<bool> = scores.iter().map(|&s| s > 0.9).collect();
+//! let dataset = ScoredDataset::new(scores).unwrap();
+//! let mut oracle = CachedOracle::from_labels(truth, 1_000);
+//!
+//! // RT query: recall ≥ 0.9 with probability ≥ 0.95, ≤ 1000 oracle calls.
+//! let outcome = SupgSession::over(&dataset)
+//!     .recall(0.9)
+//!     .delta(0.05)
+//!     .budget(1_000)
+//!     .selector(SelectorKind::ImportanceSampling)
+//!     .seed(7)
+//!     .run(&mut oracle)
+//!     .unwrap();
+//!
+//! assert_eq!(outcome.selector, "IS-CI-R"); // the paper's algorithm name
+//! assert!(outcome.oracle_calls <= 1_000);
+//! assert!(!outcome.result.is_empty());
+//! ```
+//!
+//! Swap `.recall(0.9)` for `.precision(0.9)` for a PT query, or set both
+//! targets and `.joint(stage_budget)` for the appendix-A JT pipeline — the
+//! same `run` call returns the same unified [`QueryOutcome`] with
+//! per-stage oracle accounting and elapsed time.
+//!
 //! ## Pieces
 //!
+//! * [`session`] — **the** entry point: the fluent [`SupgSession`]
+//!   builder, the [`SelectorKind`] algorithm registry, and the unified
+//!   [`QueryOutcome`].
 //! * [`query`] — query semantics: recall-target (RT), precision-target (PT)
 //!   and joint-target (JT) specifications.
 //! * [`data`] — [`ScoredDataset`]: proxy scores plus the sorted index the
 //!   algorithms and metrics share.
 //! * [`oracle`] — the budgeted, label-caching oracle abstraction
 //!   ([`CachedOracle`]).
-//! * [`selectors`] — the six threshold-estimation algorithms of the paper
+//! * [`selectors`] — the threshold-estimation algorithms of the paper
 //!   (naive baselines, uniform + confidence intervals, importance sampling
 //!   one- and two-stage), all behind the [`selectors::ThresholdSelector`]
-//!   trait.
-//! * [`executor`] — Algorithm 1: run a selector, then return the union of
-//!   labeled positives and all records above the estimated threshold.
+//!   trait; name them via [`SelectorKind`].
+//! * [`executor`] / [`joint`] — deprecated per-query shims kept for one
+//!   release; new code goes through the session.
 //! * [`metrics`] — precision/recall evaluation against ground truth, failure
 //!   rates over repeated trials.
-//! * [`joint`] — the appendix JT pipeline (RT subroutine + exhaustive
-//!   filter).
 //! * [`cost`] — the query cost model of the paper's Table 5.
 //!
 //! ## Guarantee contract
 //!
 //! For an RT query with target `γ` and failure probability `δ`, the set `R`
-//! returned by [`executor::SupgExecutor`] with a guaranteed selector
-//! (`U-CI-R`, `IS-CI-R`) satisfies `Pr[Recall(R) ≥ γ] ≥ 1 − δ`; PT queries
-//! symmetrically for precision. The naive selectors (`U-NoCI-*`) reproduce
-//! prior systems (NoScope, probabilistic predicates) and carry **no**
-//! guarantee — they exist as baselines and fail exactly the way the paper's
-//! Figures 5 and 6 show.
+//! returned by a session with a guaranteed selector (`U-CI-R`, `IS-CI-R`)
+//! satisfies `Pr[Recall(R) ≥ γ] ≥ 1 − δ`; PT queries symmetrically for
+//! precision. The naive selectors (`U-NoCI-*`) reproduce prior systems
+//! (NoScope, probabilistic predicates) and carry **no** guarantee — they
+//! exist as baselines and fail exactly the way the paper's Figures 5 and 6
+//! show.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -50,11 +87,15 @@ pub mod oracle;
 pub mod query;
 pub mod sample;
 pub mod selectors;
+pub mod session;
 
 pub use data::ScoredDataset;
 pub use error::SupgError;
-pub use executor::{QueryOutcome, SupgExecutor};
+pub use executor::SelectionResult;
+#[allow(deprecated)]
+pub use executor::SupgExecutor;
 pub use metrics::PrecisionRecall;
 pub use oracle::{CachedOracle, Oracle};
-pub use query::{ApproxQuery, TargetKind};
+pub use query::{ApproxQuery, JointQuery, TargetKind};
 pub use sample::OracleSample;
+pub use session::{QueryOutcome, SelectorKind, SessionOracle, SupgSession};

@@ -21,12 +21,9 @@ pub struct PrecisionRecall {
 ///
 /// # Panics
 /// Panics if an index is out of range for `labels`.
-pub fn evaluate(result_indices: &[u32], labels: &[bool]) -> PrecisionRecall {
+pub fn evaluate(result_indices: &[usize], labels: &[bool]) -> PrecisionRecall {
     let dataset_positives = labels.iter().filter(|&&l| l).count();
-    let true_positives = result_indices
-        .iter()
-        .filter(|&&i| labels[i as usize])
-        .count();
+    let true_positives = result_indices.iter().filter(|&&i| labels[i]).count();
     let returned = result_indices.len();
     let precision = if returned == 0 {
         1.0
@@ -51,7 +48,11 @@ pub fn evaluate(result_indices: &[u32], labels: &[bool]) -> PrecisionRecall {
 /// without the `R1` union — used by drift experiments that apply a fixed
 /// pre-set threshold to new data (paper §6.2).
 pub fn evaluate_threshold(scores: &[f64], labels: &[bool], tau: f64) -> PrecisionRecall {
-    assert_eq!(scores.len(), labels.len(), "evaluate_threshold: length mismatch");
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "evaluate_threshold: length mismatch"
+    );
     let dataset_positives = labels.iter().filter(|&&l| l).count();
     let mut returned = 0usize;
     let mut true_positives = 0usize;

@@ -60,7 +60,11 @@ impl std::fmt::Debug for CachedOracle {
 
 impl CachedOracle {
     /// Wraps a labeling callback over a dataset of `len` records.
-    pub fn new(len: usize, budget: usize, source: impl FnMut(usize) -> bool + Send + 'static) -> Self {
+    pub fn new(
+        len: usize,
+        budget: usize,
+        source: impl FnMut(usize) -> bool + Send + 'static,
+    ) -> Self {
         Self {
             source: Box::new(source),
             len,
@@ -105,13 +109,18 @@ impl CachedOracle {
 impl Oracle for CachedOracle {
     fn label(&mut self, index: usize) -> Result<bool, SupgError> {
         if index >= self.len {
-            return Err(SupgError::IndexOutOfRange { index, len: self.len });
+            return Err(SupgError::IndexOutOfRange {
+                index,
+                len: self.len,
+            });
         }
         if let Some(&cached) = self.cache.get(&(index as u32)) {
             return Ok(cached);
         }
         if self.used >= self.budget {
-            return Err(SupgError::BudgetExhausted { budget: self.budget });
+            return Err(SupgError::BudgetExhausted {
+                budget: self.budget,
+            });
         }
         let label = (self.source)(index);
         self.cache.insert(index as u32, label);

@@ -43,7 +43,12 @@ impl ApproxQuery {
     /// Returns [`SupgError::InvalidQuery`] unless `γ ∈ (0, 1]`,
     /// `δ ∈ (0, 1)` and `budget ≥ 2` (the estimators need at least a
     /// two-element sample to form a variance).
-    pub fn new(target: TargetKind, gamma: f64, delta: f64, budget: usize) -> Result<Self, SupgError> {
+    pub fn new(
+        target: TargetKind,
+        gamma: f64,
+        delta: f64,
+        budget: usize,
+    ) -> Result<Self, SupgError> {
         if !(gamma > 0.0 && gamma <= 1.0) {
             return Err(SupgError::InvalidQuery(format!(
                 "target gamma={gamma} must be in (0, 1]"
@@ -59,7 +64,12 @@ impl ApproxQuery {
                 "oracle budget {budget} must be at least 2"
             )));
         }
-        Ok(Self { target, gamma, delta, budget })
+        Ok(Self {
+            target,
+            gamma,
+            delta,
+            budget,
+        })
     }
 
     /// Convenience constructor for an RT query.
@@ -141,7 +151,11 @@ impl JointQuery {
                 "failure probability delta={delta} must be in (0, 1)"
             )));
         }
-        Ok(Self { recall_gamma, precision_gamma, delta })
+        Ok(Self {
+            recall_gamma,
+            precision_gamma,
+            delta,
+        })
     }
 
     /// Recall target `γ_r`.

@@ -71,11 +71,9 @@ impl OracleSample {
                 && indices.len() == reweights.len(),
             "OracleSample: column length mismatch"
         );
-        let mut positives_desc: Vec<usize> =
-            (0..indices.len()).filter(|&i| labels[i]).collect();
-        positives_desc.sort_unstable_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).expect("finite scores")
-        });
+        let mut positives_desc: Vec<usize> = (0..indices.len()).filter(|&i| labels[i]).collect();
+        positives_desc
+            .sort_unstable_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
         let total_positive_weight = positives_desc.iter().map(|&i| reweights[i]).sum();
         Self {
             indices,
@@ -182,7 +180,11 @@ impl OracleSample {
         let mut xs = Vec::new();
         for i in 0..self.len() {
             if self.scores[i] >= tau {
-                ys.push(if self.labels[i] { self.reweights[i] } else { 0.0 });
+                ys.push(if self.labels[i] {
+                    self.reweights[i]
+                } else {
+                    0.0
+                });
                 xs.push(self.reweights[i]);
             }
         }
@@ -196,7 +198,11 @@ impl OracleSample {
         let mut z1 = Vec::with_capacity(self.len());
         let mut z2 = Vec::with_capacity(self.len());
         for i in 0..self.len() {
-            let o_m = if self.labels[i] { self.reweights[i] } else { 0.0 };
+            let o_m = if self.labels[i] {
+                self.reweights[i]
+            } else {
+                0.0
+            };
             if self.scores[i] >= tau {
                 z1.push(o_m);
                 z2.push(0.0);
@@ -239,7 +245,10 @@ pub fn draw_weighted(
 ) -> Result<OracleSample, SupgError> {
     let sampler = weights.build_sampler();
     let indices: Vec<usize> = (0..k).map(|_| sampler.sample(rng)).collect();
-    let factors: Vec<f64> = indices.iter().map(|&i| weights.reweight_factor(i)).collect();
+    let factors: Vec<f64> = indices
+        .iter()
+        .map(|&i| weights.reweight_factor(i))
+        .collect();
     OracleSample::label(data, indices, oracle, |pos| factors[pos])
 }
 
@@ -282,12 +291,8 @@ mod tests {
     #[test]
     fn max_tau_respects_weights() {
         // Positive at 0.9 carries 3× the weight of the one at 0.6.
-        let s = OracleSample::from_parts(
-            vec![0, 1],
-            vec![0.9, 0.6],
-            vec![true, true],
-            vec![3.0, 1.0],
-        );
+        let s =
+            OracleSample::from_parts(vec![0, 1], vec![0.9, 0.6], vec![true, true], vec![3.0, 1.0]);
         assert_eq!(s.max_tau_for_recall(0.74), Some(0.9));
         assert_eq!(s.max_tau_for_recall(0.76), Some(0.6));
     }

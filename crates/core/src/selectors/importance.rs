@@ -3,7 +3,9 @@
 
 use rand::RngCore;
 
-use super::{precision_threshold, recall_threshold, SelectorConfig, TauEstimate, ThresholdSelector};
+use super::{
+    precision_threshold, recall_threshold, SelectorConfig, TauEstimate, ThresholdSelector,
+};
 use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::oracle::Oracle;
@@ -124,9 +126,9 @@ mod tests {
         (ScoredDataset::new(scores).unwrap(), labels)
     }
 
-    fn result_set(data: &ScoredDataset, est: &TauEstimate) -> Vec<u32> {
-        let mut result: Vec<u32> = data.select(est.tau).to_vec();
-        result.extend(est.sample.positive_indices().iter().map(|&i| i as u32));
+    fn result_set(data: &ScoredDataset, est: &TauEstimate) -> Vec<usize> {
+        let mut result: Vec<usize> = data.select(est.tau).iter().map(|&i| i as usize).collect();
+        result.extend(est.sample.positive_indices());
         result.sort_unstable();
         result.dedup();
         result

@@ -138,7 +138,7 @@ pub(crate) fn recall_threshold(
     let (z1, z2) = sample.recall_split(tau_hat);
     let ub1 = ci.upper(&z1, delta / 2.0, rng);
     let lb2 = ci.lower(&z2, delta / 2.0, rng).max(0.0);
-    if !(ub1 > 0.0) || !ub1.is_finite() {
+    if !ub1.is_finite() || ub1 <= 0.0 {
         return 0.0;
     }
     let gamma_prime = (ub1 / (ub1 + lb2)).min(1.0);

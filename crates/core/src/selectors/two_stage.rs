@@ -62,8 +62,7 @@ impl ThresholdSelector for TwoStagePrecision {
             .iter()
             .map(|&i| weights.reweight_factor(i))
             .collect();
-        let stage1 =
-            OracleSample::label(data, stage1_indices, oracle, |pos| stage1_factors[pos])?;
+        let stage1 = OracleSample::label(data, stage1_indices, oracle, |pos| stage1_factors[pos])?;
         let z: Vec<f64> = stage1
             .labels()
             .iter()
@@ -85,8 +84,7 @@ impl ThresholdSelector for TwoStagePrecision {
         // --- Stage 2: candidate search within the restricted range. ---
         let restricted = weights.restrict(&subset);
         let sub_sampler = restricted.build_sampler();
-        let stage2_indices: Vec<usize> =
-            (0..s2).map(|_| subset[sub_sampler.sample(rng)]).collect();
+        let stage2_indices: Vec<usize> = (0..s2).map(|_| subset[sub_sampler.sample(rng)]).collect();
         // Reweighting factors from the *global* weights: the ratio
         // estimator is invariant to the constant renormalization between w
         // and w|D′, so the global factors are correct and cheaper to track.
@@ -94,14 +92,16 @@ impl ThresholdSelector for TwoStagePrecision {
             .iter()
             .map(|&i| weights.reweight_factor(i))
             .collect();
-        let stage2 =
-            OracleSample::label(data, stage2_indices, oracle, |pos| stage2_factors[pos])?;
+        let stage2 = OracleSample::label(data, stage2_indices, oracle, |pos| stage2_factors[pos])?;
         let tau = precision_threshold(&stage2, query.gamma(), query.delta() / 2.0, &self.cfg, rng);
 
         // Surface every labeled record (both stages) so the executor's R1
         // includes stage-1 positives too.
         let combined = concat_samples(&stage1, &stage2);
-        Ok(TauEstimate { tau, sample: combined })
+        Ok(TauEstimate {
+            tau,
+            sample: combined,
+        })
     }
 }
 
@@ -140,9 +140,9 @@ mod tests {
         (ScoredDataset::new(scores).unwrap(), labels)
     }
 
-    fn result_set(data: &ScoredDataset, est: &TauEstimate) -> Vec<u32> {
-        let mut result: Vec<u32> = data.select(est.tau).to_vec();
-        result.extend(est.sample.positive_indices().iter().map(|&i| i as u32));
+    fn result_set(data: &ScoredDataset, est: &TauEstimate) -> Vec<usize> {
+        let mut result: Vec<usize> = data.select(est.tau).iter().map(|&i| i as usize).collect();
+        result.extend(est.sample.positive_indices());
         result.sort_unstable();
         result.dedup();
         result

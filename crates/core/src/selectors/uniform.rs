@@ -2,7 +2,9 @@
 
 use rand::RngCore;
 
-use super::{precision_threshold, recall_threshold, SelectorConfig, TauEstimate, ThresholdSelector};
+use super::{
+    precision_threshold, recall_threshold, SelectorConfig, TauEstimate, ThresholdSelector,
+};
 use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::oracle::Oracle;
@@ -114,8 +116,8 @@ mod tests {
             .estimate(&data, &query, &mut oracle, &mut rng)
             .unwrap();
         // Recall of the full result (τ-selection ∪ labeled positives).
-        let mut result: Vec<u32> = data.select(est.tau).to_vec();
-        result.extend(est.sample.positive_indices().iter().map(|&i| i as u32));
+        let mut result: Vec<usize> = data.select(est.tau).iter().map(|&i| i as usize).collect();
+        result.extend(est.sample.positive_indices());
         result.sort_unstable();
         result.dedup();
         evaluate(&result, &labels).recall
@@ -144,8 +146,8 @@ mod tests {
             let est = UniformPrecision::new(SelectorConfig::default())
                 .estimate(&data, &query, &mut oracle, &mut rng)
                 .unwrap();
-            let mut result: Vec<u32> = data.select(est.tau).to_vec();
-            result.extend(est.sample.positive_indices().iter().map(|&i| i as u32));
+            let mut result: Vec<usize> = data.select(est.tau).iter().map(|&i| i as usize).collect();
+            result.extend(est.sample.positive_indices());
             result.sort_unstable();
             result.dedup();
             if evaluate(&result, &labels).precision < 0.8 {

@@ -1,0 +1,802 @@
+//! The unified SUPG query session: one fluent, validating entry point for
+//! recall-target (RT), precision-target (PT) and joint-target (JT)
+//! queries.
+//!
+//! The paper's Algorithm 1 is a single pipeline — sample, estimate `τ`,
+//! union the labeled positives with the threshold set — and this module
+//! exposes exactly one way to run it:
+//!
+//! ```
+//! use supg_core::{CachedOracle, ScoredDataset, SelectorKind, SupgSession};
+//!
+//! let scores: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64 / 100.0).collect();
+//! let labels: Vec<bool> = scores.iter().map(|&s| s > 0.9).collect();
+//! let dataset = ScoredDataset::new(scores).unwrap();
+//! let mut oracle = CachedOracle::from_labels(labels, 1_000);
+//!
+//! let outcome = SupgSession::over(&dataset)
+//!     .recall(0.9)
+//!     .delta(0.05)
+//!     .budget(1_000)
+//!     .selector(SelectorKind::ImportanceSampling)
+//!     .seed(7)
+//!     .run(&mut oracle)
+//!     .unwrap();
+//! assert_eq!(outcome.selector, "IS-CI-R");
+//! assert!(outcome.oracle_calls <= 1_000);
+//! ```
+//!
+//! Joint-target queries go through the same builder — set both targets and
+//! switch on joint mode with the stage budget of the appendix-A pipeline:
+//!
+//! ```
+//! # use supg_core::{CachedOracle, ScoredDataset, SelectorKind, SupgSession};
+//! # let scores: Vec<f64> = (0..5_000).map(|i| (i % 100) as f64 / 100.0).collect();
+//! # let labels: Vec<bool> = scores.iter().map(|&s| s > 0.9).collect();
+//! # let dataset = ScoredDataset::new(scores).unwrap();
+//! let mut oracle = CachedOracle::from_labels(labels, 0);
+//! let outcome = SupgSession::over(&dataset)
+//!     .recall(0.8)
+//!     .precision(0.9)
+//!     .joint(500)
+//!     .run(&mut oracle)
+//!     .unwrap();
+//! assert!(outcome.joint);
+//! assert_eq!(outcome.oracle_calls, outcome.stage_calls + outcome.filter_calls);
+//! ```
+//!
+//! Algorithms are named by [`SelectorKind`] — the paper identifier is
+//! derived from the kind × target-kind registry (`U-CI-R`, `IS-CI-P`, …)
+//! — and determinism is configured once on the session ([`SupgSession::seed`])
+//! instead of threading an RNG through every call.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::data::ScoredDataset;
+use crate::error::SupgError;
+use crate::executor::SelectionResult;
+use crate::oracle::{CachedOracle, Oracle};
+use crate::query::{ApproxQuery, JointQuery, TargetKind};
+use crate::selectors::{
+    ImportancePrecision, ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision,
+    UniformNoCiPrecision, UniformNoCiRecall, UniformPrecision, UniformRecall,
+};
+
+/// Default RNG seed of a session that never called [`SupgSession::seed`].
+pub const DEFAULT_SEED: u64 = 0x5097_2020;
+
+/// Stage budget of the JT pipeline's recall stage.
+pub const DEFAULT_JT_STAGE_BUDGET: usize = 1_000;
+
+/// The threshold-estimation algorithm families of the paper, independent of
+/// the query's target kind. The registry maps a `(SelectorKind,
+/// TargetKind)` pair to the concrete algorithm and its paper identifier:
+///
+/// | kind | RT | PT |
+/// |---|---|---|
+/// | [`UniformNoCi`](SelectorKind::UniformNoCi) | `U-NoCI-R` | `U-NoCI-P` |
+/// | [`Uniform`](SelectorKind::Uniform) | `U-CI-R` | `U-CI-P` |
+/// | [`ImportanceSampling`](SelectorKind::ImportanceSampling) | `IS-CI-R` | `IS-CI-P-1stage` |
+/// | [`TwoStage`](SelectorKind::TwoStage) | — | `IS-CI-P` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectorKind {
+    /// Guarantee-free uniform baseline of prior systems (§5.1).
+    UniformNoCi,
+    /// Uniform sampling with confidence intervals (Algorithms 2–3).
+    Uniform,
+    /// Importance sampling: Algorithm 4 for RT, the one-stage Figure-7
+    /// estimator for PT.
+    ImportanceSampling,
+    /// The two-stage importance precision estimator (Algorithm 5) — the
+    /// paper's `IS-CI-P`. Precision targets only.
+    TwoStage,
+}
+
+impl SelectorKind {
+    /// Every kind, in paper order.
+    pub const ALL: [SelectorKind; 4] = [
+        SelectorKind::UniformNoCi,
+        SelectorKind::Uniform,
+        SelectorKind::ImportanceSampling,
+        SelectorKind::TwoStage,
+    ];
+
+    /// Whether this kind can answer queries with the given target
+    /// (derived from [`paper_name`](SelectorKind::paper_name), the
+    /// registry's single source of truth).
+    pub fn supports(self, target: TargetKind) -> bool {
+        self.paper_name(target).is_ok()
+    }
+
+    /// Whether the built selector carries the paper's `1 − δ` guarantee.
+    pub fn guaranteed(self) -> bool {
+        self != SelectorKind::UniformNoCi
+    }
+
+    /// The paper's recommended member of this family for the given
+    /// target: identity everywhere except `ImportanceSampling` ×
+    /// precision, where the SUPG configuration is the two-stage
+    /// `IS-CI-P` (Algorithm 5) rather than the one-stage Figure-7
+    /// ablation. Sessions and the engine apply this when the caller asks
+    /// for a *default* rather than a specific algorithm.
+    pub fn paper_family_default(self, target: TargetKind) -> SelectorKind {
+        match (self, target) {
+            (SelectorKind::ImportanceSampling, TargetKind::Precision) => SelectorKind::TwoStage,
+            _ => self,
+        }
+    }
+
+    /// The paper identifier of the `(kind, target)` algorithm (the name
+    /// reported by [`QueryOutcome::selector`]).
+    ///
+    /// # Errors
+    /// [`SupgError::UnsupportedSelector`] for combinations outside the
+    /// registry (two-stage recall).
+    pub fn paper_name(self, target: TargetKind) -> Result<&'static str, SupgError> {
+        Ok(match (self, target) {
+            (SelectorKind::UniformNoCi, TargetKind::Recall) => "U-NoCI-R",
+            (SelectorKind::UniformNoCi, TargetKind::Precision) => "U-NoCI-P",
+            (SelectorKind::Uniform, TargetKind::Recall) => "U-CI-R",
+            (SelectorKind::Uniform, TargetKind::Precision) => "U-CI-P",
+            (SelectorKind::ImportanceSampling, TargetKind::Recall) => "IS-CI-R",
+            (SelectorKind::ImportanceSampling, TargetKind::Precision) => "IS-CI-P-1stage",
+            (SelectorKind::TwoStage, TargetKind::Precision) => "IS-CI-P",
+            (SelectorKind::TwoStage, TargetKind::Recall) => {
+                return Err(SupgError::UnsupportedSelector {
+                    selector: "TwoStage",
+                    target: TargetKind::Recall,
+                })
+            }
+        })
+    }
+
+    /// Every `(kind, target)` pair the registry has an algorithm for, in
+    /// paper order — the single source of truth for enumeration over the
+    /// registry.
+    pub fn registry() -> impl Iterator<Item = (SelectorKind, TargetKind)> {
+        SelectorKind::ALL
+            .into_iter()
+            .flat_map(|kind| {
+                [TargetKind::Recall, TargetKind::Precision]
+                    .into_iter()
+                    .map(move |target| (kind, target))
+            })
+            .filter(|&(kind, target)| kind.supports(target))
+    }
+
+    /// Looks a kind/target pair up by its paper identifier
+    /// (`"IS-CI-R"` → `(ImportanceSampling, Recall)`).
+    pub fn from_paper_name(name: &str) -> Option<(SelectorKind, TargetKind)> {
+        Self::registry().find(|&(kind, target)| kind.paper_name(target) == Ok(name))
+    }
+
+    /// Builds the concrete threshold selector for this kind and target —
+    /// the registry behind [`SupgSession`] and the query engine.
+    ///
+    /// # Errors
+    /// [`SupgError::UnsupportedSelector`] for combinations outside the
+    /// registry (two-stage recall).
+    pub fn build(
+        self,
+        target: TargetKind,
+        cfg: SelectorConfig,
+    ) -> Result<Box<dyn ThresholdSelector + Send + Sync>, SupgError> {
+        Ok(match (self, target) {
+            (SelectorKind::UniformNoCi, TargetKind::Recall) => Box::new(UniformNoCiRecall),
+            (SelectorKind::UniformNoCi, TargetKind::Precision) => Box::new(UniformNoCiPrecision),
+            (SelectorKind::Uniform, TargetKind::Recall) => Box::new(UniformRecall::new(cfg)),
+            (SelectorKind::Uniform, TargetKind::Precision) => Box::new(UniformPrecision::new(cfg)),
+            (SelectorKind::ImportanceSampling, TargetKind::Recall) => {
+                Box::new(ImportanceRecall::new(cfg))
+            }
+            (SelectorKind::ImportanceSampling, TargetKind::Precision) => {
+                Box::new(ImportancePrecision::new(cfg))
+            }
+            (SelectorKind::TwoStage, TargetKind::Precision) => {
+                Box::new(TwoStagePrecision::new(cfg))
+            }
+            (SelectorKind::TwoStage, TargetKind::Recall) => {
+                return Err(SupgError::UnsupportedSelector {
+                    selector: "TwoStage",
+                    target: TargetKind::Recall,
+                })
+            }
+        })
+    }
+}
+
+/// Oracles a session can drive. Beyond plain labeling, the JT pipeline
+/// re-budgets the oracle between its stages (the stage budget for the RT
+/// subroutine, unlimited for the exhaustive filter).
+pub trait SessionOracle: Oracle {
+    /// Replaces the oracle's *total* call budget (already-consumed calls
+    /// keep counting against it). The JT pipeline therefore sets
+    /// `calls_used() + stage_budget` to grant a stage exactly
+    /// `stage_budget` fresh calls.
+    fn set_budget(&mut self, budget: usize);
+}
+
+impl SessionOracle for CachedOracle {
+    fn set_budget(&mut self, budget: usize) {
+        CachedOracle::set_budget(self, budget)
+    }
+}
+
+/// Everything one query execution produced — RT, PT and JT alike — for
+/// auditing, evaluation and reporting.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The returned record set `R = R1 ∪ R2` (oracle-verified positives
+    /// only, for JT queries).
+    pub result: SelectionResult,
+    /// The estimated proxy threshold (`∞` = labeled positives only).
+    pub tau: f64,
+    /// Paper identifier of the selector that estimated `τ`
+    /// (`"U-CI-R"`, `"IS-CI-P"`, …).
+    pub selector: &'static str,
+    /// Total distinct oracle invocations: `stage_calls + filter_calls`.
+    pub oracle_calls: usize,
+    /// Oracle calls consumed estimating `τ` (the sampling stage).
+    pub stage_calls: usize,
+    /// Oracle calls consumed by the JT exhaustive filter (0 for RT/PT).
+    pub filter_calls: usize,
+    /// Total sample draws (with multiplicity; ≥ `stage_calls`).
+    pub sample_draws: usize,
+    /// Positive labels among the sampled records.
+    pub sample_positives: usize,
+    /// Size of the candidate set before JT filtering (equals
+    /// `result.len()` for single-target queries).
+    pub candidates: usize,
+    /// Whether the JT pipeline ran.
+    pub joint: bool,
+    /// Wall-clock execution time (sampling + selection, excluding setup).
+    pub elapsed: Duration,
+}
+
+/// A fluent, validating builder that runs SUPG queries over one dataset.
+///
+/// See the [module docs](self) for RT and JT examples. Construction never
+/// fails; every validation problem surfaces as a typed [`SupgError`] from
+/// [`run`](SupgSession::run), so callers get one error path instead of
+/// panics sprinkled across the pipeline.
+#[derive(Debug, Clone)]
+pub struct SupgSession<'a> {
+    data: &'a ScoredDataset,
+    recall: Option<f64>,
+    precision: Option<f64>,
+    delta: f64,
+    budget: Option<usize>,
+    joint: Option<usize>,
+    selector: Option<SelectorKind>,
+    config: SelectorConfig,
+    seed: u64,
+}
+
+impl<'a> SupgSession<'a> {
+    /// Starts a session over `data` with the paper defaults: `δ = 0.05`,
+    /// the SUPG selector family (IS-CI-R for recall targets, the
+    /// two-stage IS-CI-P for precision targets — see
+    /// [`SelectorKind::paper_family_default`]), seed [`DEFAULT_SEED`],
+    /// no targets yet.
+    pub fn over(data: &'a ScoredDataset) -> Self {
+        Self {
+            data,
+            recall: None,
+            precision: None,
+            delta: 0.05,
+            budget: None,
+            joint: None,
+            selector: None,
+            config: SelectorConfig::default(),
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Sets a recall target `γ_r` (an RT query, or half of a JT query).
+    pub fn recall(mut self, gamma: f64) -> Self {
+        self.recall = Some(gamma);
+        self
+    }
+
+    /// Sets a precision target `γ_p` (a PT query, or half of a JT query).
+    pub fn precision(mut self, gamma: f64) -> Self {
+        self.precision = Some(gamma);
+        self
+    }
+
+    /// Sets the failure probability `δ` (default `0.05`).
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the oracle budget `s` of a single-target query.
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Enables joint-target mode with the given recall-stage budget
+    /// (JT queries are unbudgeted overall — appendix A).
+    pub fn joint(mut self, stage_budget: usize) -> Self {
+        self.joint = Some(stage_budget);
+        self
+    }
+
+    /// Selects a specific algorithm family, honored verbatim — e.g.
+    /// `ImportanceSampling` on a precision target runs the one-stage
+    /// Figure-7 estimator. Without this call the session uses the
+    /// paper's SUPG configuration for the target
+    /// ([`SelectorKind::paper_family_default`] of `ImportanceSampling`).
+    pub fn selector(mut self, kind: SelectorKind) -> Self {
+        self.selector = Some(kind);
+        self
+    }
+
+    /// Overrides the selector tuning knobs (CI method, weights, …).
+    pub fn selector_config(mut self, config: SelectorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Fixes the session's RNG seed — determinism is configured once here
+    /// instead of threading an RNG through every call (default
+    /// [`DEFAULT_SEED`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Configures the session from a validated single-target query
+    /// specification: sets its target, `γ`, `δ` and budget, and clears
+    /// any previously set opposite target or joint mode — the session
+    /// afterwards plans exactly the given query.
+    pub fn query(mut self, query: &ApproxQuery) -> Self {
+        match query.target() {
+            TargetKind::Recall => {
+                self.recall = Some(query.gamma());
+                self.precision = None;
+            }
+            TargetKind::Precision => {
+                self.precision = Some(query.gamma());
+                self.recall = None;
+            }
+        }
+        self.delta = query.delta();
+        self.budget = Some(query.budget());
+        self.joint = None;
+        self
+    }
+
+    /// Runs the query with the session's own seeded RNG.
+    ///
+    /// # Errors
+    /// Typed [`SupgError`]s for builder validation problems (missing
+    /// target/budget, conflicting targets, out-of-range `γ`/`δ`,
+    /// unsupported selector/target combinations) and for oracle failures
+    /// during execution.
+    pub fn run(&self, oracle: &mut dyn SessionOracle) -> Result<QueryOutcome, SupgError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.run_with_rng(oracle, &mut rng)
+    }
+
+    /// Runs a single-target (RT/PT) query against any plain [`Oracle`]
+    /// implementation. Custom oracles only need [`SessionOracle`] (and
+    /// [`run`](SupgSession::run)) for JT queries, whose pipeline
+    /// re-budgets the oracle between stages.
+    ///
+    /// # Errors
+    /// As [`run`](SupgSession::run); additionally a typed
+    /// [`SupgError::InvalidQuery`] when the session is in joint mode.
+    pub fn run_single_target(&self, oracle: &mut dyn Oracle) -> Result<QueryOutcome, SupgError> {
+        match self.plan()? {
+            Plan::Single(query) => {
+                let kind = self.resolved_selector(query.target());
+                let selector = kind.build(query.target(), self.config)?;
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                exec_single(self.data, &query, selector.as_ref(), oracle, &mut rng)
+            }
+            Plan::Joint { .. } => Err(SupgError::InvalidQuery(
+                "JT sessions re-budget the oracle between stages; use run(..) with a \
+                 SessionOracle (e.g. CachedOracle)"
+                    .to_owned(),
+            )),
+        }
+    }
+
+    /// Runs the query with a caller-supplied RNG (for engines that manage
+    /// one RNG across many statements).
+    ///
+    /// # Errors
+    /// As [`run`](SupgSession::run).
+    pub fn run_with_rng(
+        &self,
+        oracle: &mut dyn SessionOracle,
+        rng: &mut dyn RngCore,
+    ) -> Result<QueryOutcome, SupgError> {
+        match self.plan()? {
+            Plan::Single(query) => {
+                let kind = self.resolved_selector(query.target());
+                let selector = kind.build(query.target(), self.config)?;
+                exec_single(self.data, &query, selector.as_ref(), oracle, rng)
+            }
+            Plan::Joint {
+                query,
+                stage_budget,
+            } => {
+                let kind = self.resolved_selector(TargetKind::Recall);
+                let selector = kind.build(TargetKind::Recall, self.config)?;
+                exec_joint(
+                    self.data,
+                    &query,
+                    stage_budget,
+                    selector.as_ref(),
+                    oracle,
+                    rng,
+                )
+            }
+        }
+    }
+
+    /// The selector kind this session will actually run for `target`: the
+    /// explicit choice if [`selector`](SupgSession::selector) was called,
+    /// otherwise the SUPG family default for the target.
+    fn resolved_selector(&self, target: TargetKind) -> SelectorKind {
+        self.selector
+            .unwrap_or_else(|| SelectorKind::ImportanceSampling.paper_family_default(target))
+    }
+
+    /// Validates the builder state without executing anything.
+    ///
+    /// # Errors
+    /// The same typed validation errors as [`run`](SupgSession::run).
+    pub fn validate(&self) -> Result<(), SupgError> {
+        self.plan().map(|_| ())
+    }
+
+    fn plan(&self) -> Result<Plan, SupgError> {
+        match (self.recall, self.precision, self.joint) {
+            (None, None, _) => Err(SupgError::MissingTarget),
+            (Some(_), Some(_), None) => Err(SupgError::ConflictingTargets),
+            (Some(gamma_r), Some(gamma_p), Some(stage_budget)) => {
+                if self.budget.is_some() {
+                    return Err(SupgError::InvalidQuery(
+                        "JT queries are unbudgeted; the stage budget is set via joint(..)"
+                            .to_owned(),
+                    ));
+                }
+                // Validates both γs and δ.
+                let query = JointQuery::new(gamma_r, gamma_p, self.delta)?;
+                if stage_budget < 2 {
+                    return Err(SupgError::InvalidQuery(format!(
+                        "JT stage budget {stage_budget} must be at least 2"
+                    )));
+                }
+                // The JT pipeline's sampling stage is a recall stage.
+                self.resolved_selector(TargetKind::Recall)
+                    .paper_name(TargetKind::Recall)?;
+                Ok(Plan::Joint {
+                    query,
+                    stage_budget,
+                })
+            }
+            (recall, precision, joint) => {
+                if joint.is_some() {
+                    return Err(SupgError::MissingTarget);
+                }
+                let (target, gamma) = match (recall, precision) {
+                    (Some(g), None) => (TargetKind::Recall, g),
+                    (None, Some(g)) => (TargetKind::Precision, g),
+                    _ => unreachable!("two-target cases handled above"),
+                };
+                let budget = self.budget.ok_or(SupgError::MissingBudget)?;
+                self.resolved_selector(target).paper_name(target)?;
+                Ok(Plan::Single(ApproxQuery::new(
+                    target, gamma, self.delta, budget,
+                )?))
+            }
+        }
+    }
+}
+
+enum Plan {
+    Single(ApproxQuery),
+    Joint {
+        query: JointQuery,
+        stage_budget: usize,
+    },
+}
+
+/// Algorithm 1 with an explicit selector: estimate `τ`, return labeled
+/// positives ∪ threshold set. Shared by the session and the deprecated
+/// [`crate::executor::SupgExecutor`] shim.
+pub(crate) fn exec_single(
+    data: &ScoredDataset,
+    query: &ApproxQuery,
+    selector: &dyn ThresholdSelector,
+    oracle: &mut dyn Oracle,
+    rng: &mut dyn RngCore,
+) -> Result<QueryOutcome, SupgError> {
+    let start = Instant::now();
+    let calls_before = oracle.calls_used();
+    let estimate = selector.estimate(data, query, oracle, rng)?;
+
+    // R2: all records at or above the threshold.
+    let mut indices: Vec<usize> = data
+        .select(estimate.tau)
+        .iter()
+        .map(|&i| i as usize)
+        .collect();
+    // R1: sampled records the oracle labeled positive.
+    indices.extend(estimate.sample.positive_indices());
+    let result = SelectionResult::from_indices(indices);
+
+    let stage_calls = oracle.calls_used() - calls_before;
+    Ok(QueryOutcome {
+        candidates: result.len(),
+        result,
+        tau: estimate.tau,
+        selector: selector.name(),
+        oracle_calls: stage_calls,
+        stage_calls,
+        filter_calls: 0,
+        sample_draws: estimate.sample.len(),
+        sample_positives: estimate.sample.positive_count(),
+        joint: false,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Appendix A with an explicit RT selector: recall stage under the stage
+/// budget, then exhaustive oracle filtering of the candidates (precision
+/// becomes 1 ≥ γ_p while recall is untouched — only negatives are
+/// removed). Shared by the session and the deprecated
+/// [`crate::joint::execute_joint`] shim.
+pub(crate) fn exec_joint(
+    data: &ScoredDataset,
+    query: &JointQuery,
+    stage_budget: usize,
+    rt_selector: &dyn ThresholdSelector,
+    oracle: &mut dyn SessionOracle,
+    rng: &mut dyn RngCore,
+) -> Result<QueryOutcome, SupgError> {
+    let rt_query = ApproxQuery::new(
+        TargetKind::Recall,
+        query.recall_gamma(),
+        query.delta(),
+        stage_budget,
+    )?;
+    // The pipeline re-budgets the oracle stage by stage; put the caller's
+    // own budget back afterwards (success or error) so a reused oracle
+    // keeps enforcing it.
+    let saved_budget = oracle.budget();
+    let result = exec_joint_stages(data, &rt_query, rt_selector, oracle, rng);
+    oracle.set_budget(saved_budget);
+    result
+}
+
+fn exec_joint_stages(
+    data: &ScoredDataset,
+    rt_query: &ApproxQuery,
+    rt_selector: &dyn ThresholdSelector,
+    oracle: &mut dyn SessionOracle,
+    rng: &mut dyn RngCore,
+) -> Result<QueryOutcome, SupgError> {
+    let start = Instant::now();
+    let calls_before = oracle.calls_used();
+    // Grant the RT stage exactly its stage budget in fresh calls even when
+    // the oracle was used before (set_budget replaces the *total* budget).
+    oracle.set_budget(calls_before.saturating_add(rt_query.budget()));
+    let stage = exec_single(data, rt_query, rt_selector, oracle, rng)?;
+    let stage_calls = oracle.calls_used() - calls_before;
+
+    // Already-labeled records are cache hits and cost nothing extra.
+    oracle.set_budget(usize::MAX);
+    let mut kept = Vec::with_capacity(stage.result.len());
+    for idx in stage.result.iter() {
+        if oracle.label(idx)? {
+            kept.push(idx);
+        }
+    }
+    let filter_calls = oracle.calls_used() - calls_before - stage_calls;
+
+    Ok(QueryOutcome {
+        result: SelectionResult::from_indices(kept),
+        tau: stage.tau,
+        selector: stage.selector,
+        oracle_calls: stage_calls + filter_calls,
+        stage_calls,
+        filter_calls,
+        sample_draws: stage.sample_draws,
+        sample_positives: stage.sample_positives,
+        candidates: stage.result.len(),
+        joint: true,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn separable(n: usize) -> (ScoredDataset, Vec<bool>) {
+        let scores: Vec<f64> = (0..n).map(|i| (i % 1000) as f64 / 1000.0).collect();
+        let labels: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
+        (ScoredDataset::new(scores).unwrap(), labels)
+    }
+
+    #[test]
+    fn rt_pt_and_jt_run_through_one_entry_point() {
+        let (data, labels) = separable(20_000);
+
+        let mut oracle = CachedOracle::from_labels(labels.clone(), 1_000);
+        let rt = SupgSession::over(&data)
+            .recall(0.9)
+            .budget(1_000)
+            .run(&mut oracle)
+            .unwrap();
+        assert_eq!(rt.selector, "IS-CI-R");
+        assert!(!rt.joint);
+        assert_eq!(rt.filter_calls, 0);
+        assert!(rt.oracle_calls <= 1_000);
+
+        let mut oracle = CachedOracle::from_labels(labels.clone(), 1_000);
+        let pt = SupgSession::over(&data)
+            .precision(0.9)
+            .budget(1_000)
+            .selector(SelectorKind::TwoStage)
+            .run(&mut oracle)
+            .unwrap();
+        assert_eq!(pt.selector, "IS-CI-P");
+
+        let mut oracle = CachedOracle::from_labels(labels, 0);
+        let jt = SupgSession::over(&data)
+            .recall(0.8)
+            .precision(0.9)
+            .joint(800)
+            .run(&mut oracle)
+            .unwrap();
+        assert!(jt.joint);
+        assert_eq!(jt.selector, "IS-CI-R");
+        assert!(jt.stage_calls <= 800);
+        assert!(jt.filter_calls <= jt.candidates);
+        assert_eq!(jt.oracle_calls, jt.stage_calls + jt.filter_calls);
+        // The exhaustive filter keeps only true positives.
+        for idx in jt.result.iter() {
+            assert!(idx > 16_000 || idx % 1000 > 800);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_outcome_different_seed_differs() {
+        let (data, labels) = separable(10_000);
+        let run = |seed: u64| {
+            let mut oracle = CachedOracle::from_labels(labels.clone(), 500);
+            SupgSession::over(&data)
+                .recall(0.9)
+                .budget(500)
+                .seed(seed)
+                .run(&mut oracle)
+                .unwrap()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a.tau, b.tau);
+        assert_eq!(a.result.indices(), b.result.indices());
+        assert!(a.tau != c.tau || a.result.indices() != c.result.indices());
+    }
+
+    #[test]
+    fn joint_stage_gets_its_full_budget_on_a_reused_oracle() {
+        // A JT query on an oracle that already consumed calls (e.g. to
+        // reuse its label cache) must still grant the RT stage
+        // `stage_budget` *fresh* calls, not fail against the old total.
+        let (data, labels) = separable(10_000);
+        let mut oracle = CachedOracle::from_labels(labels, 400);
+        let warmup = SupgSession::over(&data)
+            .recall(0.9)
+            .budget(400)
+            .run(&mut oracle)
+            .unwrap();
+        assert!(warmup.oracle_calls > 0);
+        let used_before = warmup.oracle_calls;
+        let jt = SupgSession::over(&data)
+            .recall(0.8)
+            .precision(0.9)
+            .joint(400)
+            .run(&mut oracle)
+            .unwrap();
+        assert!(jt.joint);
+        assert!(
+            jt.stage_calls <= 400,
+            "stage consumed {} > stage budget",
+            jt.stage_calls
+        );
+        // The stage was not silently starved by the warm-up's usage.
+        assert!(oracle.calls_used() >= used_before);
+    }
+
+    #[test]
+    fn query_resets_opposite_target_and_joint_mode() {
+        let (data, labels) = separable(5_000);
+        let pt = ApproxQuery::precision_target(0.9, 0.05, 300);
+        // A builder that was configured for a JT query re-plans cleanly
+        // when handed a single-target specification.
+        let session = SupgSession::over(&data)
+            .recall(0.8)
+            .precision(0.85)
+            .joint(200)
+            .query(&pt);
+        session.validate().unwrap();
+        let mut oracle = CachedOracle::from_labels(labels, 300);
+        let outcome = session
+            .selector(SelectorKind::Uniform)
+            .run(&mut oracle)
+            .unwrap();
+        assert_eq!(outcome.selector, "U-CI-P");
+        assert!(!outcome.joint);
+    }
+
+    #[test]
+    fn registry_iterates_exactly_the_supported_pairs() {
+        let pairs: Vec<_> = SelectorKind::registry().collect();
+        assert_eq!(pairs.len(), 7, "4 kinds x 2 targets minus TwoStage x RT");
+        for (kind, target) in pairs {
+            assert!(kind.supports(target));
+            assert!(kind.paper_name(target).is_ok());
+        }
+    }
+
+    #[test]
+    fn registry_names_round_trip() {
+        for kind in SelectorKind::ALL {
+            for target in [TargetKind::Recall, TargetKind::Precision] {
+                match kind.paper_name(target) {
+                    Ok(name) => {
+                        assert_eq!(SelectorKind::from_paper_name(name), Some((kind, target)));
+                        let selector = kind.build(target, SelectorConfig::default()).unwrap();
+                        assert_eq!(selector.name(), name);
+                    }
+                    Err(e) => {
+                        assert!(matches!(e, SupgError::UnsupportedSelector { .. }));
+                        assert!(kind.build(target, SelectorConfig::default()).is_err());
+                        assert!(!kind.supports(target));
+                    }
+                }
+            }
+        }
+        assert_eq!(SelectorKind::from_paper_name("nope"), None);
+    }
+
+    #[test]
+    fn query_copies_an_approx_query() {
+        let (data, labels) = separable(5_000);
+        let q = ApproxQuery::precision_target(0.85, 0.1, 400);
+        let mut oracle = CachedOracle::from_labels(labels, 400);
+        let outcome = SupgSession::over(&data)
+            .query(&q)
+            .selector(SelectorKind::Uniform)
+            .run(&mut oracle)
+            .unwrap();
+        assert_eq!(outcome.selector, "U-CI-P");
+        assert!(outcome.oracle_calls <= 400);
+    }
+
+    #[test]
+    fn engine_style_external_rng_advances() {
+        let (data, labels) = separable(5_000);
+        let session = SupgSession::over(&data).recall(0.9).budget(300);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut o1 = CachedOracle::from_labels(labels.clone(), 300);
+        let a = session.run_with_rng(&mut o1, &mut rng).unwrap();
+        let mut o2 = CachedOracle::from_labels(labels, 300);
+        let b = session.run_with_rng(&mut o2, &mut rng).unwrap();
+        // The shared RNG advanced between statements.
+        assert!(a.tau != b.tau || rng.gen::<u64>() != 0);
+    }
+}

@@ -1,14 +1,11 @@
 //! Property-based tests for the SUPG core invariants.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use supg_core::selectors::{
-    ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision, UniformNoCiPrecision,
-    UniformNoCiRecall, UniformPrecision, UniformRecall,
+use supg_core::selectors::SelectorConfig;
+use supg_core::{
+    ApproxQuery, CachedOracle, Oracle, OracleSample, ScoredDataset, SelectorKind, SupgSession,
+    TargetKind,
 };
-use supg_core::{ApproxQuery, CachedOracle, Oracle, OracleSample, ScoredDataset, SupgExecutor};
 
 /// Strategy: a small dataset of (score, label) pairs with at least one
 /// record.
@@ -17,16 +14,9 @@ fn dataset_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
         .prop_map(|pairs| pairs.into_iter().unzip())
 }
 
-fn all_selectors(cfg: SelectorConfig) -> Vec<(Box<dyn ThresholdSelector>, bool)> {
-    // (selector, is_recall_target)
-    vec![
-        (Box::new(UniformNoCiRecall), true),
-        (Box::new(UniformNoCiPrecision), false),
-        (Box::new(UniformRecall::new(cfg)), true),
-        (Box::new(UniformPrecision::new(cfg)), false),
-        (Box::new(ImportanceRecall::new(cfg)), true),
-        (Box::new(TwoStagePrecision::new(cfg)), false),
-    ]
+/// Every registry entry as `(kind, target)` pairs.
+fn all_registry_pairs() -> Vec<(SelectorKind, TargetKind)> {
+    SelectorKind::registry().collect()
 }
 
 proptest! {
@@ -39,18 +29,20 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let data = ScoredDataset::new(scores).unwrap();
-        for (selector, is_recall) in all_selectors(SelectorConfig::default().with_precision_step(5)) {
-            let query = if is_recall {
-                ApproxQuery::recall_target(0.8, 0.1, budget)
-            } else {
-                ApproxQuery::precision_target(0.8, 0.1, budget)
-            };
+        for (kind, target) in all_registry_pairs() {
+            let query = ApproxQuery::new(target, 0.8, 0.1, budget).unwrap();
             let owned = labels.clone();
             let mut oracle = CachedOracle::new(owned.len(), budget, move |i| owned[i]);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let result = selector.estimate(&data, &query, &mut oracle, &mut rng);
-            prop_assert!(result.is_ok(), "{}: {:?}", selector.name(), result.err());
-            prop_assert!(oracle.calls_used() <= budget, "{} overspent", selector.name());
+            let result = SupgSession::over(&data)
+                .query(&query)
+                .selector(kind)
+                .selector_config(SelectorConfig::default().with_precision_step(5))
+                .seed(seed)
+                .run(&mut oracle);
+            let name = kind.paper_name(target).unwrap();
+            prop_assert!(result.is_ok(), "{name}: {:?}", result.err());
+            prop_assert!(oracle.calls_used() <= budget, "{name} overspent");
+            prop_assert_eq!(result.unwrap().selector, name);
         }
     }
 
@@ -64,18 +56,20 @@ proptest! {
         let query = ApproxQuery::recall_target(0.9, 0.1, budget);
         let owned = labels.clone();
         let mut oracle = CachedOracle::new(owned.len(), budget, move |i| owned[i]);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let outcome = SupgExecutor::new(&data, &query)
-            .run(&UniformRecall::new(SelectorConfig::default()), &mut oracle, &mut rng)
+        let outcome = SupgSession::over(&data)
+            .query(&query)
+            .selector(SelectorKind::Uniform)
+            .seed(seed)
+            .run(&mut oracle)
             .unwrap();
         // Every record the oracle labeled positive must be in the result.
         for idx in oracle.known_positives() {
-            prop_assert!(outcome.result.contains(idx as u32));
+            prop_assert!(outcome.result.contains(idx));
         }
         // Every returned record is above τ or a known positive.
         for idx in outcome.result.iter() {
-            let above = data.score(idx as usize) >= outcome.tau;
-            let known = oracle.cached(idx as usize) == Some(true);
+            let above = data.score(idx) >= outcome.tau;
+            let known = oracle.cached(idx) == Some(true);
             prop_assert!(above || known);
         }
     }

@@ -4,22 +4,17 @@
 //! positives — so each test runs in (a scaled version of) the paper's
 //! configuration rather than an arbitrary one.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use supg_core::metrics::evaluate;
-use supg_core::selectors::{
-    ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision, UniformPrecision,
-    UniformRecall,
-};
-use supg_core::{ApproxQuery, CachedOracle, ScoredDataset, SupgExecutor};
+use supg_core::selectors::SelectorConfig;
+use supg_core::{ApproxQuery, CachedOracle, ScoredDataset, SelectorKind, SupgSession};
 use supg_datasets::{BetaDataset, MixtureDataset};
 use supg_stats::dist::Beta;
 
 fn mean_quality(
     data: &ScoredDataset,
     labels: &[bool],
-    selector: &dyn ThresholdSelector,
+    kind: SelectorKind,
+    cfg: SelectorConfig,
     query: &ApproxQuery,
     trials: u64,
     recall_metric: bool,
@@ -28,12 +23,19 @@ fn mean_quality(
     for t in 0..trials {
         let truth = labels.to_vec();
         let mut oracle = CachedOracle::new(truth.len(), query.budget(), move |i| truth[i]);
-        let mut rng = StdRng::seed_from_u64(0xD00D + t);
-        let outcome = SupgExecutor::new(data, query)
-            .run(selector, &mut oracle, &mut rng)
+        let outcome = SupgSession::over(data)
+            .query(query)
+            .selector(kind)
+            .selector_config(cfg)
+            .seed(0xD00D + t)
+            .run(&mut oracle)
             .unwrap();
         let pr = evaluate(outcome.result.indices(), labels);
-        acc += if recall_metric { pr.recall } else { pr.precision };
+        acc += if recall_metric {
+            pr.recall
+        } else {
+            pr.precision
+        };
     }
     acc / trials as f64
 }
@@ -41,12 +43,14 @@ fn mean_quality(
 #[test]
 fn two_stage_beats_uniform_on_pt_recall() {
     // Figure 7's core claim: rare positives, calibrated proxy.
-    let (scores, labels) = BetaDataset::new(0.02, 2.0, 150_000).generate(51).into_parts();
+    let (scores, labels) = BetaDataset::new(0.02, 2.0, 150_000)
+        .generate(51)
+        .into_parts();
     let data = ScoredDataset::new(scores).unwrap();
     let query = ApproxQuery::precision_target(0.9, 0.05, 1_500);
     let cfg = SelectorConfig::default();
-    let two = mean_quality(&data, &labels, &TwoStagePrecision::new(cfg), &query, 8, true);
-    let uni = mean_quality(&data, &labels, &UniformPrecision::new(cfg), &query, 8, true);
+    let two = mean_quality(&data, &labels, SelectorKind::TwoStage, cfg, &query, 8, true);
+    let uni = mean_quality(&data, &labels, SelectorKind::Uniform, cfg, &query, 8, true);
     assert!(two > uni, "two-stage recall {two} vs uniform {uni}");
 }
 
@@ -56,12 +60,22 @@ fn sqrt_weights_beat_the_endpoints_in_the_paper_regime() {
     // 10⁴ budget. The sqrt optimum needs this regime — with very few
     // sampled positives the comparison inverts (small samples get
     // lucky-but-fragile high thresholds).
-    let (scores, labels) = BetaDataset::new(0.01, 2.0, 1_000_000).generate(52).into_parts();
+    let (scores, labels) = BetaDataset::new(0.01, 2.0, 1_000_000)
+        .generate(52)
+        .into_parts();
     let data = ScoredDataset::new(scores).unwrap();
     let query = ApproxQuery::recall_target(0.9, 0.05, 10_000);
     let quality = |p: f64| {
-        let sel = ImportanceRecall::new(SelectorConfig::default().with_exponent(p));
-        mean_quality(&data, &labels, &sel, &query, 10, false)
+        let cfg = SelectorConfig::default().with_exponent(p);
+        mean_quality(
+            &data,
+            &labels,
+            SelectorKind::ImportanceSampling,
+            cfg,
+            &query,
+            10,
+            false,
+        )
     };
     let (q0, q_half, q1) = (quality(0.0), quality(0.5), quality(1.0));
     assert!(q_half > q0, "sqrt {q_half} vs exponent-0 {q0}");
@@ -72,24 +86,45 @@ fn sqrt_weights_beat_the_endpoints_in_the_paper_regime() {
 fn larger_budgets_improve_uniform_rt_quality() {
     // In the uniform-sampling regime with a moderate positive rate (the
     // night-street configuration), more labels → tighter bounds → higher
-    // certified thresholds → higher precision.
+    // certified thresholds → higher precision. The comparison starts at a
+    // budget large enough for the CI to bind: tiny samples occasionally
+    // draw lucky-but-fragile high thresholds (the same confound the
+    // exponent test notes), which masks the monotone regime.
     let data_gen = MixtureDataset::new(150_000, 0.04, Beta::new(8.0, 2.2), Beta::new(0.4, 4.5));
     let (scores, labels) = data_gen.generate(53).into_parts();
     let data = ScoredDataset::new(scores).unwrap();
     let cfg = SelectorConfig::default();
-    let small = ApproxQuery::recall_target(0.9, 0.05, 500);
-    let large = ApproxQuery::recall_target(0.9, 0.05, 8_000);
-    let q_small = mean_quality(&data, &labels, &UniformRecall::new(cfg), &small, 6, false);
-    let q_large = mean_quality(&data, &labels, &UniformRecall::new(cfg), &large, 6, false);
+    let small = ApproxQuery::recall_target(0.9, 0.05, 2_000);
+    let large = ApproxQuery::recall_target(0.9, 0.05, 16_000);
+    let q_small = mean_quality(
+        &data,
+        &labels,
+        SelectorKind::Uniform,
+        cfg,
+        &small,
+        12,
+        false,
+    );
+    let q_large = mean_quality(
+        &data,
+        &labels,
+        SelectorKind::Uniform,
+        cfg,
+        &large,
+        12,
+        false,
+    );
     assert!(
         q_large > q_small,
-        "budget 8000 precision {q_large} vs budget 500 {q_small}"
+        "budget 16000 precision {q_large} vs budget 2000 {q_small}"
     );
 }
 
 #[test]
 fn stricter_pt_targets_shrink_results_on_average() {
-    let (scores, labels) = BetaDataset::new(0.02, 2.0, 150_000).generate(54).into_parts();
+    let (scores, labels) = BetaDataset::new(0.02, 2.0, 150_000)
+        .generate(54)
+        .into_parts();
     let data = ScoredDataset::new(scores).unwrap();
     let cfg = SelectorConfig::default();
     // Compare the certified threshold sets |D(τ)| (the labeled-positive
@@ -101,9 +136,12 @@ fn stricter_pt_targets_shrink_results_on_average() {
         for t in 0..trials {
             let truth = labels.clone();
             let mut oracle = CachedOracle::new(truth.len(), 1_500, move |i| truth[i]);
-            let mut rng = StdRng::seed_from_u64(0xCAFE + t);
-            let outcome = SupgExecutor::new(&data, &query)
-                .run(&TwoStagePrecision::new(cfg), &mut oracle, &mut rng)
+            let outcome = SupgSession::over(&data)
+                .query(&query)
+                .selector(SelectorKind::TwoStage)
+                .selector_config(cfg)
+                .seed(0xCAFE + t)
+                .run(&mut oracle)
                 .unwrap();
             acc += data.count_at_least(outcome.tau) as f64;
         }

@@ -173,6 +173,9 @@ mod tests {
             from_csv_string("0.5,maybe\n"),
             Err(CsvError::Parse { line: 1, .. })
         ));
-        assert!(matches!(from_csv_string("score,label\n"), Err(CsvError::Empty)));
+        assert!(matches!(
+            from_csv_string("score,label\n"),
+            Err(CsvError::Empty)
+        ));
     }
 }

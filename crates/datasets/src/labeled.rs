@@ -23,7 +23,11 @@ impl LabeledData {
     /// Panics if the columns differ in length, are empty, or any score is
     /// outside `[0, 1]` or non-finite.
     pub fn new(scores: Vec<f64>, labels: Vec<bool>) -> Self {
-        assert_eq!(scores.len(), labels.len(), "LabeledData: column length mismatch");
+        assert_eq!(
+            scores.len(),
+            labels.len(),
+            "LabeledData: column length mismatch"
+        );
         assert!(!scores.is_empty(), "LabeledData: empty dataset");
         for &s in &scores {
             assert!(
@@ -139,8 +143,16 @@ impl LabeledData {
                 neg_n += 1;
             }
         }
-        let pos_mean = if pos_n == 0 { 0.0 } else { pos_sum / pos_n as f64 };
-        let neg_mean = if neg_n == 0 { 0.0 } else { neg_sum / neg_n as f64 };
+        let pos_mean = if pos_n == 0 {
+            0.0
+        } else {
+            pos_sum / pos_n as f64
+        };
+        let neg_mean = if neg_n == 0 {
+            0.0
+        } else {
+            neg_sum / neg_n as f64
+        };
         pos_mean - neg_mean
     }
 }

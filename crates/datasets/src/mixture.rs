@@ -37,8 +37,16 @@ impl MixtureDataset {
     /// Panics if `n == 0` or `tpr ∉ (0, 1)`.
     pub fn new(n: usize, tpr: f64, positive: Beta, negative: Beta) -> Self {
         assert!(n > 0, "MixtureDataset: n must be > 0");
-        assert!(tpr > 0.0 && tpr < 1.0, "MixtureDataset: tpr={tpr} outside (0, 1)");
-        Self { n, tpr, positive, negative }
+        assert!(
+            tpr > 0.0 && tpr < 1.0,
+            "MixtureDataset: tpr={tpr} outside (0, 1)"
+        );
+        Self {
+            n,
+            tpr,
+            positive,
+            negative,
+        }
     }
 
     /// Number of records generated.
@@ -86,7 +94,11 @@ impl MixtureDataset {
         let mut labels = Vec::with_capacity(self.n);
         for _ in 0..self.n {
             let label = label_dist.sample(rng);
-            let dist = if label { &self.positive } else { &self.negative };
+            let dist = if label {
+                &self.positive
+            } else {
+                &self.negative
+            };
             scores.push(dist.sample(rng));
             labels.push(label);
         }
@@ -99,12 +111,7 @@ mod tests {
     use super::*;
 
     fn gen() -> MixtureDataset {
-        MixtureDataset::new(
-            50_000,
-            0.04,
-            Beta::new(8.0, 2.2),
-            Beta::new(0.4, 4.5),
-        )
+        MixtureDataset::new(50_000, 0.04, Beta::new(8.0, 2.2), Beta::new(0.4, 4.5))
     }
 
     #[test]
@@ -116,7 +123,11 @@ mod tests {
     #[test]
     fn positives_score_higher() {
         let data = gen().generate(10);
-        assert!(data.score_separation() > 0.5, "sep {}", data.score_separation());
+        assert!(
+            data.score_separation() > 0.5,
+            "sep {}",
+            data.score_separation()
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@ use crate::labeled::LabeledData;
 
 /// Adds `N(0, sd²)` noise to every proxy score, clipping to `[0, 1]`.
 /// Labels are untouched (the oracle is unaffected by proxy noise).
-pub fn add_gaussian_noise<R: Rng + ?Sized>(data: &LabeledData, sd: f64, rng: &mut R) -> LabeledData {
+pub fn add_gaussian_noise<R: Rng + ?Sized>(
+    data: &LabeledData,
+    sd: f64,
+    rng: &mut R,
+) -> LabeledData {
     assert!(sd >= 0.0 && sd.is_finite(), "add_gaussian_noise: sd={sd}");
     if sd == 0.0 {
         return data.clone();

@@ -133,7 +133,9 @@ impl Preset {
     pub fn description(&self) -> &'static str {
         match self.kind {
             PresetKind::ImageNet => "hummingbirds in ImageNet (calibrated proxy, simulated)",
-            PresetKind::NightStreet => "cars in night-street video (miscalibrated proxy, simulated)",
+            PresetKind::NightStreet => {
+                "cars in night-street video (miscalibrated proxy, simulated)"
+            }
             PresetKind::OntoNotes => "city relations in OntoNotes (weak proxy, simulated)",
             PresetKind::Tacred => "employee relations in TACRED (sharp proxy, simulated)",
             PresetKind::Beta01x1 => "A(x) ~ Beta(0.01, 1), O(x) ~ Bernoulli(A(x))",
@@ -156,27 +158,18 @@ impl Preset {
             // Calibrated and extremely rare: mean of Beta(0.002, 2) is
             // 0.002/2.002 ≈ 0.1%, the paper's ImageNet hummingbird rate.
             PresetKind::ImageNet => BetaDataset::new(0.002, 2.0, n).generate(seed),
-            PresetKind::NightStreet => MixtureDataset::new(
-                n,
-                0.04,
-                Beta::new(8.0, 2.2),
-                Beta::new(0.4, 4.5),
-            )
-            .generate(seed),
-            PresetKind::OntoNotes => MixtureDataset::new(
-                n,
-                0.025,
-                Beta::new(2.2, 1.6),
-                Beta::new(0.55, 5.0),
-            )
-            .generate(seed),
-            PresetKind::Tacred => MixtureDataset::new(
-                n,
-                0.024,
-                Beta::new(6.0, 1.2),
-                Beta::new(0.25, 8.0),
-            )
-            .generate(seed),
+            PresetKind::NightStreet => {
+                MixtureDataset::new(n, 0.04, Beta::new(8.0, 2.2), Beta::new(0.4, 4.5))
+                    .generate(seed)
+            }
+            PresetKind::OntoNotes => {
+                MixtureDataset::new(n, 0.025, Beta::new(2.2, 1.6), Beta::new(0.55, 5.0))
+                    .generate(seed)
+            }
+            PresetKind::Tacred => {
+                MixtureDataset::new(n, 0.024, Beta::new(6.0, 1.2), Beta::new(0.25, 8.0))
+                    .generate(seed)
+            }
             PresetKind::Beta01x1 => BetaDataset::new(0.01, 1.0, n).generate(seed),
             PresetKind::Beta01x2 => BetaDataset::new(0.01, 2.0, n).generate(seed),
             PresetKind::ImageNetCFog => {

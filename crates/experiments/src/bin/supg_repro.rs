@@ -52,22 +52,27 @@ fn parse_args(args: &[String]) -> Result<(String, ExpContext), String> {
                 ctx.seed = seed;
             }
             "--trials" => {
-                ctx.trials = take_value(&mut i)?.parse().map_err(|e| format!("--trials: {e}"))?
+                ctx.trials = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?
             }
             "--sweep-trials" => {
-                ctx.sweep_trials =
-                    take_value(&mut i)?.parse().map_err(|e| format!("--sweep-trials: {e}"))?
+                ctx.sweep_trials = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--sweep-trials: {e}"))?
             }
             "--scale" => {
-                ctx.scale = take_value(&mut i)?.parse().map_err(|e| format!("--scale: {e}"))?
+                ctx.scale = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
             }
             "--seed" => {
-                ctx.seed = take_value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?
+                ctx.seed = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
             }
             "--out" => ctx.out_dir = PathBuf::from(take_value(&mut i)?),
-            other if !other.starts_with('-') && target.is_none() => {
-                target = Some(other.to_owned())
-            }
+            other if !other.starts_with('-') && target.is_none() => target = Some(other.to_owned()),
             other => return Err(format!("unrecognized argument {other:?}")),
         }
         i += 1;
@@ -92,7 +97,10 @@ fn main() -> ExitCode {
     }
 
     let ids: Vec<String> = if target == "all" {
-        list_experiments().iter().map(|(id, _)| (*id).to_owned()).collect()
+        list_experiments()
+            .iter()
+            .map(|(id, _)| (*id).to_owned())
+            .collect()
     } else {
         vec![target]
     };

@@ -10,8 +10,7 @@
 //! guarantee.
 
 use supg_core::metrics::evaluate_threshold;
-use supg_core::selectors::{ImportanceRecall, TwoStagePrecision};
-use supg_core::ApproxQuery;
+use supg_core::{ApproxQuery, SelectorKind};
 use supg_datasets::Preset;
 
 use super::ExpContext;
@@ -81,7 +80,8 @@ pub fn table4(ctx: &ExpContext) -> String {
         let supg_p = run_trials(
             &test,
             &query_p,
-            &TwoStagePrecision::new(ctx.selector_config()),
+            SelectorKind::TwoStage,
+            ctx.selector_config(),
             ctx.trials,
             ctx.seed ^ 0x44,
         );
@@ -102,7 +102,8 @@ pub fn table4(ctx: &ExpContext) -> String {
         let supg_r = run_trials(
             &test,
             &query_r,
-            &ImportanceRecall::new(ctx.selector_config()),
+            SelectorKind::ImportanceSampling,
+            ctx.selector_config(),
             ctx.trials,
             ctx.seed ^ 0x45,
         );

@@ -7,11 +7,7 @@
 //! recall (Figure 6) distributions; U-NoCI fails up to 75% of the time
 //! while SUPG respects the 5% failure budget.
 
-use supg_core::selectors::{
-    ImportanceRecall, ThresholdSelector, TwoStagePrecision, UniformNoCiPrecision,
-    UniformNoCiRecall,
-};
-use supg_core::ApproxQuery;
+use supg_core::{ApproxQuery, SelectorKind};
 
 use super::ExpContext;
 use crate::report::{boxplot, failure_rate, precisions, recalls, TextTable};
@@ -30,13 +26,18 @@ fn precision_comparison(ctx: &ExpContext, workloads: &[Workload], csv_name: &str
     ]);
     for w in workloads {
         let query = ApproxQuery::precision_target(GAMMA, DELTA, w.budget);
-        let naive = UniformNoCiPrecision;
-        let supg = TwoStagePrecision::new(ctx.selector_config());
         for (selector, label) in [
-            (&naive as &(dyn ThresholdSelector + Sync), "U-NoCI"),
-            (&supg as &(dyn ThresholdSelector + Sync), "SUPG"),
+            (SelectorKind::UniformNoCi, "U-NoCI"),
+            (SelectorKind::TwoStage, "SUPG"),
         ] {
-            let outcomes = run_trials(w, &query, selector, ctx.trials, ctx.seed);
+            let outcomes = run_trials(
+                w,
+                &query,
+                selector,
+                ctx.selector_config(),
+                ctx.trials,
+                ctx.seed,
+            );
             let ps = precisions(&outcomes);
             table.row(vec![
                 w.name.clone(),
@@ -57,9 +58,8 @@ pub fn fig1(ctx: &ExpContext) -> String {
         .into_iter()
         .filter(|w| w.name == "ImageNet")
         .collect();
-    let mut out = String::from(
-        "Figure 1: achieved precision over repeated runs, precision target 90%\n\n",
-    );
+    let mut out =
+        String::from("Figure 1: achieved precision over repeated runs, precision target 90%\n\n");
     out.push_str(&precision_comparison(ctx, &workloads, "fig1"));
     out
 }
@@ -86,13 +86,18 @@ pub fn fig6(ctx: &ExpContext) -> String {
     ]);
     for w in &workloads {
         let query = ApproxQuery::recall_target(GAMMA, DELTA, w.budget);
-        let naive = UniformNoCiRecall;
-        let supg = ImportanceRecall::new(ctx.selector_config());
         for (selector, label) in [
-            (&naive as &(dyn ThresholdSelector + Sync), "U-NoCI"),
-            (&supg as &(dyn ThresholdSelector + Sync), "SUPG"),
+            (SelectorKind::UniformNoCi, "U-NoCI"),
+            (SelectorKind::ImportanceSampling, "SUPG"),
         ] {
-            let outcomes = run_trials(w, &query, selector, ctx.trials, ctx.seed ^ 0x6);
+            let outcomes = run_trials(
+                w,
+                &query,
+                selector,
+                ctx.selector_config(),
+                ctx.trials,
+                ctx.seed ^ 0x6,
+            );
             let rs = recalls(&outcomes);
             table.row(vec![
                 w.name.clone(),

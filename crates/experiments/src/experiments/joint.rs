@@ -1,12 +1,7 @@
 //! Figure 15 (appendix A): joint-target queries — total oracle usage of the
 //! JT pipeline with uniform vs importance RT subroutines.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use supg_core::joint::execute_joint;
-use supg_core::query::JointQuery;
-use supg_core::selectors::{ImportanceRecall, ThresholdSelector, UniformRecall};
+use supg_core::{SelectorKind, SupgSession};
 use supg_datasets::{Preset, PresetKind};
 
 use super::ExpContext;
@@ -24,8 +19,6 @@ pub fn fig15(ctx: &ExpContext) -> String {
     ];
     let targets = [0.5, 0.6, 0.7, 0.75, 0.8, 0.9];
     let cfg = ctx.selector_config();
-    let uniform = UniformRecall::new(cfg);
-    let importance = ImportanceRecall::new(cfg);
     let mut table = TextTable::new(vec![
         "dataset",
         "joint target",
@@ -34,34 +27,32 @@ pub fn fig15(ctx: &ExpContext) -> String {
     ]);
     // JT's exhaustive filter makes trials relatively expensive; a handful
     // per point matches the paper's smooth curves well enough.
-    let trials = ctx.sweep_trials.min(5).max(2);
+    let trials = ctx.sweep_trials.clamp(2, 5);
     for kind in presets {
         let w = Workload::from_preset(Preset::new(kind), ctx.seed, ctx.scale);
         let stage_budget = w.budget;
         for &gamma in &targets {
-            let query = JointQuery::new(gamma, gamma, 0.05).expect("valid JT query");
-            let calls = |selector: &dyn ThresholdSelector, salt: u64| -> f64 {
+            let calls = |selector: SelectorKind, salt: u64| -> f64 {
                 let totals: Vec<f64> = (0..trials)
                     .map(|t| {
                         let mut oracle = w.oracle(0);
-                        let mut rng =
-                            StdRng::seed_from_u64(derive_seed(ctx.seed ^ salt, t as u64));
-                        let out = execute_joint(
-                            &w.data,
-                            &query,
-                            stage_budget,
-                            selector,
-                            &mut oracle,
-                            &mut rng,
-                        )
-                        .expect("JT execution failed");
-                        out.total_calls() as f64
+                        let out = SupgSession::over(&w.data)
+                            .recall(gamma)
+                            .precision(gamma)
+                            .delta(0.05)
+                            .joint(stage_budget)
+                            .selector(selector)
+                            .selector_config(cfg)
+                            .seed(derive_seed(ctx.seed ^ salt, t as u64))
+                            .run(&mut oracle)
+                            .expect("JT execution failed");
+                        out.oracle_calls as f64
                     })
                     .collect();
                 mean(&totals)
             };
-            let u = calls(&uniform, 0x15A);
-            let s = calls(&importance, 0x15B);
+            let u = calls(SelectorKind::Uniform, 0x15A);
+            let s = calls(SelectorKind::ImportanceSampling, 0x15B);
             table.row(vec![
                 w.name.clone(),
                 pct(gamma),

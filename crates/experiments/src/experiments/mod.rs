@@ -68,17 +68,38 @@ impl ExpContext {
 /// `(id, title)` of every reproducible artifact, in paper order.
 pub fn list_experiments() -> Vec<(&'static str, &'static str)> {
     vec![
-        ("fig1", "Figure 1: precision box plot, naive vs SUPG (ImageNet)"),
+        (
+            "fig1",
+            "Figure 1: precision box plot, naive vs SUPG (ImageNet)",
+        ),
         ("table2", "Table 2: dataset summary"),
-        ("table3", "Table 3: distributionally shifted dataset summary"),
-        ("fig5", "Figure 5: precision of 100 trials, U-NoCI vs SUPG (PT 90%)"),
-        ("fig6", "Figure 6: recall of 100 trials, U-NoCI vs SUPG (RT 90%)"),
+        (
+            "table3",
+            "Table 3: distributionally shifted dataset summary",
+        ),
+        (
+            "fig5",
+            "Figure 5: precision of 100 trials, U-NoCI vs SUPG (PT 90%)",
+        ),
+        (
+            "fig6",
+            "Figure 6: recall of 100 trials, U-NoCI vs SUPG (RT 90%)",
+        ),
         ("table4", "Table 4: accuracy under distribution shift"),
-        ("fig7", "Figure 7: precision target sweep vs achieved recall"),
-        ("fig8", "Figure 8: recall target sweep vs achieved precision"),
+        (
+            "fig7",
+            "Figure 7: precision target sweep vs achieved recall",
+        ),
+        (
+            "fig8",
+            "Figure 8: recall target sweep vs achieved precision",
+        ),
         ("fig9", "Figure 9: proxy noise sensitivity"),
         ("fig10", "Figure 10: class imbalance sensitivity"),
-        ("fig11", "Figure 11: parameter sensitivity (m, defensive mixing)"),
+        (
+            "fig11",
+            "Figure 11: parameter sensitivity (m, defensive mixing)",
+        ),
         ("fig12", "Figure 12: importance weight exponent sweep"),
         ("fig13", "Figure 13: confidence interval method comparison"),
         ("table5", "Table 5: query cost breakdown"),

@@ -3,11 +3,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use supg_core::selectors::{
-    ImportanceRecall, SelectorConfig, TwoStagePrecision, UniformPrecision,
-    UniformRecall,
-};
-use supg_core::ApproxQuery;
+use supg_core::selectors::SelectorConfig;
+use supg_core::{ApproxQuery, SelectorKind};
 use supg_datasets::noise::add_relative_noise;
 use supg_datasets::BetaDataset;
 
@@ -54,12 +51,40 @@ pub fn fig9(ctx: &ExpContext) -> String {
         let w = Workload::from_labeled(format!("noise {fraction}"), noisy, budget);
 
         let pt = ApproxQuery::precision_target(0.95, 0.05, budget);
-        let u_p = run_trials(&w, &pt, &UniformPrecision::new(cfg), ctx.sweep_trials, ctx.seed ^ 9);
-        let s_p = run_trials(&w, &pt, &TwoStagePrecision::new(cfg), ctx.sweep_trials, ctx.seed ^ 9);
+        let u_p = run_trials(
+            &w,
+            &pt,
+            SelectorKind::Uniform,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 9,
+        );
+        let s_p = run_trials(
+            &w,
+            &pt,
+            SelectorKind::TwoStage,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 9,
+        );
 
         let rt = ApproxQuery::recall_target(0.9, 0.05, budget);
-        let u_r = run_trials(&w, &rt, &UniformRecall::new(cfg), ctx.sweep_trials, ctx.seed ^ 10);
-        let s_r = run_trials(&w, &rt, &ImportanceRecall::new(cfg), ctx.sweep_trials, ctx.seed ^ 10);
+        let u_r = run_trials(
+            &w,
+            &rt,
+            SelectorKind::Uniform,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 10,
+        );
+        let s_r = run_trials(
+            &w,
+            &rt,
+            SelectorKind::ImportanceSampling,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 10,
+        );
 
         table.row(vec![
             format!("{:.0}%", 100.0 * fraction),
@@ -70,9 +95,8 @@ pub fn fig9(ctx: &ExpContext) -> String {
         ]);
     }
     let _ = table.write_csv(&ctx.out_dir, "fig9");
-    let mut out = String::from(
-        "Figure 9: proxy noise sensitivity on Beta(0.01, 2) (PT 95% / RT 90%)\n\n",
-    );
+    let mut out =
+        String::from("Figure 9: proxy noise sensitivity on Beta(0.01, 2) (PT 95% / RT 90%)\n\n");
     out.push_str(&table.render());
     out.push_str("\nExpected shape (paper): SUPG outperforms uniform sampling at every\nnoise level and degrades gracefully.\n");
     out
@@ -95,12 +119,40 @@ pub fn fig10(ctx: &ExpContext) -> String {
         let budget = w.budget;
 
         let pt = ApproxQuery::precision_target(0.95, 0.05, budget);
-        let u_p = run_trials(&w, &pt, &UniformPrecision::new(cfg), ctx.sweep_trials, ctx.seed ^ 11);
-        let s_p = run_trials(&w, &pt, &TwoStagePrecision::new(cfg), ctx.sweep_trials, ctx.seed ^ 11);
+        let u_p = run_trials(
+            &w,
+            &pt,
+            SelectorKind::Uniform,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 11,
+        );
+        let s_p = run_trials(
+            &w,
+            &pt,
+            SelectorKind::TwoStage,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 11,
+        );
 
         let rt = ApproxQuery::recall_target(0.9, 0.05, budget);
-        let u_r = run_trials(&w, &rt, &UniformRecall::new(cfg), ctx.sweep_trials, ctx.seed ^ 12);
-        let s_r = run_trials(&w, &rt, &ImportanceRecall::new(cfg), ctx.sweep_trials, ctx.seed ^ 12);
+        let u_r = run_trials(
+            &w,
+            &rt,
+            SelectorKind::Uniform,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 12,
+        );
+        let s_r = run_trials(
+            &w,
+            &rt,
+            SelectorKind::ImportanceSampling,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 12,
+        );
 
         table.row(vec![
             format!("{beta}"),
@@ -130,14 +182,22 @@ pub fn fig11(ctx: &ExpContext) -> String {
     let u_p = run_trials(
         &w,
         &pt,
-        &UniformPrecision::new(ctx.selector_config()),
+        SelectorKind::Uniform,
+        ctx.selector_config(),
         ctx.sweep_trials,
         ctx.seed ^ 13,
     );
     let u_p_recall = pct(mean(&recalls(&u_p)));
     for &m in &[100usize, 200, 300, 400, 500] {
         let cfg = SelectorConfig::default().with_precision_step(m);
-        let s = run_trials(&w, &pt, &TwoStagePrecision::new(cfg), ctx.sweep_trials, ctx.seed ^ 13);
+        let s = run_trials(
+            &w,
+            &pt,
+            SelectorKind::TwoStage,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 13,
+        );
         table.row(vec![
             "m (recall @P95)".to_owned(),
             m.to_string(),
@@ -150,14 +210,22 @@ pub fn fig11(ctx: &ExpContext) -> String {
     let u_r = run_trials(
         &w,
         &rt,
-        &UniformRecall::new(ctx.selector_config()),
+        SelectorKind::Uniform,
+        ctx.selector_config(),
         ctx.sweep_trials,
         ctx.seed ^ 14,
     );
     let u_r_precision = pct(mean(&precisions(&u_r)));
     for &mix in &[0.1, 0.2, 0.3, 0.4, 0.5] {
         let cfg = SelectorConfig::default().with_mix(mix);
-        let s = run_trials(&w, &rt, &ImportanceRecall::new(cfg), ctx.sweep_trials, ctx.seed ^ 14);
+        let s = run_trials(
+            &w,
+            &rt,
+            SelectorKind::ImportanceSampling,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 14,
+        );
         table.row(vec![
             "mixing (precision @R90)".to_owned(),
             format!("{mix}"),
@@ -181,14 +249,19 @@ pub fn fig12(ctx: &ExpContext) -> String {
     for i in 0..=10 {
         let p = i as f64 / 10.0;
         let cfg = SelectorConfig::default().with_exponent(p);
-        let outcomes =
-            run_trials(&w, &rt, &ImportanceRecall::new(cfg), ctx.sweep_trials, ctx.seed ^ 15);
+        let outcomes = run_trials(
+            &w,
+            &rt,
+            SelectorKind::ImportanceSampling,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 15,
+        );
         table.row(vec![format!("{p:.1}"), pct(mean(&precisions(&outcomes)))]);
     }
     let _ = table.write_csv(&ctx.out_dir, "fig12");
-    let mut out = String::from(
-        "Figure 12: importance-weight exponent vs precision (recall target 90%)\n\n",
-    );
+    let mut out =
+        String::from("Figure 12: importance-weight exponent vs precision (recall target 90%)\n\n");
     out.push_str(&table.render());
     out.push_str("\nExpected shape (paper): exponents near 0.5 (sqrt weights, the\nTheorem-1 optimum) clearly beat both 0 (uniform) and 1 (proportional).\n");
     out
@@ -209,8 +282,14 @@ pub fn fig13(ctx: &ExpContext) -> String {
     let mut table = TextTable::new(vec!["sampling", "CI method", "achieved precision @R90"]);
     for (label, ci) in &methods {
         let cfg = SelectorConfig::default().with_ci(*ci);
-        let outcomes =
-            run_trials(&w, &rt, &UniformRecall::new(cfg), ctx.sweep_trials, ctx.seed ^ 16);
+        let outcomes = run_trials(
+            &w,
+            &rt,
+            SelectorKind::Uniform,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 16,
+        );
         table.row(vec![
             "Uniform".to_owned(),
             (*label).to_owned(),
@@ -223,8 +302,14 @@ pub fn fig13(ctx: &ExpContext) -> String {
             continue;
         }
         let cfg = SelectorConfig::default().with_ci(*ci);
-        let outcomes =
-            run_trials(&w, &rt, &ImportanceRecall::new(cfg), ctx.sweep_trials, ctx.seed ^ 17);
+        let outcomes = run_trials(
+            &w,
+            &rt,
+            SelectorKind::ImportanceSampling,
+            cfg,
+            ctx.sweep_trials,
+            ctx.seed ^ 17,
+        );
         table.row(vec![
             "SUPG (importance)".to_owned(),
             (*label).to_owned(),
@@ -232,9 +317,8 @@ pub fn fig13(ctx: &ExpContext) -> String {
         ]);
     }
     let _ = table.write_csv(&ctx.out_dir, "fig13");
-    let mut out = String::from(
-        "Figure 13: CI method comparison on Beta(0.01, 1) (recall target 90%)\n\n",
-    );
+    let mut out =
+        String::from("Figure 13: CI method comparison on Beta(0.01, 1) (recall target 90%)\n\n");
     out.push_str(&table.render());
     out.push_str("\nExpected shape (paper): the normal approximation matches or beats the\nalternatives; Hoeffding ignores the variance and is vacuous (precision\nnear the base rate).\n");
     out

@@ -1,10 +1,7 @@
 //! Figures 7 and 8: target sweeps on all six datasets.
 
-use supg_core::selectors::{
-    ImportancePrecision, ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision,
-    UniformPrecision, UniformRecall,
-};
-use supg_core::ApproxQuery;
+use supg_core::selectors::SelectorConfig;
+use supg_core::{ApproxQuery, SelectorKind};
 
 use super::ExpContext;
 use crate::report::{mean, pct, precisions, recalls, TextTable};
@@ -15,20 +12,27 @@ use crate::trials::run_trials;
 pub fn fig7(ctx: &ExpContext) -> String {
     let targets = [0.75, 0.8, 0.9, 0.95, 0.99];
     let cfg = ctx.selector_config();
-    let u = UniformPrecision::new(cfg);
-    let two = TwoStagePrecision::new(cfg);
-    let one = ImportancePrecision::new(cfg);
-    let methods: [(&(dyn ThresholdSelector + Sync), &str); 3] = [
-        (&u, "U-CI"),
-        (&two, "SUPG (two-stage)"),
-        (&one, "Importance, one-stage"),
+    let methods: [(SelectorKind, SelectorConfig, &str); 3] = [
+        (SelectorKind::Uniform, cfg, "U-CI"),
+        (SelectorKind::TwoStage, cfg, "SUPG (two-stage)"),
+        (
+            SelectorKind::ImportanceSampling,
+            cfg,
+            "Importance, one-stage",
+        ),
     ];
-    let mut table = TextTable::new(vec!["dataset", "precision target", "method", "achieved recall"]);
+    let mut table = TextTable::new(vec![
+        "dataset",
+        "precision target",
+        "method",
+        "achieved recall",
+    ]);
     for w in ctx.main_workloads() {
         for &gamma in &targets {
             let query = ApproxQuery::precision_target(gamma, 0.05, w.budget);
-            for (selector, label) in methods {
-                let outcomes = run_trials(&w, &query, selector, ctx.sweep_trials, ctx.seed ^ 0x7);
+            for (selector, cfg, label) in methods {
+                let outcomes =
+                    run_trials(&w, &query, selector, cfg, ctx.sweep_trials, ctx.seed ^ 0x7);
                 table.row(vec![
                     w.name.clone(),
                     pct(gamma),
@@ -51,13 +55,14 @@ pub fn fig7(ctx: &ExpContext) -> String {
 pub fn fig8(ctx: &ExpContext) -> String {
     let targets = [0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95];
     let cfg = ctx.selector_config();
-    let u = UniformRecall::new(cfg);
-    let sqrt = ImportanceRecall::new(cfg);
-    let prop = ImportanceRecall::new(SelectorConfig::default().with_exponent(1.0));
-    let methods: [(&(dyn ThresholdSelector + Sync), &str); 3] = [
-        (&u, "U-CI"),
-        (&sqrt, "SUPG (sqrt)"),
-        (&prop, "Importance, prop"),
+    let methods: [(SelectorKind, SelectorConfig, &str); 3] = [
+        (SelectorKind::Uniform, cfg, "U-CI"),
+        (SelectorKind::ImportanceSampling, cfg, "SUPG (sqrt)"),
+        (
+            SelectorKind::ImportanceSampling,
+            SelectorConfig::default().with_exponent(1.0),
+            "Importance, prop",
+        ),
     ];
     let mut table = TextTable::new(vec![
         "dataset",
@@ -69,10 +74,10 @@ pub fn fig8(ctx: &ExpContext) -> String {
     for w in ctx.main_workloads() {
         for &gamma in &targets {
             let query = ApproxQuery::recall_target(gamma, 0.05, w.budget);
-            for (selector, label) in methods {
-                let outcomes = run_trials(&w, &query, selector, ctx.sweep_trials, ctx.seed ^ 0x8);
-                let sizes: Vec<f64> =
-                    outcomes.iter().map(|o| o.quality.returned as f64).collect();
+            for (selector, cfg, label) in methods {
+                let outcomes =
+                    run_trials(&w, &query, selector, cfg, ctx.sweep_trials, ctx.seed ^ 0x8);
+                let sizes: Vec<f64> = outcomes.iter().map(|o| o.quality.returned as f64).collect();
                 table.row(vec![
                     w.name.clone(),
                     pct(gamma),
@@ -84,9 +89,8 @@ pub fn fig8(ctx: &ExpContext) -> String {
         }
     }
     let _ = table.write_csv(&ctx.out_dir, "fig8");
-    let mut out = String::from(
-        "Figure 8: targeted recall vs achieved precision of the returned set\n\n",
-    );
+    let mut out =
+        String::from("Figure 8: targeted recall vs achieved precision of the returned set\n\n");
     out.push_str(&table.render());
     out.push_str("\nExpected shape (paper): importance sampling matches or beats U-CI\neverywhere; sqrt weights beat proportional weights except at the very\nhighest recall targets.\n");
     out

@@ -1,13 +1,7 @@
 //! Tables 2, 3 and 5: dataset summaries and the cost model.
 
-use std::time::Instant;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use supg_core::cost::CostModel;
-use supg_core::selectors::{ImportanceRecall, ThresholdSelector};
-use supg_core::{ApproxQuery, SupgExecutor};
+use supg_core::{SelectorKind, SupgSession};
 use supg_datasets::{Preset, PresetKind};
 
 use super::ExpContext;
@@ -107,16 +101,19 @@ pub fn table5(ctx: &ExpContext) -> String {
     ];
     for (kind, model) in rows {
         let w = Workload::from_preset(Preset::new(kind), ctx.seed, ctx.scale);
-        // Measure the actual query-processing time of one SUPG query.
-        let query = ApproxQuery::recall_target(0.9, 0.05, w.budget);
-        let selector = ImportanceRecall::new(ctx.selector_config());
+        // Measure the actual query-processing time of one SUPG query: the
+        // session's per-stage accounting includes elapsed wall-clock time.
         let mut oracle = w.oracle(w.budget);
-        let mut rng = StdRng::seed_from_u64(ctx.seed);
-        let start = Instant::now();
-        let outcome = SupgExecutor::new(&w.data, &query)
-            .run(&selector as &dyn ThresholdSelector, &mut oracle, &mut rng)
+        let outcome = SupgSession::over(&w.data)
+            .recall(0.9)
+            .delta(0.05)
+            .budget(w.budget)
+            .selector(SelectorKind::ImportanceSampling)
+            .selector_config(ctx.selector_config())
+            .seed(ctx.seed)
+            .run(&mut oracle)
             .expect("cost query failed");
-        let sampling_seconds = start.elapsed().as_secs_f64();
+        let sampling_seconds = outcome.elapsed.as_secs_f64();
         // Cost the paper-scale dataset regardless of ctx.scale so figures
         // are comparable to Table 5.
         let full_n = Preset::new(kind).default_size();
@@ -150,7 +147,13 @@ mod tests {
         ctx.scale = 0.01;
         ctx.out_dir = std::env::temp_dir().join("supg_table2_test");
         let report = table2(&ctx);
-        for name in ["ImageNet", "night-street", "OntoNotes", "TACRED", "Beta(0.01, 1.0)"] {
+        for name in [
+            "ImageNet",
+            "night-street",
+            "OntoNotes",
+            "TACRED",
+            "Beta(0.01, 1.0)",
+        ] {
             assert!(report.contains(name), "{name} missing");
         }
     }

@@ -2,18 +2,19 @@
 //!
 //! Every paper figure aggregates repeated query executions ("100 trials of
 //! …"). Trials are embarrassingly parallel: the dataset is shared
-//! read-only, each trial gets its own oracle (fresh budget) and an RNG
+//! read-only, each trial gets its own oracle (fresh budget) and a session
 //! seeded from `(base_seed, trial_index)`, so results are deterministic
 //! regardless of thread count or scheduling.
+//!
+//! Algorithms are named by [`SelectorKind`] — the registry behind
+//! [`SupgSession`] — so experiment code specifies *which paper algorithm*
+//! runs, not how to construct it.
 
 use std::thread;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use supg_core::metrics::{evaluate, PrecisionRecall};
-use supg_core::selectors::ThresholdSelector;
-use supg_core::{ApproxQuery, Oracle as _, SupgExecutor};
+use supg_core::selectors::SelectorConfig;
+use supg_core::{ApproxQuery, Oracle as _, SelectorKind, SupgSession};
 
 use crate::workload::Workload;
 
@@ -38,17 +39,20 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Runs `trials` independent executions of `query` with `selector` on
-/// `workload`, in parallel, deterministically seeded from `base_seed`.
-/// Trial `i` always uses seed `derive_seed(base_seed, i)` regardless of how
-/// work is distributed over threads.
+/// Runs `trials` independent executions of `query` on `workload` with the
+/// `selector` algorithm (configured by `cfg`), in parallel,
+/// deterministically seeded from `base_seed`. Trial `i` always uses seed
+/// `derive_seed(base_seed, i)` regardless of how work is distributed over
+/// threads.
 ///
 /// # Panics
-/// Panics if any trial fails (budget violations are bugs by construction).
+/// Panics if any trial fails (budget violations and invalid
+/// selector/target combinations are bugs by construction here).
 pub fn run_trials(
     workload: &Workload,
     query: &ApproxQuery,
-    selector: &(dyn ThresholdSelector + Sync),
+    selector: SelectorKind,
+    cfg: SelectorConfig,
     trials: usize,
     base_seed: u64,
 ) -> Vec<TrialOutcome> {
@@ -66,7 +70,7 @@ pub fn run_trials(
                     let mut i = t;
                     while i < trials {
                         let seed = derive_seed(base_seed, i as u64);
-                        local.push((i, run_one_trial(workload, query, selector, seed)));
+                        local.push((i, run_one_trial(workload, query, selector, cfg, seed)));
                         i += threads;
                     }
                     local
@@ -102,13 +106,17 @@ pub fn run_trials(
 pub fn run_one_trial(
     workload: &Workload,
     query: &ApproxQuery,
-    selector: &dyn ThresholdSelector,
+    selector: SelectorKind,
+    cfg: SelectorConfig,
     seed: u64,
 ) -> TrialOutcome {
     let mut oracle = workload.oracle(query.budget());
-    let mut rng = StdRng::seed_from_u64(seed);
-    let outcome = SupgExecutor::new(&workload.data, query)
-        .run(selector, &mut oracle, &mut rng)
+    let outcome = SupgSession::over(&workload.data)
+        .query(query)
+        .selector(selector)
+        .selector_config(cfg)
+        .seed(seed)
+        .run(&mut oracle)
         .expect("trial execution failed");
     assert!(
         oracle.calls_used() <= query.budget(),
@@ -126,7 +134,6 @@ pub fn run_one_trial(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use supg_core::selectors::{SelectorConfig, UniformRecall};
     use supg_datasets::{Preset, PresetKind};
 
     fn workload() -> Workload {
@@ -137,16 +144,16 @@ mod tests {
     fn trial_results_are_deterministic_and_complete() {
         let w = workload();
         let query = ApproxQuery::recall_target(0.9, 0.1, w.budget);
-        let selector = UniformRecall::new(SelectorConfig::default());
-        let a = run_trials(&w, &query, &selector, 8, 42);
-        let b = run_trials(&w, &query, &selector, 8, 42);
+        let cfg = SelectorConfig::default();
+        let a = run_trials(&w, &query, SelectorKind::Uniform, cfg, 8, 42);
+        let b = run_trials(&w, &query, SelectorKind::Uniform, cfg, 8, 42);
         assert_eq!(a.len(), 8);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.tau, y.tau);
             assert_eq!(x.quality.returned, y.quality.returned);
         }
         // A different base seed must change at least one trial.
-        let c = run_trials(&w, &query, &selector, 8, 43);
+        let c = run_trials(&w, &query, SelectorKind::Uniform, cfg, 8, 43);
         assert!(a.iter().zip(&c).any(|(x, y)| x.tau != y.tau));
     }
 
@@ -163,7 +170,21 @@ mod tests {
     fn zero_trials_is_empty() {
         let w = workload();
         let query = ApproxQuery::recall_target(0.9, 0.1, w.budget);
-        let selector = UniformRecall::new(SelectorConfig::default());
-        assert!(run_trials(&w, &query, &selector, 0, 1).is_empty());
+        let cfg = SelectorConfig::default();
+        assert!(run_trials(&w, &query, SelectorKind::Uniform, cfg, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn every_registry_selector_runs_in_trials() {
+        let w = workload();
+        for selector in SelectorKind::ALL {
+            let query = if selector == SelectorKind::TwoStage {
+                ApproxQuery::precision_target(0.9, 0.1, w.budget)
+            } else {
+                ApproxQuery::recall_target(0.9, 0.1, w.budget)
+            };
+            let outcomes = run_trials(&w, &query, selector, SelectorConfig::default(), 2, 11);
+            assert_eq!(outcomes.len(), 2);
+        }
     }
 }

@@ -150,8 +150,15 @@ mod tests {
                 equals: Some(Literal::Bool(true)),
             },
             oracle_limit: Some(1000),
-            proxy: UdfExpr { name: "score".into(), arg: None, equals: None },
-            targets: vec![TargetClause { metric: TargetMetric::Recall, level: 0.9 }],
+            proxy: UdfExpr {
+                name: "score".into(),
+                arg: None,
+                equals: None,
+            },
+            targets: vec![TargetClause {
+                metric: TargetMetric::Recall,
+                level: 0.9,
+            }],
             probability: 0.95,
         }
     }

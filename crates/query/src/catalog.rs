@@ -67,7 +67,11 @@ impl Table {
     /// # Errors
     /// [`QueryError::Semantic`] when the score column length mismatches the
     /// table or scores are invalid.
-    pub fn register_proxy(&mut self, name: impl Into<String>, scores: Vec<f64>) -> Result<(), QueryError> {
+    pub fn register_proxy(
+        &mut self,
+        name: impl Into<String>,
+        scores: Vec<f64>,
+    ) -> Result<(), QueryError> {
         if scores.len() != self.len {
             return Err(QueryError::Semantic(format!(
                 "proxy column has {} scores but table {:?} has {} records",

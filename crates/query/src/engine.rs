@@ -1,17 +1,19 @@
 //! Planning and execution of parsed SUPG statements.
+//!
+//! The engine is a thin planner over [`supg_core::SupgSession`]: it
+//! resolves tables and UDFs from the catalog, picks a [`SelectorKind`]
+//! (engine default, or a per-statement override), and hands the validated
+//! session one statement at a time. All three query kinds — RT, PT and JT
+//! — run through the same session entry point.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use supg_core::joint::execute_joint;
-use supg_core::query::JointQuery;
-use supg_core::selectors::{
-    ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision, UniformPrecision,
-    UniformRecall,
-};
-use supg_core::{ApproxQuery, CachedOracle, SupgExecutor, TargetKind};
+use supg_core::selectors::SelectorConfig;
+use supg_core::session::DEFAULT_JT_STAGE_BUDGET;
+use supg_core::{CachedOracle, SelectorKind, SupgSession, TargetKind};
 
 use crate::ast::{Literal, SupgStatement};
 use crate::catalog::{Catalog, Table};
@@ -22,10 +24,10 @@ use crate::parser::parse;
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Tuning knobs forwarded to the guaranteed selectors.
-    pub selector: SelectorConfig,
-    /// Use the SUPG importance-sampling selectors (default). Disable to get
-    /// the uniform `U-CI` estimators, e.g. for baseline comparisons.
-    pub use_importance: bool,
+    pub tuning: SelectorConfig,
+    /// Default algorithm family for statements without an override
+    /// (default: the paper's importance-sampling selectors).
+    pub selector: SelectorKind,
     /// Stage budget the JT pipeline allocates to its recall stage.
     pub jt_stage_budget: usize,
 }
@@ -33,9 +35,9 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         Self {
-            selector: SelectorConfig::default(),
-            use_importance: true,
-            jt_stage_budget: 1_000,
+            tuning: SelectorConfig::default(),
+            selector: SelectorKind::ImportanceSampling,
+            jt_stage_budget: DEFAULT_JT_STAGE_BUDGET,
         }
     }
 }
@@ -46,12 +48,16 @@ pub struct QueryReport {
     /// The parsed statement that ran.
     pub statement: SupgStatement,
     /// Returned record indices (sorted ascending).
-    pub indices: Vec<u32>,
+    pub indices: Vec<usize>,
     /// The proxy threshold the algorithm settled on (`∞` = sample-only).
     pub tau: f64,
-    /// Distinct oracle invocations consumed.
+    /// Total distinct oracle invocations consumed.
     pub oracle_calls: usize,
-    /// Name of the threshold-estimation algorithm used.
+    /// Oracle calls of the sampling stage (for JT: before the filter).
+    pub stage_calls: usize,
+    /// Oracle calls of the JT exhaustive filter (0 for RT/PT).
+    pub filter_calls: usize,
+    /// Paper name of the threshold-estimation algorithm used.
     pub selector: &'static str,
     /// Wall-clock execution time (excluding parse).
     pub elapsed: Duration,
@@ -77,7 +83,20 @@ pub struct QueryReport {
 ///          WITH PROBABILITY 95%",
 ///     )
 ///     .unwrap();
+/// assert_eq!(report.selector, "IS-CI-R");
 /// assert!(!report.indices.is_empty());
+///
+/// // Per-statement selector override: same SQL, uniform baseline.
+/// use supg_query::SelectorKind;
+/// let report = engine
+///     .execute_with(
+///         "SELECT * FROM frames WHERE HAS_BIRD(frame) = true \
+///          ORACLE LIMIT 500 USING bird_score RECALL TARGET 90% \
+///          WITH PROBABILITY 95%",
+///         Some(SelectorKind::Uniform),
+///     )
+///     .unwrap();
+/// assert_eq!(report.selector, "U-CI-R");
 /// ```
 pub struct Engine {
     catalog: Catalog,
@@ -128,7 +147,12 @@ impl Engine {
     ///
     /// # Errors
     /// Unknown table, length mismatch, or invalid scores.
-    pub fn register_proxy(&mut self, table: &str, udf: &str, scores: Vec<f64>) -> Result<(), QueryError> {
+    pub fn register_proxy(
+        &mut self,
+        table: &str,
+        udf: &str,
+        scores: Vec<f64>,
+    ) -> Result<(), QueryError> {
         self.catalog.table_mut(table)?.register_proxy(udf, scores)
     }
 
@@ -151,20 +175,52 @@ impl Engine {
         &self.catalog
     }
 
-    /// Parses and executes one SUPG statement.
+    /// Parses and executes one SUPG statement with the engine's default
+    /// selector.
     ///
     /// # Errors
     /// Parse/semantic errors, unknown tables/UDFs, or execution failures.
     pub fn execute(&mut self, sql: &str) -> Result<QueryReport, QueryError> {
-        let statement = parse(sql)?;
-        self.execute_statement(statement)
+        self.execute_with(sql, None)
     }
 
-    /// Executes an already-parsed statement.
+    /// Parses and executes one SUPG statement, optionally overriding the
+    /// configured [`SelectorKind`] for this statement only.
+    ///
+    /// # Errors
+    /// Parse/semantic errors, unknown tables/UDFs, or execution failures
+    /// (including unsupported selector/target combinations).
+    pub fn execute_with(
+        &mut self,
+        sql: &str,
+        selector: Option<SelectorKind>,
+    ) -> Result<QueryReport, QueryError> {
+        let statement = parse(sql)?;
+        self.execute_statement_with(statement, selector)
+    }
+
+    /// Executes an already-parsed statement with the engine's default
+    /// selector.
     ///
     /// # Errors
     /// Unknown tables/UDFs or execution failures.
-    pub fn execute_statement(&mut self, statement: SupgStatement) -> Result<QueryReport, QueryError> {
+    pub fn execute_statement(
+        &mut self,
+        statement: SupgStatement,
+    ) -> Result<QueryReport, QueryError> {
+        self.execute_statement_with(statement, None)
+    }
+
+    /// Executes an already-parsed statement, optionally overriding the
+    /// configured [`SelectorKind`] for this statement only.
+    ///
+    /// # Errors
+    /// Unknown tables/UDFs or execution failures.
+    pub fn execute_statement_with(
+        &mut self,
+        statement: SupgStatement,
+        selector: Option<SelectorKind>,
+    ) -> Result<QueryReport, QueryError> {
         let table = self.catalog.table(&statement.table)?;
         let dataset = table.proxy(&statement.proxy.name)?;
         let oracle_udf = table.oracle(&statement.predicate.name)?;
@@ -188,76 +244,56 @@ impl Engine {
             }
         };
 
-        let start = Instant::now();
-        let report = if statement.is_joint() {
-            let jq = JointQuery::new(
-                statement.recall_target().expect("joint has recall"),
-                statement.precision_target().expect("joint has precision"),
-                statement.delta(),
-            )
-            .map_err(QueryError::Execution)?;
-            let mut oracle = CachedOracle::new(len, 0, callback);
-            let selector: Box<dyn ThresholdSelector> = if self.config.use_importance {
-                Box::new(ImportanceRecall::new(self.config.selector))
+        // Plan the session from the statement. The configured default is
+        // a *family* and resolves through the registry's paper defaults
+        // (`ImportanceSampling` on a PT statement runs the two-stage
+        // IS-CI-P); an explicit per-statement override is honored
+        // verbatim — `Some(ImportanceSampling)` on a PT statement runs
+        // the one-stage Figure-7 estimator.
+        let kind = selector.unwrap_or_else(|| {
+            let target = if !statement.is_joint() && statement.precision_target().is_some() {
+                TargetKind::Precision
             } else {
-                Box::new(UniformRecall::new(self.config.selector))
+                // JT statements resolve for their recall sampling stage.
+                TargetKind::Recall
             };
-            let outcome = execute_joint(
-                &dataset,
-                &jq,
-                self.config.jt_stage_budget,
-                selector.as_ref(),
-                &mut oracle,
-                &mut self.rng,
-            )?;
-            QueryReport {
-                indices: outcome.result.indices().to_vec(),
-                tau: outcome.tau,
-                oracle_calls: outcome.total_calls(),
-                selector: selector.name(),
-                elapsed: start.elapsed(),
-                statement,
-            }
+            self.config.selector.paper_family_default(target)
+        });
+        let mut session = SupgSession::over(&dataset)
+            .delta(statement.delta())
+            .selector(kind)
+            .selector_config(self.config.tuning);
+        if let Some(gamma) = statement.recall_target() {
+            session = session.recall(gamma);
+        }
+        if let Some(gamma) = statement.precision_target() {
+            session = session.precision(gamma);
+        }
+        let budget = if statement.is_joint() {
+            session = session.joint(self.config.jt_stage_budget);
+            0 // the session lifts the oracle budget stage by stage
         } else {
             let budget = statement
                 .oracle_limit
                 .expect("validated: single-target has budget");
-            let (kind, gamma) = if let Some(g) = statement.recall_target() {
-                (TargetKind::Recall, g)
-            } else {
-                (
-                    TargetKind::Precision,
-                    statement.precision_target().expect("validated: has target"),
-                )
-            };
-            let query = ApproxQuery::new(kind, gamma, statement.delta(), budget)
-                .map_err(QueryError::Execution)?;
-            let selector: Box<dyn ThresholdSelector> = match (kind, self.config.use_importance) {
-                (TargetKind::Recall, true) => Box::new(ImportanceRecall::new(self.config.selector)),
-                (TargetKind::Recall, false) => Box::new(UniformRecall::new(self.config.selector)),
-                (TargetKind::Precision, true) => {
-                    Box::new(TwoStagePrecision::new(self.config.selector))
-                }
-                (TargetKind::Precision, false) => {
-                    Box::new(UniformPrecision::new(self.config.selector))
-                }
-            };
-            let mut oracle = CachedOracle::new(len, budget, callback);
-            let outcome = SupgExecutor::new(&dataset, &query).run(
-                selector.as_ref(),
-                &mut oracle,
-                &mut self.rng,
-            )?;
-            QueryReport {
-                indices: outcome.result.indices().to_vec(),
-                tau: outcome.tau,
-                oracle_calls: outcome.oracle_calls,
-                selector: outcome.selector,
-                elapsed: start.elapsed(),
-                statement,
-            }
+            session = session.budget(budget);
+            budget
         };
-        Ok(report)
+
+        let mut oracle = CachedOracle::new(len, budget, callback);
+        let outcome = session
+            .run_with_rng(&mut oracle, &mut self.rng)
+            .map_err(QueryError::Execution)?;
+        Ok(QueryReport {
+            indices: outcome.result.indices().to_vec(),
+            tau: outcome.tau,
+            oracle_calls: outcome.oracle_calls,
+            stage_calls: outcome.stage_calls,
+            filter_calls: outcome.filter_calls,
+            selector: outcome.selector,
+            elapsed: outcome.elapsed,
+            statement,
+        })
     }
 }
 
@@ -273,7 +309,8 @@ mod tests {
         let scores: Vec<f64> = (0..n).map(|i| (i % 1000) as f64 / 1000.0).collect();
         let truth: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
         e.register_proxy("frames", "score", scores).unwrap();
-        e.register_oracle("frames", "MATCH", move |i| truth[i]).unwrap();
+        e.register_oracle("frames", "MATCH", move |i| truth[i])
+            .unwrap();
         e
     }
 
@@ -288,9 +325,14 @@ mod tests {
             .unwrap();
         assert_eq!(report.selector, "IS-CI-R");
         assert!(report.oracle_calls <= 1000);
+        assert_eq!(report.filter_calls, 0);
         // ~20% of records are positive; a 90%-recall result should return
         // a large fraction of them.
-        assert!(report.indices.len() >= 3_000, "returned {}", report.indices.len());
+        assert!(
+            report.indices.len() >= 3_000,
+            "returned {}",
+            report.indices.len()
+        );
     }
 
     #[test]
@@ -318,6 +360,11 @@ mod tests {
         // The exhaustive filter keeps only oracle positives: scores > 0.8.
         assert!(!report.indices.is_empty());
         assert!(report.oracle_calls >= 1_000);
+        assert_eq!(
+            report.oracle_calls,
+            report.stage_calls + report.filter_calls
+        );
+        assert_eq!(report.selector, "IS-CI-R");
     }
 
     #[test]
@@ -325,7 +372,9 @@ mod tests {
         let mut e = Engine::with_seed(9);
         e.create_table("t", 1_000);
         // Proxy for "not a match": high when the oracle says false.
-        let scores: Vec<f64> = (0..1_000).map(|i| if i < 900 { 0.95 } else { 0.05 }).collect();
+        let scores: Vec<f64> = (0..1_000)
+            .map(|i| if i < 900 { 0.95 } else { 0.05 })
+            .collect();
         e.register_proxy("t", "not_match_score", scores).unwrap();
         e.register_oracle("t", "MATCH", |i| i >= 900).unwrap();
         let report = e
@@ -374,7 +423,10 @@ mod tests {
     fn uniform_engine_config_switches_selectors() {
         let mut e = Engine::with_config(
             11,
-            EngineConfig { use_importance: false, ..EngineConfig::default() },
+            EngineConfig {
+                selector: SelectorKind::Uniform,
+                ..EngineConfig::default()
+            },
         );
         e.create_table("t", 5_000);
         let scores: Vec<f64> = (0..5_000).map(|i| (i % 100) as f64 / 100.0).collect();
@@ -388,5 +440,44 @@ mod tests {
             )
             .unwrap();
         assert_eq!(report.selector, "U-CI-R");
+    }
+
+    #[test]
+    fn per_statement_selector_override_beats_the_default() {
+        let mut e = engine(5_000);
+        let sql = "SELECT * FROM frames WHERE MATCH(f) ORACLE LIMIT 500 \
+                   USING score RECALL TARGET 90% WITH PROBABILITY 95%";
+        // Default is importance sampling …
+        assert_eq!(e.execute(sql).unwrap().selector, "IS-CI-R");
+        // … and each statement can pick its own algorithm.
+        for (kind, name) in [
+            (SelectorKind::Uniform, "U-CI-R"),
+            (SelectorKind::UniformNoCi, "U-NoCI-R"),
+            (SelectorKind::ImportanceSampling, "IS-CI-R"),
+        ] {
+            let report = e.execute_with(sql, Some(kind)).unwrap();
+            assert_eq!(report.selector, name);
+        }
+        // Unsupported combinations surface as typed execution errors.
+        let err = e
+            .execute_with(sql, Some(SelectorKind::TwoStage))
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Execution(_)), "{err:?}");
+    }
+
+    #[test]
+    fn explicit_pt_override_is_honored_verbatim() {
+        let mut e = engine(5_000);
+        let sql = "SELECT * FROM frames WHERE MATCH(f) ORACLE LIMIT 500 \
+                   USING score PRECISION TARGET 90% WITH PROBABILITY 95%";
+        // Engine default upgrades the SUPG family to the two-stage IS-CI-P…
+        assert_eq!(e.execute(sql).unwrap().selector, "IS-CI-P");
+        // …but an explicit override runs exactly the registry algorithm.
+        let report = e
+            .execute_with(sql, Some(SelectorKind::ImportanceSampling))
+            .unwrap();
+        assert_eq!(report.selector, "IS-CI-P-1stage");
+        let report = e.execute_with(sql, Some(SelectorKind::TwoStage)).unwrap();
+        assert_eq!(report.selector, "IS-CI-P");
     }
 }

@@ -77,9 +77,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = QueryError::UnknownUdf { table: "t".into(), udf: "f".into() };
+        let e = QueryError::UnknownUdf {
+            table: "t".into(),
+            udf: "f".into(),
+        };
         assert!(e.to_string().contains("\"f\""));
-        let e = QueryError::Parse { offset: 12, message: "expected FROM".into() };
+        let e = QueryError::Parse {
+            offset: 12,
+            message: "expected FROM".into(),
+        };
         assert!(e.to_string().contains("byte 12"));
     }
 }

@@ -75,27 +75,45 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, QueryError> {
                 }
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(Token { kind: TokenKind::Percent, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '\'' | '"' => {
@@ -137,7 +155,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, QueryError> {
                     offset: start,
                     message: format!("malformed number {text:?}"),
                 })?;
-                tokens.push(Token { kind: TokenKind::Number(value), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -160,7 +181,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, QueryError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(tokens)
 }
 
@@ -194,7 +218,11 @@ mod tests {
         let toks = kinds("SELECT -- a comment\n * ;");
         assert_eq!(
             toks,
-            vec![TokenKind::Ident("SELECT".into()), TokenKind::Star, TokenKind::Eof]
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -207,7 +235,13 @@ mod tests {
     #[test]
     fn reports_offsets() {
         let err = tokenize("SELECT 'oops").unwrap_err();
-        assert_eq!(err, QueryError::Lex { offset: 7, message: "unterminated string literal".into() });
+        assert_eq!(
+            err,
+            QueryError::Lex {
+                offset: 7,
+                message: "unterminated string literal".into()
+            }
+        );
         let err = tokenize("SELECT ?").unwrap_err();
         assert!(matches!(err, QueryError::Lex { offset: 7, .. }));
     }

@@ -35,3 +35,4 @@ pub use ast::{SupgStatement, TargetClause};
 pub use engine::{Engine, EngineConfig, QueryReport};
 pub use error::QueryError;
 pub use parser::parse;
+pub use supg_core::SelectorKind;

@@ -26,7 +26,9 @@ fn validate(stmt: &SupgStatement) -> Result<(), QueryError> {
         ));
     }
     if stmt.targets.len() > 2 {
-        return Err(QueryError::Semantic("at most two target clauses allowed".into()));
+        return Err(QueryError::Semantic(
+            "at most two target clauses allowed".into(),
+        ));
     }
     if stmt.targets.len() == 2 {
         if !stmt.is_joint() {
@@ -104,7 +106,10 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(self.error(format!("expected {kw}, found {}", self.peek().kind.describe())))
+            Err(self.error(format!(
+                "expected {kw}, found {}",
+                self.peek().kind.describe()
+            )))
         }
     }
 
@@ -300,16 +305,16 @@ mod tests {
 
     #[test]
     fn rejects_single_target_without_budget() {
-        let err = parse("SELECT * FROM t WHERE f(x) USING p RECALL TARGET 90% WITH PROBABILITY 95%")
-            .unwrap_err();
+        let err =
+            parse("SELECT * FROM t WHERE f(x) USING p RECALL TARGET 90% WITH PROBABILITY 95%")
+                .unwrap_err();
         assert!(matches!(err, QueryError::Semantic(_)));
     }
 
     #[test]
     fn rejects_missing_target() {
-        let err =
-            parse("SELECT * FROM t WHERE f(x) ORACLE LIMIT 10 USING p WITH PROBABILITY 95%")
-                .unwrap_err();
+        let err = parse("SELECT * FROM t WHERE f(x) ORACLE LIMIT 10 USING p WITH PROBABILITY 95%")
+            .unwrap_err();
         assert!(matches!(err, QueryError::Semantic(_)));
     }
 

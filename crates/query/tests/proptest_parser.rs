@@ -11,8 +11,19 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-zA-Z][a-zA-Z0-9_]{0,10}".prop_filter("avoid keywords", |s| {
         !matches!(
             s.to_ascii_uppercase().as_str(),
-            "SELECT" | "FROM" | "WHERE" | "ORACLE" | "LIMIT" | "USING" | "RECALL"
-                | "PRECISION" | "TARGET" | "WITH" | "PROBABILITY" | "TRUE" | "FALSE"
+            "SELECT"
+                | "FROM"
+                | "WHERE"
+                | "ORACLE"
+                | "LIMIT"
+                | "USING"
+                | "RECALL"
+                | "PRECISION"
+                | "TARGET"
+                | "WITH"
+                | "PROBABILITY"
+                | "TRUE"
+                | "FALSE"
         )
     })
 }
@@ -54,8 +65,14 @@ fn statement() -> impl Strategy<Value = SupgStatement> {
             |(table, predicate, proxy, metric, level, prob, budget, joint)| {
                 let targets = if joint {
                     vec![
-                        TargetClause { metric: TargetMetric::Recall, level },
-                        TargetClause { metric: TargetMetric::Precision, level },
+                        TargetClause {
+                            metric: TargetMetric::Recall,
+                            level,
+                        },
+                        TargetClause {
+                            metric: TargetMetric::Precision,
+                            level,
+                        },
                     ]
                 } else {
                     vec![TargetClause { metric, level }]

@@ -72,7 +72,11 @@ impl AliasTable {
         for i in small.into_iter().chain(large) {
             accept[i as usize] = 1.0;
         }
-        Self { accept, alias, probs }
+        Self {
+            accept,
+            alias,
+            probs,
+        }
     }
 
     /// Number of indices in the table.

@@ -48,7 +48,9 @@ impl CdfSampler {
         // First index whose cumulative weight exceeds u. Zero-weight
         // indices have cumulative equal to their predecessor and are
         // skipped by the strict comparison.
-        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Draws `k` independent indices (with replacement).

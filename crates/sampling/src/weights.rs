@@ -38,7 +38,10 @@ impl ImportanceWeights {
     /// `exponent` is negative, or `uniform_mix` is outside `[0, 1]`.
     pub fn from_scores(scores: &[f64], exponent: f64, uniform_mix: f64) -> Self {
         assert!(!scores.is_empty(), "ImportanceWeights: empty scores");
-        assert!(exponent >= 0.0, "ImportanceWeights: exponent={exponent} < 0");
+        assert!(
+            exponent >= 0.0,
+            "ImportanceWeights: exponent={exponent} < 0"
+        );
         assert!(
             (0.0..=1.0).contains(&uniform_mix),
             "ImportanceWeights: uniform_mix={uniform_mix} outside [0, 1]"
@@ -47,7 +50,10 @@ impl ImportanceWeights {
         let mut powered: Vec<f64> = scores
             .iter()
             .map(|&a| {
-                assert!(a.is_finite() && a >= 0.0, "ImportanceWeights: bad score {a}");
+                assert!(
+                    a.is_finite() && a >= 0.0,
+                    "ImportanceWeights: bad score {a}"
+                );
                 a.powf(exponent)
             })
             .collect();
@@ -56,7 +62,9 @@ impl ImportanceWeights {
         if total <= 0.0 {
             // All scores zero: the proxy carries no information; fall back
             // to the uniform distribution regardless of the mixing ratio.
-            return Self { probs: vec![uniform; n] };
+            return Self {
+                probs: vec![uniform; n],
+            };
         }
         for p in powered.iter_mut() {
             *p = (1.0 - uniform_mix) * (*p / total) + uniform_mix * uniform;
@@ -67,7 +75,9 @@ impl ImportanceWeights {
     /// The exact uniform distribution over `n` indices.
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0, "ImportanceWeights: n must be > 0");
-        Self { probs: vec![1.0 / n as f64; n] }
+        Self {
+            probs: vec![1.0 / n as f64; n],
+        }
     }
 
     /// Number of indices.
@@ -110,7 +120,10 @@ impl ImportanceWeights {
     /// # Panics
     /// Panics if `subset` is empty or contains an out-of-range index.
     pub fn restrict(&self, subset: &[usize]) -> ImportanceWeights {
-        assert!(!subset.is_empty(), "ImportanceWeights::restrict: empty subset");
+        assert!(
+            !subset.is_empty(),
+            "ImportanceWeights::restrict: empty subset"
+        );
         let raw: Vec<f64> = subset.iter().map(|&i| self.probs[i]).collect();
         let total: f64 = raw.iter().sum();
         assert!(total > 0.0, "ImportanceWeights::restrict: zero mass subset");
@@ -130,7 +143,10 @@ mod tests {
         for &(p, mix) in &[(0.5, 0.1), (1.0, 0.0), (0.0, 0.0), (0.25, 0.5)] {
             let w = ImportanceWeights::from_scores(&scores, p, mix);
             let total: f64 = w.probs().iter().sum();
-            assert!((total - 1.0).abs() < 1e-12, "p={p} mix={mix}: total={total}");
+            assert!(
+                (total - 1.0).abs() < 1e-12,
+                "p={p} mix={mix}: total={total}"
+            );
         }
     }
 

@@ -4,9 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use supg_sampling::{
-    sample_without_replacement, AliasTable, CdfSampler, ImportanceWeights,
-};
+use supg_sampling::{sample_without_replacement, AliasTable, CdfSampler, ImportanceWeights};
 
 proptest! {
     #[test]
@@ -129,7 +127,7 @@ fn alias_empirical_marginals_track_weights() {
     let table = AliasTable::new(&weights);
     let mut rng = StdRng::seed_from_u64(99);
     let n = 400_000;
-    let mut counts = vec![0f64; 16];
+    let mut counts = [0f64; 16];
     for _ in 0..n {
         counts[table.sample(&mut rng)] += 1.0;
     }
@@ -137,6 +135,9 @@ fn alias_empirical_marginals_track_weights() {
     for i in 0..16 {
         let expected = weights[i] / total;
         let emp = counts[i] / n as f64;
-        assert!((emp - expected).abs() < 0.004, "index {i}: {emp} vs {expected}");
+        assert!(
+            (emp - expected).abs() < 0.004,
+            "index {i}: {emp} vs {expected}"
+        );
     }
 }

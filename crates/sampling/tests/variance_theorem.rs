@@ -45,7 +45,11 @@ fn variance_ordering_sqrt_beats_prop_beats_uniform() {
     let uniform = ImportanceWeights::uniform(scores.len());
     let prop = ImportanceWeights::from_scores(&scores, 1.0, 0.0);
     let sqrt = ImportanceWeights::from_scores(&scores, 0.5, 0.0);
-    let (vu, vp, vs) = (v1(&scores, &uniform), v1(&scores, &prop), v1(&scores, &sqrt));
+    let (vu, vp, vs) = (
+        v1(&scores, &uniform),
+        v1(&scores, &prop),
+        v1(&scores, &sqrt),
+    );
     // Beta draws are almost surely positive, so Pr(a > 0) = 1 and
     // V₁^(prop) = V₁^(uniform) up to floating-point accumulation.
     let tol = 1e-10 * vu;
@@ -75,8 +79,11 @@ fn closed_forms_match_the_paper() {
     assert!((v1(&scores, &sqrt) - expected_sqrt).abs() < 1e-10 * expected_sqrt);
 
     // Gap identity: V₁^(u) − V₁^(s) = Var_u[√a].
-    let var_sqrt_a: f64 =
-        scores.iter().map(|a| (a.sqrt() - mean_sqrt_a).powi(2)).sum::<f64>() / n;
+    let var_sqrt_a: f64 = scores
+        .iter()
+        .map(|a| (a.sqrt() - mean_sqrt_a).powi(2))
+        .sum::<f64>()
+        / n;
     let gap = v1(&scores, &uniform) - v1(&scores, &sqrt);
     assert!(
         (gap - var_sqrt_a).abs() < 1e-10 * var_sqrt_a,

@@ -28,7 +28,10 @@ use crate::special::{inv_inc_beta, inv_norm_cdf};
 ///
 /// Exposed directly because Algorithms 2 and 4 use it with plug-in `σ̂`.
 pub fn lemma1_half_width(sd: f64, s: usize, delta: f64) -> f64 {
-    assert!(delta > 0.0 && delta < 1.0, "lemma1_half_width: delta={delta}");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "lemma1_half_width: delta={delta}"
+    );
     if s == 0 {
         return f64::INFINITY;
     }
@@ -41,13 +44,14 @@ pub fn lemma1_half_width(sd: f64, s: usize, delta: f64) -> f64 {
 /// for `lower`). Methods that need randomness (the bootstrap) draw it from
 /// the RNG passed by the caller, keeping experiments deterministic under
 /// seeded trials.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum CiMethod {
     /// The paper's Lemma 1: `μ̂ ± σ̂/√s · sqrt(2 ln(1/δ))`.
     ///
     /// Slightly conservative relative to the exact normal quantile
     /// (`sqrt(2 ln(1/δ)) ≥ z₁₋δ`), which is what makes the empirical failure
     /// rates in the paper sit below `δ`.
+    #[default]
     PaperNormal,
     /// Central-limit bound with the exact normal quantile
     /// `μ̂ ± z₁₋δ · σ̂/√s`. Tighter than [`CiMethod::PaperNormal`].
@@ -73,12 +77,6 @@ pub enum CiMethod {
     },
 }
 
-impl Default for CiMethod {
-    fn default() -> Self {
-        CiMethod::PaperNormal
-    }
-}
-
 impl CiMethod {
     /// One-sided upper confidence bound on the population mean.
     pub fn upper<R: Rng + ?Sized>(&self, sample: &[f64], delta: f64, rng: &mut R) -> f64 {
@@ -91,7 +89,10 @@ impl CiMethod {
     }
 
     fn bound<R: Rng + ?Sized>(&self, sample: &[f64], delta: f64, rng: &mut R, side: Side) -> f64 {
-        assert!(delta > 0.0 && delta < 1.0, "CiMethod: delta={delta} outside (0,1)");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "CiMethod: delta={delta} outside (0,1)"
+        );
         if sample.is_empty() {
             return match side {
                 Side::Upper => f64::INFINITY,
@@ -396,8 +397,14 @@ mod tests {
     #[test]
     fn empty_sample_gives_vacuous_bounds() {
         let mut r = rng();
-        assert_eq!(CiMethod::PaperNormal.upper(&[], 0.05, &mut r), f64::INFINITY);
-        assert_eq!(CiMethod::PaperNormal.lower(&[], 0.05, &mut r), f64::NEG_INFINITY);
+        assert_eq!(
+            CiMethod::PaperNormal.upper(&[], 0.05, &mut r),
+            f64::INFINITY
+        );
+        assert_eq!(
+            CiMethod::PaperNormal.lower(&[], 0.05, &mut r),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

@@ -137,7 +137,10 @@ pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> f64 {
 /// Panics on an empty slice.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile_sorted: empty slice");
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;

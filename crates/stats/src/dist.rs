@@ -1,0 +1,460 @@
+//! Parametric distributions with densities, CDFs, quantiles and exact
+//! samplers, built on [`crate::special`] and the [`rand`] RNG primitives.
+//!
+//! The SUPG reproduction needs: `Normal` (noise injection, CI bounds),
+//! `Gamma` (the Beta sampler's workhorse), `Beta` (the paper's synthetic
+//! proxy-score distributions), `Bernoulli` (label generation) and
+//! `Binomial` (failure-rate accounting over repeated trials).
+
+use rand::Rng;
+
+use crate::special::{inc_beta, inv_inc_beta, inv_norm_cdf, ln_choose, ln_gamma, norm_cdf};
+
+/// Normal distribution `N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates `N(mu, sigma²)`.
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0` and both parameters are finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "Normal: mu must be finite, got {mu}");
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "Normal: sigma must be positive and finite, got {sigma}"
+        );
+        Self { mu, sigma }
+    }
+
+    /// Mean `mu`.
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation `sigma`.
+    pub fn sd(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Variance `sigma²`.
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        norm_cdf((x - self.mu) / self.sigma)
+    }
+
+    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * inv_norm_cdf(p)
+    }
+
+    /// Draws one sample (Box–Muller, one deviate per call).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller with the u=0 corner excluded.
+        let u = loop {
+            let u: f64 = rng.gen();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let v: f64 = rng.gen();
+        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        self.mu + self.sigma * z
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `theta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates `Gamma(shape, scale)`.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "Gamma: shape must be positive and finite, got {shape}"
+        );
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "Gamma: scale must be positive and finite, got {scale}"
+        );
+        Self { shape, scale }
+    }
+
+    /// Mean `k·theta`.
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Variance `k·theta²`.
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Probability density at `x > 0`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k = self.shape;
+        ((k - 1.0) * x.ln() - x / self.scale - ln_gamma(k) - k * self.scale.ln()).exp()
+    }
+
+    /// Draws one sample (Marsaglia–Tsang, with the `shape < 1` boost).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: X ~ Gamma(k+1) · U^{1/k}. Work in log space — for the
+            // paper's k = 0.01 the factor U^{100} underflows otherwise.
+            let boosted = Gamma::new(self.shape + 1.0, self.scale).sample_shape_ge_one(rng);
+            let u = loop {
+                let u: f64 = rng.gen();
+                if u > 0.0 {
+                    break u;
+                }
+            };
+            return (boosted.max(f64::MIN_POSITIVE).ln() + u.ln() / self.shape).exp();
+        }
+        self.sample_shape_ge_one(rng)
+    }
+
+    fn sample_shape_ge_one<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let standard_normal = Normal::new(0.0, 1.0);
+        loop {
+            let x = standard_normal.sample(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen();
+            if u == 0.0 {
+                continue;
+            }
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v * self.scale;
+            }
+        }
+    }
+}
+
+/// Beta distribution `Beta(alpha, beta)` on `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates `Beta(alpha, beta)`.
+    ///
+    /// # Panics
+    /// Panics unless both shapes are positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "Beta: alpha must be positive and finite, got {alpha}"
+        );
+        assert!(
+            beta.is_finite() && beta > 0.0,
+            "Beta: beta must be positive and finite, got {beta}"
+        );
+        Self { alpha, beta }
+    }
+
+    /// First shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Second shape parameter.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Mean `alpha / (alpha + beta)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Variance `ab / ((a+b)²(a+b+1))`.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Probability density at `x ∈ [0, 1]`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        let (a, b) = (self.alpha, self.beta);
+        // Density endpoints: ∞ when a<1 at 0 (resp. b<1 at 1); report a
+        // large finite value so posterior ratios stay well-defined.
+        if x == 0.0 {
+            return if a > 1.0 {
+                0.0
+            } else if a == 1.0 {
+                b
+            } else {
+                f64::MAX
+            };
+        }
+        if x == 1.0 {
+            return if b > 1.0 {
+                0.0
+            } else if b == 1.0 {
+                a
+            } else {
+                f64::MAX
+            };
+        }
+        let ln_b = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+        ((a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln() - ln_b).exp()
+    }
+
+    /// Cumulative distribution `P(X ≤ x)` (regularized incomplete beta).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            inc_beta(self.alpha, self.beta, x)
+        }
+    }
+
+    /// Quantile (inverse CDF) at probability `p ∈ [0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        inv_inc_beta(self.alpha, self.beta, p)
+    }
+
+    /// Draws one sample as `G₁ / (G₁ + G₂)` over Gamma deviates — exact
+    /// for all shape configurations, including the paper's `alpha = 0.01`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let g1 = Gamma::new(self.alpha, 1.0).sample(rng);
+        let g2 = Gamma::new(self.beta, 1.0).sample(rng);
+        if g1 + g2 == 0.0 {
+            // Both underflowed (possible only for tiny shapes): the mass
+            // sits overwhelmingly near zero in that regime.
+            return 0.0;
+        }
+        (g1 / (g1 + g2)).clamp(0.0, 1.0)
+    }
+}
+
+/// Bernoulli distribution with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates `Bernoulli(p)`.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "Bernoulli: p={p} not in [0, 1]");
+        Self { p }
+    }
+
+    /// Success probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `p`.
+    pub fn mean(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen_bool(self.p)
+    }
+}
+
+/// Binomial distribution `Bin(n, p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates `Bin(n, p)`.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "Binomial: p={p} not in [0, 1]");
+        Self { n, p }
+    }
+
+    /// Mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Probability mass `P(X = k)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        (ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln())
+            .exp()
+    }
+
+    /// Cumulative distribution `P(X ≤ k)` via the regularized incomplete
+    /// beta identity `P(X ≤ k) = I_{1−p}(n−k, k+1)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0;
+        }
+        inc_beta((self.n - k) as f64, (k + 1) as f64, 1.0 - self.p)
+    }
+
+    /// Draws one sample (sum of Bernoulli draws; `n` is small here).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        (0..self.n).filter(|_| rng.gen_bool(self.p)).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_and_quantiles() {
+        let n = Normal::new(2.0, 3.0);
+        assert_eq!(n.mean(), 2.0);
+        assert_eq!(n.variance(), 9.0);
+        assert!((n.cdf(2.0) - 0.5).abs() < 1e-12);
+        assert!((n.quantile(0.975) - (2.0 + 3.0 * 1.959_963_984_540_054)).abs() < 1e-6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m: f64 = (0..50_000).map(|_| n.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        assert!((m - 2.0).abs() < 0.05, "sample mean {m}");
+    }
+
+    #[test]
+    fn gamma_sample_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (shape, scale) in [(0.5, 1.0), (2.5, 2.0), (0.01, 1.0)] {
+            let g = Gamma::new(shape, scale);
+            let n = 200_000;
+            let m: f64 = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
+            let tol = 6.0 * (g.variance() / n as f64).sqrt() + 1e-3;
+            assert!(
+                (m - g.mean()).abs() < tol,
+                "Gamma({shape},{scale}) sample mean {m} vs {}",
+                g.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn beta_cdf_quantile_and_sampling_agree() {
+        let b = Beta::new(2.0, 5.0);
+        let x = b.quantile(0.3);
+        assert!((b.cdf(x) - 0.3).abs() < 1e-8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let m: f64 = (0..n).map(|_| b.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((m - b.mean()).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn beta_tiny_shape_matches_paper_tpr() {
+        // The paper's Beta(0.01, 2): E[A] ≈ 0.4975%.
+        let b = Beta::new(0.01, 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 300_000;
+        let m: f64 = (0..n).map(|_| b.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (m - b.mean()).abs() < 0.0008,
+            "tiny-shape sample mean {m} vs {}",
+            b.mean()
+        );
+        for _ in 0..1_000 {
+            let x = b.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Bernoulli::new(0.2);
+        let hits = (0..100_000).filter(|_| d.sample(&mut rng)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+        assert!(Bernoulli::new(0.0).p() == 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_cdf() {
+        let b = Binomial::new(20, 0.3);
+        let mut acc = 0.0;
+        for k in 0..=20 {
+            acc += b.pmf(k);
+            assert!((b.cdf(k) - acc).abs() < 1e-10, "k={k}");
+        }
+        assert!((b.cdf(20) - 1.0).abs() < 1e-12);
+        assert_eq!(Binomial::new(5, 0.0).cdf(0), 1.0);
+        assert_eq!(Binomial::new(5, 1.0).cdf(4), 0.0);
+        assert_eq!(Binomial::new(5, 1.0).cdf(5), 1.0);
+    }
+
+    #[test]
+    fn beta_pdf_is_a_density_shape() {
+        let b = Beta::new(2.0, 3.0);
+        // Coarse trapezoid integral ≈ 1.
+        let steps = 2_000;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let x = (i as f64 + 0.5) / steps as f64;
+            acc += b.pdf(x) / steps as f64;
+        }
+        assert!((acc - 1.0).abs() < 1e-3, "integral {acc}");
+    }
+}

@@ -93,7 +93,10 @@ impl IsotonicFit {
     /// (fits on 0/1 labels already produce values in range; clamping guards
     /// regression-style uses).
     pub fn calibrate(&self, scores: &[f64]) -> Vec<f64> {
-        scores.iter().map(|&s| self.predict(s).clamp(0.0, 1.0)).collect()
+        scores
+            .iter()
+            .map(|&s| self.predict(s).clamp(0.0, 1.0))
+            .collect()
     }
 }
 
@@ -117,7 +120,12 @@ mod tests {
     #[test]
     fn violators_are_pooled_to_weighted_means() {
         // y dips at x=1: (0.8 at x=1, 0.2 at x=2) pool to 0.5.
-        let pts = [(0.0, 0.0, 1.0), (1.0, 0.8, 1.0), (2.0, 0.2, 1.0), (3.0, 0.9, 1.0)];
+        let pts = [
+            (0.0, 0.0, 1.0),
+            (1.0, 0.8, 1.0),
+            (2.0, 0.2, 1.0),
+            (3.0, 0.9, 1.0),
+        ];
         let fit = IsotonicFit::fit(&pts);
         assert_eq!(fit.blocks(), 3);
         assert!((fit.predict(1.5) - 0.5).abs() < 1e-12);

@@ -32,6 +32,6 @@ pub mod isotonic;
 pub mod special;
 
 pub use ci::{ratio_bounds, CiMethod, RatioBounds};
-pub use isotonic::IsotonicFit;
 pub use describe::{mean, quantile_sorted, sample_sd, sample_variance, FiveNumber, RunningStats};
 pub use dist::{Bernoulli, Beta, Binomial, Gamma, Normal};
+pub use isotonic::IsotonicFit;

@@ -16,10 +16,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use supg::core::metrics::{evaluate, evaluate_threshold};
-use supg::core::selectors::{ImportanceRecall, SelectorConfig};
-use supg::core::{ApproxQuery, CachedOracle, ScoredDataset, SupgExecutor};
+use supg::core::{CachedOracle, ScoredDataset, SelectorKind, SupgSession};
 use supg::datasets::drift::day_shift;
-use supg::datasets::{MixtureDataset, LabeledData};
+use supg::datasets::{LabeledData, MixtureDataset};
 use supg::stats::dist::Beta;
 
 /// Exact recall threshold with full label knowledge (what an offline
@@ -39,22 +38,28 @@ fn offline_recall_threshold(data: &LabeledData, gamma: f64) -> f64 {
 
 fn main() {
     // Collection run 1: 300k frames, 2% contain a missed pedestrian.
-    let run1 = MixtureDataset::new(300_000, 0.02, Beta::new(7.0, 2.0), Beta::new(0.5, 6.0))
-        .generate(11);
+    let run1 =
+        MixtureDataset::new(300_000, 0.02, Beta::new(7.0, 2.0), Beta::new(0.5, 6.0)).generate(11);
     // Collection run 2: same streets, different weather — the detector's
     // score distribution shifts.
     let mut drift_rng = StdRng::seed_from_u64(12);
     let run2 = day_shift(&run1, 1.35, &mut drift_rng);
 
     let gamma = 0.95;
-    println!("audit target: recall >= {:.0}% of frames with missed pedestrians\n", gamma * 100.0);
+    println!(
+        "audit target: recall >= {:.0}% of frames with missed pedestrians\n",
+        gamma * 100.0
+    );
 
     // --- The tempting shortcut: reuse the threshold fit on run 1. --------
     let stale_tau = offline_recall_threshold(&run1, gamma);
     let on_run1 = evaluate_threshold(run1.scores(), run1.labels(), stale_tau);
     let on_run2 = evaluate_threshold(run2.scores(), run2.labels(), stale_tau);
     println!("fixed threshold fit on run 1 (tau = {stale_tau:.4}):");
-    println!("  recall on run 1: {:.1}%  (fit in-sample, fine)", 100.0 * on_run1.recall);
+    println!(
+        "  recall on run 1: {:.1}%  (fit in-sample, fine)",
+        100.0 * on_run1.recall
+    );
     println!(
         "  recall on run 2: {:.1}%  <- silent violation under drift",
         100.0 * on_run2.recall
@@ -63,16 +68,15 @@ fn main() {
     // --- The SUPG way: re-estimate on run 2 under a 5k label budget. ------
     let (scores, labels) = run2.into_parts();
     let dataset = ScoredDataset::new(scores).expect("valid scores");
-    let query = ApproxQuery::recall_target(gamma, 0.05, 5_000);
     let truth = labels.clone();
-    let mut oracle = CachedOracle::new(dataset.len(), query.budget(), move |i| truth[i]);
-    let mut rng = StdRng::seed_from_u64(13);
-    let outcome = SupgExecutor::new(&dataset, &query)
-        .run(
-            &ImportanceRecall::new(SelectorConfig::default()),
-            &mut oracle,
-            &mut rng,
-        )
+    let mut oracle = CachedOracle::new(dataset.len(), 5_000, move |i| truth[i]);
+    let outcome = SupgSession::over(&dataset)
+        .recall(gamma)
+        .delta(0.05)
+        .budget(5_000)
+        .selector(SelectorKind::ImportanceSampling)
+        .seed(13)
+        .run(&mut oracle)
         .expect("audit query failed");
     let quality = evaluate(outcome.result.indices(), &labels);
     println!("\nSUPG on run 2 (budget 5,000 labels, probability 95%):");

@@ -52,11 +52,7 @@ fn main() {
     println!("\n{sql}\n");
     let report = engine.execute(sql).expect("query failed");
 
-    let found_birds = report
-        .indices
-        .iter()
-        .filter(|&&i| truth[i as usize])
-        .count();
+    let found_birds = report.indices.iter().filter(|&&i| truth[i]).count();
     println!(
         "returned {} candidate frames using {} labeling requests (selector {})",
         report.indices.len(),

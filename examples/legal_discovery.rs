@@ -19,8 +19,8 @@ fn main() {
     // A corpus of 150k documents; ~3% reference the disputed contract.
     // The proxy is a fine-tuned language model: sharp but overconfident
     // in the mid-range (same regime as the paper's TACRED/SpanBERT).
-    let corpus = MixtureDataset::new(150_000, 0.03, Beta::new(5.5, 1.3), Beta::new(0.3, 7.0))
-        .generate(31);
+    let corpus =
+        MixtureDataset::new(150_000, 0.03, Beta::new(5.5, 1.3), Beta::new(0.3, 7.0)).generate(31);
     let (scores, truth) = corpus.into_parts();
     let relevant = truth.iter().filter(|&&l| l).count();
     println!(
@@ -49,7 +49,7 @@ fn main() {
                WITH PROBABILITY 95%";
     println!("{sql}\n");
     let report = engine.execute(sql).expect("PT query failed");
-    let hits = report.indices.iter().filter(|&&i| truth[i as usize]).count();
+    let hits = report.indices.iter().filter(|&&i| truth[i]).count();
     println!(
         "PT result: {} documents for review, {} lawyer-labels spent ({})",
         report.indices.len(),
@@ -70,7 +70,7 @@ fn main() {
                WITH PROBABILITY 95%";
     println!("{sql}\n");
     let report = engine.execute(sql).expect("JT query failed");
-    let hits = report.indices.iter().filter(|&&i| truth[i as usize]).count();
+    let hits = report.indices.iter().filter(|&&i| truth[i]).count();
     println!(
         "JT result: {} documents, all oracle-verified ({} total lawyer-labels)",
         report.indices.len(),

@@ -5,11 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use supg::core::metrics::evaluate;
-use supg::core::selectors::{ImportanceRecall, SelectorConfig, TwoStagePrecision};
-use supg::core::{ApproxQuery, CachedOracle, Oracle, ScoredDataset, SupgExecutor};
+use supg::core::{CachedOracle, ScoredDataset, SelectorKind, SupgSession};
 use supg::datasets::BetaDataset;
 
 fn main() {
@@ -19,55 +16,69 @@ fn main() {
     let generated = BetaDataset::new(0.01, 2.0, 200_000).generate(42);
     let (scores, labels) = generated.into_parts();
     let positives = labels.iter().filter(|&&l| l).count();
-    println!("dataset: {} records, {positives} true matches", scores.len());
+    println!(
+        "dataset: {} records, {positives} true matches",
+        scores.len()
+    );
 
     let dataset = ScoredDataset::new(scores).expect("valid scores");
 
     // --- 2. A recall-target query. ---------------------------------------
     // "Find ≥ 90% of all matches, with probability ≥ 95%, using at most
-    // 2,000 oracle calls."
-    let query = ApproxQuery::recall_target(0.90, 0.05, 2_000);
-    let selector = ImportanceRecall::new(SelectorConfig::default());
-    // The oracle is any expensive predicate — here it just reads the
-    // ground-truth labels, in production it would ask a human or a big DNN.
+    // 2,000 oracle calls." The oracle is any expensive predicate — here it
+    // just reads the ground-truth labels, in production it would ask a
+    // human or a big DNN.
     let truth = labels.clone();
-    let mut oracle = CachedOracle::new(dataset.len(), query.budget(), move |i| truth[i]);
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut oracle = CachedOracle::new(dataset.len(), 2_000, move |i| truth[i]);
 
-    let outcome = SupgExecutor::new(&dataset, &query)
-        .run(&selector, &mut oracle, &mut rng)
+    let outcome = SupgSession::over(&dataset)
+        .recall(0.90)
+        .delta(0.05)
+        .budget(2_000)
+        .selector(SelectorKind::ImportanceSampling)
+        .seed(7)
+        .run(&mut oracle)
         .expect("query failed");
     let quality = evaluate(outcome.result.indices(), &labels);
     println!(
         "\nRT query ({}): returned {} records with {} oracle calls",
         outcome.selector,
         outcome.result.len(),
-        oracle.calls_used(),
+        outcome.oracle_calls,
     );
     println!(
         "  achieved recall  {:.1}%  (target 90%, guaranteed w.p. 95%)",
         100.0 * quality.recall
     );
-    println!("  achieved precision {:.1}%  (the RT quality metric)", 100.0 * quality.precision);
+    println!(
+        "  achieved precision {:.1}%  (the RT quality metric)",
+        100.0 * quality.precision
+    );
 
     // --- 3. A precision-target query on the same data. -------------------
-    let query = ApproxQuery::precision_target(0.90, 0.05, 2_000);
-    let selector = TwoStagePrecision::new(SelectorConfig::default());
     let truth = labels.clone();
-    let mut oracle = CachedOracle::new(dataset.len(), query.budget(), move |i| truth[i]);
-    let outcome = SupgExecutor::new(&dataset, &query)
-        .run(&selector, &mut oracle, &mut rng)
+    let mut oracle = CachedOracle::new(dataset.len(), 2_000, move |i| truth[i]);
+    let outcome = SupgSession::over(&dataset)
+        .precision(0.90)
+        .delta(0.05)
+        .budget(2_000)
+        .selector(SelectorKind::TwoStage)
+        .seed(8)
+        .run(&mut oracle)
         .expect("query failed");
     let quality = evaluate(outcome.result.indices(), &labels);
     println!(
         "\nPT query ({}): returned {} records with {} oracle calls",
         outcome.selector,
         outcome.result.len(),
-        oracle.calls_used(),
+        outcome.oracle_calls,
     );
     println!(
         "  achieved precision {:.1}%  (target 90%, guaranteed w.p. 95%)",
         100.0 * quality.precision
     );
-    println!("  achieved recall  {:.1}%  (the PT quality metric)", 100.0 * quality.recall);
+    println!(
+        "  achieved recall  {:.1}%  (the PT quality metric)",
+        100.0 * quality.recall
+    );
 }

@@ -21,7 +21,9 @@ fn main() {
 
     let mut engine = Engine::with_seed(77);
     engine.create_table("events", scores.len());
-    engine.register_proxy("events", "score", scores).expect("proxy");
+    engine
+        .register_proxy("events", "score", scores)
+        .expect("proxy");
     let labels = truth.clone();
     engine
         .register_oracle("events", "IS_EVENT", move |i| labels[i])
@@ -53,7 +55,7 @@ fn main() {
         println!("supg> {sql}");
         match engine.execute(&sql) {
             Ok(report) => {
-                let hits = report.indices.iter().filter(|&&i| truth[i as usize]).count();
+                let hits = report.indices.iter().filter(|&&i| truth[i]).count();
                 println!(
                     "  {} records ({} true events) | tau {:.4e} | {} oracle calls | {} | {:?}\n",
                     report.indices.len(),

@@ -9,33 +9,40 @@
 //! * [`sampling`] — uniform / weighted / importance sampling.
 //! * [`datasets`] — the paper's synthetic workloads and simulated real
 //!   datasets, drift transforms and CSV I/O.
-//! * [`core`] — the SUPG algorithms: budgeted oracles, threshold selectors
-//!   with precision/recall guarantees, the query executor, cost model.
+//! * [`core`] — the SUPG algorithms behind one entry point: the fluent
+//!   [`core::SupgSession`] builder with its [`core::SelectorKind`]
+//!   algorithm registry, budgeted oracles, and the cost model.
 //! * [`query`] — a SQL-ish front-end implementing the paper's query syntax.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
-//! use supg::core::{ApproxQuery, CachedOracle, ScoredDataset, SupgExecutor};
-//! use supg::core::selectors::{ImportanceRecall, SelectorConfig};
+//! use supg::core::{CachedOracle, ScoredDataset, SelectorKind, SupgSession};
 //! use supg::datasets::BetaDataset;
 //!
 //! // The paper's Beta(0.01, 2) synthetic: scores ~ Beta, labels ~ Bernoulli(score).
 //! let data = BetaDataset::new(0.01, 2.0, 20_000).generate(42);
-//! let dataset = ScoredDataset::new(data.scores().to_vec()).unwrap();
-//! let mut oracle = CachedOracle::from_labels(data.labels().to_vec(), 1_000);
+//! let (scores, labels) = data.into_parts();
+//! let dataset = ScoredDataset::new(scores).unwrap();
+//! let mut oracle = CachedOracle::from_labels(labels, 1_000);
 //!
 //! // Recall-target query: recall ≥ 0.9 with probability ≥ 0.95, 1000 oracle calls.
-//! let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
-//! let selector = ImportanceRecall::new(SelectorConfig::default());
-//! let mut rng = StdRng::seed_from_u64(7);
-//! let outcome = SupgExecutor::new(&dataset, &query)
-//!     .run(&selector, &mut oracle, &mut rng)
+//! let outcome = SupgSession::over(&dataset)
+//!     .recall(0.9)
+//!     .delta(0.05)
+//!     .budget(1_000)
+//!     .selector(SelectorKind::ImportanceSampling)
+//!     .seed(7)
+//!     .run(&mut oracle)
 //!     .unwrap();
+//! assert_eq!(outcome.selector, "IS-CI-R");
 //! assert!(outcome.result.len() > 0);
+//! assert!(outcome.oracle_calls <= 1_000);
 //! ```
+//!
+//! A precision-target query swaps `.recall(0.9)` for `.precision(0.9)`;
+//! a joint-target query sets both and enables `.joint(stage_budget)`.
+//! The same query forms are available as SQL through [`query::Engine`].
 
 pub use supg_core as core;
 pub use supg_datasets as datasets;

@@ -2,27 +2,17 @@
 //! and consistency between the stats substrate and the selectors built on
 //! it.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use supg::core::selectors::{
-    ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision, UniformNoCiPrecision,
-    UniformNoCiRecall, UniformPrecision, UniformRecall,
+use supg::core::selectors::SelectorConfig;
+use supg::core::{
+    ApproxQuery, CachedOracle, Oracle, ScoredDataset, SelectorKind, SupgError, SupgSession,
+    TargetKind,
 };
-use supg::core::{ApproxQuery, CachedOracle, Oracle, ScoredDataset, SupgExecutor, SupgError};
 use supg::datasets::{BetaDataset, Preset, PresetKind};
 use supg::stats::ci::CiMethod;
 
-fn all_selectors() -> Vec<(Box<dyn ThresholdSelector>, bool)> {
-    let cfg = SelectorConfig::default();
-    vec![
-        (Box::new(UniformNoCiRecall) as Box<dyn ThresholdSelector>, true),
-        (Box::new(UniformNoCiPrecision), false),
-        (Box::new(UniformRecall::new(cfg)), true),
-        (Box::new(UniformPrecision::new(cfg)), false),
-        (Box::new(ImportanceRecall::new(cfg)), true),
-        (Box::new(TwoStagePrecision::new(cfg)), false),
-    ]
+/// Every registry algorithm as `(kind, target)` pairs.
+fn all_registry_pairs() -> Vec<(SelectorKind, TargetKind)> {
+    SelectorKind::registry().collect()
 }
 
 #[test]
@@ -31,27 +21,24 @@ fn every_selector_respects_tight_budgets_on_every_preset() {
         let (scores, labels) = preset.generate_sized(31, 5_000).into_parts();
         let data = ScoredDataset::new(scores).unwrap();
         for budget in [2usize, 10, 100] {
-            for (selector, is_recall) in all_selectors() {
-                let query = if is_recall {
-                    ApproxQuery::recall_target(0.9, 0.05, budget)
-                } else {
-                    ApproxQuery::precision_target(0.9, 0.05, budget)
-                };
+            for (kind, target) in all_registry_pairs() {
+                let name = kind.paper_name(target).unwrap();
+                let query = ApproxQuery::new(target, 0.9, 0.05, budget).unwrap();
                 let truth = labels.clone();
                 let mut oracle = CachedOracle::new(truth.len(), budget, move |i| truth[i]);
-                let mut rng = StdRng::seed_from_u64(31);
-                let outcome = SupgExecutor::new(&data, &query)
-                    .run(selector.as_ref(), &mut oracle, &mut rng)
-                    .unwrap_or_else(|e| {
-                        panic!("{} on {} budget {budget}: {e}", selector.name(), preset.name())
-                    });
+                let outcome = SupgSession::over(&data)
+                    .query(&query)
+                    .selector(kind)
+                    .seed(31)
+                    .run(&mut oracle)
+                    .unwrap_or_else(|e| panic!("{name} on {} budget {budget}: {e}", preset.name()));
                 assert!(
                     oracle.calls_used() <= budget,
-                    "{} on {}: {} > {budget}",
-                    selector.name(),
+                    "{name} on {}: {} > {budget}",
                     preset.name(),
                     oracle.calls_used()
                 );
+                assert_eq!(outcome.selector, name);
                 assert!(outcome.sample_draws <= budget.max(outcome.sample_draws));
             }
         }
@@ -66,13 +53,11 @@ fn an_undersized_oracle_fails_loudly_not_silently() {
     // Oracle only allows 50 calls but the query wants 500 draws: the run
     // must surface BudgetExhausted instead of quietly degrading.
     let mut oracle = CachedOracle::from_labels(labels, 50);
-    let mut rng = StdRng::seed_from_u64(33);
-    let err = SupgExecutor::new(&data, &query)
-        .run(
-            &UniformRecall::new(SelectorConfig::default()),
-            &mut oracle,
-            &mut rng,
-        )
+    let err = SupgSession::over(&data)
+        .query(&query)
+        .selector(SelectorKind::Uniform)
+        .seed(33)
+        .run(&mut oracle)
         .unwrap_err();
     assert_eq!(err, SupgError::BudgetExhausted { budget: 50 });
 }
@@ -82,16 +67,20 @@ fn ci_method_choice_flows_through_to_quality() {
     // Hoeffding's variance-free bound must yield a more conservative
     // (lower) threshold than the paper's normal bound on the same seed —
     // the mechanism behind Figure 13.
-    let (scores, labels) = BetaDataset::new(0.01, 1.0, 100_000).generate(34).into_parts();
+    let (scores, labels) = BetaDataset::new(0.01, 1.0, 100_000)
+        .generate(34)
+        .into_parts();
     let data = ScoredDataset::new(scores).unwrap();
     let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
     let run = |ci: CiMethod| -> f64 {
-        let sel = ImportanceRecall::new(SelectorConfig::default().with_ci(ci));
         let truth = labels.clone();
         let mut oracle = CachedOracle::new(truth.len(), 1_000, move |i| truth[i]);
-        let mut rng = StdRng::seed_from_u64(34);
-        SupgExecutor::new(&data, &query)
-            .run(&sel, &mut oracle, &mut rng)
+        SupgSession::over(&data)
+            .query(&query)
+            .selector(SelectorKind::ImportanceSampling)
+            .selector_config(SelectorConfig::default().with_ci(ci))
+            .seed(34)
+            .run(&mut oracle)
             .unwrap()
             .tau
     };
@@ -105,20 +94,19 @@ fn ci_method_choice_flows_through_to_quality() {
 
 #[test]
 fn results_are_reproducible_across_identical_runs() {
-    let (scores, labels) =
-        Preset::new(PresetKind::Tacred).generate_sized(35, 20_000).into_parts();
+    let (scores, labels) = Preset::new(PresetKind::Tacred)
+        .generate_sized(35, 20_000)
+        .into_parts();
     let data = ScoredDataset::new(scores).unwrap();
     let query = ApproxQuery::precision_target(0.9, 0.05, 500);
     let run = || {
         let truth = labels.clone();
         let mut oracle = CachedOracle::new(truth.len(), 500, move |i| truth[i]);
-        let mut rng = StdRng::seed_from_u64(36);
-        SupgExecutor::new(&data, &query)
-            .run(
-                &TwoStagePrecision::new(SelectorConfig::default()),
-                &mut oracle,
-                &mut rng,
-            )
+        SupgSession::over(&data)
+            .query(&query)
+            .selector(SelectorKind::TwoStage)
+            .seed(36)
+            .run(&mut oracle)
             .unwrap()
     };
     let a = run();

@@ -1,14 +1,8 @@
 //! Cross-crate integration: model drift (paper §6.2) and the JT pipeline
 //! (appendix A), exercised through datasets + core together.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use supg::core::joint::execute_joint;
 use supg::core::metrics::{evaluate, evaluate_threshold};
-use supg::core::query::JointQuery;
-use supg::core::selectors::{ImportanceRecall, SelectorConfig};
-use supg::core::{ApproxQuery, CachedOracle, ScoredDataset, SupgExecutor};
+use supg::core::{CachedOracle, ScoredDataset, SelectorKind, SupgSession};
 use supg::datasets::{Preset, PresetKind};
 
 /// Fit the exact 95%-recall threshold with full label knowledge.
@@ -32,10 +26,12 @@ fn stale_thresholds_break_under_fog_but_supg_does_not() {
     // accordingly reports *mean* accuracy, which table4 reproduces).
     let n = 50_000;
     let gamma = 0.9;
-    let (clean_scores, clean_labels) =
-        Preset::new(PresetKind::ImageNet).generate_sized(21, n).into_parts();
-    let (fog_scores, fog_labels) =
-        Preset::new(PresetKind::ImageNetCFog).generate_sized(21, n).into_parts();
+    let (clean_scores, clean_labels) = Preset::new(PresetKind::ImageNet)
+        .generate_sized(21, n)
+        .into_parts();
+    let (fog_scores, fog_labels) = Preset::new(PresetKind::ImageNetCFog)
+        .generate_sized(21, n)
+        .into_parts();
 
     // The naive pre-set threshold: exact fit on clean data, applied to fog.
     let stale_tau = offline_recall_tau(&clean_scores, &clean_labels, gamma);
@@ -48,19 +44,18 @@ fn stale_thresholds_break_under_fog_but_supg_does_not() {
 
     // SUPG re-estimates on the fogged data under a budget.
     let data = ScoredDataset::new(fog_scores).unwrap();
-    let query = ApproxQuery::recall_target(gamma, 0.05, 1_000);
     let mut failures = 0;
     let trials = 20;
     for t in 0..trials {
         let labels = fog_labels.clone();
         let mut oracle = CachedOracle::new(labels.len(), 1_000, move |i| labels[i]);
-        let mut rng = StdRng::seed_from_u64(2100 + t);
-        let outcome = SupgExecutor::new(&data, &query)
-            .run(
-                &ImportanceRecall::new(SelectorConfig::default()),
-                &mut oracle,
-                &mut rng,
-            )
+        let outcome = SupgSession::over(&data)
+            .recall(gamma)
+            .delta(0.05)
+            .budget(1_000)
+            .selector(SelectorKind::ImportanceSampling)
+            .seed(2100 + t)
+            .run(&mut oracle)
             .unwrap();
         if evaluate(outcome.result.indices(), &fog_labels).recall < gamma {
             failures += 1;
@@ -71,36 +66,45 @@ fn stale_thresholds_break_under_fog_but_supg_does_not() {
 
 #[test]
 fn joint_pipeline_meets_both_targets_end_to_end() {
-    let (scores, labels) =
-        Preset::new(PresetKind::Beta01x2).generate_sized(22, 100_000).into_parts();
+    let (scores, labels) = Preset::new(PresetKind::Beta01x2)
+        .generate_sized(22, 100_000)
+        .into_parts();
     let data = ScoredDataset::new(scores).unwrap();
-    let query = JointQuery::new(0.9, 0.95, 0.05).unwrap();
     let mut recall_failures = 0;
     let trials = 10;
     for t in 0..trials {
         let truth = labels.clone();
         let mut oracle = CachedOracle::new(truth.len(), 0, move |i| truth[i]);
-        let mut rng = StdRng::seed_from_u64(2200 + t);
-        let outcome = execute_joint(
-            &data,
-            &query,
-            1_000,
-            &ImportanceRecall::new(SelectorConfig::default()),
-            &mut oracle,
-            &mut rng,
-        )
-        .unwrap();
+        let outcome = SupgSession::over(&data)
+            .recall(0.9)
+            .precision(0.95)
+            .delta(0.05)
+            .joint(1_000)
+            .selector(SelectorKind::ImportanceSampling)
+            .seed(2200 + t)
+            .run(&mut oracle)
+            .unwrap();
         let pr = evaluate(outcome.result.indices(), &labels);
-        assert_eq!(pr.precision, 1.0, "exhaustive filter must perfect precision");
+        assert_eq!(
+            pr.precision, 1.0,
+            "exhaustive filter must perfect precision"
+        );
         if pr.recall < 0.9 {
             recall_failures += 1;
         }
         // Accounting invariants.
+        assert!(outcome.joint);
         assert!(outcome.stage_calls <= 1_000);
-        assert_eq!(outcome.total_calls(), outcome.stage_calls + outcome.filter_calls);
+        assert_eq!(
+            outcome.oracle_calls,
+            outcome.stage_calls + outcome.filter_calls
+        );
         assert!(outcome.filter_calls <= outcome.candidates);
     }
-    assert!(recall_failures <= 2, "{recall_failures}/{trials} JT recall failures");
+    assert!(
+        recall_failures <= 2,
+        "{recall_failures}/{trials} JT recall failures"
+    );
 }
 
 #[test]

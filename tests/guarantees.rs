@@ -10,11 +10,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use supg::core::metrics::evaluate;
-use supg::core::selectors::{
-    ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision, UniformPrecision,
-    UniformRecall,
+use supg::core::{
+    ApproxQuery, CachedOracle, Oracle, ScoredDataset, SelectorKind, SupgSession, TargetKind,
 };
-use supg::core::{ApproxQuery, CachedOracle, Oracle, ScoredDataset, SupgExecutor, TargetKind};
 use supg::datasets::{Preset, PresetKind};
 
 struct TestBed {
@@ -24,13 +22,16 @@ struct TestBed {
 
 fn bed(kind: PresetKind, n: usize, seed: u64) -> TestBed {
     let (scores, labels) = Preset::new(kind).generate_sized(seed, n).into_parts();
-    TestBed { data: ScoredDataset::new(scores).unwrap(), labels }
+    TestBed {
+        data: ScoredDataset::new(scores).unwrap(),
+        labels,
+    }
 }
 
 fn failure_rate(
     bed: &TestBed,
     query: &ApproxQuery,
-    selector: &dyn ThresholdSelector,
+    selector: SelectorKind,
     trials: u64,
 ) -> (f64, f64) {
     let mut failures = 0usize;
@@ -38,9 +39,11 @@ fn failure_rate(
     for t in 0..trials {
         let labels = bed.labels.clone();
         let mut oracle = CachedOracle::new(labels.len(), query.budget(), move |i| labels[i]);
-        let mut rng = StdRng::seed_from_u64(0xBED0 + t);
-        let outcome = SupgExecutor::new(&bed.data, query)
-            .run(selector, &mut oracle, &mut rng)
+        let outcome = SupgSession::over(&bed.data)
+            .query(query)
+            .selector(selector)
+            .seed(0xBED0 + t)
+            .run(&mut oracle)
             .expect("query failed");
         assert!(oracle.calls_used() <= query.budget(), "budget violated");
         let pr = evaluate(outcome.result.indices(), &bed.labels);
@@ -64,13 +67,10 @@ fn recall_guarantee_holds_on_the_beta_synthetic() {
     // positive counts).
     let bed = bed(PresetKind::Beta01x2, 200_000, 1);
     let query = ApproxQuery::recall_target(0.9, 0.05, 10_000);
-    for selector in [
-        &UniformRecall::new(SelectorConfig::default()) as &dyn ThresholdSelector,
-        &ImportanceRecall::new(SelectorConfig::default()),
-    ] {
+    for selector in [SelectorKind::Uniform, SelectorKind::ImportanceSampling] {
         let (rate, _) = failure_rate(&bed, &query, selector, 40);
         // δ = 0.05; over 40 trials, P[Binom(40, .05) > 6] < 1%.
-        assert!(rate <= 6.0 / 40.0, "{}: failure rate {rate}", selector.name());
+        assert!(rate <= 6.0 / 40.0, "{selector:?}: failure rate {rate}");
     }
 }
 
@@ -78,12 +78,9 @@ fn recall_guarantee_holds_on_the_beta_synthetic() {
 fn precision_guarantee_holds_on_the_beta_synthetic() {
     let bed = bed(PresetKind::Beta01x2, 200_000, 2);
     let query = ApproxQuery::precision_target(0.9, 0.05, 10_000);
-    for selector in [
-        &UniformPrecision::new(SelectorConfig::default()) as &dyn ThresholdSelector,
-        &TwoStagePrecision::new(SelectorConfig::default()),
-    ] {
+    for selector in [SelectorKind::Uniform, SelectorKind::TwoStage] {
         let (rate, _) = failure_rate(&bed, &query, selector, 40);
-        assert!(rate <= 6.0 / 40.0, "{}: failure rate {rate}", selector.name());
+        assert!(rate <= 6.0 / 40.0, "{selector:?}: failure rate {rate}");
     }
 }
 
@@ -93,11 +90,10 @@ fn guarantees_hold_on_the_miscalibrated_mixture() {
     // guarantee must not depend on calibration (paper §5.3).
     let bed = bed(PresetKind::NightStreet, 100_000, 3);
     let rt = ApproxQuery::recall_target(0.9, 0.05, 2_000);
-    let (rate, _) = failure_rate(&bed, &rt, &ImportanceRecall::new(SelectorConfig::default()), 30);
+    let (rate, _) = failure_rate(&bed, &rt, SelectorKind::ImportanceSampling, 30);
     assert!(rate <= 5.0 / 30.0, "RT failure rate {rate}");
     let pt = ApproxQuery::precision_target(0.9, 0.05, 2_000);
-    let (rate, _) =
-        failure_rate(&bed, &pt, &TwoStagePrecision::new(SelectorConfig::default()), 30);
+    let (rate, _) = failure_rate(&bed, &pt, SelectorKind::TwoStage, 30);
     assert!(rate <= 5.0 / 30.0, "PT failure rate {rate}");
 }
 
@@ -107,10 +103,8 @@ fn importance_sampling_improves_rt_quality_over_uniform() {
     // target, IS returns higher-precision (smaller) sets than uniform.
     let bed = bed(PresetKind::Beta01x2, 200_000, 4);
     let query = ApproxQuery::recall_target(0.9, 0.05, 10_000);
-    let (u_rate, u_quality) =
-        failure_rate(&bed, &query, &UniformRecall::new(SelectorConfig::default()), 15);
-    let (is_rate, is_quality) =
-        failure_rate(&bed, &query, &ImportanceRecall::new(SelectorConfig::default()), 15);
+    let (u_rate, u_quality) = failure_rate(&bed, &query, SelectorKind::Uniform, 15);
+    let (is_rate, is_quality) = failure_rate(&bed, &query, SelectorKind::ImportanceSampling, 15);
     // Both are valid in this regime; quality (precision) is only comparable
     // between valid methods.
     assert!(u_rate <= 3.0 / 15.0 && is_rate <= 3.0 / 15.0);
@@ -126,14 +120,18 @@ fn adversarial_proxy_still_respects_the_recall_guarantee() {
     // guarantee survives thanks to defensive mixing + conservative bounds.
     let n = 50_000;
     let mut rng = StdRng::seed_from_u64(5);
-    let labels: Vec<bool> = (0..n).map(|_| rand::Rng::gen_bool(&mut rng, 0.02)).collect();
+    let labels: Vec<bool> = (0..n)
+        .map(|_| rand::Rng::gen_bool(&mut rng, 0.02))
+        .collect();
     let scores: Vec<f64> = labels
         .iter()
         .map(|&l| if l { 0.05 } else { 0.5 }) // positives score LOW
         .collect();
-    let bed = TestBed { data: ScoredDataset::new(scores).unwrap(), labels };
+    let bed = TestBed {
+        data: ScoredDataset::new(scores).unwrap(),
+        labels,
+    };
     let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
-    let (rate, _) =
-        failure_rate(&bed, &query, &ImportanceRecall::new(SelectorConfig::default()), 30);
+    let (rate, _) = failure_rate(&bed, &query, SelectorKind::ImportanceSampling, 30);
     assert!(rate <= 5.0 / 30.0, "adversarial failure rate {rate}");
 }

@@ -19,7 +19,9 @@ fn loaded_engine(seed: u64) -> (Engine, Vec<bool>) {
     let (scores, labels) = restored.into_parts();
     let mut engine = Engine::with_seed(seed);
     engine.create_table("night_street", scores.len());
-    engine.register_proxy("night_street", "resnet_score", scores).unwrap();
+    engine
+        .register_proxy("night_street", "resnet_score", scores)
+        .unwrap();
     let truth = labels.clone();
     engine
         .register_oracle("night_street", "HAS_CAR", move |i| truth[i])
@@ -41,7 +43,7 @@ fn recall_target_query_via_sql() {
     assert!(pr.recall >= 0.85, "recall {}", pr.recall); // single seeded run
     assert!(report.oracle_calls <= 2_000);
     assert_eq!(report.selector, "IS-CI-R");
-    assert!(report.statement.is_joint() == false);
+    assert!(!report.statement.is_joint());
 }
 
 #[test]

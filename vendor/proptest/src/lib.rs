@@ -1,0 +1,271 @@
+//! Offline, in-tree subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the slice of proptest the workspace's property tests use:
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//! `boxed`, range and tuple strategies, a small regex-pattern string
+//! strategy, `prop::collection::vec`, `prop::option::of`, `Just`,
+//! `any`, `prop_oneof!`, and the `proptest!` / `prop_assert!` macros.
+//!
+//! Semantics differences vs upstream: no shrinking (failures report the
+//! originally generated case), and case generation is seeded from the
+//! test name so runs are fully deterministic.
+
+#![warn(rust_2018_idioms)]
+
+pub mod strategy;
+
+pub use rand;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (filtered-out) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 96,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Strategy for any [`Arbitrary`] type, mirroring `proptest::arbitrary::any`.
+pub fn any<A: Arbitrary>() -> strategy::ArbitraryStrategy<A> {
+    strategy::ArbitraryStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical generation strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut dyn rand::RngCore) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut dyn rand::RngCore) -> Self {
+                <$t as rand::Standard>::sample_standard(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_standard!(bool, u32, u64, usize, f64);
+
+/// Deterministic per-test seed derived from the test's name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The `prop::` namespace used by `proptest::prelude`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// Strategy producing `Vec`s of `element` with a length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// Strategy producing `None` or `Some` of the inner strategy
+        /// (3:1 in favour of `Some`, as upstream's default weight).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, ProptestConfig,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Uniform choice between strategies with identical `Value` types.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number
+/// of `#[test] fn name(pat in strategy, ...) { body }` items. Failing
+/// cases panic immediately (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $(
+        #[test]
+        fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+    )* ) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let combined = ($($strat,)*);
+            let mut rng =
+                <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(stringify!($name)),
+                );
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                match $crate::strategy::Strategy::generate(&combined, &mut rng) {
+                    Some(($($arg,)*)) => {
+                        { $body }
+                        passed += 1;
+                    }
+                    None => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= config.max_global_rejects,
+                            "proptest {}: too many rejected cases ({rejected})",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Token {
+        A,
+        B,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.25f64..0.75, n in 3usize..10, s in 1u64..=4) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((1..=4).contains(&s));
+        }
+
+        #[test]
+        fn vec_and_filter_compose(
+            mut xs in prop::collection::vec(0.0f64..1.0, 1..20)
+                .prop_filter("nonempty mass", |v| v.iter().sum::<f64>() > 0.0),
+        ) {
+            xs.push(0.5);
+            prop_assert!(xs.iter().sum::<f64>() > 0.0);
+        }
+
+        #[test]
+        fn map_option_oneof_and_just(
+            (label, maybe, tok) in (
+                "[a-z][a-z0-9_]{0,8}",
+                prop::option::of(1usize..5),
+                prop_oneof![Just(Token::A), Just(Token::B)],
+            ),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!label.is_empty() && label.len() <= 9);
+            prop_assert!(label.chars().next().unwrap().is_ascii_lowercase());
+            if let Some(v) = maybe {
+                prop_assert!((1..5).contains(&v));
+            }
+            prop_assert!(matches!(tok, Token::A | Token::B));
+            let _ = flag;
+        }
+
+        #[test]
+        fn printable_pattern_generates(s in "\\PC{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn boxed_strategies_unify_types() {
+        let a: BoxedStrategy<Option<u64>> = prop::option::of(1u64..3).boxed();
+        let b: BoxedStrategy<Option<u64>> = Just(None).boxed();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        for strat in [a, b] {
+            for _ in 0..20 {
+                let v = strat.generate(&mut rng).unwrap();
+                if let Some(x) = v {
+                    assert!((1..3).contains(&x));
+                }
+            }
+        }
+    }
+}

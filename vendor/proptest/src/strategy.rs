@@ -1,0 +1,479 @@
+//! The [`Strategy`] trait and the strategy combinators / primitives the
+//! workspace's property tests use.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Arbitrary;
+
+/// A recipe for generating values of `Value`.
+///
+/// `generate` returns `None` when the candidate was rejected (e.g. by
+/// [`Strategy::prop_filter`]); the `proptest!` runner retries rejected
+/// cases up to a global limit. There is no shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value, or `None` if the candidate was rejected.
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred` (retried by the runner).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Strategy returned by [`crate::any`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArbitraryStrategy<A>(pub(crate) PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for ArbitraryStrategy<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<A> {
+        Some(A::arbitrary(rng))
+    }
+}
+
+/// Strategy combinator produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Strategy combinator produced by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)] // kept for parity with upstream diagnostics
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Object-safe mirror of [`Strategy`].
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut StdRng) -> Option<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<V> {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+#[derive(Debug)]
+pub struct Union<V> {
+    branches: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Union over the given branches.
+    ///
+    /// # Panics
+    /// Panics if `branches` is empty.
+    pub fn new(branches: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Self { branches }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<V> {
+        let i = rng.gen_range(0..self.branches.len());
+        self.branches[i].generate(rng)
+    }
+}
+
+/// Length bounds for [`VecStrategy`] (inclusive).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty vec size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+/// Strategy for `Vec`s (see [`crate::prop::collection::vec`]).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+        let len = rng.gen_range(self.size.min..=self.size.max);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.generate(rng)?);
+        }
+        Some(out)
+    }
+}
+
+/// Strategy for `Option`s (see [`crate::prop::option::of`]).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<Option<S::Value>> {
+        // Upstream defaults to weighting Some 3:1 over None.
+        if rng.gen_range(0..4) == 0 {
+            Some(None)
+        } else {
+            self.inner.generate(rng).map(Some)
+        }
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<f64> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<f64> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+/// String strategies from a small regex subset: literal characters,
+/// character classes (`[a-zA-Z0-9_]`), `\PC` (any printable character),
+/// each optionally followed by a `{m}` or `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<String> {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                out.push(piece.atom.generate(rng));
+            }
+        }
+        Some(out)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Expanded character class.
+    Class(Vec<char>),
+    /// Any non-control character (`\PC`).
+    Printable,
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut StdRng) -> char {
+        match self {
+            Atom::Class(chars) => chars[rng.gen_range(0..chars.len())],
+            Atom::Printable => {
+                // Mostly ASCII, occasionally wider unicode, never control.
+                if rng.gen_bool(0.9) {
+                    char::from_u32(rng.gen_range(0x20u32..=0x7E)).expect("ascii printable")
+                } else {
+                    loop {
+                        let c = rng.gen_range(0xA0u32..0xD800);
+                        if let Some(ch) = char::from_u32(c) {
+                            if !ch.is_control() {
+                                return ch;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let start = prev.take().expect("checked");
+                            let end = chars.next().expect("range end");
+                            for code in (start as u32)..=(end as u32) {
+                                if let Some(ch) = char::from_u32(code) {
+                                    class.push(ch);
+                                }
+                            }
+                        }
+                        other => {
+                            if let Some(p) = prev {
+                                class.push(p);
+                            }
+                            prev = Some(other);
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    class.push(p);
+                }
+                assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(class)
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                if escaped == 'P' {
+                    let category = chars.next();
+                    assert_eq!(
+                        category,
+                        Some('C'),
+                        "only \\PC is supported, got \\P{category:?} in {pattern:?}"
+                    );
+                    Atom::Printable
+                } else {
+                    Atom::Class(vec![escaped])
+                }
+            }
+            literal => Atom::Class(vec![literal]),
+        };
+        // Optional {m} / {m,n} repetition.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut first = String::new();
+            let mut second: Option<String> = None;
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(',') => second = Some(String::new()),
+                    Some(d) if d.is_ascii_digit() => match &mut second {
+                        Some(s) => s.push(d),
+                        None => first.push(d),
+                    },
+                    other => panic!("bad repetition {other:?} in pattern {pattern:?}"),
+                }
+            }
+            let min: usize = first.parse().expect("repetition lower bound");
+            let max = match second {
+                Some(s) => s.parse().expect("repetition upper bound"),
+                None => min,
+            };
+            (min, max)
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_parser_handles_classes_escapes_and_reps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = "[a-c]{2,4}".generate(&mut rng).unwrap();
+        assert!((2..=4).contains(&s.len()));
+        assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+
+        let lit = "x\\.y".generate(&mut rng).unwrap();
+        assert_eq!(lit, "x.y");
+
+        let p = "\\PC{3}".generate(&mut rng).unwrap();
+        assert_eq!(p.chars().count(), 3);
+    }
+
+    #[test]
+    fn union_draws_from_every_branch() {
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut rng).unwrap() as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}
