@@ -1,0 +1,117 @@
+//! End-to-end speedup of the batched multi-threaded oracle runtime.
+//!
+//! The oracle is the expensive resource, so the interesting regime is a
+//! *slow* oracle: each uncached label call sleeps for a simulated
+//! inference latency (0, 100µs, 1ms — the spread between an in-memory
+//! lookup, a local GPU micro-batch, and a remote model service). The
+//! benchmark runs the same IS-CI-R query at worker-pool widths 1/2/4/8 and
+//! reports wall-clock per query; the `speedup_summary` entries measure the
+//! parallel configurations against the sequential baseline directly.
+//!
+//! Expected shape: at 0 latency parallelism is noise (labeling is a vector
+//! lookup), at 100µs it helps, and at 1ms the speedup approaches the pool
+//! width (≥ 3× at 8 workers is the acceptance bar).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use supg_core::{CachedOracle, ScoredDataset, SelectorKind, SupgSession};
+use supg_datasets::{Preset, PresetKind};
+
+const BUDGET: usize = 400;
+
+fn workload() -> (ScoredDataset, Vec<bool>) {
+    let (scores, labels) = Preset::new(PresetKind::NightStreet)
+        .generate_sized(7, 20_000)
+        .into_parts();
+    (ScoredDataset::new(scores).unwrap(), labels)
+}
+
+/// A latency-simulating oracle: every cache miss sleeps `latency` before
+/// answering from the ground-truth labels, like a per-record model call.
+fn slow_oracle(labels: &[bool], latency: Duration) -> CachedOracle {
+    let labels = labels.to_vec();
+    CachedOracle::parallel(labels.len(), BUDGET, move |i| {
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        labels[i]
+    })
+}
+
+fn run_query(
+    data: &ScoredDataset,
+    labels: &[bool],
+    latency: Duration,
+    parallelism: usize,
+) -> usize {
+    let mut oracle = slow_oracle(labels, latency);
+    let outcome = SupgSession::over(data)
+        .recall(0.9)
+        .budget(BUDGET)
+        .selector(SelectorKind::ImportanceSampling)
+        .seed(11)
+        .parallelism(parallelism)
+        .batch_size(32)
+        .run(&mut oracle)
+        .expect("bench query failed");
+    outcome.result.len()
+}
+
+fn bench_latency_grid(c: &mut Criterion) {
+    let (data, labels) = workload();
+    let mut group = c.benchmark_group("runtime/query");
+    group.sample_size(2);
+    for (latency, label) in [
+        (Duration::ZERO, "0"),
+        (Duration::from_micros(100), "100us"),
+        (Duration::from_millis(1), "1ms"),
+    ] {
+        for parallelism in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("latency_{label}"), parallelism),
+                &parallelism,
+                |b, &p| b.iter(|| run_query(&data, &labels, latency, p)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Direct sequential-vs-parallel comparison with an explicit speedup line
+/// per latency, independent of the harness's own timing loop.
+fn bench_speedup_summary(c: &mut Criterion) {
+    let (data, labels) = workload();
+    let time_one = |latency: Duration, parallelism: usize| {
+        // Warm-up run (thread pool, page cache), then best-of-2 measured.
+        run_query(&data, &labels, latency, parallelism);
+        (0..2)
+            .map(|_| {
+                let start = Instant::now();
+                run_query(&data, &labels, latency, parallelism);
+                start.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    for (latency, label) in [
+        (Duration::ZERO, "0"),
+        (Duration::from_micros(100), "100us"),
+        (Duration::from_millis(1), "1ms"),
+    ] {
+        let sequential = time_one(latency, 1);
+        for parallelism in [2usize, 4, 8] {
+            let parallel = time_one(latency, parallelism);
+            let speedup = sequential.as_secs_f64() / parallel.as_secs_f64().max(1e-12);
+            println!(
+                "runtime/speedup/latency_{label}/threads_{parallelism:<2} \
+                 sequential {sequential:>10.2?}  parallel {parallel:>10.2?}  speedup {speedup:.2}x"
+            );
+        }
+    }
+    // Keep the harness aware this target ran.
+    c.bench_function("runtime/speedup_summary_done", |b| b.iter(|| ()));
+}
+
+criterion_group!(benches, bench_latency_grid, bench_speedup_summary);
+criterion_main!(benches);

@@ -1,5 +1,4 @@
-//! Algorithm 1: the SUPG selection result, and the deprecated per-query
-//! executor superseded by [`crate::session::SupgSession`].
+//! The SUPG selection result of Algorithm 1.
 //!
 //! ```text
 //! function SUPGQuery(D, A, O):
@@ -11,23 +10,17 @@
 //! ```
 //!
 //! The pipeline itself lives in [`crate::session`]; this module keeps the
-//! result-set type and a thin [`SupgExecutor`] compatibility shim.
-
-use rand::RngCore;
-
-use crate::data::ScoredDataset;
-use crate::error::SupgError;
-use crate::oracle::Oracle;
-use crate::query::ApproxQuery;
-use crate::selectors::ThresholdSelector;
+//! result-set type. (The `SupgExecutor` compatibility shim that used to
+//! live here was deprecated for one release and has been removed — run
+//! queries through [`crate::session::SupgSession`].)
 
 pub use crate::session::QueryOutcome;
 
 /// The record set returned by a query: sorted, deduplicated indices.
 ///
 /// Indices are `usize` record positions — result sets never truncate, even
-/// though [`ScoredDataset`] itself caps datasets at `u32::MAX` records for
-/// its compact sorted index.
+/// though [`crate::data::ScoredDataset`] itself caps datasets at
+/// `u32::MAX` records for its compact sorted index.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SelectionResult {
     indices: Vec<usize>,
@@ -67,47 +60,12 @@ impl SelectionResult {
     }
 }
 
-/// Executes SUPG queries over one dataset (Algorithm 1).
-#[deprecated(
-    since = "0.2.0",
-    note = "use supg_core::SupgSession::over(..).recall(..)/.precision(..).budget(..).run(..)"
-)]
-#[derive(Debug, Clone, Copy)]
-pub struct SupgExecutor<'a> {
-    data: &'a ScoredDataset,
-    query: &'a ApproxQuery,
-}
-
-#[allow(deprecated)]
-impl<'a> SupgExecutor<'a> {
-    /// Binds an executor to a dataset and a query specification.
-    pub fn new(data: &'a ScoredDataset, query: &'a ApproxQuery) -> Self {
-        Self { data, query }
-    }
-
-    /// Runs the query with the given threshold selector (a compatibility
-    /// shim over the session pipeline's Algorithm 1).
-    ///
-    /// # Errors
-    /// Propagates selector/oracle failures. On success the oracle has been
-    /// charged at most `query.budget()` distinct calls.
-    pub fn run(
-        &self,
-        selector: &dyn ThresholdSelector,
-        oracle: &mut dyn Oracle,
-        rng: &mut dyn RngCore,
-    ) -> Result<QueryOutcome, SupgError> {
-        crate::session::exec_single(self.data, self.query, selector, oracle, rng)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::ScoredDataset;
     use crate::oracle::CachedOracle;
-    use crate::selectors::{SelectorConfig, UniformNoCiRecall, UniformRecall};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::session::{SelectorKind, SupgSession};
 
     fn separable(n: usize) -> (ScoredDataset, Vec<bool>) {
         let scores: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
@@ -134,19 +92,18 @@ mod tests {
         assert_eq!(r.indices(), &[1, big]);
     }
 
+    // Migrated from the removed `SupgExecutor` shim's test suite: the
+    // Algorithm-1 union property, now exercised through the session.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_executor_still_unions_positives_with_threshold_set() {
+    fn session_unions_positives_with_threshold_set() {
         let (data, labels) = separable(10_000);
-        let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
         let mut oracle = CachedOracle::from_labels(labels.clone(), 1_000);
-        let mut rng = StdRng::seed_from_u64(55);
-        let outcome = SupgExecutor::new(&data, &query)
-            .run(
-                &UniformRecall::new(SelectorConfig::default()),
-                &mut oracle,
-                &mut rng,
-            )
+        let outcome = SupgSession::over(&data)
+            .recall(0.9)
+            .budget(1_000)
+            .selector(SelectorKind::Uniform)
+            .seed(55)
+            .run(&mut oracle)
             .unwrap();
         // Every sampled positive is in the result even if below τ.
         for i in outcome.result.iter() {
@@ -160,14 +117,15 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_executor_runs_naive_selectors() {
+    fn session_runs_naive_selectors() {
         let (data, labels) = separable(5_000);
-        let query = ApproxQuery::recall_target(0.9, 0.05, 500);
         let mut oracle = CachedOracle::from_labels(labels, 500);
-        let mut rng = StdRng::seed_from_u64(56);
-        let outcome = SupgExecutor::new(&data, &query)
-            .run(&UniformNoCiRecall, &mut oracle, &mut rng)
+        let outcome = SupgSession::over(&data)
+            .recall(0.9)
+            .budget(500)
+            .selector(SelectorKind::UniformNoCi)
+            .seed(56)
+            .run(&mut oracle)
             .unwrap();
         assert!(!outcome.result.is_empty());
         assert_eq!(outcome.selector, "U-NoCI-R");

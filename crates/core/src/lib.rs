@@ -58,11 +58,46 @@
 //!   (naive baselines, uniform + confidence intervals, importance sampling
 //!   one- and two-stage), all behind the [`selectors::ThresholdSelector`]
 //!   trait; name them via [`SelectorKind`].
-//! * [`executor`] / [`joint`] — deprecated per-query shims kept for one
-//!   release; new code goes through the session.
+//! * [`runtime`] — the batched, multi-threaded oracle execution runtime:
+//!   [`RuntimeConfig`], the scoped worker pool behind
+//!   [`oracle::BatchOracle`], and index-split seeding.
+//! * [`executor`] — the [`SelectionResult`] record-set type.
 //! * [`metrics`] — precision/recall evaluation against ground truth, failure
 //!   rates over repeated trials.
 //! * [`cost`] — the query cost model of the paper's Table 5.
+//!
+//! ## Parallelism & batching
+//!
+//! Every stage that consumes oracle budget — uniform stage samples,
+//! importance draws, and the JT pipeline's exhaustive filter — issues
+//! batched label requests through [`oracle::BatchOracle::label_batch`]
+//! instead of labeling one record at a time. Two session knobs control the
+//! execution:
+//!
+//! ```
+//! # use supg_core::{CachedOracle, ScoredDataset, SupgSession};
+//! # let scores: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64 / 100.0).collect();
+//! # let labels: Vec<bool> = scores.iter().map(|&s| s > 0.9).collect();
+//! # let dataset = ScoredDataset::new(scores).unwrap();
+//! # let mut oracle = CachedOracle::from_labels(labels, 1_000);
+//! let outcome = SupgSession::over(&dataset)
+//!     .recall(0.9)
+//!     .budget(1_000)
+//!     .parallelism(8)   // worker threads labeling each batch
+//!     .batch_size(64)   // records per batch request
+//!     .run(&mut oracle)
+//!     .unwrap();
+//! ```
+//!
+//! `parallelism(n)` sets the width of the scoped worker pool an oracle with
+//! a thread-safe source ([`CachedOracle::parallel`],
+//! [`CachedOracle::from_labels`]) uses to label cache misses;
+//! `batch_size(b)` sets how many records one batch request carries.
+//! **Determinism contract:** sampling stays on the session thread and
+//! labels are pure functions of the record index, so a fixed seed yields an
+//! identical [`QueryOutcome`] for every `parallelism`/`batch_size` setting,
+//! and `parallelism(1)` is bit-for-bit the sequential path. See
+//! [`runtime`] for the full contract.
 //!
 //! ## Guarantee contract
 //!
@@ -81,10 +116,10 @@ pub mod cost;
 pub mod data;
 pub mod error;
 pub mod executor;
-pub mod joint;
 pub mod metrics;
 pub mod oracle;
 pub mod query;
+pub mod runtime;
 pub mod sample;
 pub mod selectors;
 pub mod session;
@@ -92,10 +127,9 @@ pub mod session;
 pub use data::ScoredDataset;
 pub use error::SupgError;
 pub use executor::SelectionResult;
-#[allow(deprecated)]
-pub use executor::SupgExecutor;
 pub use metrics::PrecisionRecall;
-pub use oracle::{CachedOracle, Oracle};
+pub use oracle::{BatchOracle, CachedOracle, Oracle};
 pub use query::{ApproxQuery, JointQuery, TargetKind};
+pub use runtime::RuntimeConfig;
 pub use sample::OracleSample;
 pub use session::{QueryOutcome, SelectorKind, SessionOracle, SupgSession};

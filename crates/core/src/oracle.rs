@@ -1,4 +1,4 @@
-//! Budgeted, label-caching oracle abstraction.
+//! Budgeted, label-caching oracle abstraction with batched labeling.
 //!
 //! The paper's oracle is any expensive predicate — a human labeler or a
 //! heavyweight DNN — supplied by the user as a callback. Two properties
@@ -12,10 +12,19 @@
 //!   the same record can be drawn twice; real systems cache the label. Only
 //!   cache misses count against the budget, hence distinct oracle
 //!   invocations never exceed `s` while resampled records stay free.
+//!
+//! Real oracles (GPU models, labeling services) are batch-native, so the
+//! pipeline never labels one record at a time: every stage routes through
+//! [`BatchOracle::label_batch`], which is blanket-implemented for every
+//! [`Oracle`] and — for oracles with a thread-safe source, such as
+//! [`CachedOracle::parallel`] — executes cache misses on the
+//! [`crate::runtime`] worker pool under the session's
+//! [`RuntimeConfig`](crate::runtime::RuntimeConfig).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::error::SupgError;
+use crate::runtime::{parallel_map, RuntimeConfig};
 
 /// An expensive ground-truth predicate with usage accounting.
 pub trait Oracle {
@@ -36,16 +45,92 @@ pub trait Oracle {
     fn remaining(&self) -> usize {
         self.budget().saturating_sub(self.calls_used())
     }
+
+    /// Native batch-labeling hook consulted by [`BatchOracle::label_batch`].
+    ///
+    /// The default returns `None`, meaning "no batch-native path": the
+    /// blanket [`BatchOracle`] impl then falls back to per-record
+    /// [`label`](Oracle::label) calls in input order. Batch-native oracles
+    /// (e.g. [`CachedOracle`] with a thread-safe source) override this to
+    /// answer the whole batch at once; implementations must preserve the
+    /// sequential path's observable semantics — same labels, same budget
+    /// accounting, same error at the same position — for every runtime
+    /// configuration.
+    fn label_batch_native(&mut self, _indices: &[usize]) -> Option<Result<Vec<bool>, SupgError>> {
+        None
+    }
+
+    /// Applies an execution runtime (worker-pool width and batch size).
+    ///
+    /// Sessions forward their `.parallelism(n).batch_size(b)` settings here
+    /// before running a query. The default is a no-op so plain sequential
+    /// oracles are unaffected.
+    fn configure_runtime(&mut self, _runtime: RuntimeConfig) {}
+}
+
+/// Batched labeling, the interface the whole query pipeline uses.
+///
+/// Blanket-implemented for every [`Oracle`]: by default a batch is labeled
+/// record by record through [`Oracle::label`] (bit-for-bit the historical
+/// sequential path); oracles that implement
+/// [`Oracle::label_batch_native`] — notably [`CachedOracle`] with a
+/// thread-safe source — answer the batch through the
+/// [`crate::runtime`] worker pool instead.
+///
+/// ## Determinism contract
+///
+/// A batch-native source must be a *pure function of the record index*: the
+/// label may not depend on call order or interleaving. Under that contract
+/// `label_batch` returns identical labels, identical budget accounting and
+/// identical errors for every `parallelism`/`batch_size` setting, which is
+/// what makes [`QueryOutcome`](crate::session::QueryOutcome)s reproducible
+/// across thread counts.
+pub trait BatchOracle: Oracle {
+    /// Labels every record in `indices` (duplicates allowed — cached labels
+    /// are free), in input order.
+    ///
+    /// # Errors
+    /// As [`Oracle::label`]: budget exhaustion or an out-of-range index.
+    /// On error, all records *before* the failing position have been
+    /// labeled and cached, exactly as the sequential loop would leave them.
+    fn label_batch(&mut self, indices: &[usize]) -> Result<Vec<bool>, SupgError>;
+}
+
+impl<O: Oracle + ?Sized> BatchOracle for O {
+    fn label_batch(&mut self, indices: &[usize]) -> Result<Vec<bool>, SupgError> {
+        if let Some(native) = self.label_batch_native(indices) {
+            return native;
+        }
+        indices.iter().map(|&i| self.label(i)).collect()
+    }
+}
+
+/// The labeling callback behind a [`CachedOracle`].
+///
+/// `Serial` sources (arbitrary `FnMut`) are labeled one record at a time;
+/// `Shared` sources (`Fn + Sync`) additionally support batch-parallel
+/// labeling on the [`crate::runtime`] worker pool.
+enum Source {
+    Serial(Box<dyn FnMut(usize) -> bool + Send>),
+    Shared(Box<dyn Fn(usize) -> bool + Send + Sync>),
 }
 
 /// A budgeted oracle wrapping a user-provided labeling function, with a
 /// label cache so repeated draws of the same record are free.
+///
+/// Construct with [`CachedOracle::new`] for an arbitrary (`FnMut`)
+/// callback, or with [`CachedOracle::parallel`] /
+/// [`CachedOracle::from_labels`] for a thread-safe source that can label
+/// batches on the worker pool configured via
+/// [`CachedOracle::with_runtime`] (or a session's
+/// `.parallelism(n).batch_size(b)`).
 pub struct CachedOracle {
-    source: Box<dyn FnMut(usize) -> bool + Send>,
+    source: Source,
     len: usize,
     cache: HashMap<u32, bool>,
     used: usize,
     budget: usize,
+    runtime: RuntimeConfig,
 }
 
 impl std::fmt::Debug for CachedOracle {
@@ -54,31 +139,79 @@ impl std::fmt::Debug for CachedOracle {
             .field("len", &self.len)
             .field("used", &self.used)
             .field("budget", &self.budget)
+            .field("runtime", &self.runtime)
+            .field(
+                "source",
+                match self.source {
+                    Source::Serial(_) => &"Serial",
+                    Source::Shared(_) => &"Shared",
+                },
+            )
             .finish_non_exhaustive()
     }
 }
 
 impl CachedOracle {
     /// Wraps a labeling callback over a dataset of `len` records.
+    ///
+    /// The callback may be an arbitrary `FnMut`, so this oracle labels
+    /// strictly sequentially; use [`CachedOracle::parallel`] for a
+    /// thread-safe source that can exploit a worker pool.
     pub fn new(
         len: usize,
         budget: usize,
         source: impl FnMut(usize) -> bool + Send + 'static,
     ) -> Self {
         Self {
-            source: Box::new(source),
+            source: Source::Serial(Box::new(source)),
             len,
             cache: HashMap::new(),
             used: 0,
             budget,
+            runtime: RuntimeConfig::default(),
+        }
+    }
+
+    /// Wraps a thread-safe labeling function that batches can call
+    /// concurrently from the [`crate::runtime`] worker pool.
+    ///
+    /// The source must be a pure function of the record index (see the
+    /// [`BatchOracle`] determinism contract). The oracle starts with the
+    /// sequential [`RuntimeConfig`]; raise the pool width via
+    /// [`with_runtime`](CachedOracle::with_runtime) or a session's
+    /// `.parallelism(n)`.
+    pub fn parallel(
+        len: usize,
+        budget: usize,
+        source: impl Fn(usize) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            source: Source::Shared(Box::new(source)),
+            len,
+            cache: HashMap::new(),
+            used: 0,
+            budget,
+            runtime: RuntimeConfig::default(),
         }
     }
 
     /// Oracle backed by a pre-materialized ground-truth label column (the
-    /// common case for the simulated datasets).
+    /// common case for the simulated datasets). Batch-parallel capable.
     pub fn from_labels(labels: Vec<bool>, budget: usize) -> Self {
         let len = labels.len();
-        Self::new(len, budget, move |i| labels[i])
+        Self::parallel(len, budget, move |i| labels[i])
+    }
+
+    /// Sets the execution runtime (worker-pool width, batch size) used by
+    /// batch labeling when the source is thread-safe.
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// The currently configured execution runtime.
+    pub fn runtime(&self) -> RuntimeConfig {
+        self.runtime
     }
 
     /// Replaces the budget (e.g. the JT pipeline lifts the limit for its
@@ -104,6 +237,40 @@ impl CachedOracle {
         out.sort_unstable();
         out
     }
+
+    /// Walks `indices` in order and collects the distinct cache misses that
+    /// fit in the remaining budget, mirroring exactly where the sequential
+    /// loop would stop: the returned error (if any) is what record-by-record
+    /// labeling would have hit, after caching everything before it.
+    fn plan_batch(&self, indices: &[usize]) -> (Vec<usize>, Option<SupgError>) {
+        let mut misses = Vec::new();
+        let mut planned = HashSet::new();
+        for &idx in indices {
+            if idx >= self.len {
+                return (
+                    misses,
+                    Some(SupgError::IndexOutOfRange {
+                        index: idx,
+                        len: self.len,
+                    }),
+                );
+            }
+            if self.cache.contains_key(&(idx as u32)) || planned.contains(&idx) {
+                continue;
+            }
+            if self.used + misses.len() >= self.budget {
+                return (
+                    misses,
+                    Some(SupgError::BudgetExhausted {
+                        budget: self.budget,
+                    }),
+                );
+            }
+            planned.insert(idx);
+            misses.push(idx);
+        }
+        (misses, None)
+    }
 }
 
 impl Oracle for CachedOracle {
@@ -122,7 +289,10 @@ impl Oracle for CachedOracle {
                 budget: self.budget,
             });
         }
-        let label = (self.source)(index);
+        let label = match &mut self.source {
+            Source::Serial(f) => f(index),
+            Source::Shared(f) => f(index),
+        };
         self.cache.insert(index as u32, label);
         self.used += 1;
         Ok(label)
@@ -134,6 +304,34 @@ impl Oracle for CachedOracle {
 
     fn budget(&self) -> usize {
         self.budget
+    }
+
+    fn label_batch_native(&mut self, indices: &[usize]) -> Option<Result<Vec<bool>, SupgError>> {
+        // Serial (FnMut) sources cannot be called from worker threads; let
+        // the blanket impl label them record by record.
+        let Source::Shared(source) = &self.source else {
+            return None;
+        };
+        let (misses, err) = self.plan_batch(indices);
+        // The misses are distinct uncached records within budget; their
+        // labels are a pure function of the index, so the pool may compute
+        // them in any order.
+        let labels = parallel_map(&self.runtime, &misses, |&i| source(i));
+        for (&idx, &label) in misses.iter().zip(&labels) {
+            self.cache.insert(idx as u32, label);
+            self.used += 1;
+        }
+        if let Some(e) = err {
+            return Some(Err(e));
+        }
+        Some(Ok(indices
+            .iter()
+            .map(|&i| *self.cache.get(&(i as u32)).expect("labeled above"))
+            .collect()))
+    }
+
+    fn configure_runtime(&mut self, runtime: RuntimeConfig) {
+        self.runtime = runtime;
     }
 }
 
@@ -210,5 +408,99 @@ mod tests {
         let mut o = CachedOracle::new(100, 10, |i| i % 3 == 0);
         assert!(o.label(9).unwrap());
         assert!(!o.label(10).unwrap());
+    }
+
+    #[test]
+    fn batch_labels_match_sequential_for_every_runtime() {
+        let labels: Vec<bool> = (0..512).map(|i| i % 7 == 0).collect();
+        let indices: Vec<usize> = (0..400).map(|i| (i * 13) % 512).collect();
+        let mut sequential = CachedOracle::new(512, 512, {
+            let labels = labels.clone();
+            move |i| labels[i]
+        });
+        let expected = sequential.label_batch(&indices).unwrap();
+        for parallelism in [1, 2, 8] {
+            for batch_size in [1, 3, 64, 1024] {
+                let mut o = CachedOracle::from_labels(labels.clone(), 512).with_runtime(
+                    RuntimeConfig::default()
+                        .with_parallelism(parallelism)
+                        .with_batch_size(batch_size),
+                );
+                let got = o.label_batch(&indices).unwrap();
+                assert_eq!(
+                    got, expected,
+                    "parallelism={parallelism} batch_size={batch_size}"
+                );
+                assert_eq!(o.calls_used(), sequential.calls_used());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_duplicates_charge_budget_once() {
+        let mut o = CachedOracle::from_labels(vec![true, false, true], 2)
+            .with_runtime(RuntimeConfig::default().with_parallelism(4));
+        let got = o.label_batch(&[2, 2, 0, 2, 0]).unwrap();
+        assert_eq!(got, vec![true, true, true, true, true]);
+        assert_eq!(o.calls_used(), 2);
+    }
+
+    #[test]
+    fn batch_budget_exhaustion_matches_sequential_state() {
+        let labels = vec![true; 10];
+        // Sequential reference: label one by one until the error.
+        let mut seq = CachedOracle::new(10, 3, |_| true);
+        let indices = [0usize, 1, 1, 2, 3, 4];
+        let seq_err = indices
+            .iter()
+            .map(|&i| seq.label(i))
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        // Parallel batch must surface the same error with the same cache
+        // and budget state.
+        for parallelism in [1, 4] {
+            let mut o = CachedOracle::from_labels(labels.clone(), 3)
+                .with_runtime(RuntimeConfig::default().with_parallelism(parallelism));
+            let err = o.label_batch(&indices).unwrap_err();
+            assert_eq!(err, seq_err);
+            assert_eq!(o.calls_used(), seq.calls_used());
+            assert_eq!(o.cached(2), Some(true));
+            assert_eq!(o.cached(3), None, "past-error record must stay unlabeled");
+        }
+    }
+
+    #[test]
+    fn batch_out_of_range_matches_sequential_state() {
+        let mut o = CachedOracle::from_labels(vec![true, false], 10)
+            .with_runtime(RuntimeConfig::default().with_parallelism(4));
+        let err = o.label_batch(&[0, 9, 1]).unwrap_err();
+        assert_eq!(err, SupgError::IndexOutOfRange { index: 9, len: 2 });
+        // Record 0 (before the bad index) was labeled; record 1 was not.
+        assert_eq!(o.calls_used(), 1);
+        assert_eq!(o.cached(0), Some(true));
+        assert_eq!(o.cached(1), None);
+    }
+
+    #[test]
+    fn serial_sources_fall_back_to_per_record_labeling() {
+        // A stateful FnMut source: only expressible as a Serial oracle.
+        let mut seen = Vec::new();
+        let mut o = CachedOracle::new(8, 8, move |i| {
+            seen.push(i);
+            i % 2 == 0
+        });
+        // No native path for FnMut sources…
+        assert!(o.label_batch_native(&[0, 1]).is_none());
+        // …but the blanket batch API still works.
+        assert_eq!(o.label_batch(&[0, 1, 2]).unwrap(), vec![true, false, true]);
+        assert_eq!(o.calls_used(), 3);
+    }
+
+    #[test]
+    fn configure_runtime_applies_session_settings() {
+        let mut o = CachedOracle::from_labels(vec![true; 4], 4);
+        assert!(o.runtime().is_sequential());
+        o.configure_runtime(RuntimeConfig::default().with_parallelism(8));
+        assert_eq!(o.runtime().parallelism, 8);
     }
 }

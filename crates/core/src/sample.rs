@@ -4,7 +4,7 @@ use rand::RngCore;
 
 use crate::data::ScoredDataset;
 use crate::error::SupgError;
-use crate::oracle::Oracle;
+use crate::oracle::{BatchOracle, Oracle};
 
 /// A sample of records drawn for oracle labeling, with proxy scores, labels
 /// and importance-reweighting factors `m(x) = u(x)/w(x)` (all 1 under
@@ -30,7 +30,10 @@ pub struct OracleSample {
 }
 
 impl OracleSample {
-    /// Labels `indices` through `oracle` and assembles the sample.
+    /// Labels `indices` through `oracle` as one batched request and
+    /// assembles the sample. The oracle chunks the request per its
+    /// configured [`RuntimeConfig`](crate::runtime::RuntimeConfig) and may
+    /// label cache misses on the [`crate::runtime`] worker pool.
     ///
     /// `reweight` maps a *position in `indices`* to the importance factor of
     /// the drawn record (uniform sampling passes `|_| 1.0`).
@@ -43,12 +46,11 @@ impl OracleSample {
         oracle: &mut dyn Oracle,
         mut reweight: impl FnMut(usize) -> f64,
     ) -> Result<Self, SupgError> {
+        let labels = oracle.label_batch(&indices)?;
         let mut scores = Vec::with_capacity(indices.len());
-        let mut labels = Vec::with_capacity(indices.len());
         let mut reweights = Vec::with_capacity(indices.len());
         for (pos, &idx) in indices.iter().enumerate() {
             scores.push(data.score(idx));
-            labels.push(oracle.label(idx)?);
             reweights.push(reweight(pos));
         }
         Ok(Self::from_parts(indices, scores, labels, reweights))

@@ -58,8 +58,9 @@ use rand::{RngCore, SeedableRng};
 use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::executor::SelectionResult;
-use crate::oracle::{CachedOracle, Oracle};
+use crate::oracle::{BatchOracle, CachedOracle, Oracle};
 use crate::query::{ApproxQuery, JointQuery, TargetKind};
+use crate::runtime::RuntimeConfig;
 use crate::selectors::{
     ImportancePrecision, ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision,
     UniformNoCiPrecision, UniformNoCiRecall, UniformPrecision, UniformRecall,
@@ -273,6 +274,7 @@ pub struct SupgSession<'a> {
     selector: Option<SelectorKind>,
     config: SelectorConfig,
     seed: u64,
+    runtime: Option<RuntimeConfig>,
 }
 
 impl<'a> SupgSession<'a> {
@@ -292,6 +294,7 @@ impl<'a> SupgSession<'a> {
             selector: None,
             config: SelectorConfig::default(),
             seed: DEFAULT_SEED,
+            runtime: None,
         }
     }
 
@@ -350,6 +353,39 @@ impl<'a> SupgSession<'a> {
         self
     }
 
+    /// Sets the width of the worker pool used for batched oracle labeling
+    /// (clamped to ≥ 1; default 1 = sequential). The setting is forwarded
+    /// to the oracle via [`Oracle::configure_runtime`] when the query runs;
+    /// it takes effect for oracles with a thread-safe source
+    /// ([`CachedOracle::parallel`], [`CachedOracle::from_labels`]).
+    ///
+    /// A fixed seed yields an identical [`QueryOutcome`] at every
+    /// parallelism level — see [`crate::runtime`] for the determinism
+    /// contract.
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        let runtime = self.runtime.get_or_insert_with(RuntimeConfig::default);
+        runtime.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Sets how many records one batched oracle request carries (clamped
+    /// to ≥ 1; default [`crate::runtime::DEFAULT_BATCH_SIZE`]). Like
+    /// [`parallelism`](SupgSession::parallelism), forwarded to the oracle
+    /// at run time; never changes results, only how labeling work is
+    /// chunked over the pool.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        let runtime = self.runtime.get_or_insert_with(RuntimeConfig::default);
+        runtime.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Sets the full execution runtime in one call (equivalent to
+    /// `.parallelism(rt.parallelism).batch_size(rt.batch_size)`).
+    pub fn runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
     /// Configures the session from a validated single-target query
     /// specification: sets its target, `γ`, `δ` and budget, and clears
     /// any previously set opposite target or joint mode — the session
@@ -394,10 +430,8 @@ impl<'a> SupgSession<'a> {
     pub fn run_single_target(&self, oracle: &mut dyn Oracle) -> Result<QueryOutcome, SupgError> {
         match self.plan()? {
             Plan::Single(query) => {
-                let kind = self.resolved_selector(query.target());
-                let selector = kind.build(query.target(), self.config)?;
                 let mut rng = StdRng::seed_from_u64(self.seed);
-                exec_single(self.data, &query, selector.as_ref(), oracle, &mut rng)
+                self.exec_planned_single(&query, oracle, &mut rng)
             }
             Plan::Joint { .. } => Err(SupgError::InvalidQuery(
                 "JT sessions re-budget the oracle between stages; use run(..) with a \
@@ -418,17 +452,16 @@ impl<'a> SupgSession<'a> {
         rng: &mut dyn RngCore,
     ) -> Result<QueryOutcome, SupgError> {
         match self.plan()? {
-            Plan::Single(query) => {
-                let kind = self.resolved_selector(query.target());
-                let selector = kind.build(query.target(), self.config)?;
-                exec_single(self.data, &query, selector.as_ref(), oracle, rng)
-            }
+            Plan::Single(query) => self.exec_planned_single(&query, oracle, rng),
             Plan::Joint {
                 query,
                 stage_budget,
             } => {
                 let kind = self.resolved_selector(TargetKind::Recall);
                 let selector = kind.build(TargetKind::Recall, self.config)?;
+                if let Some(runtime) = self.runtime {
+                    oracle.configure_runtime(runtime);
+                }
                 exec_joint(
                     self.data,
                     &query,
@@ -439,6 +472,25 @@ impl<'a> SupgSession<'a> {
                 )
             }
         }
+    }
+
+    /// Shared single-target execution behind
+    /// [`run_with_rng`](SupgSession::run_with_rng) and
+    /// [`run_single_target`](SupgSession::run_single_target): resolve and
+    /// build the selector, forward the session's runtime config to the
+    /// oracle, run Algorithm 1.
+    fn exec_planned_single(
+        &self,
+        query: &ApproxQuery,
+        oracle: &mut dyn Oracle,
+        rng: &mut dyn RngCore,
+    ) -> Result<QueryOutcome, SupgError> {
+        let kind = self.resolved_selector(query.target());
+        let selector = kind.build(query.target(), self.config)?;
+        if let Some(runtime) = self.runtime {
+            oracle.configure_runtime(runtime);
+        }
+        exec_single(self.data, query, selector.as_ref(), oracle, rng)
     }
 
     /// The selector kind this session will actually run for `target`: the
@@ -511,9 +563,8 @@ enum Plan {
 }
 
 /// Algorithm 1 with an explicit selector: estimate `τ`, return labeled
-/// positives ∪ threshold set. Shared by the session and the deprecated
-/// [`crate::executor::SupgExecutor`] shim.
-pub(crate) fn exec_single(
+/// positives ∪ threshold set.
+fn exec_single(
     data: &ScoredDataset,
     query: &ApproxQuery,
     selector: &dyn ThresholdSelector,
@@ -553,9 +604,8 @@ pub(crate) fn exec_single(
 /// Appendix A with an explicit RT selector: recall stage under the stage
 /// budget, then exhaustive oracle filtering of the candidates (precision
 /// becomes 1 ≥ γ_p while recall is untouched — only negatives are
-/// removed). Shared by the session and the deprecated
-/// [`crate::joint::execute_joint`] shim.
-pub(crate) fn exec_joint(
+/// removed).
+fn exec_joint(
     data: &ScoredDataset,
     query: &JointQuery,
     stage_budget: usize,
@@ -593,14 +643,18 @@ fn exec_joint_stages(
     let stage = exec_single(data, rt_query, rt_selector, oracle, rng)?;
     let stage_calls = oracle.calls_used() - calls_before;
 
-    // Already-labeled records are cache hits and cost nothing extra.
+    // Already-labeled records are cache hits and cost nothing extra. The
+    // filter is one batched request, so a parallel oracle labels the
+    // candidate set on its worker pool.
     oracle.set_budget(usize::MAX);
-    let mut kept = Vec::with_capacity(stage.result.len());
-    for idx in stage.result.iter() {
-        if oracle.label(idx)? {
-            kept.push(idx);
-        }
-    }
+    let candidates: Vec<usize> = stage.result.iter().collect();
+    let labels = oracle.label_batch(&candidates)?;
+    let kept: Vec<usize> = candidates
+        .iter()
+        .zip(&labels)
+        .filter(|&(_, &positive)| positive)
+        .map(|(&idx, _)| idx)
+        .collect();
     let filter_calls = oracle.calls_used() - calls_before - stage_calls;
 
     Ok(QueryOutcome {
@@ -785,6 +839,90 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.selector, "U-CI-P");
         assert!(outcome.oracle_calls <= 400);
+    }
+
+    // --- Migrated from the removed `joint::execute_joint` shim's suite ---
+
+    fn rare(n: usize, seed: u64) -> (ScoredDataset, Vec<bool>) {
+        use supg_stats::dist::{Bernoulli, Beta};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Beta::new(0.05, 2.0);
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = dist.sample(&mut rng);
+            scores.push(a);
+            labels.push(Bernoulli::new(a).sample(&mut rng));
+        }
+        (ScoredDataset::new(scores).unwrap(), labels)
+    }
+
+    #[test]
+    fn joint_query_achieves_both_targets() {
+        let (data, labels) = rare(30_000, 61);
+        let mut failures = 0;
+        for t in 0..10 {
+            let mut oracle = CachedOracle::from_labels(labels.clone(), 0);
+            let out = SupgSession::over(&data)
+                .recall(0.9)
+                .precision(0.9)
+                .joint(1_000)
+                .seed(6100 + t)
+                .run(&mut oracle)
+                .unwrap();
+            let pr = crate::metrics::evaluate(out.result.indices(), &labels);
+            // Precision is exactly 1 after exhaustive filtering.
+            assert_eq!(pr.precision, 1.0);
+            if pr.recall < 0.9 {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 1, "{failures}/10 recall failures");
+    }
+
+    #[test]
+    fn joint_filter_only_pays_for_unlabeled_candidates() {
+        let (data, labels) = rare(10_000, 62);
+        let mut oracle = CachedOracle::from_labels(labels, 0);
+        let out = SupgSession::over(&data)
+            .recall(0.8)
+            .precision(0.9)
+            .joint(500)
+            .seed(63)
+            .run(&mut oracle)
+            .unwrap();
+        assert!(out.stage_calls <= 500);
+        assert!(out.filter_calls <= out.candidates);
+        assert_eq!(out.oracle_calls, out.stage_calls + out.filter_calls);
+    }
+
+    #[test]
+    fn joint_importance_uses_fewer_total_calls_than_uniform() {
+        // SUPG's advantage in Figure 15: the IS recall stage returns a
+        // smaller candidate set, so the exhaustive filter is cheaper.
+        let (data, labels) = rare(30_000, 64);
+        let mut is_total = 0usize;
+        let mut u_total = 0usize;
+        for t in 0..5 {
+            let run = |kind: SelectorKind, labels: &[bool]| {
+                let mut oracle = CachedOracle::from_labels(labels.to_vec(), 0);
+                SupgSession::over(&data)
+                    .recall(0.75)
+                    .precision(0.9)
+                    .joint(1_000)
+                    .selector(kind)
+                    .seed(6400 + t)
+                    .run(&mut oracle)
+                    .unwrap()
+                    .oracle_calls
+            };
+            is_total += run(SelectorKind::ImportanceSampling, &labels);
+            u_total += run(SelectorKind::Uniform, &labels);
+        }
+        assert!(
+            is_total < u_total,
+            "importance total {is_total} vs uniform {u_total}"
+        );
     }
 
     #[test]

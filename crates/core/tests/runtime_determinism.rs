@@ -1,0 +1,146 @@
+//! Determinism contract of the batched multi-threaded oracle runtime:
+//! a fixed seed must yield an identical [`QueryOutcome`] at every
+//! `parallelism` / `batch_size` setting, for every selector in the
+//! registry and for the JT pipeline.
+//!
+//! The contract holds because sampling stays on the session thread (one
+//! sequential RNG stream, the same as the historical pipeline) and only
+//! oracle labeling — a pure function of the record index — fans out over
+//! the worker pool. See `supg_core::runtime` for the full statement.
+
+use supg_core::{
+    CachedOracle, Oracle, QueryOutcome, RuntimeConfig, ScoredDataset, SelectorKind, SupgSession,
+    TargetKind,
+};
+use supg_datasets::{Preset, PresetKind};
+
+/// A mixture-simulated real dataset in the SUPG regime (rare positives,
+/// informative proxy).
+fn workload() -> (ScoredDataset, Vec<bool>) {
+    let (scores, labels) = Preset::new(PresetKind::NightStreet)
+        .generate_sized(17, 20_000)
+        .into_parts();
+    (ScoredDataset::new(scores).unwrap(), labels)
+}
+
+fn assert_outcomes_identical(a: &QueryOutcome, b: &QueryOutcome, context: &str) {
+    assert_eq!(a.result.indices(), b.result.indices(), "{context}: result");
+    assert_eq!(a.tau, b.tau, "{context}: tau");
+    assert_eq!(a.selector, b.selector, "{context}: selector");
+    assert_eq!(a.oracle_calls, b.oracle_calls, "{context}: oracle_calls");
+    assert_eq!(a.stage_calls, b.stage_calls, "{context}: stage_calls");
+    assert_eq!(a.filter_calls, b.filter_calls, "{context}: filter_calls");
+    assert_eq!(a.sample_draws, b.sample_draws, "{context}: sample_draws");
+    assert_eq!(
+        a.sample_positives, b.sample_positives,
+        "{context}: sample_positives"
+    );
+    assert_eq!(a.candidates, b.candidates, "{context}: candidates");
+    assert_eq!(a.joint, b.joint, "{context}: joint");
+}
+
+#[test]
+fn every_selector_is_deterministic_across_parallelism() {
+    let (data, labels) = workload();
+    for (kind, target) in SelectorKind::registry() {
+        let run = |parallelism: usize, batch_size: usize| {
+            let mut oracle = CachedOracle::from_labels(labels.clone(), 1_000);
+            let session = SupgSession::over(&data)
+                .budget(1_000)
+                .selector(kind)
+                .seed(0xD15E)
+                .parallelism(parallelism)
+                .batch_size(batch_size);
+            let session = match target {
+                TargetKind::Recall => session.recall(0.9),
+                TargetKind::Precision => session.precision(0.9),
+            };
+            session.run(&mut oracle).unwrap()
+        };
+        let name = kind.paper_name(target).unwrap();
+        let sequential = run(1, 64);
+        for parallelism in [2, 8] {
+            for batch_size in [5, 64] {
+                let parallel = run(parallelism, batch_size);
+                assert_outcomes_identical(
+                    &sequential,
+                    &parallel,
+                    &format!("{name} parallelism={parallelism} batch={batch_size}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn joint_pipeline_is_deterministic_across_parallelism() {
+    let (data, labels) = workload();
+    let run = |parallelism: usize, batch_size: usize| {
+        let mut oracle = CachedOracle::from_labels(labels.clone(), 0);
+        SupgSession::over(&data)
+            .recall(0.8)
+            .precision(0.9)
+            .joint(800)
+            .seed(0x107)
+            .parallelism(parallelism)
+            .batch_size(batch_size)
+            .run(&mut oracle)
+            .unwrap()
+    };
+    let sequential = run(1, 64);
+    assert!(sequential.joint);
+    for parallelism in [2, 8] {
+        for batch_size in [1, 128] {
+            let parallel = run(parallelism, batch_size);
+            assert_outcomes_identical(
+                &sequential,
+                &parallel,
+                &format!("JT parallelism={parallelism} batch={batch_size}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn parallelism_one_matches_the_unconfigured_sequential_path() {
+    // A session that never mentions the runtime (the historical API) and a
+    // session pinned to parallelism(1) must agree bit-for-bit.
+    let (data, labels) = workload();
+    let mut plain_oracle = CachedOracle::from_labels(labels.clone(), 1_000);
+    let plain = SupgSession::over(&data)
+        .recall(0.9)
+        .budget(1_000)
+        .seed(42)
+        .run(&mut plain_oracle)
+        .unwrap();
+    let mut pinned_oracle = CachedOracle::from_labels(labels, 1_000);
+    let pinned = SupgSession::over(&data)
+        .recall(0.9)
+        .budget(1_000)
+        .seed(42)
+        .parallelism(1)
+        .run(&mut pinned_oracle)
+        .unwrap();
+    assert_outcomes_identical(&plain, &pinned, "unconfigured vs parallelism(1)");
+    assert_eq!(plain_oracle.calls_used(), pinned_oracle.calls_used());
+}
+
+#[test]
+fn serial_fnmut_oracle_matches_shared_oracle() {
+    // The FnMut fallback path (per-record labeling) and the batch-native
+    // shared path must produce the same outcome for the same source.
+    let (data, labels) = workload();
+    let mut serial = CachedOracle::new(labels.len(), 1_000, {
+        let labels = labels.clone();
+        move |i| labels[i]
+    });
+    let mut shared = CachedOracle::from_labels(labels, 1_000)
+        .with_runtime(RuntimeConfig::default().with_parallelism(8));
+    let session = SupgSession::over(&data)
+        .precision(0.9)
+        .budget(1_000)
+        .seed(3);
+    let a = session.run(&mut serial).unwrap();
+    let b = session.run(&mut shared).unwrap();
+    assert_outcomes_identical(&a, &b, "serial vs shared source");
+}

@@ -22,5 +22,5 @@ pub mod trials;
 pub mod workload;
 
 pub use experiments::{list_experiments, run_experiment, ExpContext};
-pub use trials::{run_trials, TrialOutcome};
+pub use trials::{run_trials, run_trials_with, TrialOutcome};
 pub use workload::Workload;

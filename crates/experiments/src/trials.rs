@@ -14,7 +14,7 @@ use std::thread;
 
 use supg_core::metrics::{evaluate, PrecisionRecall};
 use supg_core::selectors::SelectorConfig;
-use supg_core::{ApproxQuery, Oracle as _, SelectorKind, SupgSession};
+use supg_core::{runtime, ApproxQuery, Oracle as _, RuntimeConfig, SelectorKind, SupgSession};
 
 use crate::workload::Workload;
 
@@ -29,21 +29,19 @@ pub struct TrialOutcome {
     pub tau: f64,
 }
 
-/// SplitMix64 — derives independent per-trial seeds from `(base, index)`.
+/// Derives independent per-trial seeds from `(base, index)` — RNG streams
+/// are split **by trial index**, never by call order, so results do not
+/// depend on how trials are scheduled over threads (the contract
+/// documented in [`supg_core::runtime`]).
 pub fn derive_seed(base: u64, index: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    runtime::split_seed(base, index)
 }
 
 /// Runs `trials` independent executions of `query` on `workload` with the
 /// `selector` algorithm (configured by `cfg`), in parallel,
-/// deterministically seeded from `base_seed`. Trial `i` always uses seed
-/// `derive_seed(base_seed, i)` regardless of how work is distributed over
-/// threads.
+/// deterministically seeded from `base_seed`. Each trial's oracle labels
+/// sequentially; see [`run_trials_with`] to give every trial a batched
+/// worker-pool runtime.
 ///
 /// # Panics
 /// Panics if any trial fails (budget violations and invalid
@@ -53,6 +51,35 @@ pub fn run_trials(
     query: &ApproxQuery,
     selector: SelectorKind,
     cfg: SelectorConfig,
+    trials: usize,
+    base_seed: u64,
+) -> Vec<TrialOutcome> {
+    run_trials_with(
+        workload,
+        query,
+        selector,
+        cfg,
+        RuntimeConfig::default(),
+        trials,
+        base_seed,
+    )
+}
+
+/// [`run_trials`] with an explicit oracle-labeling [`RuntimeConfig`]
+/// applied inside every trial (batch size, per-trial worker-pool width —
+/// useful when the oracle itself is slow, e.g. a latency-simulating
+/// benchmark oracle). Trial `i` always uses seed `derive_seed(base_seed,
+/// i)` regardless of how work is distributed over threads, and outcomes
+/// are identical for every runtime setting.
+///
+/// # Panics
+/// As [`run_trials`].
+pub fn run_trials_with(
+    workload: &Workload,
+    query: &ApproxQuery,
+    selector: SelectorKind,
+    cfg: SelectorConfig,
+    oracle_runtime: RuntimeConfig,
     trials: usize,
     base_seed: u64,
 ) -> Vec<TrialOutcome> {
@@ -70,7 +97,17 @@ pub fn run_trials(
                     let mut i = t;
                     while i < trials {
                         let seed = derive_seed(base_seed, i as u64);
-                        local.push((i, run_one_trial(workload, query, selector, cfg, seed)));
+                        local.push((
+                            i,
+                            run_one_trial_with(
+                                workload,
+                                query,
+                                selector,
+                                cfg,
+                                oracle_runtime,
+                                seed,
+                            ),
+                        ));
                         i += threads;
                     }
                     local
@@ -110,11 +147,31 @@ pub fn run_one_trial(
     cfg: SelectorConfig,
     seed: u64,
 ) -> TrialOutcome {
+    run_one_trial_with(
+        workload,
+        query,
+        selector,
+        cfg,
+        RuntimeConfig::default(),
+        seed,
+    )
+}
+
+/// [`run_one_trial`] with an explicit oracle-labeling runtime.
+pub fn run_one_trial_with(
+    workload: &Workload,
+    query: &ApproxQuery,
+    selector: SelectorKind,
+    cfg: SelectorConfig,
+    oracle_runtime: RuntimeConfig,
+    seed: u64,
+) -> TrialOutcome {
     let mut oracle = workload.oracle(query.budget());
     let outcome = SupgSession::over(&workload.data)
         .query(query)
         .selector(selector)
         .selector_config(cfg)
+        .runtime(oracle_runtime)
         .seed(seed)
         .run(&mut oracle)
         .expect("trial execution failed");
@@ -155,6 +212,30 @@ mod tests {
         // A different base seed must change at least one trial.
         let c = run_trials(&w, &query, SelectorKind::Uniform, cfg, 8, 43);
         assert!(a.iter().zip(&c).any(|(x, y)| x.tau != y.tau));
+    }
+
+    #[test]
+    fn oracle_runtime_does_not_change_outcomes() {
+        let w = workload();
+        let query = ApproxQuery::recall_target(0.9, 0.1, w.budget);
+        let cfg = SelectorConfig::default();
+        let sequential = run_trials(&w, &query, SelectorKind::ImportanceSampling, cfg, 4, 9);
+        let pooled = run_trials_with(
+            &w,
+            &query,
+            SelectorKind::ImportanceSampling,
+            cfg,
+            RuntimeConfig::default()
+                .with_parallelism(8)
+                .with_batch_size(16),
+            4,
+            9,
+        );
+        for (a, b) in sequential.iter().zip(&pooled) {
+            assert_eq!(a.tau, b.tau);
+            assert_eq!(a.oracle_calls, b.oracle_calls);
+            assert_eq!(a.quality.returned, b.quality.returned);
+        }
     }
 
     #[test]

@@ -68,10 +68,12 @@ impl Workload {
         self.positives() as f64 / self.len() as f64
     }
 
-    /// A fresh budgeted oracle over the ground-truth labels.
+    /// A fresh budgeted oracle over the ground-truth labels. The source is
+    /// thread-safe, so the oracle supports batch-parallel labeling under a
+    /// session's `.parallelism(n)`.
     pub fn oracle(&self, budget: usize) -> CachedOracle {
         let labels = Arc::clone(&self.labels);
-        CachedOracle::new(labels.len(), budget, move |i| labels[i])
+        CachedOracle::parallel(labels.len(), budget, move |i| labels[i])
     }
 }
 

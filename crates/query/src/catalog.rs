@@ -12,8 +12,31 @@ use supg_core::ScoredDataset;
 
 use crate::error::QueryError;
 
-/// A shared, thread-safe oracle callback.
-pub type OracleUdf = Arc<Mutex<dyn FnMut(usize) -> bool + Send>>;
+/// A registered oracle callback.
+///
+/// The variant decides how the engine may execute it: `Serial` callbacks
+/// (arbitrary stateful `FnMut`) are always labeled one record at a time in
+/// draw order, while `Shared` callbacks (pure `Fn + Sync`, registered via
+/// [`Table::register_parallel_oracle`]) may be invoked concurrently by the
+/// batched oracle runtime — the distinction is what keeps stateful UDFs
+/// deterministic under `EngineConfig::runtime.parallelism > 1`.
+#[derive(Clone)]
+pub enum OracleUdf {
+    /// Arbitrary stateful callback, labeled strictly sequentially.
+    Serial(Arc<Mutex<dyn FnMut(usize) -> bool + Send>>),
+    /// Pure, thread-safe callback the worker pool may call concurrently.
+    Shared(Arc<dyn Fn(usize) -> bool + Send + Sync>),
+}
+
+impl OracleUdf {
+    /// Invokes the callback for one record (locking `Serial` variants).
+    pub fn call(&self, index: usize) -> bool {
+        match self {
+            OracleUdf::Serial(f) => (f.lock().expect("oracle UDF poisoned"))(index),
+            OracleUdf::Shared(f) => f(index),
+        }
+    }
+}
 
 /// One registered table: a record count plus its proxy score columns and
 /// oracle callbacks.
@@ -85,13 +108,31 @@ impl Table {
         Ok(())
     }
 
-    /// Registers an oracle UDF callback.
+    /// Registers an oracle UDF callback. The callback may be stateful
+    /// (`FnMut`), so it is always invoked sequentially in draw order —
+    /// use [`register_parallel_oracle`](Table::register_parallel_oracle)
+    /// for a pure callback the batched runtime may parallelize.
     pub fn register_oracle(
         &mut self,
         name: impl Into<String>,
         f: impl FnMut(usize) -> bool + Send + 'static,
     ) {
-        self.oracles.insert(name.into(), Arc::new(Mutex::new(f)));
+        self.oracles
+            .insert(name.into(), OracleUdf::Serial(Arc::new(Mutex::new(f))));
+    }
+
+    /// Registers a thread-safe oracle UDF callback that must be a pure
+    /// function of the record index. Queries label it batch-parallel under
+    /// `EngineConfig::runtime` with results identical at every
+    /// parallelism/batch-size setting (the `supg_core::runtime`
+    /// determinism contract).
+    pub fn register_parallel_oracle(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(usize) -> bool + Send + Sync + 'static,
+    ) {
+        self.oracles
+            .insert(name.into(), OracleUdf::Shared(Arc::new(f)));
     }
 
     /// Looks up a proxy's pre-scored dataset.
@@ -179,12 +220,19 @@ mod tests {
         let mut t = Table::new("video", 4);
         t.register_proxy("score", vec![0.1, 0.2, 0.3, 0.4]).unwrap();
         t.register_oracle("truth", |i| i == 3);
+        t.register_parallel_oracle("pure_truth", |i| i == 3);
         assert_eq!(t.proxy("score").unwrap().len(), 4);
         assert!(t.proxy("missing").is_err());
         let oracle = t.oracle("truth").unwrap();
-        assert!((oracle.lock().unwrap())(3));
+        assert!(matches!(oracle, OracleUdf::Serial(_)));
+        assert!(oracle.call(3));
+        let oracle = t.oracle("pure_truth").unwrap();
+        assert!(matches!(oracle, OracleUdf::Shared(_)));
+        assert!(oracle.call(3));
+        let mut names = t.oracle_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["pure_truth", "truth"]);
         assert_eq!(t.proxy_names(), vec!["score"]);
-        assert_eq!(t.oracle_names(), vec!["truth"]);
     }
 
     #[test]

@@ -13,10 +13,10 @@ use rand::SeedableRng;
 
 use supg_core::selectors::SelectorConfig;
 use supg_core::session::DEFAULT_JT_STAGE_BUDGET;
-use supg_core::{CachedOracle, SelectorKind, SupgSession, TargetKind};
+use supg_core::{CachedOracle, RuntimeConfig, SelectorKind, SupgSession, TargetKind};
 
 use crate::ast::{Literal, SupgStatement};
-use crate::catalog::{Catalog, Table};
+use crate::catalog::{Catalog, OracleUdf, Table};
 use crate::error::QueryError;
 use crate::parser::parse;
 
@@ -30,6 +30,13 @@ pub struct EngineConfig {
     pub selector: SelectorKind,
     /// Stage budget the JT pipeline allocates to its recall stage.
     pub jt_stage_budget: usize,
+    /// Batched-labeling execution runtime (worker-pool width, batch
+    /// size) applied to every statement's oracle. Only UDFs registered
+    /// via [`Engine::register_parallel_oracle`] (pure `Fn + Sync`) are
+    /// labeled on the worker pool — stateful [`Engine::register_oracle`]
+    /// UDFs always run sequentially in draw order — so results are
+    /// identical at every setting.
+    pub runtime: RuntimeConfig,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +45,7 @@ impl Default for EngineConfig {
             tuning: SelectorConfig::default(),
             selector: SelectorKind::ImportanceSampling,
             jt_stage_budget: DEFAULT_JT_STAGE_BUDGET,
+            runtime: RuntimeConfig::default(),
         }
     }
 }
@@ -156,7 +164,9 @@ impl Engine {
         self.catalog.table_mut(table)?.register_proxy(udf, scores)
     }
 
-    /// Registers an oracle UDF callback on a table.
+    /// Registers an oracle UDF callback on a table. The callback may be
+    /// stateful (`FnMut`), so queries always invoke it sequentially in
+    /// draw order, independent of [`EngineConfig::runtime`].
     ///
     /// # Errors
     /// Unknown table.
@@ -167,6 +177,26 @@ impl Engine {
         f: impl FnMut(usize) -> bool + Send + 'static,
     ) -> Result<(), QueryError> {
         self.catalog.table_mut(table)?.register_oracle(udf, f);
+        Ok(())
+    }
+
+    /// Registers a thread-safe oracle UDF that is a pure function of the
+    /// record index. Queries label it batch-parallel under
+    /// [`EngineConfig::runtime`], with identical results at every
+    /// parallelism/batch-size setting (the [`supg_core::runtime`]
+    /// determinism contract).
+    ///
+    /// # Errors
+    /// Unknown table.
+    pub fn register_parallel_oracle(
+        &mut self,
+        table: &str,
+        udf: &str,
+        f: impl Fn(usize) -> bool + Send + Sync + 'static,
+    ) -> Result<(), QueryError> {
+        self.catalog
+            .table_mut(table)?
+            .register_parallel_oracle(udf, f);
         Ok(())
     }
 
@@ -236,13 +266,6 @@ impl Engine {
             }
         };
         let len = dataset.len();
-        let callback = {
-            let udf = oracle_udf.clone();
-            move |i: usize| {
-                let raw = (udf.lock().expect("oracle UDF poisoned"))(i);
-                raw != invert
-            }
-        };
 
         // Plan the session from the statement. The configured default is
         // a *family* and resolves through the registry's paper defaults
@@ -280,7 +303,19 @@ impl Engine {
             budget
         };
 
-        let mut oracle = CachedOracle::new(len, budget, callback);
+        // Stateful (`FnMut`) UDFs get a serial oracle so their state
+        // evolves in draw order regardless of `runtime.parallelism`; only
+        // pure `register_parallel_oracle` UDFs go on the worker pool.
+        let mut oracle = match oracle_udf {
+            OracleUdf::Serial(udf) => CachedOracle::new(len, budget, move |i: usize| {
+                let raw = (udf.lock().expect("oracle UDF poisoned"))(i);
+                raw != invert
+            }),
+            OracleUdf::Shared(f) => {
+                CachedOracle::parallel(len, budget, move |i: usize| f(i) != invert)
+            }
+        }
+        .with_runtime(self.config.runtime);
         let outcome = session
             .run_with_rng(&mut oracle, &mut self.rng)
             .map_err(QueryError::Execution)?;
@@ -440,6 +475,83 @@ mod tests {
             )
             .unwrap();
         assert_eq!(report.selector, "U-CI-R");
+    }
+
+    #[test]
+    fn parallel_runtime_reproduces_sequential_reports() {
+        let sql = "SELECT * FROM frames WHERE MATCH(f) ORACLE LIMIT 800 \
+                   USING score RECALL TARGET 90% WITH PROBABILITY 95%";
+        let run = |runtime: RuntimeConfig, parallel_udf: bool| {
+            let mut e = Engine::with_config(
+                7,
+                EngineConfig {
+                    runtime,
+                    ..EngineConfig::default()
+                },
+            );
+            e.create_table("frames", 20_000);
+            let scores: Vec<f64> = (0..20_000).map(|i| (i % 1000) as f64 / 1000.0).collect();
+            let truth: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
+            e.register_proxy("frames", "score", scores).unwrap();
+            if parallel_udf {
+                e.register_parallel_oracle("frames", "MATCH", move |i| truth[i])
+                    .unwrap();
+            } else {
+                e.register_oracle("frames", "MATCH", move |i| truth[i])
+                    .unwrap();
+            }
+            e.execute(sql).unwrap()
+        };
+        let sequential = run(RuntimeConfig::default(), false);
+        for parallelism in [2, 8] {
+            let runtime = RuntimeConfig::default()
+                .with_parallelism(parallelism)
+                .with_batch_size(32);
+            // Both UDF flavors must reproduce the sequential report — the
+            // pure one on the worker pool, the FnMut one by staying
+            // sequential regardless of the configured parallelism.
+            for parallel_udf in [true, false] {
+                let report = run(runtime, parallel_udf);
+                assert_eq!(report.indices, sequential.indices);
+                assert_eq!(report.tau, sequential.tau);
+                assert_eq!(report.oracle_calls, sequential.oracle_calls);
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_udf_sees_draw_order_even_under_parallel_runtime() {
+        // A call-order-sensitive FnMut UDF must observe the exact
+        // sequential draw order even when the engine runtime asks for a
+        // worker pool (the engine keeps stateful UDFs off the pool).
+        use std::sync::mpsc;
+        let run = |parallelism: usize| {
+            let (tx, rx) = mpsc::channel();
+            let mut e = Engine::with_config(
+                13,
+                EngineConfig {
+                    runtime: RuntimeConfig::default()
+                        .with_parallelism(parallelism)
+                        .with_batch_size(16),
+                    ..EngineConfig::default()
+                },
+            );
+            e.create_table("t", 5_000);
+            let scores: Vec<f64> = (0..5_000).map(|i| (i % 100) as f64 / 100.0).collect();
+            e.register_proxy("t", "p", scores).unwrap();
+            e.register_oracle("t", "O", move |i| {
+                tx.send(i).unwrap();
+                i % 100 > 90
+            })
+            .unwrap();
+            e.execute(
+                "SELECT * FROM t WHERE O(x) ORACLE LIMIT 300 USING p \
+                 RECALL TARGET 90% WITH PROBABILITY 95%",
+            )
+            .unwrap();
+            rx.try_iter().collect::<Vec<usize>>()
+        };
+        assert_eq!(run(1), run(8), "stateful UDF call order changed");
     }
 
     #[test]

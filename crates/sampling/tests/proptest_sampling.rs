@@ -4,7 +4,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use supg_sampling::{sample_without_replacement, AliasTable, CdfSampler, ImportanceWeights};
+use supg_sampling::{
+    reservoir_sample, sample_with_replacement, sample_without_replacement, AliasTable, CdfSampler,
+    ImportanceWeights,
+};
 
 proptest! {
     #[test]
@@ -48,6 +51,88 @@ proptest! {
         for _ in 0..100 {
             let i = cdf.sample(&mut rng);
             prop_assert!(weights[i] > 0.0, "cdf drew zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn alias_draws_stay_in_bounds(
+        weights in prop::collection::vec(0.0f64..10.0, 1..60)
+            .prop_filter("needs positive mass", |w| w.iter().sum::<f64>() > 0.0),
+        seed in 0u64..500,
+    ) {
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..300 {
+            prop_assert!(table.sample(&mut rng) < weights.len());
+        }
+    }
+
+    #[test]
+    fn cdf_draws_stay_in_bounds(
+        weights in prop::collection::vec(0.0f64..10.0, 1..60)
+            .prop_filter("needs positive mass", |w| w.iter().sum::<f64>() > 0.0),
+        seed in 0u64..500,
+    ) {
+        let cdf = CdfSampler::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..300 {
+            prop_assert!(cdf.sample(&mut rng) < weights.len());
+        }
+    }
+
+    #[test]
+    fn with_replacement_draws_stay_in_bounds(
+        n in 1usize..500,
+        k in 0usize..200,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = sample_with_replacement(&mut rng, n, k);
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn reservoir_draws_stay_in_bounds_and_distinct(
+        n in 0usize..400,
+        k in 0usize..64,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = reservoir_sample(&mut rng, 0..n, k);
+        // Exactly k items when the stream is long enough, the whole
+        // stream otherwise.
+        prop_assert_eq!(s.len(), k.min(n));
+        prop_assert!(s.iter().all(|&x| x < n));
+        // A uniform sample without replacement never repeats an item.
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), k.min(n), "reservoir produced duplicates");
+    }
+
+    #[test]
+    fn alias_empirical_frequencies_converge_to_weights(
+        raw in prop::collection::vec(0.5f64..8.0, 2..8),
+        seed in 0u64..64,
+    ) {
+        // Moderate draw count: a loose tolerance catches gross
+        // mis-weighting (the fixed 400k-draw test below pins tight
+        // convergence on one instance).
+        let table = AliasTable::new(&raw);
+        let total: f64 = raw.iter().sum();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 20_000;
+        let mut counts = vec![0f64; raw.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1.0;
+        }
+        for (i, &w) in raw.iter().enumerate() {
+            let expected = w / total;
+            let emp = counts[i] / draws as f64;
+            prop_assert!(
+                (emp - expected).abs() < 0.03,
+                "index {i}: empirical {emp} vs expected {expected}"
+            );
         }
     }
 

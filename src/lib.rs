@@ -43,6 +43,40 @@
 //! A precision-target query swaps `.recall(0.9)` for `.precision(0.9)`;
 //! a joint-target query sets both and enables `.joint(stage_budget)`.
 //! The same query forms are available as SQL through [`query::Engine`].
+//!
+//! ## Parallelism & batching
+//!
+//! The oracle is the expensive resource, and real oracles (GPU models,
+//! labeling services) are batch-native. Every pipeline stage therefore
+//! issues *batched* label requests, and two session knobs control how a
+//! batch executes:
+//!
+//! ```
+//! # use supg::core::{CachedOracle, ScoredDataset, SupgSession};
+//! # use supg::datasets::BetaDataset;
+//! # let (scores, labels) = BetaDataset::new(0.01, 2.0, 20_000).generate(42).into_parts();
+//! # let dataset = ScoredDataset::new(scores).unwrap();
+//! # let mut oracle = CachedOracle::from_labels(labels, 1_000);
+//! let outcome = SupgSession::over(&dataset)
+//!     .recall(0.9)
+//!     .budget(1_000)
+//!     .parallelism(8) // worker threads labeling each batch
+//!     .batch_size(64) // records per batch request
+//!     .run(&mut oracle)
+//!     .unwrap();
+//! ```
+//!
+//! Oracles built from a thread-safe source
+//! ([`core::CachedOracle::parallel`] or
+//! [`core::CachedOracle::from_labels`]) label cache misses on a scoped
+//! worker pool; serial (`FnMut`) oracles keep labeling one record at a
+//! time. **Determinism contract:** random draws stay on the session
+//! thread and labels are pure functions of the record index, so a fixed
+//! seed produces an identical outcome at every `parallelism` /
+//! `batch_size` setting, and `parallelism(1)` is bit-for-bit the
+//! sequential path. See [`core::runtime`] for details; the experiment
+//! harness's trial runner and the SQL engine's
+//! `EngineConfig::runtime` expose the same knobs.
 
 pub use supg_core as core;
 pub use supg_datasets as datasets;
