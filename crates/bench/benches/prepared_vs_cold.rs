@@ -1,0 +1,76 @@
+//! Repeated-query serving throughput: cold sessions (per-query O(n)
+//! sampling setup) vs. sessions over a shared [`PreparedDataset`], plus
+//! the sweep-vs-naive threshold-search comparison the acceptance criteria
+//! pin — the Criterion face of the `bench_export` suite.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use supg_bench::perf::{run_query, serving_workload, synthetic_sample};
+use supg_core::selectors::reference::precision_threshold_naive;
+use supg_core::selectors::{precision_threshold, SelectorConfig};
+use supg_core::{PreparedDataset, SupgSession};
+
+const BUDGET: usize = 1_000;
+
+fn bench_prepared_vs_cold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prepared_vs_cold");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    for &n in &[100_000usize, 1_000_000] {
+        let (data, labels) = serving_workload(n);
+        g.bench_with_input(BenchmarkId::new("cold_query", n), &n, |b, _| {
+            b.iter(|| run_query(SupgSession::over(&data), &labels, BUDGET, 3))
+        });
+        let prepared = Arc::new(PreparedDataset::from_arc(Arc::clone(&data)));
+        prepared.warm(&SelectorConfig::default());
+        g.bench_with_input(BenchmarkId::new("prepared_query", n), &n, |b, _| {
+            b.iter(|| run_query(SupgSession::over_prepared(&prepared), &labels, BUDGET, 3))
+        });
+        // Concurrent serving: 4 sessions share the prepared corpus.
+        g.bench_with_input(BenchmarkId::new("prepared_concurrent_x4", n), &n, |b, _| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for t in 0..4u64 {
+                        let prepared = Arc::clone(&prepared);
+                        let labels = Arc::clone(&labels);
+                        scope.spawn(move || {
+                            run_query(SupgSession::over_shared(prepared), &labels, BUDGET, t)
+                        });
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_threshold_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threshold_search");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    let sample = synthetic_sample(10_000);
+    let cfg = SelectorConfig::default().with_precision_step(100);
+    g.bench_function("precision_sweep/s10k_m100", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            precision_threshold(&sample, 0.7, 0.05, &cfg, &mut rng)
+        })
+    });
+    g.bench_function("precision_naive/s10k_m100", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            precision_threshold_naive(&sample, 0.7, 0.05, &cfg, &mut rng)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_threshold_search, bench_prepared_vs_cold);
+criterion_main!(benches);

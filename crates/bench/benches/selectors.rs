@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use std::time::Duration;
 
 use supg_core::selectors::{SelectorConfig, ThresholdSelector};
-use supg_core::{ApproxQuery, CachedOracle, ScoredDataset, SelectorKind, TargetKind};
+use supg_core::{ApproxQuery, CachedOracle, DataView, ScoredDataset, SelectorKind, TargetKind};
 use supg_datasets::BetaDataset;
 
 struct Bench {
@@ -29,7 +29,7 @@ fn run_selector(bench: &Bench, selector: &dyn ThresholdSelector, query: &ApproxQ
     let mut oracle = CachedOracle::new(labels.len(), query.budget(), move |i| labels[i]);
     let mut rng = StdRng::seed_from_u64(11);
     selector
-        .estimate(&bench.data, query, &mut oracle, &mut rng)
+        .estimate(DataView::cold(&bench.data), query, &mut oracle, &mut rng)
         .expect("selector failed");
 }
 

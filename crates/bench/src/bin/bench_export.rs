@@ -1,0 +1,91 @@
+//! Bench-to-JSON exporter: measures the sweep-estimator and
+//! prepared-serving workloads and records them in `BENCH_selectors.json`
+//! at the repo root — the performance trajectory each PR extends.
+//!
+//! ```text
+//! bench_export            # quick suite, rewrite BENCH_selectors.json
+//! bench_export --full     # more iterations (slower, steadier medians)
+//! bench_export --check    # quick suite, gate first: exit 1 (without
+//!                         # touching the file) when the threshold-search
+//!                         # speedup regressed > 2× vs the committed
+//!                         # baseline (ratio-based, machine-independent);
+//!                         # on a pass, regenerate the file like a plain
+//!                         # run
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use supg_bench::perf::{extract_number, run_suite};
+
+fn repo_root() -> PathBuf {
+    // crates/bench → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let full = args.iter().any(|a| a == "--full");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| a.as_str() != "--check" && a.as_str() != "--full")
+    {
+        eprintln!("bench_export: unknown flag {unknown} (use --check / --full)");
+        return ExitCode::from(2);
+    }
+
+    let path = repo_root().join("BENCH_selectors.json");
+    eprintln!(
+        "bench_export: running {} suite…",
+        if full { "full" } else { "quick" }
+    );
+    let report = run_suite(!full);
+    let json = report.to_json();
+    println!("{json}");
+    eprintln!(
+        "threshold search: sweep {:.1}µs vs naive {:.1}µs → {:.1}×; \
+         serving: cold {:.2}ms vs prepared {:.2}ms per query → {:.1}×",
+        report.precision.sweep_ns / 1e3,
+        report.precision.naive_ns / 1e3,
+        report.precision.speedup(),
+        report.serving.cold_ns_per_query / 1e6,
+        report.serving.prepared_ns_per_query / 1e6,
+        report.serving.speedup(),
+    );
+
+    if check {
+        let Ok(committed) = std::fs::read_to_string(&path) else {
+            eprintln!(
+                "bench_export --check: no committed {} baseline",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        };
+        let Some(baseline) = extract_number(&committed, "threshold_search", "speedup") else {
+            eprintln!("bench_export --check: baseline is missing threshold_search.speedup");
+            return ExitCode::FAILURE;
+        };
+        let current = report.precision.speedup();
+        // The speedup is a within-run ratio, so it transfers across
+        // machines; a halved ratio means the sweep regressed > 2×
+        // relative to the (stable) naive reference.
+        if current < baseline / 2.0 {
+            eprintln!(
+                "bench_export --check: threshold-search speedup regressed: \
+                 current {current:.1}× < half of baseline {baseline:.1}×"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench_export --check: ok (current {current:.1}× vs baseline {baseline:.1}×)");
+        // Fall through: a passing check regenerates the measurements so
+        // the file stays fresh wherever the run happened.
+    }
+
+    std::fs::write(&path, json + "\n").expect("write BENCH_selectors.json");
+    eprintln!("bench_export: wrote {}", path.display());
+    ExitCode::SUCCESS
+}

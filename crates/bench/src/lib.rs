@@ -1,2 +1,10 @@
-//! Benchmark-only crate: see the `benches/` directory. The library target
-//! exists to anchor the Criterion bench targets in the workspace.
+//! Benchmark crate: Criterion suites live in `benches/`; this library
+//! holds the shared perf-measurement harness behind the
+//! `bench_export` binary, which records the repo's performance
+//! trajectory in `BENCH_selectors.json` at the workspace root.
+//!
+//! The JSON numbers are machine-dependent, so cross-machine checks (CI)
+//! compare machine-*independent* ratios — e.g. the sweep-vs-naive
+//! threshold-search speedup — rather than absolute nanoseconds.
+
+pub mod perf;

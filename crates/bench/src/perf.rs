@@ -1,0 +1,407 @@
+//! Instant-based perf measurements and the `BENCH_selectors.json` schema.
+//!
+//! Kept separate from the Criterion suites so the exporter binary can run
+//! the exact workloads the acceptance criteria name — threshold search at
+//! `s = 10_000, step = 100`, repeated queries over a prepared 1M-record
+//! dataset — and serialize one flat, diffable JSON document.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use supg_core::selectors::reference::{precision_threshold_naive, recall_threshold_naive};
+use supg_core::selectors::{precision_threshold, recall_threshold, SelectorConfig};
+use supg_core::{
+    CachedOracle, OracleSample, PreparedDataset, ScoredDataset, SelectorKind, SupgSession,
+};
+use supg_datasets::BetaDataset;
+use supg_stats::CiMethod;
+
+/// Median wall-clock nanoseconds of `f` over `iters` runs (≥ 1).
+pub fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let iters = iters.max(1);
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// The acceptance-criteria sample: `s` records with quantized scores,
+/// mixed labels and non-unit importance weights (the general case for the
+/// estimators).
+pub fn synthetic_sample(s: usize) -> OracleSample {
+    let indices: Vec<usize> = (0..s).collect();
+    let scores: Vec<f64> = (0..s)
+        .map(|i| ((i * 7919) % 10_000) as f64 / 10_000.0)
+        .collect();
+    let labels: Vec<bool> = scores.iter().map(|&a| a > 0.55).collect();
+    let reweights: Vec<f64> = (0..s).map(|i| 1.0 + (i % 7) as f64 / 3.0).collect();
+    OracleSample::from_parts(indices, scores, labels, reweights)
+}
+
+/// One sweep-vs-naive comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Comparison {
+    /// Median time of the sweep implementation (ns).
+    pub sweep_ns: f64,
+    /// Median time of the naive reference (ns).
+    pub naive_ns: f64,
+}
+
+impl Comparison {
+    /// `naive / sweep` — the machine-independent speedup ratio.
+    pub fn speedup(&self) -> f64 {
+        self.naive_ns / self.sweep_ns.max(1.0)
+    }
+}
+
+/// Repeated-query serving measurements over one dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingNumbers {
+    /// Dataset size.
+    pub n: usize,
+    /// Oracle budget per query.
+    pub budget: usize,
+    /// Queries per arm.
+    pub queries: usize,
+    /// Mean ns/query with a cold session (per-query O(n) setup).
+    pub cold_ns_per_query: f64,
+    /// Mean ns/query over a warmed [`PreparedDataset`].
+    pub prepared_ns_per_query: f64,
+    /// First prepared query (pays the one-time cache build).
+    pub prepared_first_query_ns: f64,
+    /// Wall ns for `queries` spread over `concurrency` threads sharing
+    /// one prepared dataset.
+    pub concurrent_wall_ns: f64,
+    /// Thread count of the concurrent arm.
+    pub concurrency: usize,
+}
+
+impl ServingNumbers {
+    /// `cold / prepared` per-query speedup.
+    pub fn speedup(&self) -> f64 {
+        self.cold_ns_per_query / self.prepared_ns_per_query.max(1.0)
+    }
+
+    /// Ratio of the mean prepared query to the first (cache-building)
+    /// one: ≪ 1 means per-query O(n) setup is gone and total time scales
+    /// sub-linearly in query count.
+    pub fn amortization(&self) -> f64 {
+        self.prepared_ns_per_query / self.prepared_first_query_ns.max(1.0)
+    }
+}
+
+/// Everything `BENCH_selectors.json` records.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Threshold-search sample size.
+    pub s: usize,
+    /// Candidate stride.
+    pub step: usize,
+    /// Precision-threshold search, sweep vs naive.
+    pub precision: Comparison,
+    /// Recall-threshold estimation, sweep vs naive.
+    pub recall: Comparison,
+    /// Canonical-index assembly cost (`OracleSample::from_parts`), ns.
+    pub assembly_ns: f64,
+    /// Repeated-query serving numbers.
+    pub serving: ServingNumbers,
+}
+
+/// Runs the full measurement suite. `quick` trims iteration counts for CI
+/// smoke jobs; the recorded *ratios* are stable either way.
+pub fn run_suite(quick: bool) -> BenchReport {
+    let s = 10_000;
+    let step = 100;
+    let sample = synthetic_sample(s);
+    let cfg = SelectorConfig::default().with_precision_step(step);
+    let (gamma, delta) = (0.7, 0.05);
+
+    let sweep_iters = if quick { 40 } else { 200 };
+    let naive_iters = if quick { 10 } else { 40 };
+    let precision = Comparison {
+        sweep_ns: median_ns(sweep_iters, || {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(precision_threshold(&sample, gamma, delta, &cfg, &mut rng));
+        }),
+        naive_ns: median_ns(naive_iters, || {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(precision_threshold_naive(
+                &sample, gamma, delta, &cfg, &mut rng,
+            ));
+        }),
+    };
+    let recall = Comparison {
+        sweep_ns: median_ns(sweep_iters, || {
+            let mut rng = StdRng::seed_from_u64(2);
+            std::hint::black_box(recall_threshold(
+                &sample,
+                0.9,
+                delta,
+                CiMethod::PaperNormal,
+                &mut rng,
+            ));
+        }),
+        naive_ns: median_ns(naive_iters, || {
+            let mut rng = StdRng::seed_from_u64(2);
+            std::hint::black_box(recall_threshold_naive(
+                &sample,
+                0.9,
+                delta,
+                CiMethod::PaperNormal,
+                &mut rng,
+            ));
+        }),
+    };
+    let assembly_ns = median_ns(if quick { 10 } else { 40 }, || {
+        std::hint::black_box(synthetic_sample(s));
+    });
+
+    let serving = measure_serving(if quick { 8 } else { 32 });
+
+    BenchReport {
+        s,
+        step,
+        precision,
+        recall,
+        assembly_ns,
+        serving,
+    }
+}
+
+/// The serving workload shared by the exporter and the
+/// `prepared_vs_cold` Criterion bench: one Beta(0.05, 2) dataset with
+/// Bernoulli(score) ground truth (single definition so both harnesses
+/// always measure the same thing).
+pub fn serving_workload(n: usize) -> (Arc<ScoredDataset>, Arc<Vec<bool>>) {
+    let (scores, labels) = BetaDataset::new(0.05, 2.0, n).generate(7).into_parts();
+    (
+        Arc::new(ScoredDataset::new(scores).expect("valid scores")),
+        Arc::new(labels),
+    )
+}
+
+/// One serving query: the paper's IS-CI-R configuration at recall 0.9
+/// over a fresh budgeted oracle (shared by exporter and bench).
+pub fn run_query(session: SupgSession<'_>, labels: &Arc<Vec<bool>>, budget: usize, seed: u64) {
+    let labels = Arc::clone(labels);
+    let mut oracle = CachedOracle::parallel(labels.len(), budget, move |i| labels[i]);
+    let outcome = session
+        .recall(0.9)
+        .budget(budget)
+        .selector(SelectorKind::ImportanceSampling)
+        .seed(seed)
+        .run(&mut oracle)
+        .expect("serving query failed");
+    std::hint::black_box(outcome);
+}
+
+fn measure_serving(queries: usize) -> ServingNumbers {
+    let n = 1_000_000;
+    let budget = 1_000;
+    let (data, labels) = serving_workload(n);
+
+    // Cold arm: every query rebuilds weights + alias table (O(n) setup).
+    let cold_start = Instant::now();
+    for q in 0..queries {
+        run_query(SupgSession::over(&data), &labels, budget, q as u64);
+    }
+    let cold_ns_per_query = cold_start.elapsed().as_nanos() as f64 / queries as f64;
+
+    // Prepared arm: the first query builds the shared artifacts once.
+    let prepared = Arc::new(PreparedDataset::from_arc(Arc::clone(&data)));
+    let first_start = Instant::now();
+    run_query(SupgSession::over_prepared(&prepared), &labels, budget, 0);
+    let prepared_first_query_ns = first_start.elapsed().as_nanos() as f64;
+    let warm_start = Instant::now();
+    for q in 0..queries {
+        run_query(
+            SupgSession::over_prepared(&prepared),
+            &labels,
+            budget,
+            q as u64,
+        );
+    }
+    let prepared_ns_per_query = warm_start.elapsed().as_nanos() as f64 / queries as f64;
+
+    // Concurrent arm: sessions on several threads share one prepared
+    // dataset (the production serving shape).
+    let concurrency = 4;
+    let conc_start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..concurrency {
+            let prepared = Arc::clone(&prepared);
+            let labels = Arc::clone(&labels);
+            scope.spawn(move || {
+                for q in 0..queries / concurrency {
+                    run_query(
+                        SupgSession::over_shared(Arc::clone(&prepared)),
+                        &labels,
+                        budget,
+                        (t * 1_000 + q) as u64,
+                    );
+                }
+            });
+        }
+    });
+    let concurrent_wall_ns = conc_start.elapsed().as_nanos() as f64;
+
+    ServingNumbers {
+        n,
+        budget,
+        queries,
+        cold_ns_per_query,
+        prepared_ns_per_query,
+        prepared_first_query_ns,
+        concurrent_wall_ns,
+        concurrency,
+    }
+}
+
+impl BenchReport {
+    /// Serializes the report as the flat `BENCH_selectors.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"supg-bench/1\",");
+        let _ = writeln!(out, "  \"threshold_search\": {{");
+        let _ = writeln!(out, "    \"s\": {},", self.s);
+        let _ = writeln!(out, "    \"step\": {},", self.step);
+        let _ = writeln!(out, "    \"sweep_ns\": {:.0},", self.precision.sweep_ns);
+        let _ = writeln!(out, "    \"naive_ns\": {:.0},", self.precision.naive_ns);
+        let _ = writeln!(out, "    \"speedup\": {:.2},", self.precision.speedup());
+        let _ = writeln!(out, "    \"assembly_ns\": {:.0}", self.assembly_ns);
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"recall_threshold\": {{");
+        let _ = writeln!(out, "    \"sweep_ns\": {:.0},", self.recall.sweep_ns);
+        let _ = writeln!(out, "    \"naive_ns\": {:.0},", self.recall.naive_ns);
+        let _ = writeln!(out, "    \"speedup\": {:.2}", self.recall.speedup());
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"prepared_serving\": {{");
+        let _ = writeln!(out, "    \"n\": {},", self.serving.n);
+        let _ = writeln!(out, "    \"budget\": {},", self.serving.budget);
+        let _ = writeln!(out, "    \"queries\": {},", self.serving.queries);
+        let _ = writeln!(
+            out,
+            "    \"cold_ns_per_query\": {:.0},",
+            self.serving.cold_ns_per_query
+        );
+        let _ = writeln!(
+            out,
+            "    \"prepared_ns_per_query\": {:.0},",
+            self.serving.prepared_ns_per_query
+        );
+        let _ = writeln!(
+            out,
+            "    \"prepared_first_query_ns\": {:.0},",
+            self.serving.prepared_first_query_ns
+        );
+        let _ = writeln!(out, "    \"speedup\": {:.2},", self.serving.speedup());
+        let _ = writeln!(
+            out,
+            "    \"amortization\": {:.3},",
+            self.serving.amortization()
+        );
+        let _ = writeln!(out, "    \"concurrency\": {},", self.serving.concurrency);
+        let _ = writeln!(
+            out,
+            "    \"concurrent_wall_ns\": {:.0}",
+            self.serving.concurrent_wall_ns
+        );
+        let _ = writeln!(out, "  }}");
+        let _ = write!(out, "}}");
+        out
+    }
+}
+
+/// Extracts `"key": <number>` from inside the `"section"` object of a
+/// `BENCH_selectors.json` document (the format is ours and flat — one
+/// level of non-nested section objects — so a structural parser is
+/// unnecessary). The search is bounded to the section's own `{…}` body,
+/// so a key that is absent there never resolves to a later section's
+/// value.
+pub fn extract_number(json: &str, section: &str, key: &str) -> Option<f64> {
+    let section_at = json.find(&format!("\"{section}\""))?;
+    let rest = &json[section_at..];
+    let body_end = rest.find('}')?;
+    let rest = &rest[..body_end];
+    let key_at = rest.find(&format!("\"{key}\""))?;
+    let after = &rest[key_at..];
+    let colon = after.find(':')?;
+    let tail = after[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_through_extract() {
+        let report = BenchReport {
+            s: 10_000,
+            step: 100,
+            precision: Comparison {
+                sweep_ns: 1_000.0,
+                naive_ns: 25_000.0,
+            },
+            recall: Comparison {
+                sweep_ns: 2_000.0,
+                naive_ns: 9_000.0,
+            },
+            assembly_ns: 500.0,
+            serving: ServingNumbers {
+                n: 1_000_000,
+                budget: 1_000,
+                queries: 8,
+                cold_ns_per_query: 9e6,
+                prepared_ns_per_query: 1e6,
+                prepared_first_query_ns: 9e6,
+                concurrent_wall_ns: 4e6,
+                concurrency: 4,
+            },
+        };
+        let json = report.to_json();
+        assert_eq!(
+            extract_number(&json, "threshold_search", "s"),
+            Some(10_000.0)
+        );
+        assert_eq!(
+            extract_number(&json, "threshold_search", "speedup"),
+            Some(25.0)
+        );
+        assert_eq!(
+            extract_number(&json, "recall_threshold", "speedup"),
+            Some(4.5)
+        );
+        assert_eq!(
+            extract_number(&json, "prepared_serving", "speedup"),
+            Some(9.0)
+        );
+        assert_eq!(extract_number(&json, "nope", "speedup"), None);
+        assert_eq!(extract_number(&json, "prepared_serving", "nope"), None);
+    }
+
+    #[test]
+    fn median_ns_is_positive_and_ordered() {
+        let fast = median_ns(5, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(fast >= 0.0);
+        let comparison = Comparison {
+            sweep_ns: 10.0,
+            naive_ns: 100.0,
+        };
+        assert!((comparison.speedup() - 10.0).abs() < 1e-9);
+    }
+}

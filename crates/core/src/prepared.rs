@@ -1,0 +1,315 @@
+//! Shared prepared-dataset artifacts for high-throughput serving.
+//!
+//! The SUPG sampling stage has per-dataset preprocessing that is
+//! independent of any single query: building [`ImportanceWeights`] is an
+//! O(n) pass over every proxy score, and the O(1)-draw [`AliasTable`] is
+//! another O(n) construction. A service answering many queries over the
+//! same corpus — the production regime this workspace grows toward — must
+//! pay that once per `(dataset, weight recipe)`, not once per query.
+//!
+//! [`PreparedDataset`] is that amortization layer: an `Arc`-shared
+//! [`ScoredDataset`] plus a keyed cache of
+//! `(weight_exponent, uniform_mix) → (ImportanceWeights, AliasTable)`
+//! built on first use and reused by every subsequent query, from any
+//! thread. Sessions accept it via
+//! [`SupgSession::over_prepared`](crate::session::SupgSession::over_prepared)
+//! / [`over_shared`](crate::session::SupgSession::over_shared); selectors
+//! receive it through [`DataView`], which also covers the cold
+//! (unprepared) path so one code path serves both.
+//!
+//! Sharing is by `Arc` and an internal mutex guards only the cache map —
+//! artifact *construction* happens outside the lock, so concurrent
+//! sessions warming different recipes never serialize behind each other's
+//! O(n) builds.
+//!
+//! Determinism: a prepared session runs the exact same artifact objects a
+//! cold session would build fresh, so prepared and cold executions of the
+//! same seeded query produce identical
+//! [`QueryOutcome`](crate::session::QueryOutcome)s (enforced by
+//! `crates/core/tests/prepared_parity.rs`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use supg_sampling::{AliasTable, ImportanceWeights};
+
+use crate::data::ScoredDataset;
+use crate::error::SupgError;
+use crate::selectors::SelectorConfig;
+
+/// The per-`(dataset, weight recipe)` sampling artifacts: the normalized
+/// importance distribution and its prebuilt O(1)-draw alias sampler.
+#[derive(Debug, Clone)]
+pub struct WeightArtifacts {
+    weights: ImportanceWeights,
+    sampler: AliasTable,
+}
+
+impl WeightArtifacts {
+    /// Builds both artifacts from proxy scores (two O(n) passes; see
+    /// [`ImportanceWeights::from_scores`] for the recipe and panics).
+    pub fn build(scores: &[f64], exponent: f64, uniform_mix: f64) -> Self {
+        let weights = ImportanceWeights::from_scores(scores, exponent, uniform_mix);
+        let sampler = weights.build_sampler();
+        Self { weights, sampler }
+    }
+
+    /// The normalized importance distribution.
+    pub fn weights(&self) -> &ImportanceWeights {
+        &self.weights
+    }
+
+    /// The prebuilt alias sampler over the full dataset.
+    pub fn sampler(&self) -> &AliasTable {
+        &self.sampler
+    }
+
+    /// Reweighting factor `m(x) = u(x)/w(x)` of record `i`.
+    pub fn reweight_factor(&self, i: usize) -> f64 {
+        self.weights.reweight_factor(i)
+    }
+}
+
+/// Cache key: the exact bit patterns of the weight recipe, so recipes that
+/// differ by any representable amount get distinct artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RecipeKey {
+    exponent_bits: u64,
+    mix_bits: u64,
+}
+
+impl RecipeKey {
+    fn new(exponent: f64, uniform_mix: f64) -> Self {
+        Self {
+            exponent_bits: exponent.to_bits(),
+            mix_bits: uniform_mix.to_bits(),
+        }
+    }
+}
+
+/// An `Arc`-shared dataset plus its lazily built, keyed sampling-artifact
+/// cache. `Send + Sync`; clone the surrounding `Arc` to share across
+/// sessions and threads.
+pub struct PreparedDataset {
+    data: Arc<ScoredDataset>,
+    cache: Mutex<HashMap<RecipeKey, Arc<WeightArtifacts>>>,
+}
+
+impl std::fmt::Debug for PreparedDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedDataset")
+            .field("records", &self.data.len())
+            .field("cached_recipes", &self.cached_recipes())
+            .finish()
+    }
+}
+
+impl PreparedDataset {
+    /// Prepares an owned dataset.
+    pub fn new(data: ScoredDataset) -> Self {
+        Self::from_arc(Arc::new(data))
+    }
+
+    /// Prepares an already-shared dataset without copying it.
+    pub fn from_arc(data: Arc<ScoredDataset>) -> Self {
+        Self {
+            data,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Validates raw proxy scores and prepares the resulting dataset.
+    ///
+    /// # Errors
+    /// As [`ScoredDataset::new`].
+    pub fn from_scores(scores: Vec<f64>) -> Result<Self, SupgError> {
+        Ok(Self::new(ScoredDataset::new(scores)?))
+    }
+
+    /// The underlying scored dataset.
+    pub fn data(&self) -> &ScoredDataset {
+        &self.data
+    }
+
+    /// A new shared handle to the underlying dataset.
+    pub fn share_data(&self) -> Arc<ScoredDataset> {
+        Arc::clone(&self.data)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false (construction forbids empty datasets).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The sampling artifacts for a weight recipe — built on first use,
+    /// O(1) `Arc` clone afterwards. Construction happens outside the cache
+    /// lock; two threads racing on a cold key may both build, but exactly
+    /// one result is kept and handed to everyone (the artifacts are pure
+    /// functions of `(scores, recipe)`, so which build wins is
+    /// unobservable).
+    pub fn artifacts(&self, exponent: f64, uniform_mix: f64) -> Arc<WeightArtifacts> {
+        let key = RecipeKey::new(exponent, uniform_mix);
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("artifact cache poisoned")
+            .get(&key)
+        {
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(WeightArtifacts::build(
+            self.data.scores(),
+            exponent,
+            uniform_mix,
+        ));
+        Arc::clone(
+            self.cache
+                .lock()
+                .expect("artifact cache poisoned")
+                .entry(key)
+                .or_insert(built),
+        )
+    }
+
+    /// Pre-builds the artifacts a selector configuration will need, so the
+    /// first query doesn't pay the O(n) construction.
+    pub fn warm(&self, cfg: &SelectorConfig) -> Arc<WeightArtifacts> {
+        self.artifacts(cfg.weight_exponent, cfg.uniform_mix)
+    }
+
+    /// Number of cached weight recipes.
+    pub fn cached_recipes(&self) -> usize {
+        self.cache.lock().expect("artifact cache poisoned").len()
+    }
+}
+
+/// The borrowed view a selector runs against: the dataset plus, when the
+/// session was given a [`PreparedDataset`], the shared artifact cache.
+/// Cold views build artifacts fresh per call — exactly the historical
+/// per-query behavior — so every selector has one code path and prepared
+/// vs. cold differ only in amortization, never in results.
+#[derive(Debug, Clone, Copy)]
+pub struct DataView<'a> {
+    data: &'a ScoredDataset,
+    prepared: Option<&'a PreparedDataset>,
+}
+
+impl<'a> DataView<'a> {
+    /// A view with no artifact cache (per-query construction).
+    pub fn cold(data: &'a ScoredDataset) -> Self {
+        Self {
+            data,
+            prepared: None,
+        }
+    }
+
+    /// A view backed by a prepared dataset's artifact cache.
+    pub fn prepared(prepared: &'a PreparedDataset) -> Self {
+        Self {
+            data: prepared.data(),
+            prepared: Some(prepared),
+        }
+    }
+
+    /// The dataset under view.
+    pub fn data(&self) -> &'a ScoredDataset {
+        self.data
+    }
+
+    /// True when backed by a prepared artifact cache.
+    pub fn is_prepared(&self) -> bool {
+        self.prepared.is_some()
+    }
+
+    /// The sampling artifacts for a weight recipe: cache hit when
+    /// prepared, fresh O(n) build when cold.
+    pub fn artifacts(&self, exponent: f64, uniform_mix: f64) -> Arc<WeightArtifacts> {
+        match self.prepared {
+            Some(p) => p.artifacts(exponent, uniform_mix),
+            None => Arc::new(WeightArtifacts::build(
+                self.data.scores(),
+                exponent,
+                uniform_mix,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> ScoredDataset {
+        ScoredDataset::new((0..100).map(|i| i as f64 / 100.0).collect()).unwrap()
+    }
+
+    #[test]
+    fn artifacts_are_cached_per_recipe() {
+        let p = PreparedDataset::new(dataset());
+        assert_eq!(p.cached_recipes(), 0);
+        let a = p.artifacts(0.5, 0.1);
+        let b = p.artifacts(0.5, 0.1);
+        assert!(Arc::ptr_eq(&a, &b), "same recipe must hit the cache");
+        assert_eq!(p.cached_recipes(), 1);
+        let c = p.artifacts(1.0, 0.1);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(p.cached_recipes(), 2);
+    }
+
+    #[test]
+    fn warm_prebuilds_the_configured_recipe() {
+        let p = PreparedDataset::new(dataset());
+        let cfg = SelectorConfig::default();
+        let warmed = p.warm(&cfg);
+        assert_eq!(p.cached_recipes(), 1);
+        let served = p.artifacts(cfg.weight_exponent, cfg.uniform_mix);
+        assert!(Arc::ptr_eq(&warmed, &served));
+    }
+
+    #[test]
+    fn cold_and_prepared_views_build_identical_artifacts() {
+        let data = dataset();
+        let p = PreparedDataset::new(data.clone());
+        let cold = DataView::cold(&data).artifacts(0.5, 0.1);
+        let prepared = DataView::prepared(&p).artifacts(0.5, 0.1);
+        assert!(!DataView::cold(&data).is_prepared());
+        assert!(DataView::prepared(&p).is_prepared());
+        assert_eq!(cold.weights().probs(), prepared.weights().probs());
+        for i in 0..data.len() {
+            assert_eq!(
+                cold.reweight_factor(i).to_bits(),
+                prepared.reweight_factor(i).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_sessions_share_one_build() {
+        let p = Arc::new(PreparedDataset::new(dataset()));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || p.artifacts(0.5, 0.1))
+            })
+            .collect();
+        let arts: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // All threads end up holding the same cached artifact object.
+        let first = &arts[0];
+        assert!(arts.iter().all(|a| Arc::ptr_eq(a, first)));
+        assert_eq!(p.cached_recipes(), 1);
+    }
+
+    #[test]
+    fn share_data_aliases_the_dataset() {
+        let arc = Arc::new(dataset());
+        let p = PreparedDataset::from_arc(Arc::clone(&arc));
+        assert!(Arc::ptr_eq(&arc, &p.share_data()));
+        assert_eq!(p.len(), 100);
+        assert!(!p.is_empty());
+    }
+}

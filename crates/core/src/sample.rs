@@ -1,10 +1,12 @@
 //! The oracle-labeled sample shared by all threshold selectors.
 
 use rand::RngCore;
+use supg_stats::{PairSketch, SampleSketch};
 
 use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::oracle::{BatchOracle, Oracle};
+use crate::prepared::WeightArtifacts;
 
 /// A sample of records drawn for oracle labeling, with proxy scores, labels
 /// and importance-reweighting factors `m(x) = u(x)/w(x)` (all 1 under
@@ -18,14 +20,42 @@ use crate::oracle::{BatchOracle, Oracle};
 ///
 /// and the selectors' core subroutine `max{τ : Recall_Sw(τ) ≥ γ}` is
 /// implemented here once, over the positives sorted by descending score.
+///
+/// ## The canonical sweep index
+///
+/// Assembly ([`from_parts`](OracleSample::from_parts)) performs **one**
+/// stable descending-score sort of the sample — the *canonical order* — and
+/// snapshots running [`PairSketch`] moments after every element. Because
+/// every estimator window `{x : A(x) ≥ τ}` is a prefix of the canonical
+/// order, any window's full moment sketch is an O(1) array lookup
+/// ([`window_sketch`](OracleSample::window_sketch)), positive-mass recall
+/// queries are O(log) binary searches over prefix sums, and the threshold
+/// sweep in [`crate::selectors`] runs in O(s log s) total with **zero
+/// allocation after sample assembly** (closed-form CI methods). All derived
+/// quantities are accumulated left-to-right in canonical order, so they are
+/// bit-identical to a naive rescan of the same order — the parity contract
+/// checked against [`crate::selectors::reference`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct OracleSample {
     indices: Vec<usize>,
     scores: Vec<f64>,
     labels: Vec<bool>,
     reweights: Vec<f64>,
-    /// Positions of positive samples, sorted by descending score.
+    /// Sample positions in canonical (stable descending-score) order.
+    order: Vec<u32>,
+    /// Scores in canonical order (`sorted_scores[r] = scores[order[r]]`).
+    sorted_scores: Vec<f64>,
+    /// Running pair moments over the canonical order; `pair_prefix[k]` is
+    /// the sketch of the first `k` elements, so `pair_prefix.len() = s+1`.
+    pair_prefix: Vec<PairSketch>,
+    /// Positions of positive samples in canonical order.
     positives_desc: Vec<usize>,
+    /// Scores of the positives in canonical order (descending).
+    positive_scores: Vec<f64>,
+    /// Prefix sums of reweights over `positives_desc` (length p+1).
+    positive_weight_prefix: Vec<f64>,
+    /// Dataset indices of the positives, deduplicated and ascending.
+    positive_indices: Vec<usize>,
     total_positive_weight: f64,
 }
 
@@ -57,7 +87,9 @@ impl OracleSample {
     }
 
     /// Assembles a sample from pre-labeled parts (used by tests and by the
-    /// two-stage estimator, which reuses stage-1 labels).
+    /// two-stage estimator, which reuses stage-1 labels), building the
+    /// canonical sweep index: one O(s log s) stable sort plus O(s) prefix
+    /// accumulation.
     ///
     /// # Panics
     /// Panics when column lengths disagree.
@@ -73,16 +105,56 @@ impl OracleSample {
                 && indices.len() == reweights.len(),
             "OracleSample: column length mismatch"
         );
-        let mut positives_desc: Vec<usize> = (0..indices.len()).filter(|&i| labels[i]).collect();
-        positives_desc
-            .sort_unstable_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
-        let total_positive_weight = positives_desc.iter().map(|&i| reweights[i]).sum();
+        let s = indices.len();
+        // Canonical order: stable descending-score sort, so tied scores
+        // keep their draw order and the layout is deterministic.
+        let mut order: Vec<u32> = (0..s as u32).collect();
+        order.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .expect("finite scores")
+        });
+        let sorted_scores: Vec<f64> = order.iter().map(|&r| scores[r as usize]).collect();
+
+        let mut pair_prefix = Vec::with_capacity(s + 1);
+        let mut acc = PairSketch::new();
+        pair_prefix.push(acc);
+        let mut positives_desc = Vec::new();
+        let mut positive_scores = Vec::new();
+        let mut positive_weight_prefix = vec![0.0];
+        let mut weight_acc = 0.0;
+        for &r in &order {
+            let pos = r as usize;
+            let m = reweights[pos];
+            let y = if labels[pos] { m } else { 0.0 };
+            acc.push(y, m);
+            pair_prefix.push(acc);
+            if labels[pos] {
+                positives_desc.push(pos);
+                positive_scores.push(scores[pos]);
+                weight_acc += m;
+                positive_weight_prefix.push(weight_acc);
+            }
+        }
+        let total_positive_weight = weight_acc;
+
+        let mut positive_indices: Vec<usize> =
+            positives_desc.iter().map(|&pos| indices[pos]).collect();
+        positive_indices.sort_unstable();
+        positive_indices.dedup();
+
         Self {
             indices,
             scores,
             labels,
             reweights,
+            order,
+            sorted_scores,
+            pair_prefix,
             positives_desc,
+            positive_scores,
+            positive_weight_prefix,
+            positive_indices,
             total_positive_weight,
         }
     }
@@ -123,111 +195,133 @@ impl OracleSample {
     }
 
     /// Dataset indices of the positively labeled samples (deduplicated,
-    /// ascending) — the `R1` component of Algorithm 1.
-    pub fn positive_indices(&self) -> Vec<usize> {
-        let mut out: Vec<usize> = self
-            .positives_desc
-            .iter()
-            .map(|&pos| self.indices[pos])
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
+    /// ascending) — the `R1` component of Algorithm 1. Computed once at
+    /// assembly and served as a slice.
+    pub fn positive_indices(&self) -> &[usize] {
+        &self.positive_indices
+    }
+
+    /// Sampled scores in canonical (descending) order.
+    pub fn sorted_scores(&self) -> &[f64] {
+        &self.sorted_scores
+    }
+
+    /// Number of sampled records with score ≥ `tau` — the length of the
+    /// canonical prefix that is the estimator window at `tau`.
+    pub fn cut_for(&self, tau: f64) -> usize {
+        self.sorted_scores.partition_point(|&s| s >= tau)
+    }
+
+    /// O(1) moment sketch of the window `{canonical rank < cut}` — the
+    /// inputs to the ratio-estimator precision bound at the corresponding
+    /// threshold.
+    pub fn window_sketch(&self, cut: usize) -> PairSketch {
+        self.pair_prefix[cut]
+    }
+
+    /// The `(y, x) = (O·m, m)` pair at canonical rank `rank`.
+    pub fn pair_at(&self, rank: usize) -> (f64, f64) {
+        let pos = self.order[rank] as usize;
+        let m = self.reweights[pos];
+        let y = if self.labels[pos] { m } else { 0.0 };
+        (y, m)
+    }
+
+    /// The split-indicator value of Algorithms 2 and 4 at canonical rank
+    /// `rank` for the window boundary `cut`: `z1 = 1[rank < cut]·O·m`
+    /// when `above`, `z2 = 1[rank ≥ cut]·O·m` otherwise.
+    pub fn z_value(&self, rank: usize, cut: usize, above: bool) -> f64 {
+        let pos = self.order[rank] as usize;
+        if (rank < cut) == above && self.labels[pos] {
+            self.reweights[pos]
+        } else {
+            0.0
+        }
+    }
+
+    /// Moment sketches of the full-length split indicators `z1`/`z2` at
+    /// window boundary `cut` — one O(s) pass each, nothing materialized.
+    pub fn z_sketches(&self, cut: usize) -> (SampleSketch, SampleSketch) {
+        let s = self.len();
+        let z1 = SampleSketch::from_values((0..s).map(|r| self.z_value(r, cut, true)));
+        let z2 = SampleSketch::from_values((0..s).map(|r| self.z_value(r, cut, false)));
+        (z1, z2)
     }
 
     /// Reweighted empirical recall at threshold `tau` (Equation 11).
     /// Returns 1.0 when the sample has no positives (vacuous).
+    /// O(log p) via the positive prefix sums.
     pub fn recall_at(&self, tau: f64) -> f64 {
         if self.total_positive_weight <= 0.0 {
             return 1.0;
         }
-        let above: f64 = self
-            .positives_desc
-            .iter()
-            .take_while(|&&pos| self.scores[pos] >= tau)
-            .map(|&pos| self.reweights[pos])
-            .sum();
-        above / self.total_positive_weight
+        let k = self.positive_scores.partition_point(|&s| s >= tau);
+        self.positive_weight_prefix[k] / self.total_positive_weight
     }
 
     /// The paper's `max{τ : Recall_Sw(τ) ≥ γ}`.
     ///
-    /// Walks the positives in descending score order and returns the score
-    /// at which the cumulative (reweighted) recall first reaches `γ`.
-    /// Returns `None` when the sample contains no positives — the caller
-    /// decides the conservative fallback (RT selectors return `τ = 0`,
-    /// i.e. the whole dataset).
+    /// A binary search over the positives' cumulative (reweighted) mass in
+    /// canonical order: returns the score at which cumulative recall first
+    /// reaches `γ`. Returns `None` when the sample contains no positives —
+    /// the caller decides the conservative fallback (RT selectors return
+    /// `τ = 0`, i.e. the whole dataset).
     pub fn max_tau_for_recall(&self, gamma: f64) -> Option<f64> {
-        if self.positives_desc.is_empty() || self.total_positive_weight <= 0.0 {
+        let p = self.positives_desc.len();
+        if p == 0 || self.total_positive_weight <= 0.0 {
             return None;
         }
         // γ above 1 (a conservative γ′ clamped by the caller) or exactly 1
         // requires every positive: τ = lowest positive score.
         let target = gamma.min(1.0) * self.total_positive_weight;
-        let mut acc = 0.0;
-        for &pos in &self.positives_desc {
-            acc += self.reweights[pos];
-            // Tiny epsilon so γ = 1.0 is not defeated by rounding.
-            if acc + 1e-12 >= target {
-                return Some(self.scores[pos]);
-            }
-        }
-        Some(self.scores[*self.positives_desc.last().expect("non-empty")])
+        // Tiny epsilon so γ = 1.0 is not defeated by rounding. The prefix
+        // is nondecreasing, so the predicate is monotone.
+        let k = self.positive_weight_prefix[1..].partition_point(|&acc| acc + 1e-12 < target);
+        Some(self.positive_scores[k.min(p - 1)])
     }
 
     /// Paired `(O·m, m)` observations for the samples with score ≥ `tau` —
-    /// the inputs to the ratio-estimator precision bound.
+    /// the inputs to the ratio-estimator precision bound, materialized in
+    /// canonical order. The sweep estimators use
+    /// [`window_sketch`](OracleSample::window_sketch) instead; this
+    /// allocating form remains for inspection, tests and the naive
+    /// reference implementations.
     pub fn precision_pairs(&self, tau: f64) -> (Vec<f64>, Vec<f64>) {
-        let mut ys = Vec::new();
-        let mut xs = Vec::new();
-        for i in 0..self.len() {
-            if self.scores[i] >= tau {
-                ys.push(if self.labels[i] {
-                    self.reweights[i]
-                } else {
-                    0.0
-                });
-                xs.push(self.reweights[i]);
-            }
+        let cut = self.cut_for(tau);
+        let mut ys = Vec::with_capacity(cut);
+        let mut xs = Vec::with_capacity(cut);
+        for rank in 0..cut {
+            let (y, x) = self.pair_at(rank);
+            ys.push(y);
+            xs.push(x);
         }
         (ys, xs)
     }
 
     /// The split indicator samples of Algorithms 2 and 4:
     /// `z1 = 1[A ≥ τ]·O·m` and `z2 = 1[A < τ]·O·m`, each of full sample
-    /// length.
+    /// length, materialized in canonical order. The sweep estimators use
+    /// [`z_sketches`](OracleSample::z_sketches) instead.
     pub fn recall_split(&self, tau: f64) -> (Vec<f64>, Vec<f64>) {
-        let mut z1 = Vec::with_capacity(self.len());
-        let mut z2 = Vec::with_capacity(self.len());
-        for i in 0..self.len() {
-            let o_m = if self.labels[i] {
-                self.reweights[i]
-            } else {
-                0.0
-            };
-            if self.scores[i] >= tau {
-                z1.push(o_m);
-                z2.push(0.0);
-            } else {
-                z1.push(0.0);
-                z2.push(o_m);
-            }
-        }
+        let cut = self.cut_for(tau);
+        let s = self.len();
+        let z1: Vec<f64> = (0..s).map(|r| self.z_value(r, cut, true)).collect();
+        let z2: Vec<f64> = (0..s).map(|r| self.z_value(r, cut, false)).collect();
         (z1, z2)
     }
 
     /// Candidate thresholds for the precision estimators: the sampled
     /// scores sorted ascending, taken at positions `step, 2·step, …`
     /// (1-indexed), as in Algorithms 3 and 5. Deduplicated and capped at
-    /// the sample size.
+    /// the sample size. Reads the canonical index — no per-call sort.
     pub fn candidate_thresholds(&self, step: usize) -> Vec<f64> {
         assert!(step > 0, "candidate_thresholds: step must be > 0");
-        let mut sorted = self.scores.clone();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        let s = self.len();
         let mut out = Vec::new();
         let mut i = step;
-        while i <= sorted.len() {
-            out.push(sorted[i - 1]);
+        while i <= s {
+            // Ascending position i (1-indexed) = descending position s−i.
+            out.push(self.sorted_scores[s - i]);
             i += step;
         }
         out.dedup();
@@ -235,21 +329,26 @@ impl OracleSample {
     }
 }
 
-/// Draws `k` records (with replacement) from an alias sampler and labels
-/// them, attaching the sampler's reweighting factors. Convenience used by
-/// all importance selectors.
+/// Draws `k` records (with replacement) from prebuilt sampling artifacts
+/// and labels them, attaching the artifacts' reweighting factors.
+/// Convenience used by all importance selectors.
+///
+/// The alias sampler comes ready-made from the
+/// [`WeightArtifacts`](crate::prepared::WeightArtifacts) — typically a
+/// [`PreparedDataset`](crate::prepared::PreparedDataset) cache hit — so
+/// repeated queries pay O(k) draws, never an O(n) table rebuild.
 pub fn draw_weighted(
     data: &ScoredDataset,
-    weights: &supg_sampling::ImportanceWeights,
+    artifacts: &WeightArtifacts,
     k: usize,
     oracle: &mut dyn Oracle,
     rng: &mut dyn RngCore,
 ) -> Result<OracleSample, SupgError> {
-    let sampler = weights.build_sampler();
+    let sampler = artifacts.sampler();
     let indices: Vec<usize> = (0..k).map(|_| sampler.sample(rng)).collect();
     let factors: Vec<f64> = indices
         .iter()
-        .map(|&i| weights.reweight_factor(i))
+        .map(|&i| artifacts.reweight_factor(i))
         .collect();
     OracleSample::label(data, indices, oracle, |pos| factors[pos])
 }
@@ -345,6 +444,50 @@ mod tests {
         assert_eq!(s.candidate_thresholds(2), vec![0.6, 0.8]);
         assert_eq!(s.candidate_thresholds(1).len(), 5);
         assert_eq!(s.candidate_thresholds(10), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn canonical_order_is_stable_descending() {
+        // Tied scores keep draw order in the canonical layout.
+        let s = OracleSample::from_parts(
+            vec![10, 11, 12, 13],
+            vec![0.5, 0.9, 0.5, 0.9],
+            vec![true, true, false, false],
+            vec![1.0; 4],
+        );
+        assert_eq!(s.sorted_scores(), &[0.9, 0.9, 0.5, 0.5]);
+        // Ranks: positions 1, 3 (tied at 0.9, draw order), then 0, 2.
+        assert_eq!(s.pair_at(0), (1.0, 1.0)); // position 1, positive
+        assert_eq!(s.pair_at(1), (0.0, 1.0)); // position 3, negative
+        assert_eq!(s.pair_at(2), (1.0, 1.0)); // position 0, positive
+        assert_eq!(s.pair_at(3), (0.0, 1.0)); // position 2, negative
+    }
+
+    #[test]
+    fn window_sketch_matches_materialized_pairs() {
+        let s = OracleSample::from_parts(
+            vec![0, 1, 2, 3, 4, 5],
+            vec![0.9, 0.2, 0.7, 0.6, 0.5, 0.7],
+            vec![true, false, true, true, false, false],
+            vec![1.5, 1.0, 2.0, 0.5, 1.0, 3.0],
+        );
+        for tau in [0.0, 0.2, 0.55, 0.7, 0.9, 1.1] {
+            let cut = s.cut_for(tau);
+            let (ys, xs) = s.precision_pairs(tau);
+            assert_eq!(ys.len(), cut);
+            let direct = PairSketch::from_pairs(ys.iter().copied().zip(xs.iter().copied()));
+            assert_eq!(s.window_sketch(cut), direct, "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn z_sketches_match_materialized_split() {
+        let s = sample();
+        let cut = s.cut_for(0.7);
+        let (z1, z2) = s.recall_split(0.7);
+        let (sk1, sk2) = s.z_sketches(cut);
+        assert_eq!(sk1, SampleSketch::from_values(z1.iter().copied()));
+        assert_eq!(sk2, SampleSketch::from_values(z2.iter().copied()));
     }
 
     #[test]

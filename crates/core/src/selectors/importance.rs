@@ -6,12 +6,11 @@ use rand::RngCore;
 use super::{
     precision_threshold, recall_threshold, SelectorConfig, TauEstimate, ThresholdSelector,
 };
-use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::oracle::Oracle;
+use crate::prepared::DataView;
 use crate::query::{ApproxQuery, TargetKind};
 use crate::sample::draw_weighted;
-use supg_sampling::ImportanceWeights;
 
 /// `IS-CI-R` (Algorithm 4): weighted sampling with `A(x)^p` weights
 /// (default `p = 1/2`, the Theorem-1 optimum) defensively mixed with 10%
@@ -43,18 +42,14 @@ impl ThresholdSelector for ImportanceRecall {
 
     fn estimate(
         &self,
-        data: &ScoredDataset,
+        view: DataView<'_>,
         query: &ApproxQuery,
         oracle: &mut dyn Oracle,
         rng: &mut dyn RngCore,
     ) -> Result<TauEstimate, SupgError> {
         debug_assert_eq!(query.target(), TargetKind::Recall);
-        let weights = ImportanceWeights::from_scores(
-            data.scores(),
-            self.cfg.weight_exponent,
-            self.cfg.uniform_mix,
-        );
-        let sample = draw_weighted(data, &weights, query.budget(), oracle, rng)?;
+        let artifacts = view.artifacts(self.cfg.weight_exponent, self.cfg.uniform_mix);
+        let sample = draw_weighted(view.data(), &artifacts, query.budget(), oracle, rng)?;
         let tau = recall_threshold(&sample, query.gamma(), query.delta(), self.cfg.ci, rng);
         Ok(TauEstimate { tau, sample })
     }
@@ -84,18 +79,14 @@ impl ThresholdSelector for ImportancePrecision {
 
     fn estimate(
         &self,
-        data: &ScoredDataset,
+        view: DataView<'_>,
         query: &ApproxQuery,
         oracle: &mut dyn Oracle,
         rng: &mut dyn RngCore,
     ) -> Result<TauEstimate, SupgError> {
         debug_assert_eq!(query.target(), TargetKind::Precision);
-        let weights = ImportanceWeights::from_scores(
-            data.scores(),
-            self.cfg.weight_exponent,
-            self.cfg.uniform_mix,
-        );
-        let sample = draw_weighted(data, &weights, query.budget(), oracle, rng)?;
+        let artifacts = view.artifacts(self.cfg.weight_exponent, self.cfg.uniform_mix);
+        let sample = draw_weighted(view.data(), &artifacts, query.budget(), oracle, rng)?;
         let tau = precision_threshold(&sample, query.gamma(), query.delta(), &self.cfg, rng);
         Ok(TauEstimate { tau, sample })
     }
@@ -104,6 +95,7 @@ impl ThresholdSelector for ImportancePrecision {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::ScoredDataset;
     use crate::metrics::evaluate;
     use crate::oracle::CachedOracle;
     use rand::rngs::StdRng;
@@ -143,7 +135,7 @@ mod tests {
             let mut oracle = CachedOracle::from_labels(labels.clone(), 2_000);
             let mut rng = StdRng::seed_from_u64(9000 + t);
             let est = ImportanceRecall::new(SelectorConfig::default())
-                .estimate(&data, &query, &mut oracle, &mut rng)
+                .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
                 .unwrap();
             if evaluate(&result_set(&data, &est), &labels).recall < 0.9 {
                 failures += 1;
@@ -167,10 +159,10 @@ mod tests {
             let mut r1 = StdRng::seed_from_u64(100 + t);
             let mut r2 = StdRng::seed_from_u64(100 + t);
             let is_est = ImportanceRecall::new(SelectorConfig::default())
-                .estimate(&data, &query, &mut o1, &mut r1)
+                .estimate(DataView::cold(&data), &query, &mut o1, &mut r1)
                 .unwrap();
             let u_est = super::super::UniformRecall::new(SelectorConfig::default())
-                .estimate(&data, &query, &mut o2, &mut r2)
+                .estimate(DataView::cold(&data), &query, &mut o2, &mut r2)
                 .unwrap();
             is_prec += evaluate(&result_set(&data, &is_est), &labels).precision;
             u_prec += evaluate(&result_set(&data, &u_est), &labels).precision;
@@ -190,7 +182,7 @@ mod tests {
             let mut oracle = CachedOracle::from_labels(labels.clone(), 2_000);
             let mut rng = StdRng::seed_from_u64(7000 + t);
             let est = ImportancePrecision::new(SelectorConfig::default())
-                .estimate(&data, &query, &mut oracle, &mut rng)
+                .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
                 .unwrap();
             if evaluate(&result_set(&data, &est), &labels).precision < 0.8 {
                 failures += 1;
@@ -206,7 +198,7 @@ mod tests {
         let mut oracle = CachedOracle::from_labels(labels, 500);
         let mut rng = StdRng::seed_from_u64(35);
         ImportanceRecall::new(SelectorConfig::default())
-            .estimate(&data, &query, &mut oracle, &mut rng)
+            .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
             .unwrap();
         assert!(oracle.calls_used() <= 500);
     }

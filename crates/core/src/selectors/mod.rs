@@ -20,6 +20,7 @@
 
 mod importance;
 mod naive;
+pub mod reference;
 mod two_stage;
 mod uniform;
 
@@ -29,11 +30,11 @@ pub use two_stage::TwoStagePrecision;
 pub use uniform::{UniformPrecision, UniformRecall};
 
 use rand::RngCore;
-use supg_stats::ci::{ratio_bounds, CiMethod};
+use supg_stats::ci::{ratio_bounds_paired, CiMethod};
 
-use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::oracle::Oracle;
+use crate::prepared::DataView;
 use crate::query::ApproxQuery;
 use crate::sample::OracleSample;
 
@@ -108,12 +109,17 @@ pub trait ThresholdSelector {
 
     /// Samples records, labels them through `oracle` and estimates `τ`.
     ///
+    /// `view` carries the dataset plus — for sessions running over a
+    /// [`PreparedDataset`](crate::prepared::PreparedDataset) — the shared
+    /// sampling-artifact cache the importance selectors amortize their
+    /// O(n) setup through.
+    ///
     /// # Errors
     /// Propagates oracle failures; selectors never exceed `query.budget()`
     /// distinct oracle calls.
     fn estimate(
         &self,
-        data: &ScoredDataset,
+        view: DataView<'_>,
         query: &ApproxQuery,
         oracle: &mut dyn Oracle,
         rng: &mut dyn RngCore,
@@ -123,7 +129,13 @@ pub trait ThresholdSelector {
 /// Shared core of the recall selectors (Algorithms 2 and 4): pick the
 /// empirical threshold, inflate the recall target to `γ′` via the UB/LB
 /// split, and re-pick.
-pub(crate) fn recall_threshold(
+///
+/// Sweep form: the split indicators `z1`/`z2` are never materialized —
+/// their moment sketches come from one pass over the sample's canonical
+/// order, so the whole routine is O(s) with zero allocation (closed-form
+/// CI methods). Bit-identical to
+/// [`reference::recall_threshold_naive`], which materializes the split.
+pub fn recall_threshold(
     sample: &OracleSample,
     gamma: f64,
     delta: f64,
@@ -135,9 +147,12 @@ pub(crate) fn recall_threshold(
         // conservative choice is to return everything.
         return 0.0;
     };
-    let (z1, z2) = sample.recall_split(tau_hat);
-    let ub1 = ci.upper(&z1, delta / 2.0, rng);
-    let lb2 = ci.lower(&z2, delta / 2.0, rng).max(0.0);
+    let cut = sample.cut_for(tau_hat);
+    let (z1, z2) = sample.z_sketches(cut);
+    let ub1 = ci.upper_sketch(&z1, delta / 2.0, rng, |r| sample.z_value(r, cut, true));
+    let lb2 = ci
+        .lower_sketch(&z2, delta / 2.0, rng, |r| sample.z_value(r, cut, false))
+        .max(0.0);
     if !ub1.is_finite() || ub1 <= 0.0 {
         return 0.0;
     }
@@ -149,23 +164,44 @@ pub(crate) fn recall_threshold(
 /// lower precision bound on every `m`-th order statistic of the sampled
 /// scores with a union-bound-corrected per-candidate `δ`, and return the
 /// smallest certified threshold (`f64::INFINITY` when none certifies).
-pub(crate) fn precision_threshold(
+///
+/// Sweep form: candidates are read off the sample's canonical index and
+/// each candidate's bound comes from an O(1)
+/// [`window_sketch`](OracleSample::window_sketch) lookup — O(s log s)
+/// total (the assembly sort) instead of the naive O(M·s) rescan, with
+/// zero allocation after sample assembly for the closed-form CI methods.
+/// Bit-identical to [`reference::precision_threshold_naive`].
+pub fn precision_threshold(
     sample: &OracleSample,
     gamma: f64,
     delta_budget: f64,
     cfg: &SelectorConfig,
     rng: &mut dyn RngCore,
 ) -> f64 {
-    let candidates = sample.candidate_thresholds(cfg.precision_step);
-    if candidates.is_empty() {
-        return f64::INFINITY;
-    }
+    assert!(
+        cfg.precision_step > 0,
+        "precision_threshold: step must be > 0"
+    );
+    let s = sample.len();
+    let step = cfg.precision_step;
     // The paper budgets δ/M with M = ⌈s/m⌉, fixed before seeing labels.
-    let m_hypotheses = sample.len().div_ceil(cfg.precision_step).max(1);
+    let m_hypotheses = s.div_ceil(step).max(1);
     let per_candidate = delta_budget / m_hypotheses as f64;
-    for &tau in &candidates {
-        let (ys, xs) = sample.precision_pairs(tau);
-        let bounds = ratio_bounds(&ys, &xs, per_candidate, cfg.ci, rng);
+    let mut prev: Option<f64> = None;
+    let mut i = step;
+    while i <= s {
+        // Ascending candidate at 1-indexed order statistic i, dedup'd so
+        // tied candidates are evaluated (and charge the rng stream) once.
+        let tau = sample.sorted_scores()[s - i];
+        i += step;
+        if prev == Some(tau) {
+            continue;
+        }
+        prev = Some(tau);
+        let cut = sample.cut_for(tau);
+        let sketch = sample.window_sketch(cut);
+        let bounds =
+            ratio_bounds_paired(&sketch, per_candidate, cfg.ci, rng, |r| sample.pair_at(r));
         if bounds.lower > gamma {
             // Candidates ascend, so the first certified one is the minimum.
             return tau;

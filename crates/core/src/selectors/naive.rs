@@ -9,19 +9,20 @@
 use rand::RngCore;
 
 use super::{TauEstimate, ThresholdSelector};
-use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::oracle::Oracle;
+use crate::prepared::DataView;
 use crate::query::{ApproxQuery, TargetKind};
 use crate::sample::OracleSample;
 use supg_sampling::sample_with_replacement;
 
 fn uniform_sample(
-    data: &ScoredDataset,
+    view: DataView<'_>,
     query: &ApproxQuery,
     oracle: &mut dyn Oracle,
     rng: &mut dyn RngCore,
 ) -> Result<OracleSample, SupgError> {
+    let data = view.data();
     let indices = sample_with_replacement(rng, data.len(), query.budget());
     OracleSample::label(data, indices, oracle, |_| 1.0)
 }
@@ -38,13 +39,13 @@ impl ThresholdSelector for UniformNoCiRecall {
 
     fn estimate(
         &self,
-        data: &ScoredDataset,
+        view: DataView<'_>,
         query: &ApproxQuery,
         oracle: &mut dyn Oracle,
         rng: &mut dyn RngCore,
     ) -> Result<TauEstimate, SupgError> {
         debug_assert_eq!(query.target(), TargetKind::Recall);
-        let sample = uniform_sample(data, query, oracle, rng)?;
+        let sample = uniform_sample(view, query, oracle, rng)?;
         let tau = sample.max_tau_for_recall(query.gamma()).unwrap_or(0.0);
         Ok(TauEstimate { tau, sample })
     }
@@ -62,13 +63,13 @@ impl ThresholdSelector for UniformNoCiPrecision {
 
     fn estimate(
         &self,
-        data: &ScoredDataset,
+        view: DataView<'_>,
         query: &ApproxQuery,
         oracle: &mut dyn Oracle,
         rng: &mut dyn RngCore,
     ) -> Result<TauEstimate, SupgError> {
         debug_assert_eq!(query.target(), TargetKind::Precision);
-        let sample = uniform_sample(data, query, oracle, rng)?;
+        let sample = uniform_sample(view, query, oracle, rng)?;
         let tau = empirical_precision_threshold(&sample, query.gamma());
         Ok(TauEstimate { tau, sample })
     }
@@ -95,6 +96,7 @@ fn empirical_precision_threshold(sample: &OracleSample, gamma: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::ScoredDataset;
     use crate::oracle::CachedOracle;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -113,7 +115,7 @@ mod tests {
         let query = ApproxQuery::recall_target(0.9, 0.05, 1_000);
         let mut rng = StdRng::seed_from_u64(5);
         let est = UniformNoCiRecall
-            .estimate(&data, &query, &mut oracle, &mut rng)
+            .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
             .unwrap();
         // Separable: true positives live in (0.5, 1]; a 90%-recall τ lands
         // near the 10th percentile of the positive range.
@@ -128,7 +130,7 @@ mod tests {
         let query = ApproxQuery::precision_target(0.9, 0.05, 1_000);
         let mut rng = StdRng::seed_from_u64(6);
         let est = UniformNoCiPrecision
-            .estimate(&data, &query, &mut oracle, &mut rng)
+            .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
             .unwrap();
         // Population precision at τ is 0.5/(1−τ), so the true minimal
         // 0.9-precision threshold is 1 − 0.5/0.9 ≈ 0.444 — naive lands
@@ -144,7 +146,7 @@ mod tests {
         let query = ApproxQuery::recall_target(0.9, 0.05, 100);
         let mut rng = StdRng::seed_from_u64(7);
         let est = UniformNoCiRecall
-            .estimate(&data, &query, &mut oracle, &mut rng)
+            .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
             .unwrap();
         assert_eq!(est.tau, 0.0);
     }
@@ -157,7 +159,7 @@ mod tests {
         let query = ApproxQuery::precision_target(0.9, 0.05, 100);
         let mut rng = StdRng::seed_from_u64(8);
         let est = UniformNoCiPrecision
-            .estimate(&data, &query, &mut oracle, &mut rng)
+            .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
             .unwrap();
         assert_eq!(est.tau, f64::INFINITY);
     }

@@ -1,0 +1,155 @@
+//! Naive quadratic reference implementations of the threshold estimators.
+//!
+//! These are the pre-sweep cost profiles, retained on purpose: per
+//! candidate they rescan the whole sample and materialize fresh vectors —
+//! O(M·s) work with per-candidate allocation — exactly what
+//! [`precision_threshold`](super::precision_threshold) /
+//! [`recall_threshold`](super::recall_threshold) replaced with O(1) prefix
+//! lookups. They exist for two jobs:
+//!
+//! 1. **Parity oracle.** Both paths walk the same canonical sample order
+//!    and hand the same moment sketches to the same bound kernel
+//!    ([`supg_stats::ci`]), so their `τ` outputs are **bit-identical** —
+//!    enforced over random samples, weights, strides and every
+//!    [`CiMethod`] by `crates/core/tests/sweep_parity.rs`.
+//! 2. **Benchmark baseline.** The `threshold_search` benchmark and the
+//!    `BENCH_selectors.json` exporter measure the sweep's speedup against
+//!    these functions.
+//!
+//! Do not call them from production paths.
+
+use rand::RngCore;
+use supg_stats::ci::{ratio_bounds_paired, CiMethod, PairSketch, SampleSketch};
+
+use crate::sample::OracleSample;
+use crate::selectors::SelectorConfig;
+
+/// Naive form of [`super::recall_threshold`]: finds the empirical
+/// threshold by a linear walk and materializes both split-indicator
+/// vectors before sketching them.
+pub fn recall_threshold_naive(
+    sample: &OracleSample,
+    gamma: f64,
+    delta: f64,
+    ci: CiMethod,
+    rng: &mut dyn RngCore,
+) -> f64 {
+    let Some(tau_hat) = max_tau_naive(sample, gamma) else {
+        return 0.0;
+    };
+    let (z1, z2) = sample.recall_split(tau_hat);
+    let sk1 = SampleSketch::from_values(z1.iter().copied());
+    let sk2 = SampleSketch::from_values(z2.iter().copied());
+    let ub1 = ci.upper_sketch(&sk1, delta / 2.0, rng, |r| z1[r]);
+    let lb2 = ci.lower_sketch(&sk2, delta / 2.0, rng, |r| z2[r]).max(0.0);
+    if !ub1.is_finite() || ub1 <= 0.0 {
+        return 0.0;
+    }
+    let gamma_prime = (ub1 / (ub1 + lb2)).min(1.0);
+    max_tau_naive(sample, gamma_prime).unwrap_or(0.0)
+}
+
+/// Naive form of [`super::precision_threshold`]: for every candidate,
+/// rescan the sample, materialize the `(O·m, m)` window and re-accumulate
+/// its moments from scratch.
+pub fn precision_threshold_naive(
+    sample: &OracleSample,
+    gamma: f64,
+    delta_budget: f64,
+    cfg: &SelectorConfig,
+    rng: &mut dyn RngCore,
+) -> f64 {
+    let candidates = sample.candidate_thresholds(cfg.precision_step);
+    if candidates.is_empty() {
+        return f64::INFINITY;
+    }
+    let m_hypotheses = sample.len().div_ceil(cfg.precision_step).max(1);
+    let per_candidate = delta_budget / m_hypotheses as f64;
+    for &tau in &candidates {
+        // O(s) rescan + two fresh allocations per candidate — the cost the
+        // sweep eliminated.
+        let (ys, xs) = sample.precision_pairs(tau);
+        let sketch = PairSketch::from_pairs(ys.iter().copied().zip(xs.iter().copied()));
+        let bounds = ratio_bounds_paired(&sketch, per_candidate, cfg.ci, rng, |r| (ys[r], xs[r]));
+        if bounds.lower > gamma {
+            return tau;
+        }
+    }
+    f64::INFINITY
+}
+
+/// Linear-walk `max{τ : Recall_Sw(τ) ≥ γ}` over the canonical order —
+/// accumulates positive mass rank by rank, mirroring the prefix sums the
+/// sweep binary-searches.
+fn max_tau_naive(sample: &OracleSample, gamma: f64) -> Option<f64> {
+    let mut total = 0.0;
+    for rank in 0..sample.len() {
+        let (y, _) = sample.pair_at(rank);
+        total += y;
+    }
+    if sample.positive_count() == 0 || total <= 0.0 {
+        return None;
+    }
+    let target = gamma.min(1.0) * total;
+    let mut acc = 0.0;
+    let mut last_positive = None;
+    for rank in 0..sample.len() {
+        let (y, _) = sample.pair_at(rank);
+        if y == 0.0 {
+            continue;
+        }
+        acc += y;
+        last_positive = Some(sample.sorted_scores()[rank]);
+        if acc + 1e-12 >= target {
+            return last_positive;
+        }
+    }
+    last_positive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mixed_sample(s: usize) -> OracleSample {
+        let indices: Vec<usize> = (0..s).collect();
+        let scores: Vec<f64> = (0..s)
+            .map(|i| ((i * 7919) % 1000) as f64 / 1000.0)
+            .collect();
+        let labels: Vec<bool> = scores.iter().map(|&a| a > 0.6).collect();
+        let reweights: Vec<f64> = (0..s).map(|i| 1.0 + (i % 5) as f64 / 2.0).collect();
+        OracleSample::from_parts(indices, scores, labels, reweights)
+    }
+
+    #[test]
+    fn naive_matches_sweep_on_a_fixed_sample() {
+        let sample = mixed_sample(2_000);
+        let cfg = SelectorConfig::default().with_precision_step(50);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let sweep = super::super::precision_threshold(&sample, 0.7, 0.05, &cfg, &mut r1);
+        let naive = precision_threshold_naive(&sample, 0.7, 0.05, &cfg, &mut r2);
+        assert_eq!(sweep.to_bits(), naive.to_bits());
+
+        let mut r1 = StdRng::seed_from_u64(2);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let sweep =
+            super::super::recall_threshold(&sample, 0.9, 0.05, CiMethod::PaperNormal, &mut r1);
+        let naive = recall_threshold_naive(&sample, 0.9, 0.05, CiMethod::PaperNormal, &mut r2);
+        assert_eq!(sweep.to_bits(), naive.to_bits());
+    }
+
+    #[test]
+    fn max_tau_naive_matches_indexed_version() {
+        let sample = mixed_sample(500);
+        for gamma in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                max_tau_naive(&sample, gamma),
+                sample.max_tau_for_recall(gamma),
+                "gamma={gamma}"
+            );
+        }
+    }
+}

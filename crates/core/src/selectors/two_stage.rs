@@ -12,12 +12,11 @@
 use rand::RngCore;
 
 use super::{precision_threshold, SelectorConfig, TauEstimate, ThresholdSelector};
-use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::oracle::Oracle;
+use crate::prepared::DataView;
 use crate::query::{ApproxQuery, TargetKind};
 use crate::sample::OracleSample;
-use supg_sampling::ImportanceWeights;
 
 /// `IS-CI-P` (Algorithm 5): two-stage importance-sampled precision-target
 /// threshold estimation. Guarantees `Pr[Precision(R) ≥ γ] ≥ 1 − δ`.
@@ -40,23 +39,21 @@ impl ThresholdSelector for TwoStagePrecision {
 
     fn estimate(
         &self,
-        data: &ScoredDataset,
+        view: DataView<'_>,
         query: &ApproxQuery,
         oracle: &mut dyn Oracle,
         rng: &mut dyn RngCore,
     ) -> Result<TauEstimate, SupgError> {
         debug_assert_eq!(query.target(), TargetKind::Precision);
+        let data = view.data();
         let n = data.len();
         let s1 = query.budget() / 2;
         let s2 = query.budget() - s1;
-        let weights = ImportanceWeights::from_scores(
-            data.scores(),
-            self.cfg.weight_exponent,
-            self.cfg.uniform_mix,
-        );
+        let artifacts = view.artifacts(self.cfg.weight_exponent, self.cfg.uniform_mix);
+        let weights = artifacts.weights();
 
         // --- Stage 1: upper-bound the number of matching records. ---
-        let sampler = weights.build_sampler();
+        let sampler = artifacts.sampler();
         let stage1_indices: Vec<usize> = (0..s1).map(|_| sampler.sample(rng)).collect();
         let stage1_factors: Vec<f64> = stage1_indices
             .iter()
@@ -82,8 +79,9 @@ impl ThresholdSelector for TwoStagePrecision {
         let subset: Vec<usize> = data.top_k(k).iter().map(|&i| i as usize).collect();
 
         // --- Stage 2: candidate search within the restricted range. ---
-        let restricted = weights.restrict(&subset);
-        let sub_sampler = restricted.build_sampler();
+        // The restricted sampler renormalizes lazily (inside the alias
+        // build) — no intermediate probability vector is copied/divided.
+        let sub_sampler = weights.restricted_sampler(&subset);
         let stage2_indices: Vec<usize> = (0..s2).map(|_| subset[sub_sampler.sample(rng)]).collect();
         // Reweighting factors from the *global* weights: the ratio
         // estimator is invariant to the constant renormalization between w
@@ -121,6 +119,7 @@ fn concat_samples(a: &OracleSample, b: &OracleSample) -> OracleSample {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::ScoredDataset;
     use crate::metrics::evaluate;
     use crate::oracle::CachedOracle;
     use rand::rngs::StdRng;
@@ -157,7 +156,7 @@ mod tests {
             let mut oracle = CachedOracle::from_labels(labels.clone(), 2_000);
             let mut rng = StdRng::seed_from_u64(4100 + t);
             let est = TwoStagePrecision::new(SelectorConfig::default())
-                .estimate(&data, &query, &mut oracle, &mut rng)
+                .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
                 .unwrap();
             if evaluate(&result_set(&data, &est), &labels).precision < 0.8 {
                 failures += 1;
@@ -181,10 +180,10 @@ mod tests {
             let mut r1 = StdRng::seed_from_u64(4200 + t);
             let mut r2 = StdRng::seed_from_u64(4200 + t);
             let two = TwoStagePrecision::new(SelectorConfig::default())
-                .estimate(&data, &query, &mut o1, &mut r1)
+                .estimate(DataView::cold(&data), &query, &mut o1, &mut r1)
                 .unwrap();
             let one = super::super::ImportancePrecision::new(SelectorConfig::default())
-                .estimate(&data, &query, &mut o2, &mut r2)
+                .estimate(DataView::cold(&data), &query, &mut o2, &mut r2)
                 .unwrap();
             two_recall += evaluate(&result_set(&data, &two), &labels).recall;
             one_recall += evaluate(&result_set(&data, &one), &labels).recall;
@@ -202,7 +201,7 @@ mod tests {
         let mut oracle = CachedOracle::from_labels(labels, 1_001);
         let mut rng = StdRng::seed_from_u64(44);
         let est = TwoStagePrecision::new(SelectorConfig::default())
-            .estimate(&data, &query, &mut oracle, &mut rng)
+            .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
             .unwrap();
         assert!(oracle.calls_used() <= 1_001);
         // Both stages' draws are surfaced.
@@ -218,7 +217,7 @@ mod tests {
         let mut oracle = CachedOracle::from_labels(labels, 400);
         let mut rng = StdRng::seed_from_u64(45);
         let est = TwoStagePrecision::new(SelectorConfig::default())
-            .estimate(&data, &query, &mut oracle, &mut rng)
+            .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
             .unwrap();
         // Nothing is certifiable; the selector must fall back to ∞.
         assert_eq!(est.tau, f64::INFINITY);

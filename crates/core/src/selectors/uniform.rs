@@ -5,9 +5,9 @@ use rand::RngCore;
 use super::{
     precision_threshold, recall_threshold, SelectorConfig, TauEstimate, ThresholdSelector,
 };
-use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::oracle::Oracle;
+use crate::prepared::DataView;
 use crate::query::{ApproxQuery, TargetKind};
 use crate::sample::OracleSample;
 use supg_sampling::sample_with_replacement;
@@ -35,12 +35,13 @@ impl ThresholdSelector for UniformRecall {
 
     fn estimate(
         &self,
-        data: &ScoredDataset,
+        view: DataView<'_>,
         query: &ApproxQuery,
         oracle: &mut dyn Oracle,
         rng: &mut dyn RngCore,
     ) -> Result<TauEstimate, SupgError> {
         debug_assert_eq!(query.target(), TargetKind::Recall);
+        let data = view.data();
         let indices = sample_with_replacement(rng, data.len(), query.budget());
         let sample = OracleSample::label(data, indices, oracle, |_| 1.0)?;
         let tau = recall_threshold(&sample, query.gamma(), query.delta(), self.cfg.ci, rng);
@@ -70,12 +71,13 @@ impl ThresholdSelector for UniformPrecision {
 
     fn estimate(
         &self,
-        data: &ScoredDataset,
+        view: DataView<'_>,
         query: &ApproxQuery,
         oracle: &mut dyn Oracle,
         rng: &mut dyn RngCore,
     ) -> Result<TauEstimate, SupgError> {
         debug_assert_eq!(query.target(), TargetKind::Precision);
+        let data = view.data();
         let indices = sample_with_replacement(rng, data.len(), query.budget());
         let sample = OracleSample::label(data, indices, oracle, |_| 1.0)?;
         let tau = precision_threshold(&sample, query.gamma(), query.delta(), &self.cfg, rng);
@@ -86,6 +88,7 @@ impl ThresholdSelector for UniformPrecision {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::ScoredDataset;
     use crate::metrics::evaluate;
     use crate::oracle::CachedOracle;
     use rand::rngs::StdRng;
@@ -113,7 +116,7 @@ mod tests {
         let mut oracle = CachedOracle::from_labels(labels.clone(), 2_000);
         let mut rng = StdRng::seed_from_u64(seed);
         let est = UniformRecall::new(SelectorConfig::default())
-            .estimate(&data, &query, &mut oracle, &mut rng)
+            .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
             .unwrap();
         // Recall of the full result (τ-selection ∪ labeled positives).
         let mut result: Vec<usize> = data.select(est.tau).iter().map(|&i| i as usize).collect();
@@ -144,7 +147,7 @@ mod tests {
             let mut oracle = CachedOracle::from_labels(labels.clone(), 2_000);
             let mut rng = StdRng::seed_from_u64(500 + t);
             let est = UniformPrecision::new(SelectorConfig::default())
-                .estimate(&data, &query, &mut oracle, &mut rng)
+                .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
                 .unwrap();
             let mut result: Vec<usize> = data.select(est.tau).iter().map(|&i| i as usize).collect();
             result.extend(est.sample.positive_indices());
@@ -166,10 +169,10 @@ mod tests {
         let mut rng1 = StdRng::seed_from_u64(11);
         let mut rng2 = StdRng::seed_from_u64(11);
         let guaranteed = UniformRecall::new(SelectorConfig::default())
-            .estimate(&data, &query, &mut o1, &mut rng1)
+            .estimate(DataView::cold(&data), &query, &mut o1, &mut rng1)
             .unwrap();
         let naive = super::super::UniformNoCiRecall
-            .estimate(&data, &query, &mut o2, &mut rng2)
+            .estimate(DataView::cold(&data), &query, &mut o2, &mut rng2)
             .unwrap();
         // Same sample (same seed stream) → the CI version must pick a τ no
         // larger than the empirical one.
@@ -183,7 +186,7 @@ mod tests {
         let mut oracle = CachedOracle::from_labels(labels, 300);
         let mut rng = StdRng::seed_from_u64(21);
         UniformRecall::new(SelectorConfig::default())
-            .estimate(&data, &query, &mut oracle, &mut rng)
+            .estimate(DataView::cold(&data), &query, &mut oracle, &mut rng)
             .unwrap();
         assert!(oracle.calls_used() <= 300);
     }

@@ -50,6 +50,7 @@
 //! — and determinism is configured once on the session ([`SupgSession::seed`])
 //! instead of threading an RNG through every call.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -59,6 +60,7 @@ use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::executor::SelectionResult;
 use crate::oracle::{BatchOracle, CachedOracle, Oracle};
+use crate::prepared::{DataView, PreparedDataset};
 use crate::query::{ApproxQuery, JointQuery, TargetKind};
 use crate::runtime::RuntimeConfig;
 use crate::selectors::{
@@ -265,7 +267,7 @@ pub struct QueryOutcome {
 /// panics sprinkled across the pipeline.
 #[derive(Debug, Clone)]
 pub struct SupgSession<'a> {
-    data: &'a ScoredDataset,
+    data: SessionData<'a>,
     recall: Option<f64>,
     precision: Option<f64>,
     delta: f64,
@@ -284,6 +286,27 @@ impl<'a> SupgSession<'a> {
     /// [`SelectorKind::paper_family_default`]), seed [`DEFAULT_SEED`],
     /// no targets yet.
     pub fn over(data: &'a ScoredDataset) -> Self {
+        Self::with_data(SessionData::Cold(data))
+    }
+
+    /// Starts a session over a [`PreparedDataset`], reusing its cached
+    /// sampling artifacts instead of paying the O(n) weight/alias-table
+    /// construction per query. Results are identical to
+    /// [`over`](SupgSession::over) on the same data and seed; only the
+    /// setup cost is amortized.
+    pub fn over_prepared(prepared: &'a PreparedDataset) -> Self {
+        Self::with_data(SessionData::Prepared(prepared))
+    }
+
+    /// Starts a session that *owns* a shared handle to a
+    /// [`PreparedDataset`] — the form concurrent serving uses, where many
+    /// sessions on many threads share one prepared corpus without a
+    /// borrow tying them to its owner.
+    pub fn over_shared(prepared: Arc<PreparedDataset>) -> Self {
+        Self::with_data(SessionData::Shared(prepared))
+    }
+
+    fn with_data(data: SessionData<'a>) -> Self {
         Self {
             data,
             recall: None,
@@ -295,6 +318,15 @@ impl<'a> SupgSession<'a> {
             config: SelectorConfig::default(),
             seed: DEFAULT_SEED,
             runtime: None,
+        }
+    }
+
+    /// The view selectors run against (dataset + optional artifact cache).
+    fn view(&self) -> DataView<'_> {
+        match &self.data {
+            SessionData::Cold(data) => DataView::cold(data),
+            SessionData::Prepared(prepared) => DataView::prepared(prepared),
+            SessionData::Shared(prepared) => DataView::prepared(prepared),
         }
     }
 
@@ -463,7 +495,7 @@ impl<'a> SupgSession<'a> {
                     oracle.configure_runtime(runtime);
                 }
                 exec_joint(
-                    self.data,
+                    self.view(),
                     &query,
                     stage_budget,
                     selector.as_ref(),
@@ -490,7 +522,7 @@ impl<'a> SupgSession<'a> {
         if let Some(runtime) = self.runtime {
             oracle.configure_runtime(runtime);
         }
-        exec_single(self.data, query, selector.as_ref(), oracle, rng)
+        exec_single(self.view(), query, selector.as_ref(), oracle, rng)
     }
 
     /// The selector kind this session will actually run for `target`: the
@@ -554,6 +586,16 @@ impl<'a> SupgSession<'a> {
     }
 }
 
+/// The dataset a session runs over: a plain borrow (cold, per-query
+/// artifact construction), a borrowed prepared dataset, or an owned
+/// shared handle to one (concurrent serving).
+#[derive(Debug, Clone)]
+enum SessionData<'a> {
+    Cold(&'a ScoredDataset),
+    Prepared(&'a PreparedDataset),
+    Shared(Arc<PreparedDataset>),
+}
+
 enum Plan {
     Single(ApproxQuery),
     Joint {
@@ -565,7 +607,7 @@ enum Plan {
 /// Algorithm 1 with an explicit selector: estimate `τ`, return labeled
 /// positives ∪ threshold set.
 fn exec_single(
-    data: &ScoredDataset,
+    view: DataView<'_>,
     query: &ApproxQuery,
     selector: &dyn ThresholdSelector,
     oracle: &mut dyn Oracle,
@@ -573,16 +615,17 @@ fn exec_single(
 ) -> Result<QueryOutcome, SupgError> {
     let start = Instant::now();
     let calls_before = oracle.calls_used();
-    let estimate = selector.estimate(data, query, oracle, rng)?;
+    let estimate = selector.estimate(view, query, oracle, rng)?;
 
     // R2: all records at or above the threshold.
-    let mut indices: Vec<usize> = data
+    let mut indices: Vec<usize> = view
+        .data()
         .select(estimate.tau)
         .iter()
         .map(|&i| i as usize)
         .collect();
     // R1: sampled records the oracle labeled positive.
-    indices.extend(estimate.sample.positive_indices());
+    indices.extend_from_slice(estimate.sample.positive_indices());
     let result = SelectionResult::from_indices(indices);
 
     let stage_calls = oracle.calls_used() - calls_before;
@@ -606,7 +649,7 @@ fn exec_single(
 /// becomes 1 ≥ γ_p while recall is untouched — only negatives are
 /// removed).
 fn exec_joint(
-    data: &ScoredDataset,
+    view: DataView<'_>,
     query: &JointQuery,
     stage_budget: usize,
     rt_selector: &dyn ThresholdSelector,
@@ -623,13 +666,13 @@ fn exec_joint(
     // own budget back afterwards (success or error) so a reused oracle
     // keeps enforcing it.
     let saved_budget = oracle.budget();
-    let result = exec_joint_stages(data, &rt_query, rt_selector, oracle, rng);
+    let result = exec_joint_stages(view, &rt_query, rt_selector, oracle, rng);
     oracle.set_budget(saved_budget);
     result
 }
 
 fn exec_joint_stages(
-    data: &ScoredDataset,
+    view: DataView<'_>,
     rt_query: &ApproxQuery,
     rt_selector: &dyn ThresholdSelector,
     oracle: &mut dyn SessionOracle,
@@ -640,7 +683,7 @@ fn exec_joint_stages(
     // Grant the RT stage exactly its stage budget in fresh calls even when
     // the oracle was used before (set_budget replaces the *total* budget).
     oracle.set_budget(calls_before.saturating_add(rt_query.budget()));
-    let stage = exec_single(data, rt_query, rt_selector, oracle, rng)?;
+    let stage = exec_single(view, rt_query, rt_selector, oracle, rng)?;
     let stage_calls = oracle.calls_used() - calls_before;
 
     // Already-labeled records are cache hits and cost nothing extra. The

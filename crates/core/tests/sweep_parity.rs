@@ -1,0 +1,133 @@
+//! Parity suite: the sweep-based threshold estimators must return
+//! **bit-identical** τ to the retained naive quadratic references over
+//! random samples, weights, strides and every CI method.
+//!
+//! Both paths walk the same canonical sample order and feed the same
+//! moment sketches to the same bound kernel, so any divergence is a bug in
+//! the prefix bookkeeping — this suite is the contract that keeps the O(1)
+//! window lookups honest.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use supg_core::selectors::reference::{precision_threshold_naive, recall_threshold_naive};
+use supg_core::selectors::{precision_threshold, recall_threshold, SelectorConfig};
+use supg_core::OracleSample;
+use supg_stats::CiMethod;
+
+/// Every CI method, including the rng-consuming bootstrap (small resample
+/// count: parity also covers the rng stream, since both paths must draw
+/// identically).
+fn all_methods() -> Vec<CiMethod> {
+    vec![
+        CiMethod::PaperNormal,
+        CiMethod::ZNormal,
+        CiMethod::Hoeffding,
+        CiMethod::ClopperPearson,
+        CiMethod::Wilson,
+        CiMethod::Bootstrap { resamples: 20 },
+    ]
+}
+
+/// Strategy: a random labeled sample. Scores are quantized to a small grid
+/// so candidate thresholds collide often (the dedup path), and weights mix
+/// unit (uniform-sampling) and non-unit (importance) factors so both the
+/// exact-binomial fast path and its fallback are exercised.
+fn sample_strategy() -> impl Strategy<Value = OracleSample> {
+    (
+        prop::collection::vec((0u32..50, any::<bool>(), 1u32..8), 1..400),
+        any::<bool>(),
+    )
+        .prop_map(|(rows, unit_weights)| {
+            let mut indices = Vec::new();
+            let mut scores = Vec::new();
+            let mut labels = Vec::new();
+            let mut reweights = Vec::new();
+            for (i, (q, label, w)) in rows.into_iter().enumerate() {
+                indices.push(i);
+                scores.push(q as f64 / 49.0);
+                labels.push(label);
+                reweights.push(if unit_weights { 1.0 } else { w as f64 / 2.0 });
+            }
+            OracleSample::from_parts(indices, scores, labels, reweights)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn precision_sweep_is_bit_identical_to_naive(
+        sample in sample_strategy(),
+        step in 1usize..40,
+        gamma in 0.05f64..0.99,
+        delta in prop_oneof![Just(0.01f64), Just(0.05), Just(0.2)],
+        seed in 0u64..10_000,
+    ) {
+        for method in all_methods() {
+            let cfg = SelectorConfig::default()
+                .with_ci(method)
+                .with_precision_step(step);
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let sweep = precision_threshold(&sample, gamma, delta, &cfg, &mut r1);
+            let naive = precision_threshold_naive(&sample, gamma, delta, &cfg, &mut r2);
+            prop_assert_eq!(
+                sweep.to_bits(),
+                naive.to_bits(),
+                "{:?}: sweep {} vs naive {}",
+                method,
+                sweep,
+                naive
+            );
+        }
+    }
+
+    #[test]
+    fn recall_sweep_is_bit_identical_to_naive(
+        sample in sample_strategy(),
+        gamma in 0.05f64..1.0,
+        delta in prop_oneof![Just(0.01f64), Just(0.05), Just(0.2)],
+        seed in 0u64..10_000,
+    ) {
+        for method in all_methods() {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let sweep = recall_threshold(&sample, gamma, delta, method, &mut r1);
+            let naive = recall_threshold_naive(&sample, gamma, delta, method, &mut r2);
+            prop_assert_eq!(
+                sweep.to_bits(),
+                naive.to_bits(),
+                "{:?}: sweep {} vs naive {}",
+                method,
+                sweep,
+                naive
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_accessors_match_materialized_forms(
+        sample in sample_strategy(),
+        tau_grid in 0u32..55,
+    ) {
+        // Spot-check the canonical-index accessors against their
+        // materializing counterparts at arbitrary (including off-sample)
+        // thresholds.
+        let tau = tau_grid as f64 / 49.0;
+        let cut = sample.cut_for(tau);
+        let (ys, xs) = sample.precision_pairs(tau);
+        prop_assert_eq!(ys.len(), cut);
+        let sketch = sample.window_sketch(cut);
+        let direct = supg_stats::PairSketch::from_pairs(
+            ys.iter().copied().zip(xs.iter().copied()),
+        );
+        prop_assert_eq!(sketch, direct);
+
+        let (z1, z2) = sample.recall_split(tau);
+        let (sk1, sk2) = sample.z_sketches(cut);
+        prop_assert_eq!(sk1, supg_stats::SampleSketch::from_values(z1.iter().copied()));
+        prop_assert_eq!(sk2, supg_stats::SampleSketch::from_values(z2.iter().copied()));
+    }
+}

@@ -167,7 +167,9 @@ pub fn run_one_trial_with(
     seed: u64,
 ) -> TrialOutcome {
     let mut oracle = workload.oracle(query.budget());
-    let outcome = SupgSession::over(&workload.data)
+    // Prepared session: the workload's shared artifact cache absorbs the
+    // per-trial O(n) sampling setup (results identical to a cold session).
+    let outcome = SupgSession::over_prepared(&workload.prepared)
         .query(query)
         .selector(selector)
         .selector_config(cfg)

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use supg_core::{CachedOracle, ScoredDataset};
+use supg_core::{CachedOracle, PreparedDataset, ScoredDataset};
 use supg_datasets::{LabeledData, Preset};
 
 /// One evaluation workload: a scored dataset, its ground-truth labels, and
@@ -14,6 +14,10 @@ pub struct Workload {
     pub name: String,
     /// Proxy scores with the sorted index.
     pub data: Arc<ScoredDataset>,
+    /// The shared prepared-artifact layer over [`data`](Workload::data):
+    /// importance weights and alias tables are built once here and reused
+    /// by every trial, so trials stop paying O(n) sampling setup each.
+    pub prepared: Arc<PreparedDataset>,
     /// Ground-truth oracle labels (hidden from the algorithms; only the
     /// budgeted oracle and the evaluation metrics touch them).
     pub labels: Arc<Vec<bool>>,
@@ -29,9 +33,12 @@ impl Workload {
     /// guarantee them valid).
     pub fn from_labeled(name: impl Into<String>, data: LabeledData, budget: usize) -> Self {
         let (scores, labels) = data.into_parts();
+        let data = Arc::new(ScoredDataset::new(scores).expect("generator produced valid scores"));
+        let prepared = Arc::new(PreparedDataset::from_arc(Arc::clone(&data)));
         Self {
             name: name.into(),
-            data: Arc::new(ScoredDataset::new(scores).expect("generator produced valid scores")),
+            data,
+            prepared,
             labels: Arc::new(labels),
             budget,
         }

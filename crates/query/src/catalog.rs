@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use supg_core::ScoredDataset;
+use supg_core::{PreparedDataset, ScoredDataset};
 
 use crate::error::QueryError;
 
@@ -40,10 +40,16 @@ impl OracleUdf {
 
 /// One registered table: a record count plus its proxy score columns and
 /// oracle callbacks.
+///
+/// Proxies are stored as [`PreparedDataset`]s, so the sampling artifacts
+/// (importance weights + alias tables) a statement builds are kept on the
+/// table and reused by every later statement over the same proxy — the
+/// engine pays the O(n) preparation once per `(proxy, weight recipe)`,
+/// not once per query.
 pub struct Table {
     name: String,
     len: usize,
-    proxies: HashMap<String, Arc<ScoredDataset>>,
+    proxies: HashMap<String, Arc<PreparedDataset>>,
     oracles: HashMap<String, OracleUdf>,
 }
 
@@ -104,7 +110,8 @@ impl Table {
             )));
         }
         let dataset = ScoredDataset::new(scores).map_err(QueryError::Execution)?;
-        self.proxies.insert(name.into(), Arc::new(dataset));
+        self.proxies
+            .insert(name.into(), Arc::new(PreparedDataset::new(dataset)));
         Ok(())
     }
 
@@ -137,6 +144,12 @@ impl Table {
 
     /// Looks up a proxy's pre-scored dataset.
     pub fn proxy(&self, name: &str) -> Result<Arc<ScoredDataset>, QueryError> {
+        self.prepared_proxy(name).map(|p| p.share_data())
+    }
+
+    /// Looks up a proxy's prepared dataset (scores + the cached sampling
+    /// artifacts shared across statements).
+    pub fn prepared_proxy(&self, name: &str) -> Result<Arc<PreparedDataset>, QueryError> {
         self.proxies
             .get(name)
             .cloned()

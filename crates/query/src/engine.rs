@@ -252,7 +252,9 @@ impl Engine {
         selector: Option<SelectorKind>,
     ) -> Result<QueryReport, QueryError> {
         let table = self.catalog.table(&statement.table)?;
-        let dataset = table.proxy(&statement.proxy.name)?;
+        // Prepared proxy: the table keeps its sampling artifacts across
+        // statements, so repeated queries skip the O(n) weight/alias setup.
+        let dataset = table.prepared_proxy(&statement.proxy.name)?;
         let oracle_udf = table.oracle(&statement.predicate.name)?;
 
         // `WHERE F(x) = false` selects the records the oracle rejects.
@@ -282,7 +284,7 @@ impl Engine {
             };
             self.config.selector.paper_family_default(target)
         });
-        let mut session = SupgSession::over(&dataset)
+        let mut session = SupgSession::over_shared(dataset)
             .delta(statement.delta())
             .selector(kind)
             .selector_config(self.config.tuning);

@@ -18,6 +18,23 @@
 //! [`ratio_bounds`] implements the delta-method reduction that turns a bound
 //! on a *mean* into a bound on a *ratio of means* — the form precision
 //! estimates take under importance sampling (see `DESIGN.md` §3).
+//!
+//! ## Sketch-based bounds
+//!
+//! The SUPG threshold sweep evaluates bounds on thousands of nested sample
+//! windows; materializing each window would cost O(M·s). [`SampleSketch`]
+//! and [`PairSketch`] capture everything the closed-form methods need —
+//! running sums, squared sums, extremes and a binarity certificate,
+//! accumulated in one canonical left-to-right order — so a window bound is
+//! O(1) given the sketch, and a sketch is an O(1) lookup given prefix
+//! snapshots. The bootstrap is the one method that needs the actual values;
+//! it reads them through a virtual `value_at` accessor instead of a slice,
+//! so no window is ever materialized.
+//!
+//! Two computations of the same sketch are bit-identical whenever they push
+//! the same values in the same order — the parity contract between the
+//! sweep-based estimators and their naive quadratic references in
+//! `supg-core` rests on exactly this property.
 
 use rand::Rng;
 
@@ -77,6 +94,144 @@ pub enum CiMethod {
     },
 }
 
+/// Order-canonical moment summary of a (possibly virtual) sample: the
+/// sufficient statistics for every closed-form [`CiMethod`] bound.
+///
+/// A sketch is built by [`push`](SampleSketch::push)ing values left to
+/// right; all accumulators are plain sequential folds, so two sketches over
+/// the same value sequence are **bit-identical** regardless of whether the
+/// values came from a materialized slice or a virtual window. Copyable, so
+/// per-prefix snapshots give O(1) sketches of every nested window.
+///
+/// The variance is recovered from `Σx` / `Σx²` (textbook form, clamped at
+/// 0) rather than a Welford stream — adequate for the bounded-magnitude
+/// indicator data the SUPG estimators produce, and the only formula that
+/// prefix snapshots can answer in O(1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSketch {
+    n: usize,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+    /// Count of values equal to 1.0 (meaningful only while `binary`).
+    ones: u64,
+    /// True while every pushed value is exactly 0.0 or 1.0.
+    binary: bool,
+}
+
+impl Default for SampleSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SampleSketch {
+    /// An empty sketch (vacuously binary; extremes at `±∞`).
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ones: 0,
+            binary: true,
+        }
+    }
+
+    /// Accumulates one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x == 1.0 {
+            self.ones += 1;
+        } else if x != 0.0 {
+            self.binary = false;
+        }
+    }
+
+    /// Builds a sketch from a value sequence (left-to-right).
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Self::new();
+        for x in values {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no observations were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sample mean `Σx / n` (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance `(Σx² − x̄·Σx)/(n−1)`, clamped at 0
+    /// (0 when n < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        ((self.sum_sq - self.mean() * self.sum) / (self.n - 1) as f64).max(0.0)
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_sd(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// `Some(count of 1.0s)` when every value is exactly 0.0 or 1.0 — the
+    /// precondition of the exact binomial methods.
+    pub fn binary_successes(&self) -> Option<u64> {
+        if self.binary {
+            Some(self.ones)
+        } else {
+            None
+        }
+    }
+
+    /// Constructs a sketch directly from already-reduced statistics. Used
+    /// by [`ratio_bounds_paired`], whose pseudo-observation moments come
+    /// from an algebraic expansion rather than a value stream.
+    fn from_raw(n: usize, sum: f64, sum_sq: f64, min: f64, max: f64, binary: Option<u64>) -> Self {
+        Self {
+            n,
+            sum,
+            sum_sq,
+            min,
+            max,
+            ones: binary.unwrap_or(0),
+            binary: binary.is_some(),
+        }
+    }
+}
+
 impl CiMethod {
     /// One-sided upper confidence bound on the population mean.
     pub fn upper<R: Rng + ?Sized>(&self, sample: &[f64], delta: f64, rng: &mut R) -> f64 {
@@ -88,44 +243,122 @@ impl CiMethod {
         self.bound(sample, delta, rng, Side::Lower)
     }
 
+    /// One-sided upper bound from a [`SampleSketch`]. `value_at` recovers
+    /// the `i`-th observation (canonical order) — consulted only by the
+    /// bootstrap, which resamples actual values; closed-form methods read
+    /// the sketch alone, so the bound is O(1) (or O(resamples·n) for the
+    /// bootstrap) and allocation-free for all closed-form methods.
+    pub fn upper_sketch<R: Rng + ?Sized>(
+        &self,
+        sketch: &SampleSketch,
+        delta: f64,
+        rng: &mut R,
+        value_at: impl Fn(usize) -> f64,
+    ) -> f64 {
+        self.bound_sketch(sketch, delta, rng, &value_at, Side::Upper)
+    }
+
+    /// One-sided lower bound from a [`SampleSketch`]; see
+    /// [`upper_sketch`](CiMethod::upper_sketch).
+    pub fn lower_sketch<R: Rng + ?Sized>(
+        &self,
+        sketch: &SampleSketch,
+        delta: f64,
+        rng: &mut R,
+        value_at: impl Fn(usize) -> f64,
+    ) -> f64 {
+        self.bound_sketch(sketch, delta, rng, &value_at, Side::Lower)
+    }
+
+    /// Slice path: identical logic to the sketch path, but the normal
+    /// bounds take their `μ̂`/`σ̂` from a Welford stream — the slice API
+    /// serves arbitrary-magnitude data, where the sketch's sum-of-squares
+    /// variance (the price of O(1) prefix windows) would cancel
+    /// catastrophically. The two paths agree to fp rounding on the
+    /// bounded-magnitude data the SUPG estimators produce, and are
+    /// bit-identical for the moment-free methods (binomial, bootstrap).
     fn bound<R: Rng + ?Sized>(&self, sample: &[f64], delta: f64, rng: &mut R, side: Side) -> f64 {
+        match self {
+            CiMethod::PaperNormal | CiMethod::ZNormal => {
+                assert!(
+                    delta > 0.0 && delta < 1.0,
+                    "CiMethod: delta={delta} outside (0,1)"
+                );
+                if sample.is_empty() {
+                    return match side {
+                        Side::Upper => f64::INFINITY,
+                        Side::Lower => f64::NEG_INFINITY,
+                    };
+                }
+                let stats = RunningStats::from_slice(sample);
+                let n = sample.len();
+                let w = match self {
+                    CiMethod::PaperNormal => lemma1_half_width(stats.sample_sd(), n, delta),
+                    _ => inv_norm_cdf(1.0 - delta) * stats.sample_sd() / (n as f64).sqrt(),
+                };
+                side.apply(stats.mean(), w)
+            }
+            CiMethod::ClopperPearson | CiMethod::Wilson => {
+                let sketch = SampleSketch::from_values(sample.iter().copied());
+                if sketch.binary_successes().is_some() {
+                    self.bound_sketch(&sketch, delta, rng, &|i| sample[i], side)
+                } else {
+                    // Keep the non-binary fallback on the robust slice
+                    // path, not the sketch's sum-of-squares variance.
+                    CiMethod::PaperNormal.bound(sample, delta, rng, side)
+                }
+            }
+            CiMethod::Hoeffding | CiMethod::Bootstrap { .. } => {
+                let sketch = SampleSketch::from_values(sample.iter().copied());
+                self.bound_sketch(&sketch, delta, rng, &|i| sample[i], side)
+            }
+        }
+    }
+
+    fn bound_sketch<R: Rng + ?Sized>(
+        &self,
+        sketch: &SampleSketch,
+        delta: f64,
+        rng: &mut R,
+        value_at: &dyn Fn(usize) -> f64,
+        side: Side,
+    ) -> f64 {
         assert!(
             delta > 0.0 && delta < 1.0,
             "CiMethod: delta={delta} outside (0,1)"
         );
-        if sample.is_empty() {
+        if sketch.is_empty() {
             return match side {
                 Side::Upper => f64::INFINITY,
                 Side::Lower => f64::NEG_INFINITY,
             };
         }
-        let stats = RunningStats::from_slice(sample);
-        let n = sample.len();
+        let n = sketch.len();
         match self {
             CiMethod::PaperNormal => {
-                let w = lemma1_half_width(stats.sample_sd(), n, delta);
-                side.apply(stats.mean(), w)
+                let w = lemma1_half_width(sketch.sample_sd(), n, delta);
+                side.apply(sketch.mean(), w)
             }
             CiMethod::ZNormal => {
                 let z = inv_norm_cdf(1.0 - delta);
-                let w = z * stats.sample_sd() / (n as f64).sqrt();
-                side.apply(stats.mean(), w)
+                let w = z * sketch.sample_sd() / (n as f64).sqrt();
+                side.apply(sketch.mean(), w)
             }
             CiMethod::Hoeffding => {
-                let range = stats.max() - stats.min();
+                let range = sketch.max() - sketch.min();
                 let w = range * ((1.0 / delta).ln() / (2.0 * n as f64)).sqrt();
-                side.apply(stats.mean(), w)
+                side.apply(sketch.mean(), w)
             }
-            CiMethod::ClopperPearson => match binary_successes(sample) {
+            CiMethod::ClopperPearson => match sketch.binary_successes() {
                 Some(k) => clopper_pearson(k, n as u64, delta, side),
-                None => CiMethod::PaperNormal.bound(sample, delta, rng, side),
+                None => CiMethod::PaperNormal.bound_sketch(sketch, delta, rng, value_at, side),
             },
-            CiMethod::Wilson => match binary_successes(sample) {
+            CiMethod::Wilson => match sketch.binary_successes() {
                 Some(k) => wilson(k, n as u64, delta, side),
-                None => CiMethod::PaperNormal.bound(sample, delta, rng, side),
+                None => CiMethod::PaperNormal.bound_sketch(sketch, delta, rng, value_at, side),
             },
             CiMethod::Bootstrap { resamples } => {
-                bootstrap_mean_bound(sample, delta, *resamples, rng, side)
+                bootstrap_mean_bound(n, value_at, delta, *resamples, rng, side)
             }
         }
     }
@@ -144,19 +377,6 @@ impl Side {
             Side::Lower => mean - half_width,
         }
     }
-}
-
-/// Returns `Some(successes)` when every sample value is 0 or 1.
-fn binary_successes(sample: &[f64]) -> Option<u64> {
-    let mut k = 0u64;
-    for &x in sample {
-        if x == 1.0 {
-            k += 1;
-        } else if x != 0.0 {
-            return None;
-        }
-    }
-    Some(k)
 }
 
 /// One-sided Clopper–Pearson bound for `k` successes in `n` trials.
@@ -196,21 +416,22 @@ fn wilson(k: u64, n: u64, delta: f64, side: Side) -> f64 {
     }
 }
 
-/// One-sided percentile bootstrap bound on the mean.
+/// One-sided percentile bootstrap bound on the mean, resampling through a
+/// virtual value accessor (canonical order).
 fn bootstrap_mean_bound<R: Rng + ?Sized>(
-    sample: &[f64],
+    n: usize,
+    value_at: &dyn Fn(usize) -> f64,
     delta: f64,
     resamples: usize,
     rng: &mut R,
     side: Side,
 ) -> f64 {
     assert!(resamples > 0, "Bootstrap: resamples must be > 0");
-    let n = sample.len();
     let mut means = Vec::with_capacity(resamples);
     for _ in 0..resamples {
         let mut acc = 0.0;
         for _ in 0..n {
-            acc += sample[rng.gen_range(0..n)];
+            acc += value_at(rng.gen_range(0..n));
         }
         means.push(acc / n as f64);
     }
@@ -286,9 +507,197 @@ pub fn ratio_bounds<R: Rng + ?Sized>(
     }
 }
 
+/// Windowed moments of *indicator-weighted* pairs — the structure every
+/// SUPG precision estimate has: `(yᵢ, xᵢ) = (O(xᵢ)·mᵢ, mᵢ)`, so each `yᵢ`
+/// is either 0 (oracle-negative) or equal to `xᵢ = mᵢ > 0`
+/// (oracle-positive). The structure makes the delta-method pseudo-sample's
+/// moments an O(1) algebraic function of these sums (note `Σyᵢxᵢ = Σyᵢ²`),
+/// which is what lets [`ratio_bounds_paired`] bound a window without
+/// materializing it.
+///
+/// Accumulation is a plain left-to-right fold ([`push`](PairSketch::push)),
+/// so — like [`SampleSketch`] — two sketches over the same pair sequence
+/// are bit-identical, and `Copy` snapshots give O(1) sketches of every
+/// prefix window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairSketch {
+    /// Window size.
+    pub n: usize,
+    /// `Σ yᵢ` (= Σ mᵢ over positives).
+    pub sum_y: f64,
+    /// `Σ xᵢ` (= Σ mᵢ over the window).
+    pub sum_x: f64,
+    /// `Σ yᵢ²` (= Σ mᵢ² over positives; also equals `Σ yᵢxᵢ`).
+    pub sum_y2: f64,
+    /// `Σ xᵢ²` (= Σ mᵢ² over the window).
+    pub sum_x2: f64,
+    /// Count of positives (`yᵢ ≠ 0`).
+    pub positives: usize,
+    /// Count of window elements with `xᵢ ≠ 1.0` (unit weights ⇔ uniform
+    /// sampling; gates the exact binomial methods).
+    pub non_unit: usize,
+    /// Extremes of `xᵢ` over positives (`±∞` when no positives).
+    pub min_m_pos: f64,
+    /// See [`min_m_pos`](PairSketch::min_m_pos).
+    pub max_m_pos: f64,
+    /// Extremes of `xᵢ` over negatives (`±∞` when no negatives).
+    pub min_m_neg: f64,
+    /// See [`min_m_neg`](PairSketch::min_m_neg).
+    pub max_m_neg: f64,
+}
+
+impl Default for PairSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PairSketch {
+    /// An empty window.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            sum_y: 0.0,
+            sum_x: 0.0,
+            sum_y2: 0.0,
+            sum_x2: 0.0,
+            positives: 0,
+            non_unit: 0,
+            min_m_pos: f64::INFINITY,
+            max_m_pos: f64::NEG_INFINITY,
+            min_m_neg: f64::INFINITY,
+            max_m_neg: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulates one `(y, x)` pair. The caller guarantees the indicator
+    /// structure (`y == 0` or `y == x`, `x > 0`).
+    pub fn push(&mut self, y: f64, x: f64) {
+        self.n += 1;
+        self.sum_y += y;
+        self.sum_x += x;
+        self.sum_y2 += y * y;
+        self.sum_x2 += x * x;
+        if x != 1.0 {
+            self.non_unit += 1;
+        }
+        if y != 0.0 {
+            self.positives += 1;
+            self.min_m_pos = self.min_m_pos.min(x);
+            self.max_m_pos = self.max_m_pos.max(x);
+        } else {
+            self.min_m_neg = self.min_m_neg.min(x);
+            self.max_m_neg = self.max_m_neg.max(x);
+        }
+    }
+
+    /// Builds a sketch from a pair sequence (left-to-right).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let mut s = Self::new();
+        for (y, x) in pairs {
+            s.push(y, x);
+        }
+        s
+    }
+}
+
+/// Delta-method ratio-of-means bounds from a [`PairSketch`] — the O(1)
+/// sketch-driven equivalent of [`ratio_bounds`] for indicator-weighted
+/// pairs.
+///
+/// The pseudo-observation moments (`Σrᵢ`, `Σrᵢ²` for
+/// `rᵢ = R̂ + (yᵢ − R̂·xᵢ)/x̄`) are recovered algebraically from the
+/// sketch's sums; extremes come from evaluating the (monotone) pseudo map
+/// at the stored weight extremes; the exact binomial methods engage only
+/// on unit-weight windows (uniform sampling), where `rᵢ = yᵢ` and binarity
+/// reduces to one representative evaluation. `pair_at` recovers the `i`-th
+/// pair in canonical order and is consulted only by the bootstrap.
+///
+/// Results may differ from [`ratio_bounds`] over a materialized window by
+/// floating-point rounding (different but fixed summation formulas); what
+/// is guaranteed is determinism — identical sketches and pair order give
+/// bit-identical bounds.
+pub fn ratio_bounds_paired<R: Rng + ?Sized>(
+    sketch: &PairSketch,
+    delta: f64,
+    method: CiMethod,
+    rng: &mut R,
+    pair_at: impl Fn(usize) -> (f64, f64),
+) -> RatioBounds {
+    let vacuous = RatioBounds {
+        estimate: 0.0,
+        lower: f64::NEG_INFINITY,
+        upper: f64::INFINITY,
+    };
+    if sketch.n == 0 {
+        return vacuous;
+    }
+    let n = sketch.n as f64;
+    let x_bar = sketch.sum_x / n;
+    if x_bar <= 0.0 {
+        return vacuous;
+    }
+    let y_bar = sketch.sum_y / n;
+    let r_hat = y_bar / x_bar;
+    let pseudo = |y: f64, x: f64| r_hat + (y - r_hat * x) / x_bar;
+
+    // Pseudo moments via the indicator-pair expansion (Σyx = Σy²):
+    //   Σd  = Σy − R̂·Σx            with dᵢ = yᵢ − R̂·xᵢ
+    //   Σd² = (1 − 2R̂)·Σy² + R̂²·Σx²
+    let sum_d = sketch.sum_y - r_hat * sketch.sum_x;
+    let sum_d2 = (1.0 - 2.0 * r_hat) * sketch.sum_y2 + r_hat * r_hat * sketch.sum_x2;
+    let sum_p = n * r_hat + sum_d / x_bar;
+    let sum_p2 = n * r_hat * r_hat + 2.0 * r_hat * sum_d / x_bar + sum_d2 / (x_bar * x_bar);
+
+    // Extremes: the pseudo map is monotone in m on each label class, so
+    // evaluating it at the stored weight extremes brackets the window.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    if sketch.positives > 0 {
+        for m in [sketch.min_m_pos, sketch.max_m_pos] {
+            let v = pseudo(m, m);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if sketch.positives < sketch.n {
+        for m in [sketch.min_m_neg, sketch.max_m_neg] {
+            let v = pseudo(0.0, m);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+
+    // Binarity: with unit weights x̄ = 1 exactly, negatives map to exactly
+    // 0, and every positive maps to the single value pseudo(1, 1).
+    let binary = if sketch.non_unit == 0 {
+        if sketch.positives == 0 {
+            Some(0)
+        } else if pseudo(1.0, 1.0) == 1.0 {
+            Some(sketch.positives as u64)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    let pseudo_sketch = SampleSketch::from_raw(sketch.n, sum_p, sum_p2, lo, hi, binary);
+    let value_at = |i: usize| {
+        let (y, x) = pair_at(i);
+        pseudo(y, x)
+    };
+    RatioBounds {
+        estimate: r_hat,
+        lower: method.lower_sketch(&pseudo_sketch, delta, rng, value_at),
+        upper: method.upper_sketch(&pseudo_sketch, delta, rng, value_at),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::describe::RunningStats;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -450,6 +859,165 @@ mod tests {
         let rb = ratio_bounds(&ys, &xs, 0.05, CiMethod::PaperNormal, &mut r);
         assert!((rb.estimate - 3.0 / 6.0).abs() < 1e-12);
         assert!(rb.lower <= rb.estimate && rb.estimate <= rb.upper);
+    }
+
+    #[test]
+    fn sketch_bounds_match_slice_bounds() {
+        // Moment-free methods are bit-identical between the slice and
+        // sketch paths (same binary counts / extremes / rng stream); the
+        // normal methods differ only by the Welford-vs-sum variance
+        // formula, i.e. fp rounding on this bounded data.
+        let sample: Vec<f64> = (0..400)
+            .map(|i| {
+                if i % 7 == 0 {
+                    1.0
+                } else {
+                    (i % 5) as f64 / 4.0
+                }
+            })
+            .collect();
+        let binary: Vec<f64> = (0..400).map(|i| f64::from(u8::from(i % 3 == 0))).collect();
+        let sketch = SampleSketch::from_values(sample.iter().copied());
+        let binary_sketch = SampleSketch::from_values(binary.iter().copied());
+        for method in [CiMethod::Hoeffding, CiMethod::Bootstrap { resamples: 50 }] {
+            let mut r1 = StdRng::seed_from_u64(5);
+            let mut r2 = StdRng::seed_from_u64(5);
+            let slice_ub = method.upper(&sample, 0.05, &mut r1);
+            let sketch_ub = method.upper_sketch(&sketch, 0.05, &mut r2, |i| sample[i]);
+            assert_eq!(slice_ub.to_bits(), sketch_ub.to_bits(), "{method:?}");
+            let slice_lb = method.lower(&sample, 0.05, &mut r1);
+            let sketch_lb = method.lower_sketch(&sketch, 0.05, &mut r2, |i| sample[i]);
+            assert_eq!(slice_lb.to_bits(), sketch_lb.to_bits(), "{method:?}");
+        }
+        for method in [CiMethod::ClopperPearson, CiMethod::Wilson] {
+            let mut r = rng();
+            let slice_ub = method.upper(&binary, 0.05, &mut r);
+            let sketch_ub = method.upper_sketch(&binary_sketch, 0.05, &mut r, |i| binary[i]);
+            assert_eq!(slice_ub.to_bits(), sketch_ub.to_bits(), "{method:?}");
+        }
+        for method in [CiMethod::PaperNormal, CiMethod::ZNormal] {
+            let mut r = rng();
+            let slice_ub = method.upper(&sample, 0.05, &mut r);
+            let sketch_ub = method.upper_sketch(&sketch, 0.05, &mut r, |i| sample[i]);
+            assert!((slice_ub - sketch_ub).abs() < 1e-9, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn slice_normal_bounds_survive_large_offsets() {
+        // The slice API serves arbitrary magnitudes: a huge mean with a
+        // small spread must not collapse the variance (the Welford path;
+        // the sketch sum-of-squares formula is reserved for the
+        // bounded-magnitude estimator windows).
+        let offset = 1e8;
+        let sample: Vec<f64> = (0..1000).map(|i| offset + (i % 10) as f64).collect();
+        let mut r = rng();
+        let ub = CiMethod::ZNormal.upper(&sample, 0.05, &mut r);
+        let mean = RunningStats::from_slice(&sample).mean();
+        assert!(ub > mean + 0.1, "bound {ub} collapsed onto mean {mean}");
+    }
+
+    #[test]
+    fn sample_sketch_moments_match_running_stats() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let sk = SampleSketch::from_values(xs.iter().copied());
+        let rs = RunningStats::from_slice(&xs);
+        assert_eq!(sk.len(), 8);
+        assert!((sk.mean() - rs.mean()).abs() < 1e-12);
+        assert!((sk.sample_variance() - rs.sample_variance()).abs() < 1e-9);
+        assert_eq!(sk.min(), rs.min());
+        assert_eq!(sk.max(), rs.max());
+        assert_eq!(sk.binary_successes(), None);
+        let binary = SampleSketch::from_values([0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(binary.binary_successes(), Some(2));
+        assert_eq!(SampleSketch::new().binary_successes(), Some(0));
+    }
+
+    /// Indicator pairs (y = label ? m : 0, x = m) for the paired kernel.
+    fn indicator_pairs(n: usize, weighted: bool) -> (Vec<f64>, Vec<f64>) {
+        let mut ys = Vec::with_capacity(n);
+        let mut xs = Vec::with_capacity(n);
+        for i in 0..n {
+            let m = if weighted {
+                1.0 + (i % 9) as f64 / 3.0
+            } else {
+                1.0
+            };
+            let label = i % 3 == 0;
+            ys.push(if label { m } else { 0.0 });
+            xs.push(m);
+        }
+        (ys, xs)
+    }
+
+    #[test]
+    fn paired_kernel_estimate_and_ordering() {
+        let (ys, xs) = indicator_pairs(300, true);
+        let sketch = PairSketch::from_pairs(ys.iter().copied().zip(xs.iter().copied()));
+        for method in [
+            CiMethod::PaperNormal,
+            CiMethod::ZNormal,
+            CiMethod::Hoeffding,
+            CiMethod::Bootstrap { resamples: 100 },
+        ] {
+            let mut r = rng();
+            let rb = ratio_bounds_paired(&sketch, 0.05, method, &mut r, |i| (ys[i], xs[i]));
+            let direct = ys.iter().sum::<f64>() / xs.iter().sum::<f64>();
+            assert!((rb.estimate - direct).abs() < 1e-12, "{method:?}");
+            assert!(
+                rb.lower <= rb.estimate && rb.estimate <= rb.upper,
+                "{method:?}: {rb:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paired_kernel_tracks_materialized_ratio_bounds() {
+        // Same statistics, different (but fixed) summation formulas: the
+        // sketch kernel must agree with the materialized path to fp noise.
+        for weighted in [false, true] {
+            let (ys, xs) = indicator_pairs(500, weighted);
+            let sketch = PairSketch::from_pairs(ys.iter().copied().zip(xs.iter().copied()));
+            let mut r1 = rng();
+            let mut r2 = rng();
+            let a = ratio_bounds(&ys, &xs, 0.05, CiMethod::PaperNormal, &mut r1);
+            let b = ratio_bounds_paired(&sketch, 0.05, CiMethod::PaperNormal, &mut r2, |i| {
+                (ys[i], xs[i])
+            });
+            assert!((a.estimate - b.estimate).abs() < 1e-12);
+            assert!(
+                (a.lower - b.lower).abs() < 1e-9,
+                "{} vs {}",
+                a.lower,
+                b.lower
+            );
+            assert!((a.upper - b.upper).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paired_kernel_unit_weights_engage_exact_binomial() {
+        let (ys, xs) = indicator_pairs(200, false);
+        let sketch = PairSketch::from_pairs(ys.iter().copied().zip(xs.iter().copied()));
+        let mut r1 = rng();
+        let mut r2 = rng();
+        // With unit weights the pseudo-sample is exactly the 0/1 ys, so
+        // Clopper–Pearson must match the plain binomial bound on ys.
+        let paired = ratio_bounds_paired(&sketch, 0.05, CiMethod::ClopperPearson, &mut r1, |i| {
+            (ys[i], xs[i])
+        });
+        let direct = CiMethod::ClopperPearson.lower(&ys, 0.05, &mut r2);
+        assert_eq!(paired.lower.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn paired_kernel_degenerate_window() {
+        let mut r = rng();
+        let empty = PairSketch::new();
+        let rb = ratio_bounds_paired(&empty, 0.05, CiMethod::PaperNormal, &mut r, |_| (0.0, 1.0));
+        assert_eq!(rb.estimate, 0.0);
+        assert_eq!(rb.lower, f64::NEG_INFINITY);
+        assert_eq!(rb.upper, f64::INFINITY);
     }
 
     #[test]

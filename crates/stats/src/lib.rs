@@ -31,7 +31,7 @@ pub mod dist;
 pub mod isotonic;
 pub mod special;
 
-pub use ci::{ratio_bounds, CiMethod, RatioBounds};
+pub use ci::{ratio_bounds, ratio_bounds_paired, CiMethod, PairSketch, RatioBounds, SampleSketch};
 pub use describe::{mean, quantile_sorted, sample_sd, sample_variance, FiveNumber, RunningStats};
 pub use dist::{Bernoulli, Beta, Binomial, Gamma, Normal};
 pub use isotonic::IsotonicFit;

@@ -77,6 +77,37 @@
 //! sequential path. See [`core::runtime`] for details; the experiment
 //! harness's trial runner and the SQL engine's
 //! `EngineConfig::runtime` expose the same knobs.
+//!
+//! ## Serving repeated queries
+//!
+//! Answering many queries over one corpus should pay the O(n) sampling
+//! setup (importance weights + alias table) once, not per query. Wrap the
+//! dataset in a [`core::PreparedDataset`] and run sessions over it — the
+//! artifacts are built on first use and shared by every later query and
+//! every thread (the SQL engine does this per registered proxy
+//! automatically):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use supg::core::{CachedOracle, PreparedDataset, SupgSession};
+//! use supg::datasets::BetaDataset;
+//!
+//! let (scores, labels) = BetaDataset::new(0.01, 2.0, 20_000).generate(42).into_parts();
+//! let prepared = Arc::new(PreparedDataset::from_scores(scores).unwrap());
+//! for seed in 0..4 {
+//!     let mut oracle = CachedOracle::from_labels(labels.clone(), 1_000);
+//!     SupgSession::over_shared(Arc::clone(&prepared))
+//!         .recall(0.9)
+//!         .budget(1_000)
+//!         .seed(seed)
+//!         .run(&mut oracle)
+//!         .unwrap();
+//! }
+//! assert_eq!(prepared.cached_recipes(), 1); // one build, four queries
+//! ```
+//!
+//! Outcomes are identical to cold sessions on the same seed; see the
+//! "Performance & serving" section of [`core`] for the measured numbers.
 
 pub use supg_core as core;
 pub use supg_datasets as datasets;
