@@ -11,9 +11,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use supg_bench::perf::{run_query, serving_workload, synthetic_sample};
+use supg_core::rank::{materialize_linear, RankIndex};
 use supg_core::selectors::reference::precision_threshold_naive;
 use supg_core::selectors::{precision_threshold, SelectorConfig};
-use supg_core::{PreparedDataset, SupgSession};
+use supg_core::{PreparedDataset, RuntimeConfig, SupgSession};
 
 const BUDGET: usize = 1_000;
 
@@ -72,5 +73,45 @@ fn bench_threshold_search(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_threshold_search, bench_prepared_vs_cold);
+fn bench_materialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("materialization");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    let (data, _) = serving_workload(1_000_000);
+    let index = data.rank_index();
+    let tau = index.kth_highest_score(10_000);
+    g.bench_function("rank_index/n1m_k10k", |b| {
+        b.iter(|| std::hint::black_box(index.materialize(tau)))
+    });
+    g.bench_function("linear_scan/n1m_k10k", |b| {
+        b.iter(|| std::hint::black_box(materialize_linear(data.scores(), tau)))
+    });
+    g.finish();
+}
+
+fn bench_cold_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cold_build");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.warm_up_time(Duration::from_millis(500));
+    let (data, _) = serving_workload(1_000_000);
+    for workers in [1usize, 8] {
+        let rt = RuntimeConfig::default().with_parallelism(workers);
+        g.bench_with_input(
+            BenchmarkId::new("rank_index_build", workers),
+            &workers,
+            |b, _| b.iter(|| std::hint::black_box(RankIndex::build(data.scores(), &rt))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_threshold_search,
+    bench_prepared_vs_cold,
+    bench_materialization,
+    bench_cold_build
+);
 criterion_main!(benches);

@@ -6,11 +6,12 @@
 //! bench_export            # quick suite, rewrite BENCH_selectors.json
 //! bench_export --full     # more iterations (slower, steadier medians)
 //! bench_export --check    # quick suite, gate first: exit 1 (without
-//!                         # touching the file) when the threshold-search
-//!                         # speedup regressed > 2× vs the committed
-//!                         # baseline (ratio-based, machine-independent);
-//!                         # on a pass, regenerate the file like a plain
-//!                         # run
+//!                         # touching the file) when any recorded speedup
+//!                         # ratio — threshold search, recall sweep, set
+//!                         # materialization, cold build — regressed > 2×
+//!                         # vs the committed baseline (ratio-based,
+//!                         # machine-independent); on a pass, regenerate
+//!                         # the file like a plain run
 //! ```
 
 use std::path::PathBuf;
@@ -48,13 +49,23 @@ fn main() -> ExitCode {
     println!("{json}");
     eprintln!(
         "threshold search: sweep {:.1}µs vs naive {:.1}µs → {:.1}×; \
-         serving: cold {:.2}ms vs prepared {:.2}ms per query → {:.1}×",
+         recall sweep: {:.1}×; \
+         serving: cold {:.2}ms vs prepared {:.2}ms per query → {:.1}×; \
+         materialization: rank {:.1}µs vs linear {:.1}µs → {:.1}×; \
+         cold build: parallel {:.1}ms vs serial {:.1}ms → {:.1}×",
         report.precision.sweep_ns / 1e3,
         report.precision.naive_ns / 1e3,
         report.precision.speedup(),
+        report.recall.speedup(),
         report.serving.cold_ns_per_query / 1e6,
         report.serving.prepared_ns_per_query / 1e6,
         report.serving.speedup(),
+        report.materialization.rank_ns / 1e3,
+        report.materialization.linear_ns / 1e3,
+        report.materialization.speedup(),
+        report.cold_build.parallel_ns / 1e6,
+        report.cold_build.serial_ns / 1e6,
+        report.cold_build.speedup(),
     );
 
     if check {
@@ -65,22 +76,38 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         };
-        let Some(baseline) = extract_number(&committed, "threshold_search", "speedup") else {
-            eprintln!("bench_export --check: baseline is missing threshold_search.speedup");
-            return ExitCode::FAILURE;
-        };
-        let current = report.precision.speedup();
-        // The speedup is a within-run ratio, so it transfers across
-        // machines; a halved ratio means the sweep regressed > 2×
-        // relative to the (stable) naive reference.
-        if current < baseline / 2.0 {
+        // Every gate is a *within-run* speedup ratio, so it transfers
+        // across machines; a halved ratio means the fast path regressed
+        // > 2× relative to its (stable) in-process reference. Sections a
+        // committed baseline predates are skipped — the schema is
+        // additive, and the next write records them.
+        let gates = [
+            ("threshold_search", report.precision.speedup(), true),
+            ("recall_threshold", report.recall.speedup(), false),
+            ("materialization", report.materialization.speedup(), false),
+            ("cold_build", report.cold_build.speedup(), false),
+        ];
+        for (section, current, required) in gates {
+            let Some(baseline) = extract_number(&committed, section, "speedup") else {
+                if required {
+                    eprintln!("bench_export --check: baseline is missing {section}.speedup");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("bench_export --check: baseline predates {section}; skipping its gate");
+                continue;
+            };
+            if current < baseline / 2.0 {
+                eprintln!(
+                    "bench_export --check: {section} speedup regressed: \
+                     current {current:.1}× < half of baseline {baseline:.1}×"
+                );
+                return ExitCode::FAILURE;
+            }
             eprintln!(
-                "bench_export --check: threshold-search speedup regressed: \
-                 current {current:.1}× < half of baseline {baseline:.1}×"
+                "bench_export --check: {section} ok (current {current:.1}× vs baseline \
+                 {baseline:.1}×)"
             );
-            return ExitCode::FAILURE;
         }
-        eprintln!("bench_export --check: ok (current {current:.1}× vs baseline {baseline:.1}×)");
         // Fall through: a passing check regenerates the measurements so
         // the file stays fresh wherever the run happened.
     }

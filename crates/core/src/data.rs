@@ -1,29 +1,43 @@
 //! Proxy-scored dataset view shared by selectors, executor and metrics.
 
-use crate::error::SupgError;
+use std::sync::{Arc, OnceLock};
 
-/// A dataset's proxy scores together with a descending-score index.
+use crate::error::SupgError;
+use crate::rank::RankIndex;
+use crate::runtime::RuntimeConfig;
+
+/// A dataset's proxy scores together with its (lazily built) global
+/// [`RankIndex`].
 ///
 /// SUPG evaluates the proxy on every record up front (proxy calls are
 /// assumed cheap); the algorithms then work only with scores and record
-/// indices. The sorted order is built once and reused for:
+/// indices. The rank index — the descending-score permutation, its
+/// inverse, and the sorted score view — is built **once** per dataset and
+/// reused for:
 ///
-/// * `|D(τ)|` and membership queries (`count_at_least`, `select`),
+/// * `|D(τ)|`, membership and set materialization (`count_at_least`,
+///   `select`, [`RankIndex::materialize_union`]),
 /// * the top-`k` cutoff of the two-stage precision estimator
 ///   (`kth_highest_score`),
+/// * canonical ordering of oracle samples ([`crate::sample`]),
 /// * fast precision/recall evaluation in [`crate::metrics`].
+///
+/// Construction only validates (O(n)); the O(n log n) sort happens on
+/// first use — serially via [`rank_index`](ScoredDataset::rank_index), or
+/// eagerly on the worker pool via
+/// [`prepare_rank_index`](ScoredDataset::prepare_rank_index) (what
+/// [`crate::prepared::PreparedDataset::prepare`] calls). Both produce
+/// bit-identical indexes, so when and how the index is built is
+/// unobservable in results. The index sits behind an `Arc`'d [`OnceLock`],
+/// so clones of a dataset made *after* the build share it.
 #[derive(Debug, Clone)]
 pub struct ScoredDataset {
     scores: Vec<f64>,
-    /// Record indices sorted by descending score (ties in arbitrary order).
-    order: Vec<u32>,
-    /// Scores in descending order (`sorted[i] = scores[order[i]]`), kept
-    /// separately so binary searches stay cache-friendly.
-    sorted: Vec<f64>,
+    index: OnceLock<Arc<RankIndex>>,
 }
 
 impl ScoredDataset {
-    /// Validates scores and builds the sorted index.
+    /// Validates scores. The rank index is built lazily on first use.
     ///
     /// # Errors
     /// [`SupgError::EmptyDataset`] for zero records;
@@ -43,17 +57,9 @@ impl ScoredDataset {
                 return Err(SupgError::InvalidScore { index, value });
             }
         }
-        let mut order: Vec<u32> = (0..scores.len() as u32).collect();
-        order.sort_unstable_by(|&a, &b| {
-            scores[b as usize]
-                .partial_cmp(&scores[a as usize])
-                .expect("scores validated finite")
-        });
-        let sorted = order.iter().map(|&i| scores[i as usize]).collect();
         Ok(Self {
             scores,
-            order,
-            sorted,
+            index: OnceLock::new(),
         })
     }
 
@@ -77,26 +83,51 @@ impl ScoredDataset {
         self.scores[i]
     }
 
-    /// Record indices in descending score order.
+    /// The global rank index, built serially on first call and cached.
+    pub fn rank_index(&self) -> &RankIndex {
+        self.index
+            .get_or_init(|| Arc::new(RankIndex::build_serial(&self.scores)))
+    }
+
+    /// The global rank index, built **on the worker pool** (chunked
+    /// sorts combined in pairwise merge rounds) when absent.
+    /// Bit-identical to the serial build at any
+    /// `parallelism`; a no-op when the index already exists.
+    pub fn prepare_rank_index(&self, rt: &RuntimeConfig) -> &RankIndex {
+        self.index
+            .get_or_init(|| Arc::new(RankIndex::build(&self.scores, rt)))
+    }
+
+    /// A shared handle to the rank index (building it serially if absent),
+    /// for callers that outlive the dataset borrow (benchmarks, services).
+    pub fn share_rank_index(&self) -> Arc<RankIndex> {
+        self.rank_index();
+        Arc::clone(self.index.get().expect("index just initialized"))
+    }
+
+    /// Record indices in descending score order (ties ascending by index).
     pub fn order_desc(&self) -> &[u32] {
-        &self.order
+        self.rank_index().order()
+    }
+
+    /// Canonical rank of record `i` (0 = highest score).
+    pub fn rank_of(&self, i: usize) -> usize {
+        self.rank_index().rank_of(i)
     }
 
     /// Number of records with `A(x) ≥ tau`, i.e. `|D(τ)|`.
     pub fn count_at_least(&self, tau: f64) -> usize {
-        // `sorted` is descending: find the first position below tau.
-        self.sorted.partition_point(|&s| s >= tau)
+        self.rank_index().cut_for(tau)
     }
 
     /// Record indices with `A(x) ≥ tau`, in descending score order.
     pub fn select(&self, tau: f64) -> &[u32] {
-        &self.order[..self.count_at_least(tau)]
+        self.rank_index().select(tau)
     }
 
     /// The `k`-th highest score (1-indexed). `k` is clamped to `[1, n]`.
     pub fn kth_highest_score(&self, k: usize) -> f64 {
-        let k = k.clamp(1, self.sorted.len());
-        self.sorted[k - 1]
+        self.rank_index().kth_highest_score(k)
     }
 
     /// The top-`k` record indices by score (k clamped to `[1, n]`),
@@ -140,6 +171,30 @@ mod tests {
             .map(|&i| d.score(i as usize))
             .collect();
         assert!(sorted.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn rank_is_the_inverse_permutation() {
+        let d = dataset();
+        for (r, &i) in d.order_desc().iter().enumerate() {
+            assert_eq!(d.rank_of(i as usize), r);
+        }
+    }
+
+    #[test]
+    fn lazy_serial_and_pool_builds_agree() {
+        let scores: Vec<f64> = (0..40_000)
+            .map(|i| ((i * 13) % 101) as f64 / 101.0)
+            .collect();
+        let lazy = ScoredDataset::new(scores.clone()).unwrap();
+        let pooled = ScoredDataset::new(scores).unwrap();
+        pooled.prepare_rank_index(&RuntimeConfig::default().with_parallelism(4));
+        assert_eq!(lazy.rank_index(), pooled.rank_index());
+        // share_rank_index aliases the cached build.
+        assert!(std::ptr::eq(
+            Arc::as_ptr(&pooled.share_rank_index()),
+            pooled.rank_index()
+        ));
     }
 
     #[test]

@@ -16,21 +16,49 @@
 
 pub use crate::session::QueryOutcome;
 
-/// The record set returned by a query: sorted, deduplicated indices.
+/// The record set returned by a query: deduplicated indices in **result
+/// order**.
+///
+/// Since the rank-index serving path landed, query pipelines return the
+/// threshold set `R2 = D(τ)` in canonical rank order (descending proxy
+/// score — i.e. ranked, best candidates first) followed by the
+/// below-threshold labeled positives `R1 \ R2` in ascending index order,
+/// assembled duplicate-free in O(k) without any per-query sort
+/// ([`from_ranked`](SelectionResult::from_ranked)). The
+/// order-normalizing [`from_indices`](SelectionResult::from_indices)
+/// constructor (ascending) remains for callers that assemble indices
+/// themselves.
 ///
 /// Indices are `usize` record positions — result sets never truncate, even
 /// though [`crate::data::ScoredDataset`] itself caps datasets at
-/// `u32::MAX` records for its compact sorted index.
+/// `u32::MAX` records for its compact rank index.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SelectionResult {
     indices: Vec<usize>,
 }
 
 impl SelectionResult {
-    /// Builds a result set from (possibly unsorted, duplicated) indices.
+    /// Builds a result set from (possibly unsorted, duplicated) indices,
+    /// normalizing to ascending order.
     pub fn from_indices(mut indices: Vec<usize>) -> Self {
         indices.sort_unstable();
         indices.dedup();
+        Self { indices }
+    }
+
+    /// Wraps indices that are already duplicate-free, preserving their
+    /// order — the O(k) constructor of the rank-index serving path, whose
+    /// prefix-slice + below-cut-extras assembly is duplicate-free by
+    /// construction ([`crate::rank::RankIndex::materialize_union`]).
+    pub fn from_ranked(indices: Vec<usize>) -> Self {
+        debug_assert!(
+            {
+                let mut seen = indices.clone();
+                seen.sort_unstable();
+                seen.windows(2).all(|w| w[0] != w[1])
+            },
+            "from_ranked: duplicate indices"
+        );
         Self { indices }
     }
 
@@ -44,17 +72,19 @@ impl SelectionResult {
         self.indices.is_empty()
     }
 
-    /// Sorted record indices.
+    /// Record indices in result order (see the type docs).
     pub fn indices(&self) -> &[usize] {
         &self.indices
     }
 
-    /// Membership test (binary search).
+    /// Membership test. O(len) — the result order is rank-canonical, not
+    /// index-sorted; pipelines needing repeated membership checks should
+    /// consult the dataset's rank index instead.
     pub fn contains(&self, index: usize) -> bool {
-        self.indices.binary_search(&index).is_ok()
+        self.indices.contains(&index)
     }
 
-    /// Iterates the returned record indices in ascending order.
+    /// Iterates the returned record indices in result order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.indices.iter().copied()
     }
@@ -81,6 +111,15 @@ mod tests {
         assert!(r.contains(3));
         assert!(!r.contains(4));
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn from_ranked_preserves_result_order() {
+        let r = SelectionResult::from_ranked(vec![9, 2, 5, 1]);
+        assert_eq!(r.indices(), &[9, 2, 5, 1]);
+        assert!(r.contains(5));
+        assert!(!r.contains(4));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![9, 2, 5, 1]);
     }
 
     #[test]

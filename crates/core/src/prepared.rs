@@ -1,14 +1,16 @@
 //! Shared prepared-dataset artifacts for high-throughput serving.
 //!
 //! The SUPG sampling stage has per-dataset preprocessing that is
-//! independent of any single query: building [`ImportanceWeights`] is an
-//! O(n) pass over every proxy score, and the O(1)-draw [`AliasTable`] is
-//! another O(n) construction. A service answering many queries over the
-//! same corpus — the production regime this workspace grows toward — must
-//! pay that once per `(dataset, weight recipe)`, not once per query.
+//! independent of any single query: the global [`RankIndex`] is an
+//! O(n log n) sort, building [`ImportanceWeights`] is an O(n) pass over
+//! every proxy score, and the O(1)-draw [`AliasTable`] is another O(n)
+//! construction. A service answering many queries over the same corpus —
+//! the production regime this workspace grows toward — must pay all of
+//! that once per `(dataset, weight recipe)`, not once per query.
 //!
 //! [`PreparedDataset`] is that amortization layer: an `Arc`-shared
-//! [`ScoredDataset`] plus a keyed cache of
+//! [`ScoredDataset`] (whose rank index every query serves `D(τ)` from)
+//! plus a bounded, least-recently-used keyed cache of
 //! `(weight_exponent, uniform_mix) → (ImportanceWeights, AliasTable)`
 //! built on first use and reused by every subsequent query, from any
 //! thread. Sessions accept it via
@@ -16,6 +18,30 @@
 //! / [`over_shared`](crate::session::SupgSession::over_shared); selectors
 //! receive it through [`DataView`], which also covers the cold
 //! (unprepared) path so one code path serves both.
+//!
+//! ## Parallel construction
+//!
+//! Cold-start latency matters too: the first query on a fresh corpus used
+//! to pay the whole serial build. [`PreparedDataset::prepare`] constructs
+//! the rank index on the [`crate::runtime`] worker pool (chunked key
+//! sorts merged pairwise), and [`warm`](PreparedDataset::warm) builds the
+//! weight artifacts with the `A(x)^p` transform and the alias-table feeds
+//! evaluated chunk-by-chunk on the same pool. Every parallel step is
+//! either element-wise pure or a total-order merge, and the one
+//! floating-point reduction (the weight normalizer `Σ A^p`) stays serial
+//! — so prepared artifacts are **bit-identical** to the cold serial build
+//! at every `parallelism` setting.
+//!
+//! ## Cache bounds
+//!
+//! Recipes are few in steady state, but per-tenant recipes can
+//! proliferate; the cache therefore holds at most
+//! [`cache_capacity`](PreparedDataset::cache_capacity) entries (default
+//! [`DEFAULT_CACHE_CAPACITY`], configurable via
+//! [`set_cache_capacity`](PreparedDataset::set_cache_capacity)) and
+//! evicts the least-recently-served recipe. Eviction only drops the
+//! cache's own `Arc` — sessions holding an evicted artifact keep using it
+//! safely.
 //!
 //! Sharing is by `Arc` and an internal mutex guards only the cache map —
 //! artifact *construction* happens outside the lock, so concurrent
@@ -31,11 +57,73 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use supg_sampling::{AliasTable, ImportanceWeights};
+use supg_sampling::weights::validate_scores;
+use supg_sampling::{apply_exponent, AliasTable, ImportanceWeights};
 
 use crate::data::ScoredDataset;
 use crate::error::SupgError;
+use crate::rank::RankIndex;
+use crate::runtime::{self, RuntimeConfig};
 use crate::selectors::SelectorConfig;
+
+/// Default bound on cached weight recipes per dataset — generous (a
+/// serving deployment uses a handful), but a bound, so per-tenant recipe
+/// churn cannot grow memory without limit.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Applies a pure element-wise map over `input` in fixed contiguous
+/// chunks on the worker pool ([`runtime::cpu_workers`]-clamped),
+/// concatenating the results — bit-identical to one serial pass because
+/// the map is element-wise.
+fn chunked_map(
+    input: &[f64],
+    rt: &RuntimeConfig,
+    f: impl Fn(&[f64]) -> Vec<f64> + Sync,
+) -> Vec<f64> {
+    let n = input.len();
+    let workers = runtime::cpu_workers(rt.parallelism);
+    if workers <= 1 || n < runtime::MIN_PARALLEL_INPUT {
+        return f(input);
+    }
+    let pieces = runtime::map_chunks(n, workers, |range| f(&input[range]));
+    let mut out = Vec::with_capacity(n);
+    for piece in pieces {
+        out.extend_from_slice(&piece);
+    }
+    out
+}
+
+/// Both [`AliasTable::from_normalized`] feeds — `probs[i]/total` and its
+/// mean-1 scaling — in one fused pass, chunked over the pool like
+/// [`chunked_map`]. The arithmetic matches the split serial passes of
+/// `AliasTable::new` operation for operation, so the table is
+/// bit-identical however this runs.
+fn alias_feeds(probs: &[f64], total: f64, rt: &RuntimeConfig) -> (Vec<f64>, Vec<f64>) {
+    let n = probs.len();
+    let n_f = n as f64;
+    let feed = |chunk: &[f64]| -> (Vec<f64>, Vec<f64>) {
+        let mut normalized = Vec::with_capacity(chunk.len());
+        let mut scaled = Vec::with_capacity(chunk.len());
+        for &w in chunk {
+            let p = w / total;
+            normalized.push(p);
+            scaled.push(p * n_f);
+        }
+        (normalized, scaled)
+    };
+    let workers = runtime::cpu_workers(rt.parallelism);
+    if workers <= 1 || n < runtime::MIN_PARALLEL_INPUT {
+        return feed(probs);
+    }
+    let pieces = runtime::map_chunks(n, workers, |range| feed(&probs[range]));
+    let mut normalized = Vec::with_capacity(n);
+    let mut scaled = Vec::with_capacity(n);
+    for (norm_piece, scaled_piece) in pieces {
+        normalized.extend_from_slice(&norm_piece);
+        scaled.extend_from_slice(&scaled_piece);
+    }
+    (normalized, scaled)
+}
 
 /// The per-`(dataset, weight recipe)` sampling artifacts: the normalized
 /// importance distribution and its prebuilt O(1)-draw alias sampler.
@@ -46,11 +134,29 @@ pub struct WeightArtifacts {
 }
 
 impl WeightArtifacts {
-    /// Builds both artifacts from proxy scores (two O(n) passes; see
+    /// Builds both artifacts from proxy scores (serial O(n) passes; see
     /// [`ImportanceWeights::from_scores`] for the recipe and panics).
     pub fn build(scores: &[f64], exponent: f64, uniform_mix: f64) -> Self {
-        let weights = ImportanceWeights::from_scores(scores, exponent, uniform_mix);
-        let sampler = weights.build_sampler();
+        Self::build_with(scores, exponent, uniform_mix, &RuntimeConfig::sequential())
+    }
+
+    /// [`build`](Self::build) with the element-wise feeds — the `A(x)^p`
+    /// transform, the probability normalization and the alias-table
+    /// scaling — evaluated chunk-by-chunk on the worker pool. The one
+    /// floating-point reduction (the normalizer) stays serial, so the
+    /// result is bit-identical to the serial build at any `parallelism`.
+    pub fn build_with(scores: &[f64], exponent: f64, uniform_mix: f64, rt: &RuntimeConfig) -> Self {
+        validate_scores(scores, exponent);
+        let powered = chunked_map(scores, rt, |chunk| apply_exponent(chunk, exponent));
+        let weights = ImportanceWeights::from_powered(powered, uniform_mix);
+        // The alias feeds re-normalize the (already ≈1-summing) probs the
+        // exact way `AliasTable::new` does — one fused chunk pass (both
+        // feeds are element-wise on the same input) over the pool.
+        let probs = weights.probs();
+        let total: f64 = probs.iter().sum();
+        assert!(total > 0.0, "AliasTable: weights sum to zero");
+        let (normalized, scaled) = alias_feeds(probs, total, rt);
+        let sampler = AliasTable::from_normalized(normalized, scaled);
         Self { weights, sampler }
     }
 
@@ -87,12 +193,62 @@ impl RecipeKey {
     }
 }
 
-/// An `Arc`-shared dataset plus its lazily built, keyed sampling-artifact
-/// cache. `Send + Sync`; clone the surrounding `Arc` to share across
-/// sessions and threads.
+/// The mutex-guarded cache state: recipe → (artifacts, last-served
+/// stamp), plus the monotone stamp counter and the capacity bound.
+struct ArtifactCache {
+    map: HashMap<RecipeKey, (Arc<WeightArtifacts>, u64)>,
+    stamp: u64,
+    capacity: usize,
+}
+
+impl ArtifactCache {
+    fn touch(&mut self, key: RecipeKey) -> Option<Arc<WeightArtifacts>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.map.get_mut(&key).map(|entry| {
+            entry.1 = stamp;
+            Arc::clone(&entry.0)
+        })
+    }
+
+    /// Inserts (or returns the racing winner for) `key`, then evicts
+    /// least-recently-served entries down to capacity.
+    fn insert(&mut self, key: RecipeKey, built: Arc<WeightArtifacts>) -> Arc<WeightArtifacts> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let entry = self
+            .map
+            .entry(key)
+            .and_modify(|entry| entry.1 = stamp)
+            .or_insert((built, stamp));
+        let kept = Arc::clone(&entry.0);
+        self.evict_to_capacity();
+        kept
+    }
+
+    /// Drops least-recently-served entries until the cache fits its
+    /// capacity bound (never the entry with the freshest stamp).
+    fn evict_to_capacity(&mut self) {
+        while self.map.len() > self.capacity {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, &(_, used))| used)
+                .map(|(&k, _)| k)
+                .expect("non-empty over-capacity cache");
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+/// An `Arc`-shared dataset plus its lazily built, bounded keyed
+/// sampling-artifact cache. `Send + Sync`; clone the surrounding `Arc` to
+/// share across sessions and threads.
 pub struct PreparedDataset {
     data: Arc<ScoredDataset>,
-    cache: Mutex<HashMap<RecipeKey, Arc<WeightArtifacts>>>,
+    cache: Mutex<ArtifactCache>,
+    /// Worker-pool configuration used for artifact construction.
+    runtime: RuntimeConfig,
 }
 
 impl std::fmt::Debug for PreparedDataset {
@@ -114,7 +270,12 @@ impl PreparedDataset {
     pub fn from_arc(data: Arc<ScoredDataset>) -> Self {
         Self {
             data,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(ArtifactCache {
+                map: HashMap::new(),
+                stamp: 0,
+                capacity: DEFAULT_CACHE_CAPACITY,
+            }),
+            runtime: RuntimeConfig::sequential(),
         }
     }
 
@@ -124,6 +285,33 @@ impl PreparedDataset {
     /// As [`ScoredDataset::new`].
     pub fn from_scores(scores: Vec<f64>) -> Result<Self, SupgError> {
         Ok(Self::new(ScoredDataset::new(scores)?))
+    }
+
+    /// Sets the worker-pool configuration used when this dataset builds
+    /// artifacts (rank index, weights, alias feeds). Results are
+    /// bit-identical at any setting; only cold-build wall time changes.
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// The configured artifact-construction runtime.
+    pub fn runtime(&self) -> RuntimeConfig {
+        self.runtime
+    }
+
+    /// Builds the dataset's global rank index on the configured worker
+    /// pool (no-op when already built), so the first query pays no sort.
+    /// Returns the index for immediate use.
+    pub fn prepare(&self) -> &RankIndex {
+        self.data.prepare_rank_index(&self.runtime)
+    }
+
+    /// [`prepare`](Self::prepare) with an explicit pool configuration —
+    /// what the query engine and experiment harness call with their own
+    /// `RuntimeConfig`.
+    pub fn prepare_with(&self, rt: &RuntimeConfig) -> &RankIndex {
+        self.data.prepare_rank_index(rt)
     }
 
     /// The underlying scored dataset.
@@ -151,40 +339,60 @@ impl PreparedDataset {
     /// lock; two threads racing on a cold key may both build, but exactly
     /// one result is kept and handed to everyone (the artifacts are pure
     /// functions of `(scores, recipe)`, so which build wins is
-    /// unobservable).
+    /// unobservable). Serving a recipe marks it recently used; when the
+    /// cache is over [`cache_capacity`](Self::cache_capacity), the
+    /// least-recently-served recipe is evicted.
     pub fn artifacts(&self, exponent: f64, uniform_mix: f64) -> Arc<WeightArtifacts> {
         let key = RecipeKey::new(exponent, uniform_mix);
         if let Some(hit) = self
             .cache
             .lock()
             .expect("artifact cache poisoned")
-            .get(&key)
+            .touch(key)
         {
-            return Arc::clone(hit);
+            return hit;
         }
-        let built = Arc::new(WeightArtifacts::build(
+        let built = Arc::new(WeightArtifacts::build_with(
             self.data.scores(),
             exponent,
             uniform_mix,
+            &self.runtime,
         ));
-        Arc::clone(
-            self.cache
-                .lock()
-                .expect("artifact cache poisoned")
-                .entry(key)
-                .or_insert(built),
-        )
+        self.cache
+            .lock()
+            .expect("artifact cache poisoned")
+            .insert(key, built)
     }
 
-    /// Pre-builds the artifacts a selector configuration will need, so the
-    /// first query doesn't pay the O(n) construction.
+    /// Pre-builds everything a selector configuration will need — the
+    /// rank index and the recipe's sampling artifacts — so the first
+    /// query pays no O(n log n) construction at all.
     pub fn warm(&self, cfg: &SelectorConfig) -> Arc<WeightArtifacts> {
+        self.prepare();
         self.artifacts(cfg.weight_exponent, cfg.uniform_mix)
     }
 
     /// Number of cached weight recipes.
     pub fn cached_recipes(&self) -> usize {
-        self.cache.lock().expect("artifact cache poisoned").len()
+        self.cache
+            .lock()
+            .expect("artifact cache poisoned")
+            .map
+            .len()
+    }
+
+    /// The artifact-cache capacity bound.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.lock().expect("artifact cache poisoned").capacity
+    }
+
+    /// Sets the artifact-cache capacity (clamped to ≥ 1), evicting
+    /// least-recently-served recipes immediately if the cache is over the
+    /// new bound.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        let mut cache = self.cache.lock().expect("artifact cache poisoned");
+        cache.capacity = capacity.max(1);
+        cache.evict_to_capacity();
     }
 }
 
@@ -224,6 +432,12 @@ impl<'a> DataView<'a> {
     /// True when backed by a prepared artifact cache.
     pub fn is_prepared(&self) -> bool {
         self.prepared.is_some()
+    }
+
+    /// The dataset's global rank index (shared with every other session
+    /// over the same prepared corpus; lazily built on cold views).
+    pub fn rank_index(&self) -> &'a RankIndex {
+        self.data.rank_index()
     }
 
     /// The sampling artifacts for a weight recipe: cache hit when
@@ -289,6 +503,31 @@ mod tests {
     }
 
     #[test]
+    fn pooled_artifact_build_is_bit_identical_to_serial() {
+        // Big enough to cross the parallel threshold.
+        let scores: Vec<f64> = (0..40_000)
+            .map(|i| ((i * 13) % 997) as f64 / 997.0)
+            .collect();
+        let serial = WeightArtifacts::build(&scores, 0.5, 0.1);
+        for parallelism in [2, 4, 8] {
+            let rt = RuntimeConfig::default().with_parallelism(parallelism);
+            let pooled = WeightArtifacts::build_with(&scores, 0.5, 0.1, &rt);
+            for i in (0..scores.len()).step_by(997) {
+                assert_eq!(
+                    serial.weights().prob(i).to_bits(),
+                    pooled.weights().prob(i).to_bits(),
+                    "prob i={i} parallelism={parallelism}"
+                );
+                assert_eq!(
+                    serial.sampler().prob(i).to_bits(),
+                    pooled.sampler().prob(i).to_bits(),
+                    "sampler prob i={i} parallelism={parallelism}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn concurrent_sessions_share_one_build() {
         let p = Arc::new(PreparedDataset::new(dataset()));
         let handles: Vec<_> = (0..8)
@@ -302,6 +541,43 @@ mod tests {
         let first = &arts[0];
         assert!(arts.iter().all(|a| Arc::ptr_eq(a, first)));
         assert_eq!(p.cached_recipes(), 1);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_served_recipe() {
+        let p = PreparedDataset::new(dataset());
+        p.set_cache_capacity(2);
+        assert_eq!(p.cache_capacity(), 2);
+        let a = p.artifacts(0.1, 0.0);
+        let _b = p.artifacts(0.2, 0.0);
+        // Touch the oldest so the *middle* recipe becomes LRU.
+        let a2 = p.artifacts(0.1, 0.0);
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _c = p.artifacts(0.3, 0.0);
+        assert_eq!(p.cached_recipes(), 2);
+        // Recipe 0.2 was evicted: requesting it rebuilds a fresh object;
+        // recipe 0.1 is still the cached original.
+        assert!(Arc::ptr_eq(&a, &p.artifacts(0.1, 0.0)));
+        assert_eq!(p.cached_recipes(), 2);
+
+        // Shrinking capacity evicts immediately.
+        p.set_cache_capacity(1);
+        assert_eq!(p.cached_recipes(), 1);
+        // Capacity clamps to ≥ 1.
+        p.set_cache_capacity(0);
+        assert_eq!(p.cache_capacity(), 1);
+    }
+
+    #[test]
+    fn prepare_builds_the_shared_rank_index() {
+        let data = Arc::new(dataset());
+        let p = PreparedDataset::from_arc(Arc::clone(&data))
+            .with_runtime(RuntimeConfig::default().with_parallelism(4));
+        let idx = p.prepare();
+        assert_eq!(idx.len(), 100);
+        // The index lives on the shared dataset, not a private copy.
+        assert!(std::ptr::eq(idx, data.rank_index()));
+        assert_eq!(p.runtime().parallelism, 4);
     }
 
     #[test]

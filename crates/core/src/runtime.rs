@@ -163,6 +163,52 @@ where
     out
 }
 
+/// Inputs below this size are not worth dispatching to the pool for pure
+/// CPU work — the chunk/merge bookkeeping would cost more than it saves.
+/// Shared by every CPU-bound chunked stage (rank-index build, weight
+/// feeds).
+pub const MIN_PARALLEL_INPUT: usize = 1 << 14;
+
+/// Number of workers a **CPU-bound** parallel stage should actually use:
+/// `requested` clamped to the machine's available cores (≥ 1). Oracle
+/// labeling deliberately does not clamp — it may be latency-bound and
+/// profit from over-subscription — but for pure CPU work extra threads
+/// only add dispatch overhead.
+pub fn cpu_workers(requested: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    requested.max(1).min(cores)
+}
+
+/// Splits `0..n` into `parts` contiguous, non-empty ranges — the
+/// deterministic chunk layout of the CPU-bound chunked stages. The layout
+/// never influences results (chunked stages are element-wise maps or
+/// total-order merges); it only balances work.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = n.div_ceil(parts.max(1)).max(1);
+    (0..parts.max(1))
+        .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// The chunk-dispatch scaffold shared by every CPU-bound chunked stage
+/// (rank-index chunk sorts, weight-transform and alias feeds): split
+/// `0..n` into `parts` ranges and map each on the pool, one range per
+/// worker, returning the per-chunk results in range order. The caller
+/// combines the pieces (concatenate, merge, …) — and decides *whether*
+/// to dispatch at all ([`cpu_workers`], [`MIN_PARALLEL_INPUT`]).
+pub fn map_chunks<R, F>(n: usize, parts: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(n, parts);
+    let pool = RuntimeConfig::default()
+        .with_parallelism(ranges.len())
+        .with_batch_size(1);
+    parallel_map(&pool, &ranges, |range| f(range.clone()))
+}
+
 /// Derives an independent RNG seed for work item `index` from a base seed
 /// (SplitMix64 finalizer over the pair).
 ///

@@ -23,28 +23,43 @@ use crate::prepared::WeightArtifacts;
 ///
 /// ## The canonical sweep index
 ///
-/// Assembly ([`from_parts`](OracleSample::from_parts)) performs **one**
-/// stable descending-score sort of the sample — the *canonical order* — and
-/// snapshots running [`PairSketch`] moments after every element. Because
-/// every estimator window `{x : A(x) ≥ τ}` is a prefix of the canonical
-/// order, any window's full moment sketch is an O(1) array lookup
-/// ([`window_sketch`](OracleSample::window_sketch)), positive-mass recall
-/// queries are O(log) binary searches over prefix sums, and the threshold
-/// sweep in [`crate::selectors`] runs in O(s log s) total with **zero
-/// allocation after sample assembly** (closed-form CI methods). All derived
-/// quantities are accumulated left-to-right in canonical order, so they are
-/// bit-identical to a naive rescan of the same order — the parity contract
-/// checked against [`crate::selectors::reference`].
+/// Assembly sorts the sample once into the *canonical order* — descending
+/// score — and snapshots running [`PairSketch`] moments after every
+/// element. Because every estimator window `{x : A(x) ≥ τ}` is a prefix of
+/// the canonical order, any window's full moment sketch is an O(1) array
+/// lookup ([`window_sketch`](OracleSample::window_sketch)), positive-mass
+/// recall queries are O(log) binary searches over prefix sums, and the
+/// threshold sweep in [`crate::selectors`] runs in O(s log s) total with
+/// **zero allocation after sample assembly** (closed-form CI methods). All
+/// derived quantities are accumulated left-to-right in canonical order, so
+/// they are bit-identical to a naive rescan of the same order — the parity
+/// contract checked against [`crate::selectors::reference`].
+///
+/// [`label`](OracleSample::label) orders the sample by **reusing the
+/// dataset's global ranks** ([`crate::rank::RankIndex`]): the sort key is
+/// the integer pair `(global rank, draw position)` instead of a float
+/// comparator over re-read scores — cheaper, and a strict total order, so
+/// the layout is deterministic (repeat draws of one record keep draw
+/// order; distinct records tied on score order by record index, matching
+/// the dataset's canonical tie-break). [`from_parts`](OracleSample::from_parts)
+/// — the dataset-free constructor used by tests and sample concatenation —
+/// orders by a stable descending-score sort instead (ties across distinct
+/// records keep draw order); both are valid canonical orders, internally
+/// consistent with every derived quantity.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OracleSample {
     indices: Vec<usize>,
     scores: Vec<f64>,
     labels: Vec<bool>,
     reweights: Vec<f64>,
-    /// Sample positions in canonical (stable descending-score) order.
+    /// Sample positions in canonical (descending-score) order.
     order: Vec<u32>,
     /// Scores in canonical order (`sorted_scores[r] = scores[order[r]]`).
     sorted_scores: Vec<f64>,
+    /// The indicator-weighted values `y = O·m` in canonical order — the
+    /// contiguous feed of the fused split-sketch pass
+    /// ([`z_sketches`](OracleSample::z_sketches)).
+    y_canon: Vec<f64>,
     /// Running pair moments over the canonical order; `pair_prefix[k]` is
     /// the sketch of the first `k` elements, so `pair_prefix.len() = s+1`.
     pair_prefix: Vec<PairSketch>,
@@ -83,13 +98,26 @@ impl OracleSample {
             scores.push(data.score(idx));
             reweights.push(reweight(pos));
         }
-        Ok(Self::from_parts(indices, scores, labels, reweights))
+        // Canonical order from the dataset's global ranks: sort the packed
+        // integer keys (rank, draw position) instead of re-comparing
+        // scores — `sort_unstable` on `u64` with no indirection, and a
+        // strict total order, so the layout is deterministic.
+        let rank_index = data.rank_index();
+        let mut keys: Vec<u64> = indices
+            .iter()
+            .enumerate()
+            .map(|(pos, &idx)| ((rank_index.rank_of(idx) as u64) << 32) | pos as u64)
+            .collect();
+        keys.sort_unstable();
+        let order: Vec<u32> = keys.into_iter().map(|k| k as u32).collect();
+        Ok(Self::assemble(indices, scores, labels, reweights, order))
     }
 
     /// Assembles a sample from pre-labeled parts (used by tests and by the
     /// two-stage estimator, which reuses stage-1 labels), building the
     /// canonical sweep index: one O(s log s) stable sort plus O(s) prefix
-    /// accumulation.
+    /// accumulation. (The dataset-aware [`label`](OracleSample::label)
+    /// path derives the order from global ranks instead.)
     ///
     /// # Panics
     /// Panics when column lengths disagree.
@@ -99,12 +127,6 @@ impl OracleSample {
         labels: Vec<bool>,
         reweights: Vec<f64>,
     ) -> Self {
-        assert!(
-            indices.len() == scores.len()
-                && indices.len() == labels.len()
-                && indices.len() == reweights.len(),
-            "OracleSample: column length mismatch"
-        );
         let s = indices.len();
         // Canonical order: stable descending-score sort, so tied scores
         // keep their draw order and the layout is deterministic.
@@ -114,8 +136,31 @@ impl OracleSample {
                 .partial_cmp(&scores[a as usize])
                 .expect("finite scores")
         });
+        Self::assemble(indices, scores, labels, reweights, order)
+    }
+
+    /// Shared assembly behind [`label`](OracleSample::label) and
+    /// [`from_parts`](OracleSample::from_parts): takes the canonical order
+    /// as a permutation of sample positions and accumulates every derived
+    /// quantity left-to-right over it.
+    fn assemble(
+        indices: Vec<usize>,
+        scores: Vec<f64>,
+        labels: Vec<bool>,
+        reweights: Vec<f64>,
+        order: Vec<u32>,
+    ) -> Self {
+        assert!(
+            indices.len() == scores.len()
+                && indices.len() == labels.len()
+                && indices.len() == reweights.len()
+                && indices.len() == order.len(),
+            "OracleSample: column length mismatch"
+        );
+        let s = indices.len();
         let sorted_scores: Vec<f64> = order.iter().map(|&r| scores[r as usize]).collect();
 
+        let mut y_canon = Vec::with_capacity(s);
         let mut pair_prefix = Vec::with_capacity(s + 1);
         let mut acc = PairSketch::new();
         pair_prefix.push(acc);
@@ -127,6 +172,7 @@ impl OracleSample {
             let pos = r as usize;
             let m = reweights[pos];
             let y = if labels[pos] { m } else { 0.0 };
+            y_canon.push(y);
             acc.push(y, m);
             pair_prefix.push(acc);
             if labels[pos] {
@@ -150,6 +196,7 @@ impl OracleSample {
             reweights,
             order,
             sorted_scores,
+            y_canon,
             pair_prefix,
             positives_desc,
             positive_scores,
@@ -240,11 +287,24 @@ impl OracleSample {
     }
 
     /// Moment sketches of the full-length split indicators `z1`/`z2` at
-    /// window boundary `cut` — one O(s) pass each, nothing materialized.
+    /// window boundary `cut`.
+    ///
+    /// Fused form: `z1` is the canonical `y` prefix padded with `s − cut`
+    /// zeros and `z2` the suffix padded with `cut` zeros, so both sketches
+    /// come from **one** combined pass over the contiguous
+    /// `y_canon` array — each element is folded into exactly one sketch
+    /// and the padding collapses to
+    /// [`SampleSketch::absorb_zeros`] — instead of two full passes through
+    /// the order/label/reweight indirection. Bit-identical to sketching
+    /// the materialized vectors of [`recall_split`](OracleSample::recall_split)
+    /// (zeros contribute exactly nothing to the sums; the parity is pinned
+    /// by the naive-reference tests).
     pub fn z_sketches(&self, cut: usize) -> (SampleSketch, SampleSketch) {
         let s = self.len();
-        let z1 = SampleSketch::from_values((0..s).map(|r| self.z_value(r, cut, true)));
-        let z2 = SampleSketch::from_values((0..s).map(|r| self.z_value(r, cut, false)));
+        let mut z1 = SampleSketch::from_values(self.y_canon[..cut].iter().copied());
+        z1.absorb_zeros(s - cut);
+        let mut z2 = SampleSketch::from_values(self.y_canon[cut..].iter().copied());
+        z2.absorb_zeros(cut);
         (z1, z2)
     }
 

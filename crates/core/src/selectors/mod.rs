@@ -131,10 +131,13 @@ pub trait ThresholdSelector {
 /// split, and re-pick.
 ///
 /// Sweep form: the split indicators `z1`/`z2` are never materialized —
-/// their moment sketches come from one pass over the sample's canonical
-/// order, so the whole routine is O(s) with zero allocation (closed-form
-/// CI methods). Bit-identical to
-/// [`reference::recall_threshold_naive`], which materializes the split.
+/// their moment sketches come from **one fused pass** over the sample's
+/// contiguous canonical `y` array (each element folds into exactly one
+/// sketch; the zero padding collapses to O(1) absorption — see
+/// [`OracleSample::z_sketches`]), so the whole routine is O(s) with a
+/// small constant and zero allocation (closed-form CI methods).
+/// Bit-identical to [`reference::recall_threshold_naive`], which
+/// materializes the split.
 pub fn recall_threshold(
     sample: &OracleSample,
     gamma: f64,

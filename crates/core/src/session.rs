@@ -617,16 +617,14 @@ fn exec_single(
     let calls_before = oracle.calls_used();
     let estimate = selector.estimate(view, query, oracle, rng)?;
 
-    // R2: all records at or above the threshold.
-    let mut indices: Vec<usize> = view
-        .data()
-        .select(estimate.tau)
-        .iter()
-        .map(|&i| i as usize)
-        .collect();
-    // R1: sampled records the oracle labeled positive.
-    indices.extend_from_slice(estimate.sample.positive_indices());
-    let result = SelectionResult::from_indices(indices);
+    // R = R2 ∪ R1 off the rank index: the threshold set is a binary
+    // search + prefix-slice copy (O(log n + k)) in canonical rank order,
+    // and the labeled positives below the cut append without any sort or
+    // dedup pass — no per-query allocation beyond the output.
+    let result = SelectionResult::from_ranked(
+        view.rank_index()
+            .materialize_union(estimate.tau, estimate.sample.positive_indices()),
+    );
 
     let stage_calls = oracle.calls_used() - calls_before;
     Ok(QueryOutcome {
@@ -686,12 +684,17 @@ fn exec_joint_stages(
     let stage = exec_single(view, rt_query, rt_selector, oracle, rng)?;
     let stage_calls = oracle.calls_used() - calls_before;
 
-    // Already-labeled records are cache hits and cost nothing extra. The
-    // filter is one batched request, so a parallel oracle labels the
-    // candidate set on its worker pool.
+    // The candidate set is already a rank-range (the stage result is the
+    // τ rank-prefix plus its labeled positives), so enumeration is one
+    // copy — no predicate pass over the dataset. Already-labeled records
+    // are cache hits and cost nothing extra; the filter is one batched
+    // request, so a parallel oracle labels the candidate set on its
+    // worker pool.
     oracle.set_budget(usize::MAX);
     let candidates: Vec<usize> = stage.result.iter().collect();
     let labels = oracle.label_batch(&candidates)?;
+    // Keeping a subsequence of the duplicate-free ranked candidates
+    // preserves both properties — no sort/dedup pass here either.
     let kept: Vec<usize> = candidates
         .iter()
         .zip(&labels)
@@ -701,7 +704,7 @@ fn exec_joint_stages(
     let filter_calls = oracle.calls_used() - calls_before - stage_calls;
 
     Ok(QueryOutcome {
-        result: SelectionResult::from_indices(kept),
+        result: SelectionResult::from_ranked(kept),
         tau: stage.tau,
         selector: stage.selector,
         oracle_calls: stage_calls + filter_calls,

@@ -131,6 +131,31 @@ fn concurrent_shared_sessions_reproduce_the_cold_outcome() {
 }
 
 #[test]
+fn pooled_preparation_matches_cold_sessions() {
+    // Artifacts built eagerly on an 8-wide worker pool (rank index via
+    // chunked sort + merge, weight feeds via chunked transforms) must
+    // serve the exact outcome a cold session computes from scratch.
+    let (data, labels) = rare(16_000, 81);
+    let prepared = PreparedDataset::new(data.clone())
+        .with_runtime(supg_core::RuntimeConfig::default().with_parallelism(8));
+    prepared.prepare();
+    prepared.warm(&supg_core::selectors::SelectorConfig::default());
+    let run = |session: SupgSession<'_>| {
+        let mut oracle = CachedOracle::from_labels(labels.clone(), 900);
+        session
+            .recall(0.9)
+            .budget(900)
+            .seed(4711)
+            .run(&mut oracle)
+            .unwrap()
+    };
+    let cold = run(SupgSession::over(&data));
+    let warm = run(SupgSession::over_prepared(&prepared));
+    assert_outcomes_identical(&cold, &warm, "pooled preparation");
+    assert_eq!(cold.tau.to_bits(), warm.tau.to_bits());
+}
+
+#[test]
 fn warmed_cache_serves_without_growth() {
     let (data, labels) = rare(5_000, 80);
     let prepared = PreparedDataset::new(data);

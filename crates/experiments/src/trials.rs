@@ -86,6 +86,11 @@ pub fn run_trials_with(
     if trials == 0 {
         return Vec::new();
     }
+    // One shared preparation for the whole batch: the workload's rank
+    // index is built on the runtime's worker pool up front (bit-identical
+    // to the lazy serial build), so every trial serves its threshold sets
+    // from the shared index instead of racing to build it.
+    workload.prepared.prepare_with(&oracle_runtime);
     let threads = thread::available_parallelism()
         .map_or(4, |n| n.get())
         .min(trials);

@@ -12,11 +12,13 @@ use supg_datasets::{LabeledData, Preset};
 pub struct Workload {
     /// Display name (the paper's dataset name).
     pub name: String,
-    /// Proxy scores with the sorted index.
+    /// Proxy scores with the shared rank index (built once, served to
+    /// every trial).
     pub data: Arc<ScoredDataset>,
     /// The shared prepared-artifact layer over [`data`](Workload::data):
-    /// importance weights and alias tables are built once here and reused
-    /// by every trial, so trials stop paying O(n) sampling setup each.
+    /// the rank index, importance weights and alias tables are built once
+    /// here and reused by every trial, so trials stop paying O(n) setup
+    /// each.
     pub prepared: Arc<PreparedDataset>,
     /// Ground-truth oracle labels (hidden from the algorithms; only the
     /// budgeted oracle and the evaluation metrics touch them).

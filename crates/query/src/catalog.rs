@@ -147,8 +147,9 @@ impl Table {
         self.prepared_proxy(name).map(|p| p.share_data())
     }
 
-    /// Looks up a proxy's prepared dataset (scores + the cached sampling
-    /// artifacts shared across statements).
+    /// Looks up a proxy's prepared dataset (scores + the shared rank
+    /// index + the cached sampling artifacts, all reused across
+    /// statements).
     pub fn prepared_proxy(&self, name: &str) -> Result<Arc<PreparedDataset>, QueryError> {
         self.proxies
             .get(name)

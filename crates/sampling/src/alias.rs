@@ -29,10 +29,6 @@ impl AliasTable {
     /// value, or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "AliasTable: empty weights");
-        assert!(
-            weights.len() <= u32::MAX as usize,
-            "AliasTable: more than u32::MAX entries"
-        );
         let total: f64 = weights
             .iter()
             .map(|&w| {
@@ -44,8 +40,36 @@ impl AliasTable {
 
         let n = weights.len();
         let probs: Vec<f64> = weights.iter().map(|&w| w / total).collect();
+        let scaled: Vec<f64> = probs.iter().map(|&p| p * n as f64).collect();
+        Self::from_normalized(probs, scaled)
+    }
+
+    /// Builds the table from the already-normalized probabilities and
+    /// their mean-1 scaling `scaled[i] = probs[i] · n` — the two O(n)
+    /// element-wise feeds of [`new`](AliasTable::new), split out so a
+    /// caller can compute them chunk-by-chunk on a worker pool
+    /// (`supg_core::prepared` does) and still get a table bit-identical
+    /// to the serial construction: Vose's partitioning itself consumes
+    /// the feeds in index order either way.
+    ///
+    /// # Panics
+    /// Panics if the vectors are empty, disagree in length, or exceed
+    /// `u32::MAX` entries. The caller guarantees the normalization
+    /// invariants (this is a performance-path constructor; use
+    /// [`new`](AliasTable::new) for arbitrary weights).
+    pub fn from_normalized(probs: Vec<f64>, mut scaled: Vec<f64>) -> Self {
+        assert!(!probs.is_empty(), "AliasTable: empty weights");
+        assert_eq!(
+            probs.len(),
+            scaled.len(),
+            "AliasTable: probs/scaled length mismatch"
+        );
+        assert!(
+            probs.len() <= u32::MAX as usize,
+            "AliasTable: more than u32::MAX entries"
+        );
+        let n = probs.len();
         // Scaled probabilities: mean 1. Partition into small/large stacks.
-        let mut scaled: Vec<f64> = probs.iter().map(|&p| p * n as f64).collect();
         let mut small: Vec<u32> = Vec::new();
         let mut large: Vec<u32> = Vec::new();
         for (i, &s) in scaled.iter().enumerate() {
@@ -170,6 +194,24 @@ mod tests {
         let draws = table.sample_many(&mut rng, 100_000);
         let heavy = draws.iter().filter(|&&i| i == 2).count();
         assert!(heavy > 99_900, "heavy index drawn {heavy} times");
+    }
+
+    #[test]
+    fn from_normalized_matches_new_bitwise() {
+        let weights: Vec<f64> = (0..500).map(|i| ((i * 31) % 97) as f64 / 97.0).collect();
+        let via_new = AliasTable::new(&weights);
+        let total: f64 = weights.iter().sum();
+        let probs: Vec<f64> = weights.iter().map(|&w| w / total).collect();
+        let scaled: Vec<f64> = probs.iter().map(|&p| p * weights.len() as f64).collect();
+        let via_parts = AliasTable::from_normalized(probs, scaled);
+        let mut rng = StdRng::seed_from_u64(45);
+        for _ in 0..5_000 {
+            let mut r2 = rng.clone();
+            assert_eq!(via_new.sample(&mut rng), via_parts.sample(&mut r2));
+        }
+        for i in 0..weights.len() {
+            assert_eq!(via_new.prob(i).to_bits(), via_parts.prob(i).to_bits());
+        }
     }
 
     #[test]

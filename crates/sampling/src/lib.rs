@@ -32,4 +32,4 @@ pub use alias::AliasTable;
 pub use cdf::CdfSampler;
 pub use reservoir::reservoir_sample;
 pub use uniform::{sample_with_replacement, sample_without_replacement};
-pub use weights::ImportanceWeights;
+pub use weights::{apply_exponent, ImportanceWeights};

@@ -15,6 +15,51 @@
 
 use crate::alias::AliasTable;
 
+/// The per-record transform of the weight recipe: `A(x)^p` with fast paths
+/// for the exponents that matter — 0.5 (the Theorem-1 optimum, `sqrt`),
+/// 1.0 (proportional, identity) and 0.0 (uniform, no transform at all).
+/// `powf` costs an order of magnitude more than `sqrt` per record, which
+/// dominates dataset preparation at n ≈ 10⁶. (`sqrt` may differ from
+/// `powf(0.5)` by ≤ 1 ulp; both are valid weight recipes.)
+///
+/// The weight recipe's input validation, shared by every construction
+/// path ([`ImportanceWeights::from_scores`] and the chunked builders in
+/// `supg-core`), so a bad input panics with the same message wherever
+/// the build runs.
+///
+/// # Panics
+/// Panics if `exponent` is negative or any score is negative/non-finite
+/// (naming the offending index and value).
+pub fn validate_scores(scores: &[f64], exponent: f64) {
+    assert!(
+        exponent >= 0.0,
+        "ImportanceWeights: exponent={exponent} < 0"
+    );
+    // Validation hoisted out of the mapping loop so the hot per-record
+    // transform stays branch-light.
+    for (index, &a) in scores.iter().enumerate() {
+        assert!(
+            a.is_finite() && a >= 0.0,
+            "ImportanceWeights: bad score {a} at index {index}"
+        );
+    }
+}
+
+/// Pure and element-wise, so callers may evaluate it chunk-by-chunk on a
+/// worker pool and concatenate: the result is bit-identical to one serial
+/// pass.
+pub fn apply_exponent(scores: &[f64], exponent: f64) -> Vec<f64> {
+    if exponent == 0.0 {
+        vec![1.0; scores.len()]
+    } else if exponent == 0.5 {
+        scores.iter().map(|&a| a.sqrt()).collect()
+    } else if exponent == 1.0 {
+        scores.to_vec()
+    } else {
+        scores.iter().map(|&a| a.powf(exponent)).collect()
+    }
+}
+
 /// Normalized sampling distribution over record indices together with the
 /// importance-reweighting factors.
 #[derive(Debug, Clone)]
@@ -34,42 +79,31 @@ impl ImportanceWeights {
     ///   distribution is exactly uniform.
     ///
     /// # Panics
-    /// Panics if `scores` is empty, any score is negative/non-finite,
-    /// `exponent` is negative, or `uniform_mix` is outside `[0, 1]`.
+    /// Panics if `scores` is empty, any score is negative/non-finite (the
+    /// message names the offending index and value), `exponent` is
+    /// negative, or `uniform_mix` is outside `[0, 1]`.
     pub fn from_scores(scores: &[f64], exponent: f64, uniform_mix: f64) -> Self {
-        assert!(!scores.is_empty(), "ImportanceWeights: empty scores");
-        assert!(
-            exponent >= 0.0,
-            "ImportanceWeights: exponent={exponent} < 0"
-        );
+        validate_scores(scores, exponent);
+        Self::from_powered(apply_exponent(scores, exponent), uniform_mix)
+    }
+
+    /// Builds weights from already-exponentiated non-negative values —
+    /// the second half of [`from_scores`](ImportanceWeights::from_scores)
+    /// (normalization + defensive mixing), split out so callers that
+    /// compute the `A(x)^p` transform elsewhere (e.g. chunked over a
+    /// worker pool, as `supg_core::prepared` does) reuse the exact same
+    /// recipe. `from_scores(s, p, mix)` is bit-for-bit
+    /// `from_powered(apply_exponent(s, p), mix)`.
+    ///
+    /// # Panics
+    /// Panics if `powered` is empty or `uniform_mix` is outside `[0, 1]`.
+    pub fn from_powered(mut powered: Vec<f64>, uniform_mix: f64) -> Self {
+        assert!(!powered.is_empty(), "ImportanceWeights: empty scores");
         assert!(
             (0.0..=1.0).contains(&uniform_mix),
             "ImportanceWeights: uniform_mix={uniform_mix} outside [0, 1]"
         );
-        let n = scores.len();
-        // Validation hoisted out of the mapping loop so the hot per-record
-        // transform below stays branch-light.
-        for &a in scores {
-            assert!(
-                a.is_finite() && a >= 0.0,
-                "ImportanceWeights: bad score {a}"
-            );
-        }
-        // Fast paths for the exponents that matter: 0.5 (the Theorem-1
-        // optimum, `sqrt`), 1.0 (proportional, identity) and 0.0 (uniform,
-        // no transform at all). `powf` costs an order of magnitude more
-        // than `sqrt` per record, which dominates dataset preparation at
-        // n ≈ 10⁶. (`sqrt` may differ from `powf(0.5)` by ≤ 1 ulp; both
-        // are valid weight recipes.)
-        let mut powered: Vec<f64> = if exponent == 0.0 {
-            vec![1.0; n]
-        } else if exponent == 0.5 {
-            scores.iter().map(|&a| a.sqrt()).collect()
-        } else if exponent == 1.0 {
-            scores.to_vec()
-        } else {
-            scores.iter().map(|&a| a.powf(exponent)).collect()
-        };
+        let n = powered.len();
         let total: f64 = powered.iter().sum();
         let uniform = 1.0 / n as f64;
         if total <= 0.0 {
@@ -289,5 +323,27 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn rejects_bad_mix() {
         ImportanceWeights::from_scores(&[0.5], 0.5, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad score -0.25 at index 2")]
+    fn bad_score_panic_names_index_and_value() {
+        // Regression: the validation message used to lose the position.
+        ImportanceWeights::from_scores(&[0.5, 0.1, -0.25, 0.9], 0.5, 0.1);
+    }
+
+    #[test]
+    fn from_powered_matches_from_scores_bitwise() {
+        let scores: Vec<f64> = (0..200).map(|i| (i % 37) as f64 / 40.0).collect();
+        for &(p, mix) in &[(0.5, 0.1), (1.0, 0.0), (0.0, 0.3), (0.7, 0.25)] {
+            let a = ImportanceWeights::from_scores(&scores, p, mix);
+            let b = ImportanceWeights::from_powered(apply_exponent(&scores, p), mix);
+            for i in 0..scores.len() {
+                assert_eq!(a.prob(i).to_bits(), b.prob(i).to_bits(), "p={p} i={i}");
+            }
+        }
+        // All-zero powered mass falls back to uniform, like from_scores.
+        let z = ImportanceWeights::from_powered(vec![0.0; 4], 0.1);
+        assert!((z.prob(2) - 0.25).abs() < 1e-15);
     }
 }

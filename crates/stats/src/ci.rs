@@ -216,6 +216,24 @@ impl SampleSketch {
         }
     }
 
+    /// Absorbs `k` zero-valued observations in one step — bit-identical to
+    /// calling [`push`](SampleSketch::push)`(0.0)` `k` times, at O(1) cost.
+    ///
+    /// Zeros contribute exactly nothing to `Σx`/`Σx²` (adding `0.0` to a
+    /// finite accumulator is exact), keep a sketch binary, add no ones,
+    /// and only move the extremes toward `0.0` — so the position of the
+    /// zeros in the push sequence is unobservable. This is what lets the
+    /// SUPG recall sweep sketch its zero-padded split indicators from a
+    /// partial pass over just the nonzero segment.
+    pub fn absorb_zeros(&mut self, k: usize) {
+        if k == 0 {
+            return;
+        }
+        self.n += k;
+        self.min = self.min.min(0.0);
+        self.max = self.max.max(0.0);
+    }
+
     /// Constructs a sketch directly from already-reduced statistics. Used
     /// by [`ratio_bounds_paired`], whose pseudo-observation moments come
     /// from an algebraic expansion rather than a value stream.
@@ -703,6 +721,27 @@ mod tests {
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn absorb_zeros_is_bit_identical_to_pushing_zeros() {
+        let values = [0.4, 1.5, 0.0, 2.25, 1.0];
+        for split in 0..=values.len() {
+            for trailing in [0usize, 1, 7] {
+                let mut absorbed = SampleSketch::from_values(values[..split].iter().copied());
+                absorbed.absorb_zeros(values.len() - split + trailing);
+                let mut pushed = SampleSketch::from_values(values[..split].iter().copied());
+                for _ in 0..(values.len() - split + trailing) {
+                    pushed.push(0.0);
+                }
+                assert_eq!(absorbed, pushed, "split={split} trailing={trailing}");
+            }
+        }
+        // Binary samples stay binary and keep their success count.
+        let mut sk = SampleSketch::from_values([1.0, 0.0, 1.0]);
+        sk.absorb_zeros(5);
+        assert_eq!(sk.binary_successes(), Some(2));
+        assert_eq!(sk.len(), 8);
     }
 
     fn indicator_sample(k: usize, n: usize) -> Vec<f64> {

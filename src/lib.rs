@@ -80,12 +80,18 @@
 //!
 //! ## Serving repeated queries
 //!
-//! Answering many queries over one corpus should pay the O(n) sampling
-//! setup (importance weights + alias table) once, not per query. Wrap the
-//! dataset in a [`core::PreparedDataset`] and run sessions over it — the
-//! artifacts are built on first use and shared by every later query and
-//! every thread (the SQL engine does this per registered proxy
-//! automatically):
+//! Answering many queries over one corpus should pay the per-dataset
+//! preprocessing — the global [`core::RankIndex`] (one descending-score
+//! permutation that turns every threshold-set materialization into an
+//! O(log n + k) rank-range lookup) and the sampling artifacts (importance
+//! weights + alias table) — once, not per query. Wrap the dataset in a
+//! [`core::PreparedDataset`] and run sessions over it — the artifacts are
+//! built on first use (or eagerly, on the multi-threaded runtime's worker
+//! pool, via `PreparedDataset::prepare`/`warm`) and shared by every later
+//! query and every thread (the SQL engine does this per registered proxy
+//! automatically). Results are bit-identical however the artifacts were
+//! built; query result sets arrive in proxy-rank order (best candidates
+//! first):
 //!
 //! ```
 //! use std::sync::Arc;
