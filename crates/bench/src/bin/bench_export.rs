@@ -8,10 +8,11 @@
 //! bench_export --check    # quick suite, gate first: exit 1 (without
 //!                         # touching the file) when any recorded speedup
 //!                         # ratio — threshold search, recall sweep, set
-//!                         # materialization, cold build — regressed > 2×
-//!                         # vs the committed baseline (ratio-based,
-//!                         # machine-independent); on a pass, regenerate
-//!                         # the file like a plain run
+//!                         # materialization, cold build, cold-path alias
+//!                         # build and CDF-vs-alias cold one-shot —
+//!                         # regressed > 2× vs the committed baseline
+//!                         # (ratio-based, machine-independent); on a
+//!                         # pass, regenerate the file like a plain run
 //! ```
 
 use std::path::PathBuf;
@@ -52,7 +53,9 @@ fn main() -> ExitCode {
          recall sweep: {:.1}×; \
          serving: cold {:.2}ms vs prepared {:.2}ms per query → {:.1}×; \
          materialization: rank {:.1}µs vs linear {:.1}µs → {:.1}×; \
-         cold build: parallel {:.1}ms vs serial {:.1}ms → {:.1}×",
+         cold build: parallel {:.1}ms vs serial {:.1}ms → {:.1}×; \
+         cold path: alias build {:.1}ms vs legacy {:.1}ms → {:.2}×, \
+         cdf one-shot {:.1}ms vs alias one-shot {:.1}ms → {:.2}×",
         report.precision.sweep_ns / 1e3,
         report.precision.naive_ns / 1e3,
         report.precision.speedup(),
@@ -66,6 +69,12 @@ fn main() -> ExitCode {
         report.cold_build.parallel_ns / 1e6,
         report.cold_build.serial_ns / 1e6,
         report.cold_build.speedup(),
+        report.cold_path.alias_parallel_ns / 1e6,
+        report.cold_path.alias_serial_ns / 1e6,
+        report.cold_path.alias_build_speedup(),
+        report.cold_path.cdf_cold_query_ns / 1e6,
+        report.cold_path.alias_cold_query_ns / 1e6,
+        report.cold_path.cdf_speedup(),
     );
 
     if check {
@@ -82,29 +91,58 @@ fn main() -> ExitCode {
         // committed baseline predates are skipped — the schema is
         // additive, and the next write records them.
         let gates = [
-            ("threshold_search", report.precision.speedup(), true),
-            ("recall_threshold", report.recall.speedup(), false),
-            ("materialization", report.materialization.speedup(), false),
-            ("cold_build", report.cold_build.speedup(), false),
+            (
+                "threshold_search",
+                "speedup",
+                report.precision.speedup(),
+                true,
+            ),
+            (
+                "recall_threshold",
+                "speedup",
+                report.recall.speedup(),
+                false,
+            ),
+            (
+                "materialization",
+                "speedup",
+                report.materialization.speedup(),
+                false,
+            ),
+            ("cold_build", "speedup", report.cold_build.speedup(), false),
+            (
+                "cold_path",
+                "alias_build_speedup",
+                report.cold_path.alias_build_speedup(),
+                false,
+            ),
+            (
+                "cold_path",
+                "cdf_speedup",
+                report.cold_path.cdf_speedup(),
+                false,
+            ),
         ];
-        for (section, current, required) in gates {
-            let Some(baseline) = extract_number(&committed, section, "speedup") else {
+        for (section, key, current, required) in gates {
+            let Some(baseline) = extract_number(&committed, section, key) else {
                 if required {
-                    eprintln!("bench_export --check: baseline is missing {section}.speedup");
+                    eprintln!("bench_export --check: baseline is missing {section}.{key}");
                     return ExitCode::FAILURE;
                 }
-                eprintln!("bench_export --check: baseline predates {section}; skipping its gate");
+                eprintln!(
+                    "bench_export --check: baseline predates {section}.{key}; skipping its gate"
+                );
                 continue;
             };
             if current < baseline / 2.0 {
                 eprintln!(
-                    "bench_export --check: {section} speedup regressed: \
+                    "bench_export --check: {section}.{key} regressed: \
                      current {current:.1}× < half of baseline {baseline:.1}×"
                 );
                 return ExitCode::FAILURE;
             }
             eprintln!(
-                "bench_export --check: {section} ok (current {current:.1}× vs baseline \
+                "bench_export --check: {section}.{key} ok (current {current:.1}× vs baseline \
                  {baseline:.1}×)"
             );
         }

@@ -16,10 +16,11 @@ use supg_core::rank::{materialize_linear, RankIndex};
 use supg_core::selectors::reference::{precision_threshold_naive, recall_threshold_naive};
 use supg_core::selectors::{precision_threshold, recall_threshold, SelectorConfig};
 use supg_core::{
-    CachedOracle, OracleSample, PreparedDataset, RuntimeConfig, ScoredDataset, SelectorKind,
-    SupgSession,
+    CachedOracle, OracleSample, PreparedDataset, RuntimeConfig, SamplerStrategy, ScoredDataset,
+    SelectorKind, SupgSession, WeightArtifacts,
 };
 use supg_datasets::BetaDataset;
+use supg_sampling::ImportanceWeights;
 use supg_stats::CiMethod;
 
 /// Median wall-clock nanoseconds of `f` over `iters` runs (≥ 1).
@@ -153,6 +154,54 @@ impl ColdBuildNumbers {
     }
 }
 
+/// The cold-start serving path: weight/alias artifact construction
+/// (legacy serial Vose baseline vs the chunk-partitioned feed build) and
+/// the total cold one-shot query under each [`SamplerStrategy`].
+#[derive(Debug, Clone, Copy)]
+pub struct ColdPathNumbers {
+    /// Dataset size (the acceptance workload: n = 10⁶).
+    pub n: usize,
+    /// Worker-pool width requested for the parallel alias arm (clamped to
+    /// the machine's cores inside the build).
+    pub workers: usize,
+    /// Median ns of the legacy serial artifact build: the weight
+    /// construction plus the pre-cold-path alias construction — a
+    /// per-element validation + sum pass, separate normalize and scale
+    /// passes, a separate partition scan, then Vose (retained in-process
+    /// as [`legacy_alias_table`], like the legacy sort baseline of
+    /// `cold_build`) — the exact cold path every query paid before the
+    /// chunk-partitioned feeds and the moved acceptance array.
+    pub alias_serial_ns: f64,
+    /// Median ns of `WeightArtifacts::build_with` at `workers` workers:
+    /// pooled `A(x)^p` transform, per-chunk normalize/scale/partition
+    /// feeds, and the serial Vose pairing that moves the residual array
+    /// into the acceptance role instead of allocating and filling a
+    /// fresh one.
+    pub alias_parallel_ns: f64,
+    /// Median ns of one complete cold one-shot query (budget 1000) under
+    /// `SamplerStrategy::Alias` — weight + alias build + draws +
+    /// estimation (rank index prebuilt; `cold_build` times that).
+    pub alias_cold_query_ns: f64,
+    /// Same cold one-shot query under `SamplerStrategy::Cdf` — the
+    /// prefix-sum build replaces the alias construction.
+    pub cdf_cold_query_ns: f64,
+}
+
+impl ColdPathNumbers {
+    /// `serial / parallel` alias-artifact construction — on a single-core
+    /// machine this is the pure pass-fusion win; chunk scaling adds on
+    /// top wherever real cores exist.
+    pub fn alias_build_speedup(&self) -> f64 {
+        self.alias_serial_ns / self.alias_parallel_ns.max(1.0)
+    }
+
+    /// `alias / cdf` cold one-shot query latency — the factor the CDF
+    /// fallback shaves off time-to-first-result on a fresh recipe.
+    pub fn cdf_speedup(&self) -> f64 {
+        self.alias_cold_query_ns / self.cdf_cold_query_ns.max(1.0)
+    }
+}
+
 /// Everything `BENCH_selectors.json` records.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -172,6 +221,9 @@ pub struct BenchReport {
     pub materialization: MaterializationNumbers,
     /// Parallel vs serial cold artifact construction.
     pub cold_build: ColdBuildNumbers,
+    /// Cold-start serving: alias-build parallelization and the CDF
+    /// fallback's cold one-shot win.
+    pub cold_path: ColdPathNumbers,
 }
 
 /// Runs the full measurement suite. `quick` trims iteration counts for CI
@@ -226,6 +278,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     let serving = measure_serving(if quick { 8 } else { 32 });
     let materialization = measure_materialization(if quick { 10 } else { 40 });
     let cold_build = measure_cold_build(if quick { 3 } else { 7 });
+    let cold_path = measure_cold_path(if quick { 5 } else { 15 });
 
     BenchReport {
         s,
@@ -236,6 +289,116 @@ pub fn run_suite(quick: bool) -> BenchReport {
         serving,
         materialization,
         cold_build,
+        cold_path,
+    }
+}
+
+/// The pre-cold-path alias construction, retained **verbatim and
+/// self-contained** as the serial Vose baseline (like `cold_build`'s
+/// legacy comparator sort — it must not inherit the production path's
+/// optimizations): one validation + sum pass with a per-element assert,
+/// separate normalize and scale passes, a partition scan into growing
+/// stacks, then the textbook Vose pairing that allocates and fills a
+/// fresh acceptance array and writes it slot by slot (the production
+/// build now moves the residual array into the acceptance role instead).
+/// Returns `(accept, alias, probs)`; pinned bit-identical to
+/// [`AliasTable::new`]'s arrays by the parity test below.
+pub fn legacy_alias_table(weights: &[f64]) -> (Vec<f64>, Vec<u32>, Vec<f64>) {
+    assert!(!weights.is_empty(), "AliasTable: empty weights");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w.is_finite() && w >= 0.0, "AliasTable: bad weight {w}");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "AliasTable: weights sum to zero");
+    let n = weights.len();
+    let probs: Vec<f64> = weights.iter().map(|&w| w / total).collect();
+    let mut scaled: Vec<f64> = probs.iter().map(|&p| p * n as f64).collect();
+    let mut small: Vec<u32> = Vec::new();
+    let mut large: Vec<u32> = Vec::new();
+    for (i, &s) in scaled.iter().enumerate() {
+        if s < 1.0 {
+            small.push(i as u32);
+        } else {
+            large.push(i as u32);
+        }
+    }
+    let mut accept = vec![1.0_f64; n];
+    let mut alias = vec![0_u32; n];
+    while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+        accept[s as usize] = scaled[s as usize];
+        alias[s as usize] = l;
+        scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+        if scaled[l as usize] < 1.0 {
+            small.push(l);
+        } else {
+            large.push(l);
+        }
+    }
+    for i in small.into_iter().chain(large) {
+        accept[i as usize] = 1.0;
+    }
+    (accept, alias, probs)
+}
+
+/// The cold-start path at n = 10⁶: (a) artifact construction, legacy
+/// serial passes vs the chunk-partitioned feed build; (b) one complete
+/// cold one-shot query per sampler strategy. Arms alternate within one
+/// loop so ambient machine noise hits all medians alike.
+fn measure_cold_path(iters: usize) -> ColdPathNumbers {
+    let n = 1_000_000;
+    let workers = 8;
+    let budget = 1_000;
+    let (data, labels) = serving_workload(n);
+    data.rank_index(); // shared by both query arms; cold_build times it
+    let rt = RuntimeConfig::default().with_parallelism(workers);
+    let iters = iters.max(3);
+    let (mut serial, mut parallel) = (Vec::with_capacity(iters), Vec::with_capacity(iters));
+    let (mut alias_q, mut cdf_q) = (Vec::with_capacity(iters), Vec::with_capacity(iters));
+    for q in 0..iters {
+        let start = Instant::now();
+        // The pre-cold-path construction: separate weight passes, then
+        // the legacy pass-by-pass alias build.
+        let weights = ImportanceWeights::from_scores(data.scores(), 0.5, 0.1);
+        std::hint::black_box(legacy_alias_table(weights.probs()));
+        serial.push(start.elapsed().as_nanos() as f64);
+
+        let start = Instant::now();
+        std::hint::black_box(WeightArtifacts::build_with(data.scores(), 0.5, 0.1, &rt));
+        parallel.push(start.elapsed().as_nanos() as f64);
+
+        for (strategy, samples) in [
+            (SamplerStrategy::Alias, &mut alias_q),
+            (SamplerStrategy::Cdf, &mut cdf_q),
+        ] {
+            let labels = Arc::clone(&labels);
+            let mut oracle = CachedOracle::parallel(labels.len(), budget, move |i| labels[i]);
+            let start = Instant::now();
+            let outcome = SupgSession::over(&data)
+                .recall(0.9)
+                .budget(budget)
+                .selector(SelectorKind::ImportanceSampling)
+                .sampler_strategy(strategy)
+                .seed(q as u64)
+                .run(&mut oracle)
+                .expect("cold one-shot query failed");
+            samples.push(start.elapsed().as_nanos() as f64);
+            std::hint::black_box(outcome);
+        }
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    ColdPathNumbers {
+        n,
+        workers,
+        alias_serial_ns: median(&mut serial),
+        alias_parallel_ns: median(&mut parallel),
+        alias_cold_query_ns: median(&mut alias_q),
+        cdf_cold_query_ns: median(&mut cdf_q),
     }
 }
 
@@ -404,7 +567,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"supg-bench/2\",");
+        let _ = writeln!(out, "  \"schema\": \"supg-bench/3\",");
         let _ = writeln!(out, "  \"threshold_search\": {{");
         let _ = writeln!(out, "    \"s\": {},", self.s);
         let _ = writeln!(out, "    \"step\": {},", self.step);
@@ -475,6 +638,40 @@ impl BenchReport {
             self.cold_build.parallel_ns
         );
         let _ = writeln!(out, "    \"speedup\": {:.2}", self.cold_build.speedup());
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"cold_path\": {{");
+        let _ = writeln!(out, "    \"n\": {},", self.cold_path.n);
+        let _ = writeln!(out, "    \"workers\": {},", self.cold_path.workers);
+        let _ = writeln!(
+            out,
+            "    \"alias_serial_ns\": {:.0},",
+            self.cold_path.alias_serial_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"alias_parallel_ns\": {:.0},",
+            self.cold_path.alias_parallel_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"alias_build_speedup\": {:.2},",
+            self.cold_path.alias_build_speedup()
+        );
+        let _ = writeln!(
+            out,
+            "    \"alias_cold_query_ns\": {:.0},",
+            self.cold_path.alias_cold_query_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"cdf_cold_query_ns\": {:.0},",
+            self.cold_path.cdf_cold_query_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"cdf_speedup\": {:.2}",
+            self.cold_path.cdf_speedup()
+        );
         let _ = writeln!(out, "  }}");
         let _ = write!(out, "}}");
         out
@@ -505,6 +702,7 @@ pub fn extract_number(json: &str, section: &str, key: &str) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use supg_sampling::AliasTable;
 
     #[test]
     fn json_round_trips_through_extract() {
@@ -542,6 +740,14 @@ mod tests {
                 serial_ns: 1.2e8,
                 parallel_ns: 4e7,
             },
+            cold_path: ColdPathNumbers {
+                n: 1_000_000,
+                workers: 8,
+                alias_serial_ns: 2e7,
+                alias_parallel_ns: 1e7,
+                alias_cold_query_ns: 4e7,
+                cdf_cold_query_ns: 2.5e7,
+            },
         };
         let json = report.to_json();
         assert_eq!(
@@ -570,8 +776,28 @@ mod tests {
         );
         assert_eq!(extract_number(&json, "cold_build", "speedup"), Some(3.0));
         assert_eq!(extract_number(&json, "cold_build", "workers"), Some(8.0));
+        assert_eq!(
+            extract_number(&json, "cold_path", "alias_build_speedup"),
+            Some(2.0)
+        );
+        assert_eq!(extract_number(&json, "cold_path", "cdf_speedup"), Some(1.6));
         assert_eq!(extract_number(&json, "nope", "speedup"), None);
         assert_eq!(extract_number(&json, "prepared_serving", "nope"), None);
+    }
+
+    #[test]
+    fn legacy_alias_baseline_matches_production_constructor() {
+        // The retained baseline and the production path must build the
+        // same table bit for bit — the baseline is a parity oracle, not
+        // just a stopwatch target.
+        let weights: Vec<f64> = (0..5_000).map(|i| ((i * 31) % 97) as f64 / 97.0).collect();
+        let (accept, alias, probs) = legacy_alias_table(&weights);
+        let table = AliasTable::new(&weights);
+        assert_eq!(accept.as_slice(), table.accept());
+        assert_eq!(alias.as_slice(), table.aliases());
+        for (i, &p) in probs.iter().enumerate() {
+            assert_eq!(p.to_bits(), table.prob(i).to_bits(), "prob {i}");
+        }
     }
 
     #[test]

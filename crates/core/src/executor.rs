@@ -10,9 +10,15 @@
 //! ```
 //!
 //! The pipeline itself lives in [`crate::session`]; this module keeps the
-//! result-set type. (The `SupgExecutor` compatibility shim that used to
-//! live here was deprecated for one release and has been removed — run
-//! queries through [`crate::session::SupgSession`].)
+//! result-set types: the owned [`SelectionResult`] and the borrowed
+//! [`ResultView`] over the rank index, which serves huge `τ`-sets without
+//! the O(k) materialization copy. (The `SupgExecutor` compatibility shim
+//! that used to live here was deprecated for one release and has been
+//! removed — run queries through [`crate::session::SupgSession`].)
+
+use std::sync::OnceLock;
+
+use crate::rank::RankIndex;
 
 pub use crate::session::QueryOutcome;
 
@@ -32,10 +38,27 @@ pub use crate::session::QueryOutcome;
 /// Indices are `usize` record positions — result sets never truncate, even
 /// though [`crate::data::ScoredDataset`] itself caps datasets at
 /// `u32::MAX` records for its compact rank index.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// For huge `τ`-sets the borrowed [`ResultView`] serves the same records
+/// without materializing this owned form at all.
+#[derive(Debug, Clone)]
 pub struct SelectionResult {
     indices: Vec<usize>,
+    /// Ascending shadow of `indices`, built lazily on the first
+    /// [`contains`](SelectionResult::contains) call so repeated
+    /// membership tests are O(log len) instead of the linear scan the
+    /// rank-ordered result layout would otherwise force.
+    sorted: OnceLock<Vec<usize>>,
 }
+
+impl PartialEq for SelectionResult {
+    fn eq(&self, other: &Self) -> bool {
+        // The membership shadow is a cache, not state.
+        self.indices == other.indices
+    }
+}
+
+impl Eq for SelectionResult {}
 
 impl SelectionResult {
     /// Builds a result set from (possibly unsorted, duplicated) indices,
@@ -43,7 +66,10 @@ impl SelectionResult {
     pub fn from_indices(mut indices: Vec<usize>) -> Self {
         indices.sort_unstable();
         indices.dedup();
-        Self { indices }
+        Self {
+            indices,
+            sorted: OnceLock::new(),
+        }
     }
 
     /// Wraps indices that are already duplicate-free, preserving their
@@ -59,7 +85,10 @@ impl SelectionResult {
             },
             "from_ranked: duplicate indices"
         );
-        Self { indices }
+        Self {
+            indices,
+            sorted: OnceLock::new(),
+        }
     }
 
     /// Number of returned records.
@@ -77,16 +106,117 @@ impl SelectionResult {
         &self.indices
     }
 
-    /// Membership test. O(len) — the result order is rank-canonical, not
-    /// index-sorted; pipelines needing repeated membership checks should
-    /// consult the dataset's rank index instead.
+    /// Membership test: a binary search over an ascending shadow of the
+    /// indices, built once on the first call — O(len log len) then, and
+    /// O(log len) for every test after, replacing the per-call linear
+    /// scan the rank-canonical result order used to force. (A
+    /// [`ResultView`] answers the same question in O(1) from the rank
+    /// index without any shadow, when the view is still available.)
     pub fn contains(&self, index: usize) -> bool {
-        self.indices.contains(&index)
+        let sorted = self.sorted.get_or_init(|| {
+            let mut shadow = self.indices.clone();
+            shadow.sort_unstable();
+            shadow
+        });
+        sorted.binary_search(&index).is_ok()
     }
 
     /// Iterates the returned record indices in result order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.indices.iter().copied()
+    }
+}
+
+/// A borrowed query result over the dataset's [`RankIndex`]: the
+/// threshold set `D(τ)` as a rank-prefix **slice** (no copy, however
+/// large `τ` makes it) plus the below-cut labeled positives as a small
+/// owned tail.
+///
+/// This is the streaming form of a query answer — `R = D(τ) ∪ R1` exactly
+/// as [`SelectionResult`] holds it, in the same canonical order
+/// (threshold set best-first, then below-`τ` positives ascending), but
+/// with the O(k) prefix materialization deferred until a caller actually
+/// wants owned indices ([`to_result`](ResultView::to_result)). Sessions
+/// produce it via
+/// [`SupgSession::run_view`](crate::session::SupgSession::run_view);
+/// membership tests are O(1) rank comparisons instead of any search.
+#[derive(Debug, Clone)]
+pub struct ResultView<'a> {
+    index: &'a RankIndex,
+    /// `|D(τ)|`: the length of the rank prefix.
+    cut: usize,
+    /// Labeled positives below the cut — ascending, duplicate-free,
+    /// disjoint from the prefix by construction.
+    extras: Vec<usize>,
+}
+
+impl<'a> ResultView<'a> {
+    /// Builds the view for threshold `tau` over `index`, keeping from
+    /// `positives` (ascending, deduplicated record indices — a
+    /// labeled-positive set) only the records below the cut. O(log n)
+    /// for the cut plus O(|positives|) for the filter — independent of
+    /// `|D(τ)|`.
+    ///
+    /// # Panics
+    /// Panics if a positive index is out of range for the index.
+    pub fn over(index: &'a RankIndex, tau: f64, positives: &[usize]) -> Self {
+        let cut = index.cut_for(tau);
+        let extras = positives
+            .iter()
+            .copied()
+            .filter(|&i| index.rank_of(i) >= cut)
+            .collect();
+        Self { index, cut, extras }
+    }
+
+    /// Number of returned records.
+    pub fn len(&self) -> usize {
+        self.cut + self.extras.len()
+    }
+
+    /// True when no records were returned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the threshold set `D(τ)` (the rank-prefix part).
+    pub fn threshold_len(&self) -> usize {
+        self.cut
+    }
+
+    /// The threshold set as the borrowed rank-prefix slice (record
+    /// indices in canonical rank order) — zero-copy however large.
+    pub fn tau_prefix(&self) -> &'a [u32] {
+        &self.index.order()[..self.cut]
+    }
+
+    /// The below-cut labeled positives (ascending record indices).
+    pub fn extras(&self) -> &[usize] {
+        &self.extras
+    }
+
+    /// Membership test: one O(1) rank comparison for the prefix, an
+    /// O(log e) binary search over the (small) extras tail.
+    pub fn contains(&self, index: usize) -> bool {
+        index < self.index.len()
+            && (self.index.rank_of(index) < self.cut || self.extras.binary_search(&index).is_ok())
+    }
+
+    /// Iterates the record indices in result order (threshold set
+    /// best-first, then the below-cut positives ascending) — exactly the
+    /// order [`SelectionResult::indices`] would hold.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.tau_prefix()
+            .iter()
+            .map(|&i| i as usize)
+            .chain(self.extras.iter().copied())
+    }
+
+    /// Materializes the owned [`SelectionResult`] — the one O(k) copy
+    /// this view exists to defer, bit-identical to what the non-streaming
+    /// pipeline returns.
+    pub fn to_result(&self) -> SelectionResult {
+        SelectionResult::from_ranked(self.iter().collect())
     }
 }
 
@@ -120,6 +250,33 @@ mod tests {
         assert!(r.contains(5));
         assert!(!r.contains(4));
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![9, 2, 5, 1]);
+    }
+
+    #[test]
+    fn contains_searches_rank_ordered_results_correctly() {
+        // Regression: since the PR 4 rank-order change, `contains` scanned
+        // the whole (rank-ordered, not index-sorted) result linearly. The
+        // binary-searched membership shadow must answer identically over a
+        // rank-ordered layout — hits in the prefix, hits in the extras
+        // tail, misses between and outside — and stay correct after
+        // clones.
+        let prefix = vec![907usize, 13, 440, 2, 551]; // descending-score order
+        let extras = vec![60usize, 75, 902]; // ascending below-cut positives
+        let mut ranked = prefix.clone();
+        ranked.extend_from_slice(&extras);
+        let r = SelectionResult::from_ranked(ranked);
+        for &i in prefix.iter().chain(&extras) {
+            assert!(r.contains(i), "lost member {i}");
+        }
+        for miss in [0usize, 3, 14, 61, 550, 552, 903, 908, 10_000] {
+            assert!(!r.contains(miss), "phantom member {miss}");
+        }
+        // Equality ignores the lazily built shadow; clones answer alike.
+        let clone = r.clone();
+        assert_eq!(clone, r);
+        assert!(clone.contains(440) && !clone.contains(441));
+        // And the indices order is untouched by membership queries.
+        assert_eq!(r.indices()[..5], prefix[..]);
     }
 
     #[test]

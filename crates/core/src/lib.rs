@@ -183,6 +183,29 @@
 //! [`PreparedDataset::set_cache_capacity`](prepared::PreparedDataset::set_cache_capacity)),
 //! so per-tenant recipe churn cannot grow memory without limit.
 //!
+//! **The cold-start path.** The *first* query against a fresh corpus has
+//! its own levers. The alias table's element-wise construction passes —
+//! normalization, mean-1 scaling and Vose's small/large partition scan —
+//! run chunk-parallel on the worker pool
+//! ([`supg_sampling::alias::feed_slice`] /
+//! `AliasTable::from_feeds`), with the lone floating-point reduction kept
+//! serial so the table is bit-identical at every `parallelism` (pinned by
+//! `tests/sampler_parity.rs`). A query that will run **once** can skip
+//! the alias build entirely: [`SamplerStrategy`]
+//! (`SupgSession::sampler_strategy(..)`, or `sampler` on
+//! [`selectors::SelectorConfig`]) selects the O(log n)-draw CDF fallback
+//! sampler — one prefix-sum pass to build — either always (`Cdf`) or only
+//! while the recipe is cold (`Auto`, which promotes to the cached alias
+//! table once a recipe recurs). Strategies consume the seeded RNG stream
+//! differently, so each is deterministic but they are not bit-for-bit
+//! interchangeable; the CDF path carries the same `1 − δ` guarantee
+//! (checked empirically in `tests/guarantees.rs`). Finally,
+//! [`SupgSession::run_view`](session::SupgSession::run_view) returns the
+//! answer as a borrowed [`ResultView`] — the threshold set stays a
+//! zero-copy rank-prefix slice with O(1) membership tests, and the owned
+//! [`SelectionResult`] materialization is deferred until
+//! [`ViewOutcome::into_owned`](session::ViewOutcome) actually needs it.
+//!
 //! ## Guarantee contract
 //!
 //! For an RT query with target `γ` and failure probability `δ`, the set `R`
@@ -212,12 +235,12 @@ pub mod session;
 
 pub use data::ScoredDataset;
 pub use error::SupgError;
-pub use executor::SelectionResult;
+pub use executor::{ResultView, SelectionResult};
 pub use metrics::PrecisionRecall;
 pub use oracle::{BatchOracle, CachedOracle, Oracle};
-pub use prepared::{DataView, PreparedDataset, WeightArtifacts};
+pub use prepared::{DataView, PreparedDataset, SamplerStrategy, WeightArtifacts};
 pub use query::{ApproxQuery, JointQuery, TargetKind};
 pub use rank::RankIndex;
 pub use runtime::RuntimeConfig;
 pub use sample::OracleSample;
-pub use session::{QueryOutcome, SelectorKind, SessionOracle, SupgSession};
+pub use session::{QueryOutcome, SelectorKind, SessionOracle, SupgSession, ViewOutcome};

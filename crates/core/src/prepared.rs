@@ -26,11 +26,24 @@
 //! the rank index on the [`crate::runtime`] worker pool (chunked key
 //! sorts merged pairwise), and [`warm`](PreparedDataset::warm) builds the
 //! weight artifacts with the `A(x)^p` transform and the alias-table feeds
-//! evaluated chunk-by-chunk on the same pool. Every parallel step is
-//! either element-wise pure or a total-order merge, and the one
-//! floating-point reduction (the weight normalizer `Σ A^p`) stays serial
-//! — so prepared artifacts are **bit-identical** to the cold serial build
-//! at every `parallelism` setting.
+//! — including Vose's small/large partition scan
+//! ([`alias::feed_slice`]) — evaluated chunk-by-chunk on the same pool.
+//! Every parallel step is either element-wise pure or a total-order
+//! merge, and the one floating-point reduction (the weight normalizer
+//! `Σ A^p`) stays serial — so prepared artifacts are **bit-identical** to
+//! the cold serial build at every `parallelism` setting.
+//!
+//! ## The cold-start sampler fallback
+//!
+//! Even fully parallel, the alias table is the most expensive sampling
+//! artifact; a truly one-shot query does not need O(1) draws at all.
+//! [`SamplerStrategy`] picks the backend per query: `Alias` (the
+//! default, preserving every bit-parity contract), `Cdf` (always the
+//! single-pass [`CdfSampler`] build), or `Auto` (CDF for cold one-shot
+//! queries, promoted to the cached alias table once a recipe recurs).
+//! The strategy rides on
+//! [`SelectorConfig::sampler`](crate::selectors::SelectorConfig) and is
+//! surfaced as `SupgSession::sampler_strategy(..)`.
 //!
 //! ## Cache bounds
 //!
@@ -54,11 +67,13 @@
 //! [`QueryOutcome`](crate::session::QueryOutcome)s (enforced by
 //! `crates/core/tests/prepared_parity.rs`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 use supg_sampling::weights::validate_scores;
-use supg_sampling::{apply_exponent, AliasTable, ImportanceWeights};
+use supg_sampling::{
+    alias, apply_exponent, AliasTable, CdfSampler, ImportanceWeights, WeightedSampler,
+};
 
 use crate::data::ScoredDataset;
 use crate::error::SupgError;
@@ -70,6 +85,44 @@ use crate::selectors::SelectorConfig;
 /// serving deployment uses a handful), but a bound, so per-tenant recipe
 /// churn cannot grow memory without limit.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Which weighted-sampler backend serves a query's importance draws.
+///
+/// The alias table draws in O(1) but its construction runs several O(n)
+/// passes plus the Vose pairing loop; the CDF sampler draws in O(log n)
+/// from a single O(n) prefix-sum build. For a **cold one-shot** query the
+/// CDF build wins (a query draws `s ≈ 10³–10⁴ ≪ n` records, so draw cost
+/// is negligible); for **repeated** queries the cached alias table wins.
+///
+/// **Seed-stream contract:** the two backends consume the session RNG
+/// differently per draw (alias: one uniform index + one uniform float;
+/// CDF: one uniform float), so switching strategies changes which records
+/// a seeded query samples. Each *backend* is individually deterministic —
+/// same data, seed and backend always reproduce the same
+/// [`QueryOutcome`](crate::session::QueryOutcome); under `Auto` the
+/// backend itself depends on the artifact-cache state (a cold recipe
+/// draws through the CDF, a recurring one through the alias table), so
+/// only `Alias` and `Cdf` are reproducible independent of query history.
+/// Every strategy carries the identical statistical guarantee (pinned by
+/// `crates/core/tests/sampler_parity.rs` and the CDF configurations in
+/// `crates/core/tests/guarantees.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SamplerStrategy {
+    /// Always the O(1)-draw alias table (the default — preserves the
+    /// bit-exact prepared ≡ cold parity contract at any parallelism).
+    #[default]
+    Alias,
+    /// Always the O(log n)-draw CDF sampler (cheapest possible setup for
+    /// every query; prepared sessions cache the CDF artifacts instead).
+    Cdf,
+    /// Cold views and the first request for a recipe on a prepared
+    /// dataset serve a fresh one-shot CDF sampler; from the second
+    /// request on (or after [`PreparedDataset::warm`]) the recipe's alias
+    /// table is built, cached and served. Trades the cold/warm bit-parity
+    /// of [`Alias`](SamplerStrategy::Alias) for minimum time-to-first-
+    /// result on fresh corpora.
+    Auto,
+}
 
 /// Applies a pure element-wise map over `input` in fixed contiguous
 /// chunks on the worker pool ([`runtime::cpu_workers`]-clamped),
@@ -93,71 +146,106 @@ fn chunked_map(
     out
 }
 
-/// Both [`AliasTable::from_normalized`] feeds — `probs[i]/total` and its
-/// mean-1 scaling — in one fused pass, chunked over the pool like
-/// [`chunked_map`]. The arithmetic matches the split serial passes of
-/// `AliasTable::new` operation for operation, so the table is
-/// bit-identical however this runs.
-fn alias_feeds(probs: &[f64], total: f64, rt: &RuntimeConfig) -> (Vec<f64>, Vec<f64>) {
-    let n = probs.len();
-    let n_f = n as f64;
-    let feed = |chunk: &[f64]| -> (Vec<f64>, Vec<f64>) {
-        let mut normalized = Vec::with_capacity(chunk.len());
-        let mut scaled = Vec::with_capacity(chunk.len());
-        for &w in chunk {
-            let p = w / total;
-            normalized.push(p);
-            scaled.push(p * n_f);
-        }
-        (normalized, scaled)
-    };
-    let workers = runtime::cpu_workers(rt.parallelism);
-    if workers <= 1 || n < runtime::MIN_PARALLEL_INPUT {
-        return feed(probs);
-    }
-    let pieces = runtime::map_chunks(n, workers, |range| feed(&probs[range]));
-    let mut normalized = Vec::with_capacity(n);
-    let mut scaled = Vec::with_capacity(n);
-    for (norm_piece, scaled_piece) in pieces {
-        normalized.extend_from_slice(&norm_piece);
-        scaled.extend_from_slice(&scaled_piece);
-    }
-    (normalized, scaled)
+/// The sampler a [`WeightArtifacts`] carries: either the O(1)-draw alias
+/// table or the cheap-to-build O(log n)-draw CDF fallback.
+#[derive(Debug, Clone)]
+enum SamplerBackend {
+    Alias(AliasTable),
+    Cdf(CdfSampler),
 }
 
 /// The per-`(dataset, weight recipe)` sampling artifacts: the normalized
-/// importance distribution and its prebuilt O(1)-draw alias sampler.
+/// importance distribution and a prebuilt weighted sampler over it — the
+/// O(1)-draw alias table ([`build`](WeightArtifacts::build)) or the CDF
+/// fallback ([`build_cdf`](WeightArtifacts::build_cdf)), chosen by the
+/// serving layer's [`SamplerStrategy`].
 #[derive(Debug, Clone)]
 pub struct WeightArtifacts {
     weights: ImportanceWeights,
-    sampler: AliasTable,
+    sampler: SamplerBackend,
 }
 
 impl WeightArtifacts {
-    /// Builds both artifacts from proxy scores (serial O(n) passes; see
-    /// [`ImportanceWeights::from_scores`] for the recipe and panics).
+    /// Builds the alias-backed artifacts from proxy scores (serial O(n)
+    /// passes; see [`ImportanceWeights::from_scores`] for the recipe and
+    /// panics).
     pub fn build(scores: &[f64], exponent: f64, uniform_mix: f64) -> Self {
         Self::build_with(scores, exponent, uniform_mix, &RuntimeConfig::sequential())
     }
 
-    /// [`build`](Self::build) with the element-wise feeds — the `A(x)^p`
-    /// transform, the probability normalization and the alias-table
-    /// scaling — evaluated chunk-by-chunk on the worker pool. The one
-    /// floating-point reduction (the normalizer) stays serial, so the
-    /// result is bit-identical to the serial build at any `parallelism`.
+    /// [`build`](Self::build) with every element-wise pass — the `A(x)^p`
+    /// transform, the probability normalization, the alias-table scaling
+    /// *and* Vose's small/large partition scan — evaluated chunk-by-chunk
+    /// on the worker pool ([`alias::feed_slice`], one chunk per worker). Only the floating-point normalizer reduction
+    /// `Σ A^p` and the Vose pairing loop stay serial, so the result is
+    /// bit-identical to the serial build at any `parallelism`.
     pub fn build_with(scores: &[f64], exponent: f64, uniform_mix: f64, rt: &RuntimeConfig) -> Self {
         validate_scores(scores, exponent);
         let powered = chunked_map(scores, rt, |chunk| apply_exponent(chunk, exponent));
         let weights = ImportanceWeights::from_powered(powered, uniform_mix);
-        // The alias feeds re-normalize the (already ≈1-summing) probs the
-        // exact way `AliasTable::new` does — one fused chunk pass (both
-        // feeds are element-wise on the same input) over the pool.
-        let probs = weights.probs();
-        let total: f64 = probs.iter().sum();
-        assert!(total > 0.0, "AliasTable: weights sum to zero");
-        let (normalized, scaled) = alias_feeds(probs, total, rt);
-        let sampler = AliasTable::from_normalized(normalized, scaled);
-        Self { weights, sampler }
+        let sampler = build_alias_pooled(&weights, runtime::cpu_workers(rt.parallelism));
+        Self {
+            weights,
+            sampler: SamplerBackend::Alias(sampler),
+        }
+    }
+
+    /// The chunked build with an **explicit** chunk count, regardless of
+    /// machine size — the deterministic core of
+    /// [`build_with`](Self::build_with), exposed (like
+    /// [`RankIndex::build_chunked`]) so the chunk-partitioned feed path
+    /// stays testable even where `available_parallelism` would clamp it
+    /// away. Bit-identical to [`build`](Self::build) for every `runs ≥ 1`.
+    pub fn build_chunked(scores: &[f64], exponent: f64, uniform_mix: f64, runs: usize) -> Self {
+        validate_scores(scores, exponent);
+        let runs = runs.max(1);
+        let powered = if runs == 1 || scores.len() < runtime::MIN_PARALLEL_INPUT {
+            apply_exponent(scores, exponent)
+        } else {
+            let pieces = runtime::map_chunks(scores.len(), runs, |range| {
+                apply_exponent(&scores[range], exponent)
+            });
+            let mut out = Vec::with_capacity(scores.len());
+            for piece in pieces {
+                out.extend_from_slice(&piece);
+            }
+            out
+        };
+        let weights = ImportanceWeights::from_powered(powered, uniform_mix);
+        let sampler = build_alias_pooled(&weights, runs);
+        Self {
+            weights,
+            sampler: SamplerBackend::Alias(sampler),
+        }
+    }
+
+    /// Builds the CDF-backed artifacts: the same importance distribution,
+    /// sampled through a [`CdfSampler`] whose construction is one serial
+    /// prefix-sum pass — the cheapest setup for a cold one-shot query.
+    pub fn build_cdf(scores: &[f64], exponent: f64, uniform_mix: f64) -> Self {
+        Self::build_cdf_with(scores, exponent, uniform_mix, &RuntimeConfig::sequential())
+    }
+
+    /// [`build_cdf`](Self::build_cdf) with the `A(x)^p` transform and
+    /// normalization evaluated chunk-by-chunk on the worker pool. The
+    /// prefix sum itself is a serial floating-point accumulation by
+    /// design (keeping it serial is what makes CDF artifacts bit-identical
+    /// wherever they are built), and it is already the cheapest pass of
+    /// the build.
+    pub fn build_cdf_with(
+        scores: &[f64],
+        exponent: f64,
+        uniform_mix: f64,
+        rt: &RuntimeConfig,
+    ) -> Self {
+        validate_scores(scores, exponent);
+        let powered = chunked_map(scores, rt, |chunk| apply_exponent(chunk, exponent));
+        let weights = ImportanceWeights::from_powered(powered, uniform_mix);
+        let sampler = CdfSampler::new(weights.probs());
+        Self {
+            weights,
+            sampler: SamplerBackend::Cdf(sampler),
+        }
     }
 
     /// The normalized importance distribution.
@@ -165,9 +253,27 @@ impl WeightArtifacts {
         &self.weights
     }
 
-    /// The prebuilt alias sampler over the full dataset.
-    pub fn sampler(&self) -> &AliasTable {
-        &self.sampler
+    /// The prebuilt weighted sampler over the full dataset (alias table
+    /// or CDF fallback, per the build that produced these artifacts).
+    pub fn sampler(&self) -> &dyn WeightedSampler {
+        match &self.sampler {
+            SamplerBackend::Alias(table) => table,
+            SamplerBackend::Cdf(cdf) => cdf,
+        }
+    }
+
+    /// The alias table, when these artifacts are alias-backed (tests and
+    /// benchmarks that compare table layouts structurally).
+    pub fn alias_sampler(&self) -> Option<&AliasTable> {
+        match &self.sampler {
+            SamplerBackend::Alias(table) => Some(table),
+            SamplerBackend::Cdf(_) => None,
+        }
+    }
+
+    /// True when draws go through the CDF fallback sampler.
+    pub fn draws_via_cdf(&self) -> bool {
+        matches!(self.sampler, SamplerBackend::Cdf(_))
     }
 
     /// Reweighting factor `m(x) = u(x)/w(x)` of record `i`.
@@ -176,29 +282,65 @@ impl WeightArtifacts {
     }
 }
 
-/// Cache key: the exact bit patterns of the weight recipe, so recipes that
-/// differ by any representable amount get distinct artifacts.
+/// The alias construction over an existing distribution: the serial `Σ`
+/// normalizer, then [`alias::feed_slice`] chunked over `runs` pool
+/// workers (normalize, scale and small/large classification evaluated
+/// per chunk), then the serial Vose pairing. Chunks cover contiguous
+/// index ranges in order, so the concatenated stacks equal the serial
+/// scan's and the table is bit-identical at any `runs`.
+fn build_alias_pooled(weights: &ImportanceWeights, runs: usize) -> AliasTable {
+    let probs = weights.probs();
+    let n = probs.len();
+    // The lone floating-point reduction, kept serial so prepared ≡ cold
+    // stays bit-exact. (The probs already sum to ≈1; re-normalizing by
+    // their exact sum is what `AliasTable::new` does too.)
+    let total: f64 = probs.iter().sum();
+    assert!(total > 0.0, "AliasTable: weights sum to zero");
+    if runs <= 1 || n < runtime::MIN_PARALLEL_INPUT {
+        return AliasTable::from_feeds(vec![alias::feed_slice(probs, total, n, 0)]);
+    }
+    let feeds = runtime::map_chunks(n, runs, |range| {
+        alias::feed_slice(&probs[range.clone()], total, n, range.start)
+    });
+    AliasTable::from_feeds(feeds)
+}
+
+/// Cache key: the exact bit patterns of the weight recipe plus the
+/// sampler backend, so recipes that differ by any representable amount —
+/// or by how they draw — get distinct artifacts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct RecipeKey {
     exponent_bits: u64,
     mix_bits: u64,
+    cdf: bool,
 }
 
 impl RecipeKey {
-    fn new(exponent: f64, uniform_mix: f64) -> Self {
+    fn alias(exponent: f64, uniform_mix: f64) -> Self {
         Self {
             exponent_bits: exponent.to_bits(),
             mix_bits: uniform_mix.to_bits(),
+            cdf: false,
+        }
+    }
+
+    fn cdf(exponent: f64, uniform_mix: f64) -> Self {
+        Self {
+            cdf: true,
+            ..Self::alias(exponent, uniform_mix)
         }
     }
 }
 
 /// The mutex-guarded cache state: recipe → (artifacts, last-served
-/// stamp), plus the monotone stamp counter and the capacity bound.
+/// stamp), plus the monotone stamp counter, the capacity bound, and the
+/// recipes [`SamplerStrategy::Auto`] has served a one-shot CDF for (its
+/// "second request promotes to alias" memory).
 struct ArtifactCache {
     map: HashMap<RecipeKey, (Arc<WeightArtifacts>, u64)>,
     stamp: u64,
     capacity: usize,
+    auto_seen: HashSet<RecipeKey>,
 }
 
 impl ArtifactCache {
@@ -247,8 +389,10 @@ impl ArtifactCache {
 pub struct PreparedDataset {
     data: Arc<ScoredDataset>,
     cache: Mutex<ArtifactCache>,
-    /// Worker-pool configuration used for artifact construction.
-    runtime: RuntimeConfig,
+    /// Worker-pool configuration used for artifact construction
+    /// (interior-mutable so [`prepare_with`](PreparedDataset::prepare_with)
+    /// can adopt a caller's pool for later artifact builds too).
+    runtime: Mutex<RuntimeConfig>,
 }
 
 impl std::fmt::Debug for PreparedDataset {
@@ -274,8 +418,9 @@ impl PreparedDataset {
                 map: HashMap::new(),
                 stamp: 0,
                 capacity: DEFAULT_CACHE_CAPACITY,
+                auto_seen: HashSet::new(),
             }),
-            runtime: RuntimeConfig::sequential(),
+            runtime: Mutex::new(RuntimeConfig::sequential()),
         }
     }
 
@@ -290,27 +435,31 @@ impl PreparedDataset {
     /// Sets the worker-pool configuration used when this dataset builds
     /// artifacts (rank index, weights, alias feeds). Results are
     /// bit-identical at any setting; only cold-build wall time changes.
-    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
-        self.runtime = runtime;
+    pub fn with_runtime(self, runtime: RuntimeConfig) -> Self {
+        *self.runtime.lock().expect("runtime config poisoned") = runtime;
         self
     }
 
     /// The configured artifact-construction runtime.
     pub fn runtime(&self) -> RuntimeConfig {
-        self.runtime
+        *self.runtime.lock().expect("runtime config poisoned")
     }
 
     /// Builds the dataset's global rank index on the configured worker
     /// pool (no-op when already built), so the first query pays no sort.
     /// Returns the index for immediate use.
     pub fn prepare(&self) -> &RankIndex {
-        self.data.prepare_rank_index(&self.runtime)
+        self.data.prepare_rank_index(&self.runtime())
     }
 
     /// [`prepare`](Self::prepare) with an explicit pool configuration —
     /// what the query engine and experiment harness call with their own
-    /// `RuntimeConfig`.
+    /// `RuntimeConfig`. The pool is **adopted** as this dataset's
+    /// artifact-construction runtime, so the weight/alias builds that
+    /// follow (first query, [`warm`](Self::warm)) run on the same workers
+    /// (results stay bit-identical either way; only wall time changes).
     pub fn prepare_with(&self, rt: &RuntimeConfig) -> &RankIndex {
+        *self.runtime.lock().expect("runtime config poisoned") = *rt;
         self.data.prepare_rank_index(rt)
     }
 
@@ -334,16 +483,92 @@ impl PreparedDataset {
         self.data.is_empty()
     }
 
-    /// The sampling artifacts for a weight recipe — built on first use,
-    /// O(1) `Arc` clone afterwards. Construction happens outside the cache
-    /// lock; two threads racing on a cold key may both build, but exactly
-    /// one result is kept and handed to everyone (the artifacts are pure
-    /// functions of `(scores, recipe)`, so which build wins is
-    /// unobservable). Serving a recipe marks it recently used; when the
-    /// cache is over [`cache_capacity`](Self::cache_capacity), the
-    /// least-recently-served recipe is evicted.
+    /// The alias-backed sampling artifacts for a weight recipe — built on
+    /// first use, O(1) `Arc` clone afterwards. Construction happens
+    /// outside the cache lock; two threads racing on a cold key may both
+    /// build, but exactly one result is kept and handed to everyone (the
+    /// artifacts are pure functions of `(scores, recipe)`, so which build
+    /// wins is unobservable). Serving a recipe marks it recently used;
+    /// when the cache is over [`cache_capacity`](Self::cache_capacity),
+    /// the least-recently-served recipe is evicted.
     pub fn artifacts(&self, exponent: f64, uniform_mix: f64) -> Arc<WeightArtifacts> {
-        let key = RecipeKey::new(exponent, uniform_mix);
+        self.artifacts_with(exponent, uniform_mix, SamplerStrategy::Alias)
+    }
+
+    /// The sampling artifacts for a weight recipe under a
+    /// [`SamplerStrategy`]:
+    ///
+    /// * [`Alias`](SamplerStrategy::Alias) / [`Cdf`](SamplerStrategy::Cdf)
+    ///   — cached under distinct keys, built (on the configured pool) on
+    ///   first use.
+    /// * [`Auto`](SamplerStrategy::Auto) — serves the cached alias
+    ///   artifacts when the recipe is warm; otherwise the *first* request
+    ///   gets a fresh, uncached one-shot CDF build (the cheap cold path),
+    ///   and the second request for the same recipe promotes it to a
+    ///   cached alias table.
+    pub fn artifacts_with(
+        &self,
+        exponent: f64,
+        uniform_mix: f64,
+        strategy: SamplerStrategy,
+    ) -> Arc<WeightArtifacts> {
+        let rt = self.runtime();
+        match strategy {
+            SamplerStrategy::Alias => self
+                .cached_artifacts(RecipeKey::alias(exponent, uniform_mix), || {
+                    WeightArtifacts::build_with(self.data.scores(), exponent, uniform_mix, &rt)
+                }),
+            SamplerStrategy::Cdf => self
+                .cached_artifacts(RecipeKey::cdf(exponent, uniform_mix), || {
+                    WeightArtifacts::build_cdf_with(self.data.scores(), exponent, uniform_mix, &rt)
+                }),
+            SamplerStrategy::Auto => {
+                let key = RecipeKey::alias(exponent, uniform_mix);
+                let recurring = {
+                    let mut cache = self.cache.lock().expect("artifact cache poisoned");
+                    if let Some(hit) = cache.touch(key) {
+                        return hit;
+                    }
+                    // Bound the promotion memory like the cache itself:
+                    // losing it only costs one extra one-shot CDF build.
+                    if cache.auto_seen.len() > cache.capacity.saturating_mul(4) {
+                        cache.auto_seen.clear();
+                    }
+                    !cache.auto_seen.insert(key)
+                };
+                if recurring {
+                    // Second request: the recipe is recurring — pay the
+                    // alias build once and serve it from the cache on.
+                    let built = self.cached_artifacts(key, || {
+                        WeightArtifacts::build_with(self.data.scores(), exponent, uniform_mix, &rt)
+                    });
+                    self.cache
+                        .lock()
+                        .expect("artifact cache poisoned")
+                        .auto_seen
+                        .remove(&key);
+                    built
+                } else {
+                    // First sight: cheapest possible one-shot setup, not
+                    // cached (the point is not to pay for artifacts a
+                    // one-shot query never reuses).
+                    Arc::new(WeightArtifacts::build_cdf_with(
+                        self.data.scores(),
+                        exponent,
+                        uniform_mix,
+                        &rt,
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Cache lookup / build-outside-the-lock / insert for one key.
+    fn cached_artifacts(
+        &self,
+        key: RecipeKey,
+        build: impl FnOnce() -> WeightArtifacts,
+    ) -> Arc<WeightArtifacts> {
         if let Some(hit) = self
             .cache
             .lock()
@@ -352,12 +577,7 @@ impl PreparedDataset {
         {
             return hit;
         }
-        let built = Arc::new(WeightArtifacts::build_with(
-            self.data.scores(),
-            exponent,
-            uniform_mix,
-            &self.runtime,
-        ));
+        let built = Arc::new(build());
         self.cache
             .lock()
             .expect("artifact cache poisoned")
@@ -366,10 +586,18 @@ impl PreparedDataset {
 
     /// Pre-builds everything a selector configuration will need — the
     /// rank index and the recipe's sampling artifacts — so the first
-    /// query pays no O(n log n) construction at all.
+    /// query pays no O(n log n) construction at all. An
+    /// [`Auto`](SamplerStrategy::Auto) configuration warms the alias
+    /// table (warming declares the recipe recurring), an explicit
+    /// [`Cdf`](SamplerStrategy::Cdf) configuration warms the CDF
+    /// artifacts.
     pub fn warm(&self, cfg: &SelectorConfig) -> Arc<WeightArtifacts> {
         self.prepare();
-        self.artifacts(cfg.weight_exponent, cfg.uniform_mix)
+        let strategy = match cfg.sampler {
+            SamplerStrategy::Cdf => SamplerStrategy::Cdf,
+            SamplerStrategy::Alias | SamplerStrategy::Auto => SamplerStrategy::Alias,
+        };
+        self.artifacts_with(cfg.weight_exponent, cfg.uniform_mix, strategy)
     }
 
     /// Number of cached weight recipes.
@@ -440,16 +668,34 @@ impl<'a> DataView<'a> {
         self.data.rank_index()
     }
 
-    /// The sampling artifacts for a weight recipe: cache hit when
-    /// prepared, fresh O(n) build when cold.
+    /// The alias-backed sampling artifacts for a weight recipe: cache hit
+    /// when prepared, fresh O(n) build when cold.
     pub fn artifacts(&self, exponent: f64, uniform_mix: f64) -> Arc<WeightArtifacts> {
+        self.artifacts_with(exponent, uniform_mix, SamplerStrategy::Alias)
+    }
+
+    /// The sampling artifacts for a weight recipe under a
+    /// [`SamplerStrategy`]. Prepared views delegate to
+    /// [`PreparedDataset::artifacts_with`]; cold views build fresh per
+    /// call — [`Auto`](SamplerStrategy::Auto) resolves to the cheap
+    /// one-shot CDF build there, because a cold view by definition has no
+    /// cache to amortize an alias table into.
+    pub fn artifacts_with(
+        &self,
+        exponent: f64,
+        uniform_mix: f64,
+        strategy: SamplerStrategy,
+    ) -> Arc<WeightArtifacts> {
         match self.prepared {
-            Some(p) => p.artifacts(exponent, uniform_mix),
-            None => Arc::new(WeightArtifacts::build(
-                self.data.scores(),
-                exponent,
-                uniform_mix,
-            )),
+            Some(p) => p.artifacts_with(exponent, uniform_mix, strategy),
+            None => Arc::new(match strategy {
+                SamplerStrategy::Alias => {
+                    WeightArtifacts::build(self.data.scores(), exponent, uniform_mix)
+                }
+                SamplerStrategy::Cdf | SamplerStrategy::Auto => {
+                    WeightArtifacts::build_cdf(self.data.scores(), exponent, uniform_mix)
+                }
+            }),
         }
     }
 }

@@ -393,7 +393,8 @@ impl OracleSample {
 /// and labels them, attaching the artifacts' reweighting factors.
 /// Convenience used by all importance selectors.
 ///
-/// The alias sampler comes ready-made from the
+/// The weighted sampler — the O(1)-draw alias table or the cold-start
+/// CDF fallback, per the artifacts' build — comes ready-made from the
 /// [`WeightArtifacts`](crate::prepared::WeightArtifacts) — typically a
 /// [`PreparedDataset`](crate::prepared::PreparedDataset) cache hit — so
 /// repeated queries pay O(k) draws, never an O(n) table rebuild.
@@ -405,7 +406,7 @@ pub fn draw_weighted(
     rng: &mut dyn RngCore,
 ) -> Result<OracleSample, SupgError> {
     let sampler = artifacts.sampler();
-    let indices: Vec<usize> = (0..k).map(|_| sampler.sample(rng)).collect();
+    let indices: Vec<usize> = (0..k).map(|_| sampler.draw(rng)).collect();
     let factors: Vec<f64> = indices
         .iter()
         .map(|&i| artifacts.reweight_factor(i))

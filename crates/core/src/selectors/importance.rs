@@ -48,7 +48,11 @@ impl ThresholdSelector for ImportanceRecall {
         rng: &mut dyn RngCore,
     ) -> Result<TauEstimate, SupgError> {
         debug_assert_eq!(query.target(), TargetKind::Recall);
-        let artifacts = view.artifacts(self.cfg.weight_exponent, self.cfg.uniform_mix);
+        let artifacts = view.artifacts_with(
+            self.cfg.weight_exponent,
+            self.cfg.uniform_mix,
+            self.cfg.sampler,
+        );
         let sample = draw_weighted(view.data(), &artifacts, query.budget(), oracle, rng)?;
         let tau = recall_threshold(&sample, query.gamma(), query.delta(), self.cfg.ci, rng);
         Ok(TauEstimate { tau, sample })
@@ -85,7 +89,11 @@ impl ThresholdSelector for ImportancePrecision {
         rng: &mut dyn RngCore,
     ) -> Result<TauEstimate, SupgError> {
         debug_assert_eq!(query.target(), TargetKind::Precision);
-        let artifacts = view.artifacts(self.cfg.weight_exponent, self.cfg.uniform_mix);
+        let artifacts = view.artifacts_with(
+            self.cfg.weight_exponent,
+            self.cfg.uniform_mix,
+            self.cfg.sampler,
+        );
         let sample = draw_weighted(view.data(), &artifacts, query.budget(), oracle, rng)?;
         let tau = precision_threshold(&sample, query.gamma(), query.delta(), &self.cfg, rng);
         Ok(TauEstimate { tau, sample })

@@ -34,7 +34,7 @@ use supg_stats::ci::{ratio_bounds_paired, CiMethod};
 
 use crate::error::SupgError;
 use crate::oracle::Oracle;
-use crate::prepared::DataView;
+use crate::prepared::{DataView, SamplerStrategy};
 use crate::query::ApproxQuery;
 use crate::sample::OracleSample;
 
@@ -50,6 +50,11 @@ pub struct SelectorConfig {
     pub uniform_mix: f64,
     /// Candidate-threshold stride `m` of Algorithms 3 and 5 (paper: 100).
     pub precision_step: usize,
+    /// Weighted-sampler backend the importance selectors draw through
+    /// (default [`SamplerStrategy::Alias`]; `Cdf`/`Auto` trade the alias
+    /// table's O(n) construction for O(log n) draws on cold one-shot
+    /// queries — see [`SamplerStrategy`] for the seed-stream contract).
+    pub sampler: SamplerStrategy,
 }
 
 impl Default for SelectorConfig {
@@ -59,6 +64,7 @@ impl Default for SelectorConfig {
             weight_exponent: 0.5,
             uniform_mix: 0.1,
             precision_step: 100,
+            sampler: SamplerStrategy::Alias,
         }
     }
 }
@@ -85,6 +91,12 @@ impl SelectorConfig {
     /// Config with a different candidate stride `m`.
     pub fn with_precision_step(mut self, step: usize) -> Self {
         self.precision_step = step;
+        self
+    }
+
+    /// Config with a different weighted-sampler backend.
+    pub fn with_sampler(mut self, sampler: SamplerStrategy) -> Self {
+        self.sampler = sampler;
         self
     }
 }

@@ -49,12 +49,16 @@ impl ThresholdSelector for TwoStagePrecision {
         let n = data.len();
         let s1 = query.budget() / 2;
         let s2 = query.budget() - s1;
-        let artifacts = view.artifacts(self.cfg.weight_exponent, self.cfg.uniform_mix);
+        let artifacts = view.artifacts_with(
+            self.cfg.weight_exponent,
+            self.cfg.uniform_mix,
+            self.cfg.sampler,
+        );
         let weights = artifacts.weights();
 
         // --- Stage 1: upper-bound the number of matching records. ---
         let sampler = artifacts.sampler();
-        let stage1_indices: Vec<usize> = (0..s1).map(|_| sampler.sample(rng)).collect();
+        let stage1_indices: Vec<usize> = (0..s1).map(|_| sampler.draw(rng)).collect();
         let stage1_factors: Vec<f64> = stage1_indices
             .iter()
             .map(|&i| weights.reweight_factor(i))

@@ -58,9 +58,9 @@ use rand::{RngCore, SeedableRng};
 
 use crate::data::ScoredDataset;
 use crate::error::SupgError;
-use crate::executor::SelectionResult;
+use crate::executor::{ResultView, SelectionResult};
 use crate::oracle::{BatchOracle, CachedOracle, Oracle};
-use crate::prepared::{DataView, PreparedDataset};
+use crate::prepared::{DataView, PreparedDataset, SamplerStrategy};
 use crate::query::{ApproxQuery, JointQuery, TargetKind};
 use crate::runtime::RuntimeConfig;
 use crate::selectors::{
@@ -230,11 +230,17 @@ impl SessionOracle for CachedOracle {
 
 /// Everything one query execution produced — RT, PT and JT alike — for
 /// auditing, evaluation and reporting.
+///
+/// Generic over the result representation: the default is the owned
+/// [`SelectionResult`]; [`SupgSession::run_view`] returns the same
+/// accounting around a borrowed, zero-copy [`ResultView`] (the
+/// [`ViewOutcome`] alias), which
+/// [`into_owned`](QueryOutcome::into_owned) materializes on demand.
 #[derive(Debug, Clone)]
-pub struct QueryOutcome {
+pub struct QueryOutcome<R = SelectionResult> {
     /// The returned record set `R = R1 ∪ R2` (oracle-verified positives
     /// only, for JT queries).
-    pub result: SelectionResult,
+    pub result: R,
     /// The estimated proxy threshold (`∞` = labeled positives only).
     pub tau: f64,
     /// Paper identifier of the selector that estimated `τ`
@@ -257,6 +263,31 @@ pub struct QueryOutcome {
     pub joint: bool,
     /// Wall-clock execution time (sampling + selection, excluding setup).
     pub elapsed: Duration,
+}
+
+/// A [`QueryOutcome`] whose result is the borrowed, zero-copy
+/// [`ResultView`] — what [`SupgSession::run_view`] returns.
+pub type ViewOutcome<'a> = QueryOutcome<ResultView<'a>>;
+
+impl ViewOutcome<'_> {
+    /// Materializes the borrowed result into the owned form, paying the
+    /// deferred O(k) copy — bit-identical to what
+    /// [`SupgSession::run`] would have returned for the same query.
+    pub fn into_owned(self) -> QueryOutcome {
+        QueryOutcome {
+            result: self.result.to_result(),
+            tau: self.tau,
+            selector: self.selector,
+            oracle_calls: self.oracle_calls,
+            stage_calls: self.stage_calls,
+            filter_calls: self.filter_calls,
+            sample_draws: self.sample_draws,
+            sample_positives: self.sample_positives,
+            candidates: self.candidates,
+            joint: self.joint,
+            elapsed: self.elapsed,
+        }
+    }
 }
 
 /// A fluent, validating builder that runs SUPG queries over one dataset.
@@ -374,6 +405,19 @@ impl<'a> SupgSession<'a> {
     /// Overrides the selector tuning knobs (CI method, weights, …).
     pub fn selector_config(mut self, config: SelectorConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Picks the weighted-sampler backend the importance selectors draw
+    /// through (default [`SamplerStrategy::Alias`]). `Cdf` skips the
+    /// alias table's heavier O(n) construction — the right trade for a
+    /// cold one-shot query — and `Auto` does that only while the recipe
+    /// is cold, switching to the cached alias table once it recurs.
+    /// Strategies consume the seeded RNG stream differently, so they are
+    /// deterministic individually but not interchangeable bit-for-bit;
+    /// see [`SamplerStrategy`].
+    pub fn sampler_strategy(mut self, strategy: SamplerStrategy) -> Self {
+        self.config.sampler = strategy;
         self
     }
 
@@ -506,23 +550,63 @@ impl<'a> SupgSession<'a> {
         }
     }
 
+    /// Runs a single-target query and returns the zero-copy
+    /// [`ViewOutcome`]: the threshold set stays a borrowed rank-prefix
+    /// slice over the session's dataset instead of an owned `Vec` — for a
+    /// huge `τ`-set this skips the entire O(k) materialization until (and
+    /// unless) the caller asks for it via
+    /// [`ViewOutcome::into_owned`]. Identical draws, `τ` and accounting
+    /// to [`run`](SupgSession::run) on the same seed.
+    ///
+    /// # Errors
+    /// As [`run`](SupgSession::run); additionally a typed
+    /// [`SupgError::InvalidQuery`] for JT sessions — a JT result is the
+    /// oracle-filtered positive set, not a rank prefix, so there is
+    /// nothing for a view to borrow (use [`run`](SupgSession::run)).
+    pub fn run_view(&self, oracle: &mut dyn Oracle) -> Result<ViewOutcome<'_>, SupgError> {
+        match self.plan()? {
+            Plan::Single(query) => {
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                self.exec_planned_view(&query, oracle, &mut rng)
+            }
+            Plan::Joint { .. } => Err(SupgError::InvalidQuery(
+                "JT results are oracle-filtered positives, not a rank prefix; run JT \
+                 queries with run(..)"
+                    .to_owned(),
+            )),
+        }
+    }
+
     /// Shared single-target execution behind
-    /// [`run_with_rng`](SupgSession::run_with_rng) and
-    /// [`run_single_target`](SupgSession::run_single_target): resolve and
-    /// build the selector, forward the session's runtime config to the
-    /// oracle, run Algorithm 1.
+    /// [`run_with_rng`](SupgSession::run_with_rng),
+    /// [`run_single_target`](SupgSession::run_single_target) and
+    /// [`run_view`](SupgSession::run_view): resolve and build the
+    /// selector, forward the session's runtime config to the oracle, run
+    /// Algorithm 1 and return the borrowed result view.
+    fn exec_planned_view(
+        &self,
+        query: &ApproxQuery,
+        oracle: &mut dyn Oracle,
+        rng: &mut dyn RngCore,
+    ) -> Result<ViewOutcome<'_>, SupgError> {
+        let kind = self.resolved_selector(query.target());
+        let selector = kind.build(query.target(), self.config)?;
+        if let Some(runtime) = self.runtime {
+            oracle.configure_runtime(runtime);
+        }
+        exec_single_view(self.view(), query, selector.as_ref(), oracle, rng)
+    }
+
+    /// [`exec_planned_view`](Self::exec_planned_view) materialized into
+    /// the owned [`QueryOutcome`].
     fn exec_planned_single(
         &self,
         query: &ApproxQuery,
         oracle: &mut dyn Oracle,
         rng: &mut dyn RngCore,
     ) -> Result<QueryOutcome, SupgError> {
-        let kind = self.resolved_selector(query.target());
-        let selector = kind.build(query.target(), self.config)?;
-        if let Some(runtime) = self.runtime {
-            oracle.configure_runtime(runtime);
-        }
-        exec_single(self.view(), query, selector.as_ref(), oracle, rng)
+        self.exec_planned_view(query, oracle, rng)
+            .map(ViewOutcome::into_owned)
     }
 
     /// The selector kind this session will actually run for `target`: the
@@ -605,25 +689,30 @@ enum Plan {
 }
 
 /// Algorithm 1 with an explicit selector: estimate `τ`, return labeled
-/// positives ∪ threshold set.
-fn exec_single(
-    view: DataView<'_>,
+/// positives ∪ threshold set — as a borrowed [`ResultView`]. The
+/// threshold set `R2 = D(τ)` is a binary search for the cut plus a
+/// zero-copy rank-prefix slice; only the (small) below-cut labeled
+/// positives are owned. Materializing the owned [`SelectionResult`]
+/// (`ViewOutcome::into_owned`) performs exactly the
+/// [`RankIndex::materialize_union`](crate::rank::RankIndex::materialize_union)
+/// copy the non-streaming pipeline always did.
+fn exec_single_view<'v>(
+    view: DataView<'v>,
     query: &ApproxQuery,
     selector: &dyn ThresholdSelector,
     oracle: &mut dyn Oracle,
     rng: &mut dyn RngCore,
-) -> Result<QueryOutcome, SupgError> {
+) -> Result<ViewOutcome<'v>, SupgError> {
     let start = Instant::now();
     let calls_before = oracle.calls_used();
     let estimate = selector.estimate(view, query, oracle, rng)?;
 
-    // R = R2 ∪ R1 off the rank index: the threshold set is a binary
-    // search + prefix-slice copy (O(log n + k)) in canonical rank order,
-    // and the labeled positives below the cut append without any sort or
-    // dedup pass — no per-query allocation beyond the output.
-    let result = SelectionResult::from_ranked(
-        view.rank_index()
-            .materialize_union(estimate.tau, estimate.sample.positive_indices()),
+    // R = R2 ∪ R1 off the rank index, O(log n + |R1|) with no copy of
+    // the prefix: the view borrows it from the index.
+    let result = ResultView::over(
+        view.rank_index(),
+        estimate.tau,
+        estimate.sample.positive_indices(),
     );
 
     let stage_calls = oracle.calls_used() - calls_before;
@@ -681,12 +770,13 @@ fn exec_joint_stages(
     // Grant the RT stage exactly its stage budget in fresh calls even when
     // the oracle was used before (set_budget replaces the *total* budget).
     oracle.set_budget(calls_before.saturating_add(rt_query.budget()));
-    let stage = exec_single(view, rt_query, rt_selector, oracle, rng)?;
+    let stage = exec_single_view(view, rt_query, rt_selector, oracle, rng)?;
     let stage_calls = oracle.calls_used() - calls_before;
 
     // The candidate set is already a rank-range (the stage result is the
-    // τ rank-prefix plus its labeled positives), so enumeration is one
-    // copy — no predicate pass over the dataset. Already-labeled records
+    // τ rank-prefix plus its labeled positives), and the stage returned a
+    // borrowed view over it, so enumeration is the *only* copy — the
+    // stage set is never materialized on its own. Already-labeled records
     // are cache hits and cost nothing extra; the filter is one batched
     // request, so a parallel oracle labels the candidate set on its
     // worker pool.

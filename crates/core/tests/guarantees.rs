@@ -21,7 +21,10 @@ use std::thread;
 
 use supg_core::metrics::evaluate;
 use supg_core::runtime::{parallel_map, split_seed, RuntimeConfig};
-use supg_core::{CachedOracle, ScoredDataset, SelectorKind, SupgSession, TargetKind};
+use supg_core::selectors::SelectorConfig;
+use supg_core::{
+    CachedOracle, SamplerStrategy, ScoredDataset, SelectorKind, SupgSession, TargetKind,
+};
 use supg_datasets::{Preset, PresetKind};
 
 const DELTA: f64 = 0.05;
@@ -46,15 +49,18 @@ fn max_allowed_failures(trials: usize, delta: f64) -> usize {
     (t * delta + 3.0 * (t * delta * (1.0 - delta)).sqrt()).ceil() as usize
 }
 
-/// Runs `trials` seeded queries and counts how often the achieved
-/// recall/precision lands below `gamma`. Trials fan out over the same
-/// `runtime::parallel_map` pool the pipeline uses, one trial per batch.
-fn count_failures(
+/// Runs `trials` seeded queries under the given selector tuning (the
+/// CDF-sampler configurations run the exact same harness as the default
+/// path) and counts how often the achieved recall/precision lands below
+/// `gamma`. Trials fan out over the same `runtime::parallel_map` pool the
+/// pipeline uses, one trial per batch.
+fn count_failures_with(
     kind: SelectorKind,
     target: TargetKind,
     gamma: f64,
     trials: usize,
     base_seed: u64,
+    cfg: SelectorConfig,
 ) -> usize {
     let (data, labels) = workload();
     let pool = RuntimeConfig::default()
@@ -67,6 +73,7 @@ fn count_failures(
             .delta(DELTA)
             .budget(BUDGET)
             .selector(kind)
+            .selector_config(cfg)
             .seed(split_seed(base_seed, trial));
         let session = match target {
             TargetKind::Recall => session.recall(gamma),
@@ -95,14 +102,40 @@ fn assert_guarantee_holds(
     trials: usize,
     base_seed: u64,
 ) {
-    let failures = count_failures(kind, target, gamma, trials, base_seed);
+    assert_guarantee_holds_with(
+        kind,
+        target,
+        gamma,
+        trials,
+        base_seed,
+        SelectorConfig::default(),
+    );
+}
+
+fn assert_guarantee_holds_with(
+    kind: SelectorKind,
+    target: TargetKind,
+    gamma: f64,
+    trials: usize,
+    base_seed: u64,
+    cfg: SelectorConfig,
+) {
+    let failures = count_failures_with(kind, target, gamma, trials, base_seed, cfg);
     let allowed = max_allowed_failures(trials, DELTA);
     let name = kind.paper_name(target).unwrap();
     assert!(
         failures <= allowed,
-        "{name} γ={gamma}: {failures}/{trials} failures exceeds δ={DELTA} \
-         plus binomial slack (allowed {allowed})"
+        "{name} γ={gamma} ({:?} sampler): {failures}/{trials} failures exceeds δ={DELTA} \
+         plus binomial slack (allowed {allowed})",
+        cfg.sampler
     );
+}
+
+/// The default tuning with the CDF fallback sampler — the cold-start
+/// serving path's draw backend, whose guarantee must hold empirically
+/// just like the alias path's.
+fn cdf_cfg() -> SelectorConfig {
+    SelectorConfig::default().with_sampler(SamplerStrategy::Cdf)
 }
 
 // --- Quick smoke versions (always run; tier-1) ---
@@ -148,6 +181,30 @@ fn is_ci_p_guarantee_smoke() {
         0.9,
         QUICK_TRIALS,
         104,
+    );
+}
+
+#[test]
+fn is_ci_r_cdf_sampler_guarantee_smoke() {
+    assert_guarantee_holds_with(
+        SelectorKind::ImportanceSampling,
+        TargetKind::Recall,
+        0.9,
+        QUICK_TRIALS,
+        105,
+        cdf_cfg(),
+    );
+}
+
+#[test]
+fn is_ci_p_cdf_sampler_guarantee_smoke() {
+    assert_guarantee_holds_with(
+        SelectorKind::TwoStage,
+        TargetKind::Precision,
+        0.9,
+        QUICK_TRIALS,
+        106,
+        cdf_cfg(),
     );
 }
 
@@ -247,6 +304,60 @@ fn is_ci_p_gamma_095_failure_rate_within_delta() {
         0.95,
         FULL_TRIALS,
         208,
+    );
+}
+
+// --- CDF-sampler configurations (the cold-start serving path) ---
+
+#[test]
+#[ignore = "long statistical suite; run with --ignored"]
+fn is_ci_r_cdf_gamma_090_failure_rate_within_delta() {
+    assert_guarantee_holds_with(
+        SelectorKind::ImportanceSampling,
+        TargetKind::Recall,
+        0.9,
+        FULL_TRIALS,
+        209,
+        cdf_cfg(),
+    );
+}
+
+#[test]
+#[ignore = "long statistical suite; run with --ignored"]
+fn is_ci_r_cdf_gamma_095_failure_rate_within_delta() {
+    assert_guarantee_holds_with(
+        SelectorKind::ImportanceSampling,
+        TargetKind::Recall,
+        0.95,
+        FULL_TRIALS,
+        210,
+        cdf_cfg(),
+    );
+}
+
+#[test]
+#[ignore = "long statistical suite; run with --ignored"]
+fn is_ci_p_cdf_gamma_090_failure_rate_within_delta() {
+    assert_guarantee_holds_with(
+        SelectorKind::TwoStage,
+        TargetKind::Precision,
+        0.9,
+        FULL_TRIALS,
+        211,
+        cdf_cfg(),
+    );
+}
+
+#[test]
+#[ignore = "long statistical suite; run with --ignored"]
+fn is_ci_p_cdf_gamma_095_failure_rate_within_delta() {
+    assert_guarantee_holds_with(
+        SelectorKind::TwoStage,
+        TargetKind::Precision,
+        0.95,
+        FULL_TRIALS,
+        212,
+        cdf_cfg(),
     );
 }
 

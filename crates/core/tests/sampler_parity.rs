@@ -1,0 +1,472 @@
+//! Cross-path parity & determinism contracts of the cold-start serving
+//! path:
+//!
+//! 1. **Sampler-strategy contracts.** `SamplerStrategy::Alias` and
+//!    `::Cdf` consume the seeded RNG stream differently (alias: uniform
+//!    index + uniform float per draw; CDF: one uniform float), so their
+//!    outcomes differ — each strategy is therefore pinned individually:
+//!    bit-exact determinism per (data, seed, strategy), prepared ≡ cold
+//!    bit-parity *within* each strategy, and identical guarantee
+//!    accounting across strategies (budget respected, draws = budget,
+//!    result = `D(τ) ∪ R1`, duplicate-free).
+//! 2. **Auto transitions.** `SamplerStrategy::Auto` must serve the exact
+//!    CDF outcome while a recipe is cold and the exact alias outcome once
+//!    it recurs (or was warmed).
+//! 3. **Alias-build determinism.** The chunk-partitioned Vose feed build
+//!    must produce bit-identical tables at every parallelism and explicit
+//!    chunk count — mirroring `rank_parity.rs`'s build-determinism cases.
+//! 4. **`ResultView` vs `SelectionResult`.** The borrowed view must agree
+//!    with the owned materialization — same order, membership, bounds and
+//!    duplicate-freedom — at thresholds on, between and outside the score
+//!    boundaries, and `run_view` must reproduce `run` bit-for-bit.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use supg_core::rank::RankIndex;
+use supg_core::{
+    CachedOracle, PreparedDataset, QueryOutcome, ResultView, RuntimeConfig, SamplerStrategy,
+    ScoredDataset, SelectionResult, SelectorKind, SupgSession, WeightArtifacts,
+};
+
+fn rare(n: usize, seed: u64) -> (ScoredDataset, Vec<bool>) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use supg_stats::dist::{Bernoulli, Beta};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Beta::new(0.08, 2.0);
+    let mut scores = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = dist.sample(&mut rng);
+        scores.push(a);
+        labels.push(Bernoulli::new(a).sample(&mut rng));
+    }
+    (ScoredDataset::new(scores).unwrap(), labels)
+}
+
+fn run_strategy(
+    session: SupgSession<'_>,
+    labels: &[bool],
+    budget: usize,
+    strategy: SamplerStrategy,
+    seed: u64,
+) -> QueryOutcome {
+    let mut oracle = CachedOracle::from_labels(labels.to_vec(), budget);
+    session
+        .recall(0.9)
+        .budget(budget)
+        .selector(SelectorKind::ImportanceSampling)
+        .sampler_strategy(strategy)
+        .seed(seed)
+        .run(&mut oracle)
+        .unwrap()
+}
+
+fn assert_outcomes_identical(a: &QueryOutcome, b: &QueryOutcome, context: &str) {
+    assert_eq!(a.tau.to_bits(), b.tau.to_bits(), "{context}: tau");
+    assert_eq!(a.result.indices(), b.result.indices(), "{context}: result");
+    assert_eq!(a.oracle_calls, b.oracle_calls, "{context}: oracle calls");
+    assert_eq!(a.sample_draws, b.sample_draws, "{context}: draws");
+    assert_eq!(
+        a.sample_positives, b.sample_positives,
+        "{context}: positives"
+    );
+}
+
+/// The Algorithm-1 result-set contract every strategy must satisfy:
+/// `R = D(τ) ∪ R1` — each returned record is above the threshold or a
+/// labeled positive — duplicate-free, in-bounds, with the full threshold
+/// set present.
+fn assert_guarantee_accounting(
+    outcome: &QueryOutcome,
+    data: &ScoredDataset,
+    labels: &[bool],
+    budget: usize,
+    context: &str,
+) {
+    assert!(
+        outcome.oracle_calls <= budget,
+        "{context}: {} oracle calls > budget {budget}",
+        outcome.oracle_calls
+    );
+    assert_eq!(outcome.sample_draws, budget, "{context}: draw count");
+    assert_eq!(outcome.filter_calls, 0, "{context}: no JT filter ran");
+    assert_eq!(outcome.candidates, outcome.result.len(), "{context}");
+    let mut seen = outcome.result.indices().to_vec();
+    seen.sort_unstable();
+    let dedup_len = {
+        let mut d = seen.clone();
+        d.dedup();
+        d.len()
+    };
+    assert_eq!(dedup_len, outcome.result.len(), "{context}: duplicates");
+    for &i in outcome.result.indices() {
+        assert!(i < data.len(), "{context}: index {i} out of bounds");
+        assert!(
+            data.score(i) >= outcome.tau || labels[i],
+            "{context}: record {i} below τ and not a labeled positive"
+        );
+    }
+    // The threshold set is fully present.
+    assert_eq!(
+        outcome
+            .result
+            .indices()
+            .iter()
+            .filter(|&&i| data.score(i) >= outcome.tau)
+            .count(),
+        data.count_at_least(outcome.tau),
+        "{context}: D(τ) incomplete"
+    );
+}
+
+#[test]
+fn each_strategy_is_deterministic_and_guaranteed_accountable() {
+    let (data, labels) = rare(20_000, 70);
+    let budget = 800;
+    for strategy in [SamplerStrategy::Alias, SamplerStrategy::Cdf] {
+        let a = run_strategy(SupgSession::over(&data), &labels, budget, strategy, 404);
+        let b = run_strategy(SupgSession::over(&data), &labels, budget, strategy, 404);
+        assert_outcomes_identical(&a, &b, &format!("{strategy:?} determinism"));
+        assert_guarantee_accounting(&a, &data, &labels, budget, &format!("{strategy:?}"));
+    }
+}
+
+#[test]
+fn prepared_matches_cold_within_each_strategy() {
+    // The prepared ≡ cold bit-parity contract holds per strategy — for
+    // Cdf too, because the CDF build is the same serial prefix sum
+    // wherever it runs.
+    let (data, labels) = rare(16_000, 71);
+    let prepared = PreparedDataset::new(data.clone());
+    for strategy in [SamplerStrategy::Alias, SamplerStrategy::Cdf] {
+        let cold = run_strategy(SupgSession::over(&data), &labels, 700, strategy, 31);
+        let warm = run_strategy(
+            SupgSession::over_prepared(&prepared),
+            &labels,
+            700,
+            strategy,
+            31,
+        );
+        assert_outcomes_identical(&cold, &warm, &format!("{strategy:?} prepared vs cold"));
+    }
+    // Distinct backends cache under distinct keys.
+    assert_eq!(prepared.cached_recipes(), 2);
+}
+
+#[test]
+fn auto_serves_cdf_cold_and_alias_once_recurring() {
+    let (data, labels) = rare(16_000, 72);
+
+    // Cold views resolve Auto to the one-shot CDF build.
+    let auto_cold = run_strategy(
+        SupgSession::over(&data),
+        &labels,
+        700,
+        SamplerStrategy::Auto,
+        5,
+    );
+    let cdf_cold = run_strategy(
+        SupgSession::over(&data),
+        &labels,
+        700,
+        SamplerStrategy::Cdf,
+        5,
+    );
+    assert_outcomes_identical(&auto_cold, &cdf_cold, "cold Auto ≡ Cdf");
+
+    // Prepared: first request = CDF one-shot (nothing cached), second
+    // request promotes the recipe to the cached alias table.
+    let prepared = PreparedDataset::new(data.clone());
+    let q1 = run_strategy(
+        SupgSession::over_prepared(&prepared),
+        &labels,
+        700,
+        SamplerStrategy::Auto,
+        5,
+    );
+    assert_outcomes_identical(&q1, &cdf_cold, "prepared Auto first query ≡ Cdf");
+    assert_eq!(prepared.cached_recipes(), 0, "one-shot CDF is not cached");
+
+    let alias_ref = run_strategy(
+        SupgSession::over(&data),
+        &labels,
+        700,
+        SamplerStrategy::Alias,
+        5,
+    );
+    let q2 = run_strategy(
+        SupgSession::over_prepared(&prepared),
+        &labels,
+        700,
+        SamplerStrategy::Auto,
+        5,
+    );
+    assert_outcomes_identical(&q2, &alias_ref, "prepared Auto second query ≡ Alias");
+    assert_eq!(prepared.cached_recipes(), 1, "promotion cached the alias");
+    let q3 = run_strategy(
+        SupgSession::over_prepared(&prepared),
+        &labels,
+        700,
+        SamplerStrategy::Auto,
+        5,
+    );
+    assert_outcomes_identical(&q3, &alias_ref, "prepared Auto steady state");
+    assert_eq!(prepared.cached_recipes(), 1);
+}
+
+#[test]
+fn warming_promotes_auto_to_alias_immediately() {
+    let (data, labels) = rare(12_000, 73);
+    let prepared = PreparedDataset::new(data.clone());
+    prepared.warm(&supg_core::selectors::SelectorConfig::default());
+    let alias_ref = run_strategy(
+        SupgSession::over(&data),
+        &labels,
+        500,
+        SamplerStrategy::Alias,
+        8,
+    );
+    let warmed = run_strategy(
+        SupgSession::over_prepared(&prepared),
+        &labels,
+        500,
+        SamplerStrategy::Auto,
+        8,
+    );
+    assert_outcomes_identical(&warmed, &alias_ref, "warmed Auto ≡ Alias");
+}
+
+#[test]
+fn cdf_strategy_runs_every_importance_selector_and_jt() {
+    // The strategy knob reaches the one-stage, two-stage and JT pipelines.
+    let (data, labels) = rare(15_000, 74);
+    for (kind, precision) in [
+        (SelectorKind::ImportanceSampling, false),
+        (SelectorKind::ImportanceSampling, true),
+        (SelectorKind::TwoStage, true),
+    ] {
+        let mut oracle = CachedOracle::from_labels(labels.clone(), 600);
+        let session = SupgSession::over(&data)
+            .budget(600)
+            .selector(kind)
+            .sampler_strategy(SamplerStrategy::Cdf)
+            .seed(99);
+        let session = if precision {
+            session.precision(0.85)
+        } else {
+            session.recall(0.9)
+        };
+        let outcome = session.run(&mut oracle).unwrap();
+        assert!(outcome.oracle_calls <= 600);
+    }
+    let mut oracle = CachedOracle::from_labels(labels.clone(), 0);
+    let jt = SupgSession::over(&data)
+        .recall(0.8)
+        .precision(0.9)
+        .joint(500)
+        .sampler_strategy(SamplerStrategy::Cdf)
+        .seed(99)
+        .run(&mut oracle)
+        .unwrap();
+    assert!(jt.joint);
+    for i in jt.result.iter() {
+        assert!(labels[i], "JT kept an oracle-negative record {i}");
+    }
+}
+
+// --- Alias-build determinism (mirrors rank_parity.rs's build cases) ---
+
+fn assert_artifacts_bit_identical(a: &WeightArtifacts, b: &WeightArtifacts, context: &str) {
+    let (wa, wb) = (a.weights(), b.weights());
+    assert_eq!(wa.len(), wb.len(), "{context}: length");
+    for i in 0..wa.len() {
+        assert_eq!(
+            wa.prob(i).to_bits(),
+            wb.prob(i).to_bits(),
+            "{context}: weight prob {i}"
+        );
+    }
+    // Structural table equality: accept/alias/probs arrays, bit for bit.
+    assert_eq!(
+        a.alias_sampler().expect("alias-backed"),
+        b.alias_sampler().expect("alias-backed"),
+        "{context}: alias table layout"
+    );
+}
+
+#[test]
+fn alias_build_is_bit_identical_at_any_parallelism_and_chunking() {
+    // Above MIN_PARALLEL_INPUT so the chunked path actually engages, with
+    // heavy ties and a zero-weight band (scaled < 1 and ≥ 1 slots mixed).
+    let scores: Vec<f64> = (0..60_000)
+        .map(|i| ((i * 7919) % 997) as f64 / 997.0)
+        .collect();
+    let serial = WeightArtifacts::build(&scores, 0.5, 0.1);
+    for parallelism in [1usize, 4, 8] {
+        let rt = RuntimeConfig::default().with_parallelism(parallelism);
+        let pooled = WeightArtifacts::build_with(&scores, 0.5, 0.1, &rt);
+        assert_artifacts_bit_identical(&serial, &pooled, &format!("parallelism={parallelism}"));
+    }
+    for runs in [1usize, 2, 3, 5, 8, 16] {
+        let chunked = WeightArtifacts::build_chunked(&scores, 0.5, 0.1, runs);
+        assert_artifacts_bit_identical(&serial, &chunked, &format!("runs={runs}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chunked_alias_builds_match_serial(raw in prop::collection::vec(0u32..1000, 1..300)) {
+        let scores: Vec<f64> = raw.into_iter().map(|q| q as f64 / 1000.0).collect();
+        // Small inputs take the serial path inside build_chunked; force
+        // the chunk machinery through the sampling crate's feed API too.
+        let serial = supg_sampling::AliasTable::new(&scores_nonzero(&scores));
+        let weights = scores_nonzero(&scores);
+        let total: f64 = weights.iter().sum();
+        for chunks in [1usize, 2, 3, 7] {
+            let n = weights.len();
+            let per = n.div_ceil(chunks);
+            let feeds: Vec<_> = (0..chunks)
+                .map(|c| {
+                    let lo = (c * per).min(n);
+                    let hi = ((c + 1) * per).min(n);
+                    supg_sampling::alias::feed_slice(&weights[lo..hi], total, n, lo)
+                })
+                .filter(|f| !f.probs.is_empty())
+                .collect();
+            let chunked = supg_sampling::AliasTable::from_feeds(feeds);
+            prop_assert_eq!(&chunked, &serial, "chunks={}", chunks);
+        }
+    }
+}
+
+/// Guards against the all-zero-weight panic in the proptest above.
+fn scores_nonzero(scores: &[f64]) -> Vec<f64> {
+    if scores.iter().all(|&s| s == 0.0) {
+        vec![1.0; scores.len()]
+    } else {
+        scores.to_vec()
+    }
+}
+
+// --- ResultView vs SelectionResult ---
+
+/// Quantized scores (÷ granularity) so every dataset carries heavy ties.
+fn tied_dataset() -> impl Strategy<Value = Vec<f64>> {
+    (2u32..40, prop::collection::vec(0u32..4000, 1..400)).prop_map(|(gran, raw)| {
+        raw.into_iter()
+            .map(|q| (q % (gran + 1)) as f64 / gran as f64)
+            .collect()
+    })
+}
+
+/// Thresholds that land on, between, and outside the score boundaries.
+fn taus_for(scores: &[f64]) -> Vec<f64> {
+    let mut taus = vec![-1.0, 0.0, 1.0, 1.5, f64::INFINITY];
+    for &s in scores.iter().take(8) {
+        taus.push(s);
+        taus.push(s + 1e-9);
+        taus.push((s - 1e-9).max(0.0));
+    }
+    taus
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn view_agrees_with_owned_result_everywhere(
+        scores in tied_dataset(),
+        extra_picks in prop::collection::vec(0usize..10_000, 0..20),
+    ) {
+        let index = RankIndex::build_serial(&scores);
+        let mut extras: Vec<usize> = extra_picks.iter().map(|p| p % scores.len()).collect();
+        extras.sort_unstable();
+        extras.dedup();
+        for tau in taus_for(&scores) {
+            let view = ResultView::over(&index, tau, &extras);
+            let owned = SelectionResult::from_ranked(index.materialize_union(tau, &extras));
+
+            // Same order, same length, same split.
+            let from_view: Vec<usize> = view.iter().collect();
+            prop_assert_eq!(&from_view, &owned.indices().to_vec(), "tau={}", tau);
+            prop_assert_eq!(view.len(), owned.len());
+            prop_assert_eq!(view.is_empty(), owned.is_empty());
+            prop_assert_eq!(view.threshold_len(), index.cut_for(tau));
+            prop_assert_eq!(view.threshold_len() + view.extras().len(), view.len());
+
+            // In-bounds and duplicate-free.
+            let mut seen = from_view.clone();
+            seen.sort_unstable();
+            let before = seen.len();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), before, "duplicates at tau={}", tau);
+            prop_assert!(from_view.iter().all(|&i| i < scores.len()));
+
+            // Membership parity, including absent indices.
+            for probe in 0..scores.len().min(16) {
+                prop_assert_eq!(view.contains(probe), owned.contains(probe), "probe {}", probe);
+            }
+            prop_assert!(!view.contains(scores.len()), "out-of-range index");
+
+            // The deferred materialization is the owned result, bit for bit.
+            prop_assert_eq!(&view.to_result(), &owned);
+        }
+    }
+}
+
+#[test]
+fn run_view_reproduces_run_bit_for_bit() {
+    let (data, labels) = rare(18_000, 75);
+    for strategy in [SamplerStrategy::Alias, SamplerStrategy::Cdf] {
+        let session = SupgSession::over(&data)
+            .recall(0.9)
+            .budget(700)
+            .selector(SelectorKind::ImportanceSampling)
+            .sampler_strategy(strategy)
+            .seed(606);
+        let mut o1 = CachedOracle::from_labels(labels.clone(), 700);
+        let owned = session.clone().run(&mut o1).unwrap();
+        let mut o2 = CachedOracle::from_labels(labels.clone(), 700);
+        let streamed = session.run_view(&mut o2).unwrap();
+
+        assert_eq!(streamed.tau.to_bits(), owned.tau.to_bits());
+        assert_eq!(streamed.candidates, owned.candidates);
+        assert_eq!(streamed.oracle_calls, owned.oracle_calls);
+        let from_view: Vec<usize> = streamed.result.iter().collect();
+        assert_eq!(from_view.as_slice(), owned.result.indices());
+        // The zero-copy prefix really borrows the dataset's rank order.
+        assert_eq!(
+            streamed.result.tau_prefix(),
+            &data.rank_index().order()[..streamed.result.threshold_len()]
+        );
+        assert_eq!(streamed.into_owned().result, owned.result);
+    }
+}
+
+#[test]
+fn run_view_rejects_joint_sessions_and_shared_sessions_stream() {
+    let (data, labels) = rare(8_000, 76);
+    let mut oracle = CachedOracle::from_labels(labels.clone(), 300);
+    let err = SupgSession::over(&data)
+        .recall(0.8)
+        .precision(0.9)
+        .joint(300)
+        .run_view(&mut oracle)
+        .unwrap_err();
+    assert!(matches!(err, supg_core::SupgError::InvalidQuery(_)));
+
+    // A session owning a shared prepared handle can stream too (the view
+    // borrows from the session itself).
+    let prepared = Arc::new(PreparedDataset::new(data));
+    let session = SupgSession::over_shared(Arc::clone(&prepared))
+        .recall(0.9)
+        .budget(300)
+        .seed(2);
+    let mut oracle = CachedOracle::from_labels(labels, 300);
+    let streamed = session.run_view(&mut oracle).unwrap();
+    assert!(!streamed.result.is_empty());
+}

@@ -87,9 +87,11 @@ pub fn run_trials_with(
         return Vec::new();
     }
     // One shared preparation for the whole batch: the workload's rank
-    // index is built on the runtime's worker pool up front (bit-identical
-    // to the lazy serial build), so every trial serves its threshold sets
-    // from the shared index instead of racing to build it.
+    // index is built on the runtime's worker pool up front, and the pool
+    // is adopted for the weight/alias artifact builds the first trial
+    // triggers (chunk-partitioned feeds; bit-identical to the lazy serial
+    // build either way), so every trial serves from shared artifacts
+    // instead of racing to build them.
     workload.prepared.prepare_with(&oracle_runtime);
     let threads = thread::available_parallelism()
         .map_or(4, |n| n.get())

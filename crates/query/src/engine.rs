@@ -23,7 +23,12 @@ use crate::parser::parse;
 /// Engine-level configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
-    /// Tuning knobs forwarded to the guaranteed selectors.
+    /// Tuning knobs forwarded to the guaranteed selectors — including
+    /// `tuning.sampler`, the [`supg_core::SamplerStrategy`] that picks
+    /// the weighted-sampler backend per statement (`Alias` default;
+    /// `Cdf`/`Auto` cut time-to-first-result on freshly registered
+    /// proxies by skipping the alias-table construction for cold one-shot
+    /// statements).
     pub tuning: SelectorConfig,
     /// Default algorithm family for statements without an override
     /// (default: the paper's importance-sampling selectors).
@@ -256,7 +261,9 @@ impl Engine {
         // artifacts across statements, so repeated queries skip both the
         // O(n log n) score sort and the O(n) weight/alias setup. The
         // first statement over a proxy builds the rank index on the
-        // configured worker pool (bit-identical to the lazy serial build).
+        // configured worker pool — which `prepare_with` also adopts for
+        // the weight/alias artifact builds that follow (chunk-partitioned
+        // feeds; bit-identical to the lazy serial build either way).
         let dataset = table.prepared_proxy(&statement.proxy.name)?;
         dataset.prepare_with(&self.config.runtime);
         let oracle_udf = table.oracle(&statement.predicate.name)?;
@@ -558,6 +565,42 @@ mod tests {
             rx.try_iter().collect::<Vec<usize>>()
         };
         assert_eq!(run(1), run(8), "stateful UDF call order changed");
+    }
+
+    #[test]
+    fn cdf_sampler_strategy_serves_statements_deterministically() {
+        use supg_core::selectors::SelectorConfig;
+        use supg_core::SamplerStrategy;
+        let sql = "SELECT * FROM frames WHERE MATCH(f) ORACLE LIMIT 800 \
+                   USING score RECALL TARGET 90% WITH PROBABILITY 95%";
+        let run = |strategy: SamplerStrategy| {
+            let mut e = Engine::with_config(
+                21,
+                EngineConfig {
+                    tuning: SelectorConfig::default().with_sampler(strategy),
+                    ..EngineConfig::default()
+                },
+            );
+            e.create_table("frames", 20_000);
+            let scores: Vec<f64> = (0..20_000).map(|i| (i % 1000) as f64 / 1000.0).collect();
+            let truth: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
+            e.register_proxy("frames", "score", scores).unwrap();
+            e.register_oracle("frames", "MATCH", move |i| truth[i])
+                .unwrap();
+            e.execute(sql).unwrap()
+        };
+        // The CDF backend is deterministic per seed and answers the query
+        // within budget; its draws differ from the alias backend's (the
+        // documented seed-stream contract), so the reports need not match
+        // across strategies.
+        let a = run(SamplerStrategy::Cdf);
+        let b = run(SamplerStrategy::Cdf);
+        assert_eq!(a.indices, b.indices);
+        assert_eq!(a.tau.to_bits(), b.tau.to_bits());
+        assert!(a.oracle_calls <= 800);
+        assert_eq!(a.selector, "IS-CI-R");
+        let auto = run(SamplerStrategy::Auto);
+        assert!(auto.oracle_calls <= 800);
     }
 
     #[test]

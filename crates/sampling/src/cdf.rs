@@ -1,11 +1,21 @@
 //! CDF-inversion weighted sampling: the O(log n)-per-draw alternative to
-//! the alias method, kept as a baseline for the sampler ablation benchmark.
+//! the alias method.
+//!
+//! Construction is a single prefix-sum pass — no partitioning, no alias
+//! pairing — which makes this the cheaper sampler to *build*. SUPG's
+//! serving layer therefore uses it as the cold-start fallback: a one-shot
+//! query over a fresh corpus draws `s ≈ 10³–10⁴` records, so paying
+//! O(log n) per draw is nothing next to skipping the alias table's extra
+//! O(n) construction passes. Repeated queries amortize the alias build
+//! and switch back to O(1) draws (see `supg_core`'s `SamplerStrategy`).
 
 use rand::Rng;
 
 /// Weighted sampler that inverts the cumulative weight function with binary
-/// search. Construction is O(n); each draw is O(log n).
-#[derive(Debug, Clone)]
+/// search. Construction is O(n) (one prefix-sum pass); each draw is
+/// O(log n). Implements [`crate::WeightedSampler`] alongside
+/// [`crate::AliasTable`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct CdfSampler {
     /// Cumulative weights, strictly increasing, last element = total weight.
     cumulative: Vec<f64>,
@@ -39,6 +49,14 @@ impl CdfSampler {
     /// Always false (construction forbids empty samplers).
     pub fn is_empty(&self) -> bool {
         self.cumulative.is_empty()
+    }
+
+    /// Normalized sampling probability of index `i` (the weight delta at
+    /// `i` over the total mass).
+    pub fn prob(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / total
     }
 
     /// Draws one index.

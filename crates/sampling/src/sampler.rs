@@ -1,0 +1,124 @@
+//! The object-safe weighted-sampler abstraction.
+//!
+//! SUPG's importance estimators only need three things from a weighted
+//! sampler: its size, the normalized probability of each index, and a way
+//! to draw. [`WeightedSampler`] captures exactly that, so serving layers
+//! can pick the backend per query — the O(1)-draw [`AliasTable`] with its
+//! heavier O(n) Vose construction for repeated queries, or the
+//! O(log n)-draw [`CdfSampler`] whose single prefix-sum pass makes it the
+//! cheaper build for cold one-shot queries — without the pipeline caring
+//! which one it holds.
+//!
+//! Draws go through `&mut dyn RngCore`, the same erased RNG handle the
+//! query pipeline already threads everywhere, so routing a draw through
+//! the trait consumes the RNG stream exactly like calling the concrete
+//! sampler's inherent `sample` would. Note the two backends consume the
+//! stream *differently from each other* (an alias draw takes one uniform
+//! index plus one uniform float; a CDF draw takes one uniform float), so
+//! swapping backends changes which records a seeded query draws — each
+//! backend is individually deterministic, and both sample the identical
+//! distribution.
+
+use rand::RngCore;
+
+use crate::alias::AliasTable;
+use crate::cdf::CdfSampler;
+
+/// A prebuilt sampler over `n` weighted indices: the backend-erased face
+/// of [`AliasTable`] and [`CdfSampler`]. See the [module docs](self) for
+/// the build-cost/draw-cost trade and the RNG-stream caveat.
+pub trait WeightedSampler: std::fmt::Debug + Send + Sync {
+    /// Number of indices in the sampler.
+    fn len(&self) -> usize;
+
+    /// True when the sampler has no entries (construction forbids this
+    /// for both backends; provided for API completeness).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Normalized sampling probability of index `i`.
+    fn prob(&self, i: usize) -> f64;
+
+    /// Draws one index.
+    fn draw(&self, rng: &mut dyn RngCore) -> usize;
+
+    /// Draws `k` independent indices (with replacement).
+    fn draw_many(&self, rng: &mut dyn RngCore, k: usize) -> Vec<usize> {
+        (0..k).map(|_| self.draw(rng)).collect()
+    }
+}
+
+impl WeightedSampler for AliasTable {
+    fn len(&self) -> usize {
+        AliasTable::len(self)
+    }
+
+    fn prob(&self, i: usize) -> f64 {
+        AliasTable::prob(self, i)
+    }
+
+    fn draw(&self, rng: &mut dyn RngCore) -> usize {
+        self.sample(rng)
+    }
+}
+
+impl WeightedSampler for CdfSampler {
+    fn len(&self) -> usize {
+        CdfSampler::len(self)
+    }
+
+    fn prob(&self, i: usize) -> f64 {
+        CdfSampler::prob(self, i)
+    }
+
+    fn draw(&self, rng: &mut dyn RngCore) -> usize {
+        self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erased_draws_match_inherent_draws() {
+        let weights = [1.0, 3.0, 0.5, 2.5];
+        let alias = AliasTable::new(&weights);
+        let cdf = CdfSampler::new(&weights);
+        let samplers: [&dyn WeightedSampler; 2] = [&alias, &cdf];
+        for sampler in samplers {
+            assert_eq!(sampler.len(), 4);
+            assert!(!sampler.is_empty());
+            let mut erased = StdRng::seed_from_u64(9);
+            let via_trait = sampler.draw_many(&mut erased, 200);
+            assert_eq!(via_trait.len(), 200);
+            assert!(via_trait.iter().all(|&i| i < 4));
+        }
+        // The trait draw consumes the stream exactly like the inherent one.
+        let mut a = StdRng::seed_from_u64(10);
+        let mut b = StdRng::seed_from_u64(10);
+        for _ in 0..200 {
+            assert_eq!(WeightedSampler::draw(&alias, &mut a), alias.sample(&mut b));
+        }
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            assert_eq!(WeightedSampler::draw(&cdf, &mut a), cdf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn erased_probs_match_inherent_probs() {
+        let weights = [2.0, 6.0];
+        let alias = AliasTable::new(&weights);
+        let cdf = CdfSampler::new(&weights);
+        assert_eq!(
+            WeightedSampler::prob(&alias, 1).to_bits(),
+            AliasTable::prob(&alias, 1).to_bits()
+        );
+        assert!((WeightedSampler::prob(&cdf, 1) - 0.75).abs() < 1e-12);
+    }
+}

@@ -114,6 +114,24 @@
 //!
 //! Outcomes are identical to cold sessions on the same seed; see the
 //! "Performance & serving" section of [`core`] for the measured numbers.
+//!
+//! ## Cold starts: the first query on a fresh corpus
+//!
+//! Pointing the system at a *new* dataset has its own fast path. The
+//! alias table's construction feeds — normalization, scaling and Vose's
+//! small/large partition — run chunk-parallel on the worker pool with a
+//! bit-identical result, and a query known to run once can skip the alias
+//! build entirely via [`core::SamplerStrategy`]: `Cdf` always uses the
+//! single-pass CDF-inversion sampler, `Auto` uses it only while a recipe
+//! is cold and promotes to the cached alias table once the recipe recurs
+//! (`SupgSession::sampler_strategy(..)`, or `tuning.sampler` on the SQL
+//! engine's `EngineConfig`). Strategies consume the seeded RNG stream
+//! differently — each is deterministic, all carry the same `1 − δ`
+//! guarantee. For huge answers,
+//! `SupgSession::run_view` returns a borrowed [`core::ResultView`] — the
+//! threshold set stays a zero-copy slice of the rank index with O(1)
+//! membership, and the owned materialization is deferred until you call
+//! `into_owned()`.
 
 pub use supg_core as core;
 pub use supg_datasets as datasets;
