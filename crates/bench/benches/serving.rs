@@ -1,0 +1,68 @@
+//! Concurrent serving through the `supg-serve` server: full admission
+//! pipeline (tenant lookup, in-flight slot, budget reservation/settle)
+//! over a warmed shared corpus, at increasing client counts — the
+//! Criterion face of the `bench_export` saturation suite.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use supg_bench::perf::serving_workload;
+use supg_core::{CachedOracle, PreparedDataset, SelectorKind};
+use supg_serve::{QuerySpec, ServerConfig, SupgServer};
+
+const BUDGET: usize = 1_000;
+
+fn bench_serve_saturation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_saturation");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+
+    let n = 1_000_000;
+    let (data, labels) = serving_workload(n);
+    let server = Arc::new(SupgServer::new(ServerConfig { max_in_flight: 64 }));
+    server.pool().register(
+        "corpus",
+        Arc::new(PreparedDataset::from_arc(Arc::clone(&data))),
+    );
+    server.tenants().register("bench", usize::MAX / 2);
+    let spec = QuerySpec::recall(0.9, BUDGET).with_selector(SelectorKind::ImportanceSampling);
+    server
+        .pool()
+        .warm("corpus", &spec.config)
+        .expect("corpus registered");
+
+    for &clients in &[1usize, 4] {
+        g.throughput(Throughput::Elements(clients as u64));
+        g.bench_with_input(
+            BenchmarkId::new("serve_n1m", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for t in 0..clients {
+                            let server = Arc::clone(&server);
+                            let labels = Arc::clone(&labels);
+                            scope.spawn(move || {
+                                let spec = spec.with_seed(t as u64);
+                                let l = Arc::clone(&labels);
+                                let mut oracle =
+                                    CachedOracle::parallel(l.len(), BUDGET, move |i| l[i]);
+                                let outcome = server
+                                    .serve("bench", "corpus", &spec, &mut oracle)
+                                    .expect("serve failed");
+                                std::hint::black_box(outcome);
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve_saturation);
+criterion_main!(benches);

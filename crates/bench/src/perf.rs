@@ -21,6 +21,7 @@ use supg_core::{
 };
 use supg_datasets::BetaDataset;
 use supg_sampling::ImportanceWeights;
+use supg_serve::{QuerySpec, ServerConfig, SupgServer};
 use supg_stats::CiMethod;
 
 /// Median wall-clock nanoseconds of `f` over `iters` runs (≥ 1).
@@ -98,6 +99,69 @@ impl ServingNumbers {
     /// sub-linearly in query count.
     pub fn amortization(&self) -> f64 {
         self.prepared_ns_per_query / self.prepared_first_query_ns.max(1.0)
+    }
+}
+
+/// One point on the serving saturation curve: `clients` concurrent
+/// threads each issuing queries through [`SupgServer::serve`].
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationPoint {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total queries issued at this point (`clients × queries_per_client`).
+    pub queries: usize,
+    /// Median per-query latency across all clients (ns).
+    pub p50_ns: f64,
+    /// 99th-percentile per-query latency across all clients (ns).
+    pub p99_ns: f64,
+    /// Aggregate throughput: `queries / wall seconds`.
+    pub qps: f64,
+}
+
+/// The saturation benchmark: p50/p99 latency and aggregate QPS of one
+/// [`SupgServer`] (full admission-control path, shared prepared corpus)
+/// at increasing client counts.
+#[derive(Debug, Clone)]
+pub struct SaturationNumbers {
+    /// Dataset size.
+    pub n: usize,
+    /// Oracle budget per query.
+    pub budget: usize,
+    /// Queries each client issues per point.
+    pub queries_per_client: usize,
+    /// `std::thread::available_parallelism()` on the measuring machine —
+    /// recorded so the scaling gate can normalize by real cores.
+    pub cores: usize,
+    /// The measured curve, ascending in `clients`.
+    pub points: Vec<SaturationPoint>,
+}
+
+impl SaturationNumbers {
+    /// Aggregate QPS at a given client count, if measured.
+    pub fn qps_at(&self, clients: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.clients == clients)
+            .map(|p| p.qps)
+    }
+
+    /// Raw `QPS(4 clients) / QPS(1 client)` — the acceptance ratio, but
+    /// machine-dependent: it cannot exceed the core count.
+    pub fn scaling_4v1(&self) -> f64 {
+        match (self.qps_at(4), self.qps_at(1)) {
+            (Some(q4), Some(q1)) if q1 > 0.0 => q4 / q1,
+            _ => 1.0,
+        }
+    }
+
+    /// `scaling_4v1 / min(4, cores)` — the machine-independent gate
+    /// ratio: the fraction of the ideal 4-client speedup this machine's
+    /// cores allow that serving actually delivered. ≈ 1.0 on a
+    /// single-core runner (no parallelism to win or lose) and ≥ 0.5 on a
+    /// ≥ 4-core runner exactly when 4 clients deliver ≥ 2× the QPS of
+    /// one — the acceptance criterion.
+    pub fn scaling_efficiency(&self) -> f64 {
+        self.scaling_4v1() / self.cores.min(4) as f64
     }
 }
 
@@ -217,6 +281,8 @@ pub struct BenchReport {
     pub assembly_ns: f64,
     /// Repeated-query serving numbers.
     pub serving: ServingNumbers,
+    /// Multi-client saturation curve through the `supg-serve` server.
+    pub saturation: SaturationNumbers,
     /// Rank-index vs linear-scan set materialization.
     pub materialization: MaterializationNumbers,
     /// Parallel vs serial cold artifact construction.
@@ -276,6 +342,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     });
 
     let serving = measure_serving(if quick { 8 } else { 32 });
+    let saturation = measure_saturation(quick);
     let materialization = measure_materialization(if quick { 10 } else { 40 });
     let cold_build = measure_cold_build(if quick { 3 } else { 7 });
     let cold_path = measure_cold_path(if quick { 5 } else { 15 });
@@ -287,6 +354,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
         recall,
         assembly_ns,
         serving,
+        saturation,
         materialization,
         cold_build,
         cold_path,
@@ -562,12 +630,101 @@ fn measure_serving(queries: usize) -> ServingNumbers {
     }
 }
 
+/// Nearest-rank percentile of an ascending latency sample.
+fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+/// The saturation curve: one [`SupgServer`] (warmed shared corpus, one
+/// tenant, the full admission pipeline on every query) hammered by
+/// 1…64 concurrent clients. Each client brings its own oracle and times
+/// every `serve` call; a point records the pooled p50/p99 latency and
+/// the aggregate QPS.
+fn measure_saturation(quick: bool) -> SaturationNumbers {
+    let n = 1_000_000;
+    let budget = 1_000;
+    let queries_per_client = if quick { 8 } else { 16 };
+    let client_counts: &[usize] = if quick {
+        &[1, 2, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    let (data, labels) = serving_workload(n);
+    let server = Arc::new(SupgServer::new(ServerConfig { max_in_flight: 128 }));
+    server.pool().register(
+        "corpus",
+        Arc::new(PreparedDataset::from_arc(Arc::clone(&data))),
+    );
+    server.tenants().register("bench", usize::MAX / 2);
+    let spec = QuerySpec::recall(0.9, budget).with_selector(SelectorKind::ImportanceSampling);
+    // Warm outside the timed region: rank index + the recipe's sampling
+    // artifacts, so every point measures steady-state serving.
+    server
+        .pool()
+        .warm("corpus", &spec.config)
+        .expect("corpus registered");
+
+    let mut points = Vec::with_capacity(client_counts.len());
+    for &clients in client_counts {
+        let wall = Instant::now();
+        let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+            (0..clients)
+                .map(|t| {
+                    let server = Arc::clone(&server);
+                    let labels = Arc::clone(&labels);
+                    scope.spawn(move || {
+                        let mut lat = Vec::with_capacity(queries_per_client);
+                        for q in 0..queries_per_client {
+                            let spec = spec.with_seed((t * 1_000 + q) as u64);
+                            let l = Arc::clone(&labels);
+                            let mut oracle = CachedOracle::parallel(l.len(), budget, move |i| l[i]);
+                            let start = Instant::now();
+                            let outcome = server
+                                .serve("bench", "corpus", &spec, &mut oracle)
+                                .expect("saturation query failed");
+                            lat.push(start.elapsed().as_nanos() as f64);
+                            std::hint::black_box(outcome);
+                        }
+                        lat
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        });
+        let wall_s = wall.elapsed().as_nanos() as f64 / 1e9;
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let queries = clients * queries_per_client;
+        points.push(SaturationPoint {
+            clients,
+            queries,
+            p50_ns: percentile(&latencies, 0.50),
+            p99_ns: percentile(&latencies, 0.99),
+            qps: queries as f64 / wall_s.max(1e-9),
+        });
+    }
+
+    SaturationNumbers {
+        n,
+        budget,
+        queries_per_client,
+        cores,
+        points,
+    }
+}
+
 impl BenchReport {
     /// Serializes the report as the flat `BENCH_selectors.json` document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"supg-bench/3\",");
+        let _ = writeln!(out, "  \"schema\": \"supg-bench/4\",");
         let _ = writeln!(out, "  \"threshold_search\": {{");
         let _ = writeln!(out, "    \"s\": {},", self.s);
         let _ = writeln!(out, "    \"step\": {},", self.step);
@@ -672,6 +829,34 @@ impl BenchReport {
             "    \"cdf_speedup\": {:.2}",
             self.cold_path.cdf_speedup()
         );
+        let _ = writeln!(out, "  }},");
+        // The saturation section stays flat (`extract_number` bounds a
+        // section at its first `}`), so each point's numbers are keyed by
+        // client count instead of nested.
+        let _ = writeln!(out, "  \"serving\": {{");
+        let _ = writeln!(out, "    \"n\": {},", self.saturation.n);
+        let _ = writeln!(out, "    \"budget\": {},", self.saturation.budget);
+        let _ = writeln!(
+            out,
+            "    \"queries_per_client\": {},",
+            self.saturation.queries_per_client
+        );
+        let _ = writeln!(out, "    \"cores\": {},", self.saturation.cores);
+        for p in &self.saturation.points {
+            let _ = writeln!(out, "    \"qps_c{}\": {:.2},", p.clients, p.qps);
+            let _ = writeln!(out, "    \"p50_c{}_ns\": {:.0},", p.clients, p.p50_ns);
+            let _ = writeln!(out, "    \"p99_c{}_ns\": {:.0},", p.clients, p.p99_ns);
+        }
+        let _ = writeln!(
+            out,
+            "    \"scaling_4v1\": {:.3},",
+            self.saturation.scaling_4v1()
+        );
+        let _ = writeln!(
+            out,
+            "    \"scaling_efficiency\": {:.3}",
+            self.saturation.scaling_efficiency()
+        );
         let _ = writeln!(out, "  }}");
         let _ = write!(out, "}}");
         out
@@ -728,6 +913,28 @@ mod tests {
                 concurrent_wall_ns: 4e6,
                 concurrency: 4,
             },
+            saturation: SaturationNumbers {
+                n: 1_000_000,
+                budget: 1_000,
+                queries_per_client: 8,
+                cores: 8,
+                points: vec![
+                    SaturationPoint {
+                        clients: 1,
+                        queries: 8,
+                        p50_ns: 2e6,
+                        p99_ns: 3e6,
+                        qps: 500.0,
+                    },
+                    SaturationPoint {
+                        clients: 4,
+                        queries: 32,
+                        p50_ns: 2.5e6,
+                        p99_ns: 4e6,
+                        qps: 1_500.0,
+                    },
+                ],
+            },
             materialization: MaterializationNumbers {
                 n: 1_000_000,
                 k: 10_000,
@@ -781,6 +988,18 @@ mod tests {
             Some(2.0)
         );
         assert_eq!(extract_number(&json, "cold_path", "cdf_speedup"), Some(1.6));
+        // The "serving" section key must not collide with
+        // "prepared_serving" — extract matches the quoted key only.
+        assert_eq!(extract_number(&json, "serving", "cores"), Some(8.0));
+        assert_eq!(extract_number(&json, "serving", "qps_c1"), Some(500.0));
+        assert_eq!(extract_number(&json, "serving", "qps_c4"), Some(1_500.0));
+        assert_eq!(extract_number(&json, "serving", "p99_c4_ns"), Some(4e6));
+        assert_eq!(extract_number(&json, "serving", "scaling_4v1"), Some(3.0));
+        assert_eq!(
+            extract_number(&json, "serving", "scaling_efficiency"),
+            Some(0.75)
+        );
+        assert_eq!(extract_number(&json, "serving", "qps_c2"), None);
         assert_eq!(extract_number(&json, "nope", "speedup"), None);
         assert_eq!(extract_number(&json, "prepared_serving", "nope"), None);
     }

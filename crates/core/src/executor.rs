@@ -143,11 +143,17 @@ impl SelectionResult {
 #[derive(Debug, Clone)]
 pub struct ResultView<'a> {
     index: &'a RankIndex,
-    /// `|D(τ)|`: the length of the rank prefix.
+    /// `|D(τ)|`: the length of the rank prefix (pre-filter, for
+    /// filtered views).
     cut: usize,
     /// Labeled positives below the cut — ascending, duplicate-free,
-    /// disjoint from the prefix by construction.
+    /// disjoint from the prefix by construction. For filtered views,
+    /// only the positives that survived the filter.
     extras: Vec<usize>,
+    /// For filtered (joint-query) views: the ascending rank positions
+    /// (`< cut`) of prefix candidates that survived oracle filtering.
+    /// `None` means the whole prefix is in the result (the RT/PT form).
+    kept_ranks: Option<Vec<u32>>,
 }
 
 impl<'a> ResultView<'a> {
@@ -166,12 +172,61 @@ impl<'a> ResultView<'a> {
             .copied()
             .filter(|&i| index.rank_of(i) >= cut)
             .collect();
-        Self { index, cut, extras }
+        Self {
+            index,
+            cut,
+            extras,
+            kept_ranks: None,
+        }
+    }
+
+    /// Narrows the view to the candidates the oracle labeled positive —
+    /// the joint-query (JT) filtering step, streamed. `keep` aligns with
+    /// this view's [`iter`](ResultView::iter) order: one flag per prefix
+    /// candidate (rank order), then one per extra. Kept prefix members
+    /// are recorded as rank positions — O(kept) memory, no owned copy of
+    /// the surviving record set — and dropped extras are removed in
+    /// place.
+    ///
+    /// # Panics
+    /// Panics if `keep.len() != self.len()` or the view is already
+    /// filtered.
+    pub fn retain(mut self, keep: &[bool]) -> Self {
+        assert!(
+            self.kept_ranks.is_none(),
+            "ResultView::retain: view is already filtered"
+        );
+        assert_eq!(
+            keep.len(),
+            self.len(),
+            "ResultView::retain: one keep flag per result member"
+        );
+        let (prefix_keep, extras_keep) = keep.split_at(self.cut);
+        let kept_ranks = prefix_keep
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k)
+            .map(|(rank, _)| rank as u32)
+            .collect();
+        let mut survives = extras_keep.iter();
+        self.extras.retain(|_| *survives.next().expect("aligned"));
+        self.kept_ranks = Some(kept_ranks);
+        self
+    }
+
+    /// True when the view carries a joint-query oracle filter
+    /// ([`retain`](ResultView::retain)) on top of the threshold cut.
+    pub fn is_filtered(&self) -> bool {
+        self.kept_ranks.is_some()
     }
 
     /// Number of returned records.
     pub fn len(&self) -> usize {
-        self.cut + self.extras.len()
+        let prefix = match &self.kept_ranks {
+            Some(kept) => kept.len(),
+            None => self.cut,
+        };
+        prefix + self.extras.len()
     }
 
     /// True when no records were returned.
@@ -179,13 +234,17 @@ impl<'a> ResultView<'a> {
         self.len() == 0
     }
 
-    /// Size of the threshold set `D(τ)` (the rank-prefix part).
+    /// Size of the threshold set `D(τ)` (the rank-prefix part) —
+    /// **pre-filter** for filtered views, i.e. the candidate count the
+    /// joint query handed to the oracle, not the survivors.
     pub fn threshold_len(&self) -> usize {
         self.cut
     }
 
     /// The threshold set as the borrowed rank-prefix slice (record
-    /// indices in canonical rank order) — zero-copy however large.
+    /// indices in canonical rank order) — zero-copy however large. For
+    /// filtered views this is still the **pre-filter** candidate prefix;
+    /// the surviving members are what [`iter`](ResultView::iter) walks.
     pub fn tau_prefix(&self) -> &'a [u32] {
         &self.index.order()[..self.cut]
     }
@@ -195,21 +254,36 @@ impl<'a> ResultView<'a> {
         &self.extras
     }
 
-    /// Membership test: one O(1) rank comparison for the prefix, an
-    /// O(log e) binary search over the (small) extras tail.
+    /// Membership test: one O(1) rank comparison for the prefix (plus an
+    /// O(log kept) search when filtered), an O(log e) binary search over
+    /// the (small) extras tail.
     pub fn contains(&self, index: usize) -> bool {
-        index < self.index.len()
-            && (self.index.rank_of(index) < self.cut || self.extras.binary_search(&index).is_ok())
+        if index >= self.index.len() {
+            return false;
+        }
+        let rank = self.index.rank_of(index);
+        if rank < self.cut {
+            match &self.kept_ranks {
+                // Ascending by construction (built in rank order).
+                Some(kept) => kept.binary_search(&(rank as u32)).is_ok(),
+                None => true,
+            }
+        } else {
+            self.extras.binary_search(&index).is_ok()
+        }
     }
 
-    /// Iterates the record indices in result order (threshold set
-    /// best-first, then the below-cut positives ascending) — exactly the
-    /// order [`SelectionResult::indices`] would hold.
+    /// Iterates the record indices in result order (threshold set — or
+    /// its filter survivors — best-first, then the below-cut positives
+    /// ascending) — exactly the order [`SelectionResult::indices`] would
+    /// hold.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.tau_prefix()
-            .iter()
-            .map(|&i| i as usize)
-            .chain(self.extras.iter().copied())
+        let order = self.index.order();
+        let prefix: Box<dyn Iterator<Item = usize> + '_> = match &self.kept_ranks {
+            Some(kept) => Box::new(kept.iter().map(move |&r| order[r as usize] as usize)),
+            None => Box::new(self.tau_prefix().iter().map(|&i| i as usize)),
+        };
+        prefix.chain(self.extras.iter().copied())
     }
 
     /// Materializes the owned [`SelectionResult`] — the one O(k) copy
@@ -286,6 +360,50 @@ mod tests {
         let r = SelectionResult::from_indices(vec![big, 1]);
         assert!(r.contains(big));
         assert_eq!(r.indices(), &[1, big]);
+    }
+
+    #[test]
+    fn retain_filters_prefix_and_extras_in_iter_order() {
+        // 10 records, scores ascending with index ⇒ rank order is 9,8,…,0.
+        let data = ScoredDataset::new((0..10).map(|i| i as f64 / 10.0).collect()).unwrap();
+        let index = data.rank_index();
+        // τ = 0.7 ⇒ prefix = records 9,8,7; extras = positives below τ.
+        let view = ResultView::over(index, 0.7, &[2, 4]);
+        assert_eq!(view.iter().collect::<Vec<_>>(), vec![9, 8, 7, 2, 4]);
+        assert!(!view.is_filtered());
+
+        // Keep flags align with iter order: drop 8 and 2.
+        let filtered = view.retain(&[true, false, true, false, true]);
+        assert!(filtered.is_filtered());
+        assert_eq!(filtered.iter().collect::<Vec<_>>(), vec![9, 7, 4]);
+        assert_eq!(filtered.len(), 3);
+        // threshold_len stays the pre-filter candidate count.
+        assert_eq!(filtered.threshold_len(), 3);
+        assert_eq!(filtered.tau_prefix(), &[9, 8, 7]);
+        for (idx, expect) in [
+            (9, true),
+            (8, false),
+            (7, true),
+            (2, false),
+            (4, true),
+            (0, false),
+            (10, false),
+        ] {
+            assert_eq!(filtered.contains(idx), expect, "contains({idx})");
+        }
+        // Materialization matches the subsequence the old owned path kept.
+        assert_eq!(
+            filtered.to_result(),
+            SelectionResult::from_ranked(vec![9, 7, 4])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one keep flag per result member")]
+    fn retain_rejects_misaligned_keep_flags() {
+        let data = ScoredDataset::new((0..4).map(|i| i as f64 / 4.0).collect()).unwrap();
+        let view = ResultView::over(data.rank_index(), 0.5, &[]);
+        let _ = view.retain(&[true]);
     }
 
     // Migrated from the removed `SupgExecutor` shim's test suite: the

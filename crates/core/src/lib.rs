@@ -206,6 +206,36 @@
 //! [`SelectionResult`] materialization is deferred until
 //! [`ViewOutcome::into_owned`](session::ViewOutcome) actually needs it.
 //!
+//! ## Serving under concurrency
+//!
+//! A prepared corpus is built to be shared: many sessions on many threads
+//! run over one `Arc<PreparedDataset>`, and the hot path is tuned so they
+//! never serialize on each other.
+//!
+//! * **Read-locked warm lookups.** The keyed artifact cache sits behind an
+//!   `RwLock`: a warm lookup takes the *shared* read lock and bumps an
+//!   atomic recency stamp, so any number of concurrent queries hit the
+//!   cache at once. Only a cold recipe's insertion (and explicit
+//!   capacity changes) takes the write lock, and the O(n) artifact build
+//!   itself runs *outside* both locks — a cold build never blocks other
+//!   tenants' warm queries. Losing an insertion race just means adopting
+//!   the winner's `Arc`.
+//! * **Counters, not guesses.** Every dataset keeps atomic hit/miss/
+//!   eviction counters ([`CacheStats`] via
+//!   [`PreparedDataset::cache_stats`](prepared::PreparedDataset::cache_stats)),
+//!   and every [`QueryOutcome`] reports the cache hits and misses *its*
+//!   artifact requests saw plus per-stage elapsed time
+//!   (`stage_elapsed` / `filter_elapsed`) — the observability a serving
+//!   layer aggregates per tenant.
+//! * **Determinism is unchanged.** Sharing affects only *when* artifacts
+//!   are built, never what a query answers: concurrent outcomes are
+//!   bit-identical to running the same specs single-threaded (pinned by
+//!   the `supg-serve` crate's `concurrent_parity` stress test).
+//!
+//! The `supg-serve` crate builds the full multi-tenant service on these
+//! primitives: a named session pool, per-tenant oracle-budget metering
+//! and bounded-in-flight admission control.
+//!
 //! ## Guarantee contract
 //!
 //! For an RT query with target `γ` and failure probability `δ`, the set `R`
@@ -238,7 +268,9 @@ pub use error::SupgError;
 pub use executor::{ResultView, SelectionResult};
 pub use metrics::PrecisionRecall;
 pub use oracle::{BatchOracle, CachedOracle, Oracle};
-pub use prepared::{DataView, PreparedDataset, SamplerStrategy, WeightArtifacts};
+pub use prepared::{
+    CacheStats, DataView, PreparedDataset, QueryProbe, SamplerStrategy, WeightArtifacts,
+};
 pub use query::{ApproxQuery, JointQuery, TargetKind};
 pub use rank::RankIndex;
 pub use runtime::RuntimeConfig;

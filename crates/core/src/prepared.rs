@@ -56,10 +56,16 @@
 //! cache's own `Arc` — sessions holding an evicted artifact keep using it
 //! safely.
 //!
-//! Sharing is by `Arc` and an internal mutex guards only the cache map —
-//! artifact *construction* happens outside the lock, so concurrent
-//! sessions warming different recipes never serialize behind each other's
-//! O(n) builds.
+//! Sharing is by `Arc`, and the cache map sits behind a reader-writer
+//! lock: a **warm lookup takes only the shared read lock** (recency is
+//! stamped through an atomic, not a map mutation), so any number of
+//! concurrent sessions serve cached artifacts without ever serializing —
+//! the hot-swap read path of production proxy selectors. Only a cold
+//! recipe's *insertion* takes the write lock, and artifact *construction*
+//! still happens outside every lock, so sessions warming different
+//! recipes never serialize behind each other's O(n) builds either.
+//! [`cache_stats`](PreparedDataset::cache_stats) exposes lifetime
+//! hit/miss/eviction counters for the serving layer's observability.
 //!
 //! Determinism: a prepared session runs the exact same artifact objects a
 //! cold session would build fresh, so prepared and cold executions of the
@@ -68,7 +74,8 @@
 //! `crates/core/tests/prepared_parity.rs`).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
 use supg_sampling::weights::validate_scores;
 use supg_sampling::{
@@ -332,67 +339,169 @@ impl RecipeKey {
     }
 }
 
-/// The mutex-guarded cache state: recipe → (artifacts, last-served
-/// stamp), plus the monotone stamp counter, the capacity bound, and the
-/// recipes [`SamplerStrategy::Auto`] has served a one-shot CDF for (its
-/// "second request promotes to alias" memory).
+/// One cached recipe: the shared artifacts plus an atomically stamped
+/// last-served recency mark, updatable through the cache's *read* lock.
+struct CacheEntry {
+    arts: Arc<WeightArtifacts>,
+    last_used: AtomicU64,
+}
+
+/// The `RwLock`-guarded cache state: recipe → [`CacheEntry`], the
+/// capacity bound, and the recipes [`SamplerStrategy::Auto`] has served a
+/// one-shot CDF for (its "second request promotes to alias" memory).
+/// The monotone recency clock lives *outside* the lock (on
+/// [`PreparedDataset`]) so warm hits never need the write lock.
 struct ArtifactCache {
-    map: HashMap<RecipeKey, (Arc<WeightArtifacts>, u64)>,
-    stamp: u64,
+    map: HashMap<RecipeKey, CacheEntry>,
     capacity: usize,
     auto_seen: HashSet<RecipeKey>,
 }
 
 impl ArtifactCache {
-    fn touch(&mut self, key: RecipeKey) -> Option<Arc<WeightArtifacts>> {
-        self.stamp += 1;
-        let stamp = self.stamp;
-        self.map.get_mut(&key).map(|entry| {
-            entry.1 = stamp;
-            Arc::clone(&entry.0)
+    /// Serves a cached recipe and freshens its recency stamp — `&self`,
+    /// so the hot path runs under the shared read lock.
+    fn touch(&self, key: RecipeKey, clock: &AtomicU64) -> Option<Arc<WeightArtifacts>> {
+        self.map.get(&key).map(|entry| {
+            entry
+                .last_used
+                .store(clock.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+            Arc::clone(&entry.arts)
         })
     }
 
     /// Inserts (or returns the racing winner for) `key`, then evicts
-    /// least-recently-served entries down to capacity.
-    fn insert(&mut self, key: RecipeKey, built: Arc<WeightArtifacts>) -> Arc<WeightArtifacts> {
-        self.stamp += 1;
-        let stamp = self.stamp;
+    /// least-recently-served entries down to capacity. Returns the kept
+    /// artifacts and how many entries eviction dropped.
+    fn insert(
+        &mut self,
+        key: RecipeKey,
+        built: Arc<WeightArtifacts>,
+        clock: &AtomicU64,
+    ) -> (Arc<WeightArtifacts>, u64) {
+        let stamp = clock.fetch_add(1, Ordering::Relaxed) + 1;
         let entry = self
             .map
             .entry(key)
-            .and_modify(|entry| entry.1 = stamp)
-            .or_insert((built, stamp));
-        let kept = Arc::clone(&entry.0);
-        self.evict_to_capacity();
-        kept
+            .and_modify(|entry| entry.last_used.store(stamp, Ordering::Relaxed))
+            .or_insert_with(|| CacheEntry {
+                arts: built,
+                last_used: AtomicU64::new(stamp),
+            });
+        let kept = Arc::clone(&entry.arts);
+        let evicted = self.evict_to_capacity();
+        (kept, evicted)
     }
 
     /// Drops least-recently-served entries until the cache fits its
-    /// capacity bound (never the entry with the freshest stamp).
-    fn evict_to_capacity(&mut self) {
+    /// capacity bound (never the entry with the freshest stamp); returns
+    /// how many entries were dropped.
+    fn evict_to_capacity(&mut self) -> u64 {
+        let mut evicted = 0;
         while self.map.len() > self.capacity {
             let oldest = self
                 .map
                 .iter()
-                .min_by_key(|(_, &(_, used))| used)
+                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
                 .map(|(&k, _)| k)
                 .expect("non-empty over-capacity cache");
             self.map.remove(&oldest);
+            evicted += 1;
         }
+        evicted
+    }
+}
+
+/// A snapshot of one [`PreparedDataset`]'s lifetime artifact-cache
+/// counters ([`PreparedDataset::cache_stats`]): how many recipe requests
+/// were served from the cache (`hits`), how many had to build (`misses` —
+/// including [`SamplerStrategy::Auto`]'s uncached one-shot CDF builds),
+/// and how many cached recipes the LRU bound dropped (`evictions`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Recipe requests served straight from the cache.
+    pub hits: u64,
+    /// Recipe requests that paid an artifact build.
+    pub misses: u64,
+    /// Cached recipes dropped by the LRU capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total recipe requests observed (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of requests served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// A per-query observability probe: interior-mutable counters a
+/// [`DataView`] increments as the selectors it serves request sampling
+/// artifacts. The session attaches one per execution
+/// ([`DataView::with_probe`]) and surfaces the counts on
+/// [`QueryOutcome`](crate::session::QueryOutcome) — the per-query face of
+/// the dataset-lifetime [`CacheStats`].
+#[derive(Debug, Default)]
+pub struct QueryProbe {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryProbe {
+    /// A fresh probe with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, hit: bool) {
+        let counter = if hit { &self.hits } else { &self.misses };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Artifact requests this query served from a prepared cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Artifact requests this query paid a fresh build for (every cold
+    /// view request counts here — there is no cache to hit).
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
 /// An `Arc`-shared dataset plus its lazily built, bounded keyed
 /// sampling-artifact cache. `Send + Sync`; clone the surrounding `Arc` to
-/// share across sessions and threads.
+/// share across sessions and threads. Warm lookups take only the shared
+/// read lock (see the [module docs](self)), so concurrent serving never
+/// serializes on the cache.
 pub struct PreparedDataset {
     data: Arc<ScoredDataset>,
-    cache: Mutex<ArtifactCache>,
-    /// Worker-pool configuration used for artifact construction
-    /// (interior-mutable so [`prepare_with`](PreparedDataset::prepare_with)
-    /// can adopt a caller's pool for later artifact builds too).
-    runtime: Mutex<RuntimeConfig>,
+    cache: RwLock<ArtifactCache>,
+    /// Monotone recency clock for the LRU stamps — outside the cache lock
+    /// so hits can stamp recency under the *read* lock.
+    clock: AtomicU64,
+    /// Lifetime cache counters ([`cache_stats`](Self::cache_stats)).
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Worker-pool configuration used for artifact construction — stored
+    /// copy-on-set in two atomics so warm queries read it without any
+    /// lock ([`prepare_with`](PreparedDataset::prepare_with) adopts a
+    /// caller's pool for later artifact builds too). The pair is not
+    /// updated atomically *together*, but each field is independently
+    /// valid and results are bit-identical at every setting, so a torn
+    /// read can only change wall time, never output.
+    rt_parallelism: AtomicUsize,
+    rt_batch_size: AtomicUsize,
 }
 
 impl std::fmt::Debug for PreparedDataset {
@@ -412,15 +521,20 @@ impl PreparedDataset {
 
     /// Prepares an already-shared dataset without copying it.
     pub fn from_arc(data: Arc<ScoredDataset>) -> Self {
+        let rt = RuntimeConfig::sequential();
         Self {
             data,
-            cache: Mutex::new(ArtifactCache {
+            cache: RwLock::new(ArtifactCache {
                 map: HashMap::new(),
-                stamp: 0,
                 capacity: DEFAULT_CACHE_CAPACITY,
                 auto_seen: HashSet::new(),
             }),
-            runtime: Mutex::new(RuntimeConfig::sequential()),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rt_parallelism: AtomicUsize::new(rt.parallelism),
+            rt_batch_size: AtomicUsize::new(rt.batch_size),
         }
     }
 
@@ -436,13 +550,24 @@ impl PreparedDataset {
     /// artifacts (rank index, weights, alias feeds). Results are
     /// bit-identical at any setting; only cold-build wall time changes.
     pub fn with_runtime(self, runtime: RuntimeConfig) -> Self {
-        *self.runtime.lock().expect("runtime config poisoned") = runtime;
+        self.set_runtime(&runtime);
         self
     }
 
-    /// The configured artifact-construction runtime.
+    /// The configured artifact-construction runtime — a lock-free atomic
+    /// read (the config is read on every artifact request, so warm
+    /// queries must not serialize on it).
     pub fn runtime(&self) -> RuntimeConfig {
-        *self.runtime.lock().expect("runtime config poisoned")
+        RuntimeConfig {
+            parallelism: self.rt_parallelism.load(Ordering::Relaxed),
+            batch_size: self.rt_batch_size.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Copy-on-set store of the artifact-construction runtime.
+    fn set_runtime(&self, rt: &RuntimeConfig) {
+        self.rt_parallelism.store(rt.parallelism, Ordering::Relaxed);
+        self.rt_batch_size.store(rt.batch_size, Ordering::Relaxed);
     }
 
     /// Builds the dataset's global rank index on the configured worker
@@ -459,7 +584,7 @@ impl PreparedDataset {
     /// follow (first query, [`warm`](Self::warm)) run on the same workers
     /// (results stay bit-identical either way; only wall time changes).
     pub fn prepare_with(&self, rt: &RuntimeConfig) -> &RankIndex {
-        *self.runtime.lock().expect("runtime config poisoned") = *rt;
+        self.set_runtime(rt);
         self.data.prepare_rank_index(rt)
     }
 
@@ -512,6 +637,17 @@ impl PreparedDataset {
         uniform_mix: f64,
         strategy: SamplerStrategy,
     ) -> Arc<WeightArtifacts> {
+        self.artifacts_probed(exponent, uniform_mix, strategy).0
+    }
+
+    /// [`artifacts_with`](Self::artifacts_with) plus whether the request
+    /// was a cache hit — what [`DataView`] feeds its [`QueryProbe`].
+    pub(crate) fn artifacts_probed(
+        &self,
+        exponent: f64,
+        uniform_mix: f64,
+        strategy: SamplerStrategy,
+    ) -> (Arc<WeightArtifacts>, bool) {
         let rt = self.runtime();
         match strategy {
             SamplerStrategy::Alias => self
@@ -524,64 +660,110 @@ impl PreparedDataset {
                 }),
             SamplerStrategy::Auto => {
                 let key = RecipeKey::alias(exponent, uniform_mix);
-                let recurring = {
-                    let mut cache = self.cache.lock().expect("artifact cache poisoned");
-                    if let Some(hit) = cache.touch(key) {
-                        return hit;
+                // Warm recipe: the shared-read-lock hot path.
+                if let Some(hit) = self.read_cached(key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (hit, true);
+                }
+                // Cold recipe: one write-lock critical section for the
+                // promotion bookkeeping. A racer may have inserted the
+                // artifacts since the read — serve those as a hit.
+                enum Cold {
+                    Raced(Arc<WeightArtifacts>),
+                    Recurring,
+                    FirstSight,
+                }
+                let state = {
+                    let mut cache = self.cache.write().expect("artifact cache poisoned");
+                    if let Some(hit) = cache.touch(key, &self.clock) {
+                        Cold::Raced(hit)
+                    } else {
+                        // Bound the promotion memory like the cache
+                        // itself: losing it only costs one extra
+                        // one-shot CDF build.
+                        if cache.auto_seen.len() > cache.capacity.saturating_mul(4) {
+                            cache.auto_seen.clear();
+                        }
+                        if cache.auto_seen.insert(key) {
+                            Cold::FirstSight
+                        } else {
+                            Cold::Recurring
+                        }
                     }
-                    // Bound the promotion memory like the cache itself:
-                    // losing it only costs one extra one-shot CDF build.
-                    if cache.auto_seen.len() > cache.capacity.saturating_mul(4) {
-                        cache.auto_seen.clear();
-                    }
-                    !cache.auto_seen.insert(key)
                 };
-                if recurring {
-                    // Second request: the recipe is recurring — pay the
-                    // alias build once and serve it from the cache on.
-                    let built = self.cached_artifacts(key, || {
-                        WeightArtifacts::build_with(self.data.scores(), exponent, uniform_mix, &rt)
-                    });
-                    self.cache
-                        .lock()
-                        .expect("artifact cache poisoned")
-                        .auto_seen
-                        .remove(&key);
-                    built
-                } else {
-                    // First sight: cheapest possible one-shot setup, not
-                    // cached (the point is not to pay for artifacts a
-                    // one-shot query never reuses).
-                    Arc::new(WeightArtifacts::build_cdf_with(
-                        self.data.scores(),
-                        exponent,
-                        uniform_mix,
-                        &rt,
-                    ))
+                match state {
+                    Cold::Raced(hit) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        (hit, true)
+                    }
+                    Cold::Recurring => {
+                        // Second request: the recipe is recurring — pay
+                        // the alias build once and serve it from the
+                        // cache on.
+                        let built = self.cached_artifacts(key, || {
+                            WeightArtifacts::build_with(
+                                self.data.scores(),
+                                exponent,
+                                uniform_mix,
+                                &rt,
+                            )
+                        });
+                        self.cache
+                            .write()
+                            .expect("artifact cache poisoned")
+                            .auto_seen
+                            .remove(&key);
+                        built
+                    }
+                    Cold::FirstSight => {
+                        // First sight: cheapest possible one-shot setup,
+                        // not cached (the point is not to pay for
+                        // artifacts a one-shot query never reuses).
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        let built = Arc::new(WeightArtifacts::build_cdf_with(
+                            self.data.scores(),
+                            exponent,
+                            uniform_mix,
+                            &rt,
+                        ));
+                        (built, false)
+                    }
                 }
             }
         }
     }
 
+    /// The read-lock-only warm lookup (recency stamped via the atomic
+    /// clock; the map itself is untouched).
+    fn read_cached(&self, key: RecipeKey) -> Option<Arc<WeightArtifacts>> {
+        self.cache
+            .read()
+            .expect("artifact cache poisoned")
+            .touch(key, &self.clock)
+    }
+
     /// Cache lookup / build-outside-the-lock / insert for one key.
+    /// Returns the kept artifacts and whether the request hit the cache.
     fn cached_artifacts(
         &self,
         key: RecipeKey,
         build: impl FnOnce() -> WeightArtifacts,
-    ) -> Arc<WeightArtifacts> {
-        if let Some(hit) = self
-            .cache
-            .lock()
-            .expect("artifact cache poisoned")
-            .touch(key)
-        {
-            return hit;
+    ) -> (Arc<WeightArtifacts>, bool) {
+        if let Some(hit) = self.read_cached(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit, true);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(build());
-        self.cache
-            .lock()
-            .expect("artifact cache poisoned")
-            .insert(key, built)
+        let (kept, evicted) =
+            self.cache
+                .write()
+                .expect("artifact cache poisoned")
+                .insert(key, built, &self.clock);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        (kept, false)
     }
 
     /// Pre-builds everything a selector configuration will need — the
@@ -603,7 +785,7 @@ impl PreparedDataset {
     /// Number of cached weight recipes.
     pub fn cached_recipes(&self) -> usize {
         self.cache
-            .lock()
+            .read()
             .expect("artifact cache poisoned")
             .map
             .len()
@@ -611,16 +793,35 @@ impl PreparedDataset {
 
     /// The artifact-cache capacity bound.
     pub fn cache_capacity(&self) -> usize {
-        self.cache.lock().expect("artifact cache poisoned").capacity
+        self.cache.read().expect("artifact cache poisoned").capacity
     }
 
     /// Sets the artifact-cache capacity (clamped to ≥ 1), evicting
     /// least-recently-served recipes immediately if the cache is over the
     /// new bound.
     pub fn set_cache_capacity(&self, capacity: usize) {
-        let mut cache = self.cache.lock().expect("artifact cache poisoned");
+        let mut cache = self.cache.write().expect("artifact cache poisoned");
         cache.capacity = capacity.max(1);
-        cache.evict_to_capacity();
+        let evicted = cache.evict_to_capacity();
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time snapshot of the artifact-cache counters,
+    /// accumulated over the dataset's lifetime across all threads.
+    ///
+    /// Hits are requests served from the cache under the shared read
+    /// lock; misses paid an artifact build (including `Auto`'s uncached
+    /// first-sight CDF builds); evictions count recipes dropped to hold
+    /// the capacity bound. Counters use relaxed atomics — the snapshot
+    /// is consistent-enough for monitoring, not a linearizable read.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -633,6 +834,7 @@ impl PreparedDataset {
 pub struct DataView<'a> {
     data: &'a ScoredDataset,
     prepared: Option<&'a PreparedDataset>,
+    probe: Option<&'a QueryProbe>,
 }
 
 impl<'a> DataView<'a> {
@@ -641,6 +843,7 @@ impl<'a> DataView<'a> {
         Self {
             data,
             prepared: None,
+            probe: None,
         }
     }
 
@@ -649,7 +852,16 @@ impl<'a> DataView<'a> {
         Self {
             data: prepared.data(),
             prepared: Some(prepared),
+            probe: None,
         }
+    }
+
+    /// Attaches a per-query [`QueryProbe`]: every artifact request made
+    /// through this view records a hit or miss on it. Cold views record
+    /// every request as a miss (each one pays a fresh build).
+    pub fn with_probe(mut self, probe: &'a QueryProbe) -> Self {
+        self.probe = Some(probe);
+        self
     }
 
     /// The dataset under view.
@@ -686,17 +898,24 @@ impl<'a> DataView<'a> {
         uniform_mix: f64,
         strategy: SamplerStrategy,
     ) -> Arc<WeightArtifacts> {
-        match self.prepared {
-            Some(p) => p.artifacts_with(exponent, uniform_mix, strategy),
-            None => Arc::new(match strategy {
-                SamplerStrategy::Alias => {
-                    WeightArtifacts::build(self.data.scores(), exponent, uniform_mix)
-                }
-                SamplerStrategy::Cdf | SamplerStrategy::Auto => {
-                    WeightArtifacts::build_cdf(self.data.scores(), exponent, uniform_mix)
-                }
-            }),
+        let (arts, hit) = match self.prepared {
+            Some(p) => p.artifacts_probed(exponent, uniform_mix, strategy),
+            None => (
+                Arc::new(match strategy {
+                    SamplerStrategy::Alias => {
+                        WeightArtifacts::build(self.data.scores(), exponent, uniform_mix)
+                    }
+                    SamplerStrategy::Cdf | SamplerStrategy::Auto => {
+                        WeightArtifacts::build_cdf(self.data.scores(), exponent, uniform_mix)
+                    }
+                }),
+                false,
+            ),
+        };
+        if let Some(probe) = self.probe {
+            probe.record(hit);
         }
+        arts
     }
 }
 
@@ -812,6 +1031,53 @@ mod tests {
         // Capacity clamps to ≥ 1.
         p.set_cache_capacity(0);
         assert_eq!(p.cache_capacity(), 1);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_misses_and_evictions() {
+        let p = PreparedDataset::new(dataset());
+        assert_eq!(p.cache_stats(), CacheStats::default());
+        let _a = p.artifacts(0.1, 0.0); // miss (build)
+        let _a2 = p.artifacts(0.1, 0.0); // hit
+        let _a3 = p.artifacts(0.1, 0.0); // hit
+        let _b = p.artifacts(0.2, 0.0); // miss
+        let stats = p.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 2, 0));
+        assert_eq!(stats.lookups(), 4);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+
+        // Shrinking capacity counts its evictions.
+        p.set_cache_capacity(1);
+        assert_eq!(p.cache_stats().evictions, 1);
+
+        // Auto: first sight is an uncached miss, the recurrence promotes
+        // (a miss that builds the cached alias table), then hits.
+        let _ = p.artifacts_with(0.3, 0.0, SamplerStrategy::Auto);
+        let before = p.cache_stats();
+        let _ = p.artifacts_with(0.3, 0.0, SamplerStrategy::Auto);
+        let _ = p.artifacts_with(0.3, 0.0, SamplerStrategy::Auto);
+        let after = p.cache_stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses + 1);
+    }
+
+    #[test]
+    fn query_probe_counts_view_requests() {
+        let data = dataset();
+        let p = PreparedDataset::new(data.clone());
+
+        let probe = QueryProbe::new();
+        let view = DataView::prepared(&p).with_probe(&probe);
+        let _ = view.artifacts(0.5, 0.1); // miss
+        let _ = view.artifacts(0.5, 0.1); // hit
+        assert_eq!((probe.cache_hits(), probe.cache_misses()), (1, 1));
+
+        // Cold views record every request as a miss.
+        let cold_probe = QueryProbe::new();
+        let cold = DataView::cold(&data).with_probe(&cold_probe);
+        let _ = cold.artifacts(0.5, 0.1);
+        let _ = cold.artifacts(0.5, 0.1);
+        assert_eq!((cold_probe.cache_hits(), cold_probe.cache_misses()), (0, 2));
     }
 
     #[test]

@@ -60,7 +60,7 @@ use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::executor::{ResultView, SelectionResult};
 use crate::oracle::{BatchOracle, CachedOracle, Oracle};
-use crate::prepared::{DataView, PreparedDataset, SamplerStrategy};
+use crate::prepared::{DataView, PreparedDataset, QueryProbe, SamplerStrategy};
 use crate::query::{ApproxQuery, JointQuery, TargetKind};
 use crate::runtime::RuntimeConfig;
 use crate::selectors::{
@@ -263,6 +263,16 @@ pub struct QueryOutcome<R = SelectionResult> {
     pub joint: bool,
     /// Wall-clock execution time (sampling + selection, excluding setup).
     pub elapsed: Duration,
+    /// Sampling-artifact requests this query served from a prepared
+    /// dataset's cache (0 for cold sessions — there is no cache to hit).
+    pub cache_hits: u64,
+    /// Sampling-artifact requests this query paid a fresh build for.
+    pub cache_misses: u64,
+    /// Wall-clock time of the sampling/estimation stage (for single-target
+    /// queries this equals `elapsed`).
+    pub stage_elapsed: Duration,
+    /// Wall-clock time of the JT exhaustive filter (zero for RT/PT).
+    pub filter_elapsed: Duration,
 }
 
 /// A [`QueryOutcome`] whose result is the borrowed, zero-copy
@@ -286,6 +296,10 @@ impl ViewOutcome<'_> {
             candidates: self.candidates,
             joint: self.joint,
             elapsed: self.elapsed,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            stage_elapsed: self.stage_elapsed,
+            filter_elapsed: self.filter_elapsed,
         }
     }
 }
@@ -546,32 +560,75 @@ impl<'a> SupgSession<'a> {
                     oracle,
                     rng,
                 )
+                .map(ViewOutcome::into_owned)
             }
         }
     }
 
-    /// Runs a single-target query and returns the zero-copy
+    /// Runs the query — RT, PT or JT — and returns the zero-copy
     /// [`ViewOutcome`]: the threshold set stays a borrowed rank-prefix
     /// slice over the session's dataset instead of an owned `Vec` — for a
     /// huge `τ`-set this skips the entire O(k) materialization until (and
     /// unless) the caller asks for it via
-    /// [`ViewOutcome::into_owned`]. Identical draws, `τ` and accounting
-    /// to [`run`](SupgSession::run) on the same seed.
+    /// [`ViewOutcome::into_owned`]. JT results come back as a *filtered*
+    /// view ([`ResultView::retain`]): the oracle-approved prefix members
+    /// are rank positions over the borrowed index, never an owned copy of
+    /// the record set. Identical draws, `τ` and accounting to
+    /// [`run`](SupgSession::run) on the same seed.
+    ///
+    /// Takes a [`SessionOracle`] (like [`run`](SupgSession::run)) because
+    /// the JT pipeline re-budgets the oracle between stages; single-target
+    /// streaming over a plain [`Oracle`] is available via
+    /// [`run_view_single_target`](SupgSession::run_view_single_target).
+    ///
+    /// # Errors
+    /// As [`run`](SupgSession::run).
+    pub fn run_view(&self, oracle: &mut dyn SessionOracle) -> Result<ViewOutcome<'_>, SupgError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        match self.plan()? {
+            Plan::Single(query) => self.exec_planned_view(&query, oracle, &mut rng),
+            Plan::Joint {
+                query,
+                stage_budget,
+            } => {
+                let kind = self.resolved_selector(TargetKind::Recall);
+                let selector = kind.build(TargetKind::Recall, self.config)?;
+                if let Some(runtime) = self.runtime {
+                    oracle.configure_runtime(runtime);
+                }
+                exec_joint(
+                    self.view(),
+                    &query,
+                    stage_budget,
+                    selector.as_ref(),
+                    oracle,
+                    &mut rng,
+                )
+            }
+        }
+    }
+
+    /// [`run_view`](SupgSession::run_view) for single-target (RT/PT)
+    /// queries against any plain [`Oracle`] implementation — the streaming
+    /// counterpart of [`run_single_target`](SupgSession::run_single_target).
     ///
     /// # Errors
     /// As [`run`](SupgSession::run); additionally a typed
-    /// [`SupgError::InvalidQuery`] for JT sessions — a JT result is the
-    /// oracle-filtered positive set, not a rank prefix, so there is
-    /// nothing for a view to borrow (use [`run`](SupgSession::run)).
-    pub fn run_view(&self, oracle: &mut dyn Oracle) -> Result<ViewOutcome<'_>, SupgError> {
+    /// [`SupgError::InvalidQuery`] when the session is in joint mode (JT
+    /// re-budgets the oracle between stages, which needs a
+    /// [`SessionOracle`] — use [`run_view`](SupgSession::run_view)).
+    pub fn run_view_single_target(
+        &self,
+        oracle: &mut dyn Oracle,
+    ) -> Result<ViewOutcome<'_>, SupgError> {
         match self.plan()? {
             Plan::Single(query) => {
                 let mut rng = StdRng::seed_from_u64(self.seed);
                 self.exec_planned_view(&query, oracle, &mut rng)
             }
             Plan::Joint { .. } => Err(SupgError::InvalidQuery(
-                "JT results are oracle-filtered positives, not a rank prefix; run JT \
-                 queries with run(..)"
+                "JT sessions re-budget the oracle between stages; use run_view(..) with a \
+                 SessionOracle (e.g. CachedOracle)"
                     .to_owned(),
             )),
         }
@@ -705,17 +762,18 @@ fn exec_single_view<'v>(
 ) -> Result<ViewOutcome<'v>, SupgError> {
     let start = Instant::now();
     let calls_before = oracle.calls_used();
-    let estimate = selector.estimate(view, query, oracle, rng)?;
+    // The rank index is borrowed *before* the probe shortens the view's
+    // lifetime — the returned result view must outlive the local probe.
+    let rank_index = view.rank_index();
+    let probe = QueryProbe::new();
+    let estimate = selector.estimate(view.with_probe(&probe), query, oracle, rng)?;
 
     // R = R2 ∪ R1 off the rank index, O(log n + |R1|) with no copy of
     // the prefix: the view borrows it from the index.
-    let result = ResultView::over(
-        view.rank_index(),
-        estimate.tau,
-        estimate.sample.positive_indices(),
-    );
+    let result = ResultView::over(rank_index, estimate.tau, estimate.sample.positive_indices());
 
     let stage_calls = oracle.calls_used() - calls_before;
+    let elapsed = start.elapsed();
     Ok(QueryOutcome {
         candidates: result.len(),
         result,
@@ -727,7 +785,11 @@ fn exec_single_view<'v>(
         sample_draws: estimate.sample.len(),
         sample_positives: estimate.sample.positive_count(),
         joint: false,
-        elapsed: start.elapsed(),
+        elapsed,
+        cache_hits: probe.cache_hits(),
+        cache_misses: probe.cache_misses(),
+        stage_elapsed: elapsed,
+        filter_elapsed: Duration::ZERO,
     })
 }
 
@@ -735,14 +797,14 @@ fn exec_single_view<'v>(
 /// budget, then exhaustive oracle filtering of the candidates (precision
 /// becomes 1 ≥ γ_p while recall is untouched — only negatives are
 /// removed).
-fn exec_joint(
-    view: DataView<'_>,
+fn exec_joint<'v>(
+    view: DataView<'v>,
     query: &JointQuery,
     stage_budget: usize,
     rt_selector: &dyn ThresholdSelector,
     oracle: &mut dyn SessionOracle,
     rng: &mut dyn RngCore,
-) -> Result<QueryOutcome, SupgError> {
+) -> Result<ViewOutcome<'v>, SupgError> {
     let rt_query = ApproxQuery::new(
         TargetKind::Recall,
         query.recall_gamma(),
@@ -758,13 +820,13 @@ fn exec_joint(
     result
 }
 
-fn exec_joint_stages(
-    view: DataView<'_>,
+fn exec_joint_stages<'v>(
+    view: DataView<'v>,
     rt_query: &ApproxQuery,
     rt_selector: &dyn ThresholdSelector,
     oracle: &mut dyn SessionOracle,
     rng: &mut dyn RngCore,
-) -> Result<QueryOutcome, SupgError> {
+) -> Result<ViewOutcome<'v>, SupgError> {
     let start = Instant::now();
     let calls_before = oracle.calls_used();
     // Grant the RT stage exactly its stage budget in fresh calls even when
@@ -772,29 +834,30 @@ fn exec_joint_stages(
     oracle.set_budget(calls_before.saturating_add(rt_query.budget()));
     let stage = exec_single_view(view, rt_query, rt_selector, oracle, rng)?;
     let stage_calls = oracle.calls_used() - calls_before;
+    let stage_elapsed = stage.elapsed;
 
     // The candidate set is already a rank-range (the stage result is the
     // τ rank-prefix plus its labeled positives), and the stage returned a
-    // borrowed view over it, so enumeration is the *only* copy — the
-    // stage set is never materialized on its own. Already-labeled records
-    // are cache hits and cost nothing extra; the filter is one batched
-    // request, so a parallel oracle labels the candidate set on its
-    // worker pool.
+    // borrowed view over it, so enumeration for the label batch is the
+    // *only* copy — and it is dropped again right here; the surviving
+    // record set is never materialized at all
+    // ([`ResultView::retain`] keeps rank positions over the borrowed
+    // index). Already-labeled records are cache hits and cost nothing
+    // extra; the filter is one batched request, so a parallel oracle
+    // labels the candidate set on its worker pool.
+    let filter_start = Instant::now();
     oracle.set_budget(usize::MAX);
     let candidates: Vec<usize> = stage.result.iter().collect();
     let labels = oracle.label_batch(&candidates)?;
+    drop(candidates);
     // Keeping a subsequence of the duplicate-free ranked candidates
     // preserves both properties — no sort/dedup pass here either.
-    let kept: Vec<usize> = candidates
-        .iter()
-        .zip(&labels)
-        .filter(|&(_, &positive)| positive)
-        .map(|(&idx, _)| idx)
-        .collect();
+    let result = stage.result.retain(&labels);
     let filter_calls = oracle.calls_used() - calls_before - stage_calls;
+    let filter_elapsed = filter_start.elapsed();
 
     Ok(QueryOutcome {
-        result: SelectionResult::from_ranked(kept),
+        result,
         tau: stage.tau,
         selector: stage.selector,
         oracle_calls: stage_calls + filter_calls,
@@ -802,9 +865,13 @@ fn exec_joint_stages(
         filter_calls,
         sample_draws: stage.sample_draws,
         sample_positives: stage.sample_positives,
-        candidates: stage.result.len(),
+        candidates: stage.candidates,
         joint: true,
         elapsed: start.elapsed(),
+        cache_hits: stage.cache_hits,
+        cache_misses: stage.cache_misses,
+        stage_elapsed,
+        filter_elapsed,
     })
 }
 

@@ -448,15 +448,43 @@ fn run_view_reproduces_run_bit_for_bit() {
 }
 
 #[test]
-fn run_view_rejects_joint_sessions_and_shared_sessions_stream() {
+fn run_view_streams_joint_sessions_and_shared_sessions() {
     let (data, labels) = rare(8_000, 76);
-    let mut oracle = CachedOracle::from_labels(labels.clone(), 300);
-    let err = SupgSession::over(&data)
+    let session = SupgSession::over(&data)
         .recall(0.8)
         .precision(0.9)
         .joint(300)
-        .run_view(&mut oracle)
-        .unwrap_err();
+        .seed(77);
+
+    // JT streams now: the filtered view reproduces run(..) bit for bit —
+    // surviving prefix members are rank positions over the borrowed
+    // index, never an owned copy of the record set.
+    let mut o1 = CachedOracle::from_labels(labels.clone(), 300);
+    let owned = session.clone().run(&mut o1).unwrap();
+    let mut o2 = CachedOracle::from_labels(labels.clone(), 300);
+    let streamed = session.run_view(&mut o2).unwrap();
+    assert!(streamed.joint);
+    assert!(streamed.result.is_filtered());
+    assert_eq!(streamed.tau.to_bits(), owned.tau.to_bits());
+    assert_eq!(streamed.candidates, owned.candidates);
+    assert_eq!(streamed.oracle_calls, owned.oracle_calls);
+    assert_eq!(streamed.stage_calls, owned.stage_calls);
+    assert_eq!(streamed.filter_calls, owned.filter_calls);
+    let from_view: Vec<usize> = streamed.result.iter().collect();
+    assert_eq!(from_view.as_slice(), owned.result.indices());
+    for probe in 0..labels.len().min(64) {
+        assert_eq!(
+            streamed.result.contains(probe),
+            owned.result.contains(probe),
+            "membership mismatch at {probe}"
+        );
+    }
+    assert_eq!(streamed.into_owned().result, owned.result);
+
+    // The plain-Oracle streaming entry point rejects JT (it cannot
+    // re-budget the oracle between stages).
+    let mut oracle = CachedOracle::from_labels(labels.clone(), 300);
+    let err = session.run_view_single_target(&mut oracle).unwrap_err();
     assert!(matches!(err, supg_core::SupgError::InvalidQuery(_)));
 
     // A session owning a shared prepared handle can stream too (the view

@@ -178,6 +178,19 @@ impl Table {
         v
     }
 
+    /// Every registered proxy as a `(name, shared prepared handle)` pair,
+    /// sorted by name — what a serving pool adopts to share this table's
+    /// artifact caches with sessions outside the engine.
+    pub fn prepared_proxies(&self) -> Vec<(&str, Arc<PreparedDataset>)> {
+        let mut v: Vec<(&str, Arc<PreparedDataset>)> = self
+            .proxies
+            .iter()
+            .map(|(name, p)| (name.as_str(), Arc::clone(p)))
+            .collect();
+        v.sort_unstable_by_key(|(name, _)| *name);
+        v
+    }
+
     /// Registered oracle names (sorted, for diagnostics).
     pub fn oracle_names(&self) -> Vec<&str> {
         let mut v: Vec<&str> = self.oracles.keys().map(String::as_str).collect();
@@ -223,6 +236,24 @@ impl Catalog {
         v.sort_unstable();
         v
     }
+
+    /// Every registered proxy across every table as
+    /// `(table, proxy, shared prepared handle)` triples, sorted — the
+    /// enumeration a serving pool walks to adopt the engine's prepared
+    /// datasets (and with them its artifact caches) wholesale.
+    pub fn prepared_proxies(&self) -> Vec<(&str, &str, Arc<PreparedDataset>)> {
+        let mut v: Vec<(&str, &str, Arc<PreparedDataset>)> = self
+            .tables
+            .iter()
+            .flat_map(|(table, t)| {
+                t.prepared_proxies()
+                    .into_iter()
+                    .map(move |(proxy, p)| (table.as_str(), proxy, p))
+            })
+            .collect();
+        v.sort_unstable_by_key(|&(table, proxy, _)| (table, proxy));
+        v
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +285,25 @@ mod tests {
         let mut t = Table::new("video", 4);
         let err = t.register_proxy("score", vec![0.1]).unwrap_err();
         assert!(matches!(err, QueryError::Semantic(_)));
+    }
+
+    #[test]
+    fn prepared_proxies_enumerate_shared_handles() {
+        let mut a = Table::new("a", 3);
+        a.register_proxy("p2", vec![0.1, 0.2, 0.3]).unwrap();
+        a.register_proxy("p1", vec![0.3, 0.2, 0.1]).unwrap();
+        let mut b = Table::new("b", 2);
+        b.register_proxy("q", vec![0.5, 0.6]).unwrap();
+        let mut c = Catalog::new();
+        c.add_table(a);
+        c.add_table(b);
+
+        let all = c.prepared_proxies();
+        let names: Vec<(&str, &str)> = all.iter().map(|&(t, p, _)| (t, p)).collect();
+        assert_eq!(names, vec![("a", "p1"), ("a", "p2"), ("b", "q")]);
+        // The handles alias the catalog's own prepared datasets.
+        let direct = c.table("a").unwrap().prepared_proxy("p1").unwrap();
+        assert!(Arc::ptr_eq(&all[0].2, &direct));
     }
 
     #[test]

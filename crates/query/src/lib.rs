@@ -32,6 +32,7 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{SupgStatement, TargetClause};
+pub use catalog::{Catalog, OracleUdf, Table};
 pub use engine::{Engine, EngineConfig, QueryReport};
 pub use error::QueryError;
 pub use parser::parse;

@@ -49,6 +49,14 @@ pub trait WeightedSampler: std::fmt::Debug + Send + Sync {
     }
 }
 
+// The serving layer shares erased samplers across client threads inside
+// `Arc`ed artifact caches; keep the trait object itself shareable so a
+// backend can never silently drop that property.
+const _: fn() = || {
+    fn assert_shareable<T: Send + Sync + ?Sized>() {}
+    assert_shareable::<dyn WeightedSampler>();
+};
+
 impl WeightedSampler for AliasTable {
     fn len(&self) -> usize {
         AliasTable::len(self)

@@ -1,0 +1,108 @@
+//! Typed serving failures.
+//!
+//! Admission decisions are errors the *caller* is expected to handle —
+//! a shed query is not a bug, it is the server protecting its oracle
+//! budget and its latency under load — so every rejection carries enough
+//! context to decide whether to retry, back off, or top a tenant up.
+
+use supg_core::SupgError;
+
+/// Everything that can go wrong between a query arriving and a
+/// [`QueryOutcome`](supg_core::QueryOutcome) leaving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The tenant's oracle-call budget cannot cover the query's declared
+    /// cost. The query was shed *before* consuming any oracle calls.
+    BudgetExhausted {
+        /// Tenant that issued the query.
+        tenant: String,
+        /// Oracle calls the query declared it may consume.
+        requested: usize,
+        /// Calls remaining in the tenant's budget.
+        remaining: usize,
+    },
+    /// The server is at its bounded in-flight-query limit; the query was
+    /// shed without touching any tenant budget.
+    Overloaded {
+        /// Queries currently executing.
+        in_flight: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// No tenant registered under this name.
+    UnknownTenant(String),
+    /// No prepared dataset registered in the pool under this name.
+    UnknownDataset(String),
+    /// The underlying SUPG pipeline failed (validation or oracle error).
+    Query(SupgError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BudgetExhausted {
+                tenant,
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "tenant {tenant:?} budget exhausted: query declared {requested} oracle \
+                 calls, {remaining} remaining"
+            ),
+            ServeError::Overloaded { in_flight, limit } => {
+                write!(
+                    f,
+                    "server overloaded: {in_flight} queries in flight (limit {limit})"
+                )
+            }
+            ServeError::UnknownTenant(name) => write!(f, "unknown tenant {name:?}"),
+            ServeError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SupgError> for ServeError {
+    fn from(e: SupgError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = ServeError::BudgetExhausted {
+            tenant: "acme".into(),
+            requested: 500,
+            remaining: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("acme") && s.contains("500") && s.contains("100"));
+        assert!(ServeError::Overloaded {
+            in_flight: 8,
+            limit: 8
+        }
+        .to_string()
+        .contains("limit 8"));
+    }
+
+    #[test]
+    fn query_errors_chain_their_source() {
+        use std::error::Error;
+        let e = ServeError::from(SupgError::MissingTarget);
+        assert!(e.source().is_some());
+        assert!(ServeError::UnknownTenant("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,397 @@
+//! The server: admission control in front of the pool and the tenants.
+//!
+//! [`SupgServer::serve`] is the one entry point a serving deployment
+//! drives. Per query it (1) takes an in-flight slot — or sheds with
+//! [`ServeError::Overloaded`] when the bounded limit is reached, before
+//! touching any budget; (2) reserves the query's declared oracle cost
+//! from the tenant's budget — or sheds with
+//! [`ServeError::BudgetExhausted`]; (3) runs the query over the pooled
+//! `Arc<PreparedDataset>`; and (4) settles the reservation against the
+//! calls actually consumed and folds the outcome into the tenant's
+//! aggregates. The slot is held by a drop guard, so shedding and error
+//! paths can never leak it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use supg_core::selectors::SelectorConfig;
+use supg_core::session::DEFAULT_SEED;
+use supg_core::{QueryOutcome, SelectorKind, SessionOracle, SupgSession};
+
+use crate::error::ServeError;
+use crate::pool::SessionPool;
+use crate::tenant::TenantRegistry;
+
+/// What a query asks for: one of the paper's three target kinds with its
+/// `γ` value(s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryTarget {
+    /// Recall-target (RT): recall ≥ `γ` with probability ≥ 1 − δ.
+    Recall(f64),
+    /// Precision-target (PT): precision ≥ `γ` with probability ≥ 1 − δ.
+    Precision(f64),
+    /// Joint-target (JT): both, via the appendix-A two-stage pipeline.
+    Joint {
+        /// The recall target `γ_r`.
+        recall: f64,
+        /// The precision target `γ_p`.
+        precision: f64,
+    },
+}
+
+/// A serving-layer query specification: everything
+/// [`SupgServer::serve`] needs to configure a [`SupgSession`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    /// The target kind and `γ` value(s).
+    pub target: QueryTarget,
+    /// Failure probability `δ` (default 0.05).
+    pub delta: f64,
+    /// Oracle budget: the total budget of an RT/PT query, the recall
+    /// *stage* budget of a JT query (whose filter stage is unbudgeted by
+    /// design — its overdraft is settled against the tenant's budget
+    /// after the fact).
+    pub budget: usize,
+    /// Explicit algorithm family, or `None` for the paper's SUPG default.
+    pub selector: Option<SelectorKind>,
+    /// Selector tuning knobs (CI method, weights, sampler strategy, …).
+    pub config: SelectorConfig,
+    /// RNG seed — fixed per spec so a replay reproduces the outcome
+    /// bit for bit.
+    pub seed: u64,
+}
+
+impl QuerySpec {
+    /// An RT query at the paper defaults (`δ = 0.05`, SUPG selector).
+    pub fn recall(gamma: f64, budget: usize) -> Self {
+        Self::new(QueryTarget::Recall(gamma), budget)
+    }
+
+    /// A PT query at the paper defaults.
+    pub fn precision(gamma: f64, budget: usize) -> Self {
+        Self::new(QueryTarget::Precision(gamma), budget)
+    }
+
+    /// A JT query at the paper defaults; `stage_budget` bounds the recall
+    /// stage.
+    pub fn joint(recall: f64, precision: f64, stage_budget: usize) -> Self {
+        Self::new(QueryTarget::Joint { recall, precision }, stage_budget)
+    }
+
+    fn new(target: QueryTarget, budget: usize) -> Self {
+        Self {
+            target,
+            delta: 0.05,
+            budget,
+            selector: None,
+            config: SelectorConfig::default(),
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Spec with a different failure probability `δ`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Spec with an explicit algorithm family.
+    pub fn with_selector(mut self, selector: SelectorKind) -> Self {
+        self.selector = Some(selector);
+        self
+    }
+
+    /// Spec with different selector tuning knobs.
+    pub fn with_config(mut self, config: SelectorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Spec with a different RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The oracle calls this query declares it may consume — what
+    /// admission control reserves up front. (A JT query may exceed this
+    /// in its unbudgeted filter stage; the overdraft is settled
+    /// afterwards.)
+    pub fn declared_calls(&self) -> usize {
+        self.budget
+    }
+
+    /// Builds the configured session over a pooled dataset handle.
+    fn session(&self, dataset: Arc<supg_core::PreparedDataset>) -> SupgSession<'static> {
+        let session = SupgSession::over_shared(dataset)
+            .delta(self.delta)
+            .selector_config(self.config)
+            .seed(self.seed);
+        let session = match self.selector {
+            Some(kind) => session.selector(kind),
+            None => session,
+        };
+        match self.target {
+            QueryTarget::Recall(gamma) => session.recall(gamma).budget(self.budget),
+            QueryTarget::Precision(gamma) => session.precision(gamma).budget(self.budget),
+            QueryTarget::Joint { recall, precision } => session
+                .recall(recall)
+                .precision(precision)
+                .joint(self.budget),
+        }
+    }
+}
+
+/// Server tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bounded in-flight-query limit (clamped to ≥ 1): queries beyond it
+    /// are shed with [`ServeError::Overloaded`] instead of queueing — the
+    /// graceful-degradation contract of a saturated server.
+    pub max_in_flight: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { max_in_flight: 64 }
+    }
+}
+
+/// The multi-tenant SUPG query server: a [`SessionPool`], a
+/// [`TenantRegistry`] and a bounded in-flight counter. `Send + Sync` —
+/// share it behind an `Arc` and call [`serve`](SupgServer::serve) from
+/// any number of client threads (each with its own oracle).
+#[derive(Debug, Default)]
+pub struct SupgServer {
+    pool: SessionPool,
+    tenants: TenantRegistry,
+    in_flight: AtomicUsize,
+    config: ServerConfig,
+}
+
+/// Releases the in-flight slot on every exit path.
+struct InFlightSlot<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl SupgServer {
+    /// A server with the given tuning and empty pool/registry.
+    pub fn new(config: ServerConfig) -> Self {
+        Self {
+            pool: SessionPool::new(),
+            tenants: TenantRegistry::new(),
+            in_flight: AtomicUsize::new(0),
+            config,
+        }
+    }
+
+    /// The dataset pool (register/warm datasets through this).
+    pub fn pool(&self) -> &SessionPool {
+        &self.pool
+    }
+
+    /// The tenant registry (register/top-up tenants through this).
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.tenants
+    }
+
+    /// Queries currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// The server tuning.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// Admits and runs one query for `tenant` over the pooled dataset
+    /// `dataset`, against the caller's oracle. See the [module
+    /// docs](self) for the admission pipeline. The returned outcome is
+    /// bit-identical to running the same spec through a [`SupgSession`]
+    /// directly — serving adds accounting, never different answers.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] / [`ServeError::BudgetExhausted`] when
+    /// the query is shed (nothing was executed),
+    /// [`ServeError::UnknownTenant`] / [`ServeError::UnknownDataset`] for
+    /// lookup failures, and [`ServeError::Query`] when the SUPG pipeline
+    /// itself fails (the reservation is released).
+    pub fn serve(
+        &self,
+        tenant: &str,
+        dataset: &str,
+        spec: &QuerySpec,
+        oracle: &mut dyn SessionOracle,
+    ) -> Result<QueryOutcome, ServeError> {
+        let tenant = self.tenants.get(tenant)?;
+
+        // Take an in-flight slot first: a saturated server sheds *before*
+        // touching budgets, so shed queries are free for the tenant.
+        let limit = self.config.max_in_flight.max(1);
+        let admitted = self
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < limit).then_some(n + 1)
+            });
+        if admitted.is_err() {
+            tenant.record_overload_shed();
+            return Err(ServeError::Overloaded {
+                in_flight: limit,
+                limit,
+            });
+        }
+        let _slot = InFlightSlot(&self.in_flight);
+
+        let declared = spec.declared_calls();
+        tenant.try_reserve(declared)?;
+
+        let prepared = match self.pool.get(dataset) {
+            Ok(p) => p,
+            Err(e) => {
+                tenant.release(declared);
+                return Err(e);
+            }
+        };
+
+        match spec.session(prepared).run(oracle) {
+            Ok(outcome) => {
+                tenant.settle(declared, outcome.oracle_calls);
+                tenant.record(&outcome);
+                Ok(outcome)
+            }
+            Err(e) => {
+                // Validation failures consumed nothing; oracle failures
+                // may have, but the failed query's partial consumption is
+                // not billed — the reservation comes back whole.
+                tenant.release(declared);
+                Err(ServeError::Query(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supg_core::{CachedOracle, Oracle};
+
+    fn server_with(n: usize, budget: usize, max_in_flight: usize) -> (SupgServer, Vec<bool>) {
+        let scores: Vec<f64> = (0..n).map(|i| (i % 1000) as f64 / 1000.0).collect();
+        let labels: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
+        let server = SupgServer::new(ServerConfig { max_in_flight });
+        server.pool().register_scores("videos", scores).unwrap();
+        server.tenants().register("acme", budget);
+        (server, labels)
+    }
+
+    #[test]
+    fn serve_runs_and_bills_the_tenant() {
+        let (server, labels) = server_with(20_000, 2_500, 4);
+        let mut oracle = CachedOracle::from_labels(labels, 1_000);
+        let spec = QuerySpec::recall(0.9, 1_000).with_seed(7);
+        let outcome = server.serve("acme", "videos", &spec, &mut oracle).unwrap();
+        assert!(!outcome.result.is_empty());
+        assert!(outcome.oracle_calls <= 1_000);
+
+        let t = server.tenants().get("acme").unwrap();
+        let stats = t.stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.oracle_calls, outcome.oracle_calls as u64);
+        // Billed actual consumption, not the declared budget.
+        assert_eq!(
+            t.remaining_budget(),
+            2_500 - outcome.oracle_calls,
+            "unused reservation must be refunded"
+        );
+        assert_eq!(server.in_flight(), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_sheds_before_execution() {
+        let (server, labels) = server_with(10_000, 700, 4);
+        let spec = QuerySpec::recall(0.9, 500);
+        let mut oracle = CachedOracle::from_labels(labels, 500);
+        server.serve("acme", "videos", &spec, &mut oracle).unwrap();
+
+        // Remaining budget cannot cover a second 500-call declaration.
+        let mut oracle2 = CachedOracle::from_labels(vec![false; 10_000], 500);
+        let err = server
+            .serve("acme", "videos", &spec, &mut oracle2)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::BudgetExhausted { requested: 500, .. }
+        ));
+        // The shed query never called the oracle.
+        assert_eq!(oracle2.calls_used(), 0);
+        assert_eq!(server.tenants().get("acme").unwrap().stats().shed_budget, 1);
+
+        // Topping up restores service.
+        server.tenants().get("acme").unwrap().add_budget(1_000);
+        assert!(server.serve("acme", "videos", &spec, &mut oracle2).is_ok());
+    }
+
+    #[test]
+    fn unknown_names_are_typed_and_free() {
+        let (server, labels) = server_with(5_000, 1_000, 4);
+        let spec = QuerySpec::recall(0.9, 300);
+        let mut oracle = CachedOracle::from_labels(labels, 300);
+        assert!(matches!(
+            server.serve("ghost", "videos", &spec, &mut oracle),
+            Err(ServeError::UnknownTenant(_))
+        ));
+        let err = server
+            .serve("acme", "missing", &spec, &mut oracle)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownDataset(_)));
+        // The failed dataset lookup released the reservation in full.
+        assert_eq!(
+            server.tenants().get("acme").unwrap().remaining_budget(),
+            1_000
+        );
+    }
+
+    #[test]
+    fn invalid_queries_release_the_reservation() {
+        let (server, labels) = server_with(5_000, 1_000, 4);
+        // γ out of range ⇒ the session's validation rejects it.
+        let spec = QuerySpec::recall(1.5, 300);
+        let mut oracle = CachedOracle::from_labels(labels, 300);
+        let err = server
+            .serve("acme", "videos", &spec, &mut oracle)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Query(_)));
+        assert_eq!(
+            server.tenants().get("acme").unwrap().remaining_budget(),
+            1_000
+        );
+        assert_eq!(server.in_flight(), 0);
+    }
+
+    #[test]
+    fn all_three_query_kinds_serve_through_the_pool() {
+        let (server, labels) = server_with(20_000, 100_000, 4);
+        for spec in [
+            QuerySpec::recall(0.9, 800),
+            QuerySpec::precision(0.9, 800),
+            QuerySpec::joint(0.8, 0.9, 800),
+        ] {
+            let mut oracle = CachedOracle::from_labels(labels.clone(), 800);
+            let outcome = server.serve("acme", "videos", &spec, &mut oracle).unwrap();
+            assert_eq!(
+                matches!(spec.target, QueryTarget::Joint { .. }),
+                outcome.joint
+            );
+        }
+        let handle = server.pool().get("videos").unwrap();
+        // All kinds shared one prepared dataset: the importance recipes
+        // hit one cache.
+        assert!(handle.cache_stats().lookups() > 0);
+        assert_eq!(server.tenants().get("acme").unwrap().stats().queries, 3);
+    }
+}

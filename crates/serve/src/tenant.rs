@@ -1,0 +1,330 @@
+//! Per-tenant oracle-budget accounting and observability.
+//!
+//! The oracle is the expensive resource in a SUPG deployment — every call
+//! is a GPU inference or a human label — so the serving layer meters it
+//! *per tenant*. A tenant reserves its query's declared cost up front with
+//! one lock-free CAS ([`TenantState::try_reserve`]); if the budget cannot
+//! cover it the query is shed before consuming anything. After the query
+//! runs, the reservation is settled against the calls actually consumed
+//! ([`TenantState::settle`]), refunding the unused remainder.
+//!
+//! All counters are relaxed atomics: cheap enough for the hot path,
+//! consistent enough for monitoring.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use supg_core::QueryOutcome;
+
+use crate::error::ServeError;
+
+/// One tenant's budget meter and aggregated query statistics.
+///
+/// Shared as `Arc<TenantState>`; every method takes `&self` and is safe
+/// to call from any number of threads.
+#[derive(Debug)]
+pub struct TenantState {
+    name: String,
+    /// Oracle calls the tenant may still spend.
+    budget: AtomicUsize,
+    queries: AtomicU64,
+    oracle_calls: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    shed_budget: AtomicU64,
+    shed_overload: AtomicU64,
+    stage_ns: AtomicU64,
+    filter_ns: AtomicU64,
+    elapsed_ns: AtomicU64,
+}
+
+impl TenantState {
+    fn new(name: String, budget: usize) -> Self {
+        Self {
+            name,
+            budget: AtomicUsize::new(budget),
+            queries: AtomicU64::new(0),
+            oracle_calls: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            shed_budget: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            stage_ns: AtomicU64::new(0),
+            filter_ns: AtomicU64::new(0),
+            elapsed_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Oracle calls remaining in the budget.
+    pub fn remaining_budget(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Adds `calls` to the tenant's budget (a top-up), returning the new
+    /// remaining total.
+    pub fn add_budget(&self, calls: usize) -> usize {
+        self.budget.fetch_add(calls, Ordering::Relaxed) + calls
+    }
+
+    /// Reserves `declared` oracle calls from the budget — one CAS loop,
+    /// no lock. On success the calls are *held*; settle the reservation
+    /// with [`settle`](TenantState::settle) after the query finishes (or
+    /// [`release`](TenantState::release) if it never ran).
+    ///
+    /// # Errors
+    /// [`ServeError::BudgetExhausted`] (and a shed-counter increment)
+    /// when fewer than `declared` calls remain. Nothing is deducted.
+    pub fn try_reserve(&self, declared: usize) -> Result<(), ServeError> {
+        let mut current = self.budget.load(Ordering::Relaxed);
+        loop {
+            if current < declared {
+                self.shed_budget.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::BudgetExhausted {
+                    tenant: self.name.clone(),
+                    requested: declared,
+                    remaining: current,
+                });
+            }
+            match self.budget.compare_exchange_weak(
+                current,
+                current - declared,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Settles a reservation against the calls actually consumed:
+    /// refunds `declared - actual` when the query under-spent, deducts
+    /// the (saturating) difference when it over-spent — a JT query's
+    /// exhaustive filter stage is unbudgeted by design (appendix A), so
+    /// its overdraft lands here and pushes the tenant toward exhaustion
+    /// for *subsequent* queries rather than failing the running one.
+    pub fn release(&self, declared: usize) {
+        self.budget.fetch_add(declared, Ordering::Relaxed);
+    }
+
+    /// See [`release`](TenantState::release) — settle after a completed
+    /// query, release after one that never consumed oracle calls.
+    pub fn settle(&self, declared: usize, actual: usize) {
+        if actual <= declared {
+            self.budget.fetch_add(declared - actual, Ordering::Relaxed);
+        } else {
+            let overdraft = actual - declared;
+            let mut current = self.budget.load(Ordering::Relaxed);
+            loop {
+                let next = current.saturating_sub(overdraft);
+                match self.budget.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(actual_now) => current = actual_now,
+                }
+            }
+        }
+    }
+
+    /// Folds one finished query's accounting into the tenant aggregates.
+    pub fn record<R>(&self, outcome: &QueryOutcome<R>) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.oracle_calls
+            .fetch_add(outcome.oracle_calls as u64, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(outcome.cache_hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(outcome.cache_misses, Ordering::Relaxed);
+        self.stage_ns
+            .fetch_add(outcome.stage_elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.filter_ns
+            .fetch_add(outcome.filter_elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.elapsed_ns
+            .fetch_add(outcome.elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records a query shed at the in-flight limit (the server calls
+    /// this; budget sheds count themselves in
+    /// [`try_reserve`](TenantState::try_reserve)).
+    pub(crate) fn record_overload_shed(&self) {
+        self.shed_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of the tenant's aggregates.
+    pub fn stats(&self) -> TenantStats {
+        TenantStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            oracle_calls: self.oracle_calls.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            shed_budget: self.shed_budget.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            stage_time: Duration::from_nanos(self.stage_ns.load(Ordering::Relaxed)),
+            filter_time: Duration::from_nanos(self.filter_ns.load(Ordering::Relaxed)),
+            elapsed: Duration::from_nanos(self.elapsed_ns.load(Ordering::Relaxed)),
+            remaining_budget: self.budget.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of one tenant's aggregated serving statistics
+/// ([`TenantState::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Queries completed for this tenant.
+    pub queries: u64,
+    /// Oracle calls those queries consumed.
+    pub oracle_calls: u64,
+    /// Sampling-artifact requests served from prepared caches.
+    pub cache_hits: u64,
+    /// Sampling-artifact requests that paid a fresh build.
+    pub cache_misses: u64,
+    /// Queries shed because the budget could not cover their declared
+    /// cost.
+    pub shed_budget: u64,
+    /// Queries shed at the server's in-flight limit.
+    pub shed_overload: u64,
+    /// Summed sampling/estimation-stage wall-clock time.
+    pub stage_time: Duration,
+    /// Summed JT exhaustive-filter wall-clock time.
+    pub filter_time: Duration,
+    /// Summed end-to-end query wall-clock time.
+    pub elapsed: Duration,
+    /// Oracle calls remaining in the budget at snapshot time.
+    pub remaining_budget: usize,
+}
+
+/// The registry of tenants a server admits queries for.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    tenants: RwLock<HashMap<String, Arc<TenantState>>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tenant with an initial oracle-call budget, returning
+    /// its shared state handle. Re-registering a name replaces the old
+    /// tenant (fresh budget, zeroed stats).
+    pub fn register(&self, name: impl Into<String>, budget: usize) -> Arc<TenantState> {
+        let name = name.into();
+        let state = Arc::new(TenantState::new(name.clone(), budget));
+        self.tenants
+            .write()
+            .expect("tenant registry poisoned")
+            .insert(name, Arc::clone(&state));
+        state
+    }
+
+    /// Looks a tenant up by name.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownTenant`] when no tenant is registered under
+    /// `name`.
+    pub fn get(&self, name: &str) -> Result<Arc<TenantState>, ServeError> {
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTenant(name.to_owned()))
+    }
+
+    /// Registered tenant names (sorted).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_settle_and_topup_track_the_budget() {
+        let registry = TenantRegistry::new();
+        let t = registry.register("acme", 100);
+        assert_eq!(t.remaining_budget(), 100);
+
+        // Reserve holds the declared calls; settle refunds the unused.
+        t.try_reserve(60).unwrap();
+        assert_eq!(t.remaining_budget(), 40);
+        t.settle(60, 45);
+        assert_eq!(t.remaining_budget(), 55);
+
+        // Over-spend (a JT filter) deducts the overdraft, saturating.
+        t.try_reserve(50).unwrap();
+        t.settle(50, 120);
+        assert_eq!(t.remaining_budget(), 0);
+
+        // Exhausted: the next reservation sheds and counts itself.
+        let err = t.try_reserve(1).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::BudgetExhausted { remaining: 0, .. }
+        ));
+        assert_eq!(t.stats().shed_budget, 1);
+
+        // A top-up restores service.
+        t.add_budget(10);
+        t.try_reserve(10).unwrap();
+        t.release(10);
+        assert_eq!(t.remaining_budget(), 10);
+    }
+
+    #[test]
+    fn registry_isolates_tenants() {
+        let registry = TenantRegistry::new();
+        let a = registry.register("a", 50);
+        let b = registry.register("b", 50);
+        a.try_reserve(50).unwrap();
+        // Draining tenant a leaves tenant b untouched.
+        assert!(a.try_reserve(1).is_err());
+        assert!(b.try_reserve(50).is_ok());
+        assert!(registry.get("c").is_err());
+        assert_eq!(registry.names(), vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(registry.get("a").unwrap().name(), "a");
+    }
+
+    #[test]
+    fn concurrent_reservations_never_oversell() {
+        let registry = TenantRegistry::new();
+        let t = registry.register("acme", 1_000);
+        let granted: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let t = Arc::clone(&t);
+                    s.spawn(move || (0..1_000).filter(|_| t.try_reserve(1).is_ok()).count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(granted, 1_000, "exactly the budget, no oversell");
+        assert_eq!(t.remaining_budget(), 0);
+        assert_eq!(t.stats().shed_budget, 8 * 1_000 - 1_000);
+    }
+}

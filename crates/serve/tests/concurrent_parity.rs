@@ -1,0 +1,283 @@
+//! Concurrent-serving correctness: N clients × M recipes must produce
+//! outcomes bit-identical to the single-threaded path, and admission
+//! control must shed gracefully under load.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Barrier};
+use std::time::Duration;
+
+use supg_core::selectors::SelectorConfig;
+use supg_core::session::SessionOracle;
+use supg_core::{CachedOracle, Oracle, SamplerStrategy, SupgError};
+use supg_serve::{QuerySpec, ServeError, ServerConfig, SupgServer};
+
+fn workload(n: usize) -> (Vec<f64>, Vec<bool>) {
+    let scores: Vec<f64> = (0..n).map(|i| ((i * 37) % 1000) as f64 / 1000.0).collect();
+    let labels: Vec<bool> = scores.iter().map(|&s| s > 0.75).collect();
+    (scores, labels)
+}
+
+/// The M recipes of the stress matrix: every query kind, two selector
+/// configurations, distinct seeds. All use the cached Alias strategy so
+/// concurrent and single-threaded paths draw through identical samplers.
+fn recipes() -> Vec<QuerySpec> {
+    let alias = SelectorConfig::default().with_sampler(SamplerStrategy::Alias);
+    vec![
+        QuerySpec::recall(0.9, 400).with_seed(11).with_config(alias),
+        QuerySpec::recall(0.8, 300).with_seed(12).with_config(alias),
+        QuerySpec::precision(0.9, 400)
+            .with_seed(13)
+            .with_config(alias),
+        QuerySpec::joint(0.8, 0.9, 300)
+            .with_seed(14)
+            .with_config(alias),
+        QuerySpec::recall(0.85, 350)
+            .with_seed(15)
+            .with_config(alias.with_mix(0.2)),
+    ]
+}
+
+#[test]
+fn n_clients_times_m_recipes_match_single_threaded_bit_for_bit() {
+    const CLIENTS: usize = 4;
+    let (scores, labels) = workload(20_000);
+
+    // Reference: every recipe run alone, single-threaded, over its own
+    // fresh prepared dataset.
+    let reference: Vec<_> = {
+        let server = SupgServer::new(ServerConfig::default());
+        server
+            .pool()
+            .register_scores("corpus", scores.clone())
+            .unwrap();
+        server.tenants().register("ref", usize::MAX / 2);
+        recipes()
+            .iter()
+            .map(|spec| {
+                let mut oracle = CachedOracle::from_labels(labels.clone(), spec.budget);
+                server.serve("ref", "corpus", spec, &mut oracle).unwrap()
+            })
+            .collect()
+    };
+
+    // Stress: CLIENTS threads all hammering every recipe over one shared
+    // server, starting together.
+    let server = Arc::new(SupgServer::new(ServerConfig {
+        max_in_flight: CLIENTS * 2,
+    }));
+    server.pool().register_scores("corpus", scores).unwrap();
+    for c in 0..CLIENTS {
+        server
+            .tenants()
+            .register(format!("client-{c}"), usize::MAX / 2);
+    }
+    let start = Arc::new(Barrier::new(CLIENTS));
+    let outcomes: Vec<Vec<supg_core::QueryOutcome>> = std::thread::scope(|s| {
+        (0..CLIENTS)
+            .map(|c| {
+                let server = Arc::clone(&server);
+                let labels = labels.clone();
+                let start = Arc::clone(&start);
+                s.spawn(move || {
+                    start.wait();
+                    recipes()
+                        .iter()
+                        .map(|spec| {
+                            let mut oracle = CachedOracle::from_labels(labels.clone(), spec.budget);
+                            server
+                                .serve(&format!("client-{c}"), "corpus", spec, &mut oracle)
+                                .unwrap()
+                        })
+                        .collect()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    // Bit-parity: every client's outcome for a recipe equals the
+    // single-threaded reference — τ, result set, and accounting.
+    for (c, client_outcomes) in outcomes.iter().enumerate() {
+        for (r, (got, want)) in client_outcomes.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got.tau.to_bits(),
+                want.tau.to_bits(),
+                "client {c} recipe {r}: tau diverged"
+            );
+            assert_eq!(
+                got.result.indices(),
+                want.result.indices(),
+                "client {c} recipe {r}: result set diverged"
+            );
+            assert_eq!(got.oracle_calls, want.oracle_calls);
+            assert_eq!(got.stage_calls, want.stage_calls);
+            assert_eq!(got.filter_calls, want.filter_calls);
+            assert_eq!(got.sample_draws, want.sample_draws);
+            assert_eq!(got.joint, want.joint);
+        }
+    }
+
+    // The shared corpus built each recipe's artifacts once; the rest of
+    // the CLIENTS × M requests were read-lock hits.
+    let stats = server.pool().cache_stats("corpus").unwrap();
+    assert!(
+        stats.hits > stats.misses,
+        "warm serving should be hit-dominated: {stats:?}"
+    );
+    assert_eq!(server.in_flight(), 0);
+}
+
+/// An oracle that parks on a channel before its first label, so a test
+/// can hold a query in flight for as long as it likes.
+struct GatedOracle {
+    inner: CachedOracle,
+    gate: Option<mpsc::Receiver<()>>,
+    ready: mpsc::Sender<()>,
+}
+
+impl Oracle for GatedOracle {
+    fn label(&mut self, index: usize) -> Result<bool, SupgError> {
+        if let Some(gate) = self.gate.take() {
+            let _ = self.ready.send(());
+            gate.recv().expect("gate sender dropped");
+        }
+        self.inner.label(index)
+    }
+
+    fn calls_used(&self) -> usize {
+        self.inner.calls_used()
+    }
+
+    fn budget(&self) -> usize {
+        self.inner.budget()
+    }
+}
+
+impl SessionOracle for GatedOracle {
+    fn set_budget(&mut self, budget: usize) {
+        self.inner.set_budget(budget);
+    }
+}
+
+#[test]
+fn saturated_server_sheds_gracefully_and_recovers() {
+    let (scores, labels) = workload(5_000);
+    let server = Arc::new(SupgServer::new(ServerConfig { max_in_flight: 1 }));
+    server.pool().register_scores("corpus", scores).unwrap();
+    server.tenants().register("acme", usize::MAX / 2);
+    let spec = QuerySpec::recall(0.9, 200).with_seed(5);
+
+    let (open_gate, gate) = mpsc::channel();
+    let (ready, in_flight) = mpsc::channel();
+    let blocked = {
+        let server = Arc::clone(&server);
+        let labels = labels.clone();
+        std::thread::spawn(move || {
+            let mut oracle = GatedOracle {
+                inner: CachedOracle::from_labels(labels, 200),
+                gate: Some(gate),
+                ready,
+            };
+            server.serve("acme", "corpus", &spec, &mut oracle)
+        })
+    };
+    // Wait until the blocked query really holds the only slot.
+    in_flight
+        .recv_timeout(Duration::from_secs(10))
+        .expect("query never reached the oracle");
+
+    // A second query is shed with the typed overload error — and the
+    // shed is free: no budget movement, no oracle calls.
+    let budget_before = server.tenants().get("acme").unwrap().remaining_budget();
+    let mut oracle = CachedOracle::from_labels(labels.clone(), 200);
+    let err = server
+        .serve("acme", "corpus", &spec, &mut oracle)
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Overloaded { limit: 1, .. }));
+    assert_eq!(oracle.calls_used(), 0);
+    assert_eq!(
+        server.tenants().get("acme").unwrap().remaining_budget(),
+        budget_before
+    );
+    assert_eq!(
+        server.tenants().get("acme").unwrap().stats().shed_overload,
+        1
+    );
+
+    // Release the in-flight query; the server recovers and serves again.
+    open_gate.send(()).unwrap();
+    blocked.join().unwrap().expect("gated query should finish");
+    assert_eq!(server.in_flight(), 0);
+    let mut oracle = CachedOracle::from_labels(labels, 200);
+    assert!(server.serve("acme", "corpus", &spec, &mut oracle).is_ok());
+}
+
+#[test]
+fn overload_capacity_is_shared_not_per_tenant() {
+    // max_in_flight bounds the *server*, whoever the tenants are: with
+    // the limit at CLIENTS/2 and every client blocked on admission at
+    // once, at least half of the simultaneous queries must shed.
+    const CLIENTS: usize = 4;
+    let (scores, labels) = workload(5_000);
+    let server = Arc::new(SupgServer::new(ServerConfig {
+        max_in_flight: CLIENTS / 2,
+    }));
+    server.pool().register_scores("corpus", scores).unwrap();
+    for c in 0..CLIENTS {
+        server.tenants().register(format!("t{c}"), usize::MAX / 2);
+    }
+    // Hold all admitted queries at the oracle until everyone has tried.
+    let admitted = Arc::new(AtomicUsize::new(0));
+    let all_tried = Arc::new(Barrier::new(CLIENTS));
+    let sheds: usize = std::thread::scope(|s| {
+        (0..CLIENTS)
+            .map(|c| {
+                let server = Arc::clone(&server);
+                let labels = labels.clone();
+                let admitted = Arc::clone(&admitted);
+                let all_tried = Arc::clone(&all_tried);
+                s.spawn(move || {
+                    let spec = QuerySpec::recall(0.9, 100).with_seed(c as u64);
+                    let (open_gate, gate) = mpsc::channel();
+                    let (ready, in_flight) = mpsc::channel();
+                    let mut oracle = GatedOracle {
+                        inner: CachedOracle::from_labels(labels, 100),
+                        gate: Some(gate),
+                        ready,
+                    };
+                    // Open the gate only after every thread has either
+                    // been admitted (query waiting at the oracle) or
+                    // shed. An admitted query signals `ready` from inside
+                    // the oracle; a shed query's oracle is dropped below,
+                    // disconnecting the channel immediately.
+                    let waiter = s.spawn(move || {
+                        if in_flight.recv_timeout(Duration::from_secs(10)).is_ok() {
+                            admitted.fetch_add(1, Ordering::SeqCst);
+                        }
+                        all_tried.wait();
+                        let _ = open_gate.send(());
+                    });
+                    let shed = matches!(
+                        server.serve(&format!("t{c}"), "corpus", &spec, &mut oracle),
+                        Err(ServeError::Overloaded { .. })
+                    );
+                    drop(oracle);
+                    waiter.join().unwrap();
+                    usize::from(shed)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    assert_eq!(
+        sheds,
+        CLIENTS / 2,
+        "exactly the over-limit queries shed when all arrive at once"
+    );
+    assert_eq!(admitted.load(Ordering::SeqCst), CLIENTS / 2);
+    assert_eq!(server.in_flight(), 0);
+}

@@ -13,6 +13,8 @@
 //!   [`core::SupgSession`] builder with its [`core::SelectorKind`]
 //!   algorithm registry, budgeted oracles, and the cost model.
 //! * [`query`] — a SQL-ish front-end implementing the paper's query syntax.
+//! * [`serve`] — the multi-tenant serving layer: a pooled-dataset query
+//!   server with per-tenant oracle budgets and admission control.
 //!
 //! ## Quickstart
 //!
@@ -132,9 +134,29 @@
 //! threshold set stays a zero-copy slice of the rank index with O(1)
 //! membership, and the owned materialization is deferred until you call
 //! `into_owned()`.
+//!
+//! ## Serving under concurrency
+//!
+//! When many clients share one deployment, wrap the prepared corpora in a
+//! [`serve::SupgServer`]: a named [`serve::SessionPool`] of shared
+//! `Arc<PreparedDataset>` handles (a SQL engine's catalog can be adopted
+//! wholesale with [`serve::SessionPool::adopt_catalog`]), per-tenant
+//! oracle-call budget meters, and bounded-in-flight admission control
+//! that sheds excess load with typed errors
+//! ([`serve::ServeError::Overloaded`] /
+//! [`serve::ServeError::BudgetExhausted`]) before any oracle call is
+//! spent. Warm artifact lookups go through `supg-core`'s read-locked
+//! cache path, so concurrent tenants never serialize on each other —
+//! and serving adds only accounting: an admitted query's outcome is
+//! bit-identical to running the same spec through a
+//! [`core::SupgSession`] directly. See the "Serving under concurrency"
+//! section of [`core`] and the [`serve`] crate docs for the details and
+//! a runnable example; the `serving` section of `BENCH_selectors.json`
+//! records the measured saturation curve.
 
 pub use supg_core as core;
 pub use supg_datasets as datasets;
 pub use supg_query as query;
 pub use supg_sampling as sampling;
+pub use supg_serve as serve;
 pub use supg_stats as stats;
