@@ -85,6 +85,18 @@ fn main() -> ExitCode {
         report.saturation.scaling_4v1(),
         report.saturation.scaling_efficiency(),
     );
+    eprintln!(
+        "segmented (n={}, segment {}): cdf build {:.1}ms vs flat {:.1}ms → {:.2}×; \
+         stitched search {:.2}ms vs linear {:.1}ms → {:.1}×",
+        report.segmented.n,
+        report.segmented.segment_size,
+        report.segmented.segmented_cdf_build_ns / 1e6,
+        report.segmented.flat_cdf_build_ns / 1e6,
+        report.segmented.cdf_build_speedup(),
+        report.segmented.segmented_search_ns / 1e6,
+        report.segmented.flat_search_ns / 1e6,
+        report.segmented.search_speedup(),
+    );
 
     if check {
         let Ok(committed) = std::fs::read_to_string(&path) else {
@@ -129,6 +141,20 @@ fn main() -> ExitCode {
                 "cold_path",
                 "cdf_speedup",
                 report.cold_path.cdf_speedup(),
+                false,
+            ),
+            // Segmented gates are not required: a committed baseline from
+            // before the segmented section exists is simply skipped.
+            (
+                "segmented",
+                "cdf_build_speedup",
+                report.segmented.cdf_build_speedup(),
+                false,
+            ),
+            (
+                "segmented",
+                "search_speedup",
+                report.segmented.search_speedup(),
                 false,
             ),
             // Concurrent-serving scaling, normalized by min(4, cores) so

@@ -17,10 +17,10 @@ use supg_core::selectors::reference::{precision_threshold_naive, recall_threshol
 use supg_core::selectors::{precision_threshold, recall_threshold, SelectorConfig};
 use supg_core::{
     CachedOracle, OracleSample, PreparedDataset, RuntimeConfig, SamplerStrategy, ScoredDataset,
-    SelectorKind, SupgSession, WeightArtifacts,
+    SegmentedDataset, SelectorKind, SupgSession, WeightArtifacts,
 };
 use supg_datasets::BetaDataset;
-use supg_sampling::ImportanceWeights;
+use supg_sampling::{CdfSampler, ImportanceWeights};
 use supg_serve::{QuerySpec, ServerConfig, SupgServer};
 use supg_stats::CiMethod;
 
@@ -266,6 +266,50 @@ impl ColdPathNumbers {
     }
 }
 
+/// The segmented-corpus path at 10⁷ records: two-level parallel CDF
+/// artifact construction vs the flat serial prefix-sum build, and
+/// stitched threshold-set search vs the serial linear-scan reference.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentedNumbers {
+    /// Dataset size.
+    pub n: usize,
+    /// Fixed segment length (records per segment).
+    pub segment_size: usize,
+    /// Worker-pool width requested for the segmented arms.
+    pub workers: usize,
+    /// Median ns of the flat serial CDF artifact build: one
+    /// `ImportanceWeights::from_scores` pass plus the single-threaded
+    /// `CdfSampler::new` prefix sum over all n weights.
+    pub flat_cdf_build_ns: f64,
+    /// Median ns of the two-level segmented build
+    /// (`WeightArtifacts::build_segmented_cdf_with`): per-segment powered
+    /// / normalized / cumulative passes on the worker pool, stitched by a
+    /// serial per-segment offset scan (k terms, not n).
+    pub segmented_cdf_build_ns: f64,
+    /// Median ns of the serial linear-scan threshold search
+    /// ([`materialize_linear`]): full predicate pass over n scores plus
+    /// canonical ordering of the survivors.
+    pub flat_search_ns: f64,
+    /// Median ns of the segmented search: per-segment binary-search count
+    /// ([`SegmentedDataset::count_at_least`]) plus the k-way stitched
+    /// prefix materialization ([`SegmentedDataset::stitched_prefix`]).
+    pub segmented_search_ns: f64,
+}
+
+impl SegmentedNumbers {
+    /// `flat serial / segmented` CDF artifact construction — the
+    /// two-level build's win from parallel per-segment passes.
+    pub fn cdf_build_speedup(&self) -> f64 {
+        self.flat_cdf_build_ns / self.segmented_cdf_build_ns.max(1.0)
+    }
+
+    /// `linear scan / stitched` threshold search — the O(n) vs
+    /// O(k log(n/k) + |D(τ)|) gap on a segmented corpus.
+    pub fn search_speedup(&self) -> f64 {
+        self.flat_search_ns / self.segmented_search_ns.max(1.0)
+    }
+}
+
 /// Everything `BENCH_selectors.json` records.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -290,6 +334,8 @@ pub struct BenchReport {
     /// Cold-start serving: alias-build parallelization and the CDF
     /// fallback's cold one-shot win.
     pub cold_path: ColdPathNumbers,
+    /// Segmented-corpus artifact build and stitched threshold search.
+    pub segmented: SegmentedNumbers,
 }
 
 /// Runs the full measurement suite. `quick` trims iteration counts for CI
@@ -346,6 +392,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     let materialization = measure_materialization(if quick { 10 } else { 40 });
     let cold_build = measure_cold_build(if quick { 3 } else { 7 });
     let cold_path = measure_cold_path(if quick { 5 } else { 15 });
+    let segmented = measure_segmented(if quick { 3 } else { 7 });
 
     BenchReport {
         s,
@@ -358,6 +405,64 @@ pub fn run_suite(quick: bool) -> BenchReport {
         materialization,
         cold_build,
         cold_path,
+        segmented,
+    }
+}
+
+/// The segmented path at n = 10⁷, segment size 2²⁰ (ten segments): CDF
+/// artifact construction (flat serial prefix sum vs the two-level
+/// parallel per-segment build) and threshold-set search (serial linear
+/// scan vs per-segment binary search + stitched prefix). Arms alternate
+/// within one loop so ambient machine noise hits all medians alike; the
+/// per-segment rank indexes are prepared outside the timed region
+/// (`cold_build` times index construction).
+fn measure_segmented(iters: usize) -> SegmentedNumbers {
+    let n = 10_000_000;
+    let segment_size = 1 << 20;
+    let workers = 8;
+    let (scores, _) = BetaDataset::new(0.05, 2.0, n).generate(7).into_parts();
+    let seg = SegmentedDataset::new(scores.clone(), segment_size).expect("valid scores");
+    let rt = RuntimeConfig::default().with_parallelism(workers);
+    seg.prepare(&rt);
+    // τ at the 10,000-th order statistic: the search arms copy a ~10k
+    // set while the linear reference scans the full ten million.
+    let tau = seg.kth_highest_score(10_000);
+    let iters = iters.max(3);
+    let (mut flat_cdf, mut seg_cdf) = (Vec::with_capacity(iters), Vec::with_capacity(iters));
+    let (mut flat_search, mut seg_search) = (Vec::with_capacity(iters), Vec::with_capacity(iters));
+    for _ in 0..iters {
+        let start = Instant::now();
+        let weights = ImportanceWeights::from_scores(&scores, 0.5, 0.1);
+        std::hint::black_box(CdfSampler::new(weights.probs()));
+        flat_cdf.push(start.elapsed().as_nanos() as f64);
+
+        let start = Instant::now();
+        std::hint::black_box(WeightArtifacts::build_segmented_cdf_with(
+            &seg, 0.5, 0.1, &rt,
+        ));
+        seg_cdf.push(start.elapsed().as_nanos() as f64);
+
+        let start = Instant::now();
+        std::hint::black_box(materialize_linear(&scores, tau));
+        flat_search.push(start.elapsed().as_nanos() as f64);
+
+        let start = Instant::now();
+        std::hint::black_box(seg.count_at_least(tau));
+        std::hint::black_box(seg.stitched_prefix(tau));
+        seg_search.push(start.elapsed().as_nanos() as f64);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    SegmentedNumbers {
+        n,
+        segment_size,
+        workers,
+        flat_cdf_build_ns: median(&mut flat_cdf),
+        segmented_cdf_build_ns: median(&mut seg_cdf),
+        flat_search_ns: median(&mut flat_search),
+        segmented_search_ns: median(&mut seg_search),
     }
 }
 
@@ -724,7 +829,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"supg-bench/4\",");
+        let _ = writeln!(out, "  \"schema\": \"supg-bench/5\",");
         let _ = writeln!(out, "  \"threshold_search\": {{");
         let _ = writeln!(out, "    \"s\": {},", self.s);
         let _ = writeln!(out, "    \"step\": {},", self.step);
@@ -828,6 +933,45 @@ impl BenchReport {
             out,
             "    \"cdf_speedup\": {:.2}",
             self.cold_path.cdf_speedup()
+        );
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"segmented\": {{");
+        let _ = writeln!(out, "    \"n\": {},", self.segmented.n);
+        let _ = writeln!(
+            out,
+            "    \"segment_size\": {},",
+            self.segmented.segment_size
+        );
+        let _ = writeln!(out, "    \"workers\": {},", self.segmented.workers);
+        let _ = writeln!(
+            out,
+            "    \"flat_cdf_build_ns\": {:.0},",
+            self.segmented.flat_cdf_build_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"segmented_cdf_build_ns\": {:.0},",
+            self.segmented.segmented_cdf_build_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"cdf_build_speedup\": {:.2},",
+            self.segmented.cdf_build_speedup()
+        );
+        let _ = writeln!(
+            out,
+            "    \"flat_search_ns\": {:.0},",
+            self.segmented.flat_search_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"segmented_search_ns\": {:.0},",
+            self.segmented.segmented_search_ns
+        );
+        let _ = writeln!(
+            out,
+            "    \"search_speedup\": {:.2}",
+            self.segmented.search_speedup()
         );
         let _ = writeln!(out, "  }},");
         // The saturation section stays flat (`extract_number` bounds a
@@ -955,6 +1099,15 @@ mod tests {
                 alias_cold_query_ns: 4e7,
                 cdf_cold_query_ns: 2.5e7,
             },
+            segmented: SegmentedNumbers {
+                n: 10_000_000,
+                segment_size: 1 << 20,
+                workers: 8,
+                flat_cdf_build_ns: 6e7,
+                segmented_cdf_build_ns: 2e7,
+                flat_search_ns: 5e7,
+                segmented_search_ns: 1e5,
+            },
         };
         let json = report.to_json();
         assert_eq!(
@@ -988,6 +1141,18 @@ mod tests {
             Some(2.0)
         );
         assert_eq!(extract_number(&json, "cold_path", "cdf_speedup"), Some(1.6));
+        assert_eq!(
+            extract_number(&json, "segmented", "segment_size"),
+            Some((1u64 << 20) as f64)
+        );
+        assert_eq!(
+            extract_number(&json, "segmented", "cdf_build_speedup"),
+            Some(3.0)
+        );
+        assert_eq!(
+            extract_number(&json, "segmented", "search_speedup"),
+            Some(500.0)
+        );
         // The "serving" section key must not collide with
         // "prepared_serving" — extract matches the quoted key only.
         assert_eq!(extract_number(&json, "serving", "cores"), Some(8.0));

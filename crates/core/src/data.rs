@@ -68,7 +68,8 @@ impl ScoredDataset {
         self.scores.len()
     }
 
-    /// Always false (construction forbids empty datasets).
+    /// True when the dataset has no records (construction forbids this,
+    /// so this is always false; provided for API completeness).
     pub fn is_empty(&self) -> bool {
         self.scores.is_empty()
     }

@@ -19,6 +19,7 @@
 use std::sync::OnceLock;
 
 use crate::rank::RankIndex;
+use crate::segment::SegmentedDataset;
 
 pub use crate::session::QueryOutcome;
 
@@ -127,10 +128,71 @@ impl SelectionResult {
     }
 }
 
-/// A borrowed query result over the dataset's [`RankIndex`]: the
-/// threshold set `D(τ)` as a rank-prefix **slice** (no copy, however
-/// large `τ` makes it) plus the below-cut labeled positives as a small
-/// owned tail.
+/// The rank structure a [`ResultView`] answers membership and ordering
+/// queries against: either a flat dataset's global [`RankIndex`] or a
+/// [`SegmentedDataset`]'s per-segment indexes (queried through its
+/// global-rank combinators). Both expose the same canonical total order
+/// (descending score, ties ascending by record index), so a view built
+/// over either source yields bit-identical results.
+#[derive(Debug, Clone, Copy)]
+pub enum RankSource<'a> {
+    /// A flat dataset's global rank index.
+    Flat(&'a RankIndex),
+    /// A segmented dataset; global ranks are derived from per-segment
+    /// indexes without ever merging them.
+    Segmented(&'a SegmentedDataset),
+}
+
+impl<'a> From<&'a RankIndex> for RankSource<'a> {
+    fn from(index: &'a RankIndex) -> Self {
+        Self::Flat(index)
+    }
+}
+
+impl<'a> From<&'a SegmentedDataset> for RankSource<'a> {
+    fn from(seg: &'a SegmentedDataset) -> Self {
+        Self::Segmented(seg)
+    }
+}
+
+impl RankSource<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Self::Flat(index) => index.len(),
+            Self::Segmented(seg) => seg.len(),
+        }
+    }
+
+    fn rank_of(&self, i: usize) -> usize {
+        match self {
+            Self::Flat(index) => index.rank_of(i),
+            Self::Segmented(seg) => seg.rank_of(i),
+        }
+    }
+}
+
+/// The threshold-set prefix a view serves: borrowed straight from a flat
+/// rank index's order array, or owned when stitched across segments.
+#[derive(Debug, Clone)]
+enum Prefix<'a> {
+    Borrowed(&'a [u32]),
+    Owned(Vec<u32>),
+}
+
+impl Prefix<'_> {
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Self::Borrowed(slice) => slice,
+            Self::Owned(vec) => vec,
+        }
+    }
+}
+
+/// A borrowed query result over the dataset's rank structure: the
+/// threshold set `D(τ)` as a rank-prefix **slice** (borrowed zero-copy
+/// from a flat [`RankIndex`], or stitched once across a
+/// [`SegmentedDataset`]'s segments) plus the below-cut labeled positives
+/// as a small owned tail.
 ///
 /// This is the streaming form of a query answer — `R = D(τ) ∪ R1` exactly
 /// as [`SelectionResult`] holds it, in the same canonical order
@@ -142,10 +204,14 @@ impl SelectionResult {
 /// membership tests are O(1) rank comparisons instead of any search.
 #[derive(Debug, Clone)]
 pub struct ResultView<'a> {
-    index: &'a RankIndex,
+    source: RankSource<'a>,
     /// `|D(τ)|`: the length of the rank prefix (pre-filter, for
     /// filtered views).
     cut: usize,
+    /// The threshold-set prefix in canonical rank order: borrowed for
+    /// flat sources, stitched (owned) for segmented ones. Always exactly
+    /// `cut` entries.
+    prefix: Prefix<'a>,
     /// Labeled positives below the cut — ascending, duplicate-free,
     /// disjoint from the prefix by construction. For filtered views,
     /// only the positives that survived the filter.
@@ -157,24 +223,37 @@ pub struct ResultView<'a> {
 }
 
 impl<'a> ResultView<'a> {
-    /// Builds the view for threshold `tau` over `index`, keeping from
-    /// `positives` (ascending, deduplicated record indices — a
-    /// labeled-positive set) only the records below the cut. O(log n)
-    /// for the cut plus O(|positives|) for the filter — independent of
-    /// `|D(τ)|`.
+    /// Builds the view for threshold `tau` over a rank source (a flat
+    /// [`RankIndex`] or a [`SegmentedDataset`] — both convert), keeping
+    /// from `positives` (ascending, deduplicated record indices — a
+    /// labeled-positive set) only the records below the cut. For flat
+    /// sources this is O(log n) for the cut plus O(|positives|) for the
+    /// filter — independent of `|D(τ)|`; segmented sources pay one
+    /// O(|D(τ)| log s) k-way stitch of the per-segment prefixes.
     ///
     /// # Panics
-    /// Panics if a positive index is out of range for the index.
-    pub fn over(index: &'a RankIndex, tau: f64, positives: &[usize]) -> Self {
-        let cut = index.cut_for(tau);
+    /// Panics if a positive index is out of range for the source.
+    pub fn over(source: impl Into<RankSource<'a>>, tau: f64, positives: &[usize]) -> Self {
+        let source = source.into();
+        let (cut, prefix) = match source {
+            RankSource::Flat(index) => {
+                let cut = index.cut_for(tau);
+                (cut, Prefix::Borrowed(&index.order()[..cut]))
+            }
+            RankSource::Segmented(seg) => {
+                let stitched = seg.stitched_prefix(tau);
+                (stitched.len(), Prefix::Owned(stitched))
+            }
+        };
         let extras = positives
             .iter()
             .copied()
-            .filter(|&i| index.rank_of(i) >= cut)
+            .filter(|&i| source.rank_of(i) >= cut)
             .collect();
         Self {
-            index,
+            source,
             cut,
+            prefix,
             extras,
             kept_ranks: None,
         }
@@ -241,12 +320,13 @@ impl<'a> ResultView<'a> {
         self.cut
     }
 
-    /// The threshold set as the borrowed rank-prefix slice (record
-    /// indices in canonical rank order) — zero-copy however large. For
-    /// filtered views this is still the **pre-filter** candidate prefix;
-    /// the surviving members are what [`iter`](ResultView::iter) walks.
-    pub fn tau_prefix(&self) -> &'a [u32] {
-        &self.index.order()[..self.cut]
+    /// The threshold set as the rank-prefix slice (record indices in
+    /// canonical rank order) — borrowed zero-copy from flat sources,
+    /// stitched once at construction for segmented ones. For filtered
+    /// views this is still the **pre-filter** candidate prefix; the
+    /// surviving members are what [`iter`](ResultView::iter) walks.
+    pub fn tau_prefix(&self) -> &[u32] {
+        self.prefix.as_slice()
     }
 
     /// The below-cut labeled positives (ascending record indices).
@@ -258,10 +338,10 @@ impl<'a> ResultView<'a> {
     /// O(log kept) search when filtered), an O(log e) binary search over
     /// the (small) extras tail.
     pub fn contains(&self, index: usize) -> bool {
-        if index >= self.index.len() {
+        if index >= self.source.len() {
             return false;
         }
-        let rank = self.index.rank_of(index);
+        let rank = self.source.rank_of(index);
         if rank < self.cut {
             match &self.kept_ranks {
                 // Ascending by construction (built in rank order).
@@ -278,12 +358,12 @@ impl<'a> ResultView<'a> {
     /// ascending) — exactly the order [`SelectionResult::indices`] would
     /// hold.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        let order = self.index.order();
-        let prefix: Box<dyn Iterator<Item = usize> + '_> = match &self.kept_ranks {
-            Some(kept) => Box::new(kept.iter().map(move |&r| order[r as usize] as usize)),
-            None => Box::new(self.tau_prefix().iter().map(|&i| i as usize)),
+        let prefix = self.prefix.as_slice();
+        let walk: Box<dyn Iterator<Item = usize> + '_> = match &self.kept_ranks {
+            Some(kept) => Box::new(kept.iter().map(move |&r| prefix[r as usize] as usize)),
+            None => Box::new(prefix.iter().map(|&i| i as usize)),
         };
-        prefix.chain(self.extras.iter().copied())
+        walk.chain(self.extras.iter().copied())
     }
 
     /// Materializes the owned [`SelectionResult`] — the one O(k) copy
@@ -396,6 +476,44 @@ mod tests {
             filtered.to_result(),
             SelectionResult::from_ranked(vec![9, 7, 4])
         );
+    }
+
+    // `from_ranked` trusts its input to be duplicate-free (the rank-index
+    // serving path guarantees it by construction); in debug builds the
+    // constructor still cross-checks. Audited callers: `ResultView::
+    // to_result` (prefix ∪ disjoint extras), the sampler-parity harness,
+    // and these unit tests — all duplicate-free by construction.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "from_ranked: duplicate indices")]
+    fn from_ranked_rejects_duplicates_in_debug() {
+        let _ = SelectionResult::from_ranked(vec![3, 1, 3]);
+    }
+
+    #[test]
+    fn flat_and_segmented_views_agree() {
+        // Scores with cross-segment ties so the stitched prefix must
+        // reproduce the flat tie-break (ascending index) exactly.
+        let scores: Vec<f64> = (0..64).map(|i| ((i * 7) % 10) as f64 / 10.0).collect();
+        let data = ScoredDataset::new(scores.clone()).unwrap();
+        let seg = SegmentedDataset::new(scores, 5).unwrap();
+        let positives = [1usize, 4, 9, 33, 60];
+        for tau in [0.0, 0.25, 0.5, 0.7, 0.95, 1.0] {
+            let flat = ResultView::over(data.rank_index(), tau, &positives);
+            let segd = ResultView::over(&seg, tau, &positives);
+            assert_eq!(flat.threshold_len(), segd.threshold_len(), "tau={tau}");
+            assert_eq!(flat.tau_prefix(), segd.tau_prefix(), "tau={tau}");
+            assert_eq!(flat.extras(), segd.extras(), "tau={tau}");
+            assert_eq!(
+                flat.iter().collect::<Vec<_>>(),
+                segd.iter().collect::<Vec<_>>(),
+                "tau={tau}"
+            );
+            for i in 0..70 {
+                assert_eq!(flat.contains(i), segd.contains(i), "tau={tau} i={i}");
+            }
+            assert_eq!(flat.to_result(), segd.to_result(), "tau={tau}");
+        }
     }
 
     #[test]

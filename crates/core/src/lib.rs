@@ -55,6 +55,10 @@
 //! * [`rank`] — the [`RankIndex`] itself: the descending-score
 //!   permutation, its inverse, and the sorted view; O(log n + k) set
 //!   materialization and the parallel chunked-sort construction.
+//! * [`segment`] — [`SegmentedDataset`]: fixed-size segments, each
+//!   owning its own rank index, for corpora too large to index as one
+//!   block; plus [`Corpus`], the flat-or-segmented view the algorithms
+//!   consume.
 //! * [`oracle`] — the budgeted, label-caching oracle abstraction
 //!   ([`CachedOracle`]).
 //! * [`prepared`] — the [`PreparedDataset`] artifact layer: `Arc`-shared
@@ -236,6 +240,47 @@
 //! primitives: a named session pool, per-tenant oracle-budget metering
 //! and bounded-in-flight admission control.
 //!
+//! ## Segmented datasets
+//!
+//! At 10⁸–10⁹ records, one monolithic rank index stops being the right
+//! artifact: a single packed-key sort over the whole corpus is the
+//! longest serial pole in the cold path, and every byte of it must be
+//! resident before the first query. A [`SegmentedDataset`]
+//! ([`segment`]) splits the score column into fixed-size segments,
+//! each owning its *own* rank index and its own slice of the sampling
+//! artifacts:
+//!
+//! * **Fully parallel construction, no re-merge.** Per-segment rank
+//!   indexes and weight/CDF/alias artifact slices build independently on
+//!   the worker pool ([`SegmentedDataset::prepare`],
+//!   [`PreparedDataset::from_segmented`](prepared::PreparedDataset::from_segmented));
+//!   there is no final merge pass over n records.
+//! * **Threshold search as a k-way merge.** `{x : A(x) ≥ τ}` is found
+//!   per segment by binary search and stitched across segment heads in
+//!   canonical global rank order
+//!   ([`SegmentedDataset::stitched_prefix`]); membership stays O(log
+//!   segment) via the owning segment's inverse rank.
+//! * **Layout is unobservable.** A session over a segmented corpus
+//!   ([`SupgSession::over_segmented`](session::SupgSession::over_segmented))
+//!   returns a [`QueryOutcome`] **bit-identical** to the flat session on
+//!   the concatenated scores — same `τ` bits, same result order, same
+//!   oracle accounting — at every segment size and `parallelism`, under
+//!   the default `Alias` sampler strategy (pinned by
+//!   `tests/segmented_parity.rs` across RT/PT/JT, the full selector
+//!   registry, and randomized layouts). The artifact cache keys carry a
+//!   segment-layout component, so flat and segmented artifacts for the
+//!   same recipe never collide.
+//!
+//! `supg_datasets::io::from_csv_string_segmented` loads a CSV corpus
+//! directly into segment-aligned chunks for
+//! [`SegmentedDataset::from_chunks`], so the contiguous column is never
+//! materialized. Flat-only accessors
+//! ([`PreparedDataset::data`](prepared::PreparedDataset::data),
+//! [`DataView::rank_index`](prepared::DataView::rank_index),
+//! [`WeightArtifacts::weights`]) panic on segmented corpora — use the
+//! layout-blind [`Corpus`] / `RankSource` / per-record accessors
+//! instead.
+//!
 //! ## Guarantee contract
 //!
 //! For an RT query with target `γ` and failure probability `δ`, the set `R`
@@ -260,6 +305,7 @@ pub mod query;
 pub mod rank;
 pub mod runtime;
 pub mod sample;
+pub mod segment;
 pub mod selectors;
 pub mod session;
 
@@ -275,4 +321,5 @@ pub use query::{ApproxQuery, JointQuery, TargetKind};
 pub use rank::RankIndex;
 pub use runtime::RuntimeConfig;
 pub use sample::OracleSample;
+pub use segment::{Corpus, SegmentedDataset};
 pub use session::{QueryOutcome, SelectorKind, SessionOracle, SupgSession, ViewOutcome};

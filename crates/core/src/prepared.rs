@@ -77,15 +77,18 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
+use supg_sampling::segmented::{normalize_powered_chunk, segment_cumulative, segment_total};
 use supg_sampling::weights::validate_scores;
 use supg_sampling::{
-    alias, apply_exponent, AliasTable, CdfSampler, ImportanceWeights, WeightedSampler,
+    alias, apply_exponent, AliasTable, CdfSampler, ImportanceWeights, SegmentedAlias, SegmentedCdf,
+    SegmentedWeights, WeightedSampler,
 };
 
 use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::rank::RankIndex;
 use crate::runtime::{self, RuntimeConfig};
+use crate::segment::{Corpus, SegmentedDataset};
 use crate::selectors::SelectorConfig;
 
 /// Default bound on cached weight recipes per dataset — generous (a
@@ -153,22 +156,39 @@ fn chunked_map(
     out
 }
 
-/// The sampler a [`WeightArtifacts`] carries: either the O(1)-draw alias
-/// table or the cheap-to-build O(log n)-draw CDF fallback.
+/// The sampler a [`WeightArtifacts`] carries: the O(1)-draw alias table
+/// or the cheap-to-build O(log n)-draw CDF fallback, each in its flat or
+/// segmented (chunk-resident, never concatenated) form.
 #[derive(Debug, Clone)]
 enum SamplerBackend {
     Alias(AliasTable),
     Cdf(CdfSampler),
+    SegAlias(SegmentedAlias),
+    SegCdf(SegmentedCdf),
+}
+
+/// The importance distribution a [`WeightArtifacts`] carries: flat for
+/// [`ScoredDataset`] corpora, per-segment chunks for [`SegmentedDataset`]
+/// corpora. Per-index probabilities are bit-identical across the two
+/// layouts (see [`supg_sampling::segmented`]), so which store backs a
+/// query is unobservable in results.
+#[derive(Debug, Clone)]
+enum WeightStore {
+    Flat(ImportanceWeights),
+    Segmented(SegmentedWeights),
 }
 
 /// The per-`(dataset, weight recipe)` sampling artifacts: the normalized
 /// importance distribution and a prebuilt weighted sampler over it — the
 /// O(1)-draw alias table ([`build`](WeightArtifacts::build)) or the CDF
 /// fallback ([`build_cdf`](WeightArtifacts::build_cdf)), chosen by the
-/// serving layer's [`SamplerStrategy`].
+/// serving layer's [`SamplerStrategy`]. Segmented corpora get the
+/// chunk-resident counterparts
+/// ([`build_segmented_with`](WeightArtifacts::build_segmented_with) /
+/// [`build_segmented_cdf_with`](WeightArtifacts::build_segmented_cdf_with)).
 #[derive(Debug, Clone)]
 pub struct WeightArtifacts {
-    weights: ImportanceWeights,
+    weights: WeightStore,
     sampler: SamplerBackend,
 }
 
@@ -192,7 +212,7 @@ impl WeightArtifacts {
         let weights = ImportanceWeights::from_powered(powered, uniform_mix);
         let sampler = build_alias_pooled(&weights, runtime::cpu_workers(rt.parallelism));
         Self {
-            weights,
+            weights: WeightStore::Flat(weights),
             sampler: SamplerBackend::Alias(sampler),
         }
     }
@@ -221,7 +241,7 @@ impl WeightArtifacts {
         let weights = ImportanceWeights::from_powered(powered, uniform_mix);
         let sampler = build_alias_pooled(&weights, runs);
         Self {
-            weights,
+            weights: WeightStore::Flat(weights),
             sampler: SamplerBackend::Alias(sampler),
         }
     }
@@ -250,43 +270,230 @@ impl WeightArtifacts {
         let weights = ImportanceWeights::from_powered(powered, uniform_mix);
         let sampler = CdfSampler::new(weights.probs());
         Self {
-            weights,
+            weights: WeightStore::Flat(weights),
             sampler: SamplerBackend::Cdf(sampler),
         }
     }
 
-    /// The normalized importance distribution.
+    /// Builds alias-backed artifacts over a segmented corpus, fully in
+    /// parallel per segment on the worker pool: the `A(x)^p` transform and
+    /// the normalization are element-wise per segment, the alias feeds
+    /// ([`alias::feed_slice`]) are one job per segment, and only the
+    /// floating-point normalizer reductions stay serial (walked in segment
+    /// order — the flat left-to-right sum). Per-index probabilities,
+    /// acceptance values, alias targets and seeded draws are all
+    /// **bit-identical** to the flat [`build`](Self::build) over the
+    /// concatenated scores, at any segment size and any `parallelism`.
+    ///
+    /// # Panics
+    /// As [`build`](Self::build) (bad exponent/mix, zero total mass).
+    pub fn build_segmented_with(
+        seg: &SegmentedDataset,
+        exponent: f64,
+        uniform_mix: f64,
+        rt: &RuntimeConfig,
+    ) -> Self {
+        let weights = build_segmented_weights(seg, exponent, uniform_mix, rt);
+        let sampler = build_segmented_alias(&weights, rt);
+        Self {
+            weights: WeightStore::Segmented(weights),
+            sampler: SamplerBackend::SegAlias(sampler),
+        }
+    }
+
+    /// Builds CDF-backed artifacts over a segmented corpus with the
+    /// two-level parallel build: per-segment local totals (phase 1) and
+    /// per-segment global prefix sums (phase 2) each run as one pool job
+    /// per segment, joined by a serial O(#segments) offset scan. The
+    /// result is identical at any `parallelism` (each phase is independent
+    /// per segment), and per-index probabilities match the flat
+    /// distribution bit-for-bit; cumulative values may differ from the
+    /// flat [`CdfSampler`] in the final ulp near segment boundaries, so
+    /// the bit-exact flat ≡ segmented `QueryOutcome` contract rides on the
+    /// default [`SamplerStrategy::Alias`].
+    ///
+    /// # Panics
+    /// As [`build_cdf`](Self::build_cdf).
+    pub fn build_segmented_cdf_with(
+        seg: &SegmentedDataset,
+        exponent: f64,
+        uniform_mix: f64,
+        rt: &RuntimeConfig,
+    ) -> Self {
+        let weights = build_segmented_weights(seg, exponent, uniform_mix, rt);
+        let sampler = build_segmented_cdf(&weights, rt);
+        Self {
+            weights: WeightStore::Segmented(weights),
+            sampler: SamplerBackend::SegCdf(sampler),
+        }
+    }
+
+    /// The normalized importance distribution in its flat form.
+    ///
+    /// # Panics
+    /// Panics for segmented-corpus artifacts, which never materialize a
+    /// flat distribution — use [`prob`](Self::prob),
+    /// [`reweight_factor`](Self::reweight_factor) and
+    /// [`restricted_sampler`](Self::restricted_sampler), which serve both
+    /// layouts.
     pub fn weights(&self) -> &ImportanceWeights {
-        &self.weights
+        match &self.weights {
+            WeightStore::Flat(weights) => weights,
+            WeightStore::Segmented(_) => {
+                panic!("WeightArtifacts::weights: segmented artifacts have no flat distribution")
+            }
+        }
+    }
+
+    /// Sampling probability `w(x)` of record `i` (layout-independent).
+    pub fn prob(&self, i: usize) -> f64 {
+        match &self.weights {
+            WeightStore::Flat(weights) => weights.prob(i),
+            WeightStore::Segmented(weights) => weights.prob(i),
+        }
+    }
+
+    /// Alias sampler over a subset of records, renormalizing lazily —
+    /// the stage-2 table of the two-stage precision selector. Identical
+    /// for flat and segmented artifacts of the same recipe (per-index
+    /// probabilities are bit-identical).
+    ///
+    /// # Panics
+    /// Panics if `subset` is empty, out of range, or carries zero mass.
+    pub fn restricted_sampler(&self, subset: &[usize]) -> AliasTable {
+        match &self.weights {
+            WeightStore::Flat(weights) => weights.restricted_sampler(subset),
+            WeightStore::Segmented(weights) => weights.restricted_sampler(subset),
+        }
     }
 
     /// The prebuilt weighted sampler over the full dataset (alias table
-    /// or CDF fallback, per the build that produced these artifacts).
+    /// or CDF fallback, flat or segmented, per the build that produced
+    /// these artifacts).
     pub fn sampler(&self) -> &dyn WeightedSampler {
         match &self.sampler {
             SamplerBackend::Alias(table) => table,
             SamplerBackend::Cdf(cdf) => cdf,
+            SamplerBackend::SegAlias(table) => table,
+            SamplerBackend::SegCdf(cdf) => cdf,
         }
     }
 
-    /// The alias table, when these artifacts are alias-backed (tests and
-    /// benchmarks that compare table layouts structurally).
+    /// The flat alias table, when these artifacts are backed by one
+    /// (tests and benchmarks that compare table layouts structurally).
     pub fn alias_sampler(&self) -> Option<&AliasTable> {
         match &self.sampler {
             SamplerBackend::Alias(table) => Some(table),
-            SamplerBackend::Cdf(_) => None,
+            _ => None,
         }
     }
 
-    /// True when draws go through the CDF fallback sampler.
+    /// True when draws go through a CDF fallback sampler (flat or
+    /// segmented).
     pub fn draws_via_cdf(&self) -> bool {
-        matches!(self.sampler, SamplerBackend::Cdf(_))
+        matches!(
+            self.sampler,
+            SamplerBackend::Cdf(_) | SamplerBackend::SegCdf(_)
+        )
     }
 
-    /// Reweighting factor `m(x) = u(x)/w(x)` of record `i`.
+    /// Reweighting factor `m(x) = u(x)/w(x)` of record `i`
+    /// (layout-independent — bit-identical across flat and segmented
+    /// artifacts of the same recipe).
     pub fn reweight_factor(&self, i: usize) -> f64 {
-        self.weights.reweight_factor(i)
+        match &self.weights {
+            WeightStore::Flat(weights) => weights.reweight_factor(i),
+            WeightStore::Segmented(weights) => weights.reweight_factor(i),
+        }
     }
+}
+
+/// The per-segment worker pool used by the segmented artifact builds: one
+/// job per segment, [`runtime::cpu_workers`]-clamped, batch size 1 so
+/// segments spread across workers evenly.
+fn segment_pool(rt: &RuntimeConfig) -> RuntimeConfig {
+    RuntimeConfig::default()
+        .with_parallelism(runtime::cpu_workers(rt.parallelism))
+        .with_batch_size(1)
+}
+
+/// The segmented importance distribution: per-segment `A(x)^p` transform
+/// and normalization on the worker pool, joined by the one serial
+/// floating-point reduction (the normalizer `Σ A^p`, walked over segments
+/// in order so it equals the flat left-to-right sum bit-for-bit).
+fn build_segmented_weights(
+    seg: &SegmentedDataset,
+    exponent: f64,
+    uniform_mix: f64,
+    rt: &RuntimeConfig,
+) -> SegmentedWeights {
+    let pool = segment_pool(rt);
+    let powered: Vec<Vec<f64>> = runtime::parallel_map(&pool, seg.segments(), |s| {
+        validate_scores(s.scores(), exponent);
+        apply_exponent(s.scores(), exponent)
+    });
+    let mut total = 0.0f64;
+    for chunk in &powered {
+        for &p in chunk {
+            total += p;
+        }
+    }
+    let n = seg.len();
+    let normalized = runtime::parallel_map(&pool, &powered, |chunk| {
+        let mut out = chunk.clone();
+        normalize_powered_chunk(&mut out, total, uniform_mix, n);
+        out
+    });
+    SegmentedWeights::from_normalized_chunks(normalized)
+}
+
+/// The segmented alias construction: the serial validating `Σ` (segment
+/// order — the flat reduction), then one [`alias::feed_slice`] pool job
+/// per segment, then the serial Vose pairing over the stitched stacks
+/// ([`SegmentedAlias::from_feeds`]). Bit-identical to the flat
+/// [`build_alias_pooled`] over the concatenated weights.
+fn build_segmented_alias(weights: &SegmentedWeights, rt: &RuntimeConfig) -> SegmentedAlias {
+    let n = weights.len();
+    let k = weights.num_segments();
+    let mut total = 0.0f64;
+    for c in 0..k {
+        for &w in weights.chunk(c) {
+            total += w;
+        }
+    }
+    assert!(total > 0.0, "SegmentedAlias: weights sum to zero");
+    let mut offsets = Vec::with_capacity(k);
+    let mut offset = 0usize;
+    for c in 0..k {
+        offsets.push(offset);
+        offset += weights.chunk(c).len();
+    }
+    let jobs: Vec<usize> = (0..k).collect();
+    let feeds = runtime::parallel_map(&segment_pool(rt), &jobs, |&c| {
+        alias::feed_slice(weights.chunk(c), total, n, offsets[c])
+    });
+    SegmentedAlias::from_feeds(feeds)
+}
+
+/// The two-level parallel CDF build: per-segment local totals (phase 1)
+/// and per-segment global prefix sums (phase 2) each one pool job per
+/// segment, joined by a serial O(#segments) offset scan. Identical to
+/// [`SegmentedCdf::from_weight_chunks`] at any `parallelism`.
+fn build_segmented_cdf(weights: &SegmentedWeights, rt: &RuntimeConfig) -> SegmentedCdf {
+    let pool = segment_pool(rt);
+    let k = weights.num_segments();
+    let jobs: Vec<usize> = (0..k).collect();
+    let totals = runtime::parallel_map(&pool, &jobs, |&c| segment_total(weights.chunk(c)));
+    let mut starts = Vec::with_capacity(k);
+    let mut acc = 0.0f64;
+    for &t in &totals {
+        starts.push(acc);
+        acc += t;
+    }
+    let cumulative = runtime::parallel_map(&pool, &jobs, |&c| {
+        segment_cumulative(weights.chunk(c), starts[c])
+    });
+    SegmentedCdf::from_cumulative_chunks(cumulative)
 }
 
 /// The alias construction over an existing distribution: the serial `Σ`
@@ -313,13 +520,17 @@ fn build_alias_pooled(weights: &ImportanceWeights, runs: usize) -> AliasTable {
 }
 
 /// Cache key: the exact bit patterns of the weight recipe plus the
-/// sampler backend, so recipes that differ by any representable amount —
-/// or by how they draw — get distinct artifacts.
+/// sampler backend and the corpus segment layout, so recipes that differ
+/// by any representable amount — or by how they draw, or by how the
+/// corpus is segmented — get distinct artifacts. (`layout` is 0 for flat
+/// corpora and the segment size for segmented ones; serving pools that
+/// key artifacts by dataset handle inherit the distinction.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct RecipeKey {
     exponent_bits: u64,
     mix_bits: u64,
     cdf: bool,
+    layout: u64,
 }
 
 impl RecipeKey {
@@ -328,6 +539,7 @@ impl RecipeKey {
             exponent_bits: exponent.to_bits(),
             mix_bits: uniform_mix.to_bits(),
             cdf: false,
+            layout: 0,
         }
     }
 
@@ -336,6 +548,10 @@ impl RecipeKey {
             cdf: true,
             ..Self::alias(exponent, uniform_mix)
         }
+    }
+
+    fn with_layout(self, layout: u64) -> Self {
+        Self { layout, ..self }
     }
 }
 
@@ -478,13 +694,21 @@ impl QueryProbe {
     }
 }
 
-/// An `Arc`-shared dataset plus its lazily built, bounded keyed
+/// The `Arc`-shared corpus a [`PreparedDataset`] amortizes over: flat or
+/// segmented.
+enum PreparedCorpus {
+    Flat(Arc<ScoredDataset>),
+    Segmented(Arc<SegmentedDataset>),
+}
+
+/// An `Arc`-shared corpus (flat [`ScoredDataset`] or
+/// [`SegmentedDataset`]) plus its lazily built, bounded keyed
 /// sampling-artifact cache. `Send + Sync`; clone the surrounding `Arc` to
 /// share across sessions and threads. Warm lookups take only the shared
 /// read lock (see the [module docs](self)), so concurrent serving never
 /// serializes on the cache.
 pub struct PreparedDataset {
-    data: Arc<ScoredDataset>,
+    corpus: PreparedCorpus,
     cache: RwLock<ArtifactCache>,
     /// Monotone recency clock for the LRU stamps — outside the cache lock
     /// so hits can stamp recency under the *read* lock.
@@ -507,7 +731,7 @@ pub struct PreparedDataset {
 impl std::fmt::Debug for PreparedDataset {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PreparedDataset")
-            .field("records", &self.data.len())
+            .field("records", &self.len())
             .field("cached_recipes", &self.cached_recipes())
             .finish()
     }
@@ -521,9 +745,28 @@ impl PreparedDataset {
 
     /// Prepares an already-shared dataset without copying it.
     pub fn from_arc(data: Arc<ScoredDataset>) -> Self {
+        Self::from_corpus(PreparedCorpus::Flat(data))
+    }
+
+    /// Prepares an owned segmented corpus: every artifact this dataset
+    /// builds — per-segment rank indexes, weights, samplers — is
+    /// chunk-resident and constructed segment-parallel, and queries
+    /// produce bit-identical [`QueryOutcome`](crate::session::QueryOutcome)s
+    /// to a flat preparation of the concatenated scores (under the
+    /// default [`SamplerStrategy::Alias`]).
+    pub fn from_segmented(seg: SegmentedDataset) -> Self {
+        Self::from_segmented_arc(Arc::new(seg))
+    }
+
+    /// Prepares an already-shared segmented corpus without copying it.
+    pub fn from_segmented_arc(seg: Arc<SegmentedDataset>) -> Self {
+        Self::from_corpus(PreparedCorpus::Segmented(seg))
+    }
+
+    fn from_corpus(corpus: PreparedCorpus) -> Self {
         let rt = RuntimeConfig::sequential();
         Self {
-            data,
+            corpus,
             cache: RwLock::new(ArtifactCache {
                 map: HashMap::new(),
                 capacity: DEFAULT_CACHE_CAPACITY,
@@ -570,11 +813,22 @@ impl PreparedDataset {
         self.rt_batch_size.store(rt.batch_size, Ordering::Relaxed);
     }
 
-    /// Builds the dataset's global rank index on the configured worker
-    /// pool (no-op when already built), so the first query pays no sort.
-    /// Returns the index for immediate use.
-    pub fn prepare(&self) -> &RankIndex {
-        self.data.prepare_rank_index(&self.runtime())
+    /// Builds the corpus's rank structure on the configured worker pool
+    /// (no-op when already built), so the first query pays no sort: the
+    /// global rank index for flat corpora, every per-segment index —
+    /// constructed fully in parallel, one pool job per segment, with no
+    /// final merge — for segmented ones. Returns `self` for chaining.
+    pub fn prepare(&self) -> &Self {
+        let rt = self.runtime();
+        match &self.corpus {
+            PreparedCorpus::Flat(data) => {
+                data.prepare_rank_index(&rt);
+            }
+            PreparedCorpus::Segmented(seg) => {
+                seg.prepare(&rt);
+            }
+        }
+        self
     }
 
     /// [`prepare`](Self::prepare) with an explicit pool configuration —
@@ -583,29 +837,94 @@ impl PreparedDataset {
     /// artifact-construction runtime, so the weight/alias builds that
     /// follow (first query, [`warm`](Self::warm)) run on the same workers
     /// (results stay bit-identical either way; only wall time changes).
-    pub fn prepare_with(&self, rt: &RuntimeConfig) -> &RankIndex {
+    pub fn prepare_with(&self, rt: &RuntimeConfig) -> &Self {
         self.set_runtime(rt);
-        self.data.prepare_rank_index(rt)
+        self.prepare()
     }
 
-    /// The underlying scored dataset.
+    /// The underlying corpus, as the layout-polymorphic [`Corpus`] view.
+    pub fn corpus(&self) -> Corpus<'_> {
+        match &self.corpus {
+            PreparedCorpus::Flat(data) => Corpus::Flat(data),
+            PreparedCorpus::Segmented(seg) => Corpus::Segmented(seg),
+        }
+    }
+
+    /// The underlying scored dataset of a **flat** preparation.
+    ///
+    /// # Panics
+    /// Panics for segmented corpora, which never hold a flat dataset —
+    /// use [`corpus`](Self::corpus), which serves both layouts.
     pub fn data(&self) -> &ScoredDataset {
-        &self.data
+        match &self.corpus {
+            PreparedCorpus::Flat(data) => data,
+            PreparedCorpus::Segmented(_) => {
+                panic!("PreparedDataset::data: segmented corpus has no flat dataset")
+            }
+        }
     }
 
-    /// A new shared handle to the underlying dataset.
+    /// A new shared handle to the underlying dataset of a **flat**
+    /// preparation.
+    ///
+    /// # Panics
+    /// As [`data`](Self::data) for segmented corpora.
     pub fn share_data(&self) -> Arc<ScoredDataset> {
-        Arc::clone(&self.data)
+        match &self.corpus {
+            PreparedCorpus::Flat(data) => Arc::clone(data),
+            PreparedCorpus::Segmented(_) => {
+                panic!("PreparedDataset::share_data: segmented corpus has no flat dataset")
+            }
+        }
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.data.len()
+        match &self.corpus {
+            PreparedCorpus::Flat(data) => data.len(),
+            PreparedCorpus::Segmented(seg) => seg.len(),
+        }
     }
 
-    /// Always false (construction forbids empty datasets).
+    /// True when the corpus has no records (construction forbids this,
+    /// so this is always false; provided for API completeness).
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
+    }
+
+    /// The cache-key layout component: 0 for flat corpora, the segment
+    /// size for segmented ones.
+    fn layout_key(&self) -> u64 {
+        match &self.corpus {
+            PreparedCorpus::Flat(_) => 0,
+            PreparedCorpus::Segmented(seg) => seg.segment_size() as u64,
+        }
+    }
+
+    /// Builds one recipe's artifacts over whichever corpus layout this
+    /// dataset holds (the one place layout dispatch happens on the build
+    /// path).
+    fn build_arts(
+        &self,
+        exponent: f64,
+        uniform_mix: f64,
+        cdf: bool,
+        rt: &RuntimeConfig,
+    ) -> WeightArtifacts {
+        match (&self.corpus, cdf) {
+            (PreparedCorpus::Flat(d), false) => {
+                WeightArtifacts::build_with(d.scores(), exponent, uniform_mix, rt)
+            }
+            (PreparedCorpus::Flat(d), true) => {
+                WeightArtifacts::build_cdf_with(d.scores(), exponent, uniform_mix, rt)
+            }
+            (PreparedCorpus::Segmented(s), false) => {
+                WeightArtifacts::build_segmented_with(s, exponent, uniform_mix, rt)
+            }
+            (PreparedCorpus::Segmented(s), true) => {
+                WeightArtifacts::build_segmented_cdf_with(s, exponent, uniform_mix, rt)
+            }
+        }
     }
 
     /// The alias-backed sampling artifacts for a weight recipe — built on
@@ -649,17 +968,18 @@ impl PreparedDataset {
         strategy: SamplerStrategy,
     ) -> (Arc<WeightArtifacts>, bool) {
         let rt = self.runtime();
+        let layout = self.layout_key();
         match strategy {
-            SamplerStrategy::Alias => self
-                .cached_artifacts(RecipeKey::alias(exponent, uniform_mix), || {
-                    WeightArtifacts::build_with(self.data.scores(), exponent, uniform_mix, &rt)
-                }),
-            SamplerStrategy::Cdf => self
-                .cached_artifacts(RecipeKey::cdf(exponent, uniform_mix), || {
-                    WeightArtifacts::build_cdf_with(self.data.scores(), exponent, uniform_mix, &rt)
-                }),
+            SamplerStrategy::Alias => self.cached_artifacts(
+                RecipeKey::alias(exponent, uniform_mix).with_layout(layout),
+                || self.build_arts(exponent, uniform_mix, false, &rt),
+            ),
+            SamplerStrategy::Cdf => self.cached_artifacts(
+                RecipeKey::cdf(exponent, uniform_mix).with_layout(layout),
+                || self.build_arts(exponent, uniform_mix, true, &rt),
+            ),
             SamplerStrategy::Auto => {
-                let key = RecipeKey::alias(exponent, uniform_mix);
+                let key = RecipeKey::alias(exponent, uniform_mix).with_layout(layout);
                 // Warm recipe: the shared-read-lock hot path.
                 if let Some(hit) = self.read_cached(key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -701,12 +1021,7 @@ impl PreparedDataset {
                         // the alias build once and serve it from the
                         // cache on.
                         let built = self.cached_artifacts(key, || {
-                            WeightArtifacts::build_with(
-                                self.data.scores(),
-                                exponent,
-                                uniform_mix,
-                                &rt,
-                            )
+                            self.build_arts(exponent, uniform_mix, false, &rt)
                         });
                         self.cache
                             .write()
@@ -720,12 +1035,7 @@ impl PreparedDataset {
                         // not cached (the point is not to pay for
                         // artifacts a one-shot query never reuses).
                         self.misses.fetch_add(1, Ordering::Relaxed);
-                        let built = Arc::new(WeightArtifacts::build_cdf_with(
-                            self.data.scores(),
-                            exponent,
-                            uniform_mix,
-                            &rt,
-                        ));
+                        let built = Arc::new(self.build_arts(exponent, uniform_mix, true, &rt));
                         (built, false)
                     }
                 }
@@ -825,14 +1135,15 @@ impl PreparedDataset {
     }
 }
 
-/// The borrowed view a selector runs against: the dataset plus, when the
-/// session was given a [`PreparedDataset`], the shared artifact cache.
-/// Cold views build artifacts fresh per call — exactly the historical
-/// per-query behavior — so every selector has one code path and prepared
-/// vs. cold differ only in amortization, never in results.
+/// The borrowed view a selector runs against: the corpus (flat or
+/// segmented) plus, when the session was given a [`PreparedDataset`],
+/// the shared artifact cache. Cold views build artifacts fresh per call —
+/// exactly the historical per-query behavior — so every selector has one
+/// code path and prepared vs. cold differ only in amortization, never in
+/// results.
 #[derive(Debug, Clone, Copy)]
 pub struct DataView<'a> {
-    data: &'a ScoredDataset,
+    corpus: Corpus<'a>,
     prepared: Option<&'a PreparedDataset>,
     probe: Option<&'a QueryProbe>,
 }
@@ -841,7 +1152,17 @@ impl<'a> DataView<'a> {
     /// A view with no artifact cache (per-query construction).
     pub fn cold(data: &'a ScoredDataset) -> Self {
         Self {
-            data,
+            corpus: Corpus::Flat(data),
+            prepared: None,
+            probe: None,
+        }
+    }
+
+    /// A cold view over a segmented corpus (per-query construction of the
+    /// chunk-resident artifacts).
+    pub fn cold_segmented(seg: &'a SegmentedDataset) -> Self {
+        Self {
+            corpus: Corpus::Segmented(seg),
             prepared: None,
             probe: None,
         }
@@ -850,7 +1171,7 @@ impl<'a> DataView<'a> {
     /// A view backed by a prepared dataset's artifact cache.
     pub fn prepared(prepared: &'a PreparedDataset) -> Self {
         Self {
-            data: prepared.data(),
+            corpus: prepared.corpus(),
             prepared: Some(prepared),
             probe: None,
         }
@@ -864,9 +1185,11 @@ impl<'a> DataView<'a> {
         self
     }
 
-    /// The dataset under view.
-    pub fn data(&self) -> &'a ScoredDataset {
-        self.data
+    /// The corpus under view. (`Corpus` is `Copy` and serves scores,
+    /// global ranks and top-k identically for flat and segmented
+    /// layouts, so selectors are layout-blind.)
+    pub fn data(&self) -> Corpus<'a> {
+        self.corpus
     }
 
     /// True when backed by a prepared artifact cache.
@@ -874,10 +1197,30 @@ impl<'a> DataView<'a> {
         self.prepared.is_some()
     }
 
-    /// The dataset's global rank index (shared with every other session
-    /// over the same prepared corpus; lazily built on cold views).
+    /// The **flat** dataset's global rank index (shared with every other
+    /// session over the same prepared corpus; lazily built on cold
+    /// views).
+    ///
+    /// # Panics
+    /// Panics for segmented corpora, which keep per-segment indexes —
+    /// use [`rank_source`](Self::rank_source), which serves both layouts.
     pub fn rank_index(&self) -> &'a RankIndex {
-        self.data.rank_index()
+        match self.corpus {
+            Corpus::Flat(data) => data.rank_index(),
+            Corpus::Segmented(_) => {
+                panic!("DataView::rank_index: segmented corpus has no global rank index")
+            }
+        }
+    }
+
+    /// The rank structure query results are served from, for either
+    /// layout — what [`ResultView::over`](crate::executor::ResultView)
+    /// consumes.
+    pub fn rank_source(&self) -> crate::executor::RankSource<'a> {
+        match self.corpus {
+            Corpus::Flat(data) => crate::executor::RankSource::Flat(data.rank_index()),
+            Corpus::Segmented(seg) => crate::executor::RankSource::Segmented(seg),
+        }
     }
 
     /// The alias-backed sampling artifacts for a weight recipe: cache hit
@@ -900,17 +1243,26 @@ impl<'a> DataView<'a> {
     ) -> Arc<WeightArtifacts> {
         let (arts, hit) = match self.prepared {
             Some(p) => p.artifacts_probed(exponent, uniform_mix, strategy),
-            None => (
-                Arc::new(match strategy {
-                    SamplerStrategy::Alias => {
-                        WeightArtifacts::build(self.data.scores(), exponent, uniform_mix)
-                    }
-                    SamplerStrategy::Cdf | SamplerStrategy::Auto => {
-                        WeightArtifacts::build_cdf(self.data.scores(), exponent, uniform_mix)
-                    }
-                }),
-                false,
-            ),
+            None => {
+                let rt = RuntimeConfig::sequential();
+                (
+                    Arc::new(match (self.corpus, strategy) {
+                        (Corpus::Flat(d), SamplerStrategy::Alias) => {
+                            WeightArtifacts::build(d.scores(), exponent, uniform_mix)
+                        }
+                        (Corpus::Flat(d), _) => {
+                            WeightArtifacts::build_cdf(d.scores(), exponent, uniform_mix)
+                        }
+                        (Corpus::Segmented(s), SamplerStrategy::Alias) => {
+                            WeightArtifacts::build_segmented_with(s, exponent, uniform_mix, &rt)
+                        }
+                        (Corpus::Segmented(s), _) => {
+                            WeightArtifacts::build_segmented_cdf_with(s, exponent, uniform_mix, &rt)
+                        }
+                    }),
+                    false,
+                )
+            }
         };
         if let Some(probe) = self.probe {
             probe.record(hit);
@@ -1085,11 +1437,91 @@ mod tests {
         let data = Arc::new(dataset());
         let p = PreparedDataset::from_arc(Arc::clone(&data))
             .with_runtime(RuntimeConfig::default().with_parallelism(4));
-        let idx = p.prepare();
-        assert_eq!(idx.len(), 100);
+        p.prepare();
         // The index lives on the shared dataset, not a private copy.
+        let idx = p.data().rank_index();
+        assert_eq!(idx.len(), 100);
         assert!(std::ptr::eq(idx, data.rank_index()));
         assert_eq!(p.runtime().parallelism, 4);
+    }
+
+    #[test]
+    fn segmented_artifacts_match_flat_bitwise() {
+        let scores: Vec<f64> = (0..2_000)
+            .map(|i| ((i * 13) % 997) as f64 / 997.0)
+            .collect();
+        let flat = WeightArtifacts::build(&scores, 0.5, 0.1);
+        let seg = SegmentedDataset::new(scores.clone(), 64).unwrap();
+        for parallelism in [1, 4, 8] {
+            let rt = RuntimeConfig::default().with_parallelism(parallelism);
+            let arts = WeightArtifacts::build_segmented_with(&seg, 0.5, 0.1, &rt);
+            assert!(arts.alias_sampler().is_none(), "segmented table, not flat");
+            assert!(!arts.draws_via_cdf());
+            for i in 0..scores.len() {
+                assert_eq!(
+                    flat.prob(i).to_bits(),
+                    arts.prob(i).to_bits(),
+                    "prob i={i} parallelism={parallelism}"
+                );
+                assert_eq!(
+                    flat.reweight_factor(i).to_bits(),
+                    arts.reweight_factor(i).to_bits(),
+                    "reweight i={i} parallelism={parallelism}"
+                );
+                assert_eq!(
+                    flat.sampler().prob(i).to_bits(),
+                    arts.sampler().prob(i).to_bits(),
+                    "sampler prob i={i} parallelism={parallelism}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_cdf_build_is_parallelism_deterministic() {
+        let scores: Vec<f64> = (0..1_500)
+            .map(|i| ((i * 31) % 101) as f64 / 101.0)
+            .collect();
+        let seg = SegmentedDataset::new(scores, 100).unwrap();
+        let serial =
+            WeightArtifacts::build_segmented_cdf_with(&seg, 0.5, 0.1, &RuntimeConfig::sequential());
+        assert!(serial.draws_via_cdf());
+        for parallelism in [2, 4, 8] {
+            let rt = RuntimeConfig::default().with_parallelism(parallelism);
+            let pooled = WeightArtifacts::build_segmented_cdf_with(&seg, 0.5, 0.1, &rt);
+            for i in 0..seg.len() {
+                assert_eq!(
+                    serial.sampler().prob(i).to_bits(),
+                    pooled.sampler().prob(i).to_bits(),
+                    "cdf prob i={i} parallelism={parallelism}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_preparation_caches_and_serves() {
+        let scores: Vec<f64> = (0..500).map(|i| (i % 97) as f64 / 97.0).collect();
+        let p = PreparedDataset::from_segmented(SegmentedDataset::new(scores, 64).unwrap());
+        assert_eq!(p.len(), 500);
+        assert!(!p.is_empty());
+        p.prepare();
+        let a = p.artifacts(0.5, 0.1);
+        let b = p.artifacts(0.5, 0.1);
+        assert!(Arc::ptr_eq(&a, &b), "same recipe must hit the cache");
+        assert_eq!(p.cached_recipes(), 1);
+        // The corpus view serves global ranks.
+        let corpus = p.corpus();
+        assert_eq!(corpus.len(), 500);
+        assert!(matches!(corpus, Corpus::Segmented(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "segmented corpus has no flat dataset")]
+    fn segmented_preparation_rejects_flat_data_accessor() {
+        let scores: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
+        let p = PreparedDataset::from_segmented(SegmentedDataset::new(scores, 4).unwrap());
+        let _ = p.data();
     }
 
     #[test]

@@ -45,13 +45,13 @@ use crate::runtime::{cpu_workers, map_chunks, MIN_PARALLEL_INPUT};
 /// the direction. `-0.0` (which passes the `[0, 1]` range check) is
 /// normalized to `+0.0` so its sign bit cannot poison the key order.
 #[inline]
-fn key(score: f64, i: u32) -> u128 {
+pub(crate) fn key(score: f64, i: u32) -> u128 {
     let bits = if score == 0.0 { 0 } else { score.to_bits() };
     ((!bits as u128) << 32) | i as u128
 }
 
 #[inline]
-fn unpack(key: u128) -> (f64, u32) {
+pub(crate) fn unpack(key: u128) -> (f64, u32) {
     let score = f64::from_bits(!((key >> 32) as u64));
     (score, key as u32)
 }

@@ -3,10 +3,10 @@
 use rand::RngCore;
 use supg_stats::{PairSketch, SampleSketch};
 
-use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::oracle::{BatchOracle, Oracle};
 use crate::prepared::WeightArtifacts;
+use crate::segment::Corpus;
 
 /// A sample of records drawn for oracle labeling, with proxy scores, labels
 /// and importance-reweighting factors `m(x) = u(x)/w(x)` (all 1 under
@@ -85,28 +85,30 @@ impl OracleSample {
     ///
     /// # Errors
     /// Propagates oracle errors (budget exhaustion, bad indices).
-    pub fn label(
-        data: &ScoredDataset,
+    pub fn label<'d>(
+        data: impl Into<Corpus<'d>>,
         indices: Vec<usize>,
         oracle: &mut dyn Oracle,
         mut reweight: impl FnMut(usize) -> f64,
     ) -> Result<Self, SupgError> {
+        let corpus = data.into();
         let labels = oracle.label_batch(&indices)?;
         let mut scores = Vec::with_capacity(indices.len());
         let mut reweights = Vec::with_capacity(indices.len());
         for (pos, &idx) in indices.iter().enumerate() {
-            scores.push(data.score(idx));
+            scores.push(corpus.score(idx));
             reweights.push(reweight(pos));
         }
-        // Canonical order from the dataset's global ranks: sort the packed
+        // Canonical order from the corpus's global ranks: sort the packed
         // integer keys (rank, draw position) instead of re-comparing
         // scores — `sort_unstable` on `u64` with no indirection, and a
-        // strict total order, so the layout is deterministic.
-        let rank_index = data.rank_index();
+        // strict total order, so the layout is deterministic. Flat and
+        // segmented corpora report the same global ranks, so the order is
+        // layout-independent.
         let mut keys: Vec<u64> = indices
             .iter()
             .enumerate()
-            .map(|(pos, &idx)| ((rank_index.rank_of(idx) as u64) << 32) | pos as u64)
+            .map(|(pos, &idx)| ((corpus.rank_of(idx) as u64) << 32) | pos as u64)
             .collect();
         keys.sort_unstable();
         let order: Vec<u32> = keys.into_iter().map(|k| k as u32).collect();
@@ -398,13 +400,14 @@ impl OracleSample {
 /// [`WeightArtifacts`](crate::prepared::WeightArtifacts) — typically a
 /// [`PreparedDataset`](crate::prepared::PreparedDataset) cache hit — so
 /// repeated queries pay O(k) draws, never an O(n) table rebuild.
-pub fn draw_weighted(
-    data: &ScoredDataset,
+pub fn draw_weighted<'d>(
+    data: impl Into<Corpus<'d>>,
     artifacts: &WeightArtifacts,
     k: usize,
     oracle: &mut dyn Oracle,
     rng: &mut dyn RngCore,
 ) -> Result<OracleSample, SupgError> {
+    let data = data.into();
     let sampler = artifacts.sampler();
     let indices: Vec<usize> = (0..k).map(|_| sampler.draw(rng)).collect();
     let factors: Vec<f64> = indices
@@ -417,6 +420,7 @@ pub fn draw_weighted(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::ScoredDataset;
     use crate::oracle::CachedOracle;
 
     fn sample() -> OracleSample {

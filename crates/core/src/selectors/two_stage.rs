@@ -54,14 +54,13 @@ impl ThresholdSelector for TwoStagePrecision {
             self.cfg.uniform_mix,
             self.cfg.sampler,
         );
-        let weights = artifacts.weights();
 
         // --- Stage 1: upper-bound the number of matching records. ---
         let sampler = artifacts.sampler();
         let stage1_indices: Vec<usize> = (0..s1).map(|_| sampler.draw(rng)).collect();
         let stage1_factors: Vec<f64> = stage1_indices
             .iter()
-            .map(|&i| weights.reweight_factor(i))
+            .map(|&i| artifacts.reweight_factor(i))
             .collect();
         let stage1 = OracleSample::label(data, stage1_indices, oracle, |pos| stage1_factors[pos])?;
         let z: Vec<f64> = stage1
@@ -80,19 +79,19 @@ impl ThresholdSelector for TwoStagePrecision {
         // No threshold below the (n_match/γ)-th highest score can reach
         // precision γ; restrict stage 2 to the top records.
         let k = ((n_match / query.gamma()).ceil() as usize).clamp(1, n);
-        let subset: Vec<usize> = data.top_k(k).iter().map(|&i| i as usize).collect();
+        let subset: Vec<usize> = data.top_k(k);
 
         // --- Stage 2: candidate search within the restricted range. ---
         // The restricted sampler renormalizes lazily (inside the alias
         // build) — no intermediate probability vector is copied/divided.
-        let sub_sampler = weights.restricted_sampler(&subset);
+        let sub_sampler = artifacts.restricted_sampler(&subset);
         let stage2_indices: Vec<usize> = (0..s2).map(|_| subset[sub_sampler.sample(rng)]).collect();
         // Reweighting factors from the *global* weights: the ratio
         // estimator is invariant to the constant renormalization between w
         // and w|D′, so the global factors are correct and cheaper to track.
         let stage2_factors: Vec<f64> = stage2_indices
             .iter()
-            .map(|&i| weights.reweight_factor(i))
+            .map(|&i| artifacts.reweight_factor(i))
             .collect();
         let stage2 = OracleSample::label(data, stage2_indices, oracle, |pos| stage2_factors[pos])?;
         let tau = precision_threshold(&stage2, query.gamma(), query.delta() / 2.0, &self.cfg, rng);

@@ -63,6 +63,7 @@ use crate::oracle::{BatchOracle, CachedOracle, Oracle};
 use crate::prepared::{DataView, PreparedDataset, QueryProbe, SamplerStrategy};
 use crate::query::{ApproxQuery, JointQuery, TargetKind};
 use crate::runtime::RuntimeConfig;
+use crate::segment::SegmentedDataset;
 use crate::selectors::{
     ImportancePrecision, ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision,
     UniformNoCiPrecision, UniformNoCiRecall, UniformPrecision, UniformRecall,
@@ -334,6 +335,16 @@ impl<'a> SupgSession<'a> {
         Self::with_data(SessionData::Cold(data))
     }
 
+    /// Starts a session over a [`SegmentedDataset`]. Queries produce
+    /// bit-identical [`QueryOutcome`]s to [`over`](SupgSession::over) on
+    /// the concatenated scores with the same seed (under the default
+    /// [`SamplerStrategy::Alias`](crate::prepared::SamplerStrategy) —
+    /// pinned by `crates/core/tests/segmented_parity.rs`); only the
+    /// artifact layout and build parallelism differ.
+    pub fn over_segmented(data: &'a SegmentedDataset) -> Self {
+        Self::with_data(SessionData::Segmented(data))
+    }
+
     /// Starts a session over a [`PreparedDataset`], reusing its cached
     /// sampling artifacts instead of paying the O(n) weight/alias-table
     /// construction per query. Results are identical to
@@ -370,6 +381,7 @@ impl<'a> SupgSession<'a> {
     fn view(&self) -> DataView<'_> {
         match &self.data {
             SessionData::Cold(data) => DataView::cold(data),
+            SessionData::Segmented(seg) => DataView::cold_segmented(seg),
             SessionData::Prepared(prepared) => DataView::prepared(prepared),
             SessionData::Shared(prepared) => DataView::prepared(prepared),
         }
@@ -728,11 +740,12 @@ impl<'a> SupgSession<'a> {
 }
 
 /// The dataset a session runs over: a plain borrow (cold, per-query
-/// artifact construction), a borrowed prepared dataset, or an owned
-/// shared handle to one (concurrent serving).
+/// artifact construction) — flat or segmented — a borrowed prepared
+/// dataset, or an owned shared handle to one (concurrent serving).
 #[derive(Debug, Clone)]
 enum SessionData<'a> {
     Cold(&'a ScoredDataset),
+    Segmented(&'a SegmentedDataset),
     Prepared(&'a PreparedDataset),
     Shared(Arc<PreparedDataset>),
 }
@@ -762,15 +775,16 @@ fn exec_single_view<'v>(
 ) -> Result<ViewOutcome<'v>, SupgError> {
     let start = Instant::now();
     let calls_before = oracle.calls_used();
-    // The rank index is borrowed *before* the probe shortens the view's
+    // The rank source is borrowed *before* the probe shortens the view's
     // lifetime — the returned result view must outlive the local probe.
-    let rank_index = view.rank_index();
+    let ranks = view.rank_source();
     let probe = QueryProbe::new();
     let estimate = selector.estimate(view.with_probe(&probe), query, oracle, rng)?;
 
-    // R = R2 ∪ R1 off the rank index, O(log n + |R1|) with no copy of
-    // the prefix: the view borrows it from the index.
-    let result = ResultView::over(rank_index, estimate.tau, estimate.sample.positive_indices());
+    // R = R2 ∪ R1 off the rank structure: flat corpora borrow the prefix
+    // from the global index with no copy; segmented corpora stitch it
+    // once from the per-segment indexes.
+    let result = ResultView::over(ranks, estimate.tau, estimate.sample.positive_indices());
 
     let stage_calls = oracle.calls_used() - calls_before;
     let elapsed = start.elapsed();

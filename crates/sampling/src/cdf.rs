@@ -19,6 +19,9 @@ use rand::Rng;
 pub struct CdfSampler {
     /// Cumulative weights, strictly increasing, last element = total weight.
     cumulative: Vec<f64>,
+    /// Last positive-weight index — the clamp target that keeps the
+    /// zero-weight contract when a draw rounds up to the total mass.
+    max_draw: usize,
 }
 
 impl CdfSampler {
@@ -32,13 +35,20 @@ impl CdfSampler {
         assert!(!weights.is_empty(), "CdfSampler: empty weights");
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
-        for &w in weights {
+        let mut max_draw = 0;
+        for (i, &w) in weights.iter().enumerate() {
             assert!(w.is_finite() && w >= 0.0, "CdfSampler: bad weight {w}");
+            if w > 0.0 {
+                max_draw = i;
+            }
             acc += w;
             cumulative.push(acc);
         }
         assert!(acc > 0.0, "CdfSampler: weights sum to zero");
-        Self { cumulative }
+        Self {
+            cumulative,
+            max_draw,
+        }
     }
 
     /// Number of indices.
@@ -46,7 +56,8 @@ impl CdfSampler {
         self.cumulative.len()
     }
 
-    /// Always false (construction forbids empty samplers).
+    /// True when the sampler has no entries (construction forbids this,
+    /// so this is always false; provided for API completeness).
     pub fn is_empty(&self) -> bool {
         self.cumulative.is_empty()
     }
@@ -59,16 +70,22 @@ impl CdfSampler {
         (self.cumulative[i] - prev) / total
     }
 
+    /// Locates the drawn index for a mass coordinate `u ∈ [0, total]`:
+    /// the first index whose cumulative weight exceeds `u`. Zero-weight
+    /// indices have cumulative equal to their predecessor and are skipped
+    /// by the strict comparison; when `u` rounds up to the total mass the
+    /// result clamps to the last *positive-weight* index, never a
+    /// trailing zero-weight one.
+    fn locate(&self, u: f64) -> usize {
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.max_draw)
+    }
+
     /// Draws one index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
-        let u = rng.gen::<f64>() * total;
-        // First index whose cumulative weight exceeds u. Zero-weight
-        // indices have cumulative equal to their predecessor and are
-        // skipped by the strict comparison.
-        self.cumulative
-            .partition_point(|&c| c <= u)
-            .min(self.cumulative.len() - 1)
+        self.locate(rng.gen::<f64>() * total)
     }
 
     /// Draws `k` independent indices (with replacement).
@@ -124,6 +141,28 @@ mod tests {
         }
         for i in 0..64 {
             assert!((c1[i] - c2[i]).abs() / (n as f64) < 0.01, "index {i}");
+        }
+    }
+
+    #[test]
+    fn trailing_zero_weights_are_never_drawn_even_at_total_mass() {
+        // Regression: with trailing zero weights the old clamp
+        // (`min(len - 1)`) returned index 4 when the uniform draw rounded
+        // up to the total mass, violating the zero-weight contract.
+        let sampler = CdfSampler::new(&[0.0, 2.0, 1.0, 0.0, 0.0]);
+        let total = 3.0;
+        // Forced `u == total` edge: must clamp to the last
+        // positive-weight index, not the last index.
+        assert_eq!(sampler.locate(total), 2);
+        // Forced past-the-end coordinate (paranoia for `u > total` after
+        // rounding): same clamp.
+        assert_eq!(sampler.locate(total + 1.0), 2);
+        // Interior zero weight is still skipped.
+        assert_eq!(sampler.locate(0.0), 1);
+        let mut rng = StdRng::seed_from_u64(54);
+        for _ in 0..20_000 {
+            let i = sampler.sample(&mut rng);
+            assert!(i == 1 || i == 2, "drew zero-weight index {i}");
         }
     }
 

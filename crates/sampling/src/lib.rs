@@ -22,7 +22,10 @@
 //!   reweighted estimate.
 //!
 //! [`reservoir`] adds single-pass reservoir sampling (Algorithm L) for
-//! streaming ingestion scenarios.
+//! streaming ingestion scenarios. [`segmented`] provides the per-segment
+//! counterparts ([`SegmentedWeights`]/[`SegmentedAlias`]/[`SegmentedCdf`])
+//! that keep every artifact in per-segment chunks for 10⁸–10⁹-record
+//! corpora — no contiguous allocation, no build-time re-merge.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,6 +34,7 @@ pub mod alias;
 pub mod cdf;
 pub mod reservoir;
 pub mod sampler;
+pub mod segmented;
 pub mod uniform;
 pub mod weights;
 
@@ -38,5 +42,6 @@ pub use alias::AliasTable;
 pub use cdf::CdfSampler;
 pub use reservoir::reservoir_sample;
 pub use sampler::WeightedSampler;
+pub use segmented::{SegmentedAlias, SegmentedCdf, SegmentedWeights};
 pub use uniform::{sample_with_replacement, sample_without_replacement};
 pub use weights::{apply_exponent, ImportanceWeights};

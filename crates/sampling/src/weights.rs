@@ -132,7 +132,8 @@ impl ImportanceWeights {
         self.probs.len()
     }
 
-    /// Always false (construction forbids empty distributions).
+    /// True when the distribution has no entries (construction forbids
+    /// this, so this is always false; provided for API completeness).
     pub fn is_empty(&self) -> bool {
         self.probs.is_empty()
     }

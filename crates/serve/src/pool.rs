@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
 use supg_core::selectors::SelectorConfig;
-use supg_core::{CacheStats, PreparedDataset, ScoredDataset, SupgError};
+use supg_core::{CacheStats, PreparedDataset, ScoredDataset, SegmentedDataset, SupgError};
 use supg_query::Catalog;
 
 use crate::error::ServeError;
@@ -52,6 +52,31 @@ impl SessionPool {
         scores: Vec<f64>,
     ) -> Result<Arc<PreparedDataset>, SupgError> {
         let prepared = Arc::new(PreparedDataset::new(ScoredDataset::new(scores)?));
+        let shared = Arc::clone(&prepared);
+        self.register(name, prepared);
+        Ok(shared)
+    }
+
+    /// Convenience: splits raw proxy scores into fixed-size segments (the
+    /// 10⁸–10⁹-record layout — per-segment rank indexes and sampling
+    /// artifacts, built fully in parallel) and registers the prepared
+    /// corpus. Admitted queries answer bit-identically to a flat
+    /// registration of the same scores under the default sampler strategy;
+    /// only artifact residency changes.
+    ///
+    /// # Errors
+    /// [`SupgError`] when the scores are invalid (empty, NaN, out of
+    /// `[0, 1]`) or `segment_size` is zero.
+    pub fn register_segmented(
+        &self,
+        name: impl Into<String>,
+        scores: Vec<f64>,
+        segment_size: usize,
+    ) -> Result<Arc<PreparedDataset>, SupgError> {
+        let prepared = Arc::new(PreparedDataset::from_segmented(SegmentedDataset::new(
+            scores,
+            segment_size,
+        )?));
         let shared = Arc::clone(&prepared);
         self.register(name, prepared);
         Ok(shared)

@@ -312,6 +312,42 @@ mod tests {
     }
 
     #[test]
+    fn segmented_registration_serves_identical_outcomes() {
+        // The serving path over a segmented registration: same spec, same
+        // seed, same answer bits as the flat registration — the segment
+        // layout is artifact residency, never visible to a tenant.
+        let n = 20_000;
+        let scores: Vec<f64> = (0..n).map(|i| (i % 1000) as f64 / 1000.0).collect();
+        let labels: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
+        let server = SupgServer::new(ServerConfig { max_in_flight: 4 });
+        server
+            .pool()
+            .register_scores("flat", scores.clone())
+            .unwrap();
+        let seg = server
+            .pool()
+            .register_segmented("segmented", scores, 1 << 10)
+            .unwrap();
+        server.tenants().register("acme", 10_000);
+
+        let spec = QuerySpec::recall(0.9, 1_000).with_seed(7);
+        server.pool().warm("segmented", &spec.config).unwrap();
+        assert_eq!(seg.cached_recipes(), 1);
+
+        let mut flat_oracle = CachedOracle::from_labels(labels.clone(), 1_000);
+        let mut seg_oracle = CachedOracle::from_labels(labels, 1_000);
+        let flat = server
+            .serve("acme", "flat", &spec, &mut flat_oracle)
+            .unwrap();
+        let segd = server
+            .serve("acme", "segmented", &spec, &mut seg_oracle)
+            .unwrap();
+        assert_eq!(flat.tau.to_bits(), segd.tau.to_bits());
+        assert_eq!(flat.result.indices(), segd.result.indices());
+        assert_eq!(flat.oracle_calls, segd.oracle_calls);
+    }
+
+    #[test]
     fn budget_exhaustion_sheds_before_execution() {
         let (server, labels) = server_with(10_000, 700, 4);
         let spec = QuerySpec::recall(0.9, 500);

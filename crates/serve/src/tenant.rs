@@ -68,9 +68,24 @@ impl TenantState {
     }
 
     /// Adds `calls` to the tenant's budget (a top-up), returning the new
-    /// remaining total.
+    /// remaining total. Saturates at `usize::MAX` — a `fetch_add` here
+    /// would wrap on a large top-up and silently *zero* the tenant's
+    /// budget, so the addition runs as a CAS loop mirroring the
+    /// overdraft path of [`settle`](TenantState::settle).
     pub fn add_budget(&self, calls: usize) -> usize {
-        self.budget.fetch_add(calls, Ordering::Relaxed) + calls
+        let mut current = self.budget.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(calls);
+            match self.budget.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return next,
+                Err(actual) => current = actual,
+            }
+        }
     }
 
     /// Reserves `declared` oracle calls from the budget — one CAS loop,
@@ -292,6 +307,18 @@ mod tests {
         t.try_reserve(10).unwrap();
         t.release(10);
         assert_eq!(t.remaining_budget(), 10);
+    }
+
+    #[test]
+    fn add_budget_saturates_instead_of_wrapping() {
+        let registry = TenantRegistry::new();
+        let t = registry.register("acme", usize::MAX - 5);
+        // A top-up past usize::MAX must pin at the ceiling, not wrap to
+        // a near-zero budget that would shed every subsequent request.
+        assert_eq!(t.add_budget(100), usize::MAX);
+        assert_eq!(t.remaining_budget(), usize::MAX);
+        t.try_reserve(10).unwrap();
+        assert_eq!(t.remaining_budget(), usize::MAX - 10);
     }
 
     #[test]

@@ -135,6 +135,25 @@
 //! membership, and the owned materialization is deferred until you call
 //! `into_owned()`.
 //!
+//! ## Segmented datasets: 10⁸–10⁹-record corpora
+//!
+//! One global rank index is the wrong artifact once the corpus stops
+//! fitting comfortably in a single sort: construction serializes on one
+//! n-record merge and the whole index must exist before the first
+//! query. [`core::SegmentedDataset`] splits the score column into
+//! fixed-size segments that each own their rank index and their slice
+//! of the sampling artifacts — built fully in parallel with no final
+//! re-merge — while threshold sets are stitched across segment heads in
+//! canonical global rank order. Sessions run over it unchanged
+//! (`SupgSession::over_segmented`, or `PreparedDataset::from_segmented`
+//! for the cached serving path), and the outcome is **bit-identical**
+//! to the flat layout at every segment size and parallelism under the
+//! default sampler strategy — the layout is an artifact-residency
+//! decision, never visible in results. CSV corpora load segment-aligned
+//! via [`datasets::io::from_csv_string_segmented`] without ever
+//! materializing the contiguous column. See the "Segmented datasets"
+//! section of [`core`] for the design and the parity-test inventory.
+//!
 //! ## Serving under concurrency
 //!
 //! When many clients share one deployment, wrap the prepared corpora in a
