@@ -22,7 +22,10 @@ fn bench_serve_saturation(c: &mut Criterion) {
 
     let n = 1_000_000;
     let (data, labels) = serving_workload(n);
-    let server = Arc::new(SupgServer::new(ServerConfig { max_in_flight: 64 }));
+    let server = Arc::new(SupgServer::new(ServerConfig {
+        max_in_flight: 64,
+        ..ServerConfig::default()
+    }));
     server.pool().register(
         "corpus",
         Arc::new(PreparedDataset::from_arc(Arc::clone(&data))),

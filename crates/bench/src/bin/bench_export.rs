@@ -77,6 +77,15 @@ fn main() -> ExitCode {
         report.cold_path.cdf_speedup(),
     );
     eprintln!(
+        "resilience (rate {:.0}%): fault-free {:.2}ms vs retried {:.2}ms per query → \
+         {:.2}× overhead ({} retries)",
+        report.resilience.transient_rate * 100.0,
+        report.resilience.fault_free_ns_per_query / 1e6,
+        report.resilience.retried_ns_per_query / 1e6,
+        report.resilience.overhead(),
+        report.resilience.retries,
+    );
+    eprintln!(
         "serving saturation ({} cores): qps 1 client {:.0}, 4 clients {:.0} → {:.2}× \
          (efficiency {:.2})",
         report.saturation.cores,
@@ -190,6 +199,30 @@ fn main() -> ExitCode {
                 "bench_export --check: {section}.{key} ok (current {current:.1}× vs baseline \
                  {baseline:.1}×)"
             );
+        }
+        // Retry overhead gates in the opposite direction from the
+        // speedups above (lower is better), so it gets its own check:
+        // non-required — a baseline predating the resilience section is
+        // skipped — and failing only when surviving faults costs more
+        // than twice what the committed baseline paid.
+        let overhead = report.resilience.overhead();
+        match extract_number(&committed, "resilience", "overhead") {
+            None => eprintln!(
+                "bench_export --check: baseline predates resilience.overhead; skipping its gate"
+            ),
+            Some(baseline) => {
+                if overhead > baseline * 2.0 {
+                    eprintln!(
+                        "bench_export --check: resilience.overhead regressed: \
+                         current {overhead:.2}× > twice baseline {baseline:.2}×"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "bench_export --check: resilience.overhead ok (current {overhead:.2}× vs \
+                     baseline {baseline:.2}×)"
+                );
+            }
         }
         // Fall through: a passing check regenerates the measurements so
         // the file stays fresh wherever the run happened.

@@ -16,8 +16,9 @@ use supg_core::rank::{materialize_linear, RankIndex};
 use supg_core::selectors::reference::{precision_threshold_naive, recall_threshold_naive};
 use supg_core::selectors::{precision_threshold, recall_threshold, SelectorConfig};
 use supg_core::{
-    CachedOracle, OracleSample, PreparedDataset, RuntimeConfig, SamplerStrategy, ScoredDataset,
-    SegmentedDataset, SelectorKind, SupgSession, WeightArtifacts,
+    CachedOracle, FaultPlan, FaultyOracle, OracleSample, PreparedDataset, ResilientOracle,
+    RetryPolicy, RuntimeConfig, SamplerStrategy, ScoredDataset, SegmentedDataset, SelectorKind,
+    SupgSession, WeightArtifacts,
 };
 use supg_datasets::BetaDataset;
 use supg_sampling::{CdfSampler, ImportanceWeights};
@@ -99,6 +100,35 @@ impl ServingNumbers {
     /// sub-linearly in query count.
     pub fn amortization(&self) -> f64 {
         self.prepared_ns_per_query / self.prepared_first_query_ns.max(1.0)
+    }
+}
+
+/// Retry-runtime overhead on warm serving: the same query stream with a
+/// fault-free oracle vs a 1%-transient oracle healed through
+/// [`supg_core::ResilientOracle`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceNumbers {
+    /// Dataset size.
+    pub n: usize,
+    /// Oracle budget per query.
+    pub budget: usize,
+    /// Queries per arm.
+    pub queries: usize,
+    /// Injected transient-fault rate of the faulty arm.
+    pub transient_rate: f64,
+    /// Median ns/query with a clean oracle, no retry wrapper.
+    pub fault_free_ns_per_query: f64,
+    /// Median ns/query with injected faults + the default retry policy.
+    pub retried_ns_per_query: f64,
+    /// Total retries the faulty arm performed (proves faults fired).
+    pub retries: u64,
+}
+
+impl ResilienceNumbers {
+    /// `retried / fault-free` — the relative cost of surviving a 1%
+    /// transient fault rate (wrapper + re-labeling + bookkeeping).
+    pub fn overhead(&self) -> f64 {
+        self.retried_ns_per_query / self.fault_free_ns_per_query.max(1.0)
     }
 }
 
@@ -325,6 +355,8 @@ pub struct BenchReport {
     pub assembly_ns: f64,
     /// Repeated-query serving numbers.
     pub serving: ServingNumbers,
+    /// Retry-runtime overhead on warm serving.
+    pub resilience: ResilienceNumbers,
     /// Multi-client saturation curve through the `supg-serve` server.
     pub saturation: SaturationNumbers,
     /// Rank-index vs linear-scan set materialization.
@@ -388,6 +420,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     });
 
     let serving = measure_serving(if quick { 8 } else { 32 });
+    let resilience = measure_resilience(if quick { 8 } else { 32 });
     let saturation = measure_saturation(quick);
     let materialization = measure_materialization(if quick { 10 } else { 40 });
     let cold_build = measure_cold_build(if quick { 3 } else { 7 });
@@ -401,6 +434,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
         recall,
         assembly_ns,
         serving,
+        resilience,
         saturation,
         materialization,
         cold_build,
@@ -735,6 +769,61 @@ fn measure_serving(queries: usize) -> ServingNumbers {
     }
 }
 
+/// Retry overhead on the warm serving path: the paper's IS-CI-R query
+/// over a prepared 1M-record corpus, fault-free vs a 1%-transient oracle
+/// healed by the default retry policy (virtual backoff, so the number
+/// isolates wrapper + re-labeling cost from sleeping). Arms alternate
+/// within one loop so ambient machine noise hits both medians alike.
+fn measure_resilience(queries: usize) -> ResilienceNumbers {
+    let n = 1_000_000;
+    let budget = 1_000;
+    let transient_rate = 0.01;
+    let (data, labels) = serving_workload(n);
+    let prepared = Arc::new(PreparedDataset::from_arc(Arc::clone(&data)));
+    // Warm outside the timed region: both arms measure steady-state.
+    run_query(SupgSession::over_prepared(&prepared), &labels, budget, 0);
+
+    let mut clean_ns = Vec::with_capacity(queries);
+    let mut retried_ns = Vec::with_capacity(queries);
+    let mut retries = 0u64;
+    for q in 0..queries {
+        let seed = q as u64;
+
+        let start = Instant::now();
+        run_query(SupgSession::over_prepared(&prepared), &labels, budget, seed);
+        clean_ns.push(start.elapsed().as_nanos() as f64);
+
+        let l = Arc::clone(&labels);
+        let base = CachedOracle::parallel(l.len(), budget, move |i| l[i]);
+        let plan = FaultPlan::new(seed ^ 0xFA17).with_transient_rate(transient_rate);
+        let mut oracle =
+            ResilientOracle::new(FaultyOracle::new(base, plan), RetryPolicy::default());
+        let start = Instant::now();
+        let outcome = SupgSession::over_prepared(&prepared)
+            .recall(0.9)
+            .budget(budget)
+            .selector(SelectorKind::ImportanceSampling)
+            .seed(seed)
+            .run(&mut oracle)
+            .expect("resilience query failed");
+        retried_ns.push(start.elapsed().as_nanos() as f64);
+        retries += outcome.oracle_retries;
+        std::hint::black_box(outcome);
+    }
+    clean_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    retried_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+
+    ResilienceNumbers {
+        n,
+        budget,
+        queries,
+        transient_rate,
+        fault_free_ns_per_query: clean_ns[clean_ns.len() / 2],
+        retried_ns_per_query: retried_ns[retried_ns.len() / 2],
+        retries,
+    }
+}
+
 /// Nearest-rank percentile of an ascending latency sample.
 fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
     let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
@@ -760,7 +849,10 @@ fn measure_saturation(quick: bool) -> SaturationNumbers {
         .unwrap_or(1);
 
     let (data, labels) = serving_workload(n);
-    let server = Arc::new(SupgServer::new(ServerConfig { max_in_flight: 128 }));
+    let server = Arc::new(SupgServer::new(ServerConfig {
+        max_in_flight: 128,
+        ..ServerConfig::default()
+    }));
     server.pool().register(
         "corpus",
         Arc::new(PreparedDataset::from_arc(Arc::clone(&data))),
@@ -829,7 +921,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"supg-bench/5\",");
+        let _ = writeln!(out, "  \"schema\": \"supg-bench/6\",");
         let _ = writeln!(out, "  \"threshold_search\": {{");
         let _ = writeln!(out, "    \"s\": {},", self.s);
         let _ = writeln!(out, "    \"step\": {},", self.step);
@@ -874,6 +966,28 @@ impl BenchReport {
             "    \"concurrent_wall_ns\": {:.0}",
             self.serving.concurrent_wall_ns
         );
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"resilience\": {{");
+        let _ = writeln!(out, "    \"n\": {},", self.resilience.n);
+        let _ = writeln!(out, "    \"budget\": {},", self.resilience.budget);
+        let _ = writeln!(out, "    \"queries\": {},", self.resilience.queries);
+        let _ = writeln!(
+            out,
+            "    \"transient_rate\": {:.3},",
+            self.resilience.transient_rate
+        );
+        let _ = writeln!(
+            out,
+            "    \"fault_free_ns_per_query\": {:.0},",
+            self.resilience.fault_free_ns_per_query
+        );
+        let _ = writeln!(
+            out,
+            "    \"retried_ns_per_query\": {:.0},",
+            self.resilience.retried_ns_per_query
+        );
+        let _ = writeln!(out, "    \"retries\": {},", self.resilience.retries);
+        let _ = writeln!(out, "    \"overhead\": {:.3}", self.resilience.overhead());
         let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"materialization\": {{");
         let _ = writeln!(out, "    \"n\": {},", self.materialization.n);
@@ -1057,6 +1171,15 @@ mod tests {
                 concurrent_wall_ns: 4e6,
                 concurrency: 4,
             },
+            resilience: ResilienceNumbers {
+                n: 1_000_000,
+                budget: 1_000,
+                queries: 8,
+                transient_rate: 0.01,
+                fault_free_ns_per_query: 1e6,
+                retried_ns_per_query: 1.25e6,
+                retries: 80,
+            },
             saturation: SaturationNumbers {
                 n: 1_000_000,
                 budget: 1_000,
@@ -1126,6 +1249,12 @@ mod tests {
             extract_number(&json, "prepared_serving", "speedup"),
             Some(9.0)
         );
+        assert_eq!(
+            extract_number(&json, "resilience", "transient_rate"),
+            Some(0.01)
+        );
+        assert_eq!(extract_number(&json, "resilience", "retries"), Some(80.0));
+        assert_eq!(extract_number(&json, "resilience", "overhead"), Some(1.25));
         assert_eq!(
             extract_number(&json, "materialization", "speedup"),
             Some(50.0)

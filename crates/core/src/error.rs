@@ -1,6 +1,7 @@
 //! Error type shared across the SUPG core.
 
 use std::fmt;
+use std::time::Duration;
 
 use crate::query::TargetKind;
 
@@ -43,6 +44,42 @@ pub enum SupgError {
         /// The requested target kind.
         target: TargetKind,
     },
+    /// One oracle invocation failed in a way that is expected to succeed
+    /// on retry (a timeout, a dropped connection, a throttled backend).
+    /// The only [`is_transient`](SupgError::is_transient) error: a retry
+    /// runtime (e.g. [`ResilientOracle`](crate::fault::ResilientOracle))
+    /// may re-issue the call; everything else must propagate.
+    OracleTransient {
+        /// Record index whose labeling attempt failed.
+        index: usize,
+        /// Backend-supplied description of the failure.
+        cause: String,
+    },
+    /// An oracle invocation failed permanently: either the backend
+    /// reported a non-retryable fault, or a retry policy exhausted its
+    /// attempts on transients for this record.
+    OracleFailed {
+        /// Record index whose labeling failed.
+        index: usize,
+        /// Labeling attempts made before giving up (1 for a permanent
+        /// backend fault surfaced on first contact).
+        attempts: u32,
+    },
+    /// A per-query deadline elapsed before the oracle work completed.
+    DeadlineExceeded {
+        /// The configured deadline.
+        deadline: Duration,
+    },
+}
+
+impl SupgError {
+    /// Whether a retry of the failing operation can be expected to
+    /// succeed. True only for [`OracleTransient`](SupgError::OracleTransient):
+    /// budget exhaustion, bad indexes and permanent oracle faults are
+    /// deterministic and must never be retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SupgError::OracleTransient { .. })
+    }
 }
 
 impl fmt::Display for SupgError {
@@ -83,6 +120,17 @@ impl fmt::Display for SupgError {
                 "selector {selector} has no {} algorithm in the registry",
                 target.keyword()
             ),
+            SupgError::OracleTransient { index, cause } => write!(
+                f,
+                "transient oracle failure labeling record {index}: {cause}"
+            ),
+            SupgError::OracleFailed { index, attempts } => write!(
+                f,
+                "oracle failed permanently labeling record {index} after {attempts} attempt(s)"
+            ),
+            SupgError::DeadlineExceeded { deadline } => {
+                write!(f, "query deadline of {deadline:?} exceeded")
+            }
         }
     }
 }
@@ -104,5 +152,46 @@ mod tests {
         assert!(SupgError::BudgetExhausted { budget: 10 }
             .to_string()
             .contains("10"));
+        let e = SupgError::OracleTransient {
+            index: 7,
+            cause: "backend timeout".into(),
+        };
+        assert!(e.to_string().contains("record 7"));
+        assert!(e.to_string().contains("backend timeout"));
+        let e = SupgError::OracleFailed {
+            index: 9,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("record 9"));
+        assert!(e.to_string().contains("4 attempt"));
+        assert!(SupgError::DeadlineExceeded {
+            deadline: Duration::from_millis(250),
+        }
+        .to_string()
+        .contains("250ms"));
+    }
+
+    #[test]
+    fn only_transient_oracle_errors_are_retryable() {
+        assert!(SupgError::OracleTransient {
+            index: 0,
+            cause: "flaky".into(),
+        }
+        .is_transient());
+        for e in [
+            SupgError::EmptyDataset,
+            SupgError::BudgetExhausted { budget: 5 },
+            SupgError::IndexOutOfRange { index: 9, len: 3 },
+            SupgError::OracleFailed {
+                index: 1,
+                attempts: 3,
+            },
+            SupgError::DeadlineExceeded {
+                deadline: Duration::from_secs(1),
+            },
+            SupgError::MissingTarget,
+        ] {
+            assert!(!e.is_transient(), "{e} must not be retryable");
+        }
     }
 }

@@ -61,6 +61,8 @@
 //!   consume.
 //! * [`oracle`] — the budgeted, label-caching oracle abstraction
 //!   ([`CachedOracle`]).
+//! * [`fault`] — deterministic oracle fault injection ([`FaultyOracle`])
+//!   and the retry runtime ([`ResilientOracle`] under a [`RetryPolicy`]).
 //! * [`prepared`] — the [`PreparedDataset`] artifact layer: `Arc`-shared
 //!   scores plus a keyed cache of sampling artifacts, amortizing O(n)
 //!   per-dataset setup across queries and sessions.
@@ -281,6 +283,30 @@
 //! layout-blind [`Corpus`] / `RankSource` / per-record accessors
 //! instead.
 //!
+//! ## Robustness: fault injection and retries
+//!
+//! Real oracles — GPU model services, human labeling queues — fail
+//! transiently, and the [`fault`] module makes that a first-class,
+//! *deterministic* concern. A [`FaultyOracle`] wraps any oracle and
+//! injects transient faults, permanent faults and simulated latency as a
+//! pure function of the record index (seeded through
+//! [`runtime::split_seed`]), reproducible at every parallelism and batch
+//! size. A [`ResilientOracle`] recovers: it retries transients under a
+//! [`RetryPolicy`] (bounded attempts, capped exponential backoff with
+//! seeded jitter, optional per-query deadline), escalates to
+//! [`SupgError::OracleFailed`] when attempts run out, and — because
+//! injected faults fire *before* the inner oracle consumes budget — a
+//! retried run's [`QueryOutcome`] is **bit-identical** to the fault-free
+//! run (same `τ` bits, result order and oracle accounting; pinned by
+//! `tests/resilience_parity.rs` across RT/PT/JT, parallelism and
+//! flat/segmented layouts). Retry totals surface on every outcome
+//! (`oracle_retries` / `oracle_failures` / `retry_backoff`), and
+//! `tests/guarantees.rs` re-runs the statistical guarantee suite through
+//! the fault harness — the `1 − δ` contract survives infrastructure
+//! noise, not just sampling noise. The `supg-serve` crate adds the
+//! serving-side degradation ladder (deadlines, per-dataset circuit
+//! breakers) on these primitives.
+//!
 //! ## Guarantee contract
 //!
 //! For an RT query with target `γ` and failure probability `δ`, the set `R`
@@ -298,6 +324,7 @@ pub mod cost;
 pub mod data;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod metrics;
 pub mod oracle;
 pub mod prepared;
@@ -312,6 +339,7 @@ pub mod session;
 pub use data::ScoredDataset;
 pub use error::SupgError;
 pub use executor::{ResultView, SelectionResult};
+pub use fault::{FaultDecision, FaultPlan, FaultyOracle, ResilientOracle, RetryPolicy, RetryStats};
 pub use metrics::PrecisionRecall;
 pub use oracle::{BatchOracle, CachedOracle, Oracle};
 pub use prepared::{

@@ -24,6 +24,7 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::error::SupgError;
+use crate::fault::RetryStats;
 use crate::runtime::{parallel_map, RuntimeConfig};
 
 /// An expensive ground-truth predicate with usage accounting.
@@ -66,6 +67,45 @@ pub trait Oracle {
     /// before running a query. The default is a no-op so plain sequential
     /// oracles are unaffected.
     fn configure_runtime(&mut self, _runtime: RuntimeConfig) {}
+
+    /// Retry-accounting totals of this oracle stack (see
+    /// [`crate::fault`]). The default reports zeros — plain oracles never
+    /// retry; [`ResilientOracle`](crate::fault::ResilientOracle) overrides
+    /// this, and sessions diff it around a query to attribute retries,
+    /// permanent failures and backoff to one
+    /// [`QueryOutcome`](crate::session::QueryOutcome).
+    fn retry_stats(&self) -> RetryStats {
+        RetryStats::default()
+    }
+}
+
+/// Forwarding impl so oracle wrappers (the [`crate::fault`] layer, the
+/// serving layer) can compose over a mutable borrow — e.g. wrap a caller's
+/// `&mut dyn SessionOracle` without taking ownership.
+impl<O: Oracle + ?Sized> Oracle for &mut O {
+    fn label(&mut self, index: usize) -> Result<bool, SupgError> {
+        (**self).label(index)
+    }
+
+    fn calls_used(&self) -> usize {
+        (**self).calls_used()
+    }
+
+    fn budget(&self) -> usize {
+        (**self).budget()
+    }
+
+    fn label_batch_native(&mut self, indices: &[usize]) -> Option<Result<Vec<bool>, SupgError>> {
+        (**self).label_batch_native(indices)
+    }
+
+    fn configure_runtime(&mut self, runtime: RuntimeConfig) {
+        (**self).configure_runtime(runtime);
+    }
+
+    fn retry_stats(&self) -> RetryStats {
+        (**self).retry_stats()
+    }
 }
 
 /// Batched labeling, the interface the whole query pipeline uses.
@@ -479,6 +519,63 @@ mod tests {
         assert_eq!(o.calls_used(), 1);
         assert_eq!(o.cached(0), Some(true));
         assert_eq!(o.cached(1), None);
+    }
+
+    #[test]
+    fn native_partial_failure_contract_holds_on_the_parallel_path() {
+        // The documented BatchOracle contract: "on error, all records
+        // *before* the failing position have been labeled and cached,
+        // exactly as the sequential loop would leave them." Pin it on the
+        // batch-native path under real pool parallelism with batch sizes
+        // small enough that one request spans many worker batches, with
+        // duplicates in the request, for both error kinds.
+        let labels: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        // Duplicates early (cache hits, charged once) and a long tail.
+        let mut indices: Vec<usize> = vec![5, 9, 5, 9, 2];
+        indices.extend(0..40);
+
+        // Sequential reference for the budget-exhaustion shape.
+        let budget = 17;
+        let mut seq = CachedOracle::new(64, budget, {
+            let labels = labels.clone();
+            move |i| labels[i]
+        });
+        let seq_err = indices
+            .iter()
+            .map(|&i| seq.label(i))
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+
+        for parallelism in [2, 4, 8] {
+            for batch_size in [1, 3, 7] {
+                let runtime = RuntimeConfig::default()
+                    .with_parallelism(parallelism)
+                    .with_batch_size(batch_size);
+                let mut o = CachedOracle::from_labels(labels.clone(), budget).with_runtime(runtime);
+                let err = o.label_batch(&indices).unwrap_err();
+                assert_eq!(err, seq_err, "p={parallelism} b={batch_size}");
+                assert_eq!(o.calls_used(), seq.calls_used());
+                // Record-by-record cache state equals the sequential
+                // loop's: everything before the failing position labeled,
+                // nothing after it.
+                for i in 0..64 {
+                    assert_eq!(
+                        o.cached(i),
+                        seq.cached(i),
+                        "record {i} diverges at p={parallelism} b={batch_size}"
+                    );
+                }
+
+                // Out-of-range mid-batch: prefix labeled, suffix not.
+                let mut o = CachedOracle::from_labels(labels.clone(), 64).with_runtime(runtime);
+                let err = o.label_batch(&[3, 3, 8, 99, 11]).unwrap_err();
+                assert_eq!(err, SupgError::IndexOutOfRange { index: 99, len: 64 });
+                assert_eq!(o.calls_used(), 2);
+                assert_eq!(o.cached(3), Some(true));
+                assert_eq!(o.cached(8), Some(false));
+                assert_eq!(o.cached(11), None, "past-error record labeled");
+            }
+        }
     }
 
     #[test]

@@ -226,6 +226,14 @@ pub fn split_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// [`split_seed`] mapped to a uniform float in `[0, 1)` — the per-index
+/// coin the deterministic fault-injection layer ([`crate::fault`]) and
+/// seeded-jitter backoff flip. Uses the top 53 bits of the split stream,
+/// so the value is an exact dyadic rational identical on every platform.
+pub fn split_unit(base: u64, index: u64) -> f64 {
+    (split_seed(base, index) >> 11) as f64 / (1u64 << 53) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +248,19 @@ mod tests {
         assert_eq!(cfg.batch_size, 1);
         assert!(cfg.is_sequential());
         assert!(!RuntimeConfig::default().with_parallelism(4).is_sequential());
+    }
+
+    #[test]
+    fn split_unit_is_uniform_enough_and_in_range() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| split_unit(42, i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+        for i in 0..n {
+            let u = split_unit(42, i);
+            assert!((0.0..1.0).contains(&u));
+            // Pure function of (base, index): stable across calls.
+            assert_eq!(u.to_bits(), split_unit(42, i).to_bits());
+        }
     }
 
     #[test]

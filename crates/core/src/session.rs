@@ -229,6 +229,15 @@ impl SessionOracle for CachedOracle {
     }
 }
 
+/// Forwarding impl mirroring the `&mut O` [`Oracle`] impl, so wrappers
+/// (the [`crate::fault`] layer, the serving layer) can re-budget through a
+/// mutable borrow of a caller's oracle.
+impl<O: SessionOracle + ?Sized> SessionOracle for &mut O {
+    fn set_budget(&mut self, budget: usize) {
+        (**self).set_budget(budget);
+    }
+}
+
 /// Everything one query execution produced — RT, PT and JT alike — for
 /// auditing, evaluation and reporting.
 ///
@@ -274,6 +283,18 @@ pub struct QueryOutcome<R = SelectionResult> {
     pub stage_elapsed: Duration,
     /// Wall-clock time of the JT exhaustive filter (zero for RT/PT).
     pub filter_elapsed: Duration,
+    /// Transient oracle failures retried during this query (0 unless the
+    /// oracle stack includes a retrying wrapper such as
+    /// [`ResilientOracle`](crate::fault::ResilientOracle)).
+    pub oracle_retries: u64,
+    /// Records whose labeling failed permanently during this query, as
+    /// counted by the oracle stack (a failure normally aborts the query,
+    /// so successful outcomes report 0 unless a custom oracle absorbs
+    /// failures internally).
+    pub oracle_failures: u64,
+    /// Retry backoff accrued during this query (virtual unless the retry
+    /// policy really sleeps).
+    pub retry_backoff: Duration,
 }
 
 /// A [`QueryOutcome`] whose result is the borrowed, zero-copy
@@ -301,6 +322,9 @@ impl ViewOutcome<'_> {
             cache_misses: self.cache_misses,
             stage_elapsed: self.stage_elapsed,
             filter_elapsed: self.filter_elapsed,
+            oracle_retries: self.oracle_retries,
+            oracle_failures: self.oracle_failures,
+            retry_backoff: self.retry_backoff,
         }
     }
 }
@@ -775,6 +799,7 @@ fn exec_single_view<'v>(
 ) -> Result<ViewOutcome<'v>, SupgError> {
     let start = Instant::now();
     let calls_before = oracle.calls_used();
+    let retry_before = oracle.retry_stats();
     // The rank source is borrowed *before* the probe shortens the view's
     // lifetime — the returned result view must outlive the local probe.
     let ranks = view.rank_source();
@@ -787,6 +812,7 @@ fn exec_single_view<'v>(
     let result = ResultView::over(ranks, estimate.tau, estimate.sample.positive_indices());
 
     let stage_calls = oracle.calls_used() - calls_before;
+    let retry = oracle.retry_stats().since(retry_before);
     let elapsed = start.elapsed();
     Ok(QueryOutcome {
         candidates: result.len(),
@@ -804,6 +830,9 @@ fn exec_single_view<'v>(
         cache_misses: probe.cache_misses(),
         stage_elapsed: elapsed,
         filter_elapsed: Duration::ZERO,
+        oracle_retries: retry.retries,
+        oracle_failures: retry.failures,
+        retry_backoff: retry.backoff,
     })
 }
 
@@ -843,6 +872,7 @@ fn exec_joint_stages<'v>(
 ) -> Result<ViewOutcome<'v>, SupgError> {
     let start = Instant::now();
     let calls_before = oracle.calls_used();
+    let retry_before = oracle.retry_stats();
     // Grant the RT stage exactly its stage budget in fresh calls even when
     // the oracle was used before (set_budget replaces the *total* budget).
     oracle.set_budget(calls_before.saturating_add(rt_query.budget()));
@@ -869,6 +899,9 @@ fn exec_joint_stages<'v>(
     let result = stage.result.retain(&labels);
     let filter_calls = oracle.calls_used() - calls_before - stage_calls;
     let filter_elapsed = filter_start.elapsed();
+    // One diff over both stages: the stage outcome's own retry fields are
+    // subsumed by this query-wide accounting.
+    let retry = oracle.retry_stats().since(retry_before);
 
     Ok(QueryOutcome {
         result,
@@ -886,6 +919,9 @@ fn exec_joint_stages<'v>(
         cache_misses: stage.cache_misses,
         stage_elapsed,
         filter_elapsed,
+        oracle_retries: retry.retries,
+        oracle_failures: retry.failures,
+        retry_backoff: retry.backoff,
     })
 }
 

@@ -23,7 +23,8 @@ use supg_core::metrics::evaluate;
 use supg_core::runtime::{parallel_map, split_seed, RuntimeConfig};
 use supg_core::selectors::SelectorConfig;
 use supg_core::{
-    CachedOracle, SamplerStrategy, ScoredDataset, SelectorKind, SupgSession, TargetKind,
+    CachedOracle, FaultPlan, FaultyOracle, ResilientOracle, RetryPolicy, SamplerStrategy,
+    ScoredDataset, SelectorKind, SupgSession, TargetKind,
 };
 use supg_datasets::{Preset, PresetKind};
 
@@ -62,13 +63,48 @@ fn count_failures_with(
     base_seed: u64,
     cfg: SelectorConfig,
 ) -> usize {
+    count_failures_inner(kind, target, gamma, trials, base_seed, cfg, None)
+}
+
+/// Like [`count_failures_with`], but every trial's oracle suffers
+/// injected transient faults at `transient_rate`, healed by the default
+/// retry policy. The statistical guarantee must be indistinguishable
+/// from the fault-free harness: retries reproduce the exact label
+/// stream, so `p ≤ δ` still holds trial by trial.
+#[allow(clippy::too_many_arguments)]
+fn count_failures_inner(
+    kind: SelectorKind,
+    target: TargetKind,
+    gamma: f64,
+    trials: usize,
+    base_seed: u64,
+    cfg: SelectorConfig,
+    transient_rate: Option<f64>,
+) -> usize {
     let (data, labels) = workload();
     let pool = RuntimeConfig::default()
         .with_parallelism(thread::available_parallelism().map_or(4, |n| n.get()))
         .with_batch_size(1);
     let trial_ids: Vec<u64> = (0..trials as u64).collect();
     let failed = parallel_map(&pool, &trial_ids, |&trial| {
-        let mut oracle = CachedOracle::from_labels(labels.clone(), BUDGET);
+        let base = CachedOracle::from_labels(labels.clone(), BUDGET);
+        // Wrap each trial's oracle in its own deterministic fault plan
+        // (split by trial index) plus the retry runtime.
+        let mut faulted;
+        let mut clean;
+        let oracle: &mut dyn supg_core::SessionOracle = match transient_rate {
+            Some(rate) => {
+                let plan =
+                    FaultPlan::new(split_seed(base_seed ^ 0xFA17, trial)).with_transient_rate(rate);
+                faulted =
+                    ResilientOracle::new(FaultyOracle::new(base, plan), RetryPolicy::default());
+                &mut faulted
+            }
+            None => {
+                clean = base;
+                &mut clean
+            }
+        };
         let session = SupgSession::over(&data)
             .delta(DELTA)
             .budget(BUDGET)
@@ -79,7 +115,7 @@ fn count_failures_with(
             TargetKind::Recall => session.recall(gamma),
             TargetKind::Precision => session.precision(gamma),
         };
-        let outcome = session.run(&mut oracle).expect("trial failed");
+        let outcome = session.run(oracle).expect("trial failed");
         assert!(
             outcome.oracle_calls <= BUDGET,
             "budget violation: {} > {BUDGET}",
@@ -205,6 +241,58 @@ fn is_ci_p_cdf_sampler_guarantee_smoke() {
         QUICK_TRIALS,
         106,
         cdf_cfg(),
+    );
+}
+
+// --- Fault-injected configurations: the guarantee must survive a flaky
+// oracle healed by the retry runtime (5% transient rate) ---
+
+const FAULT_RATE: f64 = 0.05;
+
+fn assert_faulty_guarantee_holds(
+    kind: SelectorKind,
+    target: TargetKind,
+    gamma: f64,
+    trials: usize,
+    base_seed: u64,
+) {
+    let failures = count_failures_inner(
+        kind,
+        target,
+        gamma,
+        trials,
+        base_seed,
+        SelectorConfig::default(),
+        Some(FAULT_RATE),
+    );
+    let allowed = max_allowed_failures(trials, DELTA);
+    let name = kind.paper_name(target).unwrap();
+    assert!(
+        failures <= allowed,
+        "{name} γ={gamma} under {FAULT_RATE:.0}%-transient faults: {failures}/{trials} \
+         failures exceeds δ={DELTA} plus binomial slack (allowed {allowed})"
+    );
+}
+
+#[test]
+fn is_ci_r_guarantee_smoke_under_transient_faults() {
+    assert_faulty_guarantee_holds(
+        SelectorKind::ImportanceSampling,
+        TargetKind::Recall,
+        0.9,
+        QUICK_TRIALS,
+        107,
+    );
+}
+
+#[test]
+fn is_ci_p_guarantee_smoke_under_transient_faults() {
+    assert_faulty_guarantee_holds(
+        SelectorKind::TwoStage,
+        TargetKind::Precision,
+        0.9,
+        QUICK_TRIALS,
+        108,
     );
 }
 
@@ -358,6 +446,56 @@ fn is_ci_p_cdf_gamma_095_failure_rate_within_delta() {
         FULL_TRIALS,
         212,
         cdf_cfg(),
+    );
+}
+
+// --- Fault-injected full configurations ---
+
+#[test]
+#[ignore = "long statistical suite; run with --ignored"]
+fn is_ci_r_faulty_gamma_090_failure_rate_within_delta() {
+    assert_faulty_guarantee_holds(
+        SelectorKind::ImportanceSampling,
+        TargetKind::Recall,
+        0.9,
+        FULL_TRIALS,
+        213,
+    );
+}
+
+#[test]
+#[ignore = "long statistical suite; run with --ignored"]
+fn is_ci_r_faulty_gamma_095_failure_rate_within_delta() {
+    assert_faulty_guarantee_holds(
+        SelectorKind::ImportanceSampling,
+        TargetKind::Recall,
+        0.95,
+        FULL_TRIALS,
+        214,
+    );
+}
+
+#[test]
+#[ignore = "long statistical suite; run with --ignored"]
+fn is_ci_p_faulty_gamma_090_failure_rate_within_delta() {
+    assert_faulty_guarantee_holds(
+        SelectorKind::TwoStage,
+        TargetKind::Precision,
+        0.9,
+        FULL_TRIALS,
+        215,
+    );
+}
+
+#[test]
+#[ignore = "long statistical suite; run with --ignored"]
+fn is_ci_p_faulty_gamma_095_failure_rate_within_delta() {
+    assert_faulty_guarantee_holds(
+        SelectorKind::TwoStage,
+        TargetKind::Precision,
+        0.95,
+        FULL_TRIALS,
+        216,
     );
 }
 

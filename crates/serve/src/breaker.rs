@@ -1,0 +1,359 @@
+//! Per-dataset circuit breaking: stop paying a failing oracle.
+//!
+//! When a dataset's queries fail permanently back to back — a labeling
+//! backend that is down, not merely slow — admitting more of them burns
+//! client deadlines for nothing. A [`CircuitBreaker`] watches consecutive
+//! [`SupgError::OracleFailed`](supg_core::SupgError::OracleFailed)
+//! outcomes per dataset and walks the classic lifecycle:
+//!
+//! * **Closed** — healthy; every query is admitted. `failure_threshold`
+//!   consecutive permanent failures trip it open.
+//! * **Open** — queries are shed instantly with
+//!   [`ServeError::CircuitOpen`](crate::error::ServeError::CircuitOpen)
+//!   at zero oracle/budget cost, carrying a `retry_after` hint. After
+//!   `cooldown`, the next arrival is admitted as the half-open probe.
+//! * **HalfOpen** — exactly one probe runs; everyone else is shed. A
+//!   successful probe closes the circuit, a failed one re-opens it (and
+//!   restarts the cooldown).
+//!
+//! Admission outcomes are recorded through a [`BreakerPass`] drop guard,
+//! so a panicking oracle can never wedge the breaker half-open: an
+//! unreported pass resolves to "neutral", releasing the probe slot
+//! without moving the failure count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker tuning, part of
+/// [`ServerConfig`](crate::server::ServerConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive permanent oracle failures that trip a dataset's
+    /// circuit open. `0` disables circuit breaking entirely.
+    pub failure_threshold: u32,
+    /// How long an open circuit sheds before admitting a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Whether circuit breaking is enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.failure_threshold > 0
+    }
+}
+
+/// The lifecycle state of one dataset's circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all queries admitted.
+    Closed,
+    /// Shedding: all queries rejected until the cooldown elapses.
+    Open,
+    /// Probing: one query is testing the backend; others are shed.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+}
+
+/// One dataset's breaker: lifecycle state under a small mutex (touched
+/// once per admission, never during query execution), observability
+/// counters as relaxed atomics.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+    shed: AtomicU64,
+    opened: AtomicU64,
+    probes: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive: 0,
+                opened_at: None,
+                probe_in_flight: false,
+            }),
+            shed: AtomicU64::new(0),
+            opened: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    /// Decides whether one arriving query may run. `Ok` returns a
+    /// [`BreakerPass`] the caller must resolve (success / failure /
+    /// neutral — or just drop it, which resolves neutral); `Err` carries
+    /// the shed hint: how long until the circuit will next admit a probe.
+    pub fn admit(&self) -> Result<BreakerPass<'_>, Duration> {
+        if !self.config.enabled() {
+            return Ok(BreakerPass { breaker: None });
+        }
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => Ok(BreakerPass {
+                breaker: Some(self),
+            }),
+            BreakerState::Open => {
+                let elapsed = inner
+                    .opened_at
+                    .map(|t| t.elapsed())
+                    .unwrap_or(Duration::ZERO);
+                if elapsed >= self.config.cooldown {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_in_flight = true;
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    Ok(BreakerPass {
+                        breaker: Some(self),
+                    })
+                } else {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    Err(self.config.cooldown - elapsed)
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_in_flight {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    // The probe decides imminently; advise an immediate
+                    // retry rather than a full cooldown.
+                    Err(Duration::ZERO)
+                } else {
+                    // The previous probe resolved neutrally (e.g. a
+                    // validation error that says nothing about oracle
+                    // health); this arrival becomes the probe.
+                    inner.probe_in_flight = true;
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    Ok(BreakerPass {
+                        breaker: Some(self),
+                    })
+                }
+            }
+        }
+    }
+
+    fn record_success(&self) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        inner.state = BreakerState::Closed;
+        inner.consecutive = 0;
+        inner.opened_at = None;
+        inner.probe_in_flight = false;
+    }
+
+    fn record_failure(&self) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        inner.consecutive = inner.consecutive.saturating_add(1);
+        let was_probe = inner.probe_in_flight;
+        inner.probe_in_flight = false;
+        if was_probe
+            || (inner.state == BreakerState::Closed
+                && inner.consecutive >= self.config.failure_threshold)
+        {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(Instant::now());
+            self.opened.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn record_neutral(&self) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        // Says nothing about oracle health: release the probe slot (the
+        // next arrival probes) and leave state and failure count alone.
+        inner.probe_in_flight = false;
+    }
+
+    /// A point-in-time snapshot of the breaker.
+    pub fn stats(&self) -> BreakerStats {
+        let inner = self.inner.lock().expect("breaker poisoned");
+        BreakerStats {
+            state: inner.state,
+            consecutive_failures: inner.consecutive,
+            shed: self.shed.load(Ordering::Relaxed),
+            opened: self.opened.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of one dataset's circuit breaker
+/// ([`CircuitBreaker::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Current lifecycle state.
+    pub state: BreakerState,
+    /// Permanent oracle failures since the last success.
+    pub consecutive_failures: u32,
+    /// Queries shed by this breaker (open or probe-occupied).
+    pub shed: u64,
+    /// Times the circuit tripped open.
+    pub opened: u64,
+    /// Half-open probes admitted.
+    pub probes: u64,
+}
+
+/// Proof of admission through a breaker, resolved exactly once. Dropping
+/// it unresolved (an error path, a panicking oracle) records a neutral
+/// outcome, so the probe slot can never leak.
+#[derive(Debug)]
+pub struct BreakerPass<'a> {
+    /// `None` when breaking is disabled — every resolution is a no-op.
+    breaker: Option<&'a CircuitBreaker>,
+}
+
+impl BreakerPass<'_> {
+    /// The query completed: close the circuit, reset the failure count.
+    pub fn success(mut self) {
+        if let Some(b) = self.breaker.take() {
+            b.record_success();
+        }
+    }
+
+    /// The query failed permanently at the oracle: count it, and trip or
+    /// re-open the circuit as the lifecycle dictates.
+    pub fn failure(mut self) {
+        if let Some(b) = self.breaker.take() {
+            b.record_failure();
+        }
+    }
+
+    /// The query resolved in a way that says nothing about oracle health
+    /// (validation error, budget shed, deadline): release the probe slot
+    /// only.
+    pub fn neutral(mut self) {
+        if let Some(b) = self.breaker.take() {
+            b.record_neutral();
+        }
+    }
+}
+
+impl Drop for BreakerPass<'_> {
+    fn drop(&mut self) {
+        if let Some(b) = self.breaker.take() {
+            b.record_neutral();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown,
+        })
+    }
+
+    #[test]
+    fn closed_to_open_to_half_open_to_closed() {
+        let b = breaker(2, Duration::ZERO);
+        assert_eq!(b.stats().state, BreakerState::Closed);
+
+        b.admit().unwrap().failure();
+        assert_eq!(b.stats().state, BreakerState::Closed);
+        b.admit().unwrap().failure();
+        assert_eq!(b.stats().state, BreakerState::Open);
+        assert_eq!(b.stats().opened, 1);
+
+        // Zero cooldown: the next arrival is the half-open probe, and its
+        // success closes the circuit.
+        let probe = b.admit().unwrap();
+        assert_eq!(b.stats().state, BreakerState::HalfOpen);
+        probe.success();
+        assert_eq!(b.stats().state, BreakerState::Closed);
+        assert_eq!(b.stats().consecutive_failures, 0);
+        assert_eq!(b.stats().probes, 1);
+    }
+
+    #[test]
+    fn open_sheds_until_cooldown_and_failed_probe_reopens() {
+        let b = breaker(1, Duration::from_secs(3_600));
+        b.admit().unwrap().failure();
+        // A long cooldown: everything sheds with a positive retry hint.
+        let retry_after = b.admit().unwrap_err();
+        assert!(retry_after > Duration::from_secs(3_000));
+        assert_eq!(b.stats().shed, 1);
+
+        // A re-tuned breaker with zero cooldown: the probe fails, the
+        // circuit re-opens immediately.
+        let b = breaker(1, Duration::ZERO);
+        b.admit().unwrap().failure();
+        let probe = b.admit().unwrap();
+        probe.failure();
+        assert_eq!(b.stats().state, BreakerState::Open);
+        assert_eq!(b.stats().opened, 2);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let b = breaker(1, Duration::ZERO);
+        b.admit().unwrap().failure();
+        let probe = b.admit().unwrap();
+        // While the probe is in flight, everyone else sheds immediately.
+        assert_eq!(b.admit().unwrap_err(), Duration::ZERO);
+        assert_eq!(b.admit().unwrap_err(), Duration::ZERO);
+        assert_eq!(b.stats().shed, 2);
+        probe.success();
+        assert!(b.admit().is_ok());
+    }
+
+    #[test]
+    fn dropped_pass_resolves_neutral_and_frees_the_probe_slot() {
+        let b = breaker(1, Duration::ZERO);
+        b.admit().unwrap().failure();
+        {
+            let _probe = b.admit().unwrap();
+            // Simulates a panic unwinding through serve: the pass drops
+            // unresolved.
+        }
+        // The slot is free again — the next arrival becomes the probe
+        // instead of shedding forever.
+        assert_eq!(b.stats().state, BreakerState::HalfOpen);
+        let probe = b.admit().unwrap();
+        probe.success();
+        assert_eq!(b.stats().state, BreakerState::Closed);
+        assert_eq!(b.stats().probes, 2);
+    }
+
+    #[test]
+    fn neutral_outcomes_do_not_move_the_failure_count() {
+        let b = breaker(2, Duration::ZERO);
+        b.admit().unwrap().failure();
+        b.admit().unwrap().neutral();
+        b.admit().unwrap().neutral();
+        assert_eq!(b.stats().state, BreakerState::Closed);
+        assert_eq!(b.stats().consecutive_failures, 1);
+        // One more failure still trips at the threshold.
+        b.admit().unwrap().failure();
+        assert_eq!(b.stats().state, BreakerState::Open);
+    }
+
+    #[test]
+    fn threshold_zero_disables_breaking() {
+        let b = breaker(0, Duration::ZERO);
+        for _ in 0..50 {
+            b.admit().unwrap().failure();
+        }
+        assert_eq!(b.stats().state, BreakerState::Closed);
+        assert_eq!(b.stats().shed, 0);
+    }
+}

@@ -5,6 +5,8 @@
 //! budget and its latency under load — so every rejection carries enough
 //! context to decide whether to retry, back off, or top a tenant up.
 
+use std::time::Duration;
+
 use supg_core::SupgError;
 
 /// Everything that can go wrong between a query arriving and a
@@ -33,6 +35,21 @@ pub enum ServeError {
     UnknownTenant(String),
     /// No prepared dataset registered in the pool under this name.
     UnknownDataset(String),
+    /// The dataset's circuit breaker is open: its oracle has been failing
+    /// permanently, so the query was shed instantly at zero oracle and
+    /// budget cost. Retry after the hinted cooldown.
+    CircuitOpen {
+        /// Dataset whose circuit is open.
+        dataset: String,
+        /// How long until the breaker will next admit a probe query.
+        retry_after: Duration,
+    },
+    /// The query's deadline elapsed before it completed (retry backoff
+    /// counts against the deadline even when backoff is virtual).
+    DeadlineExceeded {
+        /// The deadline the query declared.
+        deadline: Duration,
+    },
     /// The underlying SUPG pipeline failed (validation or oracle error).
     Query(SupgError),
 }
@@ -57,6 +74,16 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::UnknownTenant(name) => write!(f, "unknown tenant {name:?}"),
             ServeError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
+            ServeError::CircuitOpen {
+                dataset,
+                retry_after,
+            } => write!(
+                f,
+                "circuit open for dataset {dataset:?}: oracle failing, retry in {retry_after:?}"
+            ),
+            ServeError::DeadlineExceeded { deadline } => {
+                write!(f, "query deadline of {deadline:?} exceeded")
+            }
             ServeError::Query(e) => write!(f, "query failed: {e}"),
         }
     }
@@ -104,5 +131,32 @@ mod tests {
         let e = ServeError::from(SupgError::MissingTarget);
         assert!(e.source().is_some());
         assert!(ServeError::UnknownTenant("x".into()).source().is_none());
+        // Admission decisions are not caused by an underlying error.
+        assert!(ServeError::CircuitOpen {
+            dataset: "x".into(),
+            retry_after: Duration::from_secs(1),
+        }
+        .source()
+        .is_none());
+        assert!(ServeError::DeadlineExceeded {
+            deadline: Duration::from_millis(5),
+        }
+        .source()
+        .is_none());
+    }
+
+    #[test]
+    fn robustness_variants_display_their_hints() {
+        let s = ServeError::CircuitOpen {
+            dataset: "night-street".into(),
+            retry_after: Duration::from_millis(750),
+        }
+        .to_string();
+        assert!(s.contains("night-street") && s.contains("750ms"));
+        let s = ServeError::DeadlineExceeded {
+            deadline: Duration::from_millis(250),
+        }
+        .to_string();
+        assert!(s.contains("250ms"));
     }
 }

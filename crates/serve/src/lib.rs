@@ -28,6 +28,37 @@
 //! [`SupgSession`](supg_core::SupgSession) directly, whatever the
 //! concurrency.
 //!
+//! ## Robust serving
+//!
+//! Real labeling backends flake. The serving layer degrades in three
+//! graduated steps rather than falling over:
+//!
+//! * **Retries and deadlines per query** — a [`QuerySpec`] with
+//!   [`with_retry`](QuerySpec::with_retry) wraps the caller's oracle in
+//!   a [`ResilientOracle`](supg_core::ResilientOracle): transient
+//!   failures are retried with deterministic exponential backoff and
+//!   seeded jitter, and the retried outcome is bit-identical to a
+//!   fault-free run (only the new `oracle_retries` / `oracle_failures` /
+//!   `retry_backoff` accounting fields differ).
+//!   [`with_deadline`](QuerySpec::with_deadline) bounds the query —
+//!   backoff counts against the deadline — surfacing
+//!   [`ServeError::DeadlineExceeded`] when it elapses.
+//! * **Budget safety on every failure path** — the reservation taken at
+//!   admission is held by a drop guard: errors, sheds and even a
+//!   panicking oracle release it in full, so failures never leak tenant
+//!   budget.
+//! * **Per-dataset circuit breaking** — consecutive permanent oracle
+//!   failures ([`BreakerConfig::failure_threshold`]) trip the dataset's
+//!   circuit open; subsequent queries are shed instantly with
+//!   [`ServeError::CircuitOpen`] at zero oracle and budget cost. After
+//!   the cooldown one half-open probe tests the backend, closing the
+//!   circuit on success. Shed counts land in
+//!   [`TenantStats::shed_circuit`] and
+//!   [`SupgServer::breaker_stats`].
+//!
+//! Deterministic fault injection for testing this stack lives in
+//! [`supg_core::FaultyOracle`](supg_core::FaultyOracle).
+//!
 //! ## Example
 //!
 //! ```
@@ -37,7 +68,7 @@
 //! // One shared corpus, two tenants with different oracle budgets.
 //! let scores: Vec<f64> = (0..20_000).map(|i| (i % 1000) as f64 / 1000.0).collect();
 //! let labels: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
-//! let server = SupgServer::new(ServerConfig { max_in_flight: 8 });
+//! let server = SupgServer::new(ServerConfig { max_in_flight: 8, ..ServerConfig::default() });
 //! server.pool().register_scores("videos", scores).unwrap();
 //! server.tenants().register("analytics", 5_000);
 //! server.tenants().register("trial", 300);
@@ -70,11 +101,13 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod error;
 pub mod pool;
 pub mod server;
 pub mod tenant;
 
+pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use error::ServeError;
 pub use pool::SessionPool;
 pub use server::{QuerySpec, QueryTarget, ServerConfig, SupgServer};
@@ -82,4 +115,4 @@ pub use tenant::{TenantRegistry, TenantState, TenantStats};
 
 // Re-exported so pool/server signatures are usable without importing
 // supg-core separately.
-pub use supg_core::{CacheStats, PreparedDataset, QueryOutcome};
+pub use supg_core::{CacheStats, PreparedDataset, QueryOutcome, RetryPolicy};

@@ -8,6 +8,12 @@
 //! lookups contention-free. Registration (rare) takes the pool's write
 //! lock; lookup (every query) takes the read lock for one `HashMap` get
 //! plus an `Arc` clone.
+//!
+//! The pool is also the server's source of truth for dataset names:
+//! [`SupgServer::serve`](crate::server::SupgServer::serve) resolves the
+//! name here *before* reserving tenant budget or materializing a circuit
+//! breaker, so unknown names stay free and the per-dataset breaker map
+//! stays bounded by the registered corpora.
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};

@@ -3,24 +3,33 @@
 //! [`SupgServer::serve`] is the one entry point a serving deployment
 //! drives. Per query it (1) takes an in-flight slot — or sheds with
 //! [`ServeError::Overloaded`] when the bounded limit is reached, before
-//! touching any budget; (2) reserves the query's declared oracle cost
-//! from the tenant's budget — or sheds with
-//! [`ServeError::BudgetExhausted`]; (3) runs the query over the pooled
-//! `Arc<PreparedDataset>`; and (4) settles the reservation against the
-//! calls actually consumed and folds the outcome into the tenant's
-//! aggregates. The slot is held by a drop guard, so shedding and error
-//! paths can never leak it.
+//! touching any budget; (2) resolves the pooled dataset; (3) passes the
+//! dataset's circuit breaker — or sheds with
+//! [`ServeError::CircuitOpen`] while the dataset's oracle is failing;
+//! (4) reserves the query's declared oracle cost from the tenant's
+//! budget — or sheds with [`ServeError::BudgetExhausted`]; (5) runs the
+//! query over the pooled `Arc<PreparedDataset>`, wrapped in a
+//! [`ResilientOracle`] when the spec asks for retries or a deadline; and
+//! (6) settles the reservation against the calls actually consumed and
+//! folds the outcome into the tenant's aggregates. The slot, the
+//! breaker pass and the reservation are all held by drop guards, so
+//! shedding, error and panic paths can never leak them.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
 use supg_core::selectors::SelectorConfig;
 use supg_core::session::DEFAULT_SEED;
-use supg_core::{QueryOutcome, SelectorKind, SessionOracle, SupgSession};
+use supg_core::{
+    QueryOutcome, ResilientOracle, RetryPolicy, SelectorKind, SessionOracle, SupgError, SupgSession,
+};
 
+use crate::breaker::{BreakerConfig, BreakerPass, BreakerStats, CircuitBreaker};
 use crate::error::ServeError;
 use crate::pool::SessionPool;
-use crate::tenant::TenantRegistry;
+use crate::tenant::{TenantRegistry, TenantState};
 
 /// What a query asks for: one of the paper's three target kinds with its
 /// `γ` value(s).
@@ -59,6 +68,15 @@ pub struct QuerySpec {
     /// RNG seed — fixed per spec so a replay reproduces the outcome
     /// bit for bit.
     pub seed: u64,
+    /// Per-query deadline, or `None` for no limit. Enforced inside the
+    /// oracle loop (retry backoff counts against it) and surfaced as
+    /// [`ServeError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Retry policy for transient oracle failures, or `None` to fail
+    /// fast on the first error. Retried queries return outcomes
+    /// bit-identical to a fault-free run, differing only in the retry
+    /// accounting fields.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl QuerySpec {
@@ -86,6 +104,8 @@ impl QuerySpec {
             selector: None,
             config: SelectorConfig::default(),
             seed: DEFAULT_SEED,
+            deadline: None,
+            retry: None,
         }
     }
 
@@ -110,6 +130,18 @@ impl QuerySpec {
     /// Spec with a different RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Spec with a per-query deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Spec with a retry policy for transient oracle failures.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
         self
     }
 
@@ -149,11 +181,17 @@ pub struct ServerConfig {
     /// are shed with [`ServeError::Overloaded`] instead of queueing — the
     /// graceful-degradation contract of a saturated server.
     pub max_in_flight: usize,
+    /// Per-dataset circuit-breaker tuning (set `failure_threshold: 0` to
+    /// disable breaking).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { max_in_flight: 64 }
+        Self {
+            max_in_flight: 64,
+            breaker: BreakerConfig::default(),
+        }
     }
 }
 
@@ -167,6 +205,10 @@ pub struct SupgServer {
     tenants: TenantRegistry,
     in_flight: AtomicUsize,
     config: ServerConfig,
+    /// One circuit breaker per dataset, created lazily on first serve.
+    /// Only names that resolved through the pool get an entry, so the
+    /// map is bounded by the registered datasets.
+    breakers: RwLock<HashMap<String, Arc<CircuitBreaker>>>,
 }
 
 /// Releases the in-flight slot on every exit path.
@@ -178,6 +220,40 @@ impl Drop for InFlightSlot<'_> {
     }
 }
 
+/// Holds a tenant budget reservation; dropping it unsettled (an error
+/// return, a panicking oracle) releases the declared calls in full, so
+/// no failure path can leak budget.
+struct Reservation<'a> {
+    tenant: &'a TenantState,
+    declared: usize,
+    armed: bool,
+}
+
+impl<'a> Reservation<'a> {
+    fn take(tenant: &'a TenantState, declared: usize) -> Result<Self, ServeError> {
+        tenant.try_reserve(declared)?;
+        Ok(Self {
+            tenant,
+            declared,
+            armed: true,
+        })
+    }
+
+    /// The query completed: bill actual consumption, refund the rest.
+    fn settle(mut self, actual: usize) {
+        self.armed = false;
+        self.tenant.settle(self.declared, actual);
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.tenant.release(self.declared);
+        }
+    }
+}
+
 impl SupgServer {
     /// A server with the given tuning and empty pool/registry.
     pub fn new(config: ServerConfig) -> Self {
@@ -186,6 +262,7 @@ impl SupgServer {
             tenants: TenantRegistry::new(),
             in_flight: AtomicUsize::new(0),
             config,
+            breakers: RwLock::new(HashMap::new()),
         }
     }
 
@@ -209,6 +286,35 @@ impl SupgServer {
         self.config
     }
 
+    /// A snapshot of a dataset's circuit breaker, or `None` when no
+    /// query has reached that dataset yet (or breaking is disabled).
+    pub fn breaker_stats(&self, dataset: &str) -> Option<BreakerStats> {
+        self.breakers
+            .read()
+            .expect("breaker map poisoned")
+            .get(dataset)
+            .map(|b| b.stats())
+    }
+
+    /// The breaker guarding `dataset`, created closed on first use. Only
+    /// called after the pool resolved the name, so unknown datasets
+    /// never grow the map.
+    fn breaker_for(&self, dataset: &str) -> Arc<CircuitBreaker> {
+        if let Some(b) = self
+            .breakers
+            .read()
+            .expect("breaker map poisoned")
+            .get(dataset)
+        {
+            return Arc::clone(b);
+        }
+        let mut map = self.breakers.write().expect("breaker map poisoned");
+        Arc::clone(
+            map.entry(dataset.to_owned())
+                .or_insert_with(|| Arc::new(CircuitBreaker::new(self.config.breaker))),
+        )
+    }
+
     /// Admits and runs one query for `tenant` over the pooled dataset
     /// `dataset`, against the caller's oracle. See the [module
     /// docs](self) for the admission pipeline. The returned outcome is
@@ -216,11 +322,13 @@ impl SupgServer {
     /// directly — serving adds accounting, never different answers.
     ///
     /// # Errors
-    /// [`ServeError::Overloaded`] / [`ServeError::BudgetExhausted`] when
-    /// the query is shed (nothing was executed),
-    /// [`ServeError::UnknownTenant`] / [`ServeError::UnknownDataset`] for
-    /// lookup failures, and [`ServeError::Query`] when the SUPG pipeline
-    /// itself fails (the reservation is released).
+    /// [`ServeError::Overloaded`] / [`ServeError::BudgetExhausted`] /
+    /// [`ServeError::CircuitOpen`] when the query is shed (nothing was
+    /// executed), [`ServeError::UnknownTenant`] /
+    /// [`ServeError::UnknownDataset`] for lookup failures,
+    /// [`ServeError::DeadlineExceeded`] when the spec's deadline elapsed
+    /// mid-query, and [`ServeError::Query`] when the SUPG pipeline itself
+    /// fails. On every failure path the reservation is released in full.
     pub fn serve(
         &self,
         tenant: &str,
@@ -247,29 +355,85 @@ impl SupgServer {
         }
         let _slot = InFlightSlot(&self.in_flight);
 
-        let declared = spec.declared_calls();
-        tenant.try_reserve(declared)?;
+        // Resolve the dataset before reserving anything: unknown names
+        // stay free and never materialize a breaker.
+        let prepared = self.pool.get(dataset)?;
 
-        let prepared = match self.pool.get(dataset) {
-            Ok(p) => p,
-            Err(e) => {
-                tenant.release(declared);
-                return Err(e);
-            }
+        // Pass the dataset's circuit breaker. An open circuit sheds at
+        // zero oracle and budget cost; an unresolved pass (error/panic)
+        // drops to a neutral outcome.
+        let breaker = self
+            .config
+            .breaker
+            .enabled()
+            .then(|| self.breaker_for(dataset));
+        let pass: Option<BreakerPass<'_>> = match breaker.as_deref() {
+            Some(b) => match b.admit() {
+                Ok(p) => Some(p),
+                Err(retry_after) => {
+                    tenant.record_circuit_shed();
+                    return Err(ServeError::CircuitOpen {
+                        dataset: dataset.to_owned(),
+                        retry_after,
+                    });
+                }
+            },
+            None => None,
         };
 
-        match spec.session(prepared).run(oracle) {
+        let reservation = Reservation::take(&tenant, spec.declared_calls())?;
+
+        // Wrap the caller's oracle in the retry runtime only when asked:
+        // the fast path pays nothing for the capability.
+        let run = if spec.retry.is_some() || spec.deadline.is_some() {
+            let mut policy = spec.retry.unwrap_or_else(RetryPolicy::none);
+            if let Some(deadline) = spec.deadline {
+                policy.deadline = Some(match policy.deadline {
+                    Some(d) => d.min(deadline),
+                    None => deadline,
+                });
+            }
+            let mut resilient = ResilientOracle::new(oracle, policy);
+            spec.session(prepared).run(&mut resilient)
+        } else {
+            spec.session(prepared).run(oracle)
+        };
+
+        match run {
             Ok(outcome) => {
-                tenant.settle(declared, outcome.oracle_calls);
+                reservation.settle(outcome.oracle_calls);
                 tenant.record(&outcome);
+                if let Some(p) = pass {
+                    p.success();
+                }
                 Ok(outcome)
             }
             Err(e) => {
-                // Validation failures consumed nothing; oracle failures
-                // may have, but the failed query's partial consumption is
-                // not billed — the reservation comes back whole.
-                tenant.release(declared);
-                Err(ServeError::Query(e))
+                // The dropped reservation comes back whole: a failed
+                // query's partial consumption is not billed.
+                drop(reservation);
+                match e {
+                    SupgError::DeadlineExceeded { deadline } => {
+                        // A deadline says nothing about oracle health.
+                        if let Some(p) = pass {
+                            p.neutral();
+                        }
+                        Err(ServeError::DeadlineExceeded { deadline })
+                    }
+                    SupgError::OracleFailed { .. } => {
+                        // Permanent oracle failure: feed the breaker.
+                        if let Some(p) = pass {
+                            p.failure();
+                        }
+                        Err(ServeError::Query(e))
+                    }
+                    other => {
+                        if let Some(p) = pass {
+                            p.neutral();
+                        }
+                        Err(ServeError::Query(other))
+                    }
+                }
             }
         }
     }
@@ -283,7 +447,10 @@ mod tests {
     fn server_with(n: usize, budget: usize, max_in_flight: usize) -> (SupgServer, Vec<bool>) {
         let scores: Vec<f64> = (0..n).map(|i| (i % 1000) as f64 / 1000.0).collect();
         let labels: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
-        let server = SupgServer::new(ServerConfig { max_in_flight });
+        let server = SupgServer::new(ServerConfig {
+            max_in_flight,
+            ..ServerConfig::default()
+        });
         server.pool().register_scores("videos", scores).unwrap();
         server.tenants().register("acme", budget);
         (server, labels)
@@ -319,7 +486,10 @@ mod tests {
         let n = 20_000;
         let scores: Vec<f64> = (0..n).map(|i| (i % 1000) as f64 / 1000.0).collect();
         let labels: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
-        let server = SupgServer::new(ServerConfig { max_in_flight: 4 });
+        let server = SupgServer::new(ServerConfig {
+            max_in_flight: 4,
+            ..ServerConfig::default()
+        });
         server
             .pool()
             .register_scores("flat", scores.clone())

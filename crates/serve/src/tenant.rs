@@ -35,6 +35,7 @@ pub struct TenantState {
     cache_misses: AtomicU64,
     shed_budget: AtomicU64,
     shed_overload: AtomicU64,
+    shed_circuit: AtomicU64,
     stage_ns: AtomicU64,
     filter_ns: AtomicU64,
     elapsed_ns: AtomicU64,
@@ -51,6 +52,7 @@ impl TenantState {
             cache_misses: AtomicU64::new(0),
             shed_budget: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
+            shed_circuit: AtomicU64::new(0),
             stage_ns: AtomicU64::new(0),
             filter_ns: AtomicU64::new(0),
             elapsed_ns: AtomicU64::new(0),
@@ -176,6 +178,12 @@ impl TenantState {
         self.shed_overload.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a query shed by an open circuit breaker — the dataset's
+    /// oracle is failing, so the query never reserved budget.
+    pub(crate) fn record_circuit_shed(&self) {
+        self.shed_circuit.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time snapshot of the tenant's aggregates.
     pub fn stats(&self) -> TenantStats {
         TenantStats {
@@ -185,6 +193,7 @@ impl TenantState {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             shed_budget: self.shed_budget.load(Ordering::Relaxed),
             shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            shed_circuit: self.shed_circuit.load(Ordering::Relaxed),
             stage_time: Duration::from_nanos(self.stage_ns.load(Ordering::Relaxed)),
             filter_time: Duration::from_nanos(self.filter_ns.load(Ordering::Relaxed)),
             elapsed: Duration::from_nanos(self.elapsed_ns.load(Ordering::Relaxed)),
@@ -210,6 +219,8 @@ pub struct TenantStats {
     pub shed_budget: u64,
     /// Queries shed at the server's in-flight limit.
     pub shed_overload: u64,
+    /// Queries shed by an open per-dataset circuit breaker.
+    pub shed_circuit: u64,
     /// Summed sampling/estimation-stage wall-clock time.
     pub stage_time: Duration,
     /// Summed JT exhaustive-filter wall-clock time.

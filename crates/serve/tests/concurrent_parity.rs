@@ -64,6 +64,7 @@ fn n_clients_times_m_recipes_match_single_threaded_bit_for_bit() {
     // server, starting together.
     let server = Arc::new(SupgServer::new(ServerConfig {
         max_in_flight: CLIENTS * 2,
+        ..ServerConfig::default()
     }));
     server.pool().register_scores("corpus", scores).unwrap();
     for c in 0..CLIENTS {
@@ -164,7 +165,10 @@ impl SessionOracle for GatedOracle {
 #[test]
 fn saturated_server_sheds_gracefully_and_recovers() {
     let (scores, labels) = workload(5_000);
-    let server = Arc::new(SupgServer::new(ServerConfig { max_in_flight: 1 }));
+    let server = Arc::new(SupgServer::new(ServerConfig {
+        max_in_flight: 1,
+        ..ServerConfig::default()
+    }));
     server.pool().register_scores("corpus", scores).unwrap();
     server.tenants().register("acme", usize::MAX / 2);
     let spec = QuerySpec::recall(0.9, 200).with_seed(5);
@@ -223,6 +227,7 @@ fn overload_capacity_is_shared_not_per_tenant() {
     let (scores, labels) = workload(5_000);
     let server = Arc::new(SupgServer::new(ServerConfig {
         max_in_flight: CLIENTS / 2,
+        ..ServerConfig::default()
     }));
     server.pool().register_scores("corpus", scores).unwrap();
     for c in 0..CLIENTS {

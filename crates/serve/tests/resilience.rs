@@ -1,0 +1,279 @@
+//! Robust-serving integration: circuit-breaker lifecycle, zero-cost
+//! shedding, deadline enforcement, retry-through-the-server parity, and
+//! budget safety on panic paths.
+//!
+//! Failures are produced by the deterministic fault layer in
+//! `supg_core::fault`, so every lifecycle transition here is replayable:
+//! no sleeps, no real flakiness, no race-dependent assertions.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use supg_core::{CachedOracle, FaultPlan, FaultyOracle, Oracle, SupgError};
+use supg_serve::{
+    BreakerConfig, BreakerState, QuerySpec, RetryPolicy, ServeError, ServerConfig, SupgServer,
+};
+
+const N: usize = 20_000;
+const TENANT_BUDGET: usize = 1_000_000;
+
+fn scores() -> Vec<f64> {
+    (0..N).map(|i| (i % 1000) as f64 / 1000.0).collect()
+}
+
+fn labels() -> Vec<bool> {
+    scores().iter().map(|&s| s > 0.8).collect()
+}
+
+fn server(breaker: BreakerConfig) -> SupgServer {
+    let server = SupgServer::new(ServerConfig {
+        max_in_flight: 16,
+        breaker,
+    });
+    server.pool().register_scores("videos", scores()).unwrap();
+    server.tenants().register("acme", TENANT_BUDGET);
+    server
+}
+
+/// An oracle whose every label fails permanently (the backend is down).
+fn broken_oracle() -> FaultyOracle<CachedOracle> {
+    FaultyOracle::new(
+        CachedOracle::from_labels(labels(), 1_000),
+        FaultPlan::new(1).with_permanent_rate(1.0),
+    )
+}
+
+fn healthy_oracle() -> CachedOracle {
+    CachedOracle::from_labels(labels(), 1_000)
+}
+
+#[test]
+fn breaker_walks_closed_open_half_open_closed() {
+    let server = server(BreakerConfig {
+        failure_threshold: 3,
+        cooldown: Duration::ZERO,
+    });
+    let spec = QuerySpec::recall(0.9, 1_000).with_seed(7);
+
+    // Three consecutive permanent failures trip the circuit.
+    for i in 0..3 {
+        let mut oracle = broken_oracle();
+        let err = server
+            .serve("acme", "videos", &spec, &mut oracle)
+            .unwrap_err();
+        assert!(
+            matches!(err, ServeError::Query(SupgError::OracleFailed { .. })),
+            "failure {i}: {err:?}"
+        );
+    }
+    let stats = server.breaker_stats("videos").unwrap();
+    assert_eq!(stats.state, BreakerState::Open);
+    assert_eq!(stats.opened, 1);
+    assert_eq!(stats.consecutive_failures, 3);
+
+    // Zero cooldown: the next query is the half-open probe; it succeeds
+    // against a recovered backend and closes the circuit.
+    let mut oracle = healthy_oracle();
+    let outcome = server.serve("acme", "videos", &spec, &mut oracle).unwrap();
+    assert!(!outcome.result.is_empty());
+    let stats = server.breaker_stats("videos").unwrap();
+    assert_eq!(stats.state, BreakerState::Closed);
+    assert_eq!(stats.consecutive_failures, 0);
+    assert_eq!(stats.probes, 1);
+}
+
+#[test]
+fn open_circuit_sheds_at_zero_oracle_and_budget_cost() {
+    let server = server(BreakerConfig {
+        failure_threshold: 1,
+        cooldown: Duration::from_secs(3_600),
+    });
+    let spec = QuerySpec::recall(0.9, 1_000).with_seed(7);
+
+    let mut oracle = broken_oracle();
+    server
+        .serve("acme", "videos", &spec, &mut oracle)
+        .unwrap_err();
+    assert_eq!(
+        server.breaker_stats("videos").unwrap().state,
+        BreakerState::Open
+    );
+    // The failed query released its reservation in full.
+    let tenant = server.tenants().get("acme").unwrap();
+    assert_eq!(tenant.remaining_budget(), TENANT_BUDGET);
+
+    // While open (hour-long cooldown): instant typed shed, no oracle
+    // call, no budget movement, counted per tenant and per breaker.
+    let mut oracle = healthy_oracle();
+    for _ in 0..5 {
+        let err = server
+            .serve("acme", "videos", &spec, &mut oracle)
+            .unwrap_err();
+        match err {
+            ServeError::CircuitOpen {
+                dataset,
+                retry_after,
+            } => {
+                assert_eq!(dataset, "videos");
+                assert!(retry_after > Duration::from_secs(3_000));
+            }
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+    }
+    assert_eq!(oracle.calls_used(), 0, "shed queries must not label");
+    assert_eq!(tenant.remaining_budget(), TENANT_BUDGET);
+    assert_eq!(tenant.stats().shed_circuit, 5);
+    assert_eq!(server.breaker_stats("videos").unwrap().shed, 5);
+    assert_eq!(server.in_flight(), 0);
+}
+
+#[test]
+fn breaker_recovers_under_concurrent_load() {
+    // Trip the circuit, then hammer the recovered backend from many
+    // threads. The half-open probe admits exactly one query at a time,
+    // but every thread must eventually get through — success or a typed
+    // shed, never a wedge — and the breaker must end closed with the
+    // budget accounting consistent.
+    let server = Arc::new(server(BreakerConfig {
+        failure_threshold: 1,
+        cooldown: Duration::ZERO,
+    }));
+    let spec = QuerySpec::recall(0.9, 1_000).with_seed(7);
+    let mut oracle = broken_oracle();
+    server
+        .serve("acme", "videos", &spec, &mut oracle)
+        .unwrap_err();
+    assert_eq!(
+        server.breaker_stats("videos").unwrap().state,
+        BreakerState::Open
+    );
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 10;
+    let (successes, billed): (u64, u64) = std::thread::scope(|s| {
+        (0..THREADS)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                s.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut billed = 0u64;
+                    let mut oracle = healthy_oracle();
+                    for _ in 0..PER_THREAD {
+                        loop {
+                            match server.serve("acme", "videos", &spec, &mut oracle) {
+                                Ok(outcome) => {
+                                    ok += 1;
+                                    billed += outcome.oracle_calls as u64;
+                                    break;
+                                }
+                                // Probe slot occupied: spin and retry.
+                                Err(ServeError::CircuitOpen { .. }) => continue,
+                                Err(other) => panic!("unexpected error: {other:?}"),
+                            }
+                        }
+                    }
+                    (ok, billed)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
+    });
+
+    assert_eq!(successes, (THREADS * PER_THREAD) as u64);
+    let stats = server.breaker_stats("videos").unwrap();
+    assert_eq!(stats.state, BreakerState::Closed);
+    // Every successful query billed exactly its actual consumption; shed
+    // queries billed nothing.
+    let tenant = server.tenants().get("acme").unwrap();
+    assert_eq!(
+        tenant.remaining_budget() as u64,
+        TENANT_BUDGET as u64 - billed
+    );
+    assert_eq!(tenant.stats().queries, successes);
+    assert_eq!(server.in_flight(), 0);
+}
+
+#[test]
+fn retried_serving_matches_fault_free_serving_bit_for_bit() {
+    let server = server(BreakerConfig::default());
+    let spec = QuerySpec::recall(0.9, 1_000).with_seed(7);
+
+    let mut clean_oracle = healthy_oracle();
+    let clean = server
+        .serve("acme", "videos", &spec, &mut clean_oracle)
+        .unwrap();
+
+    // The same query against a flaky backend, with retries requested.
+    let mut flaky = FaultyOracle::new(
+        healthy_oracle(),
+        FaultPlan::new(0xF1A2).with_transient_rate(0.05),
+    );
+    let retried_spec = spec.with_retry(RetryPolicy::default());
+    let retried = server
+        .serve("acme", "videos", &retried_spec, &mut flaky)
+        .unwrap();
+
+    assert_eq!(clean.tau.to_bits(), retried.tau.to_bits());
+    assert_eq!(clean.result.indices(), retried.result.indices());
+    assert_eq!(clean.oracle_calls, retried.oracle_calls);
+    assert!(retried.oracle_retries > 0, "faults must actually fire");
+    assert_eq!(retried.oracle_failures, 0);
+}
+
+#[test]
+fn deadline_exceeded_is_typed_and_releases_the_reservation() {
+    let server = server(BreakerConfig::default());
+    // A zero deadline trips before the first oracle attempt.
+    let spec = QuerySpec::recall(0.9, 1_000)
+        .with_seed(7)
+        .with_deadline(Duration::ZERO);
+    let mut oracle = healthy_oracle();
+    let err = server
+        .serve("acme", "videos", &spec, &mut oracle)
+        .unwrap_err();
+    assert!(
+        matches!(err, ServeError::DeadlineExceeded { deadline } if deadline == Duration::ZERO),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    assert_eq!(oracle.calls_used(), 0);
+    let tenant = server.tenants().get("acme").unwrap();
+    assert_eq!(tenant.remaining_budget(), TENANT_BUDGET);
+    // Deadlines are breaker-neutral: the circuit stays closed.
+    assert_eq!(
+        server.breaker_stats("videos").unwrap().state,
+        BreakerState::Closed
+    );
+    assert_eq!(server.in_flight(), 0);
+}
+
+#[test]
+fn panicking_oracle_leaks_neither_budget_nor_slots() {
+    let server = server(BreakerConfig {
+        failure_threshold: 1,
+        cooldown: Duration::ZERO,
+    });
+    let spec = QuerySpec::recall(0.9, 1_000).with_seed(7);
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut oracle = CachedOracle::new(N, 1_000, |_| panic!("oracle crashed"));
+        let _ = server.serve("acme", "videos", &spec, &mut oracle);
+    }));
+    assert!(result.is_err(), "the panic must propagate");
+
+    // Every guard unwound: reservation released, slot freed, breaker
+    // pass resolved neutral (a crash is not a counted oracle failure).
+    let tenant = server.tenants().get("acme").unwrap();
+    assert_eq!(tenant.remaining_budget(), TENANT_BUDGET);
+    assert_eq!(server.in_flight(), 0);
+    let stats = server.breaker_stats("videos").unwrap();
+    assert_eq!(stats.state, BreakerState::Closed);
+    assert_eq!(stats.consecutive_failures, 0);
+
+    // The server still serves: a healthy query right after the crash.
+    let mut oracle = healthy_oracle();
+    let outcome = server.serve("acme", "videos", &spec, &mut oracle).unwrap();
+    assert!(!outcome.result.is_empty());
+}

@@ -172,6 +172,32 @@
 //! section of [`core`] and the [`serve`] crate docs for the details and
 //! a runnable example; the `serving` section of `BENCH_selectors.json`
 //! records the measured saturation curve.
+//!
+//! ## Robustness: flaky oracles, deadlines, circuit breaking
+//!
+//! Real labeling backends fail — transiently (rate limits, timeouts) or
+//! permanently (the service is down). The fault-tolerance stack keeps
+//! the guarantees intact while degrading gracefully:
+//!
+//! * [`core::FaultyOracle`] + [`core::FaultPlan`] inject *deterministic*
+//!   faults — each record's fate is a pure function of a seed and its
+//!   index, reproducible at any parallelism — for testing any oracle
+//!   stack without real flakiness.
+//! * [`core::ResilientOracle`] + [`core::RetryPolicy`] retry transient
+//!   failures with deterministic exponential backoff, seeded jitter and
+//!   an optional per-query deadline. A retried query's outcome is
+//!   **bit-identical** to the fault-free run — retries re-ask the same
+//!   pure label, and only the final success consumes budget — differing
+//!   only in the `oracle_retries` / `oracle_failures` / `retry_backoff`
+//!   accounting fields of [`core::QueryOutcome`].
+//! * The server adds per-dataset **circuit breaking**: consecutive
+//!   permanent failures trip the circuit and subsequent queries shed
+//!   instantly ([`serve::ServeError::CircuitOpen`]) at zero oracle and
+//!   budget cost until a half-open probe finds the backend healthy.
+//!   Budget reservations are drop-guarded, so error and panic paths
+//!   never leak tenant budget. See "Robust serving" in [`serve`]; the
+//!   `resilience` section of `BENCH_selectors.json` records the retry
+//!   overhead on warm serving.
 
 pub use supg_core as core;
 pub use supg_datasets as datasets;
