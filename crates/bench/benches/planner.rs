@@ -1,0 +1,98 @@
+//! Adaptive-planner overhead: the Auto-planned query (signal snapshot,
+//! plan resolution, rationale assembly, EWMA update) vs the same query
+//! hand-pinned to the resolved configuration — the Criterion face of the
+//! exporter's planner acceptance grid. The two arms execute the same
+//! resolved config, so any gap is pure planning overhead.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use supg_bench::perf::serving_workload;
+use supg_core::plan::Plan;
+use supg_core::{
+    CachedOracle, Planner, PreparedDataset, SamplerStrategy, SelectorKind, SupgSession,
+};
+
+const BUDGET: usize = 400;
+
+fn run(
+    prepared: &PreparedDataset,
+    planner: Option<&Planner>,
+    sampler: SamplerStrategy,
+    labels: &Arc<Vec<bool>>,
+) {
+    let owned = Arc::clone(labels);
+    let mut oracle = CachedOracle::new(owned.len(), BUDGET, move |i| owned[i]);
+    let session = SupgSession::over_prepared(prepared)
+        .recall(0.9)
+        .budget(BUDGET)
+        .selector(SelectorKind::ImportanceSampling)
+        .sampler_strategy(sampler)
+        .seed(7);
+    let session = match planner {
+        Some(p) => session.planned(p),
+        None => session,
+    };
+    std::hint::black_box(session.run(&mut oracle).expect("planner bench query"));
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    for &n in &[100_000usize, 1_000_000] {
+        let (data, labels) = serving_workload(n);
+
+        // Warm planned arm: one shared planner and dataset, artifacts
+        // cached after the first (warm-up) query. Each arm gets its own
+        // artifact cache over the shared score block.
+        let planned_data = PreparedDataset::from_arc(Arc::clone(&data));
+        let planner = Planner::new();
+        run(
+            &planned_data,
+            Some(&planner),
+            SamplerStrategy::Auto,
+            &labels,
+        );
+        g.bench_with_input(BenchmarkId::new("auto_planned", n), &n, |b, _| {
+            b.iter(|| {
+                run(
+                    &planned_data,
+                    Some(&planner),
+                    SamplerStrategy::Auto,
+                    &labels,
+                )
+            })
+        });
+
+        // Hand arm pinned to exactly what the planner resolved, so the
+        // comparison isolates planning overhead.
+        let resolved = {
+            let owned = Arc::clone(&labels);
+            let mut oracle = CachedOracle::new(owned.len(), BUDGET, move |i| owned[i]);
+            let outcome = SupgSession::over_prepared(&planned_data)
+                .recall(0.9)
+                .budget(BUDGET)
+                .selector(SelectorKind::ImportanceSampling)
+                .sampler_strategy(SamplerStrategy::Auto)
+                .seed(7)
+                .planned(&planner)
+                .run(&mut oracle)
+                .expect("resolve plan");
+            Arc::clone(outcome.plan.as_ref().expect("planned outcome"))
+        };
+        let hand_data = PreparedDataset::from_arc(Arc::clone(&data));
+        run(&hand_data, None, resolved.sampler, &labels);
+        let _: &Plan = &resolved;
+        g.bench_with_input(BenchmarkId::new("hand_tuned", n), &n, |b, _| {
+            b.iter(|| run(&hand_data, None, resolved.sampler, &labels))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -106,6 +106,18 @@ fn main() -> ExitCode {
         report.segmented.flat_search_ns / 1e6,
         report.segmented.search_speedup(),
     );
+    eprintln!(
+        "planner grid (small {}, huge {}, budget {}): worst auto/best-hand ratio {:.3}; \
+         cold build: planner chose {} chunk(s), serial-floor speedup {:.2}×, \
+         legacy comparator {:.2}×",
+        report.planner.small_n,
+        report.planner.huge_n,
+        report.planner.budget,
+        report.planner.worst_ratio(),
+        report.cold_build.workers,
+        report.cold_build.speedup(),
+        report.cold_build.legacy_speedup(),
+    );
 
     if check {
         let Ok(committed) = std::fs::read_to_string(&path) else {
@@ -220,6 +232,29 @@ fn main() -> ExitCode {
                 }
                 eprintln!(
                     "bench_export --check: resilience.overhead ok (current {overhead:.2}× vs \
+                     baseline {baseline:.2}×)"
+                );
+            }
+        }
+        // The planner ratio also gates in the lower-is-better
+        // direction: non-required (a baseline predating the planner
+        // section is skipped), failing only when Auto's worst
+        // loss-to-hand-tuning doubles over the committed baseline.
+        let worst = report.planner.worst_ratio();
+        match extract_number(&committed, "planner", "worst_ratio") {
+            None => eprintln!(
+                "bench_export --check: baseline predates planner.worst_ratio; skipping its gate"
+            ),
+            Some(baseline) => {
+                if worst > baseline * 2.0 {
+                    eprintln!(
+                        "bench_export --check: planner.worst_ratio regressed: \
+                         current {worst:.2}× > twice baseline {baseline:.2}×"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "bench_export --check: planner.worst_ratio ok (current {worst:.2}× vs \
                      baseline {baseline:.2}×)"
                 );
             }

@@ -12,11 +12,12 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use supg_core::plan::{planned_chunks, CalibrationProfile};
 use supg_core::rank::{materialize_linear, RankIndex};
 use supg_core::selectors::reference::{precision_threshold_naive, recall_threshold_naive};
 use supg_core::selectors::{precision_threshold, recall_threshold, SelectorConfig};
 use supg_core::{
-    CachedOracle, FaultPlan, FaultyOracle, OracleSample, PreparedDataset, ResilientOracle,
+    CachedOracle, FaultPlan, FaultyOracle, OracleSample, Planner, PreparedDataset, ResilientOracle,
     RetryPolicy, RuntimeConfig, SamplerStrategy, ScoredDataset, SegmentedDataset, SelectorKind,
     SupgSession, WeightArtifacts,
 };
@@ -218,33 +219,43 @@ impl MaterializationNumbers {
     }
 }
 
-/// Cold construction of the rank-index artifact: the legacy serial build
-/// (the pre-rank-index `ScoredDataset::new` comparator sort, retained
-/// in-process as the reference baseline, like the naive estimator
-/// references) vs [`RankIndex::build`] at `workers` workers.
+/// Cold construction of the rank-index artifact, as the planner
+/// dispatches it: the serial packed-key build (the planner's serial
+/// floor) vs the planner-chosen chunk count, with the legacy comparator
+/// sort (the pre-rank-index `ScoredDataset::new` construction) retained
+/// as the historical reference.
 #[derive(Debug, Clone, Copy)]
 pub struct ColdBuildNumbers {
     /// Dataset size (production scale: the comparator baseline's random
     /// score loads fall out of cache here, exactly as in a real corpus).
     pub n: usize,
-    /// Worker-pool width requested for the parallel arm (clamped to the
-    /// machine's cores inside `RankIndex::build`).
+    /// The chunk count the planner resolved from the measured
+    /// calibration (1 = it chose the serial floor).
     pub workers: usize,
-    /// Median ns of the legacy serial construction: a `u32` index sort
-    /// driven by a float comparator over the score array, plus the
+    /// Median ns of the legacy comparator construction: a `u32` index
+    /// sort driven by a float comparator over the score array, plus the
     /// gathered sorted-score view.
+    pub legacy_ns: f64,
+    /// Median ns of the serial packed-key build — the planner's floor.
     pub serial_ns: f64,
-    /// Median ns of `RankIndex::build` at `workers` workers (packed
-    /// integer keys; chunked sort + pairwise merges on the pool).
+    /// Median ns of the planner-chosen build. When the calibration
+    /// resolves chunks = 1 the chosen build *is* the serial build (same
+    /// code path), so this equals `serial_ns` by identity.
     pub parallel_ns: f64,
 }
 
 impl ColdBuildNumbers {
-    /// `serial / parallel`. On a single-core machine this is the pure
-    /// algorithmic (packed-key) win; chunk-phase scaling adds on top of
-    /// it wherever real cores exist.
+    /// `serial / planner-chosen` — ≥ 1.0 by construction: the planner
+    /// only leaves the serial floor where the calibration measured
+    /// chunking faster.
     pub fn speedup(&self) -> f64 {
         self.serial_ns / self.parallel_ns.max(1.0)
+    }
+
+    /// `legacy comparator / planner-chosen` — the end-to-end win over
+    /// the pre-rank-index construction (packed keys plus any chunking).
+    pub fn legacy_speedup(&self) -> f64 {
+        self.legacy_ns / self.parallel_ns.max(1.0)
     }
 }
 
@@ -366,6 +377,9 @@ pub struct BenchReport {
     /// Cold-start serving: alias-build parallelization and the CDF
     /// fallback's cold one-shot win.
     pub cold_path: ColdPathNumbers,
+    /// Adaptive planner: Auto vs best hand-tuned across the
+    /// cold/warm × small/huge × fast/slow-oracle grid.
+    pub planner: PlannerNumbers,
     /// Segmented-corpus artifact build and stitched threshold search.
     pub segmented: SegmentedNumbers,
 }
@@ -426,6 +440,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     let cold_build = measure_cold_build(if quick { 3 } else { 7 });
     let cold_path = measure_cold_path(if quick { 5 } else { 15 });
     let segmented = measure_segmented(if quick { 3 } else { 7 });
+    let planner = measure_planner(if quick { 3 } else { 7 });
 
     BenchReport {
         s,
@@ -439,6 +454,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
         materialization,
         cold_build,
         cold_path,
+        planner,
         segmented,
     }
 }
@@ -634,15 +650,21 @@ fn measure_materialization(iters: usize) -> MaterializationNumbers {
 
 /// Cold rank-index construction at production scale (n = 10⁷, where the
 /// legacy comparator's random score loads run out of cache, as on any
-/// real corpus): the retained legacy serial build vs `RankIndex::build`
-/// at 8 workers. The arms alternate within one loop so ambient machine
-/// noise hits both medians alike.
+/// real corpus). Three arms, alternating within one loop so ambient
+/// machine noise hits every median alike: the retained legacy
+/// comparator sort, the serial packed-key build (the planner's floor),
+/// and the planner-chosen build at the chunk count
+/// [`planned_chunks`] resolved from the process calibration. Where the
+/// calibration keeps the serial floor (`chunks = 1`) the chosen build
+/// is the serial build — the same code path — so `parallel_ns` is
+/// recorded as `serial_ns` by identity and the speedup is exactly 1.0:
+/// the planner's never-slower-than-serial invariant, measured.
 fn measure_cold_build(iters: usize) -> ColdBuildNumbers {
     let n = 10_000_000;
-    let workers = 8;
     let (scores, _) = BetaDataset::new(0.05, 2.0, n).generate(7).into_parts();
-    let rt = RuntimeConfig::default().with_parallelism(workers);
+    let chunks = planned_chunks(n, CalibrationProfile::measured());
     let iters = iters.max(3);
+    let mut legacy = Vec::with_capacity(iters);
     let mut serial = Vec::with_capacity(iters);
     let mut parallel = Vec::with_capacity(iters);
     for _ in 0..iters {
@@ -658,21 +680,322 @@ fn measure_cold_build(iters: usize) -> ColdBuildNumbers {
         });
         let sorted: Vec<f64> = order.iter().map(|&i| scores[i as usize]).collect();
         std::hint::black_box((order, sorted));
-        serial.push(start.elapsed().as_nanos() as f64);
+        legacy.push(start.elapsed().as_nanos() as f64);
 
         let start = Instant::now();
-        std::hint::black_box(RankIndex::build(&scores, &rt));
-        parallel.push(start.elapsed().as_nanos() as f64);
+        std::hint::black_box(RankIndex::build_serial(&scores));
+        serial.push(start.elapsed().as_nanos() as f64);
+
+        if chunks > 1 {
+            let start = Instant::now();
+            std::hint::black_box(RankIndex::build_chunked(&scores, chunks));
+            parallel.push(start.elapsed().as_nanos() as f64);
+        }
     }
     let median = |v: &mut Vec<f64>| {
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         v[v.len() / 2]
     };
+    let serial_ns = median(&mut serial);
+    let parallel_ns = if chunks > 1 {
+        median(&mut parallel)
+    } else {
+        serial_ns
+    };
     ColdBuildNumbers {
         n,
-        workers,
-        serial_ns: median(&mut serial),
-        parallel_ns: median(&mut parallel),
+        workers: chunks,
+        legacy_ns: median(&mut legacy),
+        serial_ns,
+        parallel_ns,
+    }
+}
+
+/// One cell of the planner acceptance grid: median ns/query of the
+/// Auto-planned configuration vs each hand-tuned sampler pin over the
+/// same workload.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerCell {
+    /// Median ns/query with `SamplerStrategy::Auto` resolved through a
+    /// [`Planner`].
+    pub auto_ns: f64,
+    /// Median ns/query hand-pinned to the alias backend.
+    pub alias_ns: f64,
+    /// Median ns/query hand-pinned to the CDF backend.
+    pub cdf_ns: f64,
+}
+
+impl PlannerCell {
+    /// The faster hand-tuned arm.
+    pub fn best_hand_ns(&self) -> f64 {
+        self.alias_ns.min(self.cdf_ns)
+    }
+
+    /// `auto / best hand-tuned` — the acceptance criterion wants this
+    /// within 1.1 on every cell (Auto never pays more than 10% over the
+    /// best hand-picked configuration).
+    pub fn ratio(&self) -> f64 {
+        self.auto_ns / self.best_hand_ns().max(1.0)
+    }
+}
+
+/// Grid-cell labels, in the order `PlannerNumbers::cells` stores them:
+/// {cold, warm} × {small, huge} × {fast, slow-oracle}.
+pub const PLANNER_CELLS: [&str; 8] = [
+    "cold_small_fast",
+    "cold_small_slow",
+    "cold_huge_fast",
+    "cold_huge_slow",
+    "warm_small_fast",
+    "warm_small_slow",
+    "warm_huge_fast",
+    "warm_huge_slow",
+];
+
+/// The planner acceptance grid: Auto-planned vs best hand-tuned across
+/// cold/warm caches × small/huge corpora × fast/slow oracles.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerNumbers {
+    /// Records in the small-corpus cells.
+    pub small_n: usize,
+    /// Records in the huge-corpus cells.
+    pub huge_n: usize,
+    /// Oracle budget per query.
+    pub budget: usize,
+    /// Busy-wait per call in the slow-oracle cells (above the planner's
+    /// latency-bound threshold, so the EWMA regime actually flips).
+    pub slow_call_ns: u64,
+    /// One cell per [`PLANNER_CELLS`] label.
+    pub cells: [PlannerCell; 8],
+}
+
+impl PlannerNumbers {
+    /// The worst `auto / best-hand` ratio across the grid — the single
+    /// number the regression gate watches (lower is better, ~1.0 means
+    /// Auto never loses to hand tuning anywhere).
+    pub fn worst_ratio(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(PlannerCell::ratio)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// One timed query for the planner grid: IS-CI-R at recall 0.9 over a
+/// prepared dataset, with the sampler either planned (`Auto` + a
+/// [`Planner`]) or hand-pinned, and the oracle optionally slowed by a
+/// per-call busy wait.
+fn planner_query(
+    data: &PreparedDataset,
+    planner: Option<&Planner>,
+    sampler: SamplerStrategy,
+    labels: &Arc<Vec<bool>>,
+    budget: usize,
+    slow_call_ns: Option<u64>,
+    seed: u64,
+) -> f64 {
+    let owned = Arc::clone(labels);
+    let mut oracle = match slow_call_ns {
+        Some(ns) => CachedOracle::new(owned.len(), budget, move |i| {
+            let spin = Instant::now();
+            while (spin.elapsed().as_nanos() as u64) < ns {
+                std::hint::spin_loop();
+            }
+            owned[i]
+        }),
+        None => CachedOracle::new(owned.len(), budget, move |i| owned[i]),
+    };
+    let session = SupgSession::over_prepared(data)
+        .recall(0.9)
+        .budget(budget)
+        .selector(SelectorKind::ImportanceSampling)
+        .sampler_strategy(sampler)
+        .seed(seed);
+    let session = match planner {
+        Some(p) => session.planned(p),
+        None => session,
+    };
+    let start = Instant::now();
+    std::hint::black_box(session.run(&mut oracle).expect("planner grid query"));
+    start.elapsed().as_nanos() as f64
+}
+
+/// Measures one grid cell. Each arm owns its dataset so artifact caches
+/// never interfere; arms alternate inside one loop so ambient noise
+/// hits all three medians alike. Warm cells pre-warm every arm untimed
+/// (two planned queries for the Auto arm so the cold→promoted→warm
+/// recipe transitions — and the planner's oracle-latency EWMA — settle
+/// before timing starts); cold cells rebuild fresh datasets and a fresh
+/// planner every iteration.
+fn measure_planner_cell(
+    scores: &[f64],
+    labels: &Arc<Vec<bool>>,
+    budget: usize,
+    warm: bool,
+    slow_call_ns: Option<u64>,
+    iters: usize,
+) -> PlannerCell {
+    let fresh = || PreparedDataset::from_scores(scores.to_vec()).expect("valid scores");
+    let mut auto = Vec::with_capacity(iters);
+    let mut alias = Vec::with_capacity(iters);
+    let mut cdf = Vec::with_capacity(iters);
+    if warm {
+        let (auto_data, alias_data, cdf_data) = (fresh(), fresh(), fresh());
+        let planner = Planner::new();
+        // Two untimed planned queries: the first sees the cold recipe
+        // (CDF build), the second executes the promotion to the alias
+        // table — so the timed samples below measure the warm steady
+        // state, not the one-off promotion build.
+        for _ in 0..2 {
+            planner_query(
+                &auto_data,
+                Some(&planner),
+                SamplerStrategy::Auto,
+                labels,
+                budget,
+                slow_call_ns,
+                0,
+            );
+        }
+        planner_query(
+            &alias_data,
+            None,
+            SamplerStrategy::Alias,
+            labels,
+            budget,
+            slow_call_ns,
+            0,
+        );
+        planner_query(
+            &cdf_data,
+            None,
+            SamplerStrategy::Cdf,
+            labels,
+            budget,
+            slow_call_ns,
+            0,
+        );
+        for it in 0..iters {
+            let seed = it as u64 + 1;
+            auto.push(planner_query(
+                &auto_data,
+                Some(&planner),
+                SamplerStrategy::Auto,
+                labels,
+                budget,
+                slow_call_ns,
+                seed,
+            ));
+            alias.push(planner_query(
+                &alias_data,
+                None,
+                SamplerStrategy::Alias,
+                labels,
+                budget,
+                slow_call_ns,
+                seed,
+            ));
+            cdf.push(planner_query(
+                &cdf_data,
+                None,
+                SamplerStrategy::Cdf,
+                labels,
+                budget,
+                slow_call_ns,
+                seed,
+            ));
+        }
+    } else {
+        for it in 0..iters {
+            let seed = it as u64 + 1;
+            let planner = Planner::new();
+            auto.push(planner_query(
+                &fresh(),
+                Some(&planner),
+                SamplerStrategy::Auto,
+                labels,
+                budget,
+                slow_call_ns,
+                seed,
+            ));
+            alias.push(planner_query(
+                &fresh(),
+                None,
+                SamplerStrategy::Alias,
+                labels,
+                budget,
+                slow_call_ns,
+                seed,
+            ));
+            cdf.push(planner_query(
+                &fresh(),
+                None,
+                SamplerStrategy::Cdf,
+                labels,
+                budget,
+                slow_call_ns,
+                seed,
+            ));
+        }
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    PlannerCell {
+        auto_ns: median(&mut auto),
+        alias_ns: median(&mut alias),
+        cdf_ns: median(&mut cdf),
+    }
+}
+
+/// The full planner acceptance grid (see [`PLANNER_CELLS`]).
+fn measure_planner(iters: usize) -> PlannerNumbers {
+    let small_n = 1 << 16;
+    let huge_n = 1_000_000;
+    let budget = 400;
+    let slow_call_ns: u64 = 150_000;
+    let iters = iters.max(3);
+    let (small_scores, small_labels) = BetaDataset::new(0.05, 2.0, small_n)
+        .generate(7)
+        .into_parts();
+    let (huge_scores, huge_labels) = BetaDataset::new(0.05, 2.0, huge_n).generate(7).into_parts();
+    let small_labels = Arc::new(small_labels);
+    let huge_labels = Arc::new(huge_labels);
+
+    let mut cells = [PlannerCell {
+        auto_ns: 0.0,
+        alias_ns: 0.0,
+        cdf_ns: 0.0,
+    }; 8];
+    let mut idx = 0;
+    for warm in [false, true] {
+        for (scores, labels) in [(&small_scores, &small_labels), (&huge_scores, &huge_labels)] {
+            for slow in [None, Some(slow_call_ns)] {
+                // Per-cell iteration scaling: warm fast-oracle queries
+                // run in microseconds, where a handful of samples makes
+                // the median a coin flip — give those cells enough
+                // iterations for a stable median (still milliseconds of
+                // wall clock). Slow-oracle and cold-build cells cost
+                // milliseconds per sample, so they keep the base count.
+                let cell_iters = if warm && slow.is_none() {
+                    iters.max(51)
+                } else if slow.is_none() {
+                    iters.max(9)
+                } else {
+                    iters
+                };
+                cells[idx] = measure_planner_cell(scores, labels, budget, warm, slow, cell_iters);
+                idx += 1;
+            }
+        }
+    }
+    PlannerNumbers {
+        small_n,
+        huge_n,
+        budget,
+        slow_call_ns,
+        cells,
     }
 }
 
@@ -921,7 +1244,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"supg-bench/6\",");
+        let _ = writeln!(out, "  \"schema\": \"supg-bench/7\",");
         let _ = writeln!(out, "  \"threshold_search\": {{");
         let _ = writeln!(out, "    \"s\": {},", self.s);
         let _ = writeln!(out, "    \"step\": {},", self.step);
@@ -1007,13 +1330,19 @@ impl BenchReport {
         let _ = writeln!(out, "  \"cold_build\": {{");
         let _ = writeln!(out, "    \"n\": {},", self.cold_build.n);
         let _ = writeln!(out, "    \"workers\": {},", self.cold_build.workers);
+        let _ = writeln!(out, "    \"legacy_ns\": {:.0},", self.cold_build.legacy_ns);
         let _ = writeln!(out, "    \"serial_ns\": {:.0},", self.cold_build.serial_ns);
         let _ = writeln!(
             out,
             "    \"parallel_ns\": {:.0},",
             self.cold_build.parallel_ns
         );
-        let _ = writeln!(out, "    \"speedup\": {:.2}", self.cold_build.speedup());
+        let _ = writeln!(out, "    \"speedup\": {:.2},", self.cold_build.speedup());
+        let _ = writeln!(
+            out,
+            "    \"legacy_speedup\": {:.2}",
+            self.cold_build.legacy_speedup()
+        );
         let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"cold_path\": {{");
         let _ = writeln!(out, "    \"n\": {},", self.cold_path.n);
@@ -1086,6 +1415,24 @@ impl BenchReport {
             out,
             "    \"search_speedup\": {:.2}",
             self.segmented.search_speedup()
+        );
+        let _ = writeln!(out, "  }},");
+        // Flat like every section: one `auto/hand/ratio` triple per
+        // grid cell, keyed by the cell label.
+        let _ = writeln!(out, "  \"planner\": {{");
+        let _ = writeln!(out, "    \"small_n\": {},", self.planner.small_n);
+        let _ = writeln!(out, "    \"huge_n\": {},", self.planner.huge_n);
+        let _ = writeln!(out, "    \"budget\": {},", self.planner.budget);
+        let _ = writeln!(out, "    \"slow_call_ns\": {},", self.planner.slow_call_ns);
+        for (label, cell) in PLANNER_CELLS.iter().zip(self.planner.cells.iter()) {
+            let _ = writeln!(out, "    \"auto_{label}_ns\": {:.0},", cell.auto_ns);
+            let _ = writeln!(out, "    \"hand_{label}_ns\": {:.0},", cell.best_hand_ns());
+            let _ = writeln!(out, "    \"ratio_{label}\": {:.3},", cell.ratio());
+        }
+        let _ = writeln!(
+            out,
+            "    \"worst_ratio\": {:.3}",
+            self.planner.worst_ratio()
         );
         let _ = writeln!(out, "  }},");
         // The saturation section stays flat (`extract_number` bounds a
@@ -1211,6 +1558,7 @@ mod tests {
             cold_build: ColdBuildNumbers {
                 n: 1_000_000,
                 workers: 8,
+                legacy_ns: 2e8,
                 serial_ns: 1.2e8,
                 parallel_ns: 4e7,
             },
@@ -1230,6 +1578,27 @@ mod tests {
                 segmented_cdf_build_ns: 2e7,
                 flat_search_ns: 5e7,
                 segmented_search_ns: 1e5,
+            },
+            planner: PlannerNumbers {
+                small_n: 1 << 16,
+                huge_n: 1_000_000,
+                budget: 400,
+                slow_call_ns: 150_000,
+                cells: {
+                    let mut cells = [PlannerCell {
+                        auto_ns: 1e6,
+                        alias_ns: 1e6,
+                        cdf_ns: 2e6,
+                    }; 8];
+                    // One distinguishable cell so the worst-ratio and
+                    // per-cell keys are actually exercised.
+                    cells[3] = PlannerCell {
+                        auto_ns: 2.1e6,
+                        alias_ns: 2e6,
+                        cdf_ns: 4e6,
+                    };
+                    cells
+                },
             },
         };
         let json = report.to_json();
@@ -1264,7 +1633,28 @@ mod tests {
             Some(10_000.0)
         );
         assert_eq!(extract_number(&json, "cold_build", "speedup"), Some(3.0));
+        assert_eq!(
+            extract_number(&json, "cold_build", "legacy_speedup"),
+            Some(5.0)
+        );
         assert_eq!(extract_number(&json, "cold_build", "workers"), Some(8.0));
+        assert_eq!(
+            extract_number(&json, "planner", "small_n"),
+            Some((1u64 << 16) as f64)
+        );
+        assert_eq!(
+            extract_number(&json, "planner", "ratio_cold_small_fast"),
+            Some(1.0)
+        );
+        assert_eq!(
+            extract_number(&json, "planner", "auto_cold_huge_slow_ns"),
+            Some(2.1e6)
+        );
+        assert_eq!(
+            extract_number(&json, "planner", "hand_cold_huge_slow_ns"),
+            Some(2e6)
+        );
+        assert_eq!(extract_number(&json, "planner", "worst_ratio"), Some(1.05));
         assert_eq!(
             extract_number(&json, "cold_path", "alias_build_speedup"),
             Some(2.0)

@@ -93,9 +93,82 @@ impl CostBreakdown {
     }
 }
 
+impl<R> crate::session::QueryOutcome<R> {
+    /// Prices this query under `model`, from its *measured* accounting:
+    /// `n_records` proxy inferences, every oracle invocation actually
+    /// issued — including retries of transient failures, which are paid
+    /// calls even though they don't consume fresh budget — and the
+    /// measured wall-clock `elapsed` as the query-processing time.
+    pub fn cost(&self, model: &CostModel) -> CostBreakdown {
+        model.breakdown(
+            self.n_records,
+            self.oracle_calls + self.oracle_retries as usize,
+            self.elapsed.as_secs_f64(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::QueryOutcome;
+    use std::time::Duration;
+
+    fn outcome(n_records: usize, oracle_calls: usize, elapsed_s: f64) -> QueryOutcome<()> {
+        QueryOutcome {
+            result: (),
+            tau: 0.5,
+            selector: "U-CI-R",
+            oracle_calls,
+            stage_calls: oracle_calls,
+            filter_calls: 0,
+            sample_draws: oracle_calls,
+            sample_positives: 0,
+            candidates: 0,
+            joint: false,
+            elapsed: Duration::from_secs_f64(elapsed_s),
+            cache_hits: 0,
+            cache_misses: 0,
+            stage_elapsed: Duration::from_secs_f64(elapsed_s),
+            filter_elapsed: Duration::ZERO,
+            oracle_retries: 0,
+            oracle_failures: 0,
+            retry_backoff: Duration::ZERO,
+            n_records,
+            plan: None,
+        }
+    }
+
+    #[test]
+    fn outcome_cost_matches_imagenet_row() {
+        // Table 5, ImageNet: 1,000 human labels over 50k records.
+        let model = CostModel::paper_human_oracle();
+        let b = outcome(50_000, 1_000, 0.1).cost(&model);
+        assert!((b.oracle - 80.0).abs() < 1e-9);
+        assert!((b.exhaustive_oracle - 4_000.0).abs() < 1e-9);
+        assert_eq!(b, model.breakdown(50_000, 1_000, 0.1));
+    }
+
+    #[test]
+    fn outcome_cost_charges_retry_overdraft() {
+        // 900 budgeted calls + 100 retried transient failures cost the
+        // same as 1,000 clean calls: every invocation is paid for.
+        let model = CostModel::paper_human_oracle();
+        let mut retried = outcome(50_000, 900, 0.1);
+        retried.oracle_retries = 100;
+        let clean = outcome(50_000, 1_000, 0.1);
+        assert_eq!(retried.cost(&model).oracle, clean.cost(&model).oracle);
+        assert!((retried.cost(&model).oracle - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outcome_cost_uses_measured_elapsed() {
+        let model = CostModel::paper_human_oracle();
+        let slow = outcome(1_000_000, 100, 3600.0).cost(&model);
+        let fast = outcome(1_000_000, 100, 1.0).cost(&model);
+        assert!((slow.sampling - 3.06).abs() < 1e-9);
+        assert!(slow.sampling > 1000.0 * fast.sampling);
+    }
 
     #[test]
     fn imagenet_row_matches_paper_scale() {

@@ -307,6 +307,42 @@
 //! serving-side degradation ladder (deadlines, per-dataset circuit
 //! breakers) on these primitives.
 //!
+//! ## Adaptive planning
+//!
+//! The execution knobs above — parallelism, batch size, sampler
+//! strategy, build chunk counts — default to hand-tuned values, and the
+//! [`plan`] module replaces the guessing with a measured loop. A
+//! [`Planner`](plan::Planner) attached to a session
+//! ([`SupgSession::planned`](session::SupgSession::planned)) snapshots
+//! the measured signals before each run — dataset size and layout, the
+//! artifact-cache state of the query's weight recipe
+//! ([`PreparedDataset::recipe_state`](prepared::PreparedDataset::recipe_state)),
+//! the effective core count and build-kernel throughputs from a one-time
+//! per-process calibration
+//! ([`CalibrationProfile`](plan::CalibrationProfile)), and an EWMA of
+//! observed per-call oracle latency persisted across queries — and
+//! resolves them into a [`Plan`](plan::Plan) via a *pure function* of
+//! that snapshot. How signals map to decisions:
+//!
+//! * **Sampler**: an `Auto` request resolves from the cache state —
+//!   cold recipes take the cheapest measured build (CDF), recurring ones
+//!   promote to the cached alias table; any explicit strategy is a pin.
+//! * **Parallelism / batching**: latency-bound oracles (high EWMA) get
+//!   oversubscribed workers and fine batches, throughput-bound ones one
+//!   worker per core and large batches; a caller-set
+//!   [`RuntimeConfig`] is honored verbatim.
+//! * **Build chunking**: chunk-parallel rank/alias/segment builds run
+//!   only where the calibration *measured* them faster than serial —
+//!   the planner never selects a configuration slower than serial.
+//!
+//! The resolved plan is attached to the [`QueryOutcome`] as a debug
+//! report ([`Plan::report`](plan::Plan::report) renders each decision
+//! with the measured input that drove it), and planned outcomes are
+//! bit-identical to hand-tuned runs at the same resolved configuration
+//! (pinned by `tests/planner_parity.rs`). To pin a manual config under a
+//! planner, just set the knobs explicitly — `.sampler_strategy(..)` and
+//! `.runtime(..)` always win over adaptivity.
+//!
 //! ## Guarantee contract
 //!
 //! For an RT query with target `γ` and failure probability `δ`, the set `R`
@@ -327,6 +363,7 @@ pub mod executor;
 pub mod fault;
 pub mod metrics;
 pub mod oracle;
+pub mod plan;
 pub mod prepared;
 pub mod query;
 pub mod rank;
@@ -342,8 +379,10 @@ pub use executor::{ResultView, SelectionResult};
 pub use fault::{FaultDecision, FaultPlan, FaultyOracle, ResilientOracle, RetryPolicy, RetryStats};
 pub use metrics::PrecisionRecall;
 pub use oracle::{BatchOracle, CachedOracle, Oracle};
+pub use plan::{CalibrationProfile, Plan, PlanPolicy, PlanSignals, PlanStats, Planner};
 pub use prepared::{
-    CacheStats, DataView, PreparedDataset, QueryProbe, SamplerStrategy, WeightArtifacts,
+    CacheStats, DataView, PreparedDataset, QueryProbe, RecipeState, SamplerStrategy,
+    WeightArtifacts,
 };
 pub use query::{ApproxQuery, JointQuery, TargetKind};
 pub use rank::RankIndex;

@@ -1,0 +1,729 @@
+//! Measured-cost adaptive planning: calibrate once, snapshot per query,
+//! resolve a [`Plan`], execute it.
+//!
+//! The paper's §6.5 cost model shows where SUPG's time and money go —
+//! oracle calls ≫ proxy ≫ query processing — but the execution knobs
+//! that steer those costs (`RuntimeConfig` parallelism/batching, the
+//! [`SamplerStrategy`] backend, the chunk counts of rank/alias/segment
+//! builds) were hand-tuned defaults. This module replaces guessing with
+//! a *measure-then-pick* loop:
+//!
+//! 1. **Calibrate once per process** ([`CalibrationProfile::measured`],
+//!    cached in a `OnceLock`): time the packed-key sort serial vs.
+//!    chunked at the effective core count, and the alias-feed / CDF-scan
+//!    build kernels (via [`supg_sampling::calibrate`]).
+//! 2. **Snapshot per query** ([`PlanSignals`]): dataset size and layout
+//!    (flat vs. segmented), the artifact-cache state for the query's
+//!    weight recipe ([`RecipeState`]), the caller's pinned knobs, and an
+//!    EWMA of observed per-call oracle latency kept by the [`Planner`]
+//!    across queries.
+//! 3. **Resolve** ([`Plan::resolve`]): a *pure function* of the snapshot
+//!    producing `Plan { parallelism, batch_size, sampler, chunks,
+//!    rationale }`. Purity is what makes planning testable — the same
+//!    snapshot always yields the same plan (pinned by proptests in
+//!    `crates/core/tests/planner_parity.rs`).
+//!
+//! # The serial floor
+//!
+//! The planner **never selects a configuration slower than serial**:
+//! chunked builds are only chosen when the calibration *measured* them
+//! faster than the serial build on this machine ([`planned_chunks`]).
+//! On a single-core box the chunk count is always 1, which is what fixes
+//! the `cold_build.speedup = 0.79` regression the hand-tuned "8 workers"
+//! default produced — there is no configuration the planner can pick
+//! that loses to the serial baseline by construction.
+//!
+//! # Determinism
+//!
+//! A plan only ever changes *performance* knobs whose bit-neutrality is
+//! already pinned elsewhere: parallelism and batch size never change a
+//! [`QueryOutcome`] (the [`crate::runtime`] contract), and the resolved
+//! sampler is a concrete backend, so a planned query is bit-identical to
+//! a hand-tuned query run at the same resolved configuration. The only
+//! nondeterministic inputs (the clock behind the calibration and the
+//! latency EWMA) steer *which* configuration runs, never what it
+//! computes.
+//!
+//! # Reading a plan
+//!
+//! Every planned [`QueryOutcome`] carries its plan as a debug report:
+//! each [`Decision`] pairs the choice with the measured input that drove
+//! it. [`Plan::report`] renders the rationale as one line per decision.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::prepared::{RecipeState, SamplerStrategy};
+use crate::rank::RankIndex;
+use crate::runtime::{self, RuntimeConfig, DEFAULT_BATCH_SIZE, MIN_PARALLEL_INPUT};
+use crate::session::QueryOutcome;
+
+/// Input size of the one-time calibration probe — large enough to sit
+/// above [`MIN_PARALLEL_INPUT`] (so the chunked arm exercises the real
+/// dispatch path), small enough that calibration costs milliseconds.
+const PROBE_KEYS: usize = MIN_PARALLEL_INPUT * 2;
+
+/// Per-call latency (ns, EWMA) above which an oracle is treated as
+/// latency-bound: workers mostly wait, so oversubscribing the core count
+/// and shrinking batches improves load balance without contention.
+const SLOW_ORACLE_NS: f64 = 100_000.0;
+
+/// Worker multiplier for latency-bound oracles.
+const OVERSUBSCRIBE: usize = 4;
+
+/// Batch size for latency-bound oracles (fine batches balance better
+/// when each call is expensive).
+const SLOW_ORACLE_BATCH: usize = 16;
+
+/// Batch size for throughput-bound oracles (large batches amortize
+/// dispatch when each call is cheap).
+const FAST_ORACLE_BATCH: usize = 256;
+
+/// EWMA smoothing factor for the observed oracle latency.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// The one-time per-process calibration: measured build-kernel
+/// throughputs and the effective core count, cached in a `OnceLock` on
+/// first use ([`CalibrationProfile::measured`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationProfile {
+    /// Cores the OS actually grants this process — the
+    /// [`runtime::effective_cores`] clamp every chunked build respects.
+    pub effective_cores: usize,
+    /// ns/key of the serial packed-key rank sort at the probe size.
+    pub sort_serial_ns_per_key: f64,
+    /// ns/key of the chunked sort + merge at `effective_cores` chunks
+    /// (equals the serial cost when only one core is available).
+    pub sort_chunked_ns_per_key: f64,
+    /// ns/element of one alias feed pass (`supg-sampling` kernel).
+    pub alias_feed_ns_per_elem: f64,
+    /// ns/element of the CDF prefix-sum construction.
+    pub cdf_scan_ns_per_elem: f64,
+}
+
+impl CalibrationProfile {
+    /// The process-wide measured profile. The microbenchmark runs once
+    /// on first call (a few milliseconds) and is cached for the process
+    /// lifetime; every later call is a static borrow.
+    pub fn measured() -> &'static CalibrationProfile {
+        static CAL: OnceLock<CalibrationProfile> = OnceLock::new();
+        CAL.get_or_init(Self::microbench)
+    }
+
+    fn microbench() -> CalibrationProfile {
+        let cores = runtime::effective_cores();
+        let scores: Vec<f64> = (0..PROBE_KEYS)
+            .map(|i| runtime::split_unit(0xCA11_B7A7, i as u64))
+            .collect();
+        let serial_ns = median_ns(3, || {
+            black_box(RankIndex::build_serial(&scores));
+        });
+        let chunked_ns = if cores > 1 {
+            median_ns(3, || {
+                black_box(RankIndex::build_chunked(&scores, cores));
+            })
+        } else {
+            serial_ns
+        };
+        let feeds = supg_sampling::calibrate::measure_feed_throughput(PROBE_KEYS);
+        CalibrationProfile {
+            effective_cores: cores,
+            sort_serial_ns_per_key: serial_ns as f64 / PROBE_KEYS as f64,
+            sort_chunked_ns_per_key: chunked_ns as f64 / PROBE_KEYS as f64,
+            alias_feed_ns_per_elem: feeds.alias_feed_ns_per_elem,
+            cdf_scan_ns_per_elem: feeds.cdf_scan_ns_per_elem,
+        }
+    }
+
+    /// Measured serial/chunked sort ratio: > 1.0 means chunked builds
+    /// actually paid off on this machine.
+    pub fn chunked_sort_speedup(&self) -> f64 {
+        if self.sort_chunked_ns_per_key <= 0.0 {
+            return 1.0;
+        }
+        self.sort_serial_ns_per_key / self.sort_chunked_ns_per_key
+    }
+
+    /// A synthetic profile for tests: `chunked_sort_speedup` and the
+    /// core count are set directly, the feed costs to plausible
+    /// constants. Lets planner tests exercise multi-core decisions on
+    /// any machine without timing anything.
+    pub fn synthetic(effective_cores: usize, chunked_sort_speedup: f64) -> Self {
+        let serial = 10.0;
+        CalibrationProfile {
+            effective_cores: effective_cores.max(1),
+            sort_serial_ns_per_key: serial,
+            sort_chunked_ns_per_key: serial / chunked_sort_speedup.max(f64::MIN_POSITIVE),
+            alias_feed_ns_per_elem: 6.0,
+            cdf_scan_ns_per_elem: 2.0,
+        }
+    }
+}
+
+/// The build chunk count the serial-floor invariant allows for an
+/// `n`-record build under `cal`: the effective core count when the
+/// calibration measured chunked sorting faster than serial *and* the
+/// input is large enough to dispatch at all — otherwise 1 (serial).
+pub fn planned_chunks(n: usize, cal: &CalibrationProfile) -> usize {
+    if n >= MIN_PARALLEL_INPUT && cal.effective_cores > 1 && cal.chunked_sort_speedup() >= 1.0 {
+        cal.effective_cores
+    } else {
+        1
+    }
+}
+
+/// Per-dataset planning policy — how `supg-serve` pins or restricts
+/// what the planner may resolve (the "overrides win" knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanPolicy {
+    /// Force this sampler backend regardless of what the query asked
+    /// for or what the cache state suggests.
+    pub pin_sampler: Option<SamplerStrategy>,
+    /// Never resolve the CDF backend (applied after pinning — a
+    /// guardrail for tenants that require the alias RNG stream).
+    pub forbid_cdf: bool,
+}
+
+/// Everything a plan is a function of — one immutable snapshot of the
+/// measured signals taken just before execution. Two identical
+/// snapshots always resolve to the same [`Plan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanSignals {
+    /// Records in the corpus.
+    pub n: usize,
+    /// Segment count (0 = flat layout).
+    pub segments: usize,
+    /// Whether an artifact cache backs this query (prepared/shared
+    /// sessions).
+    pub prepared: bool,
+    /// Cache state of the query's weight recipe (always
+    /// [`RecipeState::Cold`] for cold views — there is no cache).
+    pub recipe: RecipeState,
+    /// The sampler the caller asked for (`Auto` delegates to the
+    /// planner; anything else is a caller pin).
+    pub requested_sampler: SamplerStrategy,
+    /// The runtime the caller pinned, if any (honored verbatim).
+    pub pinned_runtime: Option<RuntimeConfig>,
+    /// EWMA of observed per-call oracle latency in ns (`None` until the
+    /// planner has seen an outcome for this oracle).
+    pub oracle_ns_per_call: Option<f64>,
+    /// Measured effective core count.
+    pub effective_cores: usize,
+    /// Measured serial/chunked sort ratio from the calibration.
+    pub chunked_sort_speedup: f64,
+    /// The serving-layer policy in force.
+    pub policy: PlanPolicy,
+}
+
+/// One resolved choice and the measured input that drove it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// What was picked, e.g. `"sampler=cdf"`.
+    pub choice: String,
+    /// Which measured signal made the call, e.g. a throughput or a
+    /// cache state.
+    pub because: String,
+}
+
+/// The resolved execution configuration — what the session actually
+/// runs — plus the rationale trail. Attached to every planned
+/// [`QueryOutcome`] as a debug report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Worker-pool width for batched oracle labeling.
+    pub parallelism: usize,
+    /// Records per batched oracle request.
+    pub batch_size: usize,
+    /// The concrete sampler backend (never
+    /// [`SamplerStrategy::Auto`] — resolution is the planner's job).
+    pub sampler: SamplerStrategy,
+    /// Chunk count for rank/alias/segment builds (1 = serial; > 1 only
+    /// when the calibration measured chunking faster).
+    pub chunks: usize,
+    /// One [`Decision`] per resolved knob, in resolution order.
+    pub rationale: Vec<Decision>,
+}
+
+impl Plan {
+    /// Resolves a snapshot into a plan. Pure: no clocks, no caches, no
+    /// globals — the same `signals` always produce the same plan.
+    pub fn resolve(signals: &PlanSignals) -> Plan {
+        let mut rationale = Vec::new();
+        let sampler = resolve_sampler(signals, &mut rationale);
+        let (parallelism, batch_size) = resolve_runtime(signals, &mut rationale);
+        let chunks = resolve_chunks(signals, &mut rationale);
+        Plan {
+            parallelism,
+            batch_size,
+            sampler,
+            chunks,
+            rationale,
+        }
+    }
+
+    /// The plan's oracle-facing knobs as a [`RuntimeConfig`].
+    pub fn runtime(&self) -> RuntimeConfig {
+        RuntimeConfig::default()
+            .with_parallelism(self.parallelism)
+            .with_batch_size(self.batch_size)
+    }
+
+    /// Renders the rationale as one `choice — because` line per
+    /// decision (the human-readable form of the debug report).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for d in &self.rationale {
+            out.push_str(&d.choice);
+            out.push_str(" — ");
+            out.push_str(&d.because);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn resolve_sampler(s: &PlanSignals, rationale: &mut Vec<Decision>) -> SamplerStrategy {
+    let mut sampler = if let Some(pin) =
+        s.policy.pin_sampler.filter(|p| *p != SamplerStrategy::Auto)
+    {
+        rationale.push(Decision {
+            choice: format!("sampler={}", strategy_name(pin)),
+            because: "pinned by server override".to_owned(),
+        });
+        pin
+    } else if s.requested_sampler != SamplerStrategy::Auto {
+        rationale.push(Decision {
+            choice: format!("sampler={}", strategy_name(s.requested_sampler)),
+            because: "pinned by caller".to_owned(),
+        });
+        s.requested_sampler
+    } else if !s.prepared {
+        // Cold view: no cache, every build is one-shot. Pay whichever
+        // build the calibration measured cheaper.
+        rationale.push(Decision {
+            choice: "sampler=cdf".to_owned(),
+            because: "cold view: one-shot CDF scan is the cheapest measured build".to_owned(),
+        });
+        SamplerStrategy::Cdf
+    } else {
+        match s.recipe {
+            RecipeState::WarmAlias => {
+                rationale.push(Decision {
+                    choice: "sampler=alias".to_owned(),
+                    because: "alias artifacts cached for this recipe (warm hit)".to_owned(),
+                });
+                SamplerStrategy::Alias
+            }
+            RecipeState::WarmCdf => {
+                rationale.push(Decision {
+                    choice: "sampler=alias".to_owned(),
+                    because: "recipe recurring (CDF cached from first sight); promote to alias \
+                              — O(1) draws beat per-draw CDF binary search once warm"
+                        .to_owned(),
+                });
+                SamplerStrategy::Alias
+            }
+            RecipeState::SeenOnce => {
+                rationale.push(Decision {
+                    choice: "sampler=alias".to_owned(),
+                    because: "recipe recurring (Auto saw it once); promote to cached alias"
+                        .to_owned(),
+                });
+                SamplerStrategy::Alias
+            }
+            RecipeState::Cold => {
+                rationale.push(Decision {
+                    choice: "sampler=cdf".to_owned(),
+                    because: "cold recipe: cache the cheapest measured build first".to_owned(),
+                });
+                SamplerStrategy::Cdf
+            }
+        }
+    };
+    if s.policy.forbid_cdf && sampler == SamplerStrategy::Cdf {
+        rationale.push(Decision {
+            choice: "sampler=alias".to_owned(),
+            because: "CDF forbidden by server policy".to_owned(),
+        });
+        sampler = SamplerStrategy::Alias;
+    }
+    sampler
+}
+
+fn resolve_runtime(s: &PlanSignals, rationale: &mut Vec<Decision>) -> (usize, usize) {
+    if let Some(rt) = s.pinned_runtime {
+        rationale.push(Decision {
+            choice: format!(
+                "parallelism={} batch_size={}",
+                rt.parallelism, rt.batch_size
+            ),
+            because: "runtime pinned by caller".to_owned(),
+        });
+        return (rt.parallelism.max(1), rt.batch_size.max(1));
+    }
+    let cores = s.effective_cores.max(1);
+    match s.oracle_ns_per_call {
+        None => {
+            rationale.push(Decision {
+                choice: format!("parallelism={cores} batch_size={DEFAULT_BATCH_SIZE}"),
+                because: "no oracle latency history; defaults at effective cores".to_owned(),
+            });
+            (cores, DEFAULT_BATCH_SIZE)
+        }
+        Some(ns) if ns >= SLOW_ORACLE_NS => {
+            let workers = cores.saturating_mul(OVERSUBSCRIBE).max(1);
+            rationale.push(Decision {
+                choice: format!("parallelism={workers} batch_size={SLOW_ORACLE_BATCH}"),
+                because: format!(
+                    "oracle EWMA {ns:.0} ns/call ≥ {SLOW_ORACLE_NS:.0} — latency-bound: \
+                     oversubscribe {OVERSUBSCRIBE}x, fine batches"
+                ),
+            });
+            (workers, SLOW_ORACLE_BATCH)
+        }
+        Some(ns) => {
+            rationale.push(Decision {
+                choice: format!("parallelism={cores} batch_size={FAST_ORACLE_BATCH}"),
+                because: format!(
+                    "oracle EWMA {ns:.0} ns/call — throughput-bound: one worker per core, \
+                     large batches"
+                ),
+            });
+            (cores, FAST_ORACLE_BATCH)
+        }
+    }
+}
+
+fn resolve_chunks(s: &PlanSignals, rationale: &mut Vec<Decision>) -> usize {
+    let layout = if s.segments > 0 {
+        format!("segmented x{}", s.segments)
+    } else {
+        "flat".to_owned()
+    };
+    if s.n < MIN_PARALLEL_INPUT {
+        rationale.push(Decision {
+            choice: "chunks=1".to_owned(),
+            because: format!(
+                "{layout}: n={} below the parallel threshold {MIN_PARALLEL_INPUT}",
+                s.n
+            ),
+        });
+        1
+    } else if s.effective_cores <= 1 {
+        rationale.push(Decision {
+            choice: "chunks=1".to_owned(),
+            because: format!("{layout}: one effective core — serial floor"),
+        });
+        1
+    } else if s.chunked_sort_speedup < 1.0 {
+        rationale.push(Decision {
+            choice: "chunks=1".to_owned(),
+            because: format!(
+                "{layout}: measured chunked sort speedup {:.2}x < 1.0 — serial floor",
+                s.chunked_sort_speedup
+            ),
+        });
+        1
+    } else {
+        let chunks = s.effective_cores;
+        rationale.push(Decision {
+            choice: format!("chunks={chunks}"),
+            because: format!(
+                "{layout}: chunked builds measured {:.2}x faster at {chunks} cores",
+                s.chunked_sort_speedup
+            ),
+        });
+        chunks
+    }
+}
+
+fn strategy_name(s: SamplerStrategy) -> &'static str {
+    match s {
+        SamplerStrategy::Alias => "alias",
+        SamplerStrategy::Cdf => "cdf",
+        SamplerStrategy::Auto => "auto",
+    }
+}
+
+/// Aggregated planning decisions — what `supg-serve` surfaces per
+/// dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Queries that ran through the planner.
+    pub planned: u64,
+    /// Plans that resolved the alias backend.
+    pub resolved_alias: u64,
+    /// Plans that resolved the CDF backend.
+    pub resolved_cdf: u64,
+    /// Plans whose sampler was pinned (by the caller or a server
+    /// override) rather than adaptively resolved.
+    pub pinned: u64,
+}
+
+/// The long-lived planning state for one oracle: the per-call latency
+/// EWMA persisted across queries, the serving policy, and the decision
+/// counters. Attach one to a session with
+/// [`SupgSession::planned`](crate::session::SupgSession::planned); the
+/// session snapshots signals, resolves the plan, executes it, and feeds
+/// the outcome back via [`observe`](Planner::observe).
+///
+/// All state is atomic — one `Planner` can serve concurrent sessions.
+#[derive(Debug, Default)]
+pub struct Planner {
+    policy: PlanPolicy,
+    /// f64 bits of the EWMA; 0 = no observation yet.
+    ewma_bits: AtomicU64,
+    planned: AtomicU64,
+    resolved_alias: AtomicU64,
+    resolved_cdf: AtomicU64,
+    pinned: AtomicU64,
+}
+
+impl Planner {
+    /// A planner with the default (fully adaptive) policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A planner whose resolutions are constrained by `policy`.
+    pub fn with_policy(policy: PlanPolicy) -> Self {
+        Planner {
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// The policy this planner enforces.
+    pub fn policy(&self) -> PlanPolicy {
+        self.policy
+    }
+
+    /// The current per-call oracle latency EWMA in ns (`None` until the
+    /// first observation).
+    pub fn oracle_ns_per_call(&self) -> Option<f64> {
+        let bits = self.ewma_bits.load(Ordering::Relaxed);
+        (bits != 0).then(|| f64::from_bits(bits))
+    }
+
+    /// Feeds one finished query back into the latency EWMA, seeding it
+    /// from the outcome's accounting (`elapsed / oracle_calls`).
+    /// Sessions with an attached planner call this automatically.
+    pub fn observe<R>(&self, outcome: &QueryOutcome<R>) {
+        if outcome.oracle_calls == 0 {
+            return;
+        }
+        self.observe_ns_per_call(outcome.elapsed.as_nanos() as f64 / outcome.oracle_calls as f64);
+    }
+
+    /// Merges one per-call latency sample (ns) into the EWMA.
+    pub fn observe_ns_per_call(&self, per_call: f64) {
+        if !per_call.is_finite() || per_call <= 0.0 {
+            return;
+        }
+        let mut cur = self.ewma_bits.load(Ordering::Relaxed);
+        loop {
+            let next = if cur == 0 {
+                per_call
+            } else {
+                (1.0 - EWMA_ALPHA) * f64::from_bits(cur) + EWMA_ALPHA * per_call
+            };
+            match self.ewma_bits.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Records one resolution in the aggregated counters.
+    pub(crate) fn note(&self, signals: &PlanSignals, plan: &Plan) {
+        self.planned.fetch_add(1, Ordering::Relaxed);
+        match plan.sampler {
+            SamplerStrategy::Alias => self.resolved_alias.fetch_add(1, Ordering::Relaxed),
+            SamplerStrategy::Cdf => self.resolved_cdf.fetch_add(1, Ordering::Relaxed),
+            SamplerStrategy::Auto => 0, // unreachable: resolution is always concrete
+        };
+        let was_pinned = signals.policy.pin_sampler.is_some()
+            || signals.requested_sampler != SamplerStrategy::Auto;
+        if was_pinned {
+            self.pinned.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot of the aggregated decision counters.
+    pub fn stats(&self) -> PlanStats {
+        PlanStats {
+            planned: self.planned.load(Ordering::Relaxed),
+            resolved_alias: self.resolved_alias.load(Ordering::Relaxed),
+            resolved_cdf: self.resolved_cdf.load(Ordering::Relaxed),
+            pinned: self.pinned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_signals() -> PlanSignals {
+        PlanSignals {
+            n: 100_000,
+            segments: 0,
+            prepared: true,
+            recipe: RecipeState::Cold,
+            requested_sampler: SamplerStrategy::Auto,
+            pinned_runtime: None,
+            oracle_ns_per_call: None,
+            effective_cores: 4,
+            chunked_sort_speedup: 2.0,
+            policy: PlanPolicy::default(),
+        }
+    }
+
+    #[test]
+    fn resolution_is_a_pure_function_of_the_snapshot() {
+        let s = base_signals();
+        assert_eq!(Plan::resolve(&s), Plan::resolve(&s));
+    }
+
+    #[test]
+    fn auto_promotes_cold_to_warm_like_the_auto_strategy() {
+        let mut s = base_signals();
+        assert_eq!(Plan::resolve(&s).sampler, SamplerStrategy::Cdf);
+        s.recipe = RecipeState::SeenOnce;
+        assert_eq!(Plan::resolve(&s).sampler, SamplerStrategy::Alias);
+        s.recipe = RecipeState::WarmAlias;
+        assert_eq!(Plan::resolve(&s).sampler, SamplerStrategy::Alias);
+        s.recipe = RecipeState::WarmCdf;
+        assert_eq!(Plan::resolve(&s).sampler, SamplerStrategy::Alias);
+    }
+
+    #[test]
+    fn caller_pin_beats_adaptivity_and_override_beats_caller() {
+        let mut s = base_signals();
+        s.requested_sampler = SamplerStrategy::Alias;
+        assert_eq!(Plan::resolve(&s).sampler, SamplerStrategy::Alias);
+        s.policy.pin_sampler = Some(SamplerStrategy::Cdf);
+        assert_eq!(Plan::resolve(&s).sampler, SamplerStrategy::Cdf);
+        s.policy.forbid_cdf = true;
+        assert_eq!(Plan::resolve(&s).sampler, SamplerStrategy::Alias);
+    }
+
+    #[test]
+    fn serial_floor_vetoes_unprofitable_chunking() {
+        let mut s = base_signals();
+        s.chunked_sort_speedup = 0.79;
+        assert_eq!(Plan::resolve(&s).chunks, 1);
+        s.chunked_sort_speedup = 2.0;
+        s.effective_cores = 1;
+        assert_eq!(Plan::resolve(&s).chunks, 1);
+        s.effective_cores = 4;
+        s.n = 100;
+        assert_eq!(Plan::resolve(&s).chunks, 1);
+        s.n = 100_000;
+        assert_eq!(Plan::resolve(&s).chunks, 4);
+    }
+
+    #[test]
+    fn oracle_latency_drives_batching() {
+        let mut s = base_signals();
+        let defaults = Plan::resolve(&s);
+        assert_eq!(defaults.batch_size, DEFAULT_BATCH_SIZE);
+        assert_eq!(defaults.parallelism, 4);
+        s.oracle_ns_per_call = Some(1_000_000.0);
+        let slow = Plan::resolve(&s);
+        assert_eq!(slow.batch_size, SLOW_ORACLE_BATCH);
+        assert_eq!(slow.parallelism, 16);
+        s.oracle_ns_per_call = Some(500.0);
+        let fast = Plan::resolve(&s);
+        assert_eq!(fast.batch_size, FAST_ORACLE_BATCH);
+        assert_eq!(fast.parallelism, 4);
+    }
+
+    #[test]
+    fn pinned_runtime_is_honored_verbatim() {
+        let mut s = base_signals();
+        s.pinned_runtime = Some(
+            RuntimeConfig::default()
+                .with_parallelism(7)
+                .with_batch_size(33),
+        );
+        let plan = Plan::resolve(&s);
+        assert_eq!(plan.parallelism, 7);
+        assert_eq!(plan.batch_size, 33);
+        assert!(plan
+            .rationale
+            .iter()
+            .any(|d| d.because.contains("pinned by caller")));
+    }
+
+    #[test]
+    fn ewma_converges_toward_observations() {
+        let planner = Planner::new();
+        assert_eq!(planner.oracle_ns_per_call(), None);
+        planner.observe_ns_per_call(1000.0);
+        assert_eq!(planner.oracle_ns_per_call(), Some(1000.0));
+        for _ in 0..50 {
+            planner.observe_ns_per_call(2000.0);
+        }
+        let ewma = planner.oracle_ns_per_call().unwrap();
+        assert!(
+            (ewma - 2000.0).abs() < 1.0,
+            "EWMA {ewma} should approach 2000"
+        );
+    }
+
+    #[test]
+    fn planner_counters_aggregate_decisions() {
+        let planner = Planner::new();
+        let s = base_signals();
+        let plan = Plan::resolve(&s);
+        planner.note(&s, &plan);
+        let mut pinned = s;
+        pinned.requested_sampler = SamplerStrategy::Alias;
+        let plan2 = Plan::resolve(&pinned);
+        planner.note(&pinned, &plan2);
+        let stats = planner.stats();
+        assert_eq!(stats.planned, 2);
+        assert_eq!(stats.resolved_cdf, 1);
+        assert_eq!(stats.resolved_alias, 1);
+        assert_eq!(stats.pinned, 1);
+    }
+
+    #[test]
+    fn measured_profile_is_cached_and_sane() {
+        let a = CalibrationProfile::measured();
+        let b = CalibrationProfile::measured();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.effective_cores >= 1);
+        assert!(a.sort_serial_ns_per_key > 0.0);
+        assert!(a.chunked_sort_speedup() > 0.0);
+    }
+
+    #[test]
+    fn report_renders_one_line_per_decision() {
+        let plan = Plan::resolve(&base_signals());
+        let report = plan.report();
+        assert_eq!(report.trim().lines().count(), plan.rationale.len());
+        assert!(report.contains("sampler="));
+        assert!(report.contains("chunks="));
+    }
+}

@@ -134,6 +134,25 @@ pub enum SamplerStrategy {
     Auto,
 }
 
+/// Where a weight recipe stands in a [`PreparedDataset`]'s artifact
+/// cache — the cache-state signal the adaptive planner
+/// ([`crate::plan`]) resolves sampler strategies from. Obtained via
+/// [`PreparedDataset::recipe_state`], a *pure peek*: unlike
+/// [`PreparedDataset::artifacts_with`] it never builds anything, never
+/// counts a hit or miss, and never advances `Auto`'s promotion memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecipeState {
+    /// Never requested — any build will be paid from scratch.
+    Cold,
+    /// [`SamplerStrategy::Auto`] served its uncached one-shot CDF for
+    /// this recipe; its next request promotes to a cached alias table.
+    SeenOnce,
+    /// CDF artifacts are cached for this recipe.
+    WarmCdf,
+    /// The alias table is cached — the O(1)-draw steady state.
+    WarmAlias,
+}
+
 /// Applies a pure element-wise map over `input` in fixed contiguous
 /// chunks on the worker pool ([`runtime::cpu_workers`]-clamped),
 /// concatenating the results — bit-identical to one serial pass because
@@ -1050,6 +1069,27 @@ impl PreparedDataset {
             .read()
             .expect("artifact cache poisoned")
             .touch(key, &self.clock)
+    }
+
+    /// Where the weight recipe `(exponent, uniform_mix)` stands in this
+    /// dataset's artifact cache — the planner's cache-state signal. A
+    /// pure peek under the shared read lock: no build, no hit/miss
+    /// accounting, no promotion-memory side effects. An alias entry
+    /// shadows a CDF entry (the O(1)-draw steady state wins).
+    pub fn recipe_state(&self, exponent: f64, uniform_mix: f64) -> RecipeState {
+        let layout = self.layout_key();
+        let alias_key = RecipeKey::alias(exponent, uniform_mix).with_layout(layout);
+        let cdf_key = RecipeKey::cdf(exponent, uniform_mix).with_layout(layout);
+        let cache = self.cache.read().expect("artifact cache poisoned");
+        if cache.map.contains_key(&alias_key) {
+            RecipeState::WarmAlias
+        } else if cache.map.contains_key(&cdf_key) {
+            RecipeState::WarmCdf
+        } else if cache.auto_seen.contains(&alias_key) {
+            RecipeState::SeenOnce
+        } else {
+            RecipeState::Cold
+        }
     }
 
     /// Cache lookup / build-outside-the-lock / insert for one key.

@@ -101,13 +101,23 @@ impl RankIndex {
     /// `rt.parallelism` is clamped to the machine's available cores —
     /// unlike oracle labeling (which may be latency-bound and profits
     /// from over-subscription), the sort is pure CPU work, where extra
-    /// threads only add chunk/merge overhead.
+    /// threads only add chunk/merge overhead. On multi-core machines the
+    /// chunk count is additionally gated by the planner's one-time
+    /// calibration ([`crate::plan::planned_chunks`]): chunked sorting
+    /// runs only where it *measured* faster than serial, so this build
+    /// is never slower than [`build_serial`](Self::build_serial) by more
+    /// than noise — the planner's serial-floor invariant.
     pub fn build(scores: &[f64], rt: &RuntimeConfig) -> Self {
         let workers = cpu_workers(rt.parallelism);
         if workers <= 1 || scores.len() < MIN_PARALLEL_INPUT {
             return Self::build_serial(scores);
         }
-        Self::build_chunked(scores, workers)
+        let cal = crate::plan::CalibrationProfile::measured();
+        let chunks = crate::plan::planned_chunks(scores.len(), cal).min(workers);
+        if chunks <= 1 {
+            return Self::build_serial(scores);
+        }
+        Self::build_chunked(scores, chunks)
     }
 
     /// The chunked sort + pairwise-merge build with an explicit run

@@ -179,6 +179,13 @@ pub fn cpu_workers(requested: usize) -> usize {
     requested.max(1).min(cores)
 }
 
+/// The machine's effective core count: what [`cpu_workers`] clamps to,
+/// and the ceiling the adaptive planner ([`crate::plan`]) plans against.
+/// Equivalent to `cpu_workers(usize::MAX)`.
+pub fn effective_cores() -> usize {
+    cpu_workers(usize::MAX)
+}
+
 /// Splits `0..n` into `parts` contiguous, non-empty ranges — the
 /// deterministic chunk layout of the CPU-bound chunked stages. The layout
 /// never influences results (chunked stages are element-wise maps or

@@ -60,10 +60,11 @@ use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::executor::{ResultView, SelectionResult};
 use crate::oracle::{BatchOracle, CachedOracle, Oracle};
-use crate::prepared::{DataView, PreparedDataset, QueryProbe, SamplerStrategy};
+use crate::plan::{CalibrationProfile, Plan, PlanSignals, Planner};
+use crate::prepared::{DataView, PreparedDataset, QueryProbe, RecipeState, SamplerStrategy};
 use crate::query::{ApproxQuery, JointQuery, TargetKind};
 use crate::runtime::RuntimeConfig;
-use crate::segment::SegmentedDataset;
+use crate::segment::{Corpus, SegmentedDataset};
 use crate::selectors::{
     ImportancePrecision, ImportanceRecall, SelectorConfig, ThresholdSelector, TwoStagePrecision,
     UniformNoCiPrecision, UniformNoCiRecall, UniformPrecision, UniformRecall,
@@ -295,6 +296,15 @@ pub struct QueryOutcome<R = SelectionResult> {
     /// Retry backoff accrued during this query (virtual unless the retry
     /// policy really sleeps).
     pub retry_backoff: Duration,
+    /// Records in the queried corpus — what the §6.5 cost model charges
+    /// proxy inference for ([`cost`](QueryOutcome::cost)).
+    pub n_records: usize,
+    /// The resolved execution plan, when this query ran through the
+    /// adaptive planner ([`SupgSession::planned`]) — a debug report of
+    /// what was picked and which measured input drove each decision.
+    /// `None` for hand-tuned queries; excluded from the bit-parity
+    /// contract (two identical executions differ only in this report).
+    pub plan: Option<Arc<Plan>>,
 }
 
 /// A [`QueryOutcome`] whose result is the borrowed, zero-copy
@@ -325,6 +335,8 @@ impl ViewOutcome<'_> {
             oracle_retries: self.oracle_retries,
             oracle_failures: self.oracle_failures,
             retry_backoff: self.retry_backoff,
+            n_records: self.n_records,
+            plan: self.plan,
         }
     }
 }
@@ -347,6 +359,15 @@ pub struct SupgSession<'a> {
     config: SelectorConfig,
     seed: u64,
     runtime: Option<RuntimeConfig>,
+    planner: Option<PlannerHandle<'a>>,
+}
+
+/// How a session holds its planner: borrowed for in-process callers,
+/// shared (`Arc`) for `'static` serving sessions.
+#[derive(Debug, Clone)]
+enum PlannerHandle<'a> {
+    Borrowed(&'a Planner),
+    Shared(Arc<Planner>),
 }
 
 impl<'a> SupgSession<'a> {
@@ -398,6 +419,7 @@ impl<'a> SupgSession<'a> {
             config: SelectorConfig::default(),
             seed: DEFAULT_SEED,
             runtime: None,
+            planner: None,
         }
     }
 
@@ -512,6 +534,93 @@ impl<'a> SupgSession<'a> {
         self
     }
 
+    /// Attaches the adaptive planner ([`crate::plan`]): before each run
+    /// the session snapshots the measured signals ([`PlanSignals`]),
+    /// resolves a [`Plan`], executes it, and attaches the plan to the
+    /// [`QueryOutcome`] as a debug report. Explicit knobs stay pinned —
+    /// a [`runtime`](SupgSession::runtime)/[`parallelism`](SupgSession::parallelism)
+    /// setting is honored verbatim, and any sampler other than
+    /// [`SamplerStrategy::Auto`] is treated as a caller pin — so full
+    /// adaptivity means `.sampler_strategy(SamplerStrategy::Auto)
+    /// .planned(&planner)` with no runtime call.
+    ///
+    /// Keep one `Planner` per oracle: it persists the oracle's per-call
+    /// latency EWMA across queries, which is what the batching decisions
+    /// feed on. A planned query's outcome is bit-identical to a
+    /// hand-tuned query at the same resolved configuration (pinned by
+    /// `crates/core/tests/planner_parity.rs`).
+    pub fn planned(mut self, planner: &'a Planner) -> Self {
+        self.planner = Some(PlannerHandle::Borrowed(planner));
+        self
+    }
+
+    /// [`planned`](SupgSession::planned) with an owned shared handle —
+    /// the form `'static` serving sessions use
+    /// (cf. [`over_shared`](SupgSession::over_shared)).
+    pub fn planned_shared(mut self, planner: Arc<Planner>) -> Self {
+        self.planner = Some(PlannerHandle::Shared(planner));
+        self
+    }
+
+    fn planner_ref(&self) -> Option<&Planner> {
+        match &self.planner {
+            None => None,
+            Some(PlannerHandle::Borrowed(p)) => Some(p),
+            Some(PlannerHandle::Shared(p)) => Some(p),
+        }
+    }
+
+    /// Snapshots the measured planning signals for this session — the
+    /// pure input [`Plan::resolve`] consumes.
+    fn signals(&self, planner: &Planner) -> PlanSignals {
+        let cal = CalibrationProfile::measured();
+        let (prepared, recipe) = match &self.data {
+            SessionData::Prepared(p) => (
+                true,
+                p.recipe_state(self.config.weight_exponent, self.config.uniform_mix),
+            ),
+            SessionData::Shared(p) => (
+                true,
+                p.recipe_state(self.config.weight_exponent, self.config.uniform_mix),
+            ),
+            SessionData::Cold(_) | SessionData::Segmented(_) => (false, RecipeState::Cold),
+        };
+        let (n, segments) = match &self.data {
+            SessionData::Cold(d) => (d.len(), 0),
+            SessionData::Segmented(s) => (s.len(), s.num_segments()),
+            SessionData::Prepared(p) => (p.len(), corpus_segments(p.corpus())),
+            SessionData::Shared(p) => (p.len(), corpus_segments(p.corpus())),
+        };
+        PlanSignals {
+            n,
+            segments,
+            prepared,
+            recipe,
+            requested_sampler: self.config.sampler,
+            pinned_runtime: self.runtime,
+            oracle_ns_per_call: planner.oracle_ns_per_call(),
+            effective_cores: cal.effective_cores,
+            chunked_sort_speedup: cal.chunked_sort_speedup(),
+            policy: planner.policy(),
+        }
+    }
+
+    /// The effective per-run configuration: without a planner, the
+    /// session's own knobs verbatim; with one, the resolved [`Plan`]
+    /// applied on top of them (pins honored inside resolution).
+    fn resolve_plan(&self) -> (SelectorConfig, Option<RuntimeConfig>, Option<Arc<Plan>>) {
+        let Some(planner) = self.planner_ref() else {
+            return (self.config, self.runtime, None);
+        };
+        let signals = self.signals(planner);
+        let plan = Plan::resolve(&signals);
+        planner.note(&signals, &plan);
+        let mut config = self.config;
+        config.sampler = plan.sampler;
+        let runtime = Some(plan.runtime());
+        (config, runtime, Some(Arc::new(plan)))
+    }
+
     /// Configures the session from a validated single-target query
     /// specification: sets its target, `γ`, `δ` and budget, and clears
     /// any previously set opposite target or joint mode — the session
@@ -554,12 +663,12 @@ impl<'a> SupgSession<'a> {
     /// As [`run`](SupgSession::run); additionally a typed
     /// [`SupgError::InvalidQuery`] when the session is in joint mode.
     pub fn run_single_target(&self, oracle: &mut dyn Oracle) -> Result<QueryOutcome, SupgError> {
-        match self.plan()? {
-            Plan::Single(query) => {
+        match self.mode()? {
+            Mode::Single(query) => {
                 let mut rng = StdRng::seed_from_u64(self.seed);
                 self.exec_planned_single(&query, oracle, &mut rng)
             }
-            Plan::Joint { .. } => Err(SupgError::InvalidQuery(
+            Mode::Joint { .. } => Err(SupgError::InvalidQuery(
                 "JT sessions re-budget the oracle between stages; use run(..) with a \
                  SessionOracle (e.g. CachedOracle)"
                     .to_owned(),
@@ -577,27 +686,14 @@ impl<'a> SupgSession<'a> {
         oracle: &mut dyn SessionOracle,
         rng: &mut dyn RngCore,
     ) -> Result<QueryOutcome, SupgError> {
-        match self.plan()? {
-            Plan::Single(query) => self.exec_planned_single(&query, oracle, rng),
-            Plan::Joint {
+        match self.mode()? {
+            Mode::Single(query) => self.exec_planned_single(&query, oracle, rng),
+            Mode::Joint {
                 query,
                 stage_budget,
-            } => {
-                let kind = self.resolved_selector(TargetKind::Recall);
-                let selector = kind.build(TargetKind::Recall, self.config)?;
-                if let Some(runtime) = self.runtime {
-                    oracle.configure_runtime(runtime);
-                }
-                exec_joint(
-                    self.view(),
-                    &query,
-                    stage_budget,
-                    selector.as_ref(),
-                    oracle,
-                    rng,
-                )
-                .map(ViewOutcome::into_owned)
-            }
+            } => self
+                .exec_joint_view(&query, stage_budget, oracle, rng)
+                .map(ViewOutcome::into_owned),
         }
     }
 
@@ -621,26 +717,12 @@ impl<'a> SupgSession<'a> {
     /// As [`run`](SupgSession::run).
     pub fn run_view(&self, oracle: &mut dyn SessionOracle) -> Result<ViewOutcome<'_>, SupgError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        match self.plan()? {
-            Plan::Single(query) => self.exec_planned_view(&query, oracle, &mut rng),
-            Plan::Joint {
+        match self.mode()? {
+            Mode::Single(query) => self.exec_planned_view(&query, oracle, &mut rng),
+            Mode::Joint {
                 query,
                 stage_budget,
-            } => {
-                let kind = self.resolved_selector(TargetKind::Recall);
-                let selector = kind.build(TargetKind::Recall, self.config)?;
-                if let Some(runtime) = self.runtime {
-                    oracle.configure_runtime(runtime);
-                }
-                exec_joint(
-                    self.view(),
-                    &query,
-                    stage_budget,
-                    selector.as_ref(),
-                    oracle,
-                    &mut rng,
-                )
-            }
+            } => self.exec_joint_view(&query, stage_budget, oracle, &mut rng),
         }
     }
 
@@ -657,12 +739,12 @@ impl<'a> SupgSession<'a> {
         &self,
         oracle: &mut dyn Oracle,
     ) -> Result<ViewOutcome<'_>, SupgError> {
-        match self.plan()? {
-            Plan::Single(query) => {
+        match self.mode()? {
+            Mode::Single(query) => {
                 let mut rng = StdRng::seed_from_u64(self.seed);
                 self.exec_planned_view(&query, oracle, &mut rng)
             }
-            Plan::Joint { .. } => Err(SupgError::InvalidQuery(
+            Mode::Joint { .. } => Err(SupgError::InvalidQuery(
                 "JT sessions re-budget the oracle between stages; use run_view(..) with a \
                  SessionOracle (e.g. CachedOracle)"
                     .to_owned(),
@@ -682,12 +764,49 @@ impl<'a> SupgSession<'a> {
         oracle: &mut dyn Oracle,
         rng: &mut dyn RngCore,
     ) -> Result<ViewOutcome<'_>, SupgError> {
+        let (config, runtime, plan) = self.resolve_plan();
         let kind = self.resolved_selector(query.target());
-        let selector = kind.build(query.target(), self.config)?;
-        if let Some(runtime) = self.runtime {
+        let selector = kind.build(query.target(), config)?;
+        if let Some(runtime) = runtime {
             oracle.configure_runtime(runtime);
         }
-        exec_single_view(self.view(), query, selector.as_ref(), oracle, rng)
+        let mut outcome = exec_single_view(self.view(), query, selector.as_ref(), oracle, rng)?;
+        outcome.plan = plan;
+        if let Some(planner) = self.planner_ref() {
+            planner.observe(&outcome);
+        }
+        Ok(outcome)
+    }
+
+    /// The JT counterpart of [`exec_planned_view`](Self::exec_planned_view):
+    /// resolve the (possibly planned) configuration once for the whole
+    /// pipeline, run both stages, attach the plan report.
+    fn exec_joint_view(
+        &self,
+        query: &JointQuery,
+        stage_budget: usize,
+        oracle: &mut dyn SessionOracle,
+        rng: &mut dyn RngCore,
+    ) -> Result<ViewOutcome<'_>, SupgError> {
+        let (config, runtime, plan) = self.resolve_plan();
+        let kind = self.resolved_selector(TargetKind::Recall);
+        let selector = kind.build(TargetKind::Recall, config)?;
+        if let Some(runtime) = runtime {
+            oracle.configure_runtime(runtime);
+        }
+        let mut outcome = exec_joint(
+            self.view(),
+            query,
+            stage_budget,
+            selector.as_ref(),
+            oracle,
+            rng,
+        )?;
+        outcome.plan = plan;
+        if let Some(planner) = self.planner_ref() {
+            planner.observe(&outcome);
+        }
+        Ok(outcome)
     }
 
     /// [`exec_planned_view`](Self::exec_planned_view) materialized into
@@ -715,10 +834,10 @@ impl<'a> SupgSession<'a> {
     /// # Errors
     /// The same typed validation errors as [`run`](SupgSession::run).
     pub fn validate(&self) -> Result<(), SupgError> {
-        self.plan().map(|_| ())
+        self.mode().map(|_| ())
     }
 
-    fn plan(&self) -> Result<Plan, SupgError> {
+    fn mode(&self) -> Result<Mode, SupgError> {
         match (self.recall, self.precision, self.joint) {
             (None, None, _) => Err(SupgError::MissingTarget),
             (Some(_), Some(_), None) => Err(SupgError::ConflictingTargets),
@@ -739,7 +858,7 @@ impl<'a> SupgSession<'a> {
                 // The JT pipeline's sampling stage is a recall stage.
                 self.resolved_selector(TargetKind::Recall)
                     .paper_name(TargetKind::Recall)?;
-                Ok(Plan::Joint {
+                Ok(Mode::Joint {
                     query,
                     stage_budget,
                 })
@@ -755,7 +874,7 @@ impl<'a> SupgSession<'a> {
                 };
                 let budget = self.budget.ok_or(SupgError::MissingBudget)?;
                 self.resolved_selector(target).paper_name(target)?;
-                Ok(Plan::Single(ApproxQuery::new(
+                Ok(Mode::Single(ApproxQuery::new(
                     target, gamma, self.delta, budget,
                 )?))
             }
@@ -774,7 +893,15 @@ enum SessionData<'a> {
     Shared(Arc<PreparedDataset>),
 }
 
-enum Plan {
+/// Segment count of a corpus (0 = flat) — a planner signal.
+fn corpus_segments(corpus: Corpus<'_>) -> usize {
+    match corpus {
+        Corpus::Flat(_) => 0,
+        Corpus::Segmented(s) => s.num_segments(),
+    }
+}
+
+enum Mode {
     Single(ApproxQuery),
     Joint {
         query: JointQuery,
@@ -800,6 +927,7 @@ fn exec_single_view<'v>(
     let start = Instant::now();
     let calls_before = oracle.calls_used();
     let retry_before = oracle.retry_stats();
+    let n_records = view.data().len();
     // The rank source is borrowed *before* the probe shortens the view's
     // lifetime — the returned result view must outlive the local probe.
     let ranks = view.rank_source();
@@ -833,6 +961,8 @@ fn exec_single_view<'v>(
         oracle_retries: retry.retries,
         oracle_failures: retry.failures,
         retry_backoff: retry.backoff,
+        n_records,
+        plan: None,
     })
 }
 
@@ -922,6 +1052,8 @@ fn exec_joint_stages<'v>(
         oracle_retries: retry.retries,
         oracle_failures: retry.failures,
         retry_backoff: retry.backoff,
+        n_records: stage.n_records,
+        plan: None,
     })
 }
 

@@ -1,0 +1,79 @@
+//! Build-kernel throughput probes for the adaptive planner.
+//!
+//! `supg-core`'s planner calibrates once per process by timing this
+//! crate's own weighted-sampler build kernels on a synthetic input: the
+//! alias feed pass ([`crate::alias::feed_slice`]) and the CDF prefix-sum
+//! construction ([`crate::cdf::CdfSampler`]). The resulting per-element
+//! costs feed strategy resolution — a cold one-shot query should pay
+//! whichever build is *measurably* cheaper on the machine it runs on,
+//! not whichever a hard-coded default assumes.
+//!
+//! The probe is deterministic in everything but the clock: the weights
+//! are a fixed synthetic ramp, the timing is a median over a few runs,
+//! and the numbers only ever steer performance choices — never results.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Measured per-element build costs of the two weighted-sampler
+/// backends, in nanoseconds per element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedThroughput {
+    /// One alias feed pass ([`crate::alias::feed_slice`]) over the probe
+    /// input.
+    pub alias_feed_ns_per_elem: f64,
+    /// The CDF prefix-sum construction ([`crate::cdf::CdfSampler::new`])
+    /// over the same input.
+    pub cdf_scan_ns_per_elem: f64,
+}
+
+/// Times both build kernels over `n` synthetic weights (a deterministic,
+/// strictly positive ramp) and reports the median-of-3 per-element cost.
+pub fn measure_feed_throughput(n: usize) -> FeedThroughput {
+    let n = n.max(1);
+    let weights: Vec<f64> = (0..n).map(|i| ((i % 97) + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let alias_ns = median_ns(3, || {
+        black_box(crate::alias::feed_slice(&weights, total, n, 0));
+    });
+    let cdf_ns = median_ns(3, || {
+        black_box(crate::cdf::CdfSampler::new(&weights));
+    });
+    FeedThroughput {
+        alias_feed_ns_per_elem: alias_ns as f64 / n as f64,
+        cdf_scan_ns_per_elem: cdf_ns as f64 / n as f64,
+    }
+}
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_probe_reports_positive_costs() {
+        let t = measure_feed_throughput(8_192);
+        assert!(t.alias_feed_ns_per_elem > 0.0);
+        assert!(t.cdf_scan_ns_per_elem > 0.0);
+        assert!(t.alias_feed_ns_per_elem.is_finite());
+        assert!(t.cdf_scan_ns_per_elem.is_finite());
+    }
+
+    #[test]
+    fn throughput_probe_tolerates_tiny_inputs() {
+        let t = measure_feed_throughput(0);
+        assert!(t.alias_feed_ns_per_elem >= 0.0);
+        assert!(t.cdf_scan_ns_per_elem >= 0.0);
+    }
+}

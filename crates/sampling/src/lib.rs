@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod alias;
+pub mod calibrate;
 pub mod cdf;
 pub mod reservoir;
 pub mod sampler;
@@ -39,6 +40,7 @@ pub mod uniform;
 pub mod weights;
 
 pub use alias::AliasTable;
+pub use calibrate::{measure_feed_throughput, FeedThroughput};
 pub use cdf::CdfSampler;
 pub use reservoir::reservoir_sample;
 pub use sampler::WeightedSampler;

@@ -110,7 +110,7 @@ pub mod tenant;
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use error::ServeError;
 pub use pool::SessionPool;
-pub use server::{QuerySpec, QueryTarget, ServerConfig, SupgServer};
+pub use server::{PlanOverride, QuerySpec, QueryTarget, ServerConfig, SupgServer};
 pub use tenant::{TenantRegistry, TenantState, TenantStats};
 
 // Re-exported so pool/server signatures are usable without importing

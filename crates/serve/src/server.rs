@@ -23,7 +23,8 @@ use std::time::Duration;
 use supg_core::selectors::SelectorConfig;
 use supg_core::session::DEFAULT_SEED;
 use supg_core::{
-    QueryOutcome, ResilientOracle, RetryPolicy, SelectorKind, SessionOracle, SupgError, SupgSession,
+    PlanPolicy, PlanStats, Planner, QueryOutcome, ResilientOracle, RetryPolicy, SamplerStrategy,
+    SelectorKind, SessionOracle, SupgError, SupgSession,
 };
 
 use crate::breaker::{BreakerConfig, BreakerPass, BreakerStats, CircuitBreaker};
@@ -174,8 +175,41 @@ impl QuerySpec {
     }
 }
 
+/// An operator's per-dataset override of the adaptive planner — policy
+/// lives with the server, not the query, so a misbehaving client spec
+/// can't undo an operational decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanOverride {
+    /// Let the planner resolve every decision from measured signals
+    /// (the default).
+    #[default]
+    Adaptive,
+    /// Pin the sampler strategy, overriding both the planner's choice
+    /// and the query spec's request.
+    Pin(SamplerStrategy),
+    /// Forbid the CDF backend for this dataset (e.g. its recipes are
+    /// always reused, so paying the alias build up front is known-good).
+    ForbidCdf,
+}
+
+impl PlanOverride {
+    fn policy(self) -> PlanPolicy {
+        match self {
+            PlanOverride::Adaptive => PlanPolicy::default(),
+            PlanOverride::Pin(s) => PlanPolicy {
+                pin_sampler: Some(s),
+                ..PlanPolicy::default()
+            },
+            PlanOverride::ForbidCdf => PlanPolicy {
+                forbid_cdf: true,
+                ..PlanPolicy::default()
+            },
+        }
+    }
+}
+
 /// Server tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// Bounded in-flight-query limit (clamped to ≥ 1): queries beyond it
     /// are shed with [`ServeError::Overloaded`] instead of queueing — the
@@ -184,6 +218,9 @@ pub struct ServerConfig {
     /// Per-dataset circuit-breaker tuning (set `failure_threshold: 0` to
     /// disable breaking).
     pub breaker: BreakerConfig,
+    /// Per-dataset planner overrides; datasets not listed run fully
+    /// adaptive. Applied at admission, before the query spec is read.
+    pub plan_overrides: HashMap<String, PlanOverride>,
 }
 
 impl Default for ServerConfig {
@@ -191,7 +228,16 @@ impl Default for ServerConfig {
         Self {
             max_in_flight: 64,
             breaker: BreakerConfig::default(),
+            plan_overrides: HashMap::new(),
         }
+    }
+}
+
+impl ServerConfig {
+    /// Config with a planner override for one dataset.
+    pub fn with_plan_override(mut self, dataset: impl Into<String>, ov: PlanOverride) -> Self {
+        self.plan_overrides.insert(dataset.into(), ov);
+        self
     }
 }
 
@@ -209,6 +255,11 @@ pub struct SupgServer {
     /// Only names that resolved through the pool get an entry, so the
     /// map is bounded by the registered datasets.
     breakers: RwLock<HashMap<String, Arc<CircuitBreaker>>>,
+    /// One adaptive planner per dataset, created lazily on first serve
+    /// with that dataset's [`PlanOverride`] policy. Shared across
+    /// queries so the oracle-latency EWMA persists, and bounded by the
+    /// registered datasets for the same reason as `breakers`.
+    planners: RwLock<HashMap<String, Arc<Planner>>>,
 }
 
 /// Releases the in-flight slot on every exit path.
@@ -263,6 +314,7 @@ impl SupgServer {
             in_flight: AtomicUsize::new(0),
             config,
             breakers: RwLock::new(HashMap::new()),
+            planners: RwLock::new(HashMap::new()),
         }
     }
 
@@ -283,7 +335,45 @@ impl SupgServer {
 
     /// The server tuning.
     pub fn config(&self) -> ServerConfig {
-        self.config
+        self.config.clone()
+    }
+
+    /// Aggregated planner decisions for a dataset — how many queries
+    /// were planned, how the sampler resolved, and how many were pinned
+    /// — or `None` when no query has reached that dataset yet.
+    pub fn plan_stats(&self, dataset: &str) -> Option<PlanStats> {
+        self.planners
+            .read()
+            .expect("planner map poisoned")
+            .get(dataset)
+            .map(|p| p.stats())
+    }
+
+    /// The planner for `dataset`, created on first use with the
+    /// dataset's configured [`PlanOverride`] policy. Only called after
+    /// the pool resolved the name, so unknown datasets never grow the
+    /// map.
+    fn planner_for(&self, dataset: &str) -> Arc<Planner> {
+        if let Some(p) = self
+            .planners
+            .read()
+            .expect("planner map poisoned")
+            .get(dataset)
+        {
+            return Arc::clone(p);
+        }
+        let policy = self
+            .config
+            .plan_overrides
+            .get(dataset)
+            .copied()
+            .unwrap_or_default()
+            .policy();
+        let mut map = self.planners.write().expect("planner map poisoned");
+        Arc::clone(
+            map.entry(dataset.to_owned())
+                .or_insert_with(|| Arc::new(Planner::with_policy(policy))),
+        )
     }
 
     /// A snapshot of a dataset's circuit breaker, or `None` when no
@@ -383,6 +473,11 @@ impl SupgServer {
 
         let reservation = Reservation::take(&tenant, spec.declared_calls())?;
 
+        // Every served query runs through the dataset's planner: it
+        // observes oracle latency for the EWMA and applies any operator
+        // override; explicit spec knobs still pin their decisions.
+        let planner = self.planner_for(dataset);
+
         // Wrap the caller's oracle in the retry runtime only when asked:
         // the fast path pays nothing for the capability.
         let run = if spec.retry.is_some() || spec.deadline.is_some() {
@@ -394,9 +489,11 @@ impl SupgServer {
                 });
             }
             let mut resilient = ResilientOracle::new(oracle, policy);
-            spec.session(prepared).run(&mut resilient)
+            spec.session(prepared)
+                .planned_shared(planner)
+                .run(&mut resilient)
         } else {
-            spec.session(prepared).run(oracle)
+            spec.session(prepared).planned_shared(planner).run(oracle)
         };
 
         match run {
@@ -599,5 +696,82 @@ mod tests {
         // hit one cache.
         assert!(handle.cache_stats().lookups() > 0);
         assert_eq!(server.tenants().get("acme").unwrap().stats().queries, 3);
+    }
+
+    #[test]
+    fn served_queries_carry_a_plan_and_aggregate_stats() {
+        let (server, labels) = server_with(20_000, 10_000, 4);
+        let mut oracle = CachedOracle::from_labels(labels, 2_000);
+        let spec = QuerySpec::recall(0.9, 1_000).with_seed(7);
+        let outcome = server.serve("acme", "videos", &spec, &mut oracle).unwrap();
+        let plan = outcome.plan.as_ref().expect("served query must be planned");
+        assert!(plan.report().contains("sampler"));
+
+        let stats = server.plan_stats("videos").expect("planner materialized");
+        assert_eq!(stats.planned, 1);
+        // The default spec pins SamplerStrategy::Alias, so the decision
+        // counts as pinned, not an adaptive resolution.
+        assert_eq!(stats.pinned, 1);
+        assert!(server.plan_stats("missing").is_none());
+    }
+
+    #[test]
+    fn server_pin_override_beats_the_query_spec() {
+        use supg_core::selectors::SelectorConfig;
+
+        let n = 20_000;
+        let scores: Vec<f64> = (0..n).map(|i| (i % 1000) as f64 / 1000.0).collect();
+        let labels: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
+        let server = SupgServer::new(
+            ServerConfig::default()
+                .with_plan_override("videos", PlanOverride::Pin(SamplerStrategy::Alias)),
+        );
+        server.pool().register_scores("videos", scores).unwrap();
+        server.tenants().register("acme", 10_000);
+
+        // The spec asks for Auto; the operator pinned Alias.
+        let spec = QuerySpec::recall(0.9, 1_000)
+            .with_seed(7)
+            .with_config(SelectorConfig::default().with_sampler(SamplerStrategy::Auto))
+            .with_selector(SelectorKind::ImportanceSampling);
+        let mut oracle = CachedOracle::from_labels(labels, 2_000);
+        let outcome = server.serve("acme", "videos", &spec, &mut oracle).unwrap();
+        let plan = outcome.plan.as_ref().unwrap();
+        assert_eq!(plan.sampler, SamplerStrategy::Alias);
+        assert!(
+            plan.report().contains("server override"),
+            "rationale must attribute the pin: {}",
+            plan.report()
+        );
+        let stats = server.plan_stats("videos").unwrap();
+        assert_eq!(stats.pinned, 1);
+        assert_eq!(stats.resolved_alias, 1);
+    }
+
+    #[test]
+    fn forbid_cdf_override_flips_cold_auto_to_alias() {
+        use supg_core::selectors::SelectorConfig;
+
+        let n = 20_000;
+        let scores: Vec<f64> = (0..n).map(|i| (i % 1000) as f64 / 1000.0).collect();
+        let labels: Vec<bool> = scores.iter().map(|&s| s > 0.8).collect();
+        let server = SupgServer::new(
+            ServerConfig::default().with_plan_override("videos", PlanOverride::ForbidCdf),
+        );
+        server.pool().register_scores("videos", scores).unwrap();
+        server.tenants().register("acme", 10_000);
+
+        // A cold Auto query would resolve to the CDF backend; the
+        // operator forbade it, so it must come back Alias.
+        let spec = QuerySpec::recall(0.9, 1_000)
+            .with_seed(7)
+            .with_config(SelectorConfig::default().with_sampler(SamplerStrategy::Auto))
+            .with_selector(SelectorKind::ImportanceSampling);
+        let mut oracle = CachedOracle::from_labels(labels, 2_000);
+        let outcome = server.serve("acme", "videos", &spec, &mut oracle).unwrap();
+        assert_eq!(
+            outcome.plan.as_ref().unwrap().sampler,
+            SamplerStrategy::Alias
+        );
     }
 }

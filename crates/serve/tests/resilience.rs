@@ -30,6 +30,7 @@ fn server(breaker: BreakerConfig) -> SupgServer {
     let server = SupgServer::new(ServerConfig {
         max_in_flight: 16,
         breaker,
+        ..ServerConfig::default()
     });
     server.pool().register_scores("videos", scores()).unwrap();
     server.tenants().register("acme", TENANT_BUDGET);

@@ -198,6 +198,29 @@
 //!   never leak tenant budget. See "Robust serving" in [`serve`]; the
 //!   `resilience` section of `BENCH_selectors.json` records the retry
 //!   overhead on warm serving.
+//!
+//! ## Adaptive planning: calibrate once, plan every query
+//!
+//! The execution knobs above — parallelism, batch size, sampler
+//! strategy, build chunking — can all be set by hand, but
+//! [`core::Planner`] resolves them from *measured* signals instead: a
+//! one-time per-process calibration of the build kernels
+//! ([`core::CalibrationProfile`]), the dataset's size and layout, the
+//! artifact-cache state of the query's weight recipe, and an EWMA of
+//! observed per-call oracle latency that persists across queries.
+//! Attach one with [`core::SupgSession::planned`] (or let
+//! [`serve::SupgServer`] do it — every served query is planned, with
+//! per-dataset [`serve::PlanOverride`] policies for operators) and the
+//! resolved [`core::Plan`] rides on the outcome as a rationale-bearing
+//! debug report. Two hard properties: the planner never selects a
+//! configuration measured slower than the serial floor, and a planned
+//! query is bit-identical to the hand-tuned query at the same resolved
+//! configuration — adaptivity changes speed, never answers. The
+//! `planner` section of `BENCH_selectors.json` records Auto vs the best
+//! hand-tuned configuration across a cold/warm × small/huge ×
+//! fast/slow-oracle grid. Explicit knobs always win over the planner:
+//! pin `.sampler_strategy(..)` or `.runtime(..)` and the plan honors
+//! them verbatim.
 
 pub use supg_core as core;
 pub use supg_datasets as datasets;
