@@ -11,8 +11,10 @@
 //!                         # materialization, cold build, cold-path alias
 //!                         # build and CDF-vs-alias cold one-shot —
 //!                         # regressed > 2× vs the committed baseline
-//!                         # (ratio-based, machine-independent); on a
-//!                         # pass, regenerate the file like a plain run
+//!                         # (ratio-based, machine-independent), or the
+//!                         # traffic simulator's same-seed replay is not
+//!                         # bit-identical; on a pass, regenerate the
+//!                         # file like a plain run
 //! ```
 
 use std::path::PathBuf;
@@ -117,6 +119,28 @@ fn main() -> ExitCode {
         report.cold_build.workers,
         report.cold_build.speedup(),
         report.cold_build.legacy_speedup(),
+    );
+    eprintln!(
+        "traffic (seed {:#x}): {} arrivals over {} tenants → {} completed \
+         ({:.0}%), sheds {}/{}/{} (overload/budget/circuit), {} retries, \
+         cache hit rate {:.2}, replay {}, hash {:08x}{:08x}",
+        report.traffic.seed,
+        report.traffic.queries,
+        report.traffic.tenants,
+        report.traffic.completed,
+        100.0 * report.traffic.completion_ratio,
+        report.traffic.shed_overload,
+        report.traffic.shed_budget,
+        report.traffic.shed_circuit,
+        report.traffic.oracle_retries,
+        report.traffic.cache_hit_rate,
+        if report.traffic.determinism == 1.0 {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        },
+        report.traffic.hash_hi,
+        report.traffic.hash_lo,
     );
 
     if check {
@@ -256,6 +280,42 @@ fn main() -> ExitCode {
                 eprintln!(
                     "bench_export --check: planner.worst_ratio ok (current {worst:.2}× vs \
                      baseline {baseline:.2}×)"
+                );
+            }
+        }
+        // The traffic determinism gate needs no baseline at all: the
+        // simulator's contract is that two same-seed runs replay
+        // bit-identically on *this* machine, so anything below 1.0 is
+        // a correctness failure, not a perf regression.
+        if report.traffic.determinism != 1.0 {
+            eprintln!(
+                "bench_export --check: traffic.determinism failed: two same-seed \
+                 simulator runs produced different reports"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench_export --check: traffic.determinism ok (bit-identical replay)");
+        // The completion ratio gates additively like the speedups: a
+        // baseline predating the traffic section is skipped, and a
+        // halved ratio means the admission path started shedding or
+        // failing queries it used to serve.
+        let completion = report.traffic.completion_ratio;
+        match extract_number(&committed, "traffic", "completion_ratio") {
+            None => eprintln!(
+                "bench_export --check: baseline predates traffic.completion_ratio; \
+                 skipping its gate"
+            ),
+            Some(baseline) => {
+                if completion < baseline / 2.0 {
+                    eprintln!(
+                        "bench_export --check: traffic.completion_ratio regressed: \
+                         current {completion:.3} < half of baseline {baseline:.3}"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "bench_export --check: traffic.completion_ratio ok (current \
+                     {completion:.3} vs baseline {baseline:.3})"
                 );
             }
         }

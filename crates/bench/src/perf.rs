@@ -351,6 +351,49 @@ impl SegmentedNumbers {
     }
 }
 
+/// Deterministic traffic-simulator summary: one `supg-traffic` workload
+/// replayed twice, with the replay agreement recorded as a gateable
+/// number. Everything except `wall_ns_per_query` is a pure function of
+/// the seed, so the section diffs clean across machines.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficNumbers {
+    /// Simulator seed.
+    pub seed: u64,
+    /// Arrivals generated.
+    pub queries: u64,
+    /// Tenants registered.
+    pub tenants: u64,
+    /// Recipes in the catalog.
+    pub recipes: u64,
+    /// Queries that completed successfully.
+    pub completed: u64,
+    /// Queries that ran but failed (permanent oracle faults).
+    pub failed: u64,
+    /// Arrivals shed by the virtual in-flight limit.
+    pub shed_overload: u64,
+    /// Queries shed on the tenant-budget reservation.
+    pub shed_budget: u64,
+    /// Queries shed by an open circuit breaker.
+    pub shed_circuit: u64,
+    /// Oracle calls completed queries consumed.
+    pub oracle_calls: u64,
+    /// Transient oracle failures absorbed by retries.
+    pub oracle_retries: u64,
+    /// Sampling-artifact cache hit rate across completed queries.
+    pub cache_hit_rate: f64,
+    /// `completed / queries`.
+    pub completion_ratio: f64,
+    /// 1.0 iff two same-seed runs replayed bit-identically, else 0.0.
+    pub determinism: f64,
+    /// High 32 bits of the run-report hash (split into halves so both
+    /// survive the JSON's f64 numbers exactly).
+    pub hash_hi: u32,
+    /// Low 32 bits of the run-report hash.
+    pub hash_lo: u32,
+    /// Wall-clock ns per arrival — informational, machine-dependent.
+    pub wall_ns_per_query: f64,
+}
+
 /// Everything `BENCH_selectors.json` records.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -382,6 +425,8 @@ pub struct BenchReport {
     pub planner: PlannerNumbers,
     /// Segmented-corpus artifact build and stitched threshold search.
     pub segmented: SegmentedNumbers,
+    /// Deterministic traffic-simulator replay through `supg-serve`.
+    pub traffic: TrafficNumbers,
 }
 
 /// Runs the full measurement suite. `quick` trims iteration counts for CI
@@ -441,6 +486,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     let cold_path = measure_cold_path(if quick { 5 } else { 15 });
     let segmented = measure_segmented(if quick { 3 } else { 7 });
     let planner = measure_planner(if quick { 3 } else { 7 });
+    let traffic = measure_traffic(quick);
 
     BenchReport {
         s,
@@ -456,6 +502,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
         cold_path,
         planner,
         segmented,
+        traffic,
     }
 }
 
@@ -1147,10 +1194,17 @@ fn measure_resilience(queries: usize) -> ResilienceNumbers {
     }
 }
 
-/// Nearest-rank percentile of an ascending latency sample.
+/// Nearest-rank percentile of an ascending latency sample: the smallest
+/// element with at least `p·len` of the sample at or below it — rank
+/// `⌈p·len⌉`, i.e. index `⌈p·len⌉ − 1`, clamped into range. The previous
+/// `((len−1)·p).round()` index could land *below* the nearest rank and
+/// understate tail percentiles on the small per-client samples the
+/// saturation bench produces (e.g. 67 samples at p99: rank 67 is index
+/// 66, but `round(66·0.99) = 65` — only 98.5% of the sample at or below
+/// the reported value).
 fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
-    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
-    sorted_ns[idx.min(sorted_ns.len() - 1)]
+    let rank = (p * sorted_ns.len() as f64).ceil() as usize;
+    sorted_ns[rank.saturating_sub(1).min(sorted_ns.len() - 1)]
 }
 
 /// The saturation curve: one [`SupgServer`] (warmed shared corpus, one
@@ -1239,12 +1293,50 @@ fn measure_saturation(quick: bool) -> SaturationNumbers {
     }
 }
 
+/// Runs the deterministic traffic simulator twice on one seed and
+/// records whether the replays agreed bit for bit — the property the
+/// `traffic.determinism` gate pins. The quick shape keeps CI smoke
+/// cheap; the full run drives the standard shape (thousands of
+/// tenants) so the recorded counts exercise the scale the simulator
+/// exists for. Either way every recorded number except
+/// `wall_ns_per_query` is a pure function of the seed.
+fn measure_traffic(quick: bool) -> TrafficNumbers {
+    let seed = 0x5097_2020;
+    let config = if quick {
+        supg_traffic::TrafficConfig::quick(seed)
+    } else {
+        supg_traffic::TrafficConfig::standard(seed)
+    };
+    let first = supg_traffic::run(&config);
+    let second = supg_traffic::run(&config);
+    let hash = first.hash();
+    TrafficNumbers {
+        seed: first.seed,
+        queries: first.queries,
+        tenants: first.tenants,
+        recipes: first.recipes,
+        completed: first.completed,
+        failed: first.failed,
+        shed_overload: first.shed_overload,
+        shed_budget: first.shed_budget,
+        shed_circuit: first.shed_circuit,
+        oracle_calls: first.oracle_calls,
+        oracle_retries: first.oracle_retries,
+        cache_hit_rate: first.cache_hit_rate(),
+        completion_ratio: first.completion_ratio(),
+        determinism: if second.hash() == hash { 1.0 } else { 0.0 },
+        hash_hi: (hash >> 32) as u32,
+        hash_lo: hash as u32,
+        wall_ns_per_query: first.wall_elapsed.as_nanos() as f64 / first.queries.max(1) as f64,
+    }
+}
+
 impl BenchReport {
     /// Serializes the report as the flat `BENCH_selectors.json` document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"schema\": \"supg-bench/7\",");
+        let _ = writeln!(out, "  \"schema\": \"supg-bench/8\",");
         let _ = writeln!(out, "  \"threshold_search\": {{");
         let _ = writeln!(out, "    \"s\": {},", self.s);
         let _ = writeln!(out, "    \"step\": {},", self.step);
@@ -1462,6 +1554,45 @@ impl BenchReport {
             "    \"scaling_efficiency\": {:.3}",
             self.saturation.scaling_efficiency()
         );
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"traffic\": {{");
+        let _ = writeln!(out, "    \"seed\": {},", self.traffic.seed);
+        let _ = writeln!(out, "    \"queries\": {},", self.traffic.queries);
+        let _ = writeln!(out, "    \"tenants\": {},", self.traffic.tenants);
+        let _ = writeln!(out, "    \"recipes\": {},", self.traffic.recipes);
+        let _ = writeln!(out, "    \"completed\": {},", self.traffic.completed);
+        let _ = writeln!(out, "    \"failed\": {},", self.traffic.failed);
+        let _ = writeln!(
+            out,
+            "    \"shed_overload\": {},",
+            self.traffic.shed_overload
+        );
+        let _ = writeln!(out, "    \"shed_budget\": {},", self.traffic.shed_budget);
+        let _ = writeln!(out, "    \"shed_circuit\": {},", self.traffic.shed_circuit);
+        let _ = writeln!(out, "    \"oracle_calls\": {},", self.traffic.oracle_calls);
+        let _ = writeln!(
+            out,
+            "    \"oracle_retries\": {},",
+            self.traffic.oracle_retries
+        );
+        let _ = writeln!(
+            out,
+            "    \"cache_hit_rate\": {:.3},",
+            self.traffic.cache_hit_rate
+        );
+        let _ = writeln!(
+            out,
+            "    \"completion_ratio\": {:.3},",
+            self.traffic.completion_ratio
+        );
+        let _ = writeln!(out, "    \"determinism\": {:.0},", self.traffic.determinism);
+        let _ = writeln!(out, "    \"hash_hi\": {},", self.traffic.hash_hi);
+        let _ = writeln!(out, "    \"hash_lo\": {},", self.traffic.hash_lo);
+        let _ = writeln!(
+            out,
+            "    \"wall_ns_per_query\": {:.0}",
+            self.traffic.wall_ns_per_query
+        );
         let _ = writeln!(out, "  }}");
         let _ = write!(out, "}}");
         out
@@ -1600,6 +1731,25 @@ mod tests {
                     cells
                 },
             },
+            traffic: TrafficNumbers {
+                seed: 7,
+                queries: 120,
+                tenants: 48,
+                recipes: 24,
+                completed: 90,
+                failed: 2,
+                shed_overload: 20,
+                shed_budget: 6,
+                shed_circuit: 2,
+                oracle_calls: 60_000,
+                oracle_retries: 900,
+                cache_hit_rate: 0.9875,
+                completion_ratio: 0.75,
+                determinism: 1.0,
+                hash_hi: 0xDEAD_BEEF,
+                hash_lo: 0x1234_5678,
+                wall_ns_per_query: 2.5e6,
+            },
         };
         let json = report.to_json();
         assert_eq!(
@@ -1684,6 +1834,26 @@ mod tests {
             Some(0.75)
         );
         assert_eq!(extract_number(&json, "serving", "qps_c2"), None);
+        assert_eq!(extract_number(&json, "traffic", "determinism"), Some(1.0));
+        assert_eq!(
+            extract_number(&json, "traffic", "completion_ratio"),
+            Some(0.75)
+        );
+        // cache_hit_rate prints at 3 decimals.
+        assert_eq!(
+            extract_number(&json, "traffic", "cache_hit_rate"),
+            Some(0.988)
+        );
+        assert_eq!(extract_number(&json, "traffic", "tenants"), Some(48.0));
+        // The hash halves must survive the f64 round trip exactly.
+        assert_eq!(
+            extract_number(&json, "traffic", "hash_hi"),
+            Some(0xDEAD_BEEFu32 as f64)
+        );
+        assert_eq!(
+            extract_number(&json, "traffic", "hash_lo"),
+            Some(0x1234_5678u32 as f64)
+        );
         assert_eq!(extract_number(&json, "nope", "speedup"), None);
         assert_eq!(extract_number(&json, "prepared_serving", "nope"), None);
     }
@@ -1701,6 +1871,31 @@ mod tests {
         for (i, &p) in probs.iter().enumerate() {
             assert_eq!(p.to_bits(), table.prob(i).to_bits(), "prob {i}");
         }
+    }
+
+    #[test]
+    fn percentile_uses_the_nearest_rank() {
+        // Identity sample: sorted_ns[i] == i, so the returned value IS
+        // the chosen index — every case below checks the rank directly.
+        let sample = |len: usize| (0..len).map(|i| i as f64).collect::<Vec<f64>>();
+
+        // p99 over 67 samples needs rank 67 (index 66): ⌈0.99·67⌉ = 67.
+        // The old rounding index, round(66·0.99) = 65, covered only
+        // 66/67 ≈ 98.5% of the sample — the understatement this fixes.
+        assert_eq!(percentile(&sample(67), 0.99), 66.0);
+        // 100 samples: ⌈99⌉ − 1 = 98 — index 99 would overstate.
+        assert_eq!(percentile(&sample(100), 0.99), 98.0);
+        // Median of an even-length sample is the lower of the two
+        // middle ranks (nearest-rank, not interpolated): ⌈50⌉ − 1 = 49.
+        assert_eq!(percentile(&sample(100), 0.50), 49.0);
+        assert_eq!(percentile(&sample(8), 0.50), 3.0);
+        // Extremes clamp to the ends.
+        assert_eq!(percentile(&sample(10), 1.0), 9.0);
+        assert_eq!(percentile(&sample(10), 0.0), 0.0);
+        assert_eq!(percentile(&sample(10), 0.01), 0.0);
+        // A single sample answers every percentile.
+        assert_eq!(percentile(&[42.0], 0.99), 42.0);
+        assert_eq!(percentile(&[42.0], 0.5), 42.0);
     }
 
     #[test]

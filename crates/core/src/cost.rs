@@ -131,6 +131,7 @@ mod tests {
             cache_misses: 0,
             stage_elapsed: Duration::from_secs_f64(elapsed_s),
             filter_elapsed: Duration::ZERO,
+            oracle_elapsed: Duration::from_secs_f64(elapsed_s / 2.0),
             oracle_retries: 0,
             oracle_failures: 0,
             retry_backoff: Duration::ZERO,

@@ -343,6 +343,18 @@
 //! planner, just set the knobs explicitly — `.sampler_strategy(..)` and
 //! `.runtime(..)` always win over adaptivity.
 //!
+//! The latency EWMA is fed from *oracle-time* accounting, not
+//! whole-query wall time: each pipeline stage accumulates the time
+//! spent inside oracle labeling on a thread-local clock, and the total
+//! rides on the outcome as
+//! [`QueryOutcome::oracle_elapsed`](session::QueryOutcome::oracle_elapsed).
+//! Dividing whole-query elapsed by call count would fold estimator
+//! work, artifact builds and (under a server) queue delay into the
+//! per-call estimate and mislead every plan that follows — the
+//! `fast_oracle_on_huge_corpus_stays_throughput_bound` regression test
+//! in [`plan`] pins the distinction. The serving layer's oracle-latency
+//! histogram and `TenantStats::oracle_time` report the same quantity.
+//!
 //! ## Guarantee contract
 //!
 //! For an RT query with target `γ` and failure probability `δ`, the set `R`

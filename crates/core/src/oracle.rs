@@ -27,6 +27,70 @@ use crate::error::SupgError;
 use crate::fault::RetryStats;
 use crate::runtime::{parallel_map, RuntimeConfig};
 
+/// Per-thread accounting of wall-clock time spent inside oracle labeling.
+///
+/// Every pipeline stage labels through [`BatchOracle::label_batch`], so
+/// timing that one choke point captures exactly the oracle-facing time of
+/// a query — threshold sweeps, artifact builds and result materialization
+/// never run inside it. Sessions diff [`labeling_clock::total`] around a
+/// query (the same pattern as [`Oracle::calls_used`] /
+/// [`Oracle::retry_stats`]) to fill
+/// [`QueryOutcome::oracle_elapsed`](crate::session::QueryOutcome::oracle_elapsed),
+/// which is what the planner's latency EWMA feeds on.
+///
+/// The accumulator is thread-local: a query runs synchronously on its
+/// calling thread (batch-native oracles block the caller while their
+/// worker pool labels), so the diff is race-free without any atomics on
+/// the labeling fast path. A depth guard charges only the outermost
+/// `label_batch` frame, so an oracle wrapper that batches through an
+/// inner oracle cannot double-count.
+pub(crate) mod labeling_clock {
+    use std::cell::Cell;
+    use std::time::{Duration, Instant};
+
+    thread_local! {
+        static LABELING_NS: Cell<u64> = const { Cell::new(0) };
+        static DEPTH: Cell<u32> = const { Cell::new(0) };
+    }
+
+    /// Labeling time accrued on this thread so far (monotone; callers
+    /// diff two readings around a query).
+    pub(crate) fn total() -> Duration {
+        Duration::from_nanos(LABELING_NS.with(Cell::get))
+    }
+
+    /// RAII frame: charges its wall-clock span to the thread's
+    /// accumulator on drop, but only for the outermost frame.
+    pub(crate) struct Frame {
+        start: Instant,
+        outermost: bool,
+    }
+
+    impl Frame {
+        pub(crate) fn enter() -> Frame {
+            let outermost = DEPTH.with(|d| {
+                let depth = d.get();
+                d.set(depth + 1);
+                depth == 0
+            });
+            Frame {
+                start: Instant::now(),
+                outermost,
+            }
+        }
+    }
+
+    impl Drop for Frame {
+        fn drop(&mut self) {
+            DEPTH.with(|d| d.set(d.get() - 1));
+            if self.outermost {
+                let ns = self.start.elapsed().as_nanos() as u64;
+                LABELING_NS.with(|c| c.set(c.get().saturating_add(ns)));
+            }
+        }
+    }
+}
+
 /// An expensive ground-truth predicate with usage accounting.
 pub trait Oracle {
     /// Labels the record at `index`, consuming budget on a cache miss.
@@ -138,6 +202,11 @@ pub trait BatchOracle: Oracle {
 
 impl<O: Oracle + ?Sized> BatchOracle for O {
     fn label_batch(&mut self, indices: &[usize]) -> Result<Vec<bool>, SupgError> {
+        // Charge the whole request — native or fallback — to the thread's
+        // labeling clock: this is the single choke point every pipeline
+        // stage labels through, so the diff a session takes around a
+        // query measures oracle time and nothing else.
+        let _frame = labeling_clock::Frame::enter();
         if let Some(native) = self.label_batch_native(indices) {
             return native;
         }

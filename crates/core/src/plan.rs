@@ -507,14 +507,24 @@ impl Planner {
         (bits != 0).then(|| f64::from_bits(bits))
     }
 
-    /// Feeds one finished query back into the latency EWMA, seeding it
-    /// from the outcome's accounting (`elapsed / oracle_calls`).
-    /// Sessions with an attached planner call this automatically.
+    /// Feeds one finished query back into the latency EWMA, from the
+    /// outcome's *oracle-time* accounting
+    /// (`oracle_elapsed / oracle_calls`). Whole-query `elapsed` would be
+    /// wrong here: it includes the threshold sweep, artifact builds and
+    /// result materialization, all of which scale with the corpus — a
+    /// µs-oracle query over 10⁷ records would average out past
+    /// [`SLOW_ORACLE_NS`] and flip the plan to the latency-bound branch.
+    /// Only wall-clock spent inside `label_batch` counts. Sessions with
+    /// an attached planner call this automatically; queries that never
+    /// reached the oracle (or whose labeling time was immeasurably
+    /// small) leave the EWMA untouched.
     pub fn observe<R>(&self, outcome: &QueryOutcome<R>) {
-        if outcome.oracle_calls == 0 {
+        if outcome.oracle_calls == 0 || outcome.oracle_elapsed.is_zero() {
             return;
         }
-        self.observe_ns_per_call(outcome.elapsed.as_nanos() as f64 / outcome.oracle_calls as f64);
+        self.observe_ns_per_call(
+            outcome.oracle_elapsed.as_nanos() as f64 / outcome.oracle_calls as f64,
+        );
     }
 
     /// Merges one per-call latency sample (ns) into the EWMA.
@@ -582,6 +592,41 @@ fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    /// A synthetic finished-query outcome with explicit accounting — the
+    /// shape `observe` consumes, without running a real 10⁷-record query
+    /// in a unit test.
+    fn outcome_with(
+        oracle_calls: usize,
+        elapsed: Duration,
+        oracle_elapsed: Duration,
+        n_records: usize,
+    ) -> QueryOutcome<()> {
+        QueryOutcome {
+            result: (),
+            tau: 0.5,
+            selector: "IS-CI-R",
+            oracle_calls,
+            stage_calls: oracle_calls,
+            filter_calls: 0,
+            sample_draws: oracle_calls,
+            sample_positives: 0,
+            candidates: 0,
+            joint: false,
+            elapsed,
+            cache_hits: 0,
+            cache_misses: 0,
+            stage_elapsed: elapsed,
+            filter_elapsed: Duration::ZERO,
+            oracle_elapsed,
+            oracle_retries: 0,
+            oracle_failures: 0,
+            retry_backoff: Duration::ZERO,
+            n_records,
+            plan: None,
+        }
+    }
 
     fn base_signals() -> PlanSignals {
         PlanSignals {
@@ -688,6 +733,125 @@ mod tests {
         assert!(
             (ewma - 2000.0).abs() < 1.0,
             "EWMA {ewma} should approach 2000"
+        );
+    }
+
+    #[test]
+    fn fast_oracle_on_huge_corpus_stays_throughput_bound() {
+        // Regression for the latency-accounting bug: a µs-oracle query
+        // over a 10⁷-record corpus spends ~10 s in threshold sweep,
+        // artifact builds and materialization but only 1 ms inside the
+        // oracle. Seeding the EWMA from whole-query `elapsed` (the old
+        // accounting) averages 10⁷ ns/call — past SLOW_ORACLE_NS — and
+        // flips the plan to the latency-bound branch; the oracle-time
+        // accounting keeps it throughput-bound where it belongs.
+        let outcome = outcome_with(
+            1_000,
+            Duration::from_secs(10),
+            Duration::from_millis(1),
+            10_000_000,
+        );
+        let planner = Planner::new();
+        planner.observe(&outcome);
+        let ewma = planner.oracle_ns_per_call().expect("EWMA seeded");
+        assert!(
+            ewma < SLOW_ORACLE_NS,
+            "EWMA {ewma} ns/call must stay below the latency-bound cutoff \
+             {SLOW_ORACLE_NS} — whole-query time leaked into the oracle accounting"
+        );
+        let mut s = base_signals();
+        s.oracle_ns_per_call = planner.oracle_ns_per_call();
+        let plan = Plan::resolve(&s);
+        assert_eq!(
+            plan.batch_size, FAST_ORACLE_BATCH,
+            "throughput-bound batches"
+        );
+        assert_eq!(plan.parallelism, s.effective_cores, "no oversubscription");
+    }
+
+    #[test]
+    fn observe_skips_queries_without_oracle_accounting() {
+        let planner = Planner::new();
+        // No oracle calls at all: nothing to average.
+        planner.observe(&outcome_with(
+            0,
+            Duration::from_secs(1),
+            Duration::ZERO,
+            1_000,
+        ));
+        assert_eq!(planner.oracle_ns_per_call(), None);
+        // Calls but immeasurably small labeling time: a zero sample must
+        // not poison the EWMA (and must not divide into a bogus 0).
+        planner.observe(&outcome_with(
+            100,
+            Duration::from_secs(1),
+            Duration::ZERO,
+            1_000,
+        ));
+        assert_eq!(planner.oracle_ns_per_call(), None);
+    }
+
+    #[test]
+    fn non_finite_and_non_positive_samples_are_rejected() {
+        let planner = Planner::new();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -5.0] {
+            planner.observe_ns_per_call(bad);
+            assert_eq!(planner.oracle_ns_per_call(), None, "{bad} accepted");
+        }
+        planner.observe_ns_per_call(500.0);
+        assert_eq!(planner.oracle_ns_per_call(), Some(500.0));
+        for bad in [f64::NAN, f64::INFINITY, -1.0, 0.0] {
+            planner.observe_ns_per_call(bad);
+            assert_eq!(
+                planner.oracle_ns_per_call(),
+                Some(500.0),
+                "{bad} perturbed a seeded EWMA"
+            );
+        }
+    }
+
+    #[test]
+    fn racing_observers_converge_without_losing_the_cas_loop() {
+        use std::sync::Arc;
+        // All writers observe the same power-of-two value: the first
+        // observation seeds the EWMA to exactly v, and the update
+        // (1-α)·v + α·v is bit-exact at a power of two (both products
+        // are exact scalings and fl(0.7)+fl(0.3) rounds to 1.0), so
+        // under ANY interleaving the final EWMA must be exactly v —
+        // anything else means the CAS loop lost or mangled an update.
+        let planner = Arc::new(Planner::new());
+        let v = 1024.0;
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let planner = Arc::clone(&planner);
+                scope.spawn(move || {
+                    for _ in 0..2_000 {
+                        planner.observe_ns_per_call(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(planner.oracle_ns_per_call(), Some(v));
+
+        // Mixed values under racing writers: order-dependent, but the
+        // EWMA is a convex combination of observations, so it must land
+        // strictly inside [min, max].
+        let planner = Arc::new(Planner::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let planner = Arc::clone(&planner);
+                scope.spawn(move || {
+                    let v = if t % 2 == 0 { 1_000.0 } else { 3_000.0 };
+                    for _ in 0..2_000 {
+                        planner.observe_ns_per_call(v);
+                    }
+                });
+            }
+        });
+        let ewma = planner.oracle_ns_per_call().unwrap();
+        assert!(
+            (1_000.0..=3_000.0).contains(&ewma),
+            "EWMA {ewma} escaped the observation range"
         );
     }
 

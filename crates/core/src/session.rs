@@ -59,7 +59,7 @@ use rand::{RngCore, SeedableRng};
 use crate::data::ScoredDataset;
 use crate::error::SupgError;
 use crate::executor::{ResultView, SelectionResult};
-use crate::oracle::{BatchOracle, CachedOracle, Oracle};
+use crate::oracle::{labeling_clock, BatchOracle, CachedOracle, Oracle};
 use crate::plan::{CalibrationProfile, Plan, PlanSignals, Planner};
 use crate::prepared::{DataView, PreparedDataset, QueryProbe, RecipeState, SamplerStrategy};
 use crate::query::{ApproxQuery, JointQuery, TargetKind};
@@ -284,6 +284,14 @@ pub struct QueryOutcome<R = SelectionResult> {
     pub stage_elapsed: Duration,
     /// Wall-clock time of the JT exhaustive filter (zero for RT/PT).
     pub filter_elapsed: Duration,
+    /// Wall-clock time spent *inside oracle labeling* (every
+    /// `label_batch` issued by the sampling stage and the JT filter).
+    /// Unlike `elapsed` this excludes threshold sweeps, artifact builds
+    /// and result materialization, which is why the adaptive planner's
+    /// latency EWMA feeds on `oracle_elapsed / oracle_calls` — a fast
+    /// oracle over a huge corpus must not look latency-bound just
+    /// because the corpus-sized work around it was slow.
+    pub oracle_elapsed: Duration,
     /// Transient oracle failures retried during this query (0 unless the
     /// oracle stack includes a retrying wrapper such as
     /// [`ResilientOracle`](crate::fault::ResilientOracle)).
@@ -332,6 +340,7 @@ impl ViewOutcome<'_> {
             cache_misses: self.cache_misses,
             stage_elapsed: self.stage_elapsed,
             filter_elapsed: self.filter_elapsed,
+            oracle_elapsed: self.oracle_elapsed,
             oracle_retries: self.oracle_retries,
             oracle_failures: self.oracle_failures,
             retry_backoff: self.retry_backoff,
@@ -927,6 +936,7 @@ fn exec_single_view<'v>(
     let start = Instant::now();
     let calls_before = oracle.calls_used();
     let retry_before = oracle.retry_stats();
+    let labeling_before = labeling_clock::total();
     let n_records = view.data().len();
     // The rank source is borrowed *before* the probe shortens the view's
     // lifetime — the returned result view must outlive the local probe.
@@ -941,6 +951,7 @@ fn exec_single_view<'v>(
 
     let stage_calls = oracle.calls_used() - calls_before;
     let retry = oracle.retry_stats().since(retry_before);
+    let oracle_elapsed = labeling_clock::total() - labeling_before;
     let elapsed = start.elapsed();
     Ok(QueryOutcome {
         candidates: result.len(),
@@ -958,6 +969,7 @@ fn exec_single_view<'v>(
         cache_misses: probe.cache_misses(),
         stage_elapsed: elapsed,
         filter_elapsed: Duration::ZERO,
+        oracle_elapsed,
         oracle_retries: retry.retries,
         oracle_failures: retry.failures,
         retry_backoff: retry.backoff,
@@ -1003,6 +1015,7 @@ fn exec_joint_stages<'v>(
     let start = Instant::now();
     let calls_before = oracle.calls_used();
     let retry_before = oracle.retry_stats();
+    let labeling_before = labeling_clock::total();
     // Grant the RT stage exactly its stage budget in fresh calls even when
     // the oracle was used before (set_budget replaces the *total* budget).
     oracle.set_budget(calls_before.saturating_add(rt_query.budget()));
@@ -1032,6 +1045,7 @@ fn exec_joint_stages<'v>(
     // One diff over both stages: the stage outcome's own retry fields are
     // subsumed by this query-wide accounting.
     let retry = oracle.retry_stats().since(retry_before);
+    let oracle_elapsed = labeling_clock::total() - labeling_before;
 
     Ok(QueryOutcome {
         result,
@@ -1049,6 +1063,7 @@ fn exec_joint_stages<'v>(
         cache_misses: stage.cache_misses,
         stage_elapsed,
         filter_elapsed,
+        oracle_elapsed,
         oracle_retries: retry.retries,
         oracle_failures: retry.failures,
         retry_backoff: retry.backoff,
@@ -1108,6 +1123,39 @@ mod tests {
         for idx in jt.result.iter() {
             assert!(idx > 16_000 || idx % 1000 > 800);
         }
+    }
+
+    #[test]
+    fn oracle_elapsed_measures_labeling_time_only() {
+        let (data, labels) = separable(20_000);
+        let mut oracle = CachedOracle::from_labels(labels.clone(), 1_000);
+        let rt = SupgSession::over(&data)
+            .recall(0.9)
+            .budget(1_000)
+            .run(&mut oracle)
+            .unwrap();
+        assert!(rt.oracle_calls > 0);
+        assert!(
+            rt.oracle_elapsed > Duration::ZERO,
+            "labeling time must be accounted"
+        );
+        assert!(
+            rt.oracle_elapsed <= rt.elapsed,
+            "oracle time {:?} cannot exceed whole-query time {:?}",
+            rt.oracle_elapsed,
+            rt.elapsed
+        );
+
+        // JT: the diff spans both the sampling stage and the filter.
+        let mut oracle = CachedOracle::from_labels(labels, 0);
+        let jt = SupgSession::over(&data)
+            .recall(0.8)
+            .precision(0.9)
+            .joint(800)
+            .run(&mut oracle)
+            .unwrap();
+        assert!(jt.oracle_elapsed > Duration::ZERO);
+        assert!(jt.oracle_elapsed <= jt.elapsed);
     }
 
     #[test]

@@ -348,6 +348,33 @@ mod tests {
     }
 
     #[test]
+    fn pre_oracle_shed_during_half_open_keeps_the_circuit_half_open() {
+        let b = breaker(1, Duration::ZERO);
+        b.admit().unwrap().failure();
+        assert_eq!(b.stats().state, BreakerState::Open);
+
+        // The probe is admitted but sheds before reaching the oracle
+        // (e.g. the tenant's budget reservation fails). That outcome
+        // carries no information about oracle health, so it must settle
+        // neutrally: the circuit stays half-open — not re-opened (which
+        // would restart the cooldown) and not closed (which would declare
+        // the oracle healthy without evidence).
+        let probe = b.admit().unwrap();
+        assert_eq!(b.stats().state, BreakerState::HalfOpen);
+        probe.neutral();
+        assert_eq!(b.stats().state, BreakerState::HalfOpen);
+        assert_eq!(b.stats().opened, 1);
+        assert_eq!(b.stats().consecutive_failures, 1);
+
+        // The probe slot is free again: the next arrival probes and its
+        // success closes the circuit.
+        let probe = b.admit().unwrap();
+        probe.success();
+        assert_eq!(b.stats().state, BreakerState::Closed);
+        assert_eq!(b.stats().probes, 2);
+    }
+
+    #[test]
     fn threshold_zero_disables_breaking() {
         let b = breaker(0, Duration::ZERO);
         for _ in 0..50 {

@@ -59,6 +59,24 @@
 //! Deterministic fault injection for testing this stack lives in
 //! [`supg_core::FaultyOracle`](supg_core::FaultyOracle).
 //!
+//! ## Traffic & observability
+//!
+//! The server instruments its own admission path: every outcome and
+//! every shed increments lock-free counters in [`ServerMetrics`], and
+//! four fixed-bucket [`LatencyHistogram`]s record whole-query, stage,
+//! filter and oracle latency (the oracle histogram uses the same
+//! `oracle_elapsed` accounting that feeds the planner's latency EWMA —
+//! *oracle time*, not whole-query wall time, so queue delay and
+//! estimator work can't inflate the planner's view of oracle cost).
+//! [`SupgServer::metrics`] returns a [`MetricsSnapshot`] with
+//! nearest-rank quantiles; per-tenant mirrors land in [`TenantStats`],
+//! including [`TenantStats::oracle_time`].
+//!
+//! The `supg-traffic` crate drives this whole stack under deterministic
+//! simulated load — heavy-tailed arrivals, Zipf-skewed recipes,
+//! thousands of tenants — and replays bit-identically from a seed;
+//! it is the regression harness for everything above.
+//!
 //! ## Example
 //!
 //! ```
@@ -103,12 +121,14 @@
 
 pub mod breaker;
 pub mod error;
+pub mod metrics;
 pub mod pool;
 pub mod server;
 pub mod tenant;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use error::ServeError;
+pub use metrics::{HistogramSnapshot, LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use pool::SessionPool;
 pub use server::{PlanOverride, QuerySpec, QueryTarget, ServerConfig, SupgServer};
 pub use tenant::{TenantRegistry, TenantState, TenantStats};

@@ -29,6 +29,7 @@ use supg_core::{
 
 use crate::breaker::{BreakerConfig, BreakerPass, BreakerStats, CircuitBreaker};
 use crate::error::ServeError;
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::pool::SessionPool;
 use crate::tenant::{TenantRegistry, TenantState};
 
@@ -260,6 +261,9 @@ pub struct SupgServer {
     /// queries so the oracle-latency EWMA persists, and bounded by the
     /// registered datasets for the same reason as `breakers`.
     planners: RwLock<HashMap<String, Arc<Planner>>>,
+    /// Server-wide counters and latency histograms, recorded on every
+    /// admission decision and finished query.
+    metrics: ServerMetrics,
 }
 
 /// Releases the in-flight slot on every exit path.
@@ -315,6 +319,7 @@ impl SupgServer {
             config,
             breakers: RwLock::new(HashMap::new()),
             planners: RwLock::new(HashMap::new()),
+            metrics: ServerMetrics::new(),
         }
     }
 
@@ -336,6 +341,13 @@ impl SupgServer {
     /// The server tuning.
     pub fn config(&self) -> ServerConfig {
         self.config.clone()
+    }
+
+    /// A point-in-time snapshot of the server-wide serving metrics:
+    /// completed/failed/shed query counts, oracle work (calls, retries,
+    /// time), cache hit rates, and per-stage latency histograms.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Aggregated planner decisions for a dataset — how many queries
@@ -438,6 +450,7 @@ impl SupgServer {
             });
         if admitted.is_err() {
             tenant.record_overload_shed();
+            self.metrics.record_overload_shed();
             return Err(ServeError::Overloaded {
                 in_flight: limit,
                 limit,
@@ -462,6 +475,7 @@ impl SupgServer {
                 Ok(p) => Some(p),
                 Err(retry_after) => {
                     tenant.record_circuit_shed();
+                    self.metrics.record_circuit_shed();
                     return Err(ServeError::CircuitOpen {
                         dataset: dataset.to_owned(),
                         retry_after,
@@ -471,7 +485,24 @@ impl SupgServer {
             None => None,
         };
 
-        let reservation = Reservation::take(&tenant, spec.declared_calls())?;
+        // A budget shed happens before any oracle call, so it says
+        // nothing about oracle health: resolve the pass neutrally. When
+        // the shed query was the half-open probe this releases the probe
+        // slot and leaves the breaker half-open — it must not settle the
+        // probe as a success (closing a circuit the oracle never proved
+        // healthy) or a failure (re-opening it and restarting the
+        // cooldown). Pinned by `budget_shed_during_half_open_*` in the
+        // resilience integration tests.
+        let reservation = match Reservation::take(&tenant, spec.declared_calls()) {
+            Ok(r) => r,
+            Err(shed) => {
+                self.metrics.record_budget_shed();
+                if let Some(p) = pass {
+                    p.neutral();
+                }
+                return Err(shed);
+            }
+        };
 
         // Every served query runs through the dataset's planner: it
         // observes oracle latency for the EWMA and applies any operator
@@ -500,6 +531,7 @@ impl SupgServer {
             Ok(outcome) => {
                 reservation.settle(outcome.oracle_calls);
                 tenant.record(&outcome);
+                self.metrics.record_outcome(&outcome);
                 if let Some(p) = pass {
                     p.success();
                 }
@@ -509,6 +541,7 @@ impl SupgServer {
                 // The dropped reservation comes back whole: a failed
                 // query's partial consumption is not billed.
                 drop(reservation);
+                self.metrics.record_failure();
                 match e {
                     SupgError::DeadlineExceeded { deadline } => {
                         // A deadline says nothing about oracle health.
@@ -713,6 +746,46 @@ mod tests {
         // counts as pinned, not an adaptive resolution.
         assert_eq!(stats.pinned, 1);
         assert!(server.plan_stats("missing").is_none());
+    }
+
+    #[test]
+    fn server_metrics_cover_completions_sheds_and_latency() {
+        let (server, labels) = server_with(20_000, 1_500, 4);
+        let spec = QuerySpec::recall(0.9, 1_000).with_seed(7);
+
+        let mut oracle = CachedOracle::from_labels(labels, 1_000);
+        let outcome = server.serve("acme", "videos", &spec, &mut oracle).unwrap();
+
+        // Remaining budget cannot cover a second declaration: budget shed.
+        let mut oracle2 = CachedOracle::from_labels(vec![false; 20_000], 1_000);
+        server
+            .serve("acme", "videos", &spec, &mut oracle2)
+            .unwrap_err();
+
+        let m = server.metrics();
+        assert_eq!(m.queries_ok, 1);
+        assert_eq!(m.queries_failed, 0);
+        assert_eq!(m.shed_budget, 1);
+        assert_eq!(m.shed_total(), 1);
+        assert_eq!(m.oracle_calls, outcome.oracle_calls as u64);
+        assert_eq!(m.planned, 1, "served queries always carry a plan");
+        assert!(m.cache_hits + m.cache_misses > 0);
+
+        // One completed query: every histogram saw exactly one sample
+        // (filter only fires for JT), and oracle time nests inside the
+        // end-to-end latency.
+        assert_eq!(m.query_latency.count, 1);
+        assert_eq!(m.stage_latency.count, 1);
+        assert_eq!(m.filter_latency.count, 0);
+        assert_eq!(m.oracle_latency.count, 1);
+        assert!(m.oracle_latency.total > Duration::ZERO);
+        assert!(m.oracle_latency.total <= m.query_latency.total);
+        assert!(m.query_latency.quantile(1.0) >= m.query_latency.mean());
+
+        // The tenant-side mirror of the oracle-time accounting.
+        let stats = server.tenants().get("acme").unwrap().stats();
+        assert_eq!(stats.oracle_time, outcome.oracle_elapsed);
+        assert!(stats.oracle_time <= stats.elapsed);
     }
 
     #[test]

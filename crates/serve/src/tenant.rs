@@ -39,6 +39,7 @@ pub struct TenantState {
     stage_ns: AtomicU64,
     filter_ns: AtomicU64,
     elapsed_ns: AtomicU64,
+    oracle_ns: AtomicU64,
 }
 
 impl TenantState {
@@ -56,6 +57,7 @@ impl TenantState {
             stage_ns: AtomicU64::new(0),
             filter_ns: AtomicU64::new(0),
             elapsed_ns: AtomicU64::new(0),
+            oracle_ns: AtomicU64::new(0),
         }
     }
 
@@ -169,6 +171,8 @@ impl TenantState {
             .fetch_add(outcome.filter_elapsed.as_nanos() as u64, Ordering::Relaxed);
         self.elapsed_ns
             .fetch_add(outcome.elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.oracle_ns
+            .fetch_add(outcome.oracle_elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Records a query shed at the in-flight limit (the server calls
@@ -197,6 +201,7 @@ impl TenantState {
             stage_time: Duration::from_nanos(self.stage_ns.load(Ordering::Relaxed)),
             filter_time: Duration::from_nanos(self.filter_ns.load(Ordering::Relaxed)),
             elapsed: Duration::from_nanos(self.elapsed_ns.load(Ordering::Relaxed)),
+            oracle_time: Duration::from_nanos(self.oracle_ns.load(Ordering::Relaxed)),
             remaining_budget: self.budget.load(Ordering::Relaxed),
         }
     }
@@ -227,6 +232,10 @@ pub struct TenantStats {
     pub filter_time: Duration,
     /// Summed end-to-end query wall-clock time.
     pub elapsed: Duration,
+    /// Summed wall-clock time spent *inside oracle labeling* — the same
+    /// per-query accounting that feeds the planner's latency EWMA, so a
+    /// tenant dashboard and the planner agree on what the oracle costs.
+    pub oracle_time: Duration,
     /// Oracle calls remaining in the budget at snapshot time.
     pub remaining_budget: usize,
 }

@@ -198,6 +198,57 @@ fn breaker_recovers_under_concurrent_load() {
 }
 
 #[test]
+fn budget_shed_during_half_open_leaves_the_circuit_half_open() {
+    // A probe that is admitted past the breaker but sheds on the budget
+    // reservation never reaches the oracle, so it must not settle the
+    // probe: the circuit stays half-open (not re-opened, not closed),
+    // and the freed probe slot lets the next query prove recovery.
+    let server = server(BreakerConfig {
+        failure_threshold: 1,
+        cooldown: Duration::ZERO,
+    });
+    // A tenant whose budget cannot cover the query's declared calls.
+    let spec = QuerySpec::recall(0.9, 1_000).with_seed(7);
+    server.tenants().register("broke", 10);
+
+    // Trip the circuit with one permanent failure.
+    let mut oracle = broken_oracle();
+    server
+        .serve("acme", "videos", &spec, &mut oracle)
+        .unwrap_err();
+    assert_eq!(
+        server.breaker_stats("videos").unwrap().state,
+        BreakerState::Open
+    );
+
+    // Zero cooldown: the under-budgeted query is admitted as the
+    // half-open probe, then sheds on the reservation.
+    let mut oracle = healthy_oracle();
+    let err = server
+        .serve("broke", "videos", &spec, &mut oracle)
+        .unwrap_err();
+    assert!(
+        matches!(err, ServeError::BudgetExhausted { .. }),
+        "expected BudgetExhausted, got {err:?}"
+    );
+    assert_eq!(oracle.calls_used(), 0, "a budget shed must not label");
+    let stats = server.breaker_stats("videos").unwrap();
+    assert_eq!(stats.state, BreakerState::HalfOpen);
+    assert_eq!(stats.opened, 1, "the shed must not re-open the circuit");
+    assert_eq!(
+        stats.consecutive_failures, 1,
+        "the shed must not count as a probe outcome"
+    );
+
+    // The probe slot is free: a funded tenant probes and closes.
+    let outcome = server.serve("acme", "videos", &spec, &mut oracle).unwrap();
+    assert!(!outcome.result.is_empty());
+    let stats = server.breaker_stats("videos").unwrap();
+    assert_eq!(stats.state, BreakerState::Closed);
+    assert_eq!(stats.probes, 2);
+}
+
+#[test]
 fn retried_serving_matches_fault_free_serving_bit_for_bit() {
     let server = server(BreakerConfig::default());
     let spec = QuerySpec::recall(0.9, 1_000).with_seed(7);

@@ -1,0 +1,33 @@
+//! CI smoke: run the quick traffic shape twice, demand bit-identical
+//! reports, and print the report JSON.
+//!
+//! Exits non-zero (panics) if the two runs disagree — the cheapest
+//! possible guard that the simulator's determinism contract still
+//! holds on the CI machine.
+
+use supg_traffic::{run, TrafficConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5097_2020);
+    let config = TrafficConfig::quick(seed);
+    let first = run(&config);
+    let second = run(&config);
+    assert_eq!(
+        first.hash(),
+        second.hash(),
+        "same seed must replay bit-identically:\n  {}\n  {}",
+        first.canonical_json(),
+        second.canonical_json(),
+    );
+    println!("{}", first.to_json());
+    eprintln!(
+        "traffic smoke ok: {} queries, {:.0}% completed, {:.0}% cache hits, hash {:#018x}",
+        first.queries,
+        100.0 * first.completion_ratio(),
+        100.0 * first.cache_hit_rate(),
+        first.hash(),
+    );
+}

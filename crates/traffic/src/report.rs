@@ -1,0 +1,236 @@
+//! The run report: every deterministic aggregate of a simulated run,
+//! with a self-certifying hash.
+//!
+//! The report splits cleanly into two halves. The *hashed* half is a
+//! pure function of `(TrafficConfig, seed)`: query counts by kind and
+//! fate, oracle/cache/retry accounting, the virtual-clock makespan, and
+//! a running FNV-1a digest folded over every query outcome's
+//! deterministic fields as the simulation processes it. The *unhashed*
+//! half is wall-clock measurement (how long the run really took), which
+//! legitimately differs between machines and runs.
+//!
+//! [`TrafficReport::hash`] is FNV-1a 64 over the canonical JSON of the
+//! hashed half, so "two runs produced bit-identical reports" is a
+//! one-integer comparison — the property the determinism tests and the
+//! bench gate pin.
+
+use std::time::Duration;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a 64 running hash.
+pub fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A fresh FNV-1a 64 hash state.
+pub fn fnv1a_start() -> u64 {
+    FNV_OFFSET
+}
+
+/// Aggregates of one simulated run. Everything except
+/// [`wall_elapsed`](TrafficReport::wall_elapsed) is deterministic for a
+/// fixed config and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficReport {
+    /// The seed the run was driven by.
+    pub seed: u64,
+    /// Arrivals generated (the configured query count).
+    pub queries: u64,
+    /// Tenants registered.
+    pub tenants: u64,
+    /// Recipes in the catalog.
+    pub recipes: u64,
+    /// Oracle-labeling worker threads each query ran with.
+    pub parallelism: u64,
+    /// Queries that completed successfully.
+    pub completed: u64,
+    /// Queries that ran but failed (oracle failure, deadline, pipeline
+    /// error).
+    pub failed: u64,
+    /// Arrivals shed by the simulator's virtual in-flight limit.
+    pub shed_overload: u64,
+    /// Queries shed on the tenant-budget reservation.
+    pub shed_budget: u64,
+    /// Queries shed by an open circuit breaker.
+    pub shed_circuit: u64,
+    /// Completed queries by kind: `[RT, PT, JT]`.
+    pub by_kind: [u64; 3],
+    /// Oracle calls completed queries consumed.
+    pub oracle_calls: u64,
+    /// Transient oracle failures absorbed by retries.
+    pub oracle_retries: u64,
+    /// Sampling-artifact cache hits across completed queries.
+    pub cache_hits: u64,
+    /// Sampling-artifact cache misses across completed queries.
+    pub cache_misses: u64,
+    /// Completed queries that carried a plan.
+    pub planned: u64,
+    /// Virtual-clock time of the last processed event, ns.
+    pub virtual_makespan_ns: u64,
+    /// FNV-1a digest folded over every query outcome's deterministic
+    /// fields (τ bits, calls, result size, recipe, tenant, shed cause)
+    /// in event order.
+    pub outcome_digest: u64,
+    /// Measured wall-clock duration of the run — informational only,
+    /// excluded from [`hash`](TrafficReport::hash).
+    pub wall_elapsed: Duration,
+}
+
+impl TrafficReport {
+    /// Fraction of arrivals that completed successfully.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.queries as f64
+        }
+    }
+
+    /// Cache hit rate over completed queries' artifact lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// The canonical (hashed) JSON body: fixed key order, integers
+    /// only, no whitespace variance — the string the report hash is
+    /// computed over. Wall-clock time is deliberately absent.
+    pub fn canonical_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"seed\":{},\"queries\":{},\"tenants\":{},\"recipes\":{},",
+                "\"parallelism\":{},\"completed\":{},\"failed\":{},",
+                "\"shed_overload\":{},\"shed_budget\":{},\"shed_circuit\":{},",
+                "\"rt\":{},\"pt\":{},\"jt\":{},",
+                "\"oracle_calls\":{},\"oracle_retries\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"planned\":{},",
+                "\"virtual_makespan_ns\":{},\"outcome_digest\":{}}}"
+            ),
+            self.seed,
+            self.queries,
+            self.tenants,
+            self.recipes,
+            self.parallelism,
+            self.completed,
+            self.failed,
+            self.shed_overload,
+            self.shed_budget,
+            self.shed_circuit,
+            self.by_kind[0],
+            self.by_kind[1],
+            self.by_kind[2],
+            self.oracle_calls,
+            self.oracle_retries,
+            self.cache_hits,
+            self.cache_misses,
+            self.planned,
+            self.virtual_makespan_ns,
+            self.outcome_digest,
+        )
+    }
+
+    /// FNV-1a 64 over [`canonical_json`](TrafficReport::canonical_json)
+    /// — equal hashes ⇔ bit-identical deterministic halves.
+    pub fn hash(&self) -> u64 {
+        fnv1a(fnv1a_start(), self.canonical_json().as_bytes())
+    }
+
+    /// The full report as JSON: the canonical body plus the hash and
+    /// the (unhashed) wall-clock measurement.
+    pub fn to_json(&self) -> String {
+        let body = self.canonical_json();
+        format!(
+            "{},\"hash\":{},\"wall_elapsed_ns\":{}}}",
+            &body[..body.len() - 1],
+            self.hash(),
+            self.wall_elapsed.as_nanos(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> TrafficReport {
+        TrafficReport {
+            seed: 7,
+            queries: 100,
+            tenants: 2_000,
+            recipes: 32,
+            parallelism: 2,
+            completed: 90,
+            failed: 1,
+            shed_overload: 4,
+            shed_budget: 3,
+            shed_circuit: 2,
+            by_kind: [50, 30, 10],
+            oracle_calls: 90_000,
+            oracle_retries: 12,
+            cache_hits: 80,
+            cache_misses: 10,
+            planned: 90,
+            virtual_makespan_ns: 1_000_000,
+            outcome_digest: 0xDEAD_BEEF,
+            wall_elapsed: Duration::from_millis(123),
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(fnv1a_start(), b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(fnv1a_start(), b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(fnv1a_start(), b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hash_ignores_wall_clock_but_sees_everything_else() {
+        let a = report();
+        let mut b = report();
+        b.wall_elapsed = Duration::from_secs(99);
+        assert_eq!(a.hash(), b.hash(), "wall clock must not affect the hash");
+
+        let mut c = report();
+        c.oracle_calls += 1;
+        assert_ne!(a.hash(), c.hash());
+        let mut d = report();
+        d.outcome_digest ^= 1;
+        assert_ne!(a.hash(), d.hash());
+    }
+
+    #[test]
+    fn json_carries_the_hash_and_the_wall_clock() {
+        let r = report();
+        let json = r.to_json();
+        assert!(json.contains(&format!("\"hash\":{}", r.hash())));
+        assert!(json.contains("\"wall_elapsed_ns\":123000000"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        // The canonical body is a prefix modulo the closing brace.
+        assert!(json.starts_with(&r.canonical_json()[..r.canonical_json().len() - 1]));
+    }
+
+    #[test]
+    fn ratios_handle_empty_runs() {
+        let mut r = report();
+        assert!((r.completion_ratio() - 0.9).abs() < 1e-12);
+        assert!((r.cache_hit_rate() - 80.0 / 90.0).abs() < 1e-12);
+        r.queries = 0;
+        r.cache_hits = 0;
+        r.cache_misses = 0;
+        assert_eq!(r.completion_ratio(), 0.0);
+        assert_eq!(r.cache_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,363 @@
+//! The seeded discrete-event simulator driving a real [`SupgServer`].
+//!
+//! Architecture: a binary-heap event queue ordered by `(virtual time,
+//! sequence)`, in the style of deterministic agent-based simulators —
+//! every event is planned at a virtual timestamp, popped in order, and
+//! handled synchronously. Three event kinds exist: an **arrival** draws
+//! a tenant and a Zipf-ranked recipe and runs the query through the
+//! server's full admission path (breaker, budget reservation, planner,
+//! retry runtime); a **completion** retires the arrival's virtual
+//! service time and frees a virtual concurrency slot; a **top-up**
+//! replenishes every tenant's oracle budget on a fixed virtual period.
+//!
+//! Two clocks, one rule. Queries execute on the *wall* clock (real
+//! labeling, real latency histograms in [`SupgServer::metrics`]); the
+//! *simulation* advances on a virtual clock driven entirely by seeded
+//! draws. Everything that lands in the hashed half of the
+//! [`TrafficReport`] derives from the virtual clock and the core's
+//! bit-deterministic query outcomes — never from wall time — which is
+//! why a fixed seed yields a bit-identical report at any oracle
+//! parallelism and on any machine. This is also why the simulated
+//! breaker runs with a zero cooldown (a real-time cooldown would leak
+//! the wall clock into shed decisions) and why the in-flight limit is
+//! enforced virtually by the simulator rather than by saturating the
+//! server with real threads.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use supg_core::runtime::{split_seed, split_unit};
+use supg_core::{CachedOracle, FaultPlan, FaultyOracle, RuntimeConfig};
+use supg_serve::{BreakerConfig, ServeError, ServerConfig, SupgServer};
+
+use crate::report::{fnv1a, fnv1a_start, TrafficReport};
+use crate::workload::{build_recipes, BoundedPareto, QueryMix, Recipe, Zipf};
+
+/// Everything that shapes a simulated run. Two configs with equal
+/// fields produce bit-identical [`TrafficReport`] hashes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// Master seed: every draw in the run splits off this.
+    pub seed: u64,
+    /// Tenants registered (named `t0`, `t1`, …).
+    pub tenants: usize,
+    /// Distinct datasets registered in the pool.
+    pub datasets: usize,
+    /// Records per dataset.
+    pub records: usize,
+    /// Arrivals to generate.
+    pub queries: usize,
+    /// Distinct query recipes (Zipf-ranked by popularity).
+    pub recipes: usize,
+    /// Zipf exponent for recipe popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Inter-arrival distribution (virtual ns).
+    pub arrival: BoundedPareto,
+    /// Virtual service-time distribution (virtual ns) — how long an
+    /// admitted query occupies a virtual concurrency slot.
+    pub service: BoundedPareto,
+    /// RT/PT/JT mix weights.
+    pub mix: QueryMix,
+    /// Initial per-tenant oracle-call budget.
+    pub tenant_budget: usize,
+    /// Virtual concurrency limit: arrivals beyond it shed as overload.
+    pub virtual_concurrency: usize,
+    /// Oracle-labeling worker threads per query. Any value yields the
+    /// same report bits — that is the determinism contract under test.
+    pub parallelism: usize,
+    /// Probability of a transient oracle fault per labeling call
+    /// (0 disables fault injection; > 0 adds a default retry policy to
+    /// every recipe).
+    pub transient_fault_rate: f64,
+    /// Every `k`-th arrival runs against a permanently failing oracle
+    /// (0 disables) — exercising the failure path and the breaker.
+    pub permanent_failure_every: u64,
+    /// Virtual period between budget top-ups (0 disables).
+    pub topup_period_ns: u64,
+    /// Calls added to every tenant per top-up.
+    pub topup_calls: usize,
+}
+
+impl TrafficConfig {
+    /// A small smoke-sized run (~100 queries, tens of tenants) — quick
+    /// enough for CI, busy enough to exercise every shed cause.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            tenants: 48,
+            datasets: 2,
+            records: 8_000,
+            queries: 120,
+            recipes: 24,
+            zipf_s: 1.1,
+            arrival: BoundedPareto {
+                alpha: 1.3,
+                min_ns: 500_000,
+                max_ns: 100_000_000,
+            },
+            service: BoundedPareto {
+                alpha: 1.5,
+                min_ns: 2_000_000,
+                max_ns: 200_000_000,
+            },
+            mix: QueryMix::default_mix(),
+            tenant_budget: 2_000,
+            virtual_concurrency: 8,
+            parallelism: 1,
+            transient_fault_rate: 0.01,
+            permanent_failure_every: 37,
+            topup_period_ns: 500_000_000,
+            topup_calls: 500,
+        }
+    }
+
+    /// The full-scale shape: thousands of tenants, a deeper recipe
+    /// catalog, more arrivals. Still seconds of wall time — queries are
+    /// budget-bounded — but large enough that cache-hit and shed rates
+    /// resemble a real deployment.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            tenants: 2_000,
+            datasets: 3,
+            records: 20_000,
+            queries: 600,
+            recipes: 64,
+            tenant_budget: 1_500,
+            ..Self::quick(seed)
+        }
+    }
+
+    /// Config with a different oracle-labeling parallelism.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+}
+
+/// Seed salts separating the simulator's independent draw streams.
+const ARRIVAL_SALT: u64 = 0xA881_0001;
+const SERVICE_SALT: u64 = 0xA881_0002;
+const TENANT_SALT: u64 = 0xA881_0003;
+const RECIPE_PICK_SALT: u64 = 0xA881_0004;
+const FAULT_SALT: u64 = 0xA881_0005;
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// Ordering matters within a timestamp tie: completions free their
+    /// virtual slot before a same-tick arrival claims one, and top-ups
+    /// land before the arrivals they fund. Derived `Ord` on the enum
+    /// gives exactly that (variant order, then payload).
+    Completion,
+    Topup,
+    Arrival {
+        /// Arrival index — also the per-query seed split index.
+        query: u64,
+    },
+}
+
+/// Deterministic proxy scores for simulated dataset `d`: a repeating
+/// ramp whose period varies per dataset so datasets have distinct score
+/// distributions (and distinct sampling artifacts).
+fn scores_for(dataset: usize, records: usize) -> Vec<f64> {
+    let period = 911 + 97 * dataset;
+    (0..records)
+        .map(|i| (i % period) as f64 / period as f64)
+        .collect()
+}
+
+fn labels_for(dataset: usize, records: usize) -> Vec<bool> {
+    scores_for(dataset, records)
+        .into_iter()
+        .map(|s| s > 0.8)
+        .collect()
+}
+
+fn fold(digest: &mut u64, value: u64) {
+    *digest = fnv1a(*digest, &value.to_le_bytes());
+}
+
+/// Runs one simulated traffic session against a freshly built server
+/// and returns its [`TrafficReport`].
+pub fn run(config: &TrafficConfig) -> TrafficReport {
+    let wall_start = Instant::now();
+    let cfg = config;
+
+    // The server under test. The in-flight limit is virtual (see module
+    // docs), so the real server runs unbounded; the breaker runs with a
+    // zero cooldown to keep wall time out of shed decisions.
+    let server = SupgServer::new(ServerConfig {
+        max_in_flight: usize::MAX,
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            cooldown: std::time::Duration::ZERO,
+        },
+        ..ServerConfig::default()
+    });
+    let mut labels: Vec<Vec<bool>> = Vec::with_capacity(cfg.datasets);
+    let mut dataset_names: Vec<String> = Vec::with_capacity(cfg.datasets);
+    for d in 0..cfg.datasets.max(1) {
+        let name = format!("d{d}");
+        server
+            .pool()
+            .register_scores(&name, scores_for(d, cfg.records))
+            .expect("fresh pool cannot reject a new dataset");
+        labels.push(labels_for(d, cfg.records));
+        dataset_names.push(name);
+    }
+    let tenant_names: Vec<String> = (0..cfg.tenants.max(1)).map(|t| format!("t{t}")).collect();
+    for name in &tenant_names {
+        server.tenants().register(name.clone(), cfg.tenant_budget);
+    }
+
+    let retry = (cfg.transient_fault_rate > 0.0).then(supg_serve::RetryPolicy::default);
+    let recipes: Vec<Recipe> =
+        build_recipes(cfg.seed, cfg.recipes, cfg.datasets.max(1), cfg.mix, retry);
+    let zipf = Zipf::new(recipes.len(), cfg.zipf_s);
+    let runtime = RuntimeConfig {
+        parallelism: cfg.parallelism.max(1),
+        batch_size: 64,
+    };
+
+    // Plan every arrival up front: inter-arrival gaps are indexed
+    // draws, so the whole arrival schedule is a pure function of the
+    // seed.
+    let mut queue: BinaryHeap<Reverse<(u64, Event, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut clock = 0u64;
+    for q in 0..cfg.queries as u64 {
+        clock += cfg.arrival.sample(split_unit(cfg.seed ^ ARRIVAL_SALT, q));
+        queue.push(Reverse((clock, Event::Arrival { query: q }, seq)));
+        seq += 1;
+    }
+    let horizon = clock;
+    if cfg.topup_period_ns > 0 {
+        let mut t = cfg.topup_period_ns;
+        while t <= horizon {
+            queue.push(Reverse((t, Event::Topup, seq)));
+            seq += 1;
+            t += cfg.topup_period_ns;
+        }
+    }
+
+    let mut report = TrafficReport {
+        seed: cfg.seed,
+        queries: cfg.queries as u64,
+        tenants: cfg.tenants.max(1) as u64,
+        recipes: recipes.len() as u64,
+        parallelism: cfg.parallelism.max(1) as u64,
+        completed: 0,
+        failed: 0,
+        shed_overload: 0,
+        shed_budget: 0,
+        shed_circuit: 0,
+        by_kind: [0; 3],
+        oracle_calls: 0,
+        oracle_retries: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        planned: 0,
+        virtual_makespan_ns: 0,
+        outcome_digest: fnv1a_start(),
+        wall_elapsed: std::time::Duration::ZERO,
+    };
+    let mut in_flight = 0usize;
+
+    while let Some(Reverse((now, event, _))) = queue.pop() {
+        report.virtual_makespan_ns = now;
+        match event {
+            Event::Completion => in_flight -= 1,
+            Event::Topup => {
+                for name in &tenant_names {
+                    if let Ok(t) = server.tenants().get(name) {
+                        t.add_budget(cfg.topup_calls);
+                    }
+                }
+            }
+            Event::Arrival { query } => {
+                fold(&mut report.outcome_digest, query);
+                if in_flight >= cfg.virtual_concurrency.max(1) {
+                    report.shed_overload += 1;
+                    fold(&mut report.outcome_digest, 0x10);
+                    continue;
+                }
+                let tenant_idx =
+                    (split_seed(cfg.seed ^ TENANT_SALT, query) as usize) % tenant_names.len();
+                let recipe_idx = zipf.sample(split_unit(cfg.seed ^ RECIPE_PICK_SALT, query));
+                let recipe = &recipes[recipe_idx];
+                fold(&mut report.outcome_digest, tenant_idx as u64);
+                fold(&mut report.outcome_digest, recipe_idx as u64);
+
+                let cached = CachedOracle::from_labels(
+                    labels[recipe.dataset].clone(),
+                    recipe.spec.declared_calls(),
+                )
+                .with_runtime(runtime);
+                let permanent =
+                    cfg.permanent_failure_every > 0 && query % cfg.permanent_failure_every == 0;
+                let run = if cfg.transient_fault_rate > 0.0 || permanent {
+                    let mut plan = FaultPlan::new(split_seed(cfg.seed ^ FAULT_SALT, query))
+                        .with_transient_rate(cfg.transient_fault_rate);
+                    if permanent {
+                        plan = plan.with_permanent_rate(1.0);
+                    }
+                    let mut oracle = FaultyOracle::new(cached, plan);
+                    server.serve(
+                        &tenant_names[tenant_idx],
+                        &dataset_names[recipe.dataset],
+                        &recipe.spec,
+                        &mut oracle,
+                    )
+                } else {
+                    let mut oracle = cached;
+                    server.serve(
+                        &tenant_names[tenant_idx],
+                        &dataset_names[recipe.dataset],
+                        &recipe.spec,
+                        &mut oracle,
+                    )
+                };
+                match run {
+                    Ok(outcome) => {
+                        report.completed += 1;
+                        report.by_kind[recipe.kind] += 1;
+                        report.oracle_calls += outcome.oracle_calls as u64;
+                        report.oracle_retries += outcome.oracle_retries;
+                        report.cache_hits += outcome.cache_hits;
+                        report.cache_misses += outcome.cache_misses;
+                        report.planned += u64::from(outcome.plan.is_some());
+                        fold(&mut report.outcome_digest, 0x20);
+                        fold(&mut report.outcome_digest, outcome.tau.to_bits());
+                        fold(&mut report.outcome_digest, outcome.oracle_calls as u64);
+                        fold(
+                            &mut report.outcome_digest,
+                            outcome.result.indices().len() as u64,
+                        );
+                        fold(&mut report.outcome_digest, outcome.cache_hits);
+                        in_flight += 1;
+                        let service = cfg
+                            .service
+                            .sample(split_unit(cfg.seed ^ SERVICE_SALT, query));
+                        queue.push(Reverse((now + service, Event::Completion, seq)));
+                        seq += 1;
+                    }
+                    Err(ServeError::BudgetExhausted { .. }) => {
+                        report.shed_budget += 1;
+                        fold(&mut report.outcome_digest, 0x11);
+                    }
+                    Err(ServeError::CircuitOpen { .. }) => {
+                        report.shed_circuit += 1;
+                        fold(&mut report.outcome_digest, 0x12);
+                    }
+                    Err(_) => {
+                        report.failed += 1;
+                        fold(&mut report.outcome_digest, 0x13);
+                    }
+                }
+            }
+        }
+    }
+
+    report.wall_elapsed = wall_start.elapsed();
+    report
+}

@@ -1,0 +1,247 @@
+//! Workload shape: heavy-tailed arrivals, Zipf-skewed recipe
+//! popularity, and the mixed RT/PT/JT query recipes themselves.
+//!
+//! Every draw routes through [`supg_core::runtime::split_unit`] — a
+//! SplitMix64 hash of `(seed, index)` yielding an exact dyadic rational
+//! — so a `(seed, index)` pair maps to the same sample on every
+//! platform and every run. No mutable RNG state exists anywhere in the
+//! simulator: determinism falls out of indexing, not careful state
+//! threading.
+
+use supg_core::runtime::{split_seed, split_unit};
+use supg_serve::{QuerySpec, RetryPolicy};
+
+/// A bounded Pareto distribution over nanoseconds — the heavy-tailed
+/// inter-arrival (and virtual service-time) model. Open workloads are
+/// bursty: most gaps are near `min_ns`, but the tail stretches orders
+/// of magnitude toward `max_ns`, which is what makes admission control
+/// earn its keep. The bound keeps the tail finite so a single draw
+/// cannot stall the simulated clock forever.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    /// Tail exponent `α` (> 0). Smaller ⇒ heavier tail.
+    pub alpha: f64,
+    /// Smallest possible sample, ns.
+    pub min_ns: u64,
+    /// Largest possible sample, ns.
+    pub max_ns: u64,
+}
+
+impl BoundedPareto {
+    /// The inverse-CDF sample for uniform `u ∈ [0, 1)`:
+    /// `x = L / (1 − u·(1 − (L/H)^α))^(1/α)`, clamped into `[L, H]`.
+    pub fn sample(&self, u: f64) -> u64 {
+        let l = self.min_ns.max(1) as f64;
+        let h = self.max_ns.max(self.min_ns.max(1)) as f64;
+        let ratio = (l / h).powf(self.alpha);
+        let x = l / (1.0 - u * (1.0 - ratio)).powf(1.0 / self.alpha);
+        x.clamp(l, h) as u64
+    }
+}
+
+/// Zipf-skewed popularity over `n` ranks: rank `k` (0-based) carries
+/// weight `1 / (k+1)^s`. Drives which *recipe* each arrival runs, so a
+/// handful of popular recipes dominate — the reuse pattern that makes
+/// the pool's sampling-artifact cache hit in practice.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// The distribution over `n ≥ 1` ranks with exponent `s ≥ 0`
+    /// (`s = 0` is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// The rank for uniform `u ∈ [0, 1)`.
+    pub fn sample(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Relative weights of the three query kinds in the arrival stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryMix {
+    /// Recall-target (RT) weight.
+    pub rt: f64,
+    /// Precision-target (PT) weight.
+    pub pt: f64,
+    /// Joint-target (JT) weight.
+    pub jt: f64,
+}
+
+impl QueryMix {
+    /// The paper-flavored default: RT-heavy with a JT minority (JT pays
+    /// an unbudgeted exhaustive filter, so real mixes keep it rare).
+    pub fn default_mix() -> Self {
+        Self {
+            rt: 0.5,
+            pt: 0.35,
+            jt: 0.15,
+        }
+    }
+
+    /// Picks a kind index (0 = RT, 1 = PT, 2 = JT) for uniform `u`.
+    pub fn pick(&self, u: f64) -> usize {
+        let total = (self.rt + self.pt + self.jt).max(f64::MIN_POSITIVE);
+        let x = u * total;
+        if x < self.rt {
+            0
+        } else if x < self.rt + self.pt {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// One reusable query recipe: a dataset and a fully pinned
+/// [`QuerySpec`] (kind, targets, budget, seed). Re-running a recipe
+/// re-requests the same sampling artifact from the pool, so Zipf-skewed
+/// recipe popularity is what produces realistic cache-hit rates.
+#[derive(Debug, Clone)]
+pub struct Recipe {
+    /// Which simulated dataset the recipe queries.
+    pub dataset: usize,
+    /// Kind index (0 = RT, 1 = PT, 2 = JT).
+    pub kind: usize,
+    /// The pinned spec.
+    pub spec: QuerySpec,
+}
+
+/// Salt separating the recipe-generation stream from every other
+/// consumer of the base seed.
+const RECIPE_SALT: u64 = 0x5EC1_9E00;
+
+/// Builds the `n`-recipe catalog for a base seed. Each recipe is a pure
+/// function of `(seed, rank)`: kind from the mix, γ targets and budget
+/// from bounded uniform draws, dataset and query seed from split hashes.
+/// When `retry` is set the spec carries it, so transient-fault runs
+/// exercise the serving layer's retry runtime.
+pub fn build_recipes(
+    seed: u64,
+    n: usize,
+    datasets: usize,
+    mix: QueryMix,
+    retry: Option<RetryPolicy>,
+) -> Vec<Recipe> {
+    (0..n)
+        .map(|rank| {
+            let s = split_seed(seed ^ RECIPE_SALT, rank as u64);
+            let kind = mix.pick(split_unit(s, 0));
+            let budget = 400 + (split_unit(s, 1) * 600.0) as usize;
+            let dataset = (split_seed(s, 2) as usize) % datasets.max(1);
+            let spec = match kind {
+                0 => QuerySpec::recall(0.85 + 0.1 * split_unit(s, 3), budget),
+                1 => QuerySpec::precision(0.85 + 0.1 * split_unit(s, 3), budget),
+                _ => QuerySpec::joint(
+                    0.7 + 0.1 * split_unit(s, 3),
+                    0.85 + 0.1 * split_unit(s, 4),
+                    budget,
+                ),
+            };
+            let spec = spec.with_seed(split_seed(s, 5));
+            let spec = match retry {
+                Some(policy) => spec.with_retry(policy),
+                None => spec,
+            };
+            Recipe {
+                dataset,
+                kind,
+                spec,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds_and_skews_low() {
+        let p = BoundedPareto {
+            alpha: 1.2,
+            min_ns: 1_000,
+            max_ns: 1_000_000,
+        };
+        let mut below_10x_min = 0;
+        for i in 0..10_000u64 {
+            let x = p.sample(split_unit(42, i));
+            assert!((1_000..=1_000_000).contains(&x), "sample {x} out of bounds");
+            if x < 10_000 {
+                below_10x_min += 1;
+            }
+        }
+        // Heavy tail, light body: the bulk of the mass sits near the
+        // minimum even though the support spans three decades.
+        assert!(below_10x_min > 7_000, "only {below_10x_min} small draws");
+        // Extremes of u map to the bounds.
+        assert_eq!(p.sample(0.0), 1_000);
+        assert!(p.sample(0.999_999) > 100_000);
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(100, 1.1);
+        let mut counts = [0usize; 100];
+        for i in 0..10_000u64 {
+            counts[z.sample(split_unit(7, i))] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] > 1_500, "rank 0 got {}", counts[0]);
+        // s = 0 degenerates to uniform: rank 0 is no longer special.
+        let u = Zipf::new(100, 0.0);
+        let mut head = 0;
+        for i in 0..10_000u64 {
+            if u.sample(split_unit(7, i)) == 0 {
+                head += 1;
+            }
+        }
+        assert!(head < 300, "uniform head got {head}");
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let mix = QueryMix {
+            rt: 0.6,
+            pt: 0.3,
+            jt: 0.1,
+        };
+        let mut counts = [0usize; 3];
+        for i in 0..10_000u64 {
+            counts[mix.pick(split_unit(11, i))] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        assert!((5_500..6_500).contains(&counts[0]), "rt {}", counts[0]);
+    }
+
+    #[test]
+    fn recipes_are_pure_functions_of_seed_and_rank() {
+        let a = build_recipes(9, 32, 3, QueryMix::default_mix(), None);
+        let b = build_recipes(9, 32, 3, QueryMix::default_mix(), None);
+        assert_eq!(a.len(), 32);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.dataset, y.dataset);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.spec, y.spec);
+            assert!(x.dataset < 3);
+        }
+        // A different seed reshuffles the catalog.
+        let c = build_recipes(10, 32, 3, QueryMix::default_mix(), None);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.spec != y.spec));
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`query`] — a SQL-ish front-end implementing the paper's query syntax.
 //! * [`serve`] — the multi-tenant serving layer: a pooled-dataset query
 //!   server with per-tenant oracle budgets and admission control.
+//! * [`traffic`] — a deterministic workload simulator that drives the
+//!   serving layer under heavy-tailed, Zipf-skewed multi-tenant load
+//!   and replays bit-identically from a seed.
 //!
 //! ## Quickstart
 //!
@@ -221,6 +224,39 @@
 //! fast/slow-oracle grid. Explicit knobs always win over the planner:
 //! pin `.sampler_strategy(..)` or `.runtime(..)` and the plan honors
 //! them verbatim.
+//!
+//! ## Traffic & observability
+//!
+//! The serving path instruments itself: [`serve::ServerMetrics`] keeps
+//! lock-free counters for completions, failures and each shed cause,
+//! plus fixed-bucket latency histograms with nearest-rank quantiles —
+//! the oracle histogram uses the same oracle-time accounting that
+//! feeds the planner's latency EWMA, so the planner and the dashboards
+//! can never disagree about what the oracle costs. Snapshot them with
+//! [`serve::SupgServer::metrics`]; per-tenant mirrors (including
+//! [`serve::TenantStats::oracle_time`]) come from the registry.
+//!
+//! The [`traffic`] crate closes the loop: a seeded discrete-event
+//! simulator drives a real [`serve::SupgServer`] through the full
+//! admission path — bounded-Pareto inter-arrivals, a mixed RT/PT/JT
+//! stream, Zipf-skewed recipe popularity, tenant counts in the
+//! thousands, deterministic fault injection — and a fixed seed replays
+//! the whole session bit-identically at any oracle parallelism:
+//!
+//! ```
+//! use supg::traffic::{run, TrafficConfig};
+//!
+//! let mut config = TrafficConfig::quick(7);
+//! config.queries = 40; // trim for the doctest
+//! let report = run(&config);
+//! assert_eq!(report.completed + report.failed + report.shed_overload
+//!     + report.shed_budget + report.shed_circuit, report.queries);
+//! assert_eq!(run(&config).hash(), report.hash()); // bit-identical replay
+//! ```
+//!
+//! The `traffic` section of `BENCH_selectors.json` records a replayed
+//! run (and gates on the replay staying bit-identical); CI runs the
+//! same smoke via the `traffic_smoke` binary.
 
 pub use supg_core as core;
 pub use supg_datasets as datasets;
@@ -228,3 +264,4 @@ pub use supg_query as query;
 pub use supg_sampling as sampling;
 pub use supg_serve as serve;
 pub use supg_stats as stats;
+pub use supg_traffic as traffic;
